@@ -1,0 +1,77 @@
+//! Benchmarks for the data substrate and the Figure-1 protocols (B*):
+//! per-frame synthesis cost, corpus generation throughput, and the
+//! compute-side cost of one protocol inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use magneto_core::cloud::{CloudConfig, CloudInitializer};
+use magneto_core::incremental::ModelState;
+use magneto_platform::{DeviceModel, EdgeProtocol, EnergyModel, HarProtocol};
+use magneto_sensors::imu::SignalSynthesizer;
+use magneto_sensors::{ActivityKind, GeneratorConfig, PersonProfile, SensorDataset};
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::SeededRng;
+
+fn bench_frame_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_frame");
+    for kind in [ActivityKind::Still, ActivityKind::Run, ActivityKind::Drive] {
+        let mut synth = SignalSynthesizer::new(
+            kind.profile(),
+            PersonProfile::nominal(),
+            SeededRng::new(1),
+        );
+        let mut t = 0.0f64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                t += 1.0 / 120.0;
+                black_box(synth.frame(t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_corpus");
+    group.sample_size(10);
+    for windows in [10usize, 40] {
+        group.bench_function(BenchmarkId::from_parameter(windows), |b| {
+            let cfg = GeneratorConfig::base_five(windows);
+            b.iter(|| SensorDataset::generate(black_box(&cfg), 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_protocol_inference(c: &mut Criterion) {
+    let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 1);
+    let mut cfg = CloudConfig::fast_demo();
+    cfg.trainer.epochs = 2;
+    let (bundle, _) = CloudInitializer::new(cfg).pretrain(&corpus).unwrap();
+    let state = ModelState::assemble(
+        bundle.model.clone(),
+        bundle.support_set.clone(),
+        bundle.registry.clone(),
+        DistanceMetric::Euclidean,
+    )
+    .unwrap();
+    let mut edge = EdgeProtocol::new(
+        bundle.pipeline.clone(),
+        state.model,
+        state.ncm,
+        DeviceModel::budget_phone(),
+        EnergyModel::lte_phone(),
+        bundle.total_bytes(),
+    );
+    let window = corpus.windows[0].channels.clone();
+    c.bench_function("edge_protocol_infer_window", |b| {
+        b.iter(|| edge.infer_window(black_box(&window)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frame_synthesis,
+    bench_corpus_generation,
+    bench_edge_protocol_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Run every experiment binary in sequence with shared options, writing
+//! JSON results under `experiments/results/`.
+//!
+//! ```sh
+//! cargo run --release -p magneto-bench --bin eval_all -- [--fast] [--windows-per-class N]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 14] = [
+    "eval_dataset_shape",
+    "eval_pipeline",
+    "eval_base_accuracy",
+    "eval_latency",
+    "eval_footprint",
+    "eval_incremental",
+    "eval_recording_sweep",
+    "eval_support_sweep",
+    "eval_calibration",
+    "eval_classifier_ablation",
+    "eval_open_set",
+    "eval_objective_ablation",
+    "eval_battery",
+    "eval_feature_ablation",
+];
+
+// eval_forgetting and eval_cloud_vs_edge are heavier; they run last.
+const HEAVY: [&str; 2] = ["eval_cloud_vs_edge", "eval_forgetting"];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS.iter().chain(HEAVY.iter()) {
+        println!("\n################ {name} ################\n");
+        let mut cmd = Command::new(exe_dir.join(name));
+        cmd.args(&passthrough);
+        cmd.arg("--json");
+        cmd.arg(format!("experiments/results/{name}.json"));
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("could not launch {name}: {e} (build with `cargo build --release -p magneto-bench --bins` first)");
+                failures.push(*name);
+            }
+        }
+    }
+
+    println!("\n================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed; JSON in experiments/results/", EXPERIMENTS.len() + HEAVY.len());
+    } else {
+        println!("experiments with failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

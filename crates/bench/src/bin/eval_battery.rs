@@ -1,0 +1,120 @@
+//! Experiment A7 (extension) — battery-life projection for continuous
+//! HAR.
+//!
+//! §1 names energy as a core Edge constraint. This harness projects how
+//! long a 4 000 mAh phone battery sustains *continuous* one-window-per-
+//! second activity recognition under each protocol, charging only the
+//! HAR workload against the battery (screen/OS excluded — this isolates
+//! the deployment choice).
+
+use magneto_bench::{build_fixture, header, write_json, EvalOptions};
+use magneto_core::incremental::ModelState;
+use magneto_platform::energy::Battery;
+use magneto_platform::{
+    CloudProtocol, DeviceModel, EdgeProtocol, EnergyModel, HarProtocol, NetworkLink,
+};
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::SeededRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    protocol: String,
+    link: String,
+    joules_per_window: f64,
+    projected_hours: f64,
+}
+
+fn main() {
+    let opts = EvalOptions::parse();
+    header("A7", "battery life under continuous HAR", &opts);
+
+    let fx = build_fixture(&opts);
+    let state = ModelState::assemble(
+        fx.bundle.model.clone(),
+        fx.bundle.support_set.clone(),
+        fx.bundle.registry.clone(),
+        DistanceMetric::Euclidean,
+    )
+    .expect("assemble");
+    let windows: Vec<Vec<Vec<f32>>> = fx
+        .test
+        .windows
+        .iter()
+        .take(20)
+        .map(|w| w.channels.clone())
+        .collect();
+
+    let battery = Battery::phone();
+    println!(
+        "  battery: {:.0} kJ (≈4000 mAh); workload: 1 window/s continuous\n",
+        battery.capacity_joules / 1000.0
+    );
+    println!(
+        "{:<10} {:<12} {:>18} {:>18}",
+        "protocol", "link", "J per window", "projected life"
+    );
+
+    let mut rows = Vec::new();
+    let mut measure = |name: &str, link_name: &str, proto: &mut dyn HarProtocol| {
+        let total: f64 = windows
+            .iter()
+            .map(|w| proto.infer_window(w).expect("infer").energy_joules)
+            .sum();
+        let per_window = total / windows.len() as f64;
+        // Windows arrive once per second; hours until the battery dies.
+        let hours = battery.capacity_joules / per_window / 3600.0;
+        let life = if hours > 1000.0 {
+            format!("{:.1}k h", hours / 1000.0)
+        } else {
+            format!("{hours:.0} h")
+        };
+        println!("{name:<10} {link_name:<12} {per_window:>18.5} {life:>18}");
+        rows.push(Row {
+            protocol: name.to_string(),
+            link: link_name.to_string(),
+            joules_per_window: per_window,
+            projected_hours: hours,
+        });
+    };
+
+    let mut edge = EdgeProtocol::new(
+        fx.bundle.pipeline.clone(),
+        state.model.clone(),
+        state.ncm.clone(),
+        DeviceModel::budget_phone(),
+        EnergyModel::lte_phone(),
+        fx.bundle.total_bytes(),
+    );
+    measure("edge", "-", &mut edge);
+
+    for (name, link, energy) in [
+        ("wifi", NetworkLink::wifi(), EnergyModel::wifi_phone()),
+        ("lte", NetworkLink::lte(), EnergyModel::lte_phone()),
+    ] {
+        let mut cloud = CloudProtocol::new(
+            fx.bundle.pipeline.clone(),
+            state.model.clone(),
+            state.ncm.clone(),
+            link,
+            energy,
+            SeededRng::new(opts.seed ^ 0xA7),
+        );
+        measure("cloud", name, &mut cloud);
+    }
+
+    let edge_h = rows[0].projected_hours;
+    let lte_h = rows[2].projected_hours;
+    println!(
+        "\npaper-claim (§1): energy constraints demand efficient on-device processing;"
+    );
+    println!("             shipping data to the Cloud is not free");
+    println!(
+        "measured:    continuous HAR drains the battery in {:.0} h over LTE offloading vs \
+         {:.0}x longer on-device",
+        lte_h,
+        edge_h / lte_h
+    );
+
+    write_json(&opts, &rows);
+}

@@ -1,0 +1,102 @@
+//! Experiments C2 + C3 — edge memory footprint.
+//!
+//! C2 (§3.2): "200 observations per class cost roughly 0.5 MB in 32-bit
+//! precision". C3 (§4.2): "the entire data size that the demonstration
+//! needs on the Edge device (including support set, preprocessing, and
+//! the model) does not exceed 5 MB".
+//!
+//! Measures real serialised bytes of every bundle component, at f32 and
+//! int8 precision, across support-set budgets.
+
+use magneto_bench::{build_fixture, header, write_json, EvalOptions};
+use magneto_core::{SelectionStrategy, SupportSet};
+use magneto_tensor::SeededRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    pipeline_bytes: usize,
+    model_bytes_f32: usize,
+    model_bytes_i8: usize,
+    support_bytes_200_per_class: usize,
+    bundle_total_f32: usize,
+    bundle_total_i8: usize,
+    within_5mb_f32: bool,
+    within_5mb_i8: bool,
+}
+
+fn main() {
+    let opts = EvalOptions::parse();
+    header("C2+C3", "edge footprint: support set and full bundle", &opts);
+
+    let fx = build_fixture(&opts);
+
+    // --- C2: support set arithmetic at the paper's budget --------------
+    // Build a support set with exactly 200 exemplars/class (80-d f32
+    // features), the configuration the paper's 0.5 MB estimate refers to.
+    let mut rng = SeededRng::new(opts.seed);
+    let mut support = SupportSet::new(200, SelectionStrategy::Random);
+    for label in ["drive", "e_scooter", "run", "still", "walk"] {
+        let samples: Vec<Vec<f32>> = (0..200).map(|_| vec![0.25f32; 80]).collect();
+        support.set_class(label, &samples, &mut rng).expect("fill");
+    }
+    let support_bytes = support.bytes();
+    println!(
+        "  C2: 200 obs/class x 5 classes x 80 f32 features = {} B ({:.2} MB)",
+        support_bytes,
+        support_bytes as f64 / 1e6
+    );
+    println!("      paper estimate: \"roughly 0.5 MB\" → measured {:.2} MB ✓(same order)",
+        support_bytes as f64 / 1e6);
+
+    // --- C3: full bundle ------------------------------------------------
+    let f32_report = fx.bundle.size_report(false);
+    let i8_report = fx.bundle.size_report(true);
+    println!("\n  C3: serialised bundle components");
+    println!("      {:<22} {:>12} {:>12}", "component", "f32", "int8");
+    println!(
+        "      {:<22} {:>12} {:>12}",
+        "pipeline", f32_report.pipeline_bytes, i8_report.pipeline_bytes
+    );
+    println!(
+        "      {:<22} {:>12} {:>12}",
+        "model", f32_report.model_bytes, i8_report.model_bytes
+    );
+    println!(
+        "      {:<22} {:>12} {:>12}",
+        "support set", f32_report.support_set_bytes, i8_report.support_set_bytes
+    );
+    println!(
+        "      {:<22} {:>12} {:>12}",
+        "TOTAL (bytes)", f32_report.total_bytes, i8_report.total_bytes
+    );
+    println!(
+        "      {:<22} {:>11.2}M {:>11.2}M",
+        "TOTAL (MiB)",
+        f32_report.total_mib(),
+        i8_report.total_mib()
+    );
+
+    println!("\npaper-claim: the entire edge payload does not exceed 5 MB");
+    println!(
+        "measured:    {:.2} MiB at f32 ({}), {:.2} MiB at int8 ({})",
+        f32_report.total_mib(),
+        if f32_report.within_5mb() { "< 5 MB ✓" } else { "EXCEEDS 5 MB ✗" },
+        i8_report.total_mib(),
+        if i8_report.within_5mb() { "< 5 MB ✓" } else { "EXCEEDS 5 MB ✗" },
+    );
+
+    write_json(
+        &opts,
+        &Results {
+            pipeline_bytes: f32_report.pipeline_bytes,
+            model_bytes_f32: f32_report.model_bytes,
+            model_bytes_i8: i8_report.model_bytes,
+            support_bytes_200_per_class: support_bytes,
+            bundle_total_f32: f32_report.total_bytes,
+            bundle_total_i8: i8_report.total_bytes,
+            within_5mb_f32: f32_report.within_5mb(),
+            within_5mb_i8: i8_report.within_5mb(),
+        },
+    );
+}

@@ -1,0 +1,90 @@
+//! Experiment C1 — "imperceptible prediction latency, which is only a
+//! few milliseconds" (§4.2.1).
+//!
+//! Measures the real wall-clock per-window path (denoise → 80 features →
+//! embed → NCM) on this machine, plus the FLOP-model projection onto
+//! phone-class hardware.
+
+use magneto_bench::{build_fixture, deploy, header, write_json, EvalOptions};
+use magneto_platform::{flops, DeviceModel};
+use magneto_sensors::{GeneratorConfig, SensorDataset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    host_mean_ms: f64,
+    host_p50_ms: f64,
+    host_p95_ms: f64,
+    host_p99_ms: f64,
+    projected_flagship_ms: f64,
+    projected_budget_ms: f64,
+    projected_wearable_ms: f64,
+    windows: usize,
+}
+
+fn main() {
+    let opts = EvalOptions::parse();
+    header("C1", "end-to-end inference latency", &opts);
+
+    let fx = build_fixture(&opts);
+    let dims = fx.bundle.model.backbone().dims();
+    let classes = fx.bundle.registry.len();
+    let mut device = deploy(fx.bundle);
+
+    // Warm-up, then measure on a stream of fresh windows.
+    let probe = SensorDataset::generate(&GeneratorConfig::base_five(40), opts.seed ^ 0xC1);
+    for w in probe.windows.iter().take(20) {
+        device.infer_window(&w.channels).expect("warm-up");
+    }
+    let mut device = deploy(device.as_bundle()); // reset the recorder
+    for w in &probe.windows {
+        device.infer_window(&w.channels).expect("inference");
+    }
+    let stats = device.latency_stats();
+    println!(
+        "  host measurement over {} windows: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        stats.count,
+        stats.mean_us / 1e3,
+        stats.p50_us / 1e3,
+        stats.p95_us / 1e3,
+        stats.p99_us / 1e3
+    );
+
+    // FLOP-model projection onto phone hardware.
+    let total_flops = flops::inference_flops(&dims, classes, 22, 120);
+    println!("\n  per-window inference cost: {} FLOPs", total_flops);
+    let mut projected = [0.0f64; 3];
+    for (i, dev) in [
+        DeviceModel::flagship_phone(),
+        DeviceModel::budget_phone(),
+        DeviceModel::wearable(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let ms = dev.compute_time(total_flops).as_secs_f64() * 1e3;
+        projected[i] = ms;
+        println!("  projected on {:<16} {:>7.3} ms", dev.name, ms);
+    }
+
+    println!("\npaper-claim: prediction latency is only a few milliseconds");
+    println!(
+        "measured:    host p99 {:.2} ms; projected ≤ {:.2} ms on phone-class hardware",
+        stats.p99_us / 1e3,
+        projected[1]
+    );
+
+    write_json(
+        &opts,
+        &Results {
+            host_mean_ms: stats.mean_us / 1e3,
+            host_p50_ms: stats.p50_us / 1e3,
+            host_p95_ms: stats.p95_us / 1e3,
+            host_p99_ms: stats.p99_us / 1e3,
+            projected_flagship_ms: projected[0],
+            projected_budget_ms: projected[1],
+            projected_wearable_ms: projected[2],
+            windows: stats.count,
+        },
+    );
+}

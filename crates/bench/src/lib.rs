@@ -1,0 +1,300 @@
+//! # magneto-bench
+//!
+//! Experiment harness shared by the `eval_*` binaries (one per figure /
+//! claim / ablation in DESIGN.md §5) and the Criterion micro-benchmarks.
+//!
+//! Every binary accepts:
+//!
+//! * `--windows-per-class N` — corpus size per activity (default 120);
+//! * `--epochs N` — pre-training epochs (default 15);
+//! * `--seed N` — master seed (default 0);
+//! * `--fast` — narrow backbone + same pipeline, for smoke runs;
+//! * `--seeds N` — repeat over N seeds where supported (mean ± std);
+//! * `--json PATH` — also write machine-readable results.
+//!
+//! and prints its result rows plus a `paper-claim vs measured` footer that
+//! EXPERIMENTS.md quotes verbatim.
+
+use magneto_core::cloud::{CloudConfig, CloudInitializer};
+use magneto_core::metrics::ConfusionMatrix;
+use magneto_core::{EdgeBundle, EdgeConfig, EdgeDevice};
+use magneto_sensors::{GeneratorConfig, SensorDataset};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Windows generated per class for the pre-training corpus.
+    pub windows_per_class: usize,
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Use the narrow fast-demo backbone instead of the paper backbone.
+    pub fast: bool,
+    /// Number of seeds to repeat the experiment over (mean ± std
+    /// reporting); seeds are `seed..seed+seeds`.
+    pub seeds: u64,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            windows_per_class: 120,
+            epochs: 15,
+            seed: 0,
+            fast: false,
+            seeds: 1,
+            json: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Parse from `std::env::args()`. Unknown flags are ignored so
+    /// binaries can add their own.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse_from(&args[1..])
+    }
+
+    /// Parse from an explicit argument list (testable).
+    pub fn parse_from(args: &[String]) -> Self {
+        let mut opts = EvalOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--windows-per-class" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.windows_per_class = v;
+                        i += 1;
+                    }
+                }
+                "--epochs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.epochs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--json" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.json = Some(PathBuf::from(v));
+                        i += 1;
+                    }
+                }
+                "--seeds" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seeds = v;
+                        i += 1;
+                    }
+                }
+                "--fast" => opts.fast = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Cloud configuration implied by these options.
+    pub fn cloud_config(&self) -> CloudConfig {
+        let mut cfg = if self.fast {
+            CloudConfig::fast_demo()
+        } else {
+            CloudConfig::default()
+        };
+        cfg.trainer.epochs = self.epochs;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Corpus configuration implied by these options.
+    pub fn corpus_config(&self) -> GeneratorConfig {
+        GeneratorConfig::base_five(self.windows_per_class)
+    }
+}
+
+/// A trained-and-split experiment fixture.
+pub struct Fixture {
+    /// Deployable bundle (pipeline + model + support set).
+    pub bundle: EdgeBundle,
+    /// Held-out test windows (25% of the corpus, stratified).
+    pub test: SensorDataset,
+    /// Training windows (75%).
+    pub train: SensorDataset,
+}
+
+/// Generate the corpus and run Cloud initialisation.
+///
+/// Evaluation is **cross-user**: the test corpus is generated with a
+/// different seed, which draws a disjoint pool of simulated users (new
+/// gait styles, carry orientations and noise levels). This is the
+/// standard leave-users-out HAR protocol and leaves realistic headroom
+/// for the ablations.
+pub fn build_fixture(opts: &EvalOptions) -> Fixture {
+    let train = SensorDataset::generate(&opts.corpus_config(), opts.seed);
+    let test_cfg = GeneratorConfig {
+        windows_per_class: (opts.windows_per_class / 3).clamp(10, 60),
+        ..opts.corpus_config()
+    };
+    let test = SensorDataset::generate(&test_cfg, opts.seed ^ 0xDEAD_5117);
+    let (bundle, _) = CloudInitializer::new(opts.cloud_config())
+        .pretrain(&train)
+        .expect("cloud initialisation");
+    Fixture { bundle, test, train }
+}
+
+/// Run every window of `test` through the device, producing a confusion
+/// matrix.
+pub fn evaluate_device(device: &mut EdgeDevice, test: &SensorDataset) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new();
+    for w in &test.windows {
+        let pred = device.infer_window(&w.channels).expect("inference");
+        cm.record(&w.label, &pred.label);
+    }
+    cm
+}
+
+/// Deploy a bundle with default edge settings.
+pub fn deploy(bundle: EdgeBundle) -> EdgeDevice {
+    EdgeDevice::deploy(bundle, EdgeConfig::default()).expect("deploy")
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, title: &str, opts: &EvalOptions) {
+    println!("== {id}: {title} ==");
+    println!(
+        "   corpus {}x5 windows, {} epochs, seed {}, backbone {}\n",
+        opts.windows_per_class,
+        opts.epochs,
+        opts.seed,
+        if opts.fast {
+            "fast-demo [80,64,32]"
+        } else {
+            "paper [80,1024,512,128,64,128]"
+        }
+    );
+}
+
+/// Mean and (population) standard deviation of a result series.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Write a JSON result document if `--json` was given.
+pub fn write_json<T: Serialize>(opts: &EvalOptions, value: &T) {
+    if let Some(path) = &opts.json {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("\n[json] wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: JSON serialisation failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_options() {
+        let o = EvalOptions::default();
+        assert_eq!(o.windows_per_class, 120);
+        assert!(!o.fast);
+        assert_eq!(o.cloud_config().trainer.epochs, 15);
+        assert_eq!(o.corpus_config().activities.len(), 5);
+    }
+
+    #[test]
+    fn mean_std_math() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn parse_seeds_flag() {
+        let o = EvalOptions::parse_from(&strs(&["--seeds", "5"]));
+        assert_eq!(o.seeds, 5);
+        assert_eq!(EvalOptions::default().seeds, 1);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = EvalOptions::parse_from(&strs(&[
+            "--fast",
+            "--windows-per-class",
+            "40",
+            "--epochs",
+            "3",
+            "--seed",
+            "9",
+            "--json",
+            "/tmp/x.json",
+        ]));
+        assert!(o.fast);
+        assert_eq!(o.windows_per_class, 40);
+        assert_eq!(o.epochs, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.json.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+    }
+
+    #[test]
+    fn unknown_flags_ignored_and_missing_values_tolerated() {
+        let o = EvalOptions::parse_from(&strs(&["--nonsense", "--epochs"]));
+        assert_eq!(o.epochs, EvalOptions::default().epochs);
+    }
+
+    #[test]
+    fn fast_config_is_narrow() {
+        let o = EvalOptions {
+            fast: true,
+            ..EvalOptions::default()
+        };
+        assert_eq!(o.cloud_config().backbone_dims, vec![80, 64, 32]);
+    }
+
+    #[test]
+    fn fixture_builds_at_tiny_scale() {
+        let opts = EvalOptions {
+            windows_per_class: 8,
+            epochs: 2,
+            fast: true,
+            ..EvalOptions::default()
+        };
+        let fx = build_fixture(&opts);
+        assert_eq!(fx.train.len(), 40);
+        assert_eq!(fx.test.len(), 50);
+        assert!(fx.bundle.validate().is_ok());
+        let mut device = deploy(fx.bundle);
+        let cm = evaluate_device(&mut device, &fx.test);
+        assert_eq!(cm.total(), fx.test.len());
+    }
+}

@@ -1,0 +1,373 @@
+//! The Cloud → Edge bundle.
+//!
+//! §3.2: three artefacts are transferred into the Edge device — the
+//! pre-processing function, the initial ML model, and the support set.
+//! [`EdgeBundle`] packages exactly those (plus the label registry that
+//! names the classes) into one versioned binary payload, and §4.2's claim
+//! — "the entire data size that the demonstration needs on the Edge
+//! device … does not exceed 5 MB" — is measured against
+//! [`EdgeBundle::to_bytes`].
+//!
+//! Layout (little-endian, length-prefixed sections):
+//!
+//! ```text
+//! bundle  := magic "MGBD" | u32 version | u8 model_format
+//!            | section(pipeline json) | section(model)
+//!            | section(support set json) | section(registry json)
+//! section := u32 len | len bytes
+//! ```
+
+use crate::error::CoreError;
+use crate::label::LabelRegistry;
+use crate::support_set::SupportSet;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use magneto_dsp::PreprocessingPipeline;
+use magneto_nn::quantize::QuantizedMlp;
+use magneto_nn::serialize::{decode_mlp, encode_mlp};
+use magneto_nn::SiameseNetwork;
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 4] = b"MGBD";
+const VERSION: u32 = 1;
+const FORMAT_F32: u8 = 0;
+const FORMAT_QUANTIZED: u8 = 1;
+
+/// The deployable artefact produced by Cloud initialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeBundle {
+    /// The pre-processing function (denoise → 80 features → normalise).
+    pub pipeline: PreprocessingPipeline,
+    /// The Siamese embedding model.
+    pub model: SiameseNetwork,
+    /// Budgeted per-class exemplars.
+    pub support_set: SupportSet,
+    /// Class id registry.
+    pub registry: LabelRegistry,
+}
+
+/// Byte-level breakdown of a serialised bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleSizeReport {
+    /// Pipeline section bytes.
+    pub pipeline_bytes: usize,
+    /// Model section bytes.
+    pub model_bytes: usize,
+    /// Support-set section bytes.
+    pub support_set_bytes: usize,
+    /// Registry section bytes.
+    pub registry_bytes: usize,
+    /// Total bundle bytes including framing.
+    pub total_bytes: usize,
+}
+
+impl BundleSizeReport {
+    /// Total size in MiB.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Whether the paper's 5 MB budget is met.
+    pub fn within_5mb(&self) -> bool {
+        self.total_bytes < 5 * 1024 * 1024
+    }
+}
+
+fn put_section(buf: &mut BytesMut, payload: &[u8]) {
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+fn get_section(buf: &mut Bytes, what: &str) -> Result<Vec<u8>> {
+    if buf.remaining() < 4 {
+        return Err(CoreError::InvalidBundle(format!("{what} header truncated")));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > 256 * 1024 * 1024 {
+        return Err(CoreError::InvalidBundle(format!(
+            "{what} section implausibly large ({len} bytes)"
+        )));
+    }
+    if buf.remaining() < len {
+        return Err(CoreError::InvalidBundle(format!("{what} body truncated")));
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+impl EdgeBundle {
+    /// Serialise the bundle. With `quantized = true` the model section
+    /// stores int8 weights (~4× smaller, slightly lossy).
+    pub fn to_bytes(&self, quantized: bool) -> Vec<u8> {
+        let pipeline = self.pipeline.to_bytes();
+        let model = if quantized {
+            QuantizedMlp::quantize(self.model.backbone()).to_bytes()
+        } else {
+            encode_mlp(self.model.backbone())
+        };
+        let support = serde_json::to_vec(&SupportEnvelope {
+            margin: self.model.margin,
+            support_set: &self.support_set,
+        })
+        .expect("support set serialisation cannot fail");
+        let registry = serde_json::to_vec(&self.registry).expect("registry serialisation");
+
+        let mut buf = BytesMut::with_capacity(
+            16 + pipeline.len() + model.len() + support.len() + registry.len(),
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u8(if quantized { FORMAT_QUANTIZED } else { FORMAT_F32 });
+        put_section(&mut buf, &pipeline);
+        put_section(&mut buf, &model);
+        put_section(&mut buf, &support);
+        put_section(&mut buf, &registry);
+        buf.to_vec()
+    }
+
+    /// Deserialise a bundle produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidBundle`] on any framing/content problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 9 {
+            return Err(CoreError::InvalidBundle("bundle header truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CoreError::InvalidBundle("bad magic".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(CoreError::InvalidBundle(format!(
+                "unsupported bundle version {version}"
+            )));
+        }
+        let format = buf.get_u8();
+        let pipeline_bytes = get_section(&mut buf, "pipeline")?;
+        let model_bytes = get_section(&mut buf, "model")?;
+        let support_bytes = get_section(&mut buf, "support set")?;
+        let registry_bytes = get_section(&mut buf, "registry")?;
+
+        let pipeline = PreprocessingPipeline::from_bytes(&pipeline_bytes)?;
+        let backbone = match format {
+            FORMAT_F32 => decode_mlp(&model_bytes)?,
+            FORMAT_QUANTIZED => QuantizedMlp::from_bytes(&model_bytes)?.dequantize()?,
+            other => {
+                return Err(CoreError::InvalidBundle(format!(
+                    "unknown model format {other}"
+                )))
+            }
+        };
+        let envelope: SupportEnvelopeOwned = serde_json::from_slice(&support_bytes)
+            .map_err(|e| CoreError::InvalidBundle(format!("support set: {e}")))?;
+        let registry: LabelRegistry = serde_json::from_slice(&registry_bytes)
+            .map_err(|e| CoreError::InvalidBundle(format!("registry: {e}")))?;
+
+        let bundle = EdgeBundle {
+            pipeline,
+            model: SiameseNetwork::new(backbone, envelope.margin),
+            support_set: envelope.support_set,
+            registry,
+        };
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Cross-component consistency checks (run automatically on decode).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidBundle`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.model.backbone().input_dim() != self.pipeline.output_dim() {
+            return Err(CoreError::InvalidBundle(format!(
+                "model expects {} features, pipeline produces {}",
+                self.model.backbone().input_dim(),
+                self.pipeline.output_dim()
+            )));
+        }
+        for label in self.support_set.classes() {
+            if !self.registry.contains(label) {
+                return Err(CoreError::InvalidBundle(format!(
+                    "support class `{label}` missing from registry"
+                )));
+            }
+            if let Some(samples) = self.support_set.samples(label) {
+                if samples
+                    .iter()
+                    .any(|s| s.len() != self.pipeline.output_dim())
+                {
+                    return Err(CoreError::InvalidBundle(format!(
+                        "support samples for `{label}` have wrong dimension"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Measured size breakdown for a given precision.
+    pub fn size_report(&self, quantized: bool) -> BundleSizeReport {
+        let pipeline_bytes = self.pipeline.to_bytes().len();
+        let model_bytes = if quantized {
+            QuantizedMlp::quantize(self.model.backbone()).to_bytes().len()
+        } else {
+            encode_mlp(self.model.backbone()).len()
+        };
+        let support_set_bytes = serde_json::to_vec(&SupportEnvelope {
+            margin: self.model.margin,
+            support_set: &self.support_set,
+        })
+        .map(|v| v.len())
+        .unwrap_or(0);
+        let registry_bytes = serde_json::to_vec(&self.registry).map(|v| v.len()).unwrap_or(0);
+        BundleSizeReport {
+            pipeline_bytes,
+            model_bytes,
+            support_set_bytes,
+            registry_bytes,
+            total_bytes: self.to_bytes(quantized).len(),
+        }
+    }
+
+    /// Serialised total at f32 precision (convenience).
+    pub fn total_bytes(&self) -> usize {
+        self.to_bytes(false).len()
+    }
+}
+
+#[derive(Serialize)]
+struct SupportEnvelope<'a> {
+    margin: f32,
+    support_set: &'a SupportSet,
+}
+
+#[derive(Deserialize)]
+struct SupportEnvelopeOwned {
+    margin: f32,
+    support_set: SupportSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support_set::SelectionStrategy;
+    use magneto_dsp::PipelineConfig;
+    use magneto_nn::Mlp;
+    use magneto_tensor::SeededRng;
+
+    fn tiny_bundle(seed: u64) -> EdgeBundle {
+        let mut rng = SeededRng::new(seed);
+        let mut pipeline = PreprocessingPipeline::new(PipelineConfig::default());
+        // Fit the normaliser on a few synthetic windows.
+        let windows: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|k| {
+                (0..22)
+                    .map(|c| {
+                        (0..120)
+                            .map(|i| ((c + k) as f32 * 0.1 + i as f32 * 0.01).sin())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = windows.iter().map(|w| w.as_slice()).collect();
+        pipeline.fit_normalizer(&refs).unwrap();
+
+        let backbone = Mlp::new(&[80, 16, 8], &mut rng).unwrap();
+        let mut support = SupportSet::new(10, SelectionStrategy::Random);
+        let samples: Vec<Vec<f32>> = (0..6).map(|_| vec![0.1; 80]).collect();
+        support.set_class("walk", &samples, &mut rng).unwrap();
+        support.set_class("run", &samples, &mut rng).unwrap();
+        EdgeBundle {
+            pipeline,
+            model: SiameseNetwork::new(backbone, 1.0),
+            support_set: support,
+            registry: LabelRegistry::from_labels(["walk", "run"]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let b = tiny_bundle(1);
+        let bytes = b.to_bytes(false);
+        let back = EdgeBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn roundtrip_quantized_preserves_structure() {
+        let b = tiny_bundle(2);
+        let bytes = b.to_bytes(true);
+        let back = EdgeBundle::from_bytes(&bytes).unwrap();
+        // Weights are lossy but architecture and everything else is exact.
+        assert_eq!(back.model.backbone().dims(), b.model.backbone().dims());
+        assert_eq!(back.support_set, b.support_set);
+        assert_eq!(back.registry, b.registry);
+        assert!(bytes.len() < b.to_bytes(false).len());
+    }
+
+    #[test]
+    fn size_report_is_consistent() {
+        let b = tiny_bundle(3);
+        let report = b.size_report(false);
+        assert_eq!(report.total_bytes, b.total_bytes());
+        let parts = report.pipeline_bytes
+            + report.model_bytes
+            + report.support_set_bytes
+            + report.registry_bytes;
+        // Total = parts + framing (9-byte header + 4 section headers).
+        assert_eq!(report.total_bytes, parts + 9 + 16);
+        assert!(report.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let b = tiny_bundle(4);
+        let good = b.to_bytes(false);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            EdgeBundle::from_bytes(&bad),
+            Err(CoreError::InvalidBundle(_))
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(EdgeBundle::from_bytes(&bad_version).is_err());
+        assert!(EdgeBundle::from_bytes(&good[..good.len() / 2]).is_err());
+        assert!(EdgeBundle::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let mut b = tiny_bundle(5);
+        // Registry missing a support class.
+        b.registry = LabelRegistry::from_labels(["walk"]);
+        assert!(matches!(b.validate(), Err(CoreError::InvalidBundle(_))));
+
+        // Model input dim that does not match the pipeline.
+        let mut b2 = tiny_bundle(6);
+        let mut rng = SeededRng::new(7);
+        b2.model = SiameseNetwork::new(Mlp::new(&[40, 8], &mut rng).unwrap(), 1.0);
+        assert!(b2.validate().is_err());
+    }
+
+    #[test]
+    fn decode_validates() {
+        // A bundle whose support set references a class absent from the
+        // registry must fail from_bytes, not just validate().
+        let mut b = tiny_bundle(8);
+        b.registry = LabelRegistry::from_labels(["walk"]);
+        let bytes = b.to_bytes(false);
+        assert!(EdgeBundle::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn margin_survives_roundtrip() {
+        let mut b = tiny_bundle(9);
+        b.model.margin = 2.5;
+        let back = EdgeBundle::from_bytes(&b.to_bytes(false)).unwrap();
+        assert_eq!(back.model.margin, 2.5);
+    }
+}

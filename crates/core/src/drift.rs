@@ -1,0 +1,203 @@
+//! Embedding-drift monitoring: knowing *when* to recalibrate.
+//!
+//! The paper's calibration loop (§3.3) is user-triggered. A deployed
+//! system also wants the converse signal: detect that the incoming data
+//! has drifted away from the support-set distribution (new shoes, phone
+//! moved to a jacket pocket, winter gait) and *suggest* recalibration.
+//!
+//! [`DriftMonitor`] keeps an exponentially-weighted mean of each window's
+//! distance to its nearest prototype and compares it to the baseline
+//! within-class distance observed at deployment. No raw data is stored —
+//! just two scalars — so the monitor adds nothing to the privacy surface.
+
+use serde::{Deserialize, Serialize};
+
+/// Online drift detector over nearest-prototype distances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    /// Baseline expected distance (calibrated at deployment).
+    baseline: f32,
+    /// Alert when the smoothed distance exceeds `baseline * ratio`.
+    alert_ratio: f32,
+    /// EWMA smoothing factor in `(0, 1]`; smaller = slower, steadier.
+    alpha: f32,
+    /// Current smoothed distance (`None` until the first observation).
+    smoothed: Option<f32>,
+    /// Observations consumed.
+    observations: u64,
+    /// Minimum observations before alerts can fire (warm-up).
+    warmup: u64,
+}
+
+/// Current drift status.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriftStatus {
+    /// Not enough observations yet.
+    WarmingUp,
+    /// Smoothed distance within the expected band.
+    Stable,
+    /// Smoothed distance exceeds the alert threshold — recalibration
+    /// advised.
+    Drifted {
+        /// Ratio of smoothed distance to baseline.
+        severity: f32,
+    },
+}
+
+impl DriftMonitor {
+    /// Create a monitor.
+    ///
+    /// `baseline` is the expected nearest-prototype distance for in-
+    /// distribution data (e.g. from
+    /// [`ModelState::rejection_threshold`](crate::incremental::ModelState::rejection_threshold)
+    /// with margin 1); `alert_ratio` is how many times that baseline the
+    /// smoothed distance may reach before alerting (2–4 is reasonable).
+    pub fn new(baseline: f32, alert_ratio: f32, alpha: f32, warmup: u64) -> Self {
+        DriftMonitor {
+            baseline: baseline.max(1e-6),
+            alert_ratio: alert_ratio.max(1.0),
+            alpha: alpha.clamp(1e-3, 1.0),
+            smoothed: None,
+            observations: 0,
+            warmup,
+        }
+    }
+
+    /// Feed one window's nearest-prototype distance; returns the status
+    /// after the update.
+    pub fn observe(&mut self, nearest_distance: f32) -> DriftStatus {
+        self.observations += 1;
+        let s = match self.smoothed {
+            Some(prev) => prev + self.alpha * (nearest_distance - prev),
+            None => nearest_distance,
+        };
+        self.smoothed = Some(s);
+        self.status()
+    }
+
+    /// Current status without observing anything new.
+    pub fn status(&self) -> DriftStatus {
+        if self.observations < self.warmup {
+            return DriftStatus::WarmingUp;
+        }
+        match self.smoothed {
+            Some(s) if s > self.baseline * self.alert_ratio => DriftStatus::Drifted {
+                severity: s / self.baseline,
+            },
+            Some(_) => DriftStatus::Stable,
+            None => DriftStatus::WarmingUp,
+        }
+    }
+
+    /// Smoothed nearest-prototype distance so far.
+    pub fn smoothed_distance(&self) -> Option<f32> {
+        self.smoothed
+    }
+
+    /// Observations consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Reset after a recalibration (new baseline).
+    pub fn reset(&mut self, baseline: f32) {
+        self.baseline = baseline.max(1e-6);
+        self.smoothed = None;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> DriftMonitor {
+        DriftMonitor::new(1.0, 2.0, 0.2, 5)
+    }
+
+    #[test]
+    fn warms_up_before_alerting() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            // Even huge distances cannot alert during warm-up.
+            assert_eq!(m.observe(100.0), DriftStatus::WarmingUp);
+        }
+        assert!(matches!(m.observe(100.0), DriftStatus::Drifted { .. }));
+    }
+
+    #[test]
+    fn stable_on_baseline_data() {
+        let mut m = monitor();
+        for _ in 0..50 {
+            m.observe(1.0);
+        }
+        assert_eq!(m.status(), DriftStatus::Stable);
+        assert!((m.smoothed_distance().unwrap() - 1.0).abs() < 1e-5);
+        assert_eq!(m.observations(), 50);
+    }
+
+    #[test]
+    fn gradual_drift_eventually_alerts() {
+        let mut m = monitor();
+        let mut alerted_at = None;
+        for i in 0..200 {
+            // Distance grows 2% per window.
+            let d = 1.0 * 1.02f32.powi(i);
+            if let DriftStatus::Drifted { severity } = m.observe(d) {
+                assert!(severity > 2.0);
+                alerted_at = Some(i);
+                break;
+            }
+        }
+        let at = alerted_at.expect("should alert");
+        // Alert fires after the EWMA crosses 2x baseline: after ~35
+        // windows of 2% growth plus smoothing lag, not instantly and not
+        // never.
+        assert!((20..100).contains(&at), "alerted at {at}");
+    }
+
+    #[test]
+    fn single_outlier_does_not_alert() {
+        let mut m = monitor();
+        for _ in 0..20 {
+            m.observe(1.0);
+        }
+        // One spike of 5x baseline moves the EWMA to 1 + 0.2*4 = 1.8 < 2.
+        let status = m.observe(5.0);
+        assert_eq!(status, DriftStatus::Stable);
+        // But sustained spikes do alert.
+        let mut status = m.observe(5.0);
+        for _ in 0..10 {
+            status = m.observe(5.0);
+        }
+        assert!(matches!(status, DriftStatus::Drifted { .. }));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = monitor();
+        for _ in 0..10 {
+            m.observe(10.0);
+        }
+        m.reset(2.0);
+        assert_eq!(m.status(), DriftStatus::WarmingUp);
+        assert_eq!(m.observations(), 0);
+        assert!(m.smoothed_distance().is_none());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let mut m = DriftMonitor::new(0.0, 0.5, 5.0, 0);
+        // baseline floored, ratio floored to 1, alpha clamped to 1.
+        assert!(matches!(m.observe(1.0), DriftStatus::Drifted { .. }));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = monitor();
+        m.observe(1.5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DriftMonitor = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,551 @@
+//! The Edge device runtime (the paper's online step).
+//!
+//! [`EdgeDevice`] owns everything that lives on the phone after
+//! deployment: the pre-processing pipeline, the model state (Siamese
+//! backbone + support set + registry + NCM), the privacy ledger, and the
+//! latency recorder. Its API mirrors the demo scenarios of §4.2:
+//! real-time inference, recording a new activity, on-device learning, and
+//! calibration — all without a byte of uplink.
+
+use crate::bundle::{BundleSizeReport, EdgeBundle};
+use crate::error::CoreError;
+use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateReport};
+use crate::inference::{
+    infer_window, LatencyRecorder, LatencyStats, Prediction, SmoothedPrediction,
+    StreamingSession,
+};
+use crate::privacy::PrivacyLedger;
+use crate::Result;
+use magneto_dsp::PreprocessingPipeline;
+use magneto_sensors::{SensorDataset, SensorFrame, NUM_CHANNELS};
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Edge runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeConfig {
+    /// Samples per inference window (paper: ~120 = 1 s).
+    pub window_len: usize,
+    /// Majority-vote smoothing horizon, in windows.
+    pub smoothing_window: usize,
+    /// Incremental-learning configuration.
+    pub incremental: IncrementalConfig,
+    /// Seed for on-device randomness (exemplar selection, pair sampling).
+    pub seed: u64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            window_len: 120,
+            smoothing_window: 3,
+            incremental: IncrementalConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A deployed MAGNETO Edge device.
+#[derive(Debug)]
+pub struct EdgeDevice {
+    pipeline: PreprocessingPipeline,
+    state: ModelState,
+    config: EdgeConfig,
+    ledger: PrivacyLedger,
+    latency: LatencyRecorder,
+    session: StreamingSession,
+    rng: SeededRng,
+}
+
+impl EdgeDevice {
+    /// Deploy a bundle onto a fresh device. The bundle download is the
+    /// only Cloud interaction the device will ever have; it is recorded
+    /// in the privacy ledger.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidBundle`] if the bundle fails validation.
+    pub fn deploy(bundle: EdgeBundle, config: EdgeConfig) -> Result<Self> {
+        bundle.validate()?;
+        let mut ledger = PrivacyLedger::edge_only();
+        ledger.record_download(bundle.total_bytes(), "edge bundle (pipeline+model+support)");
+        let state = ModelState::assemble(
+            bundle.model,
+            bundle.support_set,
+            bundle.registry,
+            config.incremental.metric,
+        )?;
+        Ok(EdgeDevice {
+            pipeline: bundle.pipeline,
+            session: StreamingSession::new(NUM_CHANNELS, config.window_len, config.smoothing_window),
+            state,
+            ledger,
+            latency: LatencyRecorder::new(),
+            rng: SeededRng::new(config.seed),
+            config,
+        })
+    }
+
+    /// Activities the device currently recognises.
+    pub fn classes(&self) -> Vec<String> {
+        self.state.registry.labels().to_vec()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &EdgeConfig {
+        &self.config
+    }
+
+    /// Classify one channel-major raw window (22 × ~120 samples).
+    ///
+    /// # Errors
+    /// Propagates pre-processing/classification errors.
+    pub fn infer_window(&mut self, channels: &[Vec<f32>]) -> Result<Prediction> {
+        let pred = infer_window(&self.pipeline, &self.state.model, &self.state.ncm, channels)?;
+        self.latency.record(pred.latency);
+        Ok(pred)
+    }
+
+    /// Open-set classification: `None` means "unknown activity" — the
+    /// window is farther than `threshold` from every known prototype.
+    /// Calibrate the threshold with
+    /// [`rejection_threshold`](Self::rejection_threshold).
+    ///
+    /// # Errors
+    /// Propagates pre-processing/classification errors.
+    pub fn infer_window_open_set(
+        &mut self,
+        channels: &[Vec<f32>],
+        threshold: f32,
+    ) -> Result<Option<Prediction>> {
+        let pred = self.infer_window(channels)?;
+        let min_dist = pred
+            .distances
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        Ok((min_dist <= threshold).then_some(pred))
+    }
+
+    /// Calibrate an open-set rejection threshold from the support set
+    /// (see [`ModelState::rejection_threshold`]). Percentile ~99 with a
+    /// margin of 4–7 keeps false rejections of known activities rare
+    /// under user drift.
+    ///
+    /// # Errors
+    /// See [`ModelState::rejection_threshold`].
+    pub fn rejection_threshold(&self, percentile: f32, margin: f32) -> Result<f32> {
+        self.state.rejection_threshold(percentile, margin)
+    }
+
+    /// Push one live sensor frame into the streaming session. Returns a
+    /// smoothed prediction whenever a window completes.
+    ///
+    /// # Errors
+    /// Propagates inference errors on completed windows.
+    pub fn push_frame(&mut self, frame: &SensorFrame) -> Result<Option<SmoothedPrediction>> {
+        let out = self.session.push_sample(
+            &frame.values,
+            &self.pipeline,
+            &self.state.model,
+            &self.state.ncm,
+        )?;
+        if let Some(p) = &out {
+            self.latency.record(p.raw.latency);
+        }
+        Ok(out)
+    }
+
+    /// Reset the streaming session (activity boundary in the UI).
+    pub fn reset_session(&mut self) {
+        self.session.reset();
+    }
+
+    /// §4.2.2: learn a brand-new activity from a recorded session. The
+    /// recording never leaves the device.
+    ///
+    /// # Errors
+    /// See [`ModelState::update`].
+    pub fn learn_new_activity(
+        &mut self,
+        label: &str,
+        recording: &SensorDataset,
+    ) -> Result<UpdateReport> {
+        let features = self.featurize_recording(recording)?;
+        let config = self.config.incremental;
+        self.state
+            .update(label, &features, UpdateMode::NewActivity, &config, &mut self.rng)
+    }
+
+    /// Calibrate an existing activity to the user's personal style: the
+    /// class's support data is replaced by the new recording, then the
+    /// model re-trains.
+    ///
+    /// # Errors
+    /// See [`ModelState::update`].
+    pub fn calibrate_activity(
+        &mut self,
+        label: &str,
+        recording: &SensorDataset,
+    ) -> Result<UpdateReport> {
+        let features = self.featurize_recording(recording)?;
+        let config = self.config.incremental;
+        self.state
+            .update(label, &features, UpdateMode::Calibration, &config, &mut self.rng)
+    }
+
+    fn featurize_recording(&self, recording: &SensorDataset) -> Result<Vec<Vec<f32>>> {
+        if recording.is_empty() {
+            return Err(CoreError::InsufficientData("empty recording".into()));
+        }
+        recording
+            .windows
+            .iter()
+            .map(|w| self.pipeline.process(&w.channels).map_err(CoreError::from))
+            .collect()
+    }
+
+    /// Export a learned activity as a portable [`crate::sharing::ClassPack`] for
+    /// peer-to-peer sharing (Bluetooth/AirDrop — never via the Cloud).
+    /// The pack carries pre-processed feature exemplars, not raw sensor
+    /// data.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] when the device does not know `label`.
+    pub fn export_class(&self, label: &str) -> Result<crate::sharing::ClassPack> {
+        let samples = self
+            .state
+            .support_set
+            .samples(label)
+            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+        crate::sharing::ClassPack::new(label, samples.to_vec())
+    }
+
+    /// Import a peer's [`crate::sharing::ClassPack`], learning the class exactly as if
+    /// this device's user had recorded it (same incremental machinery,
+    /// same forgetting protection).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when the class already exists or the
+    /// pack's feature dimension does not match the pipeline; training
+    /// errors are propagated.
+    pub fn import_class(
+        &mut self,
+        pack: &crate::sharing::ClassPack,
+    ) -> Result<UpdateReport> {
+        if pack.feature_dim != self.pipeline.output_dim() {
+            return Err(CoreError::InvalidConfig(format!(
+                "class pack has {}-d features, pipeline produces {}",
+                pack.feature_dim,
+                self.pipeline.output_dim()
+            )));
+        }
+        let config = self.config.incremental;
+        self.state.update(
+            &pack.label,
+            &pack.exemplars,
+            UpdateMode::NewActivity,
+            &config,
+            &mut self.rng,
+        )
+    }
+
+    /// Attempt to sync user data to the Cloud. Always fails on a MAGNETO
+    /// device — this method exists so the demo can *show* Definition 1
+    /// being enforced.
+    ///
+    /// # Errors
+    /// Always [`CoreError::PrivacyViolation`].
+    pub fn try_sync_to_cloud(&mut self, description: &str) -> Result<()> {
+        let bytes = self.state.support_set.bytes();
+        self.ledger.try_upload(bytes, description)
+    }
+
+    /// The privacy ledger (read-only).
+    pub fn privacy_ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+
+    /// Latency statistics across all inferences so far.
+    pub fn latency_stats(&self) -> LatencyStats {
+        self.latency.stats()
+    }
+
+    /// Current on-device footprint, serialised at the given precision —
+    /// the quantity bounded by 5 MB in §4.2.
+    pub fn memory_footprint(&self, quantized: bool) -> BundleSizeReport {
+        self.as_bundle().size_report(quantized)
+    }
+
+    /// Snapshot the current device state as a bundle (e.g. for local
+    /// persistence; never for upload).
+    pub fn as_bundle(&self) -> EdgeBundle {
+        EdgeBundle {
+            pipeline: self.pipeline.clone(),
+            model: self.state.model.clone(),
+            support_set: self.state.support_set.clone(),
+            registry: self.state.registry.clone(),
+        }
+    }
+
+    /// Direct access to the model state (experiments and diagnostics).
+    pub fn state(&self) -> &ModelState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::{CloudConfig, CloudInitializer};
+    use magneto_sensors::{ActivityKind, GeneratorConfig, PersonProfile};
+
+    fn deployed_device(seed: u64) -> EdgeDevice {
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), seed);
+        let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
+            .pretrain(&corpus)
+            .unwrap();
+        EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn deploy_records_the_download_and_nothing_else() {
+        let device = deployed_device(1);
+        let ledger = device.privacy_ledger();
+        assert_eq!(ledger.records().len(), 1);
+        assert!(ledger.downlink_bytes() > 0);
+        assert_eq!(ledger.uplink_bytes(), 0);
+        ledger.assert_no_uplink();
+        assert_eq!(device.classes().len(), 5);
+    }
+
+    #[test]
+    fn infer_window_works_and_records_latency() {
+        let mut device = deployed_device(2);
+        let probe = SensorDataset::generate(
+            &GeneratorConfig {
+                activities: vec![ActivityKind::Run],
+                windows_per_class: 3,
+                ..GeneratorConfig::tiny()
+            },
+            99,
+        );
+        for w in &probe.windows {
+            let pred = device.infer_window(&w.channels).unwrap();
+            assert!(device.classes().contains(&pred.label));
+        }
+        let stats = device.latency_stats();
+        assert_eq!(stats.count, 3);
+        assert!(stats.mean_us > 0.0);
+    }
+
+    #[test]
+    fn streaming_frames_produce_predictions() {
+        let mut device = deployed_device(3);
+        let mut stream = magneto_sensors::SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            magneto_sensors::stream::StreamConfig::ideal(),
+            SeededRng::new(4),
+        );
+        let mut outputs = 0;
+        for _ in 0..360 {
+            let frame = stream.next().unwrap();
+            if device.push_frame(&frame).unwrap().is_some() {
+                outputs += 1;
+            }
+        }
+        assert_eq!(outputs, 3);
+        device.reset_session();
+    }
+
+    #[test]
+    fn learn_new_activity_end_to_end() {
+        let mut device = deployed_device(5);
+        let recording = SensorDataset::record_session(
+            "gesture_hi",
+            ActivityKind::GestureHi,
+            PersonProfile::nominal(),
+            25.0,
+            6,
+        );
+        let report = device.learn_new_activity("gesture_hi", &recording).unwrap();
+        assert!(report.classes_after.contains(&"gesture_hi".to_string()));
+        assert_eq!(report.new_windows, 25);
+        assert_eq!(device.classes().len(), 6);
+        // Privacy invariant still holds after learning.
+        device.privacy_ledger().assert_no_uplink();
+    }
+
+    #[test]
+    fn learn_duplicate_class_fails() {
+        let mut device = deployed_device(7);
+        let recording = SensorDataset::record_session(
+            "walk",
+            ActivityKind::Walk,
+            PersonProfile::nominal(),
+            10.0,
+            8,
+        );
+        assert!(matches!(
+            device.learn_new_activity("walk", &recording),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn calibrate_existing_class() {
+        let mut device = deployed_device(9);
+        let mut rng = SeededRng::new(10);
+        let person = PersonProfile::sample_atypical(&mut rng);
+        let recording =
+            SensorDataset::record_session("walk", ActivityKind::Walk, person, 20.0, 11);
+        let report = device.calibrate_activity("walk", &recording).unwrap();
+        assert_eq!(report.classes_after.len(), 5); // no new class
+        assert!(matches!(
+            device.calibrate_activity("yoga", &recording),
+            Err(CoreError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn empty_recording_rejected() {
+        let mut device = deployed_device(12);
+        assert!(matches!(
+            device.learn_new_activity("x", &SensorDataset::default()),
+            Err(CoreError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn sync_to_cloud_is_always_blocked() {
+        let mut device = deployed_device(13);
+        let err = device.try_sync_to_cloud("support set backup").unwrap_err();
+        assert!(matches!(err, CoreError::PrivacyViolation { .. }));
+        device.privacy_ledger().assert_no_uplink();
+    }
+
+    #[test]
+    fn footprint_stays_under_budget_for_fast_demo() {
+        let device = deployed_device(14);
+        let report = device.memory_footprint(false);
+        assert!(report.within_5mb(), "footprint {} MiB", report.total_mib());
+        let quantized = device.memory_footprint(true);
+        assert!(quantized.total_bytes < report.total_bytes);
+    }
+
+    #[test]
+    fn class_sharing_between_devices() {
+        // Device A learns a gesture; device B imports the exported pack
+        // and recognises the gesture without ever seeing a recording.
+        let mut device_a = deployed_device(30);
+        let recording = SensorDataset::record_session(
+            "gesture_hi",
+            ActivityKind::GestureHi,
+            PersonProfile::nominal(),
+            25.0,
+            31,
+        );
+        device_a.learn_new_activity("gesture_hi", &recording).unwrap();
+        let pack = device_a.export_class("gesture_hi").unwrap();
+        let wire = pack.to_bytes();
+
+        let mut device_b = deployed_device(30);
+        assert_eq!(device_b.classes().len(), 5);
+        let received = crate::sharing::ClassPack::from_bytes(&wire).unwrap();
+        device_b.import_class(&received).unwrap();
+        assert_eq!(device_b.classes().len(), 6);
+
+        // B recognises the gesture from fresh windows.
+        let probe = SensorDataset::record_session(
+            "gesture_hi",
+            ActivityKind::GestureHi,
+            PersonProfile::nominal(),
+            10.0,
+            32,
+        );
+        let mut hits = 0;
+        for w in &probe.windows {
+            if device_b.infer_window(&w.channels).unwrap().label == "gesture_hi" {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 10 >= probe.windows.len() * 7,
+            "B recognised {hits}/{}",
+            probe.windows.len()
+        );
+        // No Cloud involved anywhere.
+        device_a.privacy_ledger().assert_no_uplink();
+        device_b.privacy_ledger().assert_no_uplink();
+
+        // Exporting an unknown class fails; importing a duplicate fails.
+        assert!(matches!(
+            device_a.export_class("yoga"),
+            Err(CoreError::UnknownClass(_))
+        ));
+        assert!(device_b.import_class(&received).is_err());
+    }
+
+    #[test]
+    fn open_set_rejects_unseen_gesture_before_learning() {
+        let mut device = deployed_device(16);
+        let threshold = device.rejection_threshold(100.0, 6.5).unwrap();
+        assert!(threshold > 0.0);
+
+        // Base-activity windows are mostly accepted…
+        let base = SensorDataset::generate(&GeneratorConfig::tiny(), 17);
+        let accepted = base
+            .windows
+            .iter()
+            .filter(|w| {
+                device
+                    .infer_window_open_set(&w.channels, threshold)
+                    .unwrap()
+                    .is_some()
+            })
+            .count();
+        assert!(
+            accepted * 10 >= base.windows.len() * 5,
+            "too many known windows rejected: {accepted}/{}",
+            base.windows.len()
+        );
+
+        // …while an unseen gesture is rejected more often than base
+        // activities are.
+        let gesture = SensorDataset::record_session(
+            "gesture_circle",
+            ActivityKind::GestureCircle,
+            PersonProfile::nominal(),
+            20.0,
+            18,
+        );
+        let gesture_accepted = gesture
+            .windows
+            .iter()
+            .filter(|w| {
+                device
+                    .infer_window_open_set(&w.channels, threshold)
+                    .unwrap()
+                    .is_some()
+            })
+            .count();
+        let base_rate = accepted as f64 / base.windows.len() as f64;
+        let gesture_rate = gesture_accepted as f64 / gesture.windows.len() as f64;
+        assert!(
+            gesture_rate < base_rate,
+            "unseen gesture accepted at {gesture_rate} vs base {base_rate}"
+        );
+    }
+
+    #[test]
+    fn bundle_snapshot_roundtrips_through_bytes() {
+        let device = deployed_device(15);
+        let snapshot = device.as_bundle();
+        let bytes = snapshot.to_bytes(false);
+        let restored = EdgeBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(snapshot, restored);
+        // And a new device can be deployed from the snapshot.
+        let device2 = EdgeDevice::deploy(restored, EdgeConfig::default()).unwrap();
+        assert_eq!(device2.classes(), device.classes());
+    }
+}

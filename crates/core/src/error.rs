@@ -1,0 +1,105 @@
+//! Platform error type.
+
+use magneto_dsp::DspError;
+use magneto_nn::NnError;
+use magneto_tensor::TensorError;
+use std::fmt;
+
+/// Errors surfaced by the MAGNETO platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Pre-processing failed.
+    Dsp(DspError),
+    /// Model training/inference failed.
+    Nn(NnError),
+    /// Low-level tensor failure.
+    Tensor(TensorError),
+    /// A class label was not found in the registry / support set.
+    UnknownClass(String),
+    /// An operation would have violated the privacy policy
+    /// (Definition 1: no Edge → Cloud user data).
+    PrivacyViolation {
+        /// What was about to be uploaded.
+        description: String,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// The bundle payload was malformed.
+    InvalidBundle(String),
+    /// Not enough data to perform the operation (e.g. learning a class
+    /// from zero windows).
+    InsufficientData(String),
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dsp(e) => write!(f, "preprocessing error: {e}"),
+            CoreError::Nn(e) => write!(f, "model error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            CoreError::PrivacyViolation { description, bytes } => write!(
+                f,
+                "privacy violation: attempted to upload {bytes} bytes ({description}) from Edge to Cloud"
+            ),
+            CoreError::InvalidBundle(msg) => write!(f, "invalid bundle: {msg}"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for CoreError {
+    fn from(e: DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = DspError::NotFitted.into();
+        assert!(e.to_string().contains("preprocessing"));
+        let e: CoreError = NnError::Diverged { epoch: 1 }.into();
+        assert!(e.to_string().contains("model"));
+        let e: CoreError = TensorError::EmptyInput("x").into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = CoreError::PrivacyViolation {
+            description: "raw windows".into(),
+            bytes: 1024,
+        };
+        assert!(p.to_string().contains("1024"));
+        assert!(p.to_string().contains("raw windows"));
+        assert!(CoreError::UnknownClass("yoga".into()).to_string().contains("yoga"));
+        assert!(std::error::Error::source(&p).is_none());
+    }
+}

@@ -1,0 +1,566 @@
+//! On-device incremental learning and calibration (§3.3).
+//!
+//! The paper's edge update loop:
+//!
+//! 1. **Samples recording** — the user records ~20–30 s of a new activity;
+//! 2. **Support set update** — the fresh data is folded into the support
+//!    set;
+//! 3. **Model re-training** — the model is updated on the combined
+//!    support set with a joint **contrastive + distillation** objective,
+//!    where the teacher is the frozen pre-update model (this is what
+//!    holds off catastrophic forgetting);
+//!
+//! then the NCM prototypes are recomputed in the new embedding space.
+//! *Calibration* "mirrors the re-training process, with the distinction
+//! that the data for the targeted activity within the support set is
+//! replaced with newly acquired data".
+
+use crate::error::CoreError;
+use crate::label::LabelRegistry;
+use crate::ncm::NcmClassifier;
+use crate::support_set::SupportSet;
+use crate::Result;
+use magneto_nn::trainer::{train_siamese_masked, TrainerConfig, TrainingReport};
+use magneto_nn::SiameseNetwork;
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::{Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// Incremental-update configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Re-training hyper-parameters (defaults to
+    /// [`TrainerConfig::edge_update`]: few epochs, distillation on).
+    pub trainer: TrainerConfig,
+    /// Distance metric for the rebuilt NCM classifier.
+    pub metric: DistanceMetric,
+    /// Disable the distillation term (A1 ablation).
+    pub disable_distillation: bool,
+    /// Disable support-set replay: re-train on the fresh recording only,
+    /// the naive fine-tuning regime where catastrophic forgetting is at
+    /// its worst (A1 ablation). The support set is still *updated* (the
+    /// NCM needs prototypes); it is just excluded from the training set.
+    pub disable_replay: bool,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            trainer: TrainerConfig::edge_update(),
+            metric: DistanceMetric::Euclidean,
+            disable_distillation: false,
+            disable_replay: false,
+        }
+    }
+}
+
+/// What kind of update is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Learn a class the model has never seen (§3.3 steps 1–3).
+    NewActivity,
+    /// Re-calibrate an existing class to this user's style (§3.3, final
+    /// paragraph): its support data is *replaced* by the new recording.
+    Calibration,
+}
+
+/// Outcome of an incremental update.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Training history of the re-training run.
+    pub training: TrainingReport,
+    /// Classes known after the update.
+    pub classes_after: Vec<String>,
+    /// Number of freshly recorded feature windows used.
+    pub new_windows: usize,
+}
+
+/// The full mutable model state living on the Edge device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelState {
+    /// The Siamese embedding model.
+    pub model: SiameseNetwork,
+    /// Budgeted exemplar store.
+    pub support_set: SupportSet,
+    /// Class registry.
+    pub registry: LabelRegistry,
+    /// NCM classifier over current prototypes.
+    pub ncm: NcmClassifier,
+}
+
+impl ModelState {
+    /// Assemble state from bundle components, computing prototypes.
+    ///
+    /// # Errors
+    /// Propagates embedding/classifier construction failures.
+    pub fn assemble(
+        model: SiameseNetwork,
+        support_set: SupportSet,
+        registry: LabelRegistry,
+        metric: DistanceMetric,
+    ) -> Result<Self> {
+        let ncm = build_ncm(&model, &support_set, metric)?;
+        Ok(ModelState {
+            model,
+            support_set,
+            registry,
+            ncm,
+        })
+    }
+
+    /// Recompute every class prototype in the current embedding space.
+    ///
+    /// # Errors
+    /// Propagates embedding failures.
+    pub fn rebuild_prototypes(&mut self) -> Result<()> {
+        self.ncm = build_ncm(&self.model, &self.support_set, self.ncm.metric())?;
+        Ok(())
+    }
+
+    /// Calibrate an open-set rejection threshold: the given percentile of
+    /// within-class distances (each support exemplar's embedding to its
+    /// own class prototype), scaled by `margin`. Embeddings farther than
+    /// this from *every* prototype are unlike anything the device knows —
+    /// the "unknown activity" signal shown before a gesture is taught.
+    ///
+    /// Support exemplars are training data the contrastive objective has
+    /// pulled tightly around the prototypes, so `margin = 1` only accepts
+    /// near-replicas of training windows. A margin of 4–7 absorbs the
+    /// distribution shift of unseen users/sessions while still rejecting
+    /// genuinely novel activities (calibrate on your deployment with
+    /// `eval_open_set`).
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] on an empty support set; embedding
+    /// failures are propagated.
+    pub fn rejection_threshold(&self, percentile: f32, margin: f32) -> Result<f32> {
+        let mut dists = Vec::new();
+        for label in self.support_set.classes() {
+            let Some(proto) = self.ncm.prototype(label).map(<[f32]>::to_vec) else {
+                continue;
+            };
+            let samples = self
+                .support_set
+                .samples(label)
+                .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+            let embeddings = self.model.embed(&Matrix::from_rows(samples)?)?;
+            for r in 0..embeddings.rows() {
+                dists.push(self.ncm.metric().eval(embeddings.row(r), &proto));
+            }
+        }
+        if dists.is_empty() {
+            return Err(CoreError::InsufficientData(
+                "no support samples to calibrate a rejection threshold".into(),
+            ));
+        }
+        Ok(magneto_tensor::stats::percentile(&dists, percentile) * margin.max(0.0))
+    }
+
+    /// Apply an incremental update with freshly recorded features.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] when calibrating a class that does not
+    /// exist; [`CoreError::InvalidConfig`] when learning a "new" class
+    /// that already exists; [`CoreError::InsufficientData`] on an empty
+    /// recording. Training errors are propagated.
+    pub fn update(
+        &mut self,
+        label: &str,
+        new_features: &[Vec<f32>],
+        mode: UpdateMode,
+        config: &IncrementalConfig,
+        rng: &mut SeededRng,
+    ) -> Result<UpdateReport> {
+        if new_features.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "no recorded windows for `{label}`"
+            )));
+        }
+        match mode {
+            UpdateMode::NewActivity => {
+                if self.registry.contains(label) {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "class `{label}` already exists; use calibration"
+                    )));
+                }
+            }
+            UpdateMode::Calibration => {
+                if !self.registry.contains(label) {
+                    return Err(CoreError::UnknownClass(label.to_string()));
+                }
+            }
+        }
+
+        // Freeze the pre-update model as the distillation teacher.
+        let teacher = self.model.backbone().clone();
+
+        // Step 2 — support set update. Both modes end with `label`'s
+        // exemplars drawn from the fresh recording; for NewActivity the
+        // class simply did not exist before.
+        self.registry.get_or_insert(label);
+        self.support_set.set_class(label, new_features, rng)?;
+
+        // Step 3 — model re-training. With replay (the paper's method)
+        // the training set is the combined support set and the
+        // distillation term anchors *old-class* rows to the frozen
+        // teacher (the teacher knows nothing about the target class, so
+        // anchoring its rows would fight the contrastive term). Without
+        // replay (ablation) training sees only the fresh recording and
+        // distillation — if enabled — anchors those same rows, LwF-style,
+        // as the only remaining link to the old geometry.
+        let target_id = self
+            .registry
+            .id_of(label)
+            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+        let (features, labels, distill_mask): (Matrix, Vec<usize>, Vec<bool>) =
+            if config.disable_replay {
+                let features = Matrix::from_rows(new_features)?;
+                let labels = vec![target_id; new_features.len()];
+                let mask = vec![true; new_features.len()];
+                (features, labels, mask)
+            } else {
+                let (features, labels) = self.support_set.training_data(&self.registry)?;
+                let mask = labels.iter().map(|&l| l != target_id).collect();
+                (features, labels, mask)
+            };
+        let teacher_ref = if config.disable_distillation {
+            None
+        } else {
+            Some(&teacher)
+        };
+        let training = train_siamese_masked(
+            &mut self.model,
+            &features,
+            &labels,
+            teacher_ref,
+            Some(&distill_mask),
+            &config.trainer,
+        )?;
+
+        // Prototypes move with the embedding space.
+        self.rebuild_prototypes()?;
+        Ok(UpdateReport {
+            training,
+            classes_after: self.registry.labels().to_vec(),
+            new_windows: new_features.len(),
+        })
+    }
+}
+
+/// Mission (i) of the support set: class prototypes for the NCM.
+fn build_ncm(
+    model: &SiameseNetwork,
+    support_set: &SupportSet,
+    metric: DistanceMetric,
+) -> Result<NcmClassifier> {
+    let mut prototypes = Vec::with_capacity(support_set.num_classes());
+    for label in support_set.classes() {
+        let samples = support_set
+            .samples(label)
+            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+        let features = Matrix::from_rows(samples)?;
+        let embeddings = model.embed(&features)?;
+        let prototype = embeddings.mean_rows()?;
+        prototypes.push((label.to_string(), prototype));
+    }
+    NcmClassifier::new(metric, prototypes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support_set::SelectionStrategy;
+    use magneto_nn::Mlp;
+
+    /// Features for class `c`: a Gaussian blob around distinct corners.
+    fn class_features(c: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| {
+                (0..8)
+                    .map(|d| rng.normal_with(if d % 4 == c % 4 { 3.0 } else { 0.0 }, 0.5))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn base_state(seed: u64) -> ModelState {
+        let mut rng = SeededRng::new(seed);
+        let model = SiameseNetwork::new(Mlp::new(&[8, 16, 8], &mut rng).unwrap(), 1.0);
+        let mut support = SupportSet::new(20, SelectionStrategy::Herding);
+        let mut srng = SeededRng::new(seed + 1);
+        support
+            .set_class("walk", &class_features(0, 15, 10), &mut srng)
+            .unwrap();
+        support
+            .set_class("run", &class_features(1, 15, 11), &mut srng)
+            .unwrap();
+        let registry = LabelRegistry::from_labels(["walk", "run"]);
+        ModelState::assemble(model, support, registry, DistanceMetric::Euclidean).unwrap()
+    }
+
+    fn fast_config() -> IncrementalConfig {
+        IncrementalConfig {
+            trainer: TrainerConfig {
+                epochs: 6,
+                pairs_per_epoch: 128,
+                batch_pairs: 32,
+                learning_rate: 2e-3,
+                distill_weight: 2.0,
+                ..TrainerConfig::edge_update()
+            },
+            ..IncrementalConfig::default()
+        }
+    }
+
+    #[test]
+    fn assemble_builds_prototypes_for_all_classes() {
+        let state = base_state(1);
+        assert_eq!(state.ncm.num_classes(), 2);
+        assert_eq!(state.ncm.dim(), 8);
+        assert!(state.ncm.prototype("walk").is_some());
+    }
+
+    #[test]
+    fn learning_a_new_activity_adds_the_class() {
+        let mut state = base_state(2);
+        let mut rng = SeededRng::new(3);
+        let report = state
+            .update(
+                "gesture_hi",
+                &class_features(2, 12, 12),
+                UpdateMode::NewActivity,
+                &fast_config(),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(
+            report.classes_after,
+            vec!["walk".to_string(), "run".to_string(), "gesture_hi".to_string()]
+        );
+        assert_eq!(report.new_windows, 12);
+        assert_eq!(state.ncm.num_classes(), 3);
+        assert!(state.support_set.samples("gesture_hi").is_some());
+        // The new class is recognisable on fresh draws (majority).
+        let probes = class_features(2, 10, 13);
+        let correct = probes
+            .iter()
+            .filter(|p| {
+                let emb = state.model.embed_one(p).unwrap();
+                state.ncm.classify(&emb).unwrap().label == "gesture_hi"
+            })
+            .count();
+        assert!(correct >= 7, "new-class recall {correct}/10");
+    }
+
+    #[test]
+    fn old_classes_still_recognised_after_update() {
+        let mut state = base_state(4);
+        let mut rng = SeededRng::new(5);
+        state
+            .update(
+                "jump",
+                &class_features(3, 12, 14),
+                UpdateMode::NewActivity,
+                &fast_config(),
+                &mut rng,
+            )
+            .unwrap();
+        // Probe each old class with fresh draws from its distribution.
+        let mut correct = 0;
+        let mut total = 0;
+        for (c, label) in [(0usize, "walk"), (1usize, "run")] {
+            for probe in class_features(c, 10, 20 + c as u64) {
+                let emb = state.model.embed_one(&probe).unwrap();
+                if state.ncm.classify(&emb).unwrap().label == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc >= 0.8, "old-class accuracy after update: {acc}");
+    }
+
+    #[test]
+    fn new_activity_on_existing_class_rejected() {
+        let mut state = base_state(6);
+        let mut rng = SeededRng::new(7);
+        assert!(matches!(
+            state.update(
+                "walk",
+                &class_features(0, 5, 15),
+                UpdateMode::NewActivity,
+                &fast_config(),
+                &mut rng,
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn calibration_requires_existing_class() {
+        let mut state = base_state(8);
+        let mut rng = SeededRng::new(9);
+        assert!(matches!(
+            state.update(
+                "yoga",
+                &class_features(0, 5, 16),
+                UpdateMode::Calibration,
+                &fast_config(),
+                &mut rng,
+            ),
+            Err(CoreError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn calibration_replaces_support_data() {
+        let mut state = base_state(10);
+        let mut rng = SeededRng::new(11);
+        // The user's personal "walk" lives in a shifted region.
+        let personal = class_features(3, 12, 17);
+        state
+            .update(
+                "walk",
+                &personal,
+                UpdateMode::Calibration,
+                &fast_config(),
+                &mut rng,
+            )
+            .unwrap();
+        // Support exemplars for walk are now from the personal recording.
+        let stored = state.support_set.samples("walk").unwrap();
+        assert!(stored.iter().all(|s| personal.contains(s)));
+        // Class count unchanged.
+        assert_eq!(state.ncm.num_classes(), 2);
+    }
+
+    #[test]
+    fn empty_recording_rejected() {
+        let mut state = base_state(12);
+        let mut rng = SeededRng::new(13);
+        assert!(matches!(
+            state.update(
+                "x",
+                &[],
+                UpdateMode::NewActivity,
+                &fast_config(),
+                &mut rng
+            ),
+            Err(CoreError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn distillation_limits_embedding_drift() {
+        let mut with = base_state(14);
+        let mut without = base_state(14);
+        // Fix the comparison set: the *old-class* support features as they
+        // exist before the update, embedded by the pre-update model.
+        let (old_features, _) = with.support_set.training_data(&with.registry).unwrap();
+        let teacher_emb = with.model.embed(&old_features).unwrap();
+        let new_data = class_features(2, 12, 18);
+        let mut rng_a = SeededRng::new(15);
+        let mut rng_b = SeededRng::new(15);
+        let cfg = fast_config();
+        let cfg_no_distill = IncrementalConfig {
+            disable_distillation: true,
+            ..cfg
+        };
+        with.update("g", &new_data, UpdateMode::NewActivity, &cfg, &mut rng_a)
+            .unwrap();
+        without
+            .update("g", &new_data, UpdateMode::NewActivity, &cfg_no_distill, &mut rng_b)
+            .unwrap();
+        let drift = |state: &ModelState| {
+            state
+                .model
+                .embed(&old_features)
+                .unwrap()
+                .sub(&teacher_emb)
+                .unwrap()
+                .frobenius_norm()
+        };
+        let d_with = drift(&with);
+        let d_without = drift(&without);
+        assert!(
+            d_with < d_without,
+            "distilled drift {d_with} should be below undistilled {d_without}"
+        );
+    }
+
+    #[test]
+    fn no_replay_fine_tuning_drifts_more_than_magneto() {
+        // Mechanism check for the A1 ablation: training on the new
+        // recording alone (no replay, no distillation) lets the old
+        // classes' embeddings drift far more than the full MAGNETO update
+        // (replay + distillation). The accuracy-level consequences are
+        // exercised at system scale by `eval_forgetting`.
+        let base = base_state(20);
+        let (old_features, _) = base.support_set.training_data(&base.registry).unwrap();
+        let before = base.model.embed(&old_features).unwrap();
+        let drift = |state: &ModelState| {
+            state
+                .model
+                .embed(&old_features)
+                .unwrap()
+                .sub(&before)
+                .unwrap()
+                .frobenius_norm()
+        };
+        let new_data = class_features(2, 12, 41);
+        let mut cfg = fast_config();
+        cfg.trainer.epochs = 20;
+        cfg.trainer.learning_rate = 4e-3;
+
+        let mut magneto = base.clone();
+        let mut rng = SeededRng::new(21);
+        magneto
+            .update("g", &new_data, UpdateMode::NewActivity, &cfg, &mut rng)
+            .unwrap();
+
+        let mut naive = base.clone();
+        let naive_cfg = IncrementalConfig {
+            disable_replay: true,
+            disable_distillation: true,
+            ..cfg
+        };
+        let mut rng2 = SeededRng::new(21);
+        naive
+            .update("g", &new_data, UpdateMode::NewActivity, &naive_cfg, &mut rng2)
+            .unwrap();
+
+        let d_magneto = drift(&magneto);
+        let d_naive = drift(&naive);
+        assert!(
+            d_naive > d_magneto,
+            "naive drift {d_naive} should exceed magneto drift {d_magneto}"
+        );
+        // Both still know all three classes.
+        assert_eq!(naive.ncm.num_classes(), 3);
+        assert_eq!(magneto.ncm.num_classes(), 3);
+    }
+
+    #[test]
+    fn repeated_updates_accumulate_classes() {
+        let mut state = base_state(16);
+        let mut rng = SeededRng::new(17);
+        let mut cfg = fast_config();
+        cfg.trainer.epochs = 3;
+        for (i, label) in ["a", "b", "c"].iter().enumerate() {
+            state
+                .update(
+                    label,
+                    &class_features(i + 2, 10, 30 + i as u64),
+                    UpdateMode::NewActivity,
+                    &cfg,
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        assert_eq!(state.ncm.num_classes(), 5);
+        assert_eq!(state.registry.len(), 5);
+        assert_eq!(state.support_set.num_classes(), 5);
+    }
+}

@@ -1,0 +1,324 @@
+//! Real-time Edge inference.
+//!
+//! §3.3: "the Edge device is capable of performing the inference on the
+//! fly by reading its sensors and passing the captured measurements
+//! sequentially from the pre-processing function to the pre-trained
+//! model"; §4.2.1 claims "imperceptible prediction latency, which is only
+//! a few milliseconds". This module provides the per-window inference
+//! path with latency instrumentation, plus a streaming session that
+//! segments a live sensor stream and majority-vote-smooths the label
+//! sequence for the UI.
+
+use crate::ncm::NcmClassifier;
+use crate::Result;
+use magneto_dsp::{PreprocessingPipeline, segment::Segmenter};
+use magneto_nn::SiameseNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One inference outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Winning activity label.
+    pub label: String,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f32,
+    /// Distance to each class prototype (classifier label order).
+    pub distances: Vec<f32>,
+    /// Wall-clock time of the full pre-process → embed → classify path.
+    pub latency: Duration,
+}
+
+/// Aggregated latency statistics (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of measurements.
+    pub count: usize,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// Maximum (µs).
+    pub max_us: f64,
+}
+
+/// Records latencies and summarises them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one measurement.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_secs_f64() * 1e6);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Summarise.
+    pub fn stats(&self) -> LatencyStats {
+        if self.samples_us.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| {
+            let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        LatencyStats {
+            count: sorted.len(),
+            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_us: pct(50.0),
+            p95_us: pct(95.0),
+            p99_us: pct(99.0),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The per-window inference path: pipeline → embedding → NCM.
+pub(crate) fn infer_window(
+    pipeline: &PreprocessingPipeline,
+    model: &SiameseNetwork,
+    ncm: &NcmClassifier,
+    channels: &[Vec<f32>],
+) -> Result<Prediction> {
+    let start = Instant::now();
+    let features = pipeline.process(channels)?;
+    let embedding = model.embed_one(&features)?;
+    let decision = ncm.classify(&embedding)?;
+    Ok(Prediction {
+        label: decision.label,
+        confidence: decision.confidence,
+        distances: decision.distances,
+        latency: start.elapsed(),
+    })
+}
+
+/// A live streaming session: feeds raw 22-channel samples into a
+/// segmenter and smooths window predictions with a majority vote over the
+/// last `k` windows (the GUI's stable label, Figure 3a–b).
+#[derive(Debug)]
+pub struct StreamingSession {
+    segmenter: Segmenter,
+    history: VecDeque<String>,
+    smoothing_window: usize,
+}
+
+/// A smoothed streaming prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothedPrediction {
+    /// The raw per-window prediction that triggered this output.
+    pub raw: Prediction,
+    /// Majority label over the smoothing window.
+    pub smoothed_label: String,
+    /// Fraction of recent windows agreeing with the smoothed label.
+    pub agreement: f32,
+}
+
+impl StreamingSession {
+    /// Create a session for `channels`-channel input with `window_len`
+    /// samples per window and a vote over `smoothing_window` windows.
+    pub fn new(channels: usize, window_len: usize, smoothing_window: usize) -> Self {
+        StreamingSession {
+            segmenter: Segmenter::new(channels, window_len, window_len),
+            history: VecDeque::with_capacity(smoothing_window.max(1)),
+            smoothing_window: smoothing_window.max(1),
+        }
+    }
+
+    /// Push one raw sample. When a window completes, runs inference and
+    /// returns the smoothed prediction.
+    ///
+    /// # Errors
+    /// Propagates inference errors on completed windows.
+    pub fn push_sample(
+        &mut self,
+        sample: &[f32],
+        pipeline: &PreprocessingPipeline,
+        model: &SiameseNetwork,
+        ncm: &NcmClassifier,
+    ) -> Result<Option<SmoothedPrediction>> {
+        let Some(window) = self.segmenter.push(sample) else {
+            return Ok(None);
+        };
+        let raw = infer_window(pipeline, model, ncm, &window)?;
+        if self.history.len() == self.smoothing_window {
+            self.history.pop_front();
+        }
+        self.history.push_back(raw.label.clone());
+        // Majority vote.
+        let mut best_label = raw.label.clone();
+        let mut best_count = 0usize;
+        for l in &self.history {
+            let c = self.history.iter().filter(|x| *x == l).count();
+            if c > best_count {
+                best_count = c;
+                best_label = l.clone();
+            }
+        }
+        let agreement = best_count as f32 / self.history.len() as f32;
+        Ok(Some(SmoothedPrediction {
+            raw,
+            smoothed_label: best_label,
+            agreement,
+        }))
+    }
+
+    /// Windows inferred so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.segmenter.emitted()
+    }
+
+    /// Clear segmentation and vote history (activity change).
+    pub fn reset(&mut self) {
+        self.segmenter.reset();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ncm::NcmClassifier;
+    use magneto_dsp::PipelineConfig;
+    use magneto_nn::Mlp;
+    use magneto_tensor::vector::DistanceMetric;
+    use magneto_tensor::SeededRng;
+
+    fn fixture() -> (PreprocessingPipeline, SiameseNetwork, NcmClassifier) {
+        let pipeline = PreprocessingPipeline::new(PipelineConfig::default());
+        let mut rng = SeededRng::new(1);
+        let model = SiameseNetwork::new(Mlp::new(&[80, 16, 4], &mut rng).unwrap(), 1.0);
+        // Prototypes straddling the embedding of a zero-ish window.
+        let ncm = NcmClassifier::new(
+            DistanceMetric::Euclidean,
+            vec![
+                ("still".into(), vec![0.0; 4]),
+                ("walk".into(), vec![100.0; 4]),
+            ],
+        )
+        .unwrap();
+        (pipeline, model, ncm)
+    }
+
+    fn window(value: f32) -> Vec<Vec<f32>> {
+        vec![vec![value; 120]; 22]
+    }
+
+    #[test]
+    fn infer_window_produces_prediction() {
+        let (pipeline, model, ncm) = fixture();
+        let pred = infer_window(&pipeline, &model, &ncm, &window(0.1)).unwrap();
+        assert!(["still", "walk"].contains(&pred.label.as_str()));
+        assert!(pred.confidence > 0.0 && pred.confidence <= 1.0);
+        assert_eq!(pred.distances.len(), 2);
+        assert!(pred.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_recorder_percentiles() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.stats(), LatencyStats::default());
+        for ms in 1..=100u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.count, 100);
+        assert_eq!(rec.len(), 100);
+        assert!((stats.mean_us - 50_500.0).abs() < 1.0);
+        assert!((stats.p50_us - 50_000.0).abs() < 2000.0);
+        assert!(stats.p95_us >= 94_000.0 && stats.p95_us <= 96_000.0);
+        assert!(stats.p99_us >= 98_000.0);
+        assert_eq!(stats.max_us, 100_000.0);
+    }
+
+    #[test]
+    fn streaming_session_emits_one_prediction_per_window() {
+        let (pipeline, model, ncm) = fixture();
+        let mut session = StreamingSession::new(22, 120, 3);
+        let mut outputs = 0;
+        for i in 0..360 {
+            let sample = vec![(i % 7) as f32 * 0.01; 22];
+            if session
+                .push_sample(&sample, &pipeline, &model, &ncm)
+                .unwrap()
+                .is_some()
+            {
+                outputs += 1;
+            }
+        }
+        assert_eq!(outputs, 3);
+        assert_eq!(session.windows_seen(), 3);
+    }
+
+    #[test]
+    fn smoothing_majority_vote() {
+        let (pipeline, model, ncm) = fixture();
+        let mut session = StreamingSession::new(22, 120, 5);
+        let mut last = None;
+        for i in 0..(120 * 5) {
+            let sample = vec![0.05 + (i as f32 * 0.001).sin() * 0.01; 22];
+            if let Some(p) = session
+                .push_sample(&sample, &pipeline, &model, &ncm)
+                .unwrap()
+            {
+                // Agreement is a valid fraction and the smoothed label is
+                // one of the known classes.
+                assert!((0.0..=1.0).contains(&p.agreement));
+                assert!(["still", "walk"].contains(&p.smoothed_label.as_str()));
+                last = Some(p);
+            }
+        }
+        // With a stationary input the vote converges to full agreement.
+        assert_eq!(last.unwrap().agreement, 1.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let (pipeline, model, ncm) = fixture();
+        let mut session = StreamingSession::new(22, 120, 3);
+        for _ in 0..120 {
+            session
+                .push_sample(&[0.1; 22], &pipeline, &model, &ncm)
+                .unwrap();
+        }
+        assert_eq!(session.windows_seen(), 1);
+        session.reset();
+        assert_eq!(session.windows_seen(), 0);
+    }
+
+    #[test]
+    fn malformed_sample_is_ignored() {
+        let (pipeline, model, ncm) = fixture();
+        let mut session = StreamingSession::new(22, 4, 1);
+        // Wrong arity: ignored, no window forms.
+        for _ in 0..10 {
+            let out = session
+                .push_sample(&[1.0, 2.0], &pipeline, &model, &ncm)
+                .unwrap();
+            assert!(out.is_none());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Dynamic class registry.
+//!
+//! MAGNETO's class set is *open*: the device starts with the five
+//! pre-trained activities and grows as the user teaches it new ones
+//! (§3.3 "the learning process can be repeated to accommodate the
+//! addition of multiple activities"). [`LabelRegistry`] maps stable label
+//! strings to dense integer ids (insertion-ordered) so the learning code
+//! can work with integer classes while the API surface stays string-based.
+
+use serde::{Deserialize, Serialize};
+
+/// Bidirectional label ↔ dense-id registry with stable insertion order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LabelRegistry {
+    labels: Vec<String>,
+}
+
+impl LabelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of labels (first occurrence wins).
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut reg = LabelRegistry::new();
+        for l in labels {
+            reg.get_or_insert(l.as_ref());
+        }
+        reg
+    }
+
+    /// Id for `label`, inserting it if new.
+    pub fn get_or_insert(&mut self, label: &str) -> usize {
+        match self.id_of(label) {
+            Some(id) => id,
+            None => {
+                self.labels.push(label.to_string());
+                self.labels.len() - 1
+            }
+        }
+    }
+
+    /// Id of an existing label.
+    pub fn id_of(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// Label for an id.
+    pub fn label_of(&self, id: usize) -> Option<&str> {
+        self.labels.get(id).map(String::as_str)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All labels in id order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Whether the registry knows `label`.
+    pub fn contains(&self, label: &str) -> bool {
+        self.id_of(label).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_ids() {
+        let mut reg = LabelRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.get_or_insert("walk"), 0);
+        assert_eq!(reg.get_or_insert("run"), 1);
+        assert_eq!(reg.get_or_insert("walk"), 0); // idempotent
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.label_of(1), Some("run"));
+        assert_eq!(reg.label_of(2), None);
+        assert_eq!(reg.id_of("run"), Some(1));
+        assert_eq!(reg.id_of("swim"), None);
+        assert!(reg.contains("walk"));
+        assert!(!reg.contains("swim"));
+    }
+
+    #[test]
+    fn from_labels_dedups() {
+        let reg = LabelRegistry::from_labels(["a", "b", "a", "c"]);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.labels(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn growth_preserves_existing_ids() {
+        // The crucial incremental-learning property: adding `gesture_hi`
+        // must not renumber the base classes.
+        let mut reg = LabelRegistry::from_labels(["drive", "e_scooter", "run", "still", "walk"]);
+        let before: Vec<usize> = reg
+            .labels()
+            .to_vec()
+            .iter()
+            .map(|l| reg.id_of(l).unwrap())
+            .collect();
+        let new_id = reg.get_or_insert("gesture_hi");
+        assert_eq!(new_id, 5);
+        for (i, l) in ["drive", "e_scooter", "run", "still", "walk"].iter().enumerate() {
+            assert_eq!(reg.id_of(l), Some(before[i]));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let reg = LabelRegistry::from_labels(["x", "y"]);
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: LabelRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(reg, back);
+    }
+}

@@ -1,0 +1,281 @@
+//! Evaluation metrics: confusion matrix, accuracy, macro-F1 and the
+//! catastrophic-forgetting measures used by the A1 experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Label-keyed confusion matrix.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// `counts[truth][predicted]` (nested string keys so the matrix
+    /// serialises to plain JSON).
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+    labels: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(truth, predicted)` observation.
+    pub fn record(&mut self, truth: &str, predicted: &str) {
+        for l in [truth, predicted] {
+            if !self.labels.iter().any(|x| x == l) {
+                self.labels.push(l.to_string());
+            }
+        }
+        *self
+            .counts
+            .entry(truth.to_string())
+            .or_default()
+            .entry(predicted.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// All labels seen, in first-seen order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.values().flat_map(|row| row.values()).sum()
+    }
+
+    /// Count for a `(truth, predicted)` cell.
+    pub fn count(&self, truth: &str, predicted: &str) -> usize {
+        self.counts
+            .get(truth)
+            .and_then(|row| row.get(predicted))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Overall accuracy; `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = self
+            .counts
+            .iter()
+            .filter_map(|(t, row)| row.get(t))
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall (per-class accuracy) for one label; `None` if the label has
+    /// no ground-truth observations.
+    pub fn recall(&self, label: &str) -> Option<f64> {
+        let truth_total: usize = self
+            .counts
+            .get(label)
+            .map(|row| row.values().sum())
+            .unwrap_or(0);
+        if truth_total == 0 {
+            return None;
+        }
+        Some(self.count(label, label) as f64 / truth_total as f64)
+    }
+
+    /// Precision for one label; `None` if the label was never predicted.
+    pub fn precision(&self, label: &str) -> Option<f64> {
+        let pred_total: usize = self
+            .counts
+            .values()
+            .filter_map(|row| row.get(label))
+            .sum();
+        if pred_total == 0 {
+            return None;
+        }
+        Some(self.count(label, label) as f64 / pred_total as f64)
+    }
+
+    /// F1 for one label; `None` when undefined.
+    pub fn f1(&self, label: &str) -> Option<f64> {
+        let p = self.precision(label)?;
+        let r = self.recall(label)?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over labels with ground truth; `0.0` when empty.
+    pub fn macro_f1(&self) -> f64 {
+        let scores: Vec<f64> = self
+            .labels
+            .iter()
+            .filter_map(|l| self.f1(l).or(Some(0.0)).filter(|_| self.recall(l).is_some()))
+            .collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+
+    /// Mean accuracy over a subset of labels (old classes in forgetting
+    /// experiments); `0.0` if none of them have observations.
+    pub fn subset_accuracy(&self, labels: &[&str]) -> f64 {
+        let recalls: Vec<f64> = labels.iter().filter_map(|l| self.recall(l)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+
+    /// Render the matrix as an aligned text table (experiment reports).
+    pub fn to_table(&self) -> String {
+        let mut labels = self.labels.clone();
+        labels.sort();
+        let width = labels.iter().map(String::len).max().unwrap_or(5).max(5) + 2;
+        let mut out = String::new();
+        out.push_str(&format!("{:>width$}", "t\\p", width = width));
+        for p in &labels {
+            out.push_str(&format!("{p:>width$}"));
+        }
+        out.push('\n');
+        for t in &labels {
+            out.push_str(&format!("{t:>width$}"));
+            for p in &labels {
+                out.push_str(&format!("{:>width$}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Forgetting measures comparing old-class accuracy before and after a
+/// model update (the paper's catastrophic-forgetting concern, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForgettingReport {
+    /// Mean old-class accuracy before the update.
+    pub old_acc_before: f64,
+    /// Mean old-class accuracy after the update.
+    pub old_acc_after: f64,
+    /// Accuracy on the newly learned class after the update.
+    pub new_acc_after: f64,
+}
+
+impl ForgettingReport {
+    /// Forgetting = accuracy lost on old classes (positive = forgot).
+    pub fn forgetting(&self) -> f64 {
+        self.old_acc_before - self.old_acc_after
+    }
+
+    /// Backward transfer (negative forgetting is positive transfer).
+    pub fn backward_transfer(&self) -> f64 {
+        -self.forgetting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new();
+        // walk: 8/10 correct, 2 confused as run.
+        for _ in 0..8 {
+            cm.record("walk", "walk");
+        }
+        for _ in 0..2 {
+            cm.record("walk", "run");
+        }
+        // run: 9/10 correct.
+        for _ in 0..9 {
+            cm.record("run", "run");
+        }
+        cm.record("run", "walk");
+        cm
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let cm = sample();
+        assert_eq!(cm.total(), 20);
+        assert!((cm.accuracy() - 0.85).abs() < 1e-12);
+        assert_eq!(cm.count("walk", "run"), 2);
+        assert_eq!(cm.count("run", "nope"), 0);
+        assert_eq!(cm.labels().len(), 2);
+    }
+
+    #[test]
+    fn recall_precision_f1() {
+        let cm = sample();
+        assert!((cm.recall("walk").unwrap() - 0.8).abs() < 1e-12);
+        assert!((cm.recall("run").unwrap() - 0.9).abs() < 1e-12);
+        // precision(walk) = 8 / 9
+        assert!((cm.precision("walk").unwrap() - 8.0 / 9.0).abs() < 1e-12);
+        assert!(cm.recall("nope").is_none());
+        assert!(cm.precision("nope").is_none());
+        let f1 = cm.f1("walk").unwrap();
+        let p = 8.0 / 9.0;
+        let r = 0.8;
+        assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let cm = sample();
+        let expected = (cm.f1("walk").unwrap() + cm.f1("run").unwrap()) / 2.0;
+        assert!((cm.macro_f1() - expected).abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new().macro_f1(), 0.0);
+        assert_eq!(ConfusionMatrix::new().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn subset_accuracy_for_old_classes() {
+        let mut cm = sample();
+        // A new class with poor accuracy must not affect the old subset.
+        cm.record("gesture_hi", "walk");
+        let old = cm.subset_accuracy(&["walk", "run"]);
+        assert!((old - 0.85).abs() < 1e-12);
+        assert_eq!(cm.subset_accuracy(&["missing"]), 0.0);
+    }
+
+    #[test]
+    fn a_never_predicted_class_has_zero_f1_in_macro() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record("a", "a");
+        cm.record("b", "a"); // b never predicted correctly nor at all
+        let macro_f1 = cm.macro_f1();
+        assert!(macro_f1 < 0.9);
+        assert!(cm.f1("b").is_none()); // precision undefined
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let cm = sample();
+        let table = cm.to_table();
+        assert!(table.contains("walk"));
+        assert!(table.contains("run"));
+        assert!(table.contains('8'));
+        assert!(table.contains('9'));
+    }
+
+    #[test]
+    fn forgetting_report_math() {
+        let r = ForgettingReport {
+            old_acc_before: 0.9,
+            old_acc_after: 0.7,
+            new_acc_after: 0.95,
+        };
+        assert!((r.forgetting() - 0.2).abs() < 1e-12);
+        assert!((r.backward_transfer() + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cm = sample();
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(cm, back);
+    }
+}

@@ -1,0 +1,309 @@
+//! Nearest-Class-Mean classifier over embeddings.
+//!
+//! §3.1: "After learning a class-separable embedding space, a nearest
+//! class mean (NCM) classifier can be built to do the Edge Inference."
+//! NCM is the natural classifier for incremental learning: adding a class
+//! is *just adding a prototype* — no classifier weights to retrain, which
+//! is exactly why Mensink et al. and the companion EDBT'23 paper use it.
+
+use crate::error::CoreError;
+use crate::Result;
+use magneto_tensor::vector::{self, DistanceMetric};
+use serde::{Deserialize, Serialize};
+
+/// A fitted NCM classifier: one prototype (mean embedding) per class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NcmClassifier {
+    metric: DistanceMetric,
+    labels: Vec<String>,
+    prototypes: Vec<Vec<f32>>,
+}
+
+/// Classification outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcmDecision {
+    /// Winning class label.
+    pub label: String,
+    /// Soft confidence in `[0, 1]`: softmax over negated distances.
+    pub confidence: f32,
+    /// Distance to every prototype, in label order.
+    pub distances: Vec<f32>,
+}
+
+impl NcmClassifier {
+    /// Build from `(label, prototype)` pairs.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] when empty;
+    /// [`CoreError::InvalidConfig`] on inconsistent prototype dims.
+    pub fn new(
+        metric: DistanceMetric,
+        prototypes: Vec<(String, Vec<f32>)>,
+    ) -> Result<Self> {
+        if prototypes.is_empty() {
+            return Err(CoreError::InsufficientData("no prototypes".into()));
+        }
+        let dim = prototypes[0].1.len();
+        if dim == 0 || prototypes.iter().any(|(_, p)| p.len() != dim) {
+            return Err(CoreError::InvalidConfig(
+                "prototype dimension mismatch".into(),
+            ));
+        }
+        let (labels, protos) = prototypes.into_iter().unzip();
+        Ok(NcmClassifier {
+            metric,
+            labels,
+            prototypes: protos,
+        })
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.prototypes.first().map_or(0, Vec::len)
+    }
+
+    /// Class labels in prototype order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Distance metric in use.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The prototype for `label`.
+    pub fn prototype(&self, label: &str) -> Option<&[f32]> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| self.prototypes[i].as_slice())
+    }
+
+    /// Add (or replace) a class prototype — the incremental-learning hook.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] on dimension mismatch.
+    pub fn upsert_prototype(&mut self, label: &str, prototype: Vec<f32>) -> Result<()> {
+        if prototype.len() != self.dim() {
+            return Err(CoreError::InvalidConfig(format!(
+                "prototype dim {} != classifier dim {}",
+                prototype.len(),
+                self.dim()
+            )));
+        }
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => self.prototypes[i] = prototype,
+            None => {
+                self.labels.push(label.to_string());
+                self.prototypes.push(prototype);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a class.
+    pub fn remove(&mut self, label: &str) -> bool {
+        if let Some(i) = self.labels.iter().position(|l| l == label) {
+            self.labels.remove(i);
+            self.prototypes.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Classify an embedding with open-set rejection: returns `None` when
+    /// the nearest prototype is farther than `threshold` — the embedding
+    /// belongs to no known activity. This is what lets the demo device
+    /// say "unknown activity" for a gesture it has not been taught yet,
+    /// instead of mislabelling it as one of the base five.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] on dimension mismatch.
+    pub fn classify_open_set(
+        &self,
+        embedding: &[f32],
+        threshold: f32,
+    ) -> Result<Option<NcmDecision>> {
+        let decision = self.classify(embedding)?;
+        let min_dist = decision
+            .distances
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        Ok((min_dist <= threshold).then_some(decision))
+    }
+
+    /// Classify an embedding.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] on dimension mismatch.
+    pub fn classify(&self, embedding: &[f32]) -> Result<NcmDecision> {
+        if embedding.len() != self.dim() {
+            return Err(CoreError::InvalidConfig(format!(
+                "embedding dim {} != classifier dim {}",
+                embedding.len(),
+                self.dim()
+            )));
+        }
+        let distances: Vec<f32> = self
+            .prototypes
+            .iter()
+            .map(|p| self.metric.eval(embedding, p))
+            .collect();
+        let winner = vector::argmin(&distances).expect("non-empty prototypes");
+        // Confidence: softmax over negative distances. Scale-free enough
+        // for UI display and vote weighting.
+        let neg: Vec<f32> = distances.iter().map(|d| -d).collect();
+        let probs = vector::softmax(&neg);
+        Ok(NcmDecision {
+            label: self.labels[winner].clone(),
+            confidence: probs[winner],
+            distances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class() -> NcmClassifier {
+        NcmClassifier::new(
+            DistanceMetric::Euclidean,
+            vec![
+                ("walk".into(), vec![0.0, 0.0]),
+                ("run".into(), vec![10.0, 0.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classifies_by_nearest_prototype() {
+        let ncm = two_class();
+        let d = ncm.classify(&[1.0, 0.5]).unwrap();
+        assert_eq!(d.label, "walk");
+        assert!(d.confidence > 0.5);
+        assert_eq!(d.distances.len(), 2);
+        let d2 = ncm.classify(&[9.0, 0.0]).unwrap();
+        assert_eq!(d2.label, "run");
+    }
+
+    #[test]
+    fn confidence_degrades_toward_boundary() {
+        let ncm = two_class();
+        let near = ncm.classify(&[0.5, 0.0]).unwrap();
+        let boundary = ncm.classify(&[5.0, 0.0]).unwrap();
+        assert!(near.confidence > boundary.confidence);
+        assert!((boundary.confidence - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            NcmClassifier::new(DistanceMetric::Euclidean, vec![]),
+            Err(CoreError::InsufficientData(_))
+        ));
+        assert!(matches!(
+            NcmClassifier::new(
+                DistanceMetric::Euclidean,
+                vec![("a".into(), vec![1.0]), ("b".into(), vec![1.0, 2.0])]
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(NcmClassifier::new(
+            DistanceMetric::Euclidean,
+            vec![("a".into(), vec![])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn upsert_adds_class_without_disturbing_others() {
+        let mut ncm = two_class();
+        ncm.upsert_prototype("gesture_hi", vec![0.0, 10.0]).unwrap();
+        assert_eq!(ncm.num_classes(), 3);
+        // Old classes still classify identically.
+        assert_eq!(ncm.classify(&[1.0, 0.0]).unwrap().label, "walk");
+        assert_eq!(ncm.classify(&[0.0, 9.0]).unwrap().label, "gesture_hi");
+        // Replace an existing prototype.
+        ncm.upsert_prototype("walk", vec![-5.0, 0.0]).unwrap();
+        assert_eq!(ncm.prototype("walk").unwrap(), &[-5.0, 0.0]);
+        assert_eq!(ncm.num_classes(), 3);
+        // Dimension mismatch rejected.
+        assert!(ncm.upsert_prototype("bad", vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn remove_class() {
+        let mut ncm = two_class();
+        assert!(ncm.remove("walk"));
+        assert!(!ncm.remove("walk"));
+        assert_eq!(ncm.num_classes(), 1);
+        assert_eq!(ncm.classify(&[0.0, 0.0]).unwrap().label, "run");
+    }
+
+    #[test]
+    fn dimension_checked_on_classify() {
+        let ncm = two_class();
+        assert!(ncm.classify(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cosine_metric_ignores_magnitude() {
+        let ncm = NcmClassifier::new(
+            DistanceMetric::Cosine,
+            vec![
+                ("x".into(), vec![1.0, 0.0]),
+                ("y".into(), vec![0.0, 1.0]),
+            ],
+        )
+        .unwrap();
+        // A huge vector along x still lands on x.
+        assert_eq!(ncm.classify(&[1000.0, 1.0]).unwrap().label, "x");
+        assert_eq!(ncm.metric(), DistanceMetric::Cosine);
+    }
+
+    #[test]
+    fn accessors() {
+        let ncm = two_class();
+        assert_eq!(ncm.dim(), 2);
+        assert_eq!(ncm.labels(), &["walk".to_string(), "run".to_string()]);
+        assert!(ncm.prototype("nope").is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ncm = two_class();
+        let json = serde_json::to_string(&ncm).unwrap();
+        let back: NcmClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(ncm, back);
+    }
+
+    #[test]
+    fn open_set_rejects_far_embeddings() {
+        let ncm = two_class();
+        // Near the walk prototype: accepted.
+        let near = ncm.classify_open_set(&[0.5, 0.0], 2.0).unwrap();
+        assert_eq!(near.unwrap().label, "walk");
+        // Far from everything: rejected.
+        let far = ncm.classify_open_set(&[5.0, 100.0], 2.0).unwrap();
+        assert!(far.is_none());
+        // A huge threshold accepts anything.
+        assert!(ncm
+            .classify_open_set(&[5.0, 100.0], 1e9)
+            .unwrap()
+            .is_some());
+        // Boundary is inclusive.
+        assert!(ncm.classify_open_set(&[2.0, 0.0], 2.0).unwrap().is_some());
+        // Dimension still checked.
+        assert!(ncm.classify_open_set(&[1.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Privacy ledger enforcing the paper's Definition 1.
+//!
+//! "Given a Cloud server and Edge device, no user data is allowed to be
+//! transferred from Edge to Cloud. However, it is less restrict to pull
+//! data from Cloud to Edge." (§3, Definition 1)
+//!
+//! Every simulated transfer in the reproduction flows through a
+//! [`PrivacyLedger`], so the Figure-1 experiment can report *measured*
+//! uplink bytes for both protocols, and the Edge runtime can prove it
+//! never uploaded anything.
+
+use crate::error::CoreError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction between Cloud and Edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Cloud → Edge (allowed under Definition 1).
+    CloudToEdge,
+    /// Edge → Cloud (user data: forbidden under Definition 1).
+    EdgeToCloud,
+}
+
+/// Policy applied to Edge → Cloud transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PrivacyPolicy {
+    /// MAGNETO's policy: reject every Edge → Cloud payload.
+    #[default]
+    EdgeOnly,
+    /// The Cloud-based baseline of Figure 1: uploads allowed (and
+    /// counted — that count *is* the privacy cost being measured).
+    AllowUplink,
+}
+
+/// One recorded transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Direction of the transfer.
+    pub direction: Direction,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Human-readable payload description.
+    pub description: String,
+}
+
+/// Append-only ledger of simulated Cloud/Edge transfers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    policy: PrivacyPolicy,
+    records: Vec<TransferRecord>,
+}
+
+impl PrivacyLedger {
+    /// Ledger with MAGNETO's Edge-only policy.
+    pub fn edge_only() -> Self {
+        PrivacyLedger {
+            policy: PrivacyPolicy::EdgeOnly,
+            records: Vec::new(),
+        }
+    }
+
+    /// Ledger for the Cloud-based baseline (uplink permitted, counted).
+    pub fn allow_uplink() -> Self {
+        PrivacyLedger {
+            policy: PrivacyPolicy::AllowUplink,
+            records: Vec::new(),
+        }
+    }
+
+    /// Active policy.
+    pub fn policy(&self) -> PrivacyPolicy {
+        self.policy
+    }
+
+    /// Record a Cloud → Edge download (always allowed).
+    pub fn record_download(&mut self, bytes: usize, description: impl Into<String>) {
+        self.records.push(TransferRecord {
+            direction: Direction::CloudToEdge,
+            bytes,
+            description: description.into(),
+        });
+    }
+
+    /// Attempt an Edge → Cloud upload. Under [`PrivacyPolicy::EdgeOnly`]
+    /// this fails with [`CoreError::PrivacyViolation`] and records
+    /// nothing; under [`PrivacyPolicy::AllowUplink`] it is recorded.
+    ///
+    /// # Errors
+    /// [`CoreError::PrivacyViolation`] when the policy forbids uplink.
+    pub fn try_upload(&mut self, bytes: usize, description: impl Into<String>) -> Result<()> {
+        let description = description.into();
+        match self.policy {
+            PrivacyPolicy::EdgeOnly => Err(CoreError::PrivacyViolation { description, bytes }),
+            PrivacyPolicy::AllowUplink => {
+                self.records.push(TransferRecord {
+                    direction: Direction::EdgeToCloud,
+                    bytes,
+                    description,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Total Cloud → Edge bytes.
+    pub fn downlink_bytes(&self) -> usize {
+        self.sum(Direction::CloudToEdge)
+    }
+
+    /// Total Edge → Cloud bytes — MAGNETO's headline privacy metric
+    /// (must be 0).
+    pub fn uplink_bytes(&self) -> usize {
+        self.sum(Direction::EdgeToCloud)
+    }
+
+    fn sum(&self, dir: Direction) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.direction == dir)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Panic unless zero bytes ever left the device — used as a hard
+    /// assertion at the end of every Edge experiment.
+    ///
+    /// # Panics
+    /// If any uplink was recorded.
+    pub fn assert_no_uplink(&self) {
+        assert_eq!(
+            self.uplink_bytes(),
+            0,
+            "privacy invariant violated: {} bytes left the device",
+            self.uplink_bytes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_only_blocks_and_reports_uploads() {
+        let mut ledger = PrivacyLedger::edge_only();
+        let err = ledger.try_upload(4096, "raw sensor windows").unwrap_err();
+        match err {
+            CoreError::PrivacyViolation { bytes, description } => {
+                assert_eq!(bytes, 4096);
+                assert!(description.contains("raw"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Nothing recorded; the invariant holds.
+        assert_eq!(ledger.uplink_bytes(), 0);
+        assert!(ledger.records().is_empty());
+        ledger.assert_no_uplink();
+    }
+
+    #[test]
+    fn downloads_always_allowed() {
+        let mut ledger = PrivacyLedger::edge_only();
+        ledger.record_download(5_000_000, "edge bundle");
+        ledger.record_download(100, "config update");
+        assert_eq!(ledger.downlink_bytes(), 5_000_100);
+        assert_eq!(ledger.uplink_bytes(), 0);
+        assert_eq!(ledger.records().len(), 2);
+        ledger.assert_no_uplink();
+    }
+
+    #[test]
+    fn baseline_policy_counts_uplink() {
+        let mut ledger = PrivacyLedger::allow_uplink();
+        ledger.try_upload(10_560, "one raw window").unwrap();
+        ledger.try_upload(10_560, "one raw window").unwrap();
+        assert_eq!(ledger.uplink_bytes(), 21_120);
+        assert_eq!(ledger.policy(), PrivacyPolicy::AllowUplink);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy invariant violated")]
+    fn assert_no_uplink_panics_when_leaked() {
+        let mut ledger = PrivacyLedger::allow_uplink();
+        ledger.try_upload(1, "leak").unwrap();
+        ledger.assert_no_uplink();
+    }
+
+    #[test]
+    fn default_is_edge_only() {
+        assert_eq!(PrivacyLedger::default().policy(), PrivacyPolicy::EdgeOnly);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ledger = PrivacyLedger::allow_uplink();
+        ledger.record_download(10, "x");
+        ledger.try_upload(20, "y").unwrap();
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: PrivacyLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(ledger, back);
+    }
+}

@@ -1,0 +1,193 @@
+//! Device-to-device activity sharing — Cloud-free transfer of a learned
+//! class.
+//!
+//! The paper's privacy model (Definition 1) forbids Edge → Cloud
+//! transfers but says nothing against *peer-to-peer* exchange the user
+//! initiates ("send my `gesture_hi` to my partner's phone over
+//! Bluetooth/AirDrop"). A [`ClassPack`] is the minimal artefact that
+//! makes a learned activity portable: the label plus its support
+//! exemplars (pre-processed feature vectors — never raw sensor data).
+//! The receiving device *learns* the pack exactly as if its own user had
+//! recorded it, so its embedding space and other classes are preserved by
+//! the usual incremental-update machinery.
+
+use crate::error::CoreError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use magneto_tensor::serialize as ts;
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 4] = b"MGCP";
+const VERSION: u32 = 1;
+
+/// A portable learned activity: label + feature exemplars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassPack {
+    /// Class label.
+    pub label: String,
+    /// Pre-processed 80-d feature exemplars (no raw sensor data).
+    pub exemplars: Vec<Vec<f32>>,
+    /// Feature dimensionality (sanity-checked on import).
+    pub feature_dim: usize,
+}
+
+impl ClassPack {
+    /// Build a pack from exemplars.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] on empty exemplars,
+    /// [`CoreError::InvalidConfig`] on ragged dimensions.
+    pub fn new(label: impl Into<String>, exemplars: Vec<Vec<f32>>) -> Result<Self> {
+        let label = label.into();
+        let Some(first) = exemplars.first() else {
+            return Err(CoreError::InsufficientData(format!(
+                "no exemplars for class pack `{label}`"
+            )));
+        };
+        let feature_dim = first.len();
+        if feature_dim == 0 || exemplars.iter().any(|e| e.len() != feature_dim) {
+            return Err(CoreError::InvalidConfig(
+                "class pack exemplars have inconsistent dimensions".into(),
+            ));
+        }
+        Ok(ClassPack {
+            label,
+            exemplars,
+            feature_dim,
+        })
+    }
+
+    /// Number of exemplars.
+    pub fn len(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// `true` when no exemplars are present (cannot occur for a validly
+    /// constructed pack).
+    pub fn is_empty(&self) -> bool {
+        self.exemplars.is_empty()
+    }
+
+    /// Wire size when serialised.
+    pub fn encoded_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serialise for peer-to-peer transfer:
+    ///
+    /// ```text
+    /// pack := "MGCP" | u32 version | string label | u32 count | f32vec*
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32 + self.exemplars.len() * (4 + self.feature_dim * 4));
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        ts::encode_string(&self.label, &mut buf);
+        buf.put_u32_le(self.exemplars.len() as u32);
+        for e in &self.exemplars {
+            ts::encode_f32_vec(e, &mut buf);
+        }
+        buf.to_vec()
+    }
+
+    /// Decode a pack received from a peer.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidBundle`] on any framing or content problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 8 {
+            return Err(CoreError::InvalidBundle("class pack truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CoreError::InvalidBundle("not a class pack".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(CoreError::InvalidBundle(format!(
+                "unsupported class pack version {version}"
+            )));
+        }
+        let label = ts::decode_string(&mut buf)
+            .map_err(|e| CoreError::InvalidBundle(format!("pack label: {e}")))?;
+        if buf.remaining() < 4 {
+            return Err(CoreError::InvalidBundle("pack count truncated".into()));
+        }
+        let count = buf.get_u32_le();
+        if count == 0 || count > 100_000 {
+            return Err(CoreError::InvalidBundle(format!(
+                "implausible exemplar count {count}"
+            )));
+        }
+        let mut exemplars = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            exemplars.push(
+                ts::decode_f32_vec(&mut buf)
+                    .map_err(|e| CoreError::InvalidBundle(format!("pack exemplar: {e}")))?,
+            );
+        }
+        ClassPack::new(label, exemplars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack() -> ClassPack {
+        ClassPack::new(
+            "gesture_hi",
+            (0..10).map(|i| vec![i as f32; 80]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            ClassPack::new("x", vec![]),
+            Err(CoreError::InsufficientData(_))
+        ));
+        assert!(matches!(
+            ClassPack::new("x", vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(ClassPack::new("x", vec![vec![]]).is_err());
+        let p = pack();
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_empty());
+        assert_eq!(p.feature_dim, 80);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = pack();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), p.encoded_size());
+        let back = ClassPack::from_bytes(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let p = pack();
+        let good = p.to_bytes();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(ClassPack::from_bytes(&bad).is_err());
+        assert!(ClassPack::from_bytes(&good[..good.len() - 3]).is_err());
+        assert!(ClassPack::from_bytes(&[]).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(ClassPack::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn pack_is_compact() {
+        // 10 exemplars x 80 f32 ≈ 3.2 KB — easily transferable over BLE.
+        let p = pack();
+        assert!(p.encoded_size() < 4 * 1024, "{}", p.encoded_size());
+    }
+}

@@ -1,0 +1,156 @@
+//! Persistent on-device bundle storage.
+//!
+//! A real MAGNETO phone must survive app restarts: the (possibly
+//! personalised) bundle is persisted locally and reloaded at start-up.
+//! Persistence is strictly local — writing the bundle to the device's own
+//! storage is not a privacy event.
+//!
+//! Format: the bundle's wire bytes wrapped with a magic, a format flag and
+//! a CRC-32 so a half-written file (battery died mid-save) is detected
+//! and rejected instead of deserialised into garbage.
+
+use crate::bundle::EdgeBundle;
+use crate::error::CoreError;
+use crate::Result;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MGST";
+
+/// CRC-32 (IEEE 802.3, reflected) — hand-rolled so no new dependency is
+/// needed for a 20-line checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Save a bundle to `path` atomically (write to a sibling temp file, then
+/// rename), with checksum framing.
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] wrapping any I/O failure.
+pub fn save_bundle(bundle: &EdgeBundle, path: &Path, quantized: bool) -> Result<()> {
+    let payload = bundle.to_bytes(quantized);
+    let mut framed = Vec::with_capacity(payload.len() + 12);
+    framed.extend_from_slice(MAGIC);
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("tmp");
+    let io_err = |e: std::io::Error| CoreError::InvalidBundle(format!("storage: {e}"));
+    {
+        let mut f = fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(&framed).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path).map_err(io_err)?;
+    Ok(())
+}
+
+/// Load a bundle previously written by [`save_bundle`].
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] on I/O failure, bad framing, checksum
+/// mismatch, or bundle decode failure.
+pub fn load_bundle(path: &Path) -> Result<EdgeBundle> {
+    let bytes = fs::read(path)
+        .map_err(|e| CoreError::InvalidBundle(format!("storage read {}: {e}", path.display())))?;
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Err(CoreError::InvalidBundle("not a MAGNETO storage file".into()));
+    }
+    let stored_crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let payload = bytes
+        .get(12..12 + len)
+        .ok_or_else(|| CoreError::InvalidBundle("storage file truncated".into()))?;
+    if crc32(payload) != stored_crc {
+        return Err(CoreError::InvalidBundle(
+            "storage checksum mismatch (corrupt or partially written file)".into(),
+        ));
+    }
+    EdgeBundle::from_bytes(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::{CloudConfig, CloudInitializer};
+    use magneto_sensors::{GeneratorConfig, SensorDataset};
+
+    fn bundle() -> EdgeBundle {
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 1);
+        let mut cfg = CloudConfig::fast_demo();
+        cfg.trainer.epochs = 2;
+        CloudInitializer::new(cfg).pretrain(&corpus).unwrap().0
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("magneto_storage_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip_both_precisions() {
+        let b = bundle();
+        for (quantized, name) in [(false, "f32"), (true, "i8")] {
+            let path = temp_path(name);
+            save_bundle(&b, &path, quantized).unwrap();
+            let loaded = load_bundle(&path).unwrap();
+            assert_eq!(loaded.registry, b.registry);
+            assert_eq!(loaded.support_set, b.support_set);
+            if !quantized {
+                assert_eq!(loaded, b);
+            }
+            fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let b = bundle();
+        let path = temp_path("corrupt");
+        save_bundle(&b, &path, false).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = load_bundle(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let b = bundle();
+        let path = temp_path("trunc");
+        save_bundle(&b, &path, false).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_bundle(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_file_rejected() {
+        let path = temp_path("wrong");
+        fs::write(&path, b"definitely not a bundle").unwrap();
+        assert!(load_bundle(&path).is_err());
+        fs::remove_file(&path).ok();
+        assert!(load_bundle(Path::new("/nonexistent/magneto")).is_err());
+    }
+}

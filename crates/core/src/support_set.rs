@@ -1,0 +1,392 @@
+//! The support set: a budgeted, per-class exemplar store.
+//!
+//! §3.2 item 3: "it is necessary to keep a minimal dataset to update the
+//! learning model … The support set, containing a limited amount of data
+//! samples which are representative for each class … This support set has
+//! a two-fold mission: (i) serving to calculating the class prototypes
+//! for building the NCM classifier, (ii) updating the model by combining
+//! with the new activity data as training set."
+//!
+//! Exemplars are stored as *pre-processed feature vectors* (80 floats)
+//! rather than raw windows — 33× smaller and exactly what both missions
+//! need. Three selection strategies are provided for the A2 ablation:
+//! random sampling, iCaRL-style herding (greedy mean-matching), and
+//! streaming reservoir sampling.
+
+use crate::error::CoreError;
+use crate::label::LabelRegistry;
+use crate::Result;
+use magneto_tensor::{vector, Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How exemplars are chosen when a class exceeds its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SelectionStrategy {
+    /// Uniform random subset.
+    Random,
+    /// Herding (Welling 2009 / iCaRL): greedily pick samples whose running
+    /// mean best matches the class mean — the strongest prototype fidelity.
+    #[default]
+    Herding,
+    /// Streaming reservoir sampling — O(1) memory for continuous capture.
+    Reservoir,
+}
+
+/// Budgeted per-class feature store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupportSet {
+    budget_per_class: usize,
+    strategy: SelectionStrategy,
+    classes: BTreeMap<String, Vec<Vec<f32>>>,
+    /// Streaming counters for reservoir sampling, per class.
+    seen: BTreeMap<String, u64>,
+}
+
+impl SupportSet {
+    /// Create an empty support set. The paper's default budget is 200
+    /// observations per class.
+    pub fn new(budget_per_class: usize, strategy: SelectionStrategy) -> Self {
+        SupportSet {
+            budget_per_class: budget_per_class.max(1),
+            strategy,
+            classes: BTreeMap::new(),
+            seen: BTreeMap::new(),
+        }
+    }
+
+    /// Budget per class.
+    pub fn budget(&self) -> usize {
+        self.budget_per_class
+    }
+
+    /// Active selection strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Class labels currently stored (sorted).
+    pub fn classes(&self) -> Vec<&str> {
+        self.classes.keys().map(String::as_str).collect()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Exemplars stored for `label`.
+    pub fn samples(&self, label: &str) -> Option<&[Vec<f32>]> {
+        self.classes.get(label).map(Vec::as_slice)
+    }
+
+    /// Total exemplars across classes.
+    pub fn total_samples(&self) -> usize {
+        self.classes.values().map(Vec::len).sum()
+    }
+
+    /// Bytes of stored feature data at f32 precision — the quantity the
+    /// paper's "roughly 0.5 MB" estimate refers to.
+    pub fn bytes(&self) -> usize {
+        self.classes
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|f| f.len() * 4)
+            .sum()
+    }
+
+    /// Replace the exemplars of a class with a budget-sized selection from
+    /// `samples` (used at Cloud initialisation, when learning a new class,
+    /// and verbatim by calibration, which the paper describes as exactly
+    /// this replacement).
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] when `samples` is empty.
+    pub fn set_class(
+        &mut self,
+        label: &str,
+        samples: &[Vec<f32>],
+        rng: &mut SeededRng,
+    ) -> Result<()> {
+        if samples.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "no samples for class `{label}`"
+            )));
+        }
+        let selected = self.select(samples, rng);
+        self.classes.insert(label.to_string(), selected);
+        self.seen.insert(label.to_string(), samples.len() as u64);
+        Ok(())
+    }
+
+    /// Stream one sample into a class (reservoir semantics regardless of
+    /// the configured batch strategy — streaming has no alternative).
+    pub fn push_sample(&mut self, label: &str, sample: Vec<f32>, rng: &mut SeededRng) {
+        let entry = self.classes.entry(label.to_string()).or_default();
+        let seen = self.seen.entry(label.to_string()).or_insert(0);
+        *seen += 1;
+        if entry.len() < self.budget_per_class {
+            entry.push(sample);
+        } else {
+            // Classic reservoir: replace with probability budget/seen.
+            let j = rng.index(*seen as usize);
+            if j < self.budget_per_class {
+                entry[j] = sample;
+            }
+        }
+    }
+
+    /// Remove a class entirely.
+    pub fn remove_class(&mut self, label: &str) -> bool {
+        self.seen.remove(label);
+        self.classes.remove(label).is_some()
+    }
+
+    /// Per-class arithmetic mean of the stored feature vectors.
+    pub fn class_means(&self) -> BTreeMap<String, Vec<f32>> {
+        self.classes
+            .iter()
+            .filter_map(|(label, rows)| {
+                let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+                vector::mean_vector(&refs).map(|m| (label.clone(), m))
+            })
+            .collect()
+    }
+
+    /// Flatten into a training `(features, labels)` pair using `registry`
+    /// ids — mission (ii): the re-training set.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] if a stored class is missing from the
+    /// registry.
+    pub fn training_data(&self, registry: &LabelRegistry) -> Result<(Matrix, Vec<usize>)> {
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(self.total_samples());
+        let mut labels = Vec::with_capacity(self.total_samples());
+        for (label, samples) in &self.classes {
+            let id = registry
+                .id_of(label)
+                .ok_or_else(|| CoreError::UnknownClass(label.clone()))?;
+            for s in samples {
+                rows.push(s.clone());
+                labels.push(id);
+            }
+        }
+        Ok((Matrix::from_rows(&rows)?, labels))
+    }
+
+    fn select(&self, samples: &[Vec<f32>], rng: &mut SeededRng) -> Vec<Vec<f32>> {
+        if samples.len() <= self.budget_per_class {
+            return samples.to_vec();
+        }
+        match self.strategy {
+            SelectionStrategy::Random | SelectionStrategy::Reservoir => {
+                // Batch context: reservoir over a known set == uniform
+                // random subset.
+                rng.sample_indices(samples.len(), self.budget_per_class)
+                    .into_iter()
+                    .map(|i| samples[i].clone())
+                    .collect()
+            }
+            SelectionStrategy::Herding => herding_select(samples, self.budget_per_class),
+        }
+    }
+}
+
+/// Greedy herding selection: at step k pick the sample that brings the
+/// running exemplar mean closest to the true class mean.
+fn herding_select(samples: &[Vec<f32>], budget: usize) -> Vec<Vec<f32>> {
+    let dim = samples[0].len();
+    let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+    let target = vector::mean_vector(&refs).unwrap_or_else(|| vec![0.0; dim]);
+    let mut chosen: Vec<usize> = Vec::with_capacity(budget);
+    let mut running_sum = vec![0.0f32; dim];
+    let mut used = vec![false; samples.len()];
+    for k in 0..budget.min(samples.len()) {
+        let mut best_idx = usize::MAX;
+        let mut best_dist = f32::INFINITY;
+        for (i, s) in samples.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            // Candidate running mean if we added sample i.
+            let inv = 1.0 / (k + 1) as f32;
+            let mut dist = 0.0f32;
+            for d in 0..dim {
+                let m = (running_sum[d] + s[d]) * inv;
+                let diff = m - target[d];
+                dist += diff * diff;
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best_idx = i;
+            }
+        }
+        used[best_idx] = true;
+        chosen.push(best_idx);
+        for d in 0..dim {
+            running_sum[d] += samples[best_idx][d];
+        }
+    }
+    chosen.into_iter().map(|i| samples[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_samples(n: usize, dim: usize, center: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal_with(center, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut rng = SeededRng::new(1);
+        for strategy in [
+            SelectionStrategy::Random,
+            SelectionStrategy::Herding,
+            SelectionStrategy::Reservoir,
+        ] {
+            let mut ss = SupportSet::new(10, strategy);
+            ss.set_class("walk", &gaussian_samples(50, 4, 0.0, 2), &mut rng)
+                .unwrap();
+            assert_eq!(ss.samples("walk").unwrap().len(), 10, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn under_budget_keeps_everything() {
+        let mut rng = SeededRng::new(3);
+        let mut ss = SupportSet::new(100, SelectionStrategy::Herding);
+        let samples = gaussian_samples(7, 4, 1.0, 4);
+        ss.set_class("run", &samples, &mut rng).unwrap();
+        assert_eq!(ss.samples("run").unwrap(), samples.as_slice());
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        let mut rng = SeededRng::new(5);
+        let mut ss = SupportSet::new(10, SelectionStrategy::Random);
+        assert!(matches!(
+            ss.set_class("x", &[], &mut rng),
+            Err(CoreError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn herding_mean_beats_random_mean() {
+        // Herding's running mean should track the class mean better than a
+        // random subset of the same size.
+        let samples = gaussian_samples(400, 8, 0.5, 6);
+        let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+        let target = vector::mean_vector(&refs).unwrap();
+
+        let mut rng = SeededRng::new(7);
+        let mut herd = SupportSet::new(10, SelectionStrategy::Herding);
+        herd.set_class("c", &samples, &mut rng).unwrap();
+        let herd_refs: Vec<&[f32]> = herd.samples("c").unwrap().iter().map(Vec::as_slice).collect();
+        let herd_mean = vector::mean_vector(&herd_refs).unwrap();
+        let herd_err = vector::euclidean(&herd_mean, &target);
+
+        // Average random error over a few draws.
+        let mut total_rand_err = 0.0;
+        for s in 0..5 {
+            let mut rng2 = SeededRng::new(100 + s);
+            let mut rand = SupportSet::new(10, SelectionStrategy::Random);
+            rand.set_class("c", &samples, &mut rng2).unwrap();
+            let r: Vec<&[f32]> = rand.samples("c").unwrap().iter().map(Vec::as_slice).collect();
+            total_rand_err += vector::euclidean(&vector::mean_vector(&r).unwrap(), &target);
+        }
+        let rand_err = total_rand_err / 5.0;
+        assert!(
+            herd_err < rand_err * 0.5,
+            "herding err {herd_err}, random err {rand_err}"
+        );
+    }
+
+    #[test]
+    fn reservoir_streaming_respects_budget_and_distribution() {
+        let mut rng = SeededRng::new(8);
+        let mut ss = SupportSet::new(20, SelectionStrategy::Reservoir);
+        for i in 0..1000 {
+            ss.push_sample("s", vec![i as f32], &mut rng);
+        }
+        let stored = ss.samples("s").unwrap();
+        assert_eq!(stored.len(), 20);
+        // A reservoir over 0..1000 should contain late elements too.
+        let max = stored.iter().map(|v| v[0]).fold(0.0f32, f32::max);
+        assert!(max > 500.0, "reservoir biased to early items: max {max}");
+        assert_eq!(ss.total_samples(), 20);
+    }
+
+    #[test]
+    fn class_means_and_training_data() {
+        let mut rng = SeededRng::new(9);
+        let mut ss = SupportSet::new(50, SelectionStrategy::Random);
+        ss.set_class("a", &vec![vec![1.0, 2.0]; 5], &mut rng).unwrap();
+        ss.set_class("b", &vec![vec![3.0, 4.0]; 3], &mut rng).unwrap();
+        let means = ss.class_means();
+        assert_eq!(means["a"], vec![1.0, 2.0]);
+        assert_eq!(means["b"], vec![3.0, 4.0]);
+
+        let registry = LabelRegistry::from_labels(["a", "b"]);
+        let (features, labels) = ss.training_data(&registry).unwrap();
+        assert_eq!(features.shape(), (8, 2));
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 5);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 3);
+
+        // Missing registry entry is an error.
+        let incomplete = LabelRegistry::from_labels(["a"]);
+        assert!(matches!(
+            ss.training_data(&incomplete),
+            Err(CoreError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn byte_accounting_matches_paper_arithmetic() {
+        // 200 exemplars x 80 f32 features per class; five classes ≈
+        // 0.3 MB total, within the paper's "roughly 0.5 MB" envelope.
+        let mut rng = SeededRng::new(10);
+        let mut ss = SupportSet::new(200, SelectionStrategy::Random);
+        for label in ["drive", "e_scooter", "run", "still", "walk"] {
+            ss.set_class(label, &gaussian_samples(200, 80, 0.0, 11), &mut rng)
+                .unwrap();
+        }
+        assert_eq!(ss.bytes(), 5 * 200 * 80 * 4);
+        let mb = ss.bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 0.5, "support set {mb:.2} MiB");
+        assert_eq!(ss.num_classes(), 5);
+        assert_eq!(ss.classes().len(), 5);
+    }
+
+    #[test]
+    fn remove_and_replace_class() {
+        let mut rng = SeededRng::new(12);
+        let mut ss = SupportSet::new(10, SelectionStrategy::Random);
+        ss.set_class("walk", &gaussian_samples(5, 4, 0.0, 13), &mut rng)
+            .unwrap();
+        assert!(ss.remove_class("walk"));
+        assert!(!ss.remove_class("walk"));
+        assert!(ss.samples("walk").is_none());
+
+        // Calibration path: replace with user-specific data.
+        ss.set_class("walk", &gaussian_samples(5, 4, 10.0, 14), &mut rng)
+            .unwrap();
+        let mean = &ss.class_means()["walk"];
+        assert!(mean[0] > 5.0, "replacement data should dominate");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = SeededRng::new(15);
+        let mut ss = SupportSet::new(5, SelectionStrategy::Herding);
+        ss.set_class("x", &gaussian_samples(8, 3, 0.0, 16), &mut rng)
+            .unwrap();
+        let json = serde_json::to_string(&ss).unwrap();
+        let back: SupportSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(ss, back);
+    }
+}

@@ -1,0 +1,208 @@
+//! Activity timeline: turning per-window predictions into the daily
+//! summary a HAR product actually shows ("you walked 34 minutes today").
+//!
+//! The demo GUI (Figure 3) displays the live label; a deployed health or
+//! fitness app — the §1 motivation — aggregates those labels into
+//! *segments* (contiguous runs of one activity) and per-activity totals.
+//! This module performs that aggregation with hysteresis so single-window
+//! flickers do not fragment the timeline.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A contiguous run of one activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivitySegment {
+    /// Activity label.
+    pub label: String,
+    /// Start time, seconds since session start.
+    pub start_s: f64,
+    /// End time, seconds since session start.
+    pub end_s: f64,
+    /// Number of windows merged into this segment.
+    pub windows: usize,
+}
+
+impl ActivitySegment {
+    /// Segment duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Builds a segment timeline from a stream of `(timestamp, label)` window
+/// predictions.
+#[derive(Debug, Clone)]
+pub struct TimelineBuilder {
+    /// Minimum windows a run needs before it replaces the current
+    /// segment (hysteresis against single-window flicker).
+    min_run: usize,
+    window_seconds: f64,
+    segments: Vec<ActivitySegment>,
+    // Candidate run that has not yet reached `min_run`.
+    pending: Option<(String, f64, usize)>,
+}
+
+impl TimelineBuilder {
+    /// Create a builder. `window_seconds` is the window duration (1 s in
+    /// the paper); `min_run` windows are required to open a new segment.
+    pub fn new(window_seconds: f64, min_run: usize) -> Self {
+        TimelineBuilder {
+            min_run: min_run.max(1),
+            window_seconds,
+            segments: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// Feed one window prediction.
+    pub fn push(&mut self, timestamp_s: f64, label: &str) {
+        // Extend the current segment?
+        if let Some(last) = self.segments.last_mut() {
+            if last.label == label {
+                last.end_s = timestamp_s + self.window_seconds;
+                last.windows += 1;
+                self.pending = None;
+                return;
+            }
+        }
+        // Accumulate a candidate run.
+        match &mut self.pending {
+            Some((pl, start, count)) if pl == label => {
+                *count += 1;
+                if *count >= self.min_run {
+                    self.segments.push(ActivitySegment {
+                        label: label.to_string(),
+                        start_s: *start,
+                        end_s: timestamp_s + self.window_seconds,
+                        windows: *count,
+                    });
+                    self.pending = None;
+                }
+            }
+            _ => {
+                if self.min_run == 1 {
+                    self.segments.push(ActivitySegment {
+                        label: label.to_string(),
+                        start_s: timestamp_s,
+                        end_s: timestamp_s + self.window_seconds,
+                        windows: 1,
+                    });
+                } else {
+                    self.pending = Some((label.to_string(), timestamp_s, 1));
+                }
+            }
+        }
+    }
+
+    /// Segments so far.
+    pub fn segments(&self) -> &[ActivitySegment] {
+        &self.segments
+    }
+
+    /// Total seconds per activity (the daily-summary numbers).
+    pub fn totals(&self) -> BTreeMap<String, f64> {
+        let mut totals = BTreeMap::new();
+        for s in &self.segments {
+            *totals.entry(s.label.clone()).or_insert(0.0) += s.duration_s();
+        }
+        totals
+    }
+
+    /// Render the timeline as a text report (the demo's session summary).
+    pub fn to_report(&self) -> String {
+        let mut out = String::from("activity timeline:\n");
+        for s in &self.segments {
+            out.push_str(&format!(
+                "  {:>8.1}s – {:>8.1}s  {:<14} ({} windows)\n",
+                s.start_s, s.end_s, s.label, s.windows
+            ));
+        }
+        out.push_str("totals:\n");
+        for (label, secs) in self.totals() {
+            out.push_str(&format!("  {label:<14} {secs:>8.1}s\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(builder: &mut TimelineBuilder, labels: &[&str]) {
+        for (i, l) in labels.iter().enumerate() {
+            builder.push(i as f64, l);
+        }
+    }
+
+    #[test]
+    fn contiguous_windows_merge() {
+        let mut tb = TimelineBuilder::new(1.0, 1);
+        feed(&mut tb, &["walk", "walk", "walk", "run", "run"]);
+        let segs = tb.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].label, "walk");
+        assert_eq!(segs[0].windows, 3);
+        assert!((segs[0].duration_s() - 3.0).abs() < 1e-9);
+        assert_eq!(segs[1].label, "run");
+        assert_eq!(segs[1].windows, 2);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_flicker() {
+        let mut tb = TimelineBuilder::new(1.0, 2);
+        // A single "run" window inside a walk should not open a segment.
+        feed(&mut tb, &["walk", "walk", "run", "walk", "walk", "walk"]);
+        let segs = tb.segments();
+        assert_eq!(segs.len(), 1, "{segs:?}");
+        assert_eq!(segs[0].label, "walk");
+        // Note: the flickered window is simply absorbed; only sustained
+        // runs open segments.
+    }
+
+    #[test]
+    fn sustained_change_opens_segment_with_hysteresis() {
+        let mut tb = TimelineBuilder::new(1.0, 2);
+        feed(&mut tb, &["walk", "walk", "run", "run", "run"]);
+        let segs = tb.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].label, "run");
+        assert_eq!(segs[1].windows, 3);
+    }
+
+    #[test]
+    fn totals_sum_durations() {
+        let mut tb = TimelineBuilder::new(1.0, 1);
+        feed(&mut tb, &["walk", "walk", "still", "walk"]);
+        let totals = tb.totals();
+        assert!((totals["walk"] - 3.0).abs() < 1e-9);
+        assert!((totals["still"] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tb = TimelineBuilder::new(1.0, 2);
+        assert!(tb.segments().is_empty());
+        assert!(tb.totals().is_empty());
+        assert!(tb.to_report().contains("totals"));
+    }
+
+    #[test]
+    fn report_contains_all_segments() {
+        let mut tb = TimelineBuilder::new(1.0, 1);
+        feed(&mut tb, &["drive", "drive", "still"]);
+        let report = tb.to_report();
+        assert!(report.contains("drive"));
+        assert!(report.contains("still"));
+        assert!(report.contains("2 windows"));
+    }
+
+    #[test]
+    fn min_run_zero_is_clamped_to_one() {
+        let mut tb = TimelineBuilder::new(0.5, 0);
+        feed(&mut tb, &["a"]);
+        assert_eq!(tb.segments().len(), 1);
+        assert!((tb.segments()[0].duration_s() - 0.5).abs() < 1e-9);
+    }
+}

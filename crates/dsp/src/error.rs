@@ -1,0 +1,82 @@
+//! Error type for the pre-processing pipeline.
+
+use std::fmt;
+
+/// Errors produced by DSP components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// The input window does not have the expected channel count.
+    ChannelMismatch {
+        /// Channels expected by the pipeline.
+        expected: usize,
+        /// Channels found in the input.
+        found: usize,
+    },
+    /// The input window is shorter than a component requires.
+    WindowTooShort {
+        /// Minimum samples required.
+        required: usize,
+        /// Samples found.
+        found: usize,
+    },
+    /// A normaliser was applied to a vector of the wrong dimension.
+    DimensionMismatch {
+        /// Dimension the normaliser was fitted for.
+        expected: usize,
+        /// Dimension of the input.
+        found: usize,
+    },
+    /// A normaliser was used before being fitted.
+    NotFitted,
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::ChannelMismatch { expected, found } => {
+                write!(f, "expected {expected} channels, found {found}")
+            }
+            DspError::WindowTooShort { required, found } => {
+                write!(f, "window too short: need {required} samples, found {found}")
+            }
+            DspError::DimensionMismatch { expected, found } => {
+                write!(f, "normaliser fitted for {expected} dims, input has {found}")
+            }
+            DspError::NotFitted => write!(f, "normaliser used before fit()"),
+            DspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DspError::ChannelMismatch {
+            expected: 22,
+            found: 3
+        }
+        .to_string()
+        .contains("22"));
+        assert!(DspError::WindowTooShort {
+            required: 8,
+            found: 2
+        }
+        .to_string()
+        .contains("8"));
+        assert!(DspError::NotFitted.to_string().contains("fit"));
+        assert!(DspError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(DspError::DimensionMismatch {
+            expected: 80,
+            found: 79
+        }
+        .to_string()
+        .contains("80"));
+    }
+}

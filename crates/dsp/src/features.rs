@@ -1,0 +1,338 @@
+//! The 80-feature statistical extractor.
+//!
+//! §4.1.2: "We extract 80 statistical features." The paper does not
+//! enumerate them; this reproduction fixes a concrete, conventional HAR
+//! feature table with exactly 80 entries, stable in count and order (the
+//! network input layer, the normaliser and the support set all depend on
+//! that stability):
+//!
+//! * 8 derived series — `accel_x/y/z`, `|accel|`, `|gyro|`, `|linacc|`,
+//!   `|mag|`, `pressure` — × 9 time-domain statistics each
+//!   (mean, std, min, max, median, IQR, RMS, skewness, kurtosis) = **72**;
+//! * 8 extended features: `|accel|` mean-crossing rate, dominant
+//!   frequency, spectral entropy and 8–45 Hz band-energy ratio; `|gyro|`
+//!   mean-crossing rate and spectral entropy; Pearson correlations
+//!   `accel_x·accel_y` and `accel_y·accel_z` = **8**.
+//!
+//! All time-domain statistics are `O(n)` except the order statistics
+//! (`O(n log n)`), matching the paper's "linear processing time" claim in
+//! spirit; the spectral features probe `n/2` DFT bins.
+
+use crate::error::DspError;
+use crate::Result;
+use magneto_tensor::stats;
+use serde::{Deserialize, Serialize};
+
+/// Number of features produced by [`FeatureExtractor::extract`]. The paper
+/// specifies 80.
+pub const NUM_FEATURES: usize = 80;
+
+/// Channel-layout assumptions (indices into the 22-channel window).
+mod layout {
+    pub const ACCEL: [usize; 3] = [0, 1, 2];
+    pub const GYRO: [usize; 3] = [3, 4, 5];
+    pub const MAG: [usize; 3] = [6, 7, 8];
+    pub const LINACC: [usize; 3] = [9, 10, 11];
+    pub const PRESSURE: usize = 19;
+    pub const MIN_CHANNELS: usize = 20;
+}
+
+const BASE_STATS: [&str; 9] = [
+    "mean", "std", "min", "max", "median", "iqr", "rms", "skew", "kurt",
+];
+
+const SERIES_NAMES: [&str; 8] = [
+    "accel_x",
+    "accel_y",
+    "accel_z",
+    "accel_mag",
+    "gyro_mag",
+    "linacc_mag",
+    "mag_mag",
+    "pressure",
+];
+
+/// The spec-table-driven feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    /// Sample rate of incoming windows (Hz); needed by spectral features.
+    pub sample_rate_hz: f32,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor {
+            sample_rate_hz: 120.0,
+        }
+    }
+}
+
+impl FeatureExtractor {
+    /// Create an extractor for windows sampled at `sample_rate_hz`.
+    pub fn new(sample_rate_hz: f32) -> Self {
+        FeatureExtractor { sample_rate_hz }
+    }
+
+    /// Names of the 80 features, in output order.
+    pub fn feature_names() -> Vec<String> {
+        let mut names = Vec::with_capacity(NUM_FEATURES);
+        for series in SERIES_NAMES {
+            for stat in BASE_STATS {
+                names.push(format!("{series}.{stat}"));
+            }
+        }
+        names.extend(
+            [
+                "accel_mag.mcr",
+                "accel_mag.dom_freq",
+                "accel_mag.spec_entropy",
+                "accel_mag.band_8_45",
+                "gyro_mag.mcr",
+                "gyro_mag.spec_entropy",
+                "corr.accel_xy",
+                "corr.accel_yz",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        debug_assert_eq!(names.len(), NUM_FEATURES);
+        names
+    }
+
+    /// Extract the 80-dimensional feature vector from a channel-major
+    /// window (≥ 20 channels in the standard sensor layout, any length
+    /// ≥ 8 samples).
+    ///
+    /// # Errors
+    /// [`DspError::ChannelMismatch`] / [`DspError::WindowTooShort`] on
+    /// malformed input.
+    pub fn extract(&self, channels: &[Vec<f32>]) -> Result<Vec<f32>> {
+        if channels.len() < layout::MIN_CHANNELS {
+            return Err(DspError::ChannelMismatch {
+                expected: layout::MIN_CHANNELS,
+                found: channels.len(),
+            });
+        }
+        let n = channels.iter().map(Vec::len).min().unwrap_or(0);
+        if n < 8 {
+            return Err(DspError::WindowTooShort {
+                required: 8,
+                found: n,
+            });
+        }
+
+        let accel_x = &channels[layout::ACCEL[0]];
+        let accel_y = &channels[layout::ACCEL[1]];
+        let accel_z = &channels[layout::ACCEL[2]];
+        let accel_mag = magnitude_series(channels, layout::ACCEL, n);
+        let gyro_mag = magnitude_series(channels, layout::GYRO, n);
+        let linacc_mag = magnitude_series(channels, layout::LINACC, n);
+        let mag_mag = magnitude_series(channels, layout::MAG, n);
+        let pressure = &channels[layout::PRESSURE];
+
+        let series: [&[f32]; 8] = [
+            &accel_x[..n],
+            &accel_y[..n],
+            &accel_z[..n],
+            &accel_mag,
+            &gyro_mag,
+            &linacc_mag,
+            &mag_mag,
+            &pressure[..n],
+        ];
+
+        let mut out = Vec::with_capacity(NUM_FEATURES);
+        for s in series {
+            out.push(stats::mean(s));
+            out.push(stats::std_dev(s));
+            out.push(stats::min(s));
+            out.push(stats::max(s));
+            out.push(stats::median(s));
+            out.push(stats::iqr(s));
+            out.push(stats::rms(s));
+            out.push(stats::skewness(s));
+            out.push(stats::kurtosis(s));
+        }
+        out.push(stats::mean_crossing_rate(&accel_mag));
+        out.push(crate::spectral::dominant_frequency(
+            &accel_mag,
+            self.sample_rate_hz,
+        ));
+        out.push(crate::spectral::spectral_entropy(&accel_mag));
+        out.push(crate::spectral::band_energy_ratio(
+            &accel_mag,
+            self.sample_rate_hz,
+            8.0,
+            45.0,
+        ));
+        out.push(stats::mean_crossing_rate(&gyro_mag));
+        out.push(crate::spectral::spectral_entropy(&gyro_mag));
+        out.push(stats::pearson(&accel_x[..n], &accel_y[..n]));
+        out.push(stats::pearson(&accel_y[..n], &accel_z[..n]));
+
+        debug_assert_eq!(out.len(), NUM_FEATURES);
+        // A malformed sample must never poison downstream training.
+        for v in &mut out {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-sample Euclidean magnitude of a 3-axis group.
+fn magnitude_series(channels: &[Vec<f32>], axes: [usize; 3], n: usize) -> Vec<f32> {
+    let (xs, ys, zs) = (&channels[axes[0]], &channels[axes[1]], &channels[axes[2]]);
+    (0..n)
+        .map(|i| (xs[i] * xs[i] + ys[i] * ys[i] + zs[i] * zs[i]).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 22-channel window: channel c holds a sinusoid with
+    /// channel-dependent frequency/offset so features are nontrivial.
+    fn test_window(n: usize) -> Vec<Vec<f32>> {
+        (0..22)
+            .map(|c| {
+                (0..n)
+                    .map(|i| {
+                        let t = i as f32 / 120.0;
+                        (c as f32 + 1.0) * 0.1
+                            + ((c as f32 + 1.0) * t * std::f32::consts::TAU).sin()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exactly_80_features() {
+        assert_eq!(NUM_FEATURES, 80);
+        assert_eq!(FeatureExtractor::feature_names().len(), 80);
+        let fx = FeatureExtractor::default();
+        let out = fx.extract(&test_window(120)).unwrap();
+        assert_eq!(out.len(), 80);
+    }
+
+    #[test]
+    fn feature_names_unique() {
+        let mut names = FeatureExtractor::feature_names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn rejects_malformed_windows() {
+        let fx = FeatureExtractor::default();
+        assert!(matches!(
+            fx.extract(&test_window(120)[..5]),
+            Err(DspError::ChannelMismatch { .. })
+        ));
+        assert!(matches!(
+            fx.extract(&test_window(4)),
+            Err(DspError::WindowTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn all_features_finite_even_for_constant_window() {
+        let fx = FeatureExtractor::default();
+        let constant: Vec<Vec<f32>> = vec![vec![1.0; 120]; 22];
+        let out = fx.extract(&constant).unwrap();
+        assert!(out.iter().all(|v| v.is_finite()));
+        // std/iqr/skew of a constant are zero.
+        let names = FeatureExtractor::feature_names();
+        let idx = |name: &str| names.iter().position(|n| n == name).unwrap();
+        assert_eq!(out[idx("accel_x.std")], 0.0);
+        assert_eq!(out[idx("accel_x.iqr")], 0.0);
+        assert_eq!(out[idx("accel_x.skew")], 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let fx = FeatureExtractor::default();
+        let w = test_window(120);
+        assert_eq!(fx.extract(&w).unwrap(), fx.extract(&w).unwrap());
+    }
+
+    #[test]
+    fn mean_feature_matches_stats() {
+        let fx = FeatureExtractor::default();
+        let w = test_window(120);
+        let out = fx.extract(&w).unwrap();
+        let names = FeatureExtractor::feature_names();
+        let idx = names.iter().position(|n| n == "accel_x.mean").unwrap();
+        assert!((out[idx] - stats::mean(&w[0])).abs() < 1e-6);
+        let pidx = names.iter().position(|n| n == "pressure.mean").unwrap();
+        assert!((out[pidx] - stats::mean(&w[19])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accel_mag_features_use_magnitude() {
+        let fx = FeatureExtractor::default();
+        let mut w: Vec<Vec<f32>> = vec![vec![0.0; 120]; 22];
+        w[0] = vec![3.0; 120];
+        w[1] = vec![4.0; 120];
+        let out = fx.extract(&w).unwrap();
+        let names = FeatureExtractor::feature_names();
+        let idx = names.iter().position(|n| n == "accel_mag.mean").unwrap();
+        assert!((out[idx] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dominant_frequency_feature_sees_cadence() {
+        let fx = FeatureExtractor::default();
+        let mut w: Vec<Vec<f32>> = vec![vec![0.0; 120]; 22];
+        // 3 Hz oscillation on accel_z, constant elsewhere.
+        w[2] = (0..120)
+            .map(|i| 9.8 + (std::f32::consts::TAU * 3.0 * i as f32 / 120.0).sin())
+            .collect();
+        let out = fx.extract(&w).unwrap();
+        let names = FeatureExtractor::feature_names();
+        let idx = names
+            .iter()
+            .position(|n| n == "accel_mag.dom_freq")
+            .unwrap();
+        assert!((out[idx] - 3.0).abs() < 1.1, "dom freq {}", out[idx]);
+    }
+
+    #[test]
+    fn correlation_features_detect_coupled_axes() {
+        let fx = FeatureExtractor::default();
+        let mut w: Vec<Vec<f32>> = vec![vec![0.0; 120]; 22];
+        let sig: Vec<f32> = (0..120)
+            .map(|i| (std::f32::consts::TAU * 2.0 * i as f32 / 120.0).sin())
+            .collect();
+        w[0] = sig.clone();
+        w[1] = sig.clone(); // x and y perfectly correlated
+        w[2] = sig.iter().map(|v| -v).collect(); // z anti-correlated to y
+        let out = fx.extract(&w).unwrap();
+        let names = FeatureExtractor::feature_names();
+        let xy = names.iter().position(|n| n == "corr.accel_xy").unwrap();
+        let yz = names.iter().position(|n| n == "corr.accel_yz").unwrap();
+        assert!(out[xy] > 0.99);
+        assert!(out[yz] < -0.99);
+    }
+
+    #[test]
+    fn works_with_short_and_long_windows() {
+        let fx = FeatureExtractor::default();
+        for n in [8, 60, 120, 240] {
+            assert_eq!(fx.extract(&test_window(n)).unwrap().len(), 80);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fx = FeatureExtractor::new(100.0);
+        let json = serde_json::to_string(&fx).unwrap();
+        let back: FeatureExtractor = serde_json::from_str(&json).unwrap();
+        assert_eq!(fx, back);
+    }
+}

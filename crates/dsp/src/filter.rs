@@ -1,0 +1,329 @@
+//! Denoising filters.
+//!
+//! The denoising stage runs on the Edge for every incoming window, so all
+//! filters here are single-pass and allocation-light. The composition the
+//! pipeline uses by default is median (kills spike artefacts) followed by
+//! a Butterworth low-pass (tames broadband noise above the motion band).
+
+use serde::{Deserialize, Serialize};
+
+/// Centered moving average with window `k` (odd; clamped to the signal at
+/// the edges). `k <= 1` returns the input unchanged.
+pub fn moving_average(xs: &[f32], k: usize) -> Vec<f32> {
+    if k <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let half = k / 2;
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums for O(n) evaluation.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    for &x in xs {
+        prefix.push(prefix.last().unwrap() + f64::from(x));
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sum = prefix[hi] - prefix[lo];
+        out.push((sum / (hi - lo) as f64) as f32);
+    }
+    out
+}
+
+/// Centered median filter with window `k` (odd; clamped at the edges).
+/// `k <= 1` returns the input unchanged. Removes isolated spikes without
+/// smearing step edges the way a mean filter does.
+pub fn median_filter(xs: &[f32], k: usize) -> Vec<f32> {
+    if k <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let half = k / 2;
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf: Vec<f32> = Vec::with_capacity(k);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        buf.clear();
+        buf.extend_from_slice(&xs[lo..hi]);
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out.push(buf[buf.len() / 2]);
+    }
+    out
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`;
+/// `alpha = 1` is the identity.
+pub fn exponential_smoothing(xs: &[f32], alpha: f32) -> Vec<f32> {
+    let alpha = alpha.clamp(1e-6, 1.0);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = match xs.first() {
+        Some(&x) => x,
+        None => return Vec::new(),
+    };
+    for &x in xs {
+        state = alpha * x + (1.0 - alpha) * state;
+        out.push(state);
+    }
+    out
+}
+
+/// Second-order (biquad) Butterworth low-pass filter.
+///
+/// Coefficients follow the RBJ audio-EQ cookbook with Butterworth Q
+/// (`1/sqrt(2)`). Processed with zero initial state; for offline windows
+/// use [`Biquad::filtfilt`] for zero phase distortion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Biquad {
+    b0: f32,
+    b1: f32,
+    b2: f32,
+    a1: f32,
+    a2: f32,
+}
+
+impl Biquad {
+    /// Design a low-pass at `cutoff_hz` for signals sampled at
+    /// `sample_rate_hz`. The cutoff is clamped just below Nyquist.
+    pub fn lowpass(cutoff_hz: f64, sample_rate_hz: f64) -> Self {
+        let nyquist = sample_rate_hz / 2.0;
+        let fc = cutoff_hz.clamp(0.01, nyquist * 0.99);
+        let w0 = std::f64::consts::PI * 2.0 * fc / sample_rate_hz;
+        let cos_w0 = w0.cos();
+        let q = std::f64::consts::FRAC_1_SQRT_2;
+        let alpha = w0.sin() / (2.0 * q);
+        let b0 = (1.0 - cos_w0) / 2.0;
+        let b1 = 1.0 - cos_w0;
+        let b2 = (1.0 - cos_w0) / 2.0;
+        let a0 = 1.0 + alpha;
+        let a1 = -2.0 * cos_w0;
+        let a2 = 1.0 - alpha;
+        Biquad {
+            b0: (b0 / a0) as f32,
+            b1: (b1 / a0) as f32,
+            b2: (b2 / a0) as f32,
+            a1: (a1 / a0) as f32,
+            a2: (a2 / a0) as f32,
+        }
+    }
+
+    /// Single forward pass (causal, introduces phase lag).
+    pub fn filter(&self, xs: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(xs.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        // Initialise state to the first sample to avoid a start-up
+        // transient from an implicit zero history.
+        if let Some(&x0) = xs.first() {
+            x1 = x0;
+            x2 = x0;
+            y1 = x0;
+            y2 = x0;
+        }
+        for &x in xs {
+            let y = self.b0 * x + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+            out.push(y);
+        }
+        out
+    }
+
+    /// Forward-backward pass: zero phase, squared magnitude response.
+    pub fn filtfilt(&self, xs: &[f32]) -> Vec<f32> {
+        let fwd = self.filter(xs);
+        let rev: Vec<f32> = fwd.into_iter().rev().collect();
+        let back = self.filter(&rev);
+        back.into_iter().rev().collect()
+    }
+}
+
+/// Serialisable denoising configuration applied per channel by the
+/// pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DenoiseConfig {
+    /// Median filter window (odd; `1` disables).
+    pub median_window: usize,
+    /// Low-pass cutoff in Hz (`None` disables).
+    pub lowpass_cutoff_hz: Option<f64>,
+    /// Sample rate the cutoff refers to.
+    pub sample_rate_hz: f64,
+}
+
+impl Default for DenoiseConfig {
+    fn default() -> Self {
+        DenoiseConfig {
+            median_window: 3,
+            // Human motion + vehicle vibration live below ~45 Hz at a
+            // 120 Hz rate; clip broadband sensor noise above that.
+            lowpass_cutoff_hz: Some(45.0),
+            sample_rate_hz: 120.0,
+        }
+    }
+}
+
+impl DenoiseConfig {
+    /// Pass-through configuration (ablations).
+    pub fn disabled() -> Self {
+        DenoiseConfig {
+            median_window: 1,
+            lowpass_cutoff_hz: None,
+            sample_rate_hz: 120.0,
+        }
+    }
+
+    /// Apply the configured denoising chain to one channel.
+    pub fn apply(&self, xs: &[f32]) -> Vec<f32> {
+        let stage1 = if self.median_window > 1 {
+            median_filter(xs, self.median_window)
+        } else {
+            xs.to_vec()
+        };
+        match self.lowpass_cutoff_hz {
+            Some(fc) => Biquad::lowpass(fc, self.sample_rate_hz).filtfilt(&stage1),
+            None => stage1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::TAU;
+
+    fn sine(freq: f32, rate: f32, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (TAU * freq * i as f32 / rate).sin()).collect()
+    }
+
+    fn rms(xs: &[f32]) -> f32 {
+        (xs.iter().map(|x| x * x).sum::<f32>() / xs.len() as f32).sqrt()
+    }
+
+    #[test]
+    fn moving_average_constant_is_identity() {
+        let xs = vec![2.0; 16];
+        assert_eq!(moving_average(&xs, 5), xs);
+        assert_eq!(moving_average(&xs, 1), xs);
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let out = moving_average(&xs, 3);
+        // Interior points become local means.
+        assert!((out[2] - 20.0 / 3.0).abs() < 1e-5);
+        // Variance is reduced.
+        assert!(magneto_tensor::stats::variance(&out) < magneto_tensor::stats::variance(&xs));
+    }
+
+    #[test]
+    fn median_filter_removes_spikes() {
+        let mut xs = sine(2.0, 120.0, 120);
+        xs[40] = 50.0;
+        xs[80] = -50.0;
+        let out = median_filter(&xs, 3);
+        assert!(out[40].abs() < 2.0, "spike survived: {}", out[40]);
+        assert!(out[80].abs() < 2.0);
+        // Non-spike samples barely change.
+        assert!((out[20] - xs[20]).abs() < 0.2);
+    }
+
+    #[test]
+    fn median_filter_identity_cases() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(median_filter(&xs, 1), xs.to_vec());
+        assert!(median_filter(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn exponential_smoothing_tracks_and_lags() {
+        let xs = [0.0, 0.0, 10.0, 10.0, 10.0];
+        let out = exponential_smoothing(&xs, 0.5);
+        assert_eq!(out.len(), 5);
+        assert!(out[2] > 0.0 && out[2] < 10.0);
+        assert!(out[4] > out[2]);
+        // alpha = 1 is identity.
+        assert_eq!(exponential_smoothing(&xs, 1.0), xs.to_vec());
+        assert!(exponential_smoothing(&[], 0.3).is_empty());
+    }
+
+    #[test]
+    fn lowpass_passes_low_attenuates_high() {
+        let rate = 120.0;
+        let low = sine(2.0, rate, 480);
+        let high = sine(50.0, rate, 480);
+        let bq = Biquad::lowpass(10.0, f64::from(rate));
+        let low_out = bq.filtfilt(&low);
+        let high_out = bq.filtfilt(&high);
+        assert!(
+            rms(&low_out) > 0.9 * rms(&low),
+            "passband attenuation {} -> {}",
+            rms(&low),
+            rms(&low_out)
+        );
+        assert!(
+            rms(&high_out) < 0.1 * rms(&high),
+            "stopband leak: {}",
+            rms(&high_out)
+        );
+    }
+
+    #[test]
+    fn filtfilt_preserves_dc() {
+        let xs = vec![5.0; 240];
+        let bq = Biquad::lowpass(10.0, 120.0);
+        let out = bq.filtfilt(&xs);
+        for &v in &out[10..230] {
+            assert!((v - 5.0).abs() < 0.05, "DC shifted: {v}");
+        }
+    }
+
+    #[test]
+    fn lowpass_cutoff_clamped_below_nyquist() {
+        // A cutoff above Nyquist must not produce NaNs.
+        let bq = Biquad::lowpass(500.0, 120.0);
+        let out = bq.filter(&sine(5.0, 120.0, 120));
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn denoise_config_kills_spike_and_hf() {
+        let rate = 120.0;
+        let mut xs = sine(2.0, rate, 120);
+        for (i, v) in sine(55.0, rate, 120).iter().enumerate() {
+            xs[i] += 0.5 * v;
+        }
+        xs[60] = 30.0;
+        let cfg = DenoiseConfig::default();
+        let out = cfg.apply(&xs);
+        assert!(out[60].abs() < 2.0, "spike survived denoise: {}", out[60]);
+        // The clean 2 Hz carrier survives.
+        let clean = sine(2.0, rate, 120);
+        let err: f32 = out
+            .iter()
+            .zip(clean.iter())
+            .skip(10)
+            .take(100)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / 100.0;
+        assert!(err < 0.25, "mean abs err {err}");
+    }
+
+    #[test]
+    fn denoise_disabled_is_identity() {
+        let xs = sine(7.0, 120.0, 60);
+        assert_eq!(DenoiseConfig::disabled().apply(&xs), xs);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = DenoiseConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DenoiseConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,47 @@
+//! # magneto-dsp
+//!
+//! The pre-processing function of the MAGNETO platform.
+//!
+//! §3.2 item 1 of the paper: "We do popular pre-processing operations on
+//! raw sensor data, including denoising, segmentation, normalization …
+//! we adopt a primary feature extractor that relies on handcrafted
+//! statistic features, requiring linear processing time." §4.1.2: "We
+//! extract 80 statistical features."
+//!
+//! This crate implements that function as a serialisable object that the
+//! Cloud fits (normaliser statistics) and ships to the Edge inside the
+//! bundle:
+//!
+//! * [`filter`] — denoising: moving average, median filter (spike
+//!   removal), exponential smoothing, and a 2nd-order Butterworth low-pass
+//!   biquad;
+//! * [`segment`] — segmentation of sample streams into fixed one-second
+//!   windows (with optional overlap);
+//! * [`spectral`] — a small real DFT with dominant-frequency, band-energy
+//!   and spectral-entropy summaries (cadence and vibration bands are what
+//!   separate Walk/Run and Drive/E-scooter);
+//! * [`features`] — the exact **80-feature** statistical extractor,
+//!   spec-table driven so the count and order are stable and testable;
+//! * [`normalize`] — per-dimension z-score / min-max / robust
+//!   normalisation with serialisable fitted state;
+//! * [`pipeline`] — the composed, versioned `PreprocessingPipeline`.
+//!
+//! Everything is `O(n)` per window except the DFT features, which are
+//! `O(n·k)` for `k` probed frequency bins — still microseconds for
+//! 120-sample windows.
+
+pub mod error;
+pub mod features;
+pub mod filter;
+pub mod normalize;
+pub mod pipeline;
+pub mod segment;
+pub mod spectral;
+
+pub use error::DspError;
+pub use features::{FeatureExtractor, NUM_FEATURES};
+pub use normalize::{Normalizer, NormalizerKind};
+pub use pipeline::{PipelineConfig, PreprocessingPipeline};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DspError>;

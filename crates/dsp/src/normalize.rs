@@ -1,0 +1,263 @@
+//! Per-dimension feature normalisation with serialisable fitted state.
+//!
+//! The normaliser is fitted on the Cloud (over the pre-training corpus's
+//! feature vectors) and shipped to the Edge inside the bundle, where it is
+//! applied unchanged to every window — the Edge never re-fits it, because
+//! refitting on a user's narrow activity mix would shift the embedding
+//! space under the support set.
+
+use crate::error::DspError;
+use crate::Result;
+use magneto_tensor::stats;
+use serde::{Deserialize, Serialize};
+
+/// Which normalisation scheme to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NormalizerKind {
+    /// `(x - mean) / std` per dimension — the default.
+    #[default]
+    ZScore,
+    /// `(x - min) / (max - min)` per dimension, into `[0, 1]`.
+    MinMax,
+    /// `(x - median) / IQR` per dimension — robust to outliers.
+    Robust,
+}
+
+/// A fitted per-dimension normaliser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    kind: NormalizerKind,
+    /// Per-dimension offset (mean / min / median).
+    offset: Vec<f32>,
+    /// Per-dimension scale (std / range / IQR), floored to avoid division
+    /// blow-ups on constant dimensions.
+    scale: Vec<f32>,
+}
+
+/// Scale floor: a dimension whose spread is below this is left unscaled
+/// (after centring) rather than exploded.
+const SCALE_FLOOR: f32 = 1e-6;
+
+impl Normalizer {
+    /// Fit a normaliser of the given kind over `rows` (each an equal-length
+    /// feature vector).
+    ///
+    /// # Errors
+    /// [`DspError::NotFitted`] if `rows` is empty,
+    /// [`DspError::DimensionMismatch`] if rows have differing lengths.
+    pub fn fit(kind: NormalizerKind, rows: &[Vec<f32>]) -> Result<Self> {
+        let first = rows.first().ok_or(DspError::NotFitted)?;
+        let dim = first.len();
+        for r in rows {
+            if r.len() != dim {
+                return Err(DspError::DimensionMismatch {
+                    expected: dim,
+                    found: r.len(),
+                });
+            }
+        }
+        let mut offset = Vec::with_capacity(dim);
+        let mut scale = Vec::with_capacity(dim);
+        let mut column = Vec::with_capacity(rows.len());
+        for d in 0..dim {
+            column.clear();
+            column.extend(rows.iter().map(|r| r[d]));
+            let (o, s) = match kind {
+                NormalizerKind::ZScore => (stats::mean(&column), stats::std_dev(&column)),
+                NormalizerKind::MinMax => {
+                    let lo = stats::min(&column);
+                    (lo, stats::max(&column) - lo)
+                }
+                NormalizerKind::Robust => (stats::median(&column), stats::iqr(&column)),
+            };
+            offset.push(o);
+            scale.push(if s.abs() < SCALE_FLOOR { 1.0 } else { s });
+        }
+        Ok(Normalizer {
+            kind,
+            offset,
+            scale,
+        })
+    }
+
+    /// The scheme this normaliser was fitted with.
+    pub fn kind(&self) -> NormalizerKind {
+        self.kind
+    }
+
+    /// Dimensionality this normaliser was fitted for.
+    pub fn dim(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Normalise a vector in place.
+    ///
+    /// # Errors
+    /// [`DspError::DimensionMismatch`] on wrong input dimension.
+    pub fn apply(&self, v: &mut [f32]) -> Result<()> {
+        if v.len() != self.dim() {
+            return Err(DspError::DimensionMismatch {
+                expected: self.dim(),
+                found: v.len(),
+            });
+        }
+        for ((x, &o), &s) in v.iter_mut().zip(&self.offset).zip(&self.scale) {
+            *x = (*x - o) / s;
+        }
+        Ok(())
+    }
+
+    /// Normalise a vector, returning a new allocation.
+    ///
+    /// # Errors
+    /// [`DspError::DimensionMismatch`] on wrong input dimension.
+    pub fn transform(&self, v: &[f32]) -> Result<Vec<f32>> {
+        let mut out = v.to_vec();
+        self.apply(&mut out)?;
+        Ok(out)
+    }
+
+    /// Invert the normalisation (diagnostics, report readability).
+    ///
+    /// # Errors
+    /// [`DspError::DimensionMismatch`] on wrong input dimension.
+    pub fn inverse(&self, v: &[f32]) -> Result<Vec<f32>> {
+        if v.len() != self.dim() {
+            return Err(DspError::DimensionMismatch {
+                expected: self.dim(),
+                found: v.len(),
+            });
+        }
+        Ok(v.iter()
+            .zip(&self.offset)
+            .zip(&self.scale)
+            .map(|((&x, &o), &s)| x * s + o)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magneto_tensor::SeededRng;
+
+    fn sample_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|d| rng.normal_with(d as f32 * 10.0, (d + 1) as f32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let rows = sample_rows(2000, 3, 1);
+        let norm = Normalizer::fit(NormalizerKind::ZScore, &rows).unwrap();
+        let transformed: Vec<Vec<f32>> =
+            rows.iter().map(|r| norm.transform(r).unwrap()).collect();
+        for d in 0..3 {
+            let col: Vec<f32> = transformed.iter().map(|r| r[d]).collect();
+            assert!(stats::mean(&col).abs() < 0.05, "dim {d} mean");
+            assert!((stats::std_dev(&col) - 1.0).abs() < 0.05, "dim {d} std");
+        }
+    }
+
+    #[test]
+    fn minmax_bounds() {
+        let rows = sample_rows(500, 4, 2);
+        let norm = Normalizer::fit(NormalizerKind::MinMax, &rows).unwrap();
+        for r in &rows {
+            for &v in &norm.transform(r).unwrap() {
+                assert!((-1e-5..=1.0 + 1e-5).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let mut rows = sample_rows(501, 2, 3);
+        // Inject gross outliers that would wreck a z-score fit.
+        rows.push(vec![1e6, -1e6]);
+        let norm = Normalizer::fit(NormalizerKind::Robust, &rows).unwrap();
+        let transformed: Vec<Vec<f32>> =
+            rows.iter().map(|r| norm.transform(r).unwrap()).collect();
+        let col0: Vec<f32> = transformed.iter().map(|r| r[0]).collect();
+        assert!(stats::median(&col0).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_dimension_does_not_blow_up() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        for kind in [
+            NormalizerKind::ZScore,
+            NormalizerKind::MinMax,
+            NormalizerKind::Robust,
+        ] {
+            let norm = Normalizer::fit(kind, &rows).unwrap();
+            let out = norm.transform(&[5.0, 2.0]).unwrap();
+            assert!(out.iter().all(|v| v.is_finite()), "{kind:?}");
+            assert_eq!(out[0], 0.0, "{kind:?} constant dim should centre to 0");
+        }
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(matches!(
+            Normalizer::fit(NormalizerKind::ZScore, &[]),
+            Err(DspError::NotFitted)
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            Normalizer::fit(NormalizerKind::ZScore, &ragged),
+            Err(DspError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_dimension_checked() {
+        let rows = sample_rows(10, 3, 4);
+        let norm = Normalizer::fit(NormalizerKind::ZScore, &rows).unwrap();
+        assert_eq!(norm.dim(), 3);
+        assert_eq!(norm.kind(), NormalizerKind::ZScore);
+        let mut wrong = vec![1.0, 2.0];
+        assert!(norm.apply(&mut wrong).is_err());
+        assert!(norm.inverse(&wrong).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let rows = sample_rows(100, 5, 5);
+        for kind in [
+            NormalizerKind::ZScore,
+            NormalizerKind::MinMax,
+            NormalizerKind::Robust,
+        ] {
+            let norm = Normalizer::fit(kind, &rows).unwrap();
+            let v = &rows[7];
+            let t = norm.transform(v).unwrap();
+            let back = norm.inverse(&t).unwrap();
+            for (a, b) in v.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rows = sample_rows(20, 3, 6);
+        let norm = Normalizer::fit(NormalizerKind::Robust, &rows).unwrap();
+        let json = serde_json::to_string(&norm).unwrap();
+        let back: Normalizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(norm.dim(), back.dim());
+        assert_eq!(norm.kind(), back.kind());
+        let v = vec![1.0, 2.0, 3.0];
+        let a = norm.transform(&v).unwrap();
+        let b = back.transform(&v).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Segmentation of sample streams into fixed-length windows.
+//!
+//! The paper segments sensor streams into one-second windows of ~120
+//! samples (§4.1.2). [`Segmenter`] is the streaming form used on the Edge
+//! (push samples, windows pop out); [`segment_series`] is the offline form
+//! used during Cloud initialisation.
+
+use serde::{Deserialize, Serialize};
+
+/// Offline segmentation of a multi-channel series into `(window_len, hop)`
+/// windows. Each output window is channel-major like the input. Trailing
+/// samples that do not fill a window are discarded.
+pub fn segment_series(
+    channels: &[Vec<f32>],
+    window_len: usize,
+    hop: usize,
+) -> Vec<Vec<Vec<f32>>> {
+    if window_len == 0 || hop == 0 || channels.is_empty() {
+        return Vec::new();
+    }
+    let n = channels.iter().map(Vec::len).min().unwrap_or(0);
+    if n < window_len {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + window_len <= n {
+        let window: Vec<Vec<f32>> = channels
+            .iter()
+            .map(|c| c[start..start + window_len].to_vec())
+            .collect();
+        out.push(window);
+        start += hop;
+    }
+    out
+}
+
+/// Streaming segmenter: accepts one multi-channel sample at a time and
+/// yields a full window every `hop` samples once warm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segmenter {
+    window_len: usize,
+    hop: usize,
+    channels: usize,
+    buffer: Vec<Vec<f32>>,
+    since_last: usize,
+    emitted: u64,
+}
+
+impl Segmenter {
+    /// Create a segmenter for `channels`-channel input.
+    ///
+    /// `hop == window_len` gives non-overlapping windows (the paper's
+    /// configuration); smaller hops give overlap.
+    pub fn new(channels: usize, window_len: usize, hop: usize) -> Self {
+        Segmenter {
+            window_len: window_len.max(1),
+            hop: hop.max(1),
+            channels,
+            buffer: vec![Vec::new(); channels],
+            since_last: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Push one sample (one value per channel). Returns a channel-major
+    /// window when one completes.
+    ///
+    /// Samples with the wrong channel count are ignored (a real sensor
+    /// service occasionally delivers partial batches; dropping them is the
+    /// robust choice for a 1-second window).
+    pub fn push(&mut self, sample: &[f32]) -> Option<Vec<Vec<f32>>> {
+        if sample.len() != self.channels {
+            return None;
+        }
+        for (buf, &v) in self.buffer.iter_mut().zip(sample.iter()) {
+            buf.push(v);
+        }
+        if self.buffer[0].len() < self.window_len {
+            return None;
+        }
+        // Buffer holds exactly window_len samples now or more; emit when
+        // the hop boundary is reached.
+        if self.buffer[0].len() > self.window_len {
+            // Keep the buffer at window_len by dropping the oldest sample.
+            for buf in &mut self.buffer {
+                buf.remove(0);
+            }
+        }
+        self.since_last += 1;
+        let due = if self.emitted == 0 {
+            self.buffer[0].len() == self.window_len
+        } else {
+            self.since_last >= self.hop
+        };
+        if due {
+            self.since_last = 0;
+            self.emitted += 1;
+            Some(self.buffer.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Discard buffered samples (e.g. on activity-recording restart).
+    pub fn reset(&mut self) {
+        for buf in &mut self.buffer {
+            buf.clear();
+        }
+        self.since_last = 0;
+        self.emitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_channels(channels: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..channels)
+            .map(|c| (0..n).map(|i| (c * 1000 + i) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn offline_non_overlapping() {
+        let ch = ramp_channels(2, 10);
+        let ws = segment_series(&ch, 4, 4);
+        assert_eq!(ws.len(), 2); // samples 0..4, 4..8; 8..10 discarded
+        assert_eq!(ws[0][0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ws[1][1], vec![1004.0, 1005.0, 1006.0, 1007.0]);
+    }
+
+    #[test]
+    fn offline_overlapping() {
+        let ch = ramp_channels(1, 8);
+        let ws = segment_series(&ch, 4, 2);
+        assert_eq!(ws.len(), 3); // starts 0, 2, 4
+        assert_eq!(ws[1][0], vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn offline_degenerate_inputs() {
+        assert!(segment_series(&[], 4, 4).is_empty());
+        assert!(segment_series(&ramp_channels(1, 3), 4, 4).is_empty());
+        assert!(segment_series(&ramp_channels(1, 8), 0, 4).is_empty());
+        assert!(segment_series(&ramp_channels(1, 8), 4, 0).is_empty());
+    }
+
+    #[test]
+    fn offline_uses_shortest_channel() {
+        let mut ch = ramp_channels(2, 10);
+        ch[1].truncate(6);
+        let ws = segment_series(&ch, 4, 4);
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn streaming_non_overlapping_matches_offline() {
+        let ch = ramp_channels(3, 12);
+        let offline = segment_series(&ch, 4, 4);
+        let mut seg = Segmenter::new(3, 4, 4);
+        let mut streamed = Vec::new();
+        for i in 0..12 {
+            let sample: Vec<f32> = ch.iter().map(|c| c[i]).collect();
+            if let Some(w) = seg.push(&sample) {
+                streamed.push(w);
+            }
+        }
+        assert_eq!(offline, streamed);
+        assert_eq!(seg.emitted(), 3);
+    }
+
+    #[test]
+    fn streaming_overlapping_hops() {
+        let mut seg = Segmenter::new(1, 4, 2);
+        let mut windows = Vec::new();
+        for i in 0..10 {
+            if let Some(w) = seg.push(&[i as f32]) {
+                windows.push(w[0].clone());
+            }
+        }
+        assert_eq!(windows.len(), 4); // at samples 4, 6, 8, 10
+        assert_eq!(windows[0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(windows[1], vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn streaming_ignores_malformed_samples() {
+        let mut seg = Segmenter::new(2, 3, 3);
+        assert!(seg.push(&[1.0]).is_none()); // wrong arity, ignored
+        for i in 0..3 {
+            let out = seg.push(&[i as f32, i as f32]);
+            if i == 2 {
+                assert!(out.is_some());
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut seg = Segmenter::new(1, 3, 3);
+        seg.push(&[1.0]);
+        seg.push(&[2.0]);
+        seg.reset();
+        assert!(seg.push(&[3.0]).is_none());
+        assert!(seg.push(&[4.0]).is_none());
+        assert!(seg.push(&[5.0]).is_some());
+        assert_eq!(seg.emitted(), 1);
+    }
+}

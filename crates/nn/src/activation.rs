@@ -1,0 +1,128 @@
+//! Activation functions with exact derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported activations. The paper's backbone uses ReLU between hidden
+/// layers and a linear (identity) embedding output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// `max(0, x)`.
+    #[default]
+    Relu,
+    /// `x` for `x > 0`, else `0.01·x`.
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to a scalar.
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the *pre-activation* `x`.
+    #[inline]
+    pub fn derivative(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Relu,
+        Activation::LeakyRelu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert!((Activation::LeakyRelu.apply(-2.0) + 0.02).abs() < 1e-7);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-7);
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-3f32;
+        for act in ALL {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_at_kink() {
+        // We define the subgradient at 0 as 0 (standard choice).
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::LeakyRelu.derivative(0.0), 0.01);
+    }
+
+    #[test]
+    fn sigmoid_saturates_without_nan() {
+        assert!((Activation::Sigmoid.apply(100.0) - 1.0).abs() < 1e-6);
+        assert!(Activation::Sigmoid.apply(-100.0) < 1e-6);
+        assert!(Activation::Sigmoid.apply(-100.0).is_finite());
+        assert!(Activation::Sigmoid.derivative(100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_is_relu() {
+        assert_eq!(Activation::default(), Activation::Relu);
+    }
+}

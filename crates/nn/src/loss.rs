@@ -1,0 +1,516 @@
+//! Loss functions with analytic gradients.
+//!
+//! * [`contrastive_loss`] — the Hadsell–Chopra pairwise contrastive loss a
+//!   Siamese network trains on (§3.2): similar pairs are pulled together,
+//!   dissimilar pairs pushed beyond a margin.
+//! * [`distillation_loss`] — embedding-level teacher–student MSE. During
+//!   on-device updates the frozen pre-update model is the teacher; keeping
+//!   the student's embeddings of *old-class support data* close to the
+//!   teacher's is what prevents catastrophic forgetting (§3.3).
+//! * [`softmax_cross_entropy`] — for the cloud-classifier baseline used in
+//!   the Figure-1 protocol comparison.
+
+use crate::error::NnError;
+use crate::Result;
+use magneto_tensor::{vector, Matrix};
+
+/// Pairwise contrastive loss.
+///
+/// Given row-aligned embedding batches `a` and `b` and pair labels
+/// (`true` = same class), computes
+///
+/// ```text
+/// L = mean_i [ y_i · ½·d_i² + (1 − y_i) · ½·max(0, m − d_i)² ]
+/// ```
+///
+/// with `d_i = ‖a_i − b_i‖`. Returns `(loss, ∂L/∂a, ∂L/∂b)`.
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on empty or misaligned batches.
+pub fn contrastive_loss(
+    a: &Matrix,
+    b: &Matrix,
+    same: &[bool],
+    margin: f32,
+) -> Result<(f32, Matrix, Matrix)> {
+    if a.shape() != b.shape() || a.rows() != same.len() || a.rows() == 0 {
+        return Err(NnError::InvalidBatch(format!(
+            "contrastive batch misaligned: a {:?}, b {:?}, labels {}",
+            a.shape(),
+            b.shape(),
+            same.len()
+        )));
+    }
+    let n = a.rows();
+    let dim = a.cols();
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f32;
+    let mut grad_a = Matrix::zeros(n, dim);
+    let mut grad_b = Matrix::zeros(n, dim);
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel collections
+    for i in 0..n {
+        let ra = a.row(i);
+        let rb = b.row(i);
+        let d = vector::euclidean(ra, rb);
+        if same[i] {
+            loss += 0.5 * d * d;
+            // ∂(½d²)/∂a = (a − b)
+            for j in 0..dim {
+                let diff = ra[j] - rb[j];
+                grad_a.set(i, j, diff * inv_n);
+                grad_b.set(i, j, -diff * inv_n);
+            }
+        } else if d < margin {
+            let gap = margin - d;
+            loss += 0.5 * gap * gap;
+            // ∂(½(m−d)²)/∂a = −(m−d)/d · (a − b); guard d ≈ 0.
+            let coef = if d > 1e-7 { -gap / d } else { 0.0 };
+            for j in 0..dim {
+                let diff = ra[j] - rb[j];
+                grad_a.set(i, j, coef * diff * inv_n);
+                grad_b.set(i, j, -coef * diff * inv_n);
+            }
+        }
+    }
+    Ok((loss * inv_n, grad_a, grad_b))
+}
+
+/// Embedding-level distillation loss: mean squared error between student
+/// and (frozen) teacher embeddings of the same inputs.
+///
+/// ```text
+/// L = (1/n) Σ_i ‖s_i − t_i‖²       ∂L/∂s = 2(s − t)/n
+/// ```
+///
+/// Returns `(loss, ∂L/∂student)`.
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on shape mismatch or empty batch.
+pub fn distillation_loss(student: &Matrix, teacher: &Matrix) -> Result<(f32, Matrix)> {
+    if student.shape() != teacher.shape() || student.rows() == 0 {
+        return Err(NnError::InvalidBatch(format!(
+            "distillation shapes: student {:?}, teacher {:?}",
+            student.shape(),
+            teacher.shape()
+        )));
+    }
+    let n = student.rows() as f32;
+    let diff = student.sub(teacher)?;
+    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// Supervised contrastive loss (Khosla et al., NeurIPS 2020 — the
+/// paper's reference \[9\]) with analytic gradients, including the backprop
+/// through the L2 normalisation.
+///
+/// For a batch of embeddings `Z` with integer labels:
+///
+/// ```text
+/// ẑᵢ = zᵢ/‖zᵢ‖        sᵢⱼ = ẑᵢ·ẑⱼ/τ
+/// Lᵢ = −1/|P(i)| Σ_{p∈P(i)} [ sᵢₚ − log Σ_{a≠i} exp(sᵢₐ) ]
+/// L  = mean over anchors with at least one positive
+/// ```
+///
+/// Returns `(loss, ∂L/∂Z)`. Anchors without positives are skipped; if no
+/// anchor has a positive the loss is `0` with zero gradient.
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on empty/misaligned batches.
+pub fn supervised_contrastive_loss(
+    embeddings: &Matrix,
+    labels: &[usize],
+    temperature: f32,
+) -> Result<(f32, Matrix)> {
+    let n = embeddings.rows();
+    let d = embeddings.cols();
+    if n != labels.len() || n == 0 {
+        return Err(NnError::InvalidBatch(format!(
+            "supcon batch: {} rows vs {} labels",
+            n,
+            labels.len()
+        )));
+    }
+    let tau = temperature.max(1e-4);
+
+    // Normalise (keep norms for the backward pass).
+    let mut norms = vec![0.0f32; n];
+    let mut zhat = Matrix::zeros(n, d);
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel structures
+    for i in 0..n {
+        let row = embeddings.row(i);
+        let nm = vector::norm(row).max(1e-8);
+        norms[i] = nm;
+        for (j, &v) in row.iter().enumerate() {
+            zhat.set(i, j, v / nm);
+        }
+    }
+
+    // Similarity matrix s and per-anchor softmax over a ≠ i.
+    let sim = zhat.matmul_transposed(&zhat)?; // cosine similarities
+    let mut loss = 0.0f32;
+    let mut grad_zhat = Matrix::zeros(n, d);
+    let anchors: Vec<usize> = (0..n)
+        .filter(|&i| labels.iter().enumerate().any(|(j, &l)| j != i && l == labels[i]))
+        .collect();
+    if anchors.is_empty() {
+        return Ok((0.0, Matrix::zeros(n, d)));
+    }
+    let w = 1.0 / anchors.len() as f32;
+
+    for &i in &anchors {
+        let positives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && labels[j] == labels[i])
+            .collect();
+        let p_count = positives.len() as f32;
+
+        // Stable log-sum-exp over a ≠ i.
+        let mut max_s = f32::NEG_INFINITY;
+        for a in 0..n {
+            if a != i {
+                max_s = max_s.max(sim.get(i, a) / tau);
+            }
+        }
+        let mut denom = 0.0f32;
+        let mut q = vec![0.0f32; n]; // softmax weights over a ≠ i
+        #[allow(clippy::needless_range_loop)] // a indexes q and sim rows together
+        for a in 0..n {
+            if a != i {
+                let e = ((sim.get(i, a) / tau) - max_s).exp();
+                q[a] = e;
+                denom += e;
+            }
+        }
+        let lse = max_s + denom.ln();
+        for v in &mut q {
+            *v /= denom;
+        }
+
+        for &p in &positives {
+            loss -= w / p_count * (sim.get(i, p) / tau - lse);
+        }
+
+        // ∂L/∂ẑ contributions for anchor i.
+        for k in 0..d {
+            // −1/|P| Σ_p ẑ_p  +  Σ_a q_a ẑ_a     (all scaled by w/τ)
+            let mut gi = 0.0f32;
+            for &p in &positives {
+                gi -= zhat.get(p, k) / p_count;
+            }
+            for (a, &qa) in q.iter().enumerate() {
+                if a != i {
+                    gi += qa * zhat.get(a, k);
+                }
+            }
+            grad_zhat.set(i, k, grad_zhat.get(i, k) + w / tau * gi);
+        }
+        // Contributions to the other rows.
+        for &p in &positives {
+            for k in 0..d {
+                let g = grad_zhat.get(p, k) - w / (tau * p_count) * zhat.get(i, k);
+                grad_zhat.set(p, k, g);
+            }
+        }
+        for (a, &qa) in q.iter().enumerate() {
+            if a != i && qa > 0.0 {
+                for k in 0..d {
+                    let g = grad_zhat.get(a, k) + w / tau * qa * zhat.get(i, k);
+                    grad_zhat.set(a, k, g);
+                }
+            }
+        }
+    }
+
+    // Backprop through ẑ = z/‖z‖:  ∂L/∂z = (g − (ẑ·g) ẑ)/‖z‖.
+    let mut grad = Matrix::zeros(n, d);
+    #[allow(clippy::needless_range_loop)] // i indexes grads, zhat and norms together
+    for i in 0..n {
+        let g = grad_zhat.row(i);
+        let zh = zhat.row(i);
+        let dot = vector::dot(zh, g);
+        for k in 0..d {
+            grad.set(i, k, (g[k] - dot * zh[k]) / norms[i]);
+        }
+    }
+    Ok((loss, grad))
+}
+
+/// Softmax cross-entropy over logits, with one-hot integer targets.
+///
+/// Returns `(mean loss, ∂L/∂logits)` where the gradient is the classic
+/// `(softmax(z) − onehot)/n`.
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on empty batches or out-of-range targets.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> Result<(f32, Matrix)> {
+    if logits.rows() != targets.len() || logits.rows() == 0 {
+        return Err(NnError::InvalidBatch(format!(
+            "cross-entropy batch: {} logit rows vs {} targets",
+            logits.rows(),
+            targets.len()
+        )));
+    }
+    let classes = logits.cols();
+    let n = logits.rows();
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(n, classes);
+    #[allow(clippy::needless_range_loop)] // i indexes logits rows and targets together
+    for i in 0..n {
+        let t = targets[i];
+        if t >= classes {
+            return Err(NnError::InvalidBatch(format!(
+                "target {t} out of range for {classes} classes"
+            )));
+        }
+        let probs = vector::softmax(logits.row(i));
+        loss -= probs[t].max(1e-12).ln();
+        for (j, &p) in probs.iter().enumerate() {
+            let y = if j == t { 1.0 } else { 0.0 };
+            grad.set(i, j, (p - y) * inv_n);
+        }
+    }
+    Ok((loss * inv_n, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn contrastive_identical_similar_pair_is_zero() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let (loss, ga, gb) = contrastive_loss(&a, &a.clone(), &[true], 1.0).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(ga.as_slice().iter().all(|&v| v == 0.0));
+        assert!(gb.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn contrastive_separated_dissimilar_pair_is_zero() {
+        let a = m(1, 2, &[0.0, 0.0]);
+        let b = m(1, 2, &[10.0, 0.0]);
+        let (loss, ga, _) = contrastive_loss(&a, &b, &[false], 1.0).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(ga.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn contrastive_known_values() {
+        // Similar pair at distance 2: loss = ½·4 = 2.
+        let a = m(1, 1, &[0.0]);
+        let b = m(1, 1, &[2.0]);
+        let (loss, ga, gb) = contrastive_loss(&a, &b, &[true], 1.0).unwrap();
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert!((ga.get(0, 0) + 2.0).abs() < 1e-6); // (a-b) = -2
+        assert!((gb.get(0, 0) - 2.0).abs() < 1e-6);
+        // Dissimilar pair at distance 0.5, margin 1: loss = ½·0.25.
+        let (loss2, _, _) =
+            contrastive_loss(&m(1, 1, &[0.0]), &m(1, 1, &[0.5]), &[false], 1.0).unwrap();
+        assert!((loss2 - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrastive_gradient_check() {
+        let a = m(2, 3, &[0.3, -0.2, 0.5, 0.1, 0.9, -0.4]);
+        let b = m(2, 3, &[0.0, 0.4, 0.2, -0.6, 0.8, 0.3]);
+        let same = [true, false];
+        let margin = 1.5;
+        let (_, ga, gb) = contrastive_loss(&a, &b, &same, margin).unwrap();
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (0, 2), (1, 1)] {
+            let mut ap = a.clone();
+            ap.set(r, c, a.get(r, c) + eps);
+            let (lp, _, _) = contrastive_loss(&ap, &b, &same, margin).unwrap();
+            let mut am = a.clone();
+            am.set(r, c, a.get(r, c) - eps);
+            let (lm, _, _) = contrastive_loss(&am, &b, &same, margin).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - ga.get(r, c)).abs() < 1e-2,
+                "dA[{r},{c}] numeric {numeric} vs {}",
+                ga.get(r, c)
+            );
+            let mut bp = b.clone();
+            bp.set(r, c, b.get(r, c) + eps);
+            let (lbp, _, _) = contrastive_loss(&a, &bp, &same, margin).unwrap();
+            let mut bm = b.clone();
+            bm.set(r, c, b.get(r, c) - eps);
+            let (lbm, _, _) = contrastive_loss(&a, &bm, &same, margin).unwrap();
+            let numeric_b = (lbp - lbm) / (2.0 * eps);
+            assert!(
+                (numeric_b - gb.get(r, c)).abs() < 1e-2,
+                "dB[{r},{c}]"
+            );
+        }
+    }
+
+    #[test]
+    fn contrastive_zero_distance_dissimilar_does_not_nan() {
+        let a = m(1, 2, &[1.0, 1.0]);
+        let (loss, ga, _) = contrastive_loss(&a, &a.clone(), &[false], 1.0).unwrap();
+        assert!(loss.is_finite());
+        assert!(ga.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn contrastive_rejects_malformed() {
+        let a = m(2, 2, &[0.0; 4]);
+        let b = m(1, 2, &[0.0; 2]);
+        assert!(contrastive_loss(&a, &b, &[true, false], 1.0).is_err());
+        assert!(contrastive_loss(&a, &a.clone(), &[true], 1.0).is_err());
+        let empty = Matrix::zeros(0, 2);
+        assert!(contrastive_loss(&empty, &empty.clone(), &[], 1.0).is_err());
+    }
+
+    #[test]
+    fn distillation_zero_when_matching() {
+        let s = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let (loss, grad) = distillation_loss(&s, &s.clone()).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn distillation_known_value_and_gradient_check() {
+        let s = m(1, 2, &[1.0, 0.0]);
+        let t = m(1, 2, &[0.0, 0.0]);
+        let (loss, grad) = distillation_loss(&s, &t).unwrap();
+        assert!((loss - 1.0).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 2.0).abs() < 1e-6);
+        // Finite difference.
+        let eps = 1e-3;
+        let mut sp = s.clone();
+        sp.set(0, 1, eps);
+        let (lp, _) = distillation_loss(&sp, &t).unwrap();
+        let mut sm = s.clone();
+        sm.set(0, 1, -eps);
+        let (lm, _) = distillation_loss(&sm, &t).unwrap();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - grad.get(0, 1)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn distillation_rejects_mismatch() {
+        assert!(distillation_loss(&Matrix::zeros(1, 2), &Matrix::zeros(2, 2)).is_err());
+        assert!(distillation_loss(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let logits = m(1, 3, &[10.0, -5.0, -5.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 0.01, "loss {loss}");
+        // Gradient pushes the correct logit up (negative gradient).
+        assert!(grad.get(0, 0) < 0.0);
+        assert!(grad.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = m(1, 4, &[0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = m(2, 3, &[0.5, -0.2, 0.8, 0.1, 0.9, -0.3]);
+        let targets = [2usize, 1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (1, 2)] {
+            let mut lp = logits.clone();
+            lp.set(r, c, logits.get(r, c) + eps);
+            let (up, _) = softmax_cross_entropy(&lp, &targets).unwrap();
+            let mut lm = logits.clone();
+            lm.set(r, c, logits.get(r, c) - eps);
+            let (down, _) = softmax_cross_entropy(&lm, &targets).unwrap();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - grad.get(r, c)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_targets() {
+        let logits = m(1, 3, &[0.0; 3]);
+        assert!(softmax_cross_entropy(&logits, &[3]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[]).is_err());
+    }
+
+    #[test]
+    fn supcon_separated_classes_have_lower_loss() {
+        // Tightly clustered, well-separated classes score lower than a
+        // shuffled labelling of the same points.
+        let z = m(
+            4,
+            2,
+            &[1.0, 0.1, 1.0, -0.1, -1.0, 0.1, -1.0, -0.1],
+        );
+        let good = [0usize, 0, 1, 1];
+        let bad = [0usize, 1, 0, 1];
+        let (lg, _) = supervised_contrastive_loss(&z, &good, 0.2).unwrap();
+        let (lb, _) = supervised_contrastive_loss(&z, &bad, 0.2).unwrap();
+        assert!(lg < lb, "separated {lg} vs shuffled {lb}");
+    }
+
+    #[test]
+    fn supcon_gradient_check() {
+        let z = m(
+            5,
+            3,
+            &[
+                0.8, -0.2, 0.5, 0.6, 0.4, -0.3, -0.7, 0.9, 0.2, -0.5, -0.6, 0.4, 0.3, 0.2,
+                -0.8,
+            ],
+        );
+        let labels = [0usize, 0, 1, 1, 0];
+        let tau = 0.5;
+        let (_, grad) = supervised_contrastive_loss(&z, &labels, tau).unwrap();
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (1, 2), (3, 1), (4, 2)] {
+            let mut zp = z.clone();
+            zp.set(r, c, z.get(r, c) + eps);
+            let (lp, _) = supervised_contrastive_loss(&zp, &labels, tau).unwrap();
+            let mut zm = z.clone();
+            zm.set(r, c, z.get(r, c) - eps);
+            let (lm, _) = supervised_contrastive_loss(&zm, &labels, tau).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dZ[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn supcon_no_positives_is_zero() {
+        let z = m(3, 2, &[1.0, 0.0, 0.0, 1.0, -1.0, 0.0]);
+        let labels = [0usize, 1, 2]; // all singletons
+        let (loss, grad) = supervised_contrastive_loss(&z, &labels, 0.5).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn supcon_handles_zero_norm_rows() {
+        let z = m(3, 2, &[0.0, 0.0, 1.0, 0.0, 1.0, 0.1]);
+        let labels = [0usize, 0, 0];
+        let (loss, grad) = supervised_contrastive_loss(&z, &labels, 0.5).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn supcon_rejects_malformed() {
+        let z = m(2, 2, &[0.0; 4]);
+        assert!(supervised_contrastive_loss(&z, &[0], 0.5).is_err());
+        assert!(supervised_contrastive_loss(&Matrix::zeros(0, 2), &[], 0.5).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Pair sampling for Siamese training.
+//!
+//! A Siamese batch is a list of `(i, j, same)` index pairs into the
+//! feature matrix. Training quality depends on balance: all-positive
+//! batches collapse the embedding, all-negative batches only spread it.
+//! [`sample_pairs`] draws ~50/50 positive/negative pairs with
+//! class-uniform positives.
+
+use magneto_tensor::SeededRng;
+use std::collections::BTreeMap;
+
+/// One Siamese training pair: row indices and whether the rows share a
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSample {
+    /// Row index of the first view.
+    pub i: usize,
+    /// Row index of the second view.
+    pub j: usize,
+    /// `true` when both rows have the same label.
+    pub same: bool,
+}
+
+/// Sample `count` balanced pairs from integer labels.
+///
+/// Positives are drawn class-uniformly (each class contributes equally,
+/// so a class with few fresh samples — the newly recorded activity — is
+/// not drowned out). Negatives pair two different classes uniformly.
+/// Classes with a single sample cannot form positives and are skipped for
+/// that half; if only one class exists, all pairs are positive.
+pub fn sample_pairs(labels: &[usize], count: usize, rng: &mut SeededRng) -> Vec<PairSample> {
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, &l) in labels.iter().enumerate() {
+        by_class.entry(l).or_default().push(idx);
+    }
+    let classes: Vec<usize> = by_class.keys().copied().collect();
+    let multi: Vec<usize> = classes
+        .iter()
+        .copied()
+        .filter(|c| by_class[c].len() >= 2)
+        .collect();
+    let mut pairs = Vec::with_capacity(count);
+    if classes.is_empty() {
+        return pairs;
+    }
+    for k in 0..count {
+        let want_positive = k % 2 == 0;
+        if (want_positive && !multi.is_empty()) || classes.len() < 2 {
+            // Positive pair from a class with at least two samples.
+            if multi.is_empty() {
+                break; // single-sample single class: nothing to pair
+            }
+            let c = multi[rng.index(multi.len())];
+            let members = &by_class[&c];
+            let a = rng.index(members.len());
+            let mut b = rng.index(members.len());
+            while b == a {
+                b = rng.index(members.len());
+            }
+            pairs.push(PairSample {
+                i: members[a],
+                j: members[b],
+                same: true,
+            });
+        } else {
+            // Negative pair across two distinct classes.
+            let ca = classes[rng.index(classes.len())];
+            let mut cb = classes[rng.index(classes.len())];
+            while cb == ca {
+                cb = classes[rng.index(classes.len())];
+            }
+            let ma = &by_class[&ca];
+            let mb = &by_class[&cb];
+            pairs.push(PairSample {
+                i: ma[rng.index(ma.len())],
+                j: mb[rng.index(mb.len())],
+                same: false,
+            });
+        }
+    }
+    pairs
+}
+
+/// Sample a class-balanced batch of `count` row indices (for batch
+/// objectives like supervised contrastive): classes are visited
+/// round-robin, rows uniformly within each class. Returns fewer than
+/// `count` only when there are no rows at all.
+pub fn sample_balanced_batch(labels: &[usize], count: usize, rng: &mut SeededRng) -> Vec<usize> {
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, &l) in labels.iter().enumerate() {
+        by_class.entry(l).or_default().push(idx);
+    }
+    let classes: Vec<&Vec<usize>> = by_class.values().collect();
+    if classes.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let members = classes[k % classes.len()];
+        out.push(members[rng.index(members.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_half_positive() {
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let mut rng = SeededRng::new(1);
+        let pairs = sample_pairs(&labels, 200, &mut rng);
+        assert_eq!(pairs.len(), 200);
+        let pos = pairs.iter().filter(|p| p.same).count();
+        assert_eq!(pos, 100);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_same_flag() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let mut rng = SeededRng::new(2);
+        for p in sample_pairs(&labels, 300, &mut rng) {
+            assert_eq!(labels[p.i] == labels[p.j], p.same);
+            assert_ne!(p.i, p.j);
+        }
+    }
+
+    #[test]
+    fn positives_cover_small_classes() {
+        // Class 9 has only 3 samples among 100; class-uniform positives
+        // must still feature it often.
+        let mut labels: Vec<usize> = vec![0; 97];
+        labels.extend([9, 9, 9]);
+        let mut rng = SeededRng::new(3);
+        let pairs = sample_pairs(&labels, 400, &mut rng);
+        let small_pos = pairs
+            .iter()
+            .filter(|p| p.same && labels[p.i] == 9)
+            .count();
+        assert!(small_pos > 50, "small class positives: {small_pos}");
+    }
+
+    #[test]
+    fn single_class_yields_only_positives() {
+        let labels = vec![5usize; 10];
+        let mut rng = SeededRng::new(4);
+        let pairs = sample_pairs(&labels, 50, &mut rng);
+        assert_eq!(pairs.len(), 50);
+        assert!(pairs.iter().all(|p| p.same));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = SeededRng::new(5);
+        assert!(sample_pairs(&[], 10, &mut rng).is_empty());
+        // One class, one sample: no pairs possible.
+        assert!(sample_pairs(&[3], 10, &mut rng).is_empty());
+        // Two singleton classes: only negatives are possible; positives
+        // terminate the loop early, so we get at most `count` pairs and
+        // every produced pair is valid.
+        let pairs = sample_pairs(&[0, 1], 10, &mut rng);
+        assert!(pairs.iter().all(|p| !p.same));
+    }
+
+    #[test]
+    fn deterministic() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let mut a = SeededRng::new(6);
+        let mut b = SeededRng::new(6);
+        assert_eq!(
+            sample_pairs(&labels, 40, &mut a),
+            sample_pairs(&labels, 40, &mut b)
+        );
+    }
+
+    #[test]
+    fn balanced_batch_round_robins_classes() {
+        // Class 1 has a single member among many of class 0; it must
+        // still occupy ~half the batch.
+        let mut labels = vec![0usize; 50];
+        labels.push(1);
+        let mut rng = SeededRng::new(7);
+        let batch = sample_balanced_batch(&labels, 40, &mut rng);
+        assert_eq!(batch.len(), 40);
+        let minority = batch.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(minority, 20);
+        assert!(batch.iter().all(|&i| i < labels.len()));
+    }
+
+    #[test]
+    fn balanced_batch_degenerate() {
+        let mut rng = SeededRng::new(8);
+        assert!(sample_balanced_batch(&[], 10, &mut rng).is_empty());
+        assert_eq!(sample_balanced_batch(&[3], 5, &mut rng), vec![0; 5]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Post-training 8-bit weight quantisation.
+//!
+//! The paper stresses edge footprint ("Model size, which should be small
+//! enough to fit within the Edge", §1; "does not exceed 5 MB", §4.2). The
+//! f32 backbone is ~2.8 MB; symmetric per-tensor int8 quantisation brings
+//! the stored weights to ~0.7 MB with negligible embedding drift, giving
+//! the footprint experiment (C3 in DESIGN.md) a second operating point.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Dense;
+use crate::network::Mlp;
+use crate::Result;
+use magneto_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer with int8 weights (symmetric per-tensor scale) and f32
+/// bias (biases are tiny; quantising them buys nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedDense {
+    rows: usize,
+    cols: usize,
+    weights_i8: Vec<i8>,
+    scale: f32,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+/// A fully-quantised MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDense>,
+}
+
+impl QuantizedDense {
+    fn quantize(layer: &Dense) -> Self {
+        let max_abs = layer.weights.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let weights_i8 = layer
+            .weights
+            .as_slice()
+            .iter()
+            .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedDense {
+            rows: layer.weights.rows(),
+            cols: layer.weights.cols(),
+            weights_i8,
+            scale,
+            bias: layer.bias.clone(),
+            activation: layer.activation,
+        }
+    }
+
+    fn dequantize(&self) -> Result<Dense> {
+        let data: Vec<f32> = self
+            .weights_i8
+            .iter()
+            .map(|&q| f32::from(q) * self.scale)
+            .collect();
+        Ok(Dense {
+            weights: Matrix::from_vec(self.rows, self.cols, data)?,
+            bias: self.bias.clone(),
+            activation: self.activation,
+        })
+    }
+
+    /// Stored bytes: i8 weights + f32 bias + scale + header.
+    fn stored_bytes(&self) -> usize {
+        self.weights_i8.len() + self.bias.len() * 4 + 4 + 12
+    }
+}
+
+impl QuantizedMlp {
+    /// Quantise every layer of an MLP.
+    pub fn quantize(net: &Mlp) -> Self {
+        QuantizedMlp {
+            layers: net.layers().iter().map(QuantizedDense::quantize).collect(),
+        }
+    }
+
+    /// Reconstruct an f32 MLP (lossy: weights round-trip through int8).
+    ///
+    /// # Errors
+    /// [`NnError::Decode`] only on internal inconsistency.
+    pub fn dequantize(&self) -> Result<Mlp> {
+        if self.layers.is_empty() {
+            return Err(NnError::Decode("quantized model has no layers".into()));
+        }
+        let layers = self
+            .layers
+            .iter()
+            .map(QuantizedDense::dequantize)
+            .collect::<Result<Vec<_>>>()?;
+        Mlp::from_layers(layers)
+    }
+
+    /// Bytes needed to store the quantised parameters.
+    pub fn stored_bytes(&self) -> usize {
+        self.layers.iter().map(QuantizedDense::stored_bytes).sum()
+    }
+
+    /// Compact binary encoding:
+    ///
+    /// ```text
+    /// qmodel := magic "MGNQ" | u32 n_layers | qlayer*
+    /// qlayer := u8 activation | u32 rows | u32 cols | f32 scale
+    ///           | rows*cols i8 | f32vec bias
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(self.stored_bytes() + 32);
+        buf.put_slice(b"MGNQ");
+        buf.put_u32_le(self.layers.len() as u32);
+        for l in &self.layers {
+            buf.put_u8(match l.activation {
+                Activation::Relu => 0,
+                Activation::LeakyRelu => 1,
+                Activation::Sigmoid => 2,
+                Activation::Tanh => 3,
+                Activation::Identity => 4,
+            });
+            buf.put_u32_le(l.rows as u32);
+            buf.put_u32_le(l.cols as u32);
+            buf.put_f32_le(l.scale);
+            for &q in &l.weights_i8 {
+                buf.put_i8(q);
+            }
+            magneto_tensor::serialize::encode_f32_vec(&l.bias, &mut buf);
+        }
+        buf.to_vec()
+    }
+
+    /// Decode bytes produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    /// [`NnError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        use bytes::Buf;
+        let mut buf = bytes::Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 8 {
+            return Err(NnError::Decode("quantized header truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"MGNQ" {
+            return Err(NnError::Decode("bad quantized magic".into()));
+        }
+        let n_layers = buf.get_u32_le();
+        if n_layers == 0 || n_layers > 1024 {
+            return Err(NnError::Decode(format!(
+                "implausible quantized layer count {n_layers}"
+            )));
+        }
+        let mut layers = Vec::with_capacity(n_layers as usize);
+        for _ in 0..n_layers {
+            if buf.remaining() < 13 {
+                return Err(NnError::Decode("quantized layer header truncated".into()));
+            }
+            let activation = match buf.get_u8() {
+                0 => Activation::Relu,
+                1 => Activation::LeakyRelu,
+                2 => Activation::Sigmoid,
+                3 => Activation::Tanh,
+                4 => Activation::Identity,
+                other => {
+                    return Err(NnError::Decode(format!("unknown activation {other}")))
+                }
+            };
+            let rows = buf.get_u32_le() as usize;
+            let cols = buf.get_u32_le() as usize;
+            if rows > 1_000_000 || cols > 1_000_000 {
+                return Err(NnError::Decode("implausible quantized dims".into()));
+            }
+            let scale = buf.get_f32_le();
+            let n = rows * cols;
+            if buf.remaining() < n {
+                return Err(NnError::Decode("quantized weights truncated".into()));
+            }
+            let mut weights_i8 = Vec::with_capacity(n);
+            for _ in 0..n {
+                weights_i8.push(buf.get_i8());
+            }
+            let bias = magneto_tensor::serialize::decode_f32_vec(&mut buf)
+                .map_err(NnError::Tensor)?;
+            if bias.len() != cols {
+                return Err(NnError::Decode("quantized bias length mismatch".into()));
+            }
+            layers.push(QuantizedDense {
+                rows,
+                cols,
+                weights_i8,
+                scale,
+                bias,
+                activation,
+            });
+        }
+        Ok(QuantizedMlp { layers })
+    }
+
+    /// Mean absolute weight error introduced by quantisation.
+    pub fn quantization_error(&self, original: &Mlp) -> Result<f32> {
+        let restored = self.dequantize()?;
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for (a, b) in original.layers().iter().zip(restored.layers().iter()) {
+            for (&x, &y) in a.weights.as_slice().iter().zip(b.weights.as_slice().iter()) {
+                total += f64::from((x - y).abs());
+                count += 1;
+            }
+        }
+        Ok((total / count.max(1) as f64) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magneto_tensor::SeededRng;
+
+    fn net(seed: u64) -> Mlp {
+        Mlp::new(&[8, 16, 4], &mut SeededRng::new(seed)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_architecture() {
+        let m = net(1);
+        let q = QuantizedMlp::quantize(&m);
+        let back = q.dequantize().unwrap();
+        assert_eq!(back.dims(), m.dims());
+        assert_eq!(back.layers()[0].activation, m.layers()[0].activation);
+    }
+
+    #[test]
+    fn quantization_error_is_small() {
+        let m = net(2);
+        let q = QuantizedMlp::quantize(&m);
+        let err = q.quantization_error(&m).unwrap();
+        // Max |w| / 254 is the theoretical mean bound for symmetric int8.
+        let bound = m
+            .layers()
+            .iter()
+            .map(|l| l.weights.max_abs())
+            .fold(0.0f32, f32::max)
+            / 127.0;
+        assert!(err <= bound, "err {err} vs bound {bound}");
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn embeddings_survive_quantization() {
+        let m = net(3);
+        let q = QuantizedMlp::quantize(&m);
+        let back = q.dequantize().unwrap();
+        let x = Matrix::filled(4, 8, 0.5);
+        let orig = m.forward(&x).unwrap();
+        let quant = back.forward(&x).unwrap();
+        let rel = orig.sub(&quant).unwrap().frobenius_norm() / orig.frobenius_norm().max(1e-9);
+        assert!(rel < 0.05, "relative embedding drift {rel}");
+    }
+
+    #[test]
+    fn storage_is_roughly_quarter_of_f32() {
+        let m = net(4);
+        let q = QuantizedMlp::quantize(&m);
+        let f32_bytes = m.param_bytes();
+        let q_bytes = q.stored_bytes();
+        assert!(
+            (q_bytes as f64) < (f32_bytes as f64) * 0.45,
+            "quantised {q_bytes} vs f32 {f32_bytes}"
+        );
+    }
+
+    #[test]
+    fn paper_backbone_quantizes_under_one_mb() {
+        let m = Mlp::paper_backbone(&mut SeededRng::new(5)).unwrap();
+        let q = QuantizedMlp::quantize(&m);
+        let mb = q.stored_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 1.0, "quantised backbone {mb:.2} MiB");
+    }
+
+    #[test]
+    fn zero_weights_do_not_divide_by_zero() {
+        let mut m = net(6);
+        for l in m.layers_mut() {
+            l.weights.scale_inplace(0.0);
+        }
+        let q = QuantizedMlp::quantize(&m);
+        let back = q.dequantize().unwrap();
+        assert!(back.layers()[0].weights.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let q = QuantizedMlp::quantize(&net(7));
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QuantizedMlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let q = QuantizedMlp::quantize(&net(8));
+        let bytes = q.to_bytes();
+        let back = QuantizedMlp::from_bytes(&bytes).unwrap();
+        assert_eq!(q, back);
+        // Binary size tracks stored_bytes closely.
+        assert!(bytes.len() <= q.stored_bytes() + 64);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let q = QuantizedMlp::quantize(&net(9));
+        let good = q.to_bytes();
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(QuantizedMlp::from_bytes(&bad).is_err());
+        assert!(QuantizedMlp::from_bytes(&good[..good.len() - 2]).is_err());
+        assert!(QuantizedMlp::from_bytes(&[]).is_err());
+    }
+}

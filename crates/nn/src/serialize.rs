@@ -1,0 +1,196 @@
+//! Compact binary model encoding for the Cloud → Edge bundle.
+//!
+//! JSON would inflate the ~700k-parameter backbone severalfold; the bundle
+//! uses the little-endian framing from `magneto-tensor::serialize` instead:
+//!
+//! ```text
+//! model   := magic "MGNN" | u32 version | u32 n_layers | layer*
+//! layer   := u8 activation | matrix weights | f32vec bias
+//! ```
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Dense;
+use crate::network::Mlp;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use magneto_tensor::serialize as ts;
+
+const MAGIC: &[u8; 4] = b"MGNN";
+const VERSION: u32 = 1;
+
+fn activation_code(a: Activation) -> u8 {
+    match a {
+        Activation::Relu => 0,
+        Activation::LeakyRelu => 1,
+        Activation::Sigmoid => 2,
+        Activation::Tanh => 3,
+        Activation::Identity => 4,
+    }
+}
+
+fn activation_from_code(c: u8) -> Result<Activation> {
+    Ok(match c {
+        0 => Activation::Relu,
+        1 => Activation::LeakyRelu,
+        2 => Activation::Sigmoid,
+        3 => Activation::Tanh,
+        4 => Activation::Identity,
+        other => return Err(NnError::Decode(format!("unknown activation code {other}"))),
+    })
+}
+
+/// Encode a model to bytes.
+pub fn encode_mlp(net: &Mlp) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(net.param_bytes() + 64);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(net.num_layers() as u32);
+    for layer in net.layers() {
+        buf.put_u8(activation_code(layer.activation));
+        ts::encode_matrix(&layer.weights, &mut buf);
+        ts::encode_f32_vec(&layer.bias, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Decode a model previously written by [`encode_mlp`].
+///
+/// # Errors
+/// [`NnError::Decode`] on bad magic/version/truncation, and
+/// [`NnError::InvalidArchitecture`] if the decoded layers do not chain.
+pub fn decode_mlp(bytes: &[u8]) -> Result<Mlp> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 12 {
+        return Err(NnError::Decode("model header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(NnError::Decode("bad magic (not a MAGNETO model)".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(NnError::Decode(format!(
+            "unsupported model version {version} (expected {VERSION})"
+        )));
+    }
+    let n_layers = buf.get_u32_le();
+    if n_layers == 0 || n_layers > 1024 {
+        return Err(NnError::Decode(format!("implausible layer count {n_layers}")));
+    }
+    let mut layers = Vec::with_capacity(n_layers as usize);
+    for _ in 0..n_layers {
+        if buf.remaining() < 1 {
+            return Err(NnError::Decode("layer header truncated".into()));
+        }
+        let activation = activation_from_code(buf.get_u8())?;
+        let weights = ts::decode_matrix(&mut buf).map_err(NnError::Tensor)?;
+        let bias = ts::decode_f32_vec(&mut buf).map_err(NnError::Tensor)?;
+        if bias.len() != weights.cols() {
+            return Err(NnError::Decode(format!(
+                "bias length {} does not match layer width {}",
+                bias.len(),
+                weights.cols()
+            )));
+        }
+        layers.push(Dense {
+            weights,
+            bias,
+            activation,
+        });
+    }
+    Mlp::from_layers(layers)
+}
+
+/// Encoded size in bytes of a model under this framing.
+pub fn encoded_size(net: &Mlp) -> usize {
+    12 + net
+        .layers()
+        .iter()
+        .map(|l| 1 + ts::matrix_encoded_size(&l.weights) + ts::f32_vec_encoded_size(&l.bias))
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magneto_tensor::{Matrix, SeededRng};
+
+    fn net(seed: u64) -> Mlp {
+        Mlp::new(&[5, 9, 3], &mut SeededRng::new(seed)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = net(1);
+        let bytes = encode_mlp(&m);
+        assert_eq!(bytes.len(), encoded_size(&m));
+        let back = decode_mlp(&bytes).unwrap();
+        assert_eq!(m, back);
+        // Behavioural identity too.
+        let x = Matrix::filled(2, 5, 0.7);
+        assert_eq!(m.forward(&x).unwrap(), back.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn paper_backbone_encoded_size_matches_expectation() {
+        let m = Mlp::paper_backbone(&mut SeededRng::new(2)).unwrap();
+        let bytes = encode_mlp(&m);
+        // params * 4 plus a small framing overhead.
+        assert!(bytes.len() >= m.param_bytes());
+        assert!(bytes.len() < m.param_bytes() + 1024);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let m = net(3);
+        let good = encode_mlp(&m);
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_mlp(&bad), Err(NnError::Decode(_))));
+
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(decode_mlp(&bad).is_err());
+
+        // Truncated.
+        assert!(decode_mlp(&good[..good.len() - 3]).is_err());
+        assert!(decode_mlp(&good[..8]).is_err());
+        assert!(decode_mlp(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_activation() {
+        let m = net(4);
+        let mut bytes = encode_mlp(&m);
+        bytes[12] = 200; // first layer's activation code
+        assert!(matches!(decode_mlp(&bytes), Err(NnError::Decode(_))));
+    }
+
+    #[test]
+    fn rejects_zero_layers() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(0);
+        assert!(decode_mlp(&buf).is_err());
+    }
+
+    #[test]
+    fn activation_codes_roundtrip() {
+        for a in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            assert_eq!(activation_from_code(activation_code(a)).unwrap(), a);
+        }
+        assert!(activation_from_code(17).is_err());
+    }
+}

@@ -1,0 +1,469 @@
+//! The Siamese wrapper: one shared backbone, two-view batches, optional
+//! frozen teacher.
+//!
+//! "For learning new data on the Edge … we adopt the same base model as
+//! the Cloud Initialization, i.e., Siamese Network with contrastive loss
+//! … To handle the Catastrophic Forgetting issue, we jointly optimize the
+//! model with contrastive loss and distillation loss." (§3.3)
+
+use crate::error::NnError;
+use crate::loss::{contrastive_loss, distillation_loss};
+use crate::network::Mlp;
+use crate::optimizer::Optimizer;
+use crate::pairs::PairSample;
+use crate::Result;
+use magneto_tensor::{Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// A Siamese network: a single backbone applied to both views of each
+/// pair (weight sharing is implicit — there is only one set of weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiameseNetwork {
+    backbone: Mlp,
+    /// Contrastive margin `m`: dissimilar pairs are pushed at least this
+    /// far apart in the embedding space.
+    pub margin: f32,
+}
+
+/// Loss breakdown for one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepLoss {
+    /// Contrastive component.
+    pub contrastive: f32,
+    /// Distillation component (already weighted).
+    pub distillation: f32,
+}
+
+impl StepLoss {
+    /// Total optimised loss.
+    pub fn total(&self) -> f32 {
+        self.contrastive + self.distillation
+    }
+}
+
+impl SiameseNetwork {
+    /// Wrap a backbone with the given contrastive margin.
+    pub fn new(backbone: Mlp, margin: f32) -> Self {
+        SiameseNetwork { backbone, margin }
+    }
+
+    /// Build the paper's backbone (`80→1024→512→128→64→128`) with margin
+    /// 1.0.
+    ///
+    /// # Errors
+    /// Never for the fixed dims; fallible for uniformity.
+    pub fn paper_default(rng: &mut SeededRng) -> Result<Self> {
+        Ok(SiameseNetwork::new(Mlp::paper_backbone(rng)?, 1.0))
+    }
+
+    /// The shared backbone.
+    pub fn backbone(&self) -> &Mlp {
+        &self.backbone
+    }
+
+    /// Consume, returning the backbone.
+    pub fn into_backbone(self) -> Mlp {
+        self.backbone
+    }
+
+    /// Embed a batch of feature rows.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        self.backbone.forward(features)
+    }
+
+    /// Embed one feature vector.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed_one(&self, features: &[f32]) -> Result<Vec<f32>> {
+        self.backbone.embed_one(features)
+    }
+
+    /// One optimisation step on a batch of pairs.
+    ///
+    /// `features` holds all samples (one per row); `pairs` indexes into
+    /// it. When `teacher` is provided, an embedding-distillation term with
+    /// weight `distill_weight` is added over the rows referenced by the
+    /// batch, anchoring the new embedding space to the pre-update one.
+    ///
+    /// Returns the loss breakdown at the sampled batch.
+    ///
+    /// # Errors
+    /// [`NnError::InvalidBatch`] on empty pairs or out-of-range indices.
+    pub fn train_step(
+        &mut self,
+        features: &Matrix,
+        pairs: &[PairSample],
+        optimizer: &mut dyn Optimizer,
+        teacher: Option<(&Mlp, f32)>,
+        grad_clip: f32,
+    ) -> Result<StepLoss> {
+        self.train_step_masked(features, pairs, optimizer, teacher, None, grad_clip)
+    }
+
+    /// [`train_step`](Self::train_step) with a per-sample distillation
+    /// mask.
+    ///
+    /// `distill_mask[r]` says whether feature row `r` should be anchored
+    /// to the teacher. During incremental learning the mask selects
+    /// *old-class* rows only (Learning-without-Forgetting style): the
+    /// teacher knows nothing useful about the brand-new class, and
+    /// anchoring its rows would fight the contrastive term that is trying
+    /// to carve out space for it.
+    ///
+    /// # Errors
+    /// [`NnError::InvalidBatch`] on empty pairs, out-of-range indices or a
+    /// mask of the wrong length.
+    pub fn train_step_masked(
+        &mut self,
+        features: &Matrix,
+        pairs: &[PairSample],
+        optimizer: &mut dyn Optimizer,
+        teacher: Option<(&Mlp, f32)>,
+        distill_mask: Option<&[bool]>,
+        grad_clip: f32,
+    ) -> Result<StepLoss> {
+        if pairs.is_empty() {
+            return Err(NnError::InvalidBatch("empty pair batch".into()));
+        }
+        if let Some(mask) = distill_mask {
+            if mask.len() != features.rows() {
+                return Err(NnError::InvalidBatch(format!(
+                    "distill mask length {} != {} feature rows",
+                    mask.len(),
+                    features.rows()
+                )));
+            }
+        }
+        let n = pairs.len();
+        for p in pairs {
+            if p.i >= features.rows() || p.j >= features.rows() {
+                return Err(NnError::InvalidBatch(format!(
+                    "pair index ({}, {}) out of range for {} rows",
+                    p.i,
+                    p.j,
+                    features.rows()
+                )));
+            }
+        }
+        let ia: Vec<usize> = pairs.iter().map(|p| p.i).collect();
+        let ib: Vec<usize> = pairs.iter().map(|p| p.j).collect();
+        let same: Vec<bool> = pairs.iter().map(|p| p.same).collect();
+
+        // One forward pass over the stacked views; the backbone is shared,
+        // so gradients from both views accumulate naturally.
+        let a = features.select_rows(&ia)?;
+        let b = features.select_rows(&ib)?;
+        let stacked = a.vstack(&b)?;
+        let cache = self.backbone.forward_cached(&stacked)?;
+
+        let emb_dim = self.backbone.output_dim();
+        let emb_a = cache.output.select_rows(&(0..n).collect::<Vec<_>>())?;
+        let emb_b = cache.output.select_rows(&(n..2 * n).collect::<Vec<_>>())?;
+
+        let (c_loss, grad_a, grad_b) = contrastive_loss(&emb_a, &emb_b, &same, self.margin)?;
+        let mut grad_out = grad_a.vstack(&grad_b)?;
+        debug_assert_eq!(grad_out.shape(), (2 * n, emb_dim));
+
+        let mut d_loss = 0.0f32;
+        if let Some((teacher, weight)) = teacher {
+            if weight > 0.0 {
+                let teacher_emb = teacher.forward(&stacked)?;
+                let (dl, mut dgrad) = distillation_loss(&cache.output, &teacher_emb)?;
+                let mut effective = dl;
+                if let Some(mask) = distill_mask {
+                    // Zero the gradient (and discount the reported loss)
+                    // for rows whose source sample is unmasked.
+                    let mut kept = 0usize;
+                    for (row, &src) in ia.iter().chain(ib.iter()).enumerate() {
+                        if mask[src] {
+                            kept += 1;
+                        } else {
+                            for v in dgrad.row_mut(row) {
+                                *v = 0.0;
+                            }
+                        }
+                    }
+                    effective = dl * kept as f32 / (2 * n) as f32;
+                }
+                d_loss = weight * effective;
+                grad_out.add_scaled_inplace(&dgrad, weight)?;
+            }
+        }
+
+        let mut grads = self.backbone.backward(&cache, &grad_out)?;
+        if grad_clip > 0.0 {
+            grads.clip(grad_clip);
+        }
+        optimizer.step(&mut self.backbone, &grads)?;
+        Ok(StepLoss {
+            contrastive: c_loss,
+            distillation: d_loss,
+        })
+    }
+
+    /// One optimisation step with the supervised contrastive objective
+    /// (Khosla et al. \[9\]) on a class-balanced batch of row indices, with
+    /// optional masked embedding distillation (same semantics as
+    /// [`train_step_masked`](Self::train_step_masked)).
+    ///
+    /// # Errors
+    /// [`NnError::InvalidBatch`] on an empty batch, out-of-range indices,
+    /// or a wrong-length mask.
+    #[allow(clippy::too_many_arguments)] // mirrors train_step_masked
+    pub fn train_step_supcon(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        batch: &[usize],
+        optimizer: &mut dyn Optimizer,
+        teacher: Option<(&Mlp, f32)>,
+        distill_mask: Option<&[bool]>,
+        temperature: f32,
+        grad_clip: f32,
+    ) -> Result<StepLoss> {
+        if batch.is_empty() {
+            return Err(NnError::InvalidBatch("empty supcon batch".into()));
+        }
+        if let Some(mask) = distill_mask {
+            if mask.len() != features.rows() {
+                return Err(NnError::InvalidBatch(format!(
+                    "distill mask length {} != {} feature rows",
+                    mask.len(),
+                    features.rows()
+                )));
+            }
+        }
+        for &i in batch {
+            if i >= features.rows() || i >= labels.len() {
+                return Err(NnError::InvalidBatch(format!(
+                    "batch index {i} out of range"
+                )));
+            }
+        }
+        let x = features.select_rows(batch)?;
+        let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+        let cache = self.backbone.forward_cached(&x)?;
+        let (c_loss, mut grad_out) = crate::loss::supervised_contrastive_loss(
+            &cache.output,
+            &batch_labels,
+            temperature,
+        )?;
+        let mut d_loss = 0.0f32;
+        if let Some((teacher, weight)) = teacher {
+            if weight > 0.0 {
+                let teacher_emb = teacher.forward(&x)?;
+                let (dl, mut dgrad) = distillation_loss(&cache.output, &teacher_emb)?;
+                let mut effective = dl;
+                if let Some(mask) = distill_mask {
+                    let mut kept = 0usize;
+                    for (row, &src) in batch.iter().enumerate() {
+                        if mask[src] {
+                            kept += 1;
+                        } else {
+                            for v in dgrad.row_mut(row) {
+                                *v = 0.0;
+                            }
+                        }
+                    }
+                    effective = dl * kept as f32 / batch.len() as f32;
+                }
+                d_loss = weight * effective;
+                grad_out.add_scaled_inplace(&dgrad, weight)?;
+            }
+        }
+        let mut grads = self.backbone.backward(&cache, &grad_out)?;
+        if grad_clip > 0.0 {
+            grads.clip(grad_clip);
+        }
+        optimizer.step(&mut self.backbone, &grads)?;
+        Ok(StepLoss {
+            contrastive: c_loss,
+            distillation: d_loss,
+        })
+    }
+
+    /// Mean embedding-space distance between two slices of row vectors
+    /// (diagnostics for class separation).
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn mean_pair_distance(&self, a: &Matrix, b: &Matrix) -> Result<f32> {
+        let ea = self.embed(a)?;
+        let eb = self.embed(b)?;
+        if ea.rows() != eb.rows() || ea.rows() == 0 {
+            return Err(NnError::InvalidBatch("mismatched diagnostic batches".into()));
+        }
+        let mut total = 0.0f32;
+        for i in 0..ea.rows() {
+            total += magneto_tensor::vector::euclidean(ea.row(i), eb.row(i));
+        }
+        Ok(total / ea.rows() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use crate::pairs::sample_pairs;
+
+    /// Two Gaussian blobs in feature space, labels 0/1.
+    fn blobs(n_per_class: usize, dim: usize, sep: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for _ in 0..n_per_class {
+                let center = if c == 0 { -sep / 2.0 } else { sep / 2.0 };
+                let row: Vec<f32> = (0..dim).map(|_| rng.normal_with(center, 1.0)).collect();
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn small_siamese(seed: u64) -> SiameseNetwork {
+        let mut rng = SeededRng::new(seed);
+        SiameseNetwork::new(Mlp::new(&[4, 16, 8], &mut rng).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn training_reduces_contrastive_loss() {
+        let (features, labels) = blobs(30, 4, 2.0, 1);
+        let mut net = small_siamese(2);
+        let mut opt = Adam::new(0.005);
+        let mut rng = SeededRng::new(3);
+        let first = net
+            .train_step(
+                &features,
+                &sample_pairs(&labels, 64, &mut rng),
+                &mut opt,
+                None,
+                5.0,
+            )
+            .unwrap()
+            .total();
+        let mut last = first;
+        for _ in 0..60 {
+            last = net
+                .train_step(
+                    &features,
+                    &sample_pairs(&labels, 64, &mut rng),
+                    &mut opt,
+                    None,
+                    5.0,
+                )
+                .unwrap()
+                .total();
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_separates_classes_in_embedding_space() {
+        let (features, labels) = blobs(30, 4, 3.0, 4);
+        let mut net = small_siamese(5);
+        let mut opt = Adam::new(0.005);
+        let mut rng = SeededRng::new(6);
+        for _ in 0..100 {
+            let pairs = sample_pairs(&labels, 64, &mut rng);
+            net.train_step(&features, &pairs, &mut opt, None, 5.0)
+                .unwrap();
+        }
+        // Same-class mean distance must be well below cross-class.
+        let class0: Vec<usize> = (0..30).collect();
+        let class1: Vec<usize> = (30..60).collect();
+        let a0 = features.select_rows(&class0[..15]).unwrap();
+        let a0b = features.select_rows(&class0[15..]).unwrap();
+        let a1 = features.select_rows(&class1[..15]).unwrap();
+        let within = net.mean_pair_distance(&a0, &a0b).unwrap();
+        let across = net.mean_pair_distance(&a0, &a1).unwrap();
+        assert!(
+            across > within * 1.5,
+            "within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn distillation_anchors_to_teacher() {
+        let (features, labels) = blobs(20, 4, 2.0, 7);
+        // Train a "teacher" first.
+        let mut teacher_net = small_siamese(8);
+        let mut opt = Adam::new(0.005);
+        let mut rng = SeededRng::new(9);
+        for _ in 0..50 {
+            let pairs = sample_pairs(&labels, 48, &mut rng);
+            teacher_net
+                .train_step(&features, &pairs, &mut opt, None, 5.0)
+                .unwrap();
+        }
+        let teacher = teacher_net.backbone().clone();
+
+        // Continue training two students on *shuffled* labels (a
+        // disruptive update): one with distillation, one without.
+        let disruptive: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let mut with = SiameseNetwork::new(teacher.clone(), 1.0);
+        let mut without = SiameseNetwork::new(teacher.clone(), 1.0);
+        let mut opt_w = Adam::new(0.005);
+        let mut opt_wo = Adam::new(0.005);
+        let mut rng2 = SeededRng::new(10);
+        for _ in 0..40 {
+            let pairs = sample_pairs(&disruptive, 48, &mut rng2);
+            with.train_step(&features, &pairs, &mut opt_w, Some((&teacher, 10.0)), 5.0)
+                .unwrap();
+            without
+                .train_step(&features, &pairs, &mut opt_wo, None, 5.0)
+                .unwrap();
+        }
+        // Drift from the teacher's embeddings.
+        let t_emb = teacher.forward(&features).unwrap();
+        let w_emb = with.embed(&features).unwrap();
+        let wo_emb = without.embed(&features).unwrap();
+        let drift_with = w_emb.sub(&t_emb).unwrap().frobenius_norm();
+        let drift_without = wo_emb.sub(&t_emb).unwrap().frobenius_norm();
+        assert!(
+            drift_with < drift_without * 0.8,
+            "distilled drift {drift_with} vs undistilled {drift_without}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_batches() {
+        let (features, _) = blobs(5, 4, 1.0, 11);
+        let mut net = small_siamese(12);
+        let mut opt = Adam::new(0.01);
+        assert!(matches!(
+            net.train_step(&features, &[], &mut opt, None, 1.0),
+            Err(NnError::InvalidBatch(_))
+        ));
+        let bad = [PairSample {
+            i: 0,
+            j: 999,
+            same: true,
+        }];
+        assert!(net.train_step(&features, &bad, &mut opt, None, 1.0).is_err());
+    }
+
+    #[test]
+    fn embed_shapes() {
+        let net = small_siamese(13);
+        let x = Matrix::filled(3, 4, 0.1);
+        let e = net.embed(&x).unwrap();
+        assert_eq!(e.shape(), (3, 8));
+        assert_eq!(net.embed_one(&[0.1; 4]).unwrap().len(), 8);
+        assert_eq!(net.backbone().input_dim(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let net = small_siamese(14);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: SiameseNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+}

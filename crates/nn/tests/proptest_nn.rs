@@ -1,0 +1,122 @@
+//! Property-based tests for the neural-network substrate.
+
+use magneto_nn::loss::{contrastive_loss, distillation_loss, softmax_cross_entropy};
+use magneto_nn::quantize::QuantizedMlp;
+use magneto_nn::serialize::{decode_mlp, encode_mlp};
+use magneto_nn::Mlp;
+use magneto_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-40i32..=40).prop_map(|v| v as f32 / 8.0)
+}
+
+fn embedding_batch(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(small_f32(), rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d).unwrap())
+}
+
+proptest! {
+    /// Contrastive loss is non-negative; its gradients vanish exactly when
+    /// the loss does.
+    #[test]
+    fn contrastive_nonnegative(
+        a in embedding_batch(4, 3),
+        b in embedding_batch(4, 3),
+        mask in prop::collection::vec(any::<bool>(), 4),
+        margin in 0.1f32..3.0,
+    ) {
+        let (loss, ga, gb) = contrastive_loss(&a, &b, &mask, margin).unwrap();
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+        if loss == 0.0 {
+            prop_assert!(ga.as_slice().iter().all(|&v| v == 0.0));
+            prop_assert!(gb.as_slice().iter().all(|&v| v == 0.0));
+        }
+        // Gradients of the two sides are exact opposites (the loss
+        // depends only on a - b).
+        for (x, y) in ga.as_slice().iter().zip(gb.as_slice().iter()) {
+            prop_assert!((x + y).abs() < 1e-5);
+        }
+    }
+
+    /// Distillation loss is symmetric in value and antisymmetric in
+    /// gradient.
+    #[test]
+    fn distillation_symmetry(
+        s in embedding_batch(3, 4),
+        t in embedding_batch(3, 4),
+    ) {
+        let (l1, g1) = distillation_loss(&s, &t).unwrap();
+        let (l2, g2) = distillation_loss(&t, &s).unwrap();
+        prop_assert!((l1 - l2).abs() < 1e-4 * (1.0 + l1.abs()));
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice().iter()) {
+            prop_assert!((a + b).abs() < 1e-5);
+        }
+        prop_assert!(l1 >= 0.0);
+    }
+
+    /// Cross-entropy gradient rows sum to ~0 (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(
+        logits in embedding_batch(3, 5),
+        targets in prop::collection::vec(0usize..5, 3),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
+        prop_assert!(loss >= 0.0);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    /// Model binary codec round-trips exactly for arbitrary architectures.
+    #[test]
+    fn model_codec_roundtrip(
+        dims in prop::collection::vec(1usize..24, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let net = Mlp::new(&dims, &mut SeededRng::new(seed)).unwrap();
+        let back = decode_mlp(&encode_mlp(&net)).unwrap();
+        prop_assert_eq!(net, back);
+    }
+
+    /// Quantisation error per weight is bounded by half an int8 step.
+    #[test]
+    fn quantization_error_bounded(
+        dims in prop::collection::vec(1usize..16, 2..4),
+        seed in 0u64..1000,
+    ) {
+        let net = Mlp::new(&dims, &mut SeededRng::new(seed)).unwrap();
+        let q = QuantizedMlp::quantize(&net);
+        let back = q.dequantize().unwrap();
+        for (orig, rest) in net.layers().iter().zip(back.layers().iter()) {
+            let step = orig.weights.max_abs() / 127.0;
+            for (a, b) in orig
+                .weights
+                .as_slice()
+                .iter()
+                .zip(rest.weights.as_slice().iter())
+            {
+                prop_assert!((a - b).abs() <= step * 0.5 + 1e-7);
+            }
+        }
+        // And the binary codec round-trips the quantised form exactly.
+        let bytes = q.to_bytes();
+        prop_assert_eq!(QuantizedMlp::from_bytes(&bytes).unwrap(), q);
+    }
+
+    /// Forward passes are finite for bounded inputs and weights.
+    #[test]
+    fn forward_finite(
+        dims in prop::collection::vec(1usize..16, 2..5),
+        seed in 0u64..100,
+        batch in 1usize..6,
+    ) {
+        let net = Mlp::new(&dims, &mut SeededRng::new(seed)).unwrap();
+        let x = Matrix::filled(batch, dims[0], 0.5);
+        let out = net.forward(&x).unwrap();
+        prop_assert_eq!(out.shape(), (batch, *dims.last().unwrap()));
+        prop_assert!(out.all_finite());
+    }
+}

@@ -1,0 +1,159 @@
+//! Edge-device compute and memory model.
+//!
+//! §1 names the edge constraints: model size, data size, energy. The
+//! device model turns FLOP counts into time on a given hardware class and
+//! enforces a memory budget, so experiments can ask "does the bundle fit
+//! on a wearable?" as a checked operation.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A class of edge hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Name for reports. Deserialised instances get the generic name
+    /// `"custom"` (the field is informational, not identity).
+    #[serde(skip_deserializing, default = "custom_name")]
+    pub name: &'static str,
+    /// Sustained compute throughput in GFLOP/s for this workload class
+    /// (scalar f32 on a mobile core, not peak SIMD marketing numbers).
+    pub gflops: f64,
+    /// Memory available to the HAR app, bytes.
+    pub memory_budget: usize,
+    /// Persistent storage available to the HAR app, bytes.
+    pub storage_budget: usize,
+}
+
+fn custom_name() -> &'static str {
+    "custom"
+}
+
+impl DeviceModel {
+    /// A current flagship smartphone.
+    pub fn flagship_phone() -> Self {
+        DeviceModel {
+            name: "flagship_phone",
+            gflops: 8.0,
+            memory_budget: 512 * 1024 * 1024,
+            storage_budget: 4 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A budget smartphone (the paper's realistic target).
+    pub fn budget_phone() -> Self {
+        DeviceModel {
+            name: "budget_phone",
+            gflops: 2.0,
+            memory_budget: 128 * 1024 * 1024,
+            storage_budget: 512 * 1024 * 1024,
+        }
+    }
+
+    /// A wearable / smartwatch-class device.
+    pub fn wearable() -> Self {
+        DeviceModel {
+            name: "wearable",
+            gflops: 0.4,
+            memory_budget: 16 * 1024 * 1024,
+            storage_budget: 64 * 1024 * 1024,
+        }
+    }
+
+    /// A cloud server (used as the far side of the Cloud protocol).
+    pub fn cloud_server() -> Self {
+        DeviceModel {
+            name: "cloud_server",
+            gflops: 200.0,
+            memory_budget: 64 * 1024 * 1024 * 1024,
+            storage_budget: usize::MAX / 2,
+        }
+    }
+
+    /// Time to execute `flops` on this device.
+    pub fn compute_time(&self, flops: u64) -> Duration {
+        if self.gflops <= 0.0 {
+            return Duration::MAX;
+        }
+        Duration::from_secs_f64(flops as f64 / (self.gflops * 1e9))
+    }
+
+    /// Whether a payload fits in memory.
+    pub fn fits_in_memory(&self, bytes: usize) -> bool {
+        bytes <= self.memory_budget
+    }
+
+    /// Whether a payload fits in storage.
+    pub fn fits_in_storage(&self, bytes: usize) -> bool {
+        bytes <= self.storage_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flops;
+
+    #[test]
+    fn compute_time_scales_inversely_with_speed() {
+        let flagship = DeviceModel::flagship_phone();
+        let wearable = DeviceModel::wearable();
+        let flops = 1_000_000u64;
+        let tf = flagship.compute_time(flops);
+        let tw = wearable.compute_time(flops);
+        assert!(tw > tf * 10);
+        // Exact arithmetic: 1 MFLOP at 8 GFLOP/s = 125 µs.
+        assert!((tf.as_secs_f64() - 1.25e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_inference_is_milliseconds_on_phones() {
+        // The §4.2.1 claim: per-window inference latency is a few ms.
+        let flops = flops::inference_flops(&magneto_nn::PAPER_BACKBONE, 5, 22, 120);
+        for device in [DeviceModel::flagship_phone(), DeviceModel::budget_phone()] {
+            let t = device.compute_time(flops).as_secs_f64() * 1e3;
+            assert!(t < 5.0, "{}: {t} ms", device.name);
+        }
+        // Even the wearable stays under ~20 ms.
+        let tw = DeviceModel::wearable().compute_time(flops).as_secs_f64() * 1e3;
+        assert!(tw < 20.0, "wearable {tw} ms");
+    }
+
+    #[test]
+    fn five_mb_bundle_fits_everywhere() {
+        let bundle = 5 * 1024 * 1024;
+        for d in [
+            DeviceModel::flagship_phone(),
+            DeviceModel::budget_phone(),
+            DeviceModel::wearable(),
+        ] {
+            assert!(d.fits_in_memory(bundle), "{}", d.name);
+            assert!(d.fits_in_storage(bundle), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let w = DeviceModel::wearable();
+        assert!(!w.fits_in_memory(w.memory_budget + 1));
+        assert!(w.fits_in_memory(w.memory_budget));
+    }
+
+    #[test]
+    fn degenerate_speed_is_infinite_time() {
+        let broken = DeviceModel {
+            gflops: 0.0,
+            ..DeviceModel::wearable()
+        };
+        assert_eq!(broken.compute_time(1), Duration::MAX);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = DeviceModel::budget_phone();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, "custom");
+        assert_eq!(back.gflops, d.gflops);
+        assert_eq!(back.memory_budget, d.memory_budget);
+    }
+}

@@ -1,0 +1,157 @@
+//! Compute-vs-radio energy model.
+//!
+//! §1 lists energy as an edge constraint. The asymmetry that makes the
+//! Edge protocol attractive is that *radio* is expensive: transmitting a
+//! byte over cellular costs orders of magnitude more energy than
+//! computing a FLOP, so shipping raw windows to the Cloud burns battery
+//! even though the phone "does no work".
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost model for an edge device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Joules per GFLOP of on-device compute.
+    pub joules_per_gflop: f64,
+    /// Joules per transmitted/received byte (radio active energy).
+    pub radio_joules_per_byte: f64,
+    /// Fixed joules per radio transaction (ramp-up/tail energy — the
+    /// dominant term for small payloads on cellular).
+    pub radio_tail_joules: f64,
+}
+
+impl EnergyModel {
+    /// Typical smartphone on Wi-Fi.
+    pub fn wifi_phone() -> Self {
+        EnergyModel {
+            joules_per_gflop: 0.7,
+            radio_joules_per_byte: 6e-8,
+            radio_tail_joules: 0.02,
+        }
+    }
+
+    /// Typical smartphone on LTE (expensive radio tail).
+    pub fn lte_phone() -> Self {
+        EnergyModel {
+            joules_per_gflop: 0.7,
+            radio_joules_per_byte: 4e-7,
+            radio_tail_joules: 0.25,
+        }
+    }
+
+    /// Energy for `flops` of local compute.
+    pub fn compute_joules(&self, flops: u64) -> f64 {
+        flops as f64 / 1e9 * self.joules_per_gflop
+    }
+
+    /// Energy for one radio transaction moving `bytes`.
+    pub fn radio_joules(&self, bytes: usize) -> f64 {
+        self.radio_tail_joules + bytes as f64 * self.radio_joules_per_byte
+    }
+}
+
+/// Simple battery accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Total capacity in joules (a 4000 mAh phone battery ≈ 55 kJ).
+    pub capacity_joules: f64,
+    /// Energy consumed so far.
+    pub used_joules: f64,
+}
+
+impl Battery {
+    /// A typical 4000 mAh / 3.85 V phone battery.
+    pub fn phone() -> Self {
+        Battery {
+            capacity_joules: 55_000.0,
+            used_joules: 0.0,
+        }
+    }
+
+    /// Consume energy (saturating at capacity).
+    pub fn drain(&mut self, joules: f64) {
+        self.used_joules = (self.used_joules + joules.max(0.0)).min(self.capacity_joules);
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        1.0 - self.used_joules / self.capacity_joules
+    }
+
+    /// `true` once fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.used_joules >= self.capacity_joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flops;
+
+    #[test]
+    fn radio_tail_dominates_small_payloads_on_lte() {
+        let m = EnergyModel::lte_phone();
+        let one_window = m.radio_joules(10_560);
+        assert!(one_window > 0.2, "window tx {one_window} J");
+        // The tail is > 95% of the cost for a single window.
+        assert!(m.radio_tail_joules / one_window > 0.95);
+    }
+
+    #[test]
+    fn edge_inference_energy_beats_lte_upload() {
+        // The asymmetry behind Figure 1's energy claim: computing the
+        // whole paper-backbone inference locally costs far less than
+        // radioing the raw window to the Cloud over LTE.
+        let m = EnergyModel::lte_phone();
+        let infer = m.compute_joules(flops::inference_flops(
+            &magneto_nn::PAPER_BACKBONE,
+            5,
+            22,
+            120,
+        ));
+        let upload = m.radio_joules(10_560);
+        assert!(
+            upload > infer * 50.0,
+            "upload {upload} J vs inference {infer} J"
+        );
+    }
+
+    #[test]
+    fn wifi_radio_cheaper_than_lte() {
+        let wifi = EnergyModel::wifi_phone().radio_joules(10_560);
+        let lte = EnergyModel::lte_phone().radio_joules(10_560);
+        assert!(wifi < lte);
+    }
+
+    #[test]
+    fn compute_joules_linear() {
+        let m = EnergyModel::wifi_phone();
+        assert!((m.compute_joules(2_000_000_000) - 1.4).abs() < 1e-9);
+        assert_eq!(m.compute_joules(0), 0.0);
+    }
+
+    #[test]
+    fn battery_accounting() {
+        let mut b = Battery::phone();
+        assert!((b.remaining_fraction() - 1.0).abs() < 1e-12);
+        b.drain(5_500.0);
+        assert!((b.remaining_fraction() - 0.9).abs() < 1e-9);
+        assert!(!b.is_empty());
+        b.drain(1e9);
+        assert!(b.is_empty());
+        assert_eq!(b.remaining_fraction(), 0.0);
+        // Negative drains are ignored.
+        let mut c = Battery::phone();
+        c.drain(-100.0);
+        assert_eq!(c.used_joules, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = EnergyModel::lte_phone();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: EnergyModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,97 @@
+//! Operation counts for the MAGNETO pipeline stages.
+//!
+//! Used to scale compute latency across device classes: the same window
+//! costs the same FLOPs everywhere, only the FLOP/s differ.
+
+/// FLOPs for a dense-MLP forward pass over a batch: each layer costs
+/// `2·in·out` multiply-adds plus `out` bias adds and `out` activations
+/// per row.
+pub fn mlp_forward_flops(dims: &[usize], batch: usize) -> u64 {
+    let mut flops = 0u64;
+    for w in dims.windows(2) {
+        let (i, o) = (w[0] as u64, w[1] as u64);
+        flops += 2 * i * o + 2 * o;
+    }
+    flops * batch as u64
+}
+
+/// FLOPs for one training step (forward + backward ≈ 3× forward for an
+/// MLP: backward recomputes both weight and input gradients).
+pub fn mlp_train_flops(dims: &[usize], batch: usize) -> u64 {
+    mlp_forward_flops(dims, batch) * 3
+}
+
+/// FLOPs for NCM classification: one distance per class.
+pub fn ncm_flops(classes: usize, embedding_dim: usize) -> u64 {
+    // Squared distance: 3 ops per dimension (sub, mul, add) per class.
+    (3 * classes * embedding_dim) as u64
+}
+
+/// Approximate FLOPs for the 80-feature extraction over a
+/// `channels × window` raw window. Statistical features are a small
+/// constant number of passes; the DFT features cost `window²/2` each for
+/// two series.
+pub fn feature_flops(channels: usize, window_len: usize) -> u64 {
+    let linear_passes = 12u64; // denoise + magnitudes + moments + order stats
+    let linear = linear_passes * (channels * window_len) as u64;
+    let dft = (window_len * window_len) as u64; // two series × n²/2
+    linear + dft
+}
+
+/// Total per-window inference FLOPs for a backbone and class count.
+pub fn inference_flops(dims: &[usize], classes: usize, channels: usize, window_len: usize) -> u64 {
+    feature_flops(channels, window_len)
+        + mlp_forward_flops(dims, 1)
+        + ncm_flops(classes, *dims.last().unwrap_or(&0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flops_known_value() {
+        // 2 layers: 4->3 and 3->2: 2*4*3+2*3 + 2*3*2+2*2 = 30 + 16 = 46.
+        assert_eq!(mlp_forward_flops(&[4, 3, 2], 1), 46);
+        assert_eq!(mlp_forward_flops(&[4, 3, 2], 10), 460);
+        assert_eq!(mlp_forward_flops(&[4], 1), 0);
+    }
+
+    #[test]
+    fn train_is_three_times_forward() {
+        let dims = [80, 64, 32];
+        assert_eq!(mlp_train_flops(&dims, 8), 3 * mlp_forward_flops(&dims, 8));
+    }
+
+    #[test]
+    fn paper_backbone_magnitude() {
+        // 80·1024 + 1024·512 + 512·128 + 128·64 + 64·128 ≈ 0.69M params
+        // -> ~1.4 MFLOPs per inference forward.
+        let flops = mlp_forward_flops(&magneto_nn::PAPER_BACKBONE, 1);
+        assert!(flops > 1_000_000 && flops < 3_000_000, "flops {flops}");
+    }
+
+    #[test]
+    fn ncm_is_negligible_next_to_backbone() {
+        let backbone = mlp_forward_flops(&magneto_nn::PAPER_BACKBONE, 1);
+        let ncm = ncm_flops(10, 128);
+        assert!(ncm * 100 < backbone);
+    }
+
+    #[test]
+    fn inference_flops_compose() {
+        let dims = [80, 64, 32];
+        let total = inference_flops(&dims, 5, 22, 120);
+        assert_eq!(
+            total,
+            feature_flops(22, 120) + mlp_forward_flops(&dims, 1) + ncm_flops(5, 32)
+        );
+        assert!(total > feature_flops(22, 120));
+    }
+
+    #[test]
+    fn feature_flops_scale_with_window() {
+        assert!(feature_flops(22, 240) > feature_flops(22, 120) * 2);
+        assert!(feature_flops(44, 120) > feature_flops(22, 120));
+    }
+}

@@ -1,0 +1,33 @@
+//! # magneto-platform
+//!
+//! Deployment substrate for the paper's Figure-1 comparison: the
+//! *Cloud-based* HAR protocol (sensor windows travel to a cloud
+//! classifier) versus the *Edge-based* protocol (everything runs on the
+//! phone).
+//!
+//! The real paper demonstrates this with a physical phone and a demo
+//! booth; this reproduction simulates the deployment environment so the
+//! comparison is measurable and deterministic:
+//!
+//! * [`network`] — a parametric wireless link (RTT, jitter, bandwidth,
+//!   loss with retransmission) with Wi-Fi/LTE/3G/congested presets;
+//! * [`device`] — an edge-device compute model (relative CPU speed,
+//!   memory budget) with phone/wearable presets;
+//! * [`flops`] — operation counts for every stage of the MAGNETO
+//!   pipeline, so compute latency can be scaled across device classes;
+//! * [`energy`] — a compute-vs-radio energy model (transmitting a byte
+//!   over cellular costs orders of magnitude more than a FLOP);
+//! * [`protocol`] — the two [`protocol::HarProtocol`]
+//!   implementations plus per-inference outcome records feeding the F1
+//!   experiment tables.
+
+pub mod device;
+pub mod energy;
+pub mod flops;
+pub mod network;
+pub mod protocol;
+
+pub use device::DeviceModel;
+pub use energy::EnergyModel;
+pub use network::NetworkLink;
+pub use protocol::{CloudProtocol, EdgeProtocol, HarProtocol, ProtocolOutcome};

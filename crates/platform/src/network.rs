@@ -1,0 +1,246 @@
+//! Parametric wireless-link model.
+//!
+//! The Cloud-based protocol's latency is dominated by the radio link, so
+//! the model captures the pieces that matter at HAR timescales: base RTT,
+//! jitter, serialisation delay from finite bandwidth, and packet loss
+//! with retransmission.
+
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A simulated bidirectional link between Edge and Cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Base round-trip time in milliseconds.
+    pub base_rtt_ms: f64,
+    /// Standard deviation of RTT jitter (ms).
+    pub jitter_ms: f64,
+    /// Uplink bandwidth in megabits per second.
+    pub uplink_mbps: f64,
+    /// Downlink bandwidth in megabits per second.
+    pub downlink_mbps: f64,
+    /// Probability that a request/response exchange must be retransmitted.
+    pub loss_prob: f64,
+}
+
+impl NetworkLink {
+    /// Home/office Wi-Fi.
+    pub fn wifi() -> Self {
+        NetworkLink {
+            base_rtt_ms: 12.0,
+            jitter_ms: 3.0,
+            uplink_mbps: 50.0,
+            downlink_mbps: 100.0,
+            loss_prob: 0.005,
+        }
+    }
+
+    /// Good LTE coverage.
+    pub fn lte() -> Self {
+        NetworkLink {
+            base_rtt_ms: 45.0,
+            jitter_ms: 12.0,
+            uplink_mbps: 10.0,
+            downlink_mbps: 30.0,
+            loss_prob: 0.01,
+        }
+    }
+
+    /// Legacy 3G or weak signal.
+    pub fn cellular_3g() -> Self {
+        NetworkLink {
+            base_rtt_ms: 150.0,
+            jitter_ms: 50.0,
+            uplink_mbps: 1.0,
+            downlink_mbps: 4.0,
+            loss_prob: 0.03,
+        }
+    }
+
+    /// Congested network (stadium / conference demo hall).
+    pub fn congested() -> Self {
+        NetworkLink {
+            base_rtt_ms: 300.0,
+            jitter_ms: 120.0,
+            uplink_mbps: 0.5,
+            downlink_mbps: 1.0,
+            loss_prob: 0.08,
+        }
+    }
+
+    /// Perfect zero-latency link (upper bound for the Cloud protocol).
+    pub fn ideal() -> Self {
+        NetworkLink {
+            base_rtt_ms: 0.0,
+            jitter_ms: 0.0,
+            uplink_mbps: f64::INFINITY,
+            downlink_mbps: f64::INFINITY,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Pure serialisation delay of `bytes` at `mbps`.
+    fn serialization(bytes: usize, mbps: f64) -> f64 {
+        if mbps.is_infinite() || mbps <= 0.0 {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) / (mbps * 1e6) * 1e3 // ms
+    }
+
+    /// Simulate one request/response exchange carrying `up_bytes` to the
+    /// Cloud and `down_bytes` back. Returns `(duration, retransmissions)`.
+    pub fn round_trip(
+        &self,
+        up_bytes: usize,
+        down_bytes: usize,
+        rng: &mut SeededRng,
+    ) -> (Duration, u32) {
+        let mut retries = 0u32;
+        let mut total_ms = 0.0f64;
+        loop {
+            let jitter = if self.jitter_ms > 0.0 {
+                f64::from(rng.normal_with(0.0, self.jitter_ms as f32)).max(-self.base_rtt_ms * 0.5)
+            } else {
+                0.0
+            };
+            total_ms += (self.base_rtt_ms + jitter).max(0.0)
+                + Self::serialization(up_bytes, self.uplink_mbps)
+                + Self::serialization(down_bytes, self.downlink_mbps);
+            if self.loss_prob > 0.0 && rng.chance(self.loss_prob) && retries < 5 {
+                retries += 1;
+                continue;
+            }
+            break;
+        }
+        (Duration::from_secs_f64(total_ms / 1e3), retries)
+    }
+
+    /// One-way transfer time for `bytes` down the downlink (bundle
+    /// deployment cost).
+    pub fn download_time(&self, bytes: usize, rng: &mut SeededRng) -> Duration {
+        let jitter = if self.jitter_ms > 0.0 {
+            f64::from(rng.normal_with(0.0, self.jitter_ms as f32)).abs()
+        } else {
+            0.0
+        };
+        let ms = self.base_rtt_ms / 2.0 + jitter + Self::serialization(bytes, self.downlink_mbps);
+        Duration::from_secs_f64(ms.max(0.0) / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_is_instant() {
+        let link = NetworkLink::ideal();
+        let mut rng = SeededRng::new(1);
+        let (d, retries) = link.round_trip(1_000_000, 1_000_000, &mut rng);
+        assert_eq!(d, Duration::ZERO);
+        assert_eq!(retries, 0);
+        assert_eq!(link.download_time(10_000_000, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn rtt_ordering_matches_presets() {
+        let mut rng = SeededRng::new(2);
+        let mut mean_rtt = |link: NetworkLink| {
+            let mut rng = rng.split("x");
+            let n = 200;
+            (0..n)
+                .map(|_| link.round_trip(10_560, 64, &mut rng).0.as_secs_f64())
+                .sum::<f64>()
+                / n as f64
+        };
+        let wifi = mean_rtt(NetworkLink::wifi());
+        let lte = mean_rtt(NetworkLink::lte());
+        let g3 = mean_rtt(NetworkLink::cellular_3g());
+        let congested = mean_rtt(NetworkLink::congested());
+        assert!(wifi < lte && lte < g3 && g3 < congested);
+        // Wi-Fi round trip for one window is tens of ms.
+        assert!(wifi > 0.005 && wifi < 0.05, "wifi {wifi}");
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_payloads() {
+        // 1 MB over 1 Mbps uplink takes ~8 s of serialisation.
+        let link = NetworkLink {
+            base_rtt_ms: 10.0,
+            jitter_ms: 0.0,
+            uplink_mbps: 1.0,
+            downlink_mbps: 100.0,
+            loss_prob: 0.0,
+        };
+        let mut rng = SeededRng::new(3);
+        let (d, _) = link.round_trip(1_000_000, 64, &mut rng);
+        assert!(d.as_secs_f64() > 7.9 && d.as_secs_f64() < 8.3, "{d:?}");
+    }
+
+    #[test]
+    fn loss_inflates_latency_via_retransmission() {
+        let lossless = NetworkLink {
+            loss_prob: 0.0,
+            jitter_ms: 0.0,
+            ..NetworkLink::lte()
+        };
+        let lossy = NetworkLink {
+            loss_prob: 0.5,
+            jitter_ms: 0.0,
+            ..NetworkLink::lte()
+        };
+        let mut rng1 = SeededRng::new(4);
+        let mut rng2 = SeededRng::new(4);
+        let n = 300;
+        let base: f64 = (0..n)
+            .map(|_| lossless.round_trip(1000, 64, &mut rng1).0.as_secs_f64())
+            .sum();
+        let inflated: f64 = (0..n)
+            .map(|_| lossy.round_trip(1000, 64, &mut rng2).0.as_secs_f64())
+            .sum();
+        assert!(
+            inflated > base * 1.5,
+            "lossy {inflated} vs lossless {base}"
+        );
+    }
+
+    #[test]
+    fn retransmissions_bounded() {
+        let pathological = NetworkLink {
+            loss_prob: 1.0,
+            ..NetworkLink::wifi()
+        };
+        let mut rng = SeededRng::new(5);
+        let (_, retries) = pathological.round_trip(100, 100, &mut rng);
+        assert_eq!(retries, 5);
+    }
+
+    #[test]
+    fn download_time_scales_with_size() {
+        let link = NetworkLink {
+            jitter_ms: 0.0,
+            ..NetworkLink::lte()
+        };
+        let mut rng = SeededRng::new(6);
+        let small = link.download_time(1_000, &mut rng);
+        let large = link.download_time(5_000_000, &mut rng);
+        assert!(large > small * 10);
+        // A 5 MB bundle over LTE downloads in seconds, not minutes —
+        // the Cloud→Edge deployment cost the paper accepts once.
+        assert!(large.as_secs_f64() < 5.0, "{large:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let link = NetworkLink::lte();
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..50 {
+            assert_eq!(
+                link.round_trip(500, 64, &mut a),
+                link.round_trip(500, 64, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Activity taxonomy and per-activity motion profiles.
+//!
+//! The paper's base set (§4.1.2): *Drive, E-scooter, Run, Still, Walk*.
+//! The demo (§4.2.2) additionally records custom user gestures such as
+//! *Gesture Hi*. Each activity is described by a [`MotionProfile`] — the
+//! parameter bundle the signal synthesiser in [`crate::imu`] turns into
+//! 22-channel sensor frames.
+//!
+//! Profile values are chosen so the classes have the same *relative*
+//! structure as real HAR data: Still and Drive are near-twins at low
+//! frequencies (Drive separated mainly by engine vibration and
+//! magnetometer disturbance), Walk and Run share a gait signature and
+//! differ in cadence/energy, and E-scooter sits between Drive and Walk.
+
+use serde::{Deserialize, Serialize};
+
+/// Built-in activity kinds: the five base classes plus custom gestures the
+/// demo teaches on-device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Riding in / driving a car.
+    Drive,
+    /// Riding a stand-up electric scooter.
+    EScooter,
+    /// Running.
+    Run,
+    /// Phone at rest (table, idle pocket).
+    Still,
+    /// Walking.
+    Walk,
+    /// Greeting hand-wave (the demo's on-device new activity).
+    GestureHi,
+    /// Circular arm motion (second custom gesture).
+    GestureCircle,
+    /// Repeated vertical jumps (third custom gesture).
+    Jump,
+    /// Climbing stairs (extension activity with a pressure trend).
+    StairsUp,
+}
+
+impl ActivityKind {
+    /// The paper's five pre-training classes, in canonical order.
+    pub const BASE_FIVE: [ActivityKind; 5] = [
+        ActivityKind::Drive,
+        ActivityKind::EScooter,
+        ActivityKind::Run,
+        ActivityKind::Still,
+        ActivityKind::Walk,
+    ];
+
+    /// Custom activities used in incremental-learning scenarios.
+    pub const GESTURES: [ActivityKind; 4] = [
+        ActivityKind::GestureHi,
+        ActivityKind::GestureCircle,
+        ActivityKind::Jump,
+        ActivityKind::StairsUp,
+    ];
+
+    /// Stable label string (used as the class key throughout the platform).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActivityKind::Drive => "drive",
+            ActivityKind::EScooter => "e_scooter",
+            ActivityKind::Run => "run",
+            ActivityKind::Still => "still",
+            ActivityKind::Walk => "walk",
+            ActivityKind::GestureHi => "gesture_hi",
+            ActivityKind::GestureCircle => "gesture_circle",
+            ActivityKind::Jump => "jump",
+            ActivityKind::StairsUp => "stairs_up",
+        }
+    }
+
+    /// Parse a label produced by [`ActivityKind::label`].
+    pub fn from_label(label: &str) -> Option<ActivityKind> {
+        match label {
+            "drive" => Some(ActivityKind::Drive),
+            "e_scooter" => Some(ActivityKind::EScooter),
+            "run" => Some(ActivityKind::Run),
+            "still" => Some(ActivityKind::Still),
+            "walk" => Some(ActivityKind::Walk),
+            "gesture_hi" => Some(ActivityKind::GestureHi),
+            "gesture_circle" => Some(ActivityKind::GestureCircle),
+            "jump" => Some(ActivityKind::Jump),
+            "stairs_up" => Some(ActivityKind::StairsUp),
+            _ => None,
+        }
+    }
+
+    /// The motion profile driving signal synthesis for this activity.
+    pub fn profile(&self) -> MotionProfile {
+        match self {
+            ActivityKind::Still => MotionProfile {
+                name: "still",
+                gait: None,
+                vibration: None,
+                sway_amp: 0.01,
+                sway_freq_hz: 0.08,
+                gyro_amp: 0.008,
+                gyro_freq_hz: 0.3,
+                orientation_wobble_rad: 0.01,
+                base_pitch_rad: 0.1,
+                base_roll_rad: 0.05,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 250.0,
+                light_var: 10.0,
+                proximity_near: false,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::Walk => MotionProfile {
+                name: "walk",
+                gait: Some(GaitParams {
+                    step_freq_hz: 1.9,
+                    vertical_amp: 1.6,
+                    horizontal_amp: 0.8,
+                    impact_amp: 1.2,
+                    impact_duty: 0.25,
+                }),
+                vibration: None,
+                sway_amp: 0.3,
+                sway_freq_hz: 0.4,
+                gyro_amp: 0.5,
+                gyro_freq_hz: 1.9,
+                orientation_wobble_rad: 0.12,
+                base_pitch_rad: 1.2, // phone in trouser pocket, mostly vertical
+                base_roll_rad: 0.2,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 40.0,
+                light_var: 15.0,
+                proximity_near: true,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::Run => MotionProfile {
+                name: "run",
+                gait: Some(GaitParams {
+                    step_freq_hz: 2.6,
+                    vertical_amp: 3.4,
+                    horizontal_amp: 1.6,
+                    impact_amp: 4.2,
+                    impact_duty: 0.18,
+                }),
+                vibration: None,
+                sway_amp: 0.6,
+                sway_freq_hz: 0.5,
+                gyro_amp: 1.6,
+                gyro_freq_hz: 2.8,
+                orientation_wobble_rad: 0.25,
+                base_pitch_rad: 1.2,
+                base_roll_rad: 0.25,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 400.0,
+                light_var: 150.0,
+                proximity_near: true,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::Drive => MotionProfile {
+                name: "drive",
+                gait: None,
+                vibration: Some(VibrationParams {
+                    lo_hz: 22.0,
+                    hi_hz: 38.0,
+                    amp: 0.16,
+                    components: 6,
+                }),
+                sway_amp: 0.5, // braking/cornering at very low frequency
+                sway_freq_hz: 0.15,
+                gyro_amp: 0.05,
+                gyro_freq_hz: 0.2,
+                orientation_wobble_rad: 0.02,
+                base_pitch_rad: 0.7, // phone in a dashboard mount
+                base_roll_rad: 0.0,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 600.0,
+                light_var: 250.0,
+                proximity_near: false,
+                mag_disturbance_ut: 9.0, // car body + electronics
+            },
+            ActivityKind::EScooter => MotionProfile {
+                name: "e_scooter",
+                gait: None,
+                vibration: Some(VibrationParams {
+                    lo_hz: 9.0,
+                    hi_hz: 19.0,
+                    amp: 0.45,
+                    components: 6,
+                }),
+                sway_amp: 0.4, // steering corrections
+                sway_freq_hz: 0.6,
+                gyro_amp: 0.3,
+                gyro_freq_hz: 0.7,
+                orientation_wobble_rad: 0.08,
+                base_pitch_rad: 1.2, // pocket while standing
+                base_roll_rad: 0.15,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 500.0,
+                light_var: 200.0,
+                proximity_near: true,
+                mag_disturbance_ut: 6.0, // motor nearby
+            },
+            ActivityKind::GestureHi => MotionProfile {
+                name: "gesture_hi",
+                gait: Some(GaitParams {
+                    // A hand wave is well-modelled as a ~2.2 Hz oscillation
+                    // of the forearm; no foot impacts.
+                    step_freq_hz: 2.2,
+                    vertical_amp: 0.8,
+                    horizontal_amp: 3.5, // dominant side-to-side motion
+                    impact_amp: 0.0,
+                    impact_duty: 0.2,
+                }),
+                vibration: None,
+                sway_amp: 0.2,
+                sway_freq_hz: 0.3,
+                gyro_amp: 3.0, // strong wrist rotation
+                gyro_freq_hz: 2.2,
+                orientation_wobble_rad: 0.5,
+                base_pitch_rad: 0.3, // phone held in the waving hand
+                base_roll_rad: 0.8,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 300.0,
+                light_var: 80.0,
+                proximity_near: false,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::GestureCircle => MotionProfile {
+                name: "gesture_circle",
+                gait: Some(GaitParams {
+                    step_freq_hz: 1.0, // one circle per second
+                    vertical_amp: 2.2,
+                    horizontal_amp: 2.2, // equal axes -> circular path
+                    impact_amp: 0.0,
+                    impact_duty: 0.2,
+                }),
+                vibration: None,
+                sway_amp: 0.15,
+                sway_freq_hz: 0.2,
+                gyro_amp: 1.8,
+                gyro_freq_hz: 1.0,
+                orientation_wobble_rad: 0.6,
+                base_pitch_rad: 0.2,
+                base_roll_rad: 0.4,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 300.0,
+                light_var: 80.0,
+                proximity_near: false,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::Jump => MotionProfile {
+                name: "jump",
+                gait: Some(GaitParams {
+                    step_freq_hz: 1.1,
+                    vertical_amp: 6.0,
+                    horizontal_amp: 0.6,
+                    impact_amp: 10.0, // hard landings
+                    impact_duty: 0.12,
+                }),
+                vibration: None,
+                sway_amp: 0.4,
+                sway_freq_hz: 0.3,
+                gyro_amp: 0.8,
+                gyro_freq_hz: 1.1,
+                orientation_wobble_rad: 0.2,
+                base_pitch_rad: 1.2,
+                base_roll_rad: 0.2,
+                pressure_trend_hpa_per_s: 0.0,
+                light_lux: 350.0,
+                light_var: 100.0,
+                proximity_near: true,
+                mag_disturbance_ut: 0.0,
+            },
+            ActivityKind::StairsUp => MotionProfile {
+                name: "stairs_up",
+                gait: Some(GaitParams {
+                    step_freq_hz: 1.6,
+                    vertical_amp: 2.6,
+                    horizontal_amp: 0.7,
+                    impact_amp: 1.8,
+                    impact_duty: 0.3,
+                }),
+                vibration: None,
+                sway_amp: 0.35,
+                sway_freq_hz: 0.5,
+                gyro_amp: 0.7,
+                gyro_freq_hz: 1.6,
+                orientation_wobble_rad: 0.15,
+                base_pitch_rad: 1.2,
+                base_roll_rad: 0.2,
+                // ~0.16 m elevation per step, 1.6 steps/s -> ~0.26 m/s;
+                // 1 hPa per ~8.4 m -> ~0.031 hPa/s falling pressure.
+                pressure_trend_hpa_per_s: -0.031,
+                light_lux: 120.0,
+                light_var: 40.0,
+                proximity_near: true,
+                mag_disturbance_ut: 2.0, // rebar in the stairwell
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ActivityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Periodic body-motion (gait or gesture oscillation) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaitParams {
+    /// Fundamental step/wave frequency in Hz.
+    pub step_freq_hz: f64,
+    /// Peak vertical linear acceleration (m/s²).
+    pub vertical_amp: f64,
+    /// Peak horizontal linear acceleration (m/s²).
+    pub horizontal_amp: f64,
+    /// Peak impact (heel-strike/landing) acceleration (m/s²).
+    pub impact_amp: f64,
+    /// Fraction of each period occupied by the impact pulse.
+    pub impact_duty: f64,
+}
+
+/// High-frequency vibration band (engine/motor/road buzz).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VibrationParams {
+    /// Low edge of the band (Hz).
+    pub lo_hz: f64,
+    /// High edge of the band (Hz).
+    pub hi_hz: f64,
+    /// Total band amplitude (m/s²).
+    pub amp: f64,
+    /// Number of sinusoidal components in the band.
+    pub components: usize,
+}
+
+/// Full description of how an activity moves the phone. Everything the
+/// signal synthesiser needs, and nothing device-specific (that comes from
+/// [`crate::person::PersonProfile`] and [`crate::noise::NoiseConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionProfile {
+    /// Short label for diagnostics.
+    pub name: &'static str,
+    /// Periodic body motion, if any.
+    pub gait: Option<GaitParams>,
+    /// High-frequency vibration band, if any.
+    pub vibration: Option<VibrationParams>,
+    /// Amplitude of slow body sway (m/s²).
+    pub sway_amp: f64,
+    /// Sway frequency (Hz).
+    pub sway_freq_hz: f64,
+    /// Peak angular velocity (rad/s).
+    pub gyro_amp: f64,
+    /// Dominant rotation frequency (Hz).
+    pub gyro_freq_hz: f64,
+    /// Amplitude of slow orientation wander (rad).
+    pub orientation_wobble_rad: f64,
+    /// Typical phone pitch for this context (rad).
+    pub base_pitch_rad: f64,
+    /// Typical phone roll for this context (rad).
+    pub base_roll_rad: f64,
+    /// Barometric trend (elevation change), hPa/s.
+    pub pressure_trend_hpa_per_s: f64,
+    /// Typical ambient light (lux).
+    pub light_lux: f64,
+    /// Slow light variation amplitude (lux).
+    pub light_var: f64,
+    /// Whether the proximity sensor is covered (phone in pocket).
+    pub proximity_near: bool,
+    /// Extra magnetometer disturbance (vehicle body etc.), µT.
+    pub mag_disturbance_ut: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_five_matches_paper() {
+        let labels: Vec<&str> = ActivityKind::BASE_FIVE.iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["drive", "e_scooter", "run", "still", "walk"]);
+    }
+
+    #[test]
+    fn label_roundtrip_all_kinds() {
+        for kind in ActivityKind::BASE_FIVE
+            .iter()
+            .chain(ActivityKind::GESTURES.iter())
+        {
+            assert_eq!(ActivityKind::from_label(kind.label()), Some(*kind));
+        }
+        assert_eq!(ActivityKind::from_label("unknown"), None);
+    }
+
+    #[test]
+    fn display_is_label() {
+        assert_eq!(ActivityKind::GestureHi.to_string(), "gesture_hi");
+    }
+
+    #[test]
+    fn run_is_faster_and_stronger_than_walk() {
+        let walk = ActivityKind::Walk.profile().gait.unwrap();
+        let run = ActivityKind::Run.profile().gait.unwrap();
+        assert!(run.step_freq_hz > walk.step_freq_hz);
+        assert!(run.vertical_amp > walk.vertical_amp);
+        assert!(run.impact_amp > walk.impact_amp);
+    }
+
+    #[test]
+    fn still_has_no_periodic_motion() {
+        let p = ActivityKind::Still.profile();
+        assert!(p.gait.is_none());
+        assert!(p.vibration.is_none());
+        assert!(p.gyro_amp < 0.05);
+    }
+
+    #[test]
+    fn vehicles_have_vibration_and_mag_disturbance() {
+        for kind in [ActivityKind::Drive, ActivityKind::EScooter] {
+            let p = kind.profile();
+            assert!(p.vibration.is_some(), "{kind} should vibrate");
+            assert!(p.mag_disturbance_ut > 0.0);
+            assert!(p.gait.is_none());
+        }
+        // Vibration bands occupy distinct frequency ranges.
+        let d = ActivityKind::Drive.profile().vibration.unwrap();
+        let e = ActivityKind::EScooter.profile().vibration.unwrap();
+        assert!(e.hi_hz < d.lo_hz);
+    }
+
+    #[test]
+    fn stairs_have_negative_pressure_trend() {
+        assert!(ActivityKind::StairsUp.profile().pressure_trend_hpa_per_s < 0.0);
+        assert_eq!(ActivityKind::Walk.profile().pressure_trend_hpa_per_s, 0.0);
+    }
+
+    #[test]
+    fn gesture_hi_is_rotation_dominant() {
+        let p = ActivityKind::GestureHi.profile();
+        assert!(p.gyro_amp > ActivityKind::Walk.profile().gyro_amp);
+        assert_eq!(p.gait.unwrap().impact_amp, 0.0);
+    }
+
+    #[test]
+    fn profiles_serialize() {
+        let p = ActivityKind::Drive.profile();
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("drive"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The 22-channel smartphone sensor suite.
+//!
+//! The paper (§4.1.2): "roughly 120 sequential measurements from 22 mobile
+//! sensors, e.g., accelerometer, gyroscope, and magnetometer". Android
+//! exposes sensors as multi-axis channels; the canonical 22-value layout
+//! reproduced here is:
+//!
+//! | channels | sensor | unit |
+//! |---|---|---|
+//! | 0–2  | accelerometer x/y/z (incl. gravity) | m/s² |
+//! | 3–5  | gyroscope x/y/z | rad/s |
+//! | 6–8  | magnetometer x/y/z | µT |
+//! | 9–11 | linear acceleration x/y/z (gravity removed) | m/s² |
+//! | 12–14| gravity x/y/z | m/s² |
+//! | 15–18| rotation vector quaternion w/x/y/z | unitless |
+//! | 19   | barometric pressure | hPa |
+//! | 20   | ambient light | lux |
+//! | 21   | proximity | cm |
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sensor channels per frame (fixed by the paper).
+pub const NUM_CHANNELS: usize = 22;
+
+/// Nominal sampling rate in Hz ("roughly 120 sequential measurements" per
+/// one-second window).
+pub const SAMPLE_RATE_HZ: f64 = 120.0;
+
+/// Identifies one of the 22 channels. The `usize` representation is the
+/// channel's index in a [`SensorFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are self-describing
+pub enum SensorChannel {
+    AccelX = 0,
+    AccelY = 1,
+    AccelZ = 2,
+    GyroX = 3,
+    GyroY = 4,
+    GyroZ = 5,
+    MagX = 6,
+    MagY = 7,
+    MagZ = 8,
+    LinAccX = 9,
+    LinAccY = 10,
+    LinAccZ = 11,
+    GravityX = 12,
+    GravityY = 13,
+    GravityZ = 14,
+    RotW = 15,
+    RotX = 16,
+    RotY = 17,
+    RotZ = 18,
+    Pressure = 19,
+    Light = 20,
+    Proximity = 21,
+}
+
+impl SensorChannel {
+    /// All channels, in frame order.
+    pub const ALL: [SensorChannel; NUM_CHANNELS] = [
+        SensorChannel::AccelX,
+        SensorChannel::AccelY,
+        SensorChannel::AccelZ,
+        SensorChannel::GyroX,
+        SensorChannel::GyroY,
+        SensorChannel::GyroZ,
+        SensorChannel::MagX,
+        SensorChannel::MagY,
+        SensorChannel::MagZ,
+        SensorChannel::LinAccX,
+        SensorChannel::LinAccY,
+        SensorChannel::LinAccZ,
+        SensorChannel::GravityX,
+        SensorChannel::GravityY,
+        SensorChannel::GravityZ,
+        SensorChannel::RotW,
+        SensorChannel::RotX,
+        SensorChannel::RotY,
+        SensorChannel::RotZ,
+        SensorChannel::Pressure,
+        SensorChannel::Light,
+        SensorChannel::Proximity,
+    ];
+
+    /// Index of this channel inside a [`SensorFrame`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name (used in reports and the demo UI).
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorChannel::AccelX => "accel_x",
+            SensorChannel::AccelY => "accel_y",
+            SensorChannel::AccelZ => "accel_z",
+            SensorChannel::GyroX => "gyro_x",
+            SensorChannel::GyroY => "gyro_y",
+            SensorChannel::GyroZ => "gyro_z",
+            SensorChannel::MagX => "mag_x",
+            SensorChannel::MagY => "mag_y",
+            SensorChannel::MagZ => "mag_z",
+            SensorChannel::LinAccX => "linacc_x",
+            SensorChannel::LinAccY => "linacc_y",
+            SensorChannel::LinAccZ => "linacc_z",
+            SensorChannel::GravityX => "gravity_x",
+            SensorChannel::GravityY => "gravity_y",
+            SensorChannel::GravityZ => "gravity_z",
+            SensorChannel::RotW => "rot_w",
+            SensorChannel::RotX => "rot_x",
+            SensorChannel::RotY => "rot_y",
+            SensorChannel::RotZ => "rot_z",
+            SensorChannel::Pressure => "pressure",
+            SensorChannel::Light => "light",
+            SensorChannel::Proximity => "proximity",
+        }
+    }
+
+    /// Physical unit string.
+    pub fn unit(self) -> &'static str {
+        match self {
+            SensorChannel::AccelX
+            | SensorChannel::AccelY
+            | SensorChannel::AccelZ
+            | SensorChannel::LinAccX
+            | SensorChannel::LinAccY
+            | SensorChannel::LinAccZ
+            | SensorChannel::GravityX
+            | SensorChannel::GravityY
+            | SensorChannel::GravityZ => "m/s^2",
+            SensorChannel::GyroX | SensorChannel::GyroY | SensorChannel::GyroZ => "rad/s",
+            SensorChannel::MagX | SensorChannel::MagY | SensorChannel::MagZ => "uT",
+            SensorChannel::RotW | SensorChannel::RotX | SensorChannel::RotY | SensorChannel::RotZ => {
+                "quat"
+            }
+            SensorChannel::Pressure => "hPa",
+            SensorChannel::Light => "lux",
+            SensorChannel::Proximity => "cm",
+        }
+    }
+}
+
+/// One timestamped reading of all 22 channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorFrame {
+    /// Seconds since the start of the recording session.
+    pub timestamp: f64,
+    /// Channel values in [`SensorChannel::ALL`] order.
+    pub values: [f32; NUM_CHANNELS],
+}
+
+impl SensorFrame {
+    /// A frame at `timestamp` with all channels zero.
+    pub fn zeroed(timestamp: f64) -> Self {
+        SensorFrame {
+            timestamp,
+            values: [0.0; NUM_CHANNELS],
+        }
+    }
+
+    /// Read one channel.
+    #[inline]
+    pub fn get(&self, ch: SensorChannel) -> f32 {
+        self.values[ch.index()]
+    }
+
+    /// Write one channel.
+    #[inline]
+    pub fn set(&mut self, ch: SensorChannel, v: f32) {
+        self.values[ch.index()] = v;
+    }
+
+    /// Magnitude of the 3-axis accelerometer vector.
+    pub fn accel_magnitude(&self) -> f32 {
+        let (x, y, z) = (
+            self.get(SensorChannel::AccelX),
+            self.get(SensorChannel::AccelY),
+            self.get(SensorChannel::AccelZ),
+        );
+        (x * x + y * y + z * z).sqrt()
+    }
+
+    /// Magnitude of the 3-axis gyroscope vector.
+    pub fn gyro_magnitude(&self) -> f32 {
+        let (x, y, z) = (
+            self.get(SensorChannel::GyroX),
+            self.get(SensorChannel::GyroY),
+            self.get(SensorChannel::GyroZ),
+        );
+        (x * x + y * y + z * z).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_22_channels() {
+        assert_eq!(NUM_CHANNELS, 22);
+        assert_eq!(SensorChannel::ALL.len(), 22);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, ch) in SensorChannel::ALL.iter().enumerate() {
+            assert_eq!(ch.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SensorChannel::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn units_cover_all_channels() {
+        for ch in SensorChannel::ALL {
+            assert!(!ch.unit().is_empty());
+        }
+        assert_eq!(SensorChannel::Pressure.unit(), "hPa");
+        assert_eq!(SensorChannel::GyroY.unit(), "rad/s");
+    }
+
+    #[test]
+    fn frame_get_set_roundtrip() {
+        let mut f = SensorFrame::zeroed(1.5);
+        assert_eq!(f.timestamp, 1.5);
+        f.set(SensorChannel::MagY, 42.0);
+        assert_eq!(f.get(SensorChannel::MagY), 42.0);
+        assert_eq!(f.values[7], 42.0);
+    }
+
+    #[test]
+    fn magnitudes() {
+        let mut f = SensorFrame::zeroed(0.0);
+        f.set(SensorChannel::AccelX, 3.0);
+        f.set(SensorChannel::AccelY, 4.0);
+        assert!((f.accel_magnitude() - 5.0).abs() < 1e-6);
+        f.set(SensorChannel::GyroZ, 2.0);
+        assert!((f.gyro_magnitude() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_serde_roundtrip() {
+        let mut f = SensorFrame::zeroed(0.25);
+        f.set(SensorChannel::Light, 300.0);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: SensorFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,446 @@
+//! IMU physics: orientation math and the 22-channel signal synthesiser.
+//!
+//! The synthesiser combines a [`crate::activity::MotionProfile`]
+//! (what the activity does), a [`crate::person::PersonProfile`]
+//! (how this user does it) and per-sensor [`crate::noise::NoiseConfig`]s
+//! into timestamped [`SensorFrame`]s, respecting the basic physics that tie
+//! channels together on a real phone:
+//!
+//! * `accel = Rᵀ·g + linacc_body` — the accelerometer sees gravity rotated
+//!   into the body frame plus linear acceleration;
+//! * `gravity` / `linear acceleration` channels are the decomposition
+//!   Android's virtual sensors expose;
+//! * `mag = Rᵀ·B_earth + disturbance` — the magnetometer sees the Earth
+//!   field through the same orientation, plus vehicle-body offsets;
+//! * the rotation-vector quaternion is the same orientation again.
+//!
+//! This cross-channel consistency matters: the DSP feature extractor
+//! computes correlations between axes, and a generator that drew each
+//! channel independently would hand the classifier unrealistically easy
+//! (or impossibly hard) structure.
+
+use crate::activity::MotionProfile;
+use crate::channels::{SensorChannel, SensorFrame};
+use crate::noise::{NoiseConfig, NoiseGenerator};
+use crate::person::PersonProfile;
+use crate::waveform::{Drift, Harmonic, HarmonicStack, ImpulseTrain};
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity (m/s²).
+pub const GRAVITY: f64 = 9.81;
+
+/// Earth magnetic field in the world frame (µT), roughly mid-latitude:
+/// north component + downward component.
+pub const EARTH_FIELD_UT: [f64; 3] = [22.0, 0.0, -42.0];
+
+/// Standard sea-level pressure (hPa).
+pub const BASE_PRESSURE_HPA: f64 = 1013.25;
+
+/// Euler angles (ZYX convention: yaw about z, then pitch about y, then
+/// roll about x), radians.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EulerAngles {
+    /// Rotation about the body x axis.
+    pub roll: f64,
+    /// Rotation about the body y axis.
+    pub pitch: f64,
+    /// Rotation about the body z axis.
+    pub yaw: f64,
+}
+
+impl EulerAngles {
+    /// Rotate a *world-frame* vector into the *body* frame (applies Rᵀ).
+    pub fn world_to_body(&self, v: [f64; 3]) -> [f64; 3] {
+        // R = Rz(yaw) * Ry(pitch) * Rx(roll); body = Rᵀ * world.
+        let (sr, cr) = self.roll.sin_cos();
+        let (sp, cp) = self.pitch.sin_cos();
+        let (sy, cy) = self.yaw.sin_cos();
+        // Rows of Rᵀ are columns of R.
+        let r00 = cy * cp;
+        let r01 = cy * sp * sr - sy * cr;
+        let r02 = cy * sp * cr + sy * sr;
+        let r10 = sy * cp;
+        let r11 = sy * sp * sr + cy * cr;
+        let r12 = sy * sp * cr - cy * sr;
+        let r20 = -sp;
+        let r21 = cp * sr;
+        let r22 = cp * cr;
+        [
+            r00 * v[0] + r10 * v[1] + r20 * v[2],
+            r01 * v[0] + r11 * v[1] + r21 * v[2],
+            r02 * v[0] + r12 * v[1] + r22 * v[2],
+        ]
+    }
+
+    /// Convert to a unit quaternion `(w, x, y, z)`.
+    pub fn to_quaternion(&self) -> [f64; 4] {
+        let (sr, cr) = (self.roll * 0.5).sin_cos();
+        let (sp, cp) = (self.pitch * 0.5).sin_cos();
+        let (sy, cy) = (self.yaw * 0.5).sin_cos();
+        [
+            cr * cp * cy + sr * sp * sy,
+            sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy,
+            cr * cp * sy - sr * sp * cy,
+        ]
+    }
+}
+
+/// Stateful generator producing [`SensorFrame`]s for one
+/// (activity, person) pair.
+#[derive(Debug)]
+pub struct SignalSynthesizer {
+    profile: MotionProfile,
+    person: PersonProfile,
+    // Motion machinery.
+    gait_vertical: HarmonicStack,
+    gait_horizontal: HarmonicStack,
+    impacts: Option<ImpulseTrain>,
+    vibration: HarmonicStack,
+    sway_x: Drift,
+    sway_y: Drift,
+    gyro_stack_x: HarmonicStack,
+    gyro_stack_y: HarmonicStack,
+    gyro_stack_z: HarmonicStack,
+    wobble_roll: Drift,
+    wobble_pitch: Drift,
+    light_drift: Drift,
+    // Noise.
+    accel_noise: [NoiseGenerator; 3],
+    gyro_noise: [NoiseGenerator; 3],
+    mag_noise: [NoiseGenerator; 3],
+    baro_noise: NoiseGenerator,
+    rng: SeededRng,
+}
+
+impl SignalSynthesizer {
+    /// Build a synthesiser. `rng` seeds every stochastic element, so the
+    /// same `(profile, person, seed)` triple replays identically.
+    pub fn new(profile: MotionProfile, person: PersonProfile, mut rng: SeededRng) -> Self {
+        let freq_scale = person.gait_freq_scale;
+        let amp_scale = person.amplitude_scale;
+        let phase = person.phase_offset;
+
+        let (gait_vertical, gait_horizontal, impacts) = match profile.gait {
+            Some(g) => {
+                let f = g.step_freq_hz * freq_scale;
+                let vert = HarmonicStack::gait(f, g.vertical_amp * amp_scale, 0.45, 0.18, phase);
+                // Horizontal motion leads the vertical by a quarter cycle
+                // (arm swing / circular gestures).
+                let horiz = HarmonicStack::gait(
+                    f,
+                    g.horizontal_amp * amp_scale,
+                    0.35,
+                    0.10,
+                    phase + std::f64::consts::FRAC_PI_2,
+                );
+                let imp = (g.impact_amp > 0.0)
+                    .then(|| ImpulseTrain::new(f, g.impact_amp * amp_scale, g.impact_duty));
+                (vert, horiz, imp)
+            }
+            None => (HarmonicStack::new(), HarmonicStack::new(), None),
+        };
+
+        let vibration = match profile.vibration {
+            Some(v) => HarmonicStack::vibration_band(v.lo_hz, v.hi_hz, v.amp, v.components),
+            None => HarmonicStack::new(),
+        };
+
+        let seed_phase = f64::from(rng.uniform(0.0, std::f32::consts::TAU));
+        let gyro_amp = profile.gyro_amp * amp_scale;
+        let gyro_f = profile.gyro_freq_hz * freq_scale;
+        let gyro = |axis_scale: f64, ph: f64| {
+            HarmonicStack::new()
+                .with(Harmonic::new(gyro_f, gyro_amp * axis_scale, phase + ph))
+                .with(Harmonic::new(
+                    gyro_f * 2.0,
+                    gyro_amp * axis_scale * 0.3,
+                    phase + ph * 1.3,
+                ))
+        };
+
+        let noise_scale = person.tremor_scale;
+        SignalSynthesizer {
+            gait_vertical,
+            gait_horizontal,
+            impacts,
+            vibration,
+            sway_x: Drift::new(profile.sway_amp * amp_scale, profile.sway_freq_hz, seed_phase),
+            sway_y: Drift::new(
+                profile.sway_amp * amp_scale * 0.7,
+                profile.sway_freq_hz * 1.31,
+                seed_phase + 1.0,
+            ),
+            gyro_stack_x: gyro(1.0, 0.0),
+            gyro_stack_y: gyro(0.7, 1.1),
+            gyro_stack_z: gyro(0.45, 2.3),
+            wobble_roll: Drift::new(profile.orientation_wobble_rad, 0.35, seed_phase + 2.0),
+            wobble_pitch: Drift::new(
+                profile.orientation_wobble_rad * 0.8,
+                0.27,
+                seed_phase + 3.0,
+            ),
+            light_drift: Drift::new(profile.light_var, 0.05, seed_phase + 4.0),
+            accel_noise: [
+                NoiseGenerator::new(NoiseConfig::accelerometer().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::accelerometer().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::accelerometer().scaled(noise_scale)),
+            ],
+            gyro_noise: [
+                NoiseGenerator::new(NoiseConfig::gyroscope().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::gyroscope().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::gyroscope().scaled(noise_scale)),
+            ],
+            mag_noise: [
+                NoiseGenerator::new(NoiseConfig::magnetometer().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::magnetometer().scaled(noise_scale)),
+                NoiseGenerator::new(NoiseConfig::magnetometer().scaled(noise_scale)),
+            ],
+            baro_noise: NoiseGenerator::new(NoiseConfig::barometer()),
+            profile,
+            person,
+            rng,
+        }
+    }
+
+    /// Orientation of the phone at time `t`.
+    fn orientation(&self, t: f64) -> EulerAngles {
+        EulerAngles {
+            roll: self.profile.base_roll_rad
+                + self.person.roll_offset_rad
+                + self.wobble_roll.eval(t),
+            pitch: self.profile.base_pitch_rad
+                + self.person.pitch_offset_rad
+                + self.wobble_pitch.eval(t),
+            yaw: self.person.yaw_offset_rad,
+        }
+    }
+
+    /// Produce the sensor frame at time `t` seconds.
+    pub fn frame(&mut self, t: f64) -> SensorFrame {
+        let orient = self.orientation(t);
+
+        // --- linear acceleration in the world frame -------------------
+        let vert = self.gait_vertical.eval(t)
+            + self.impacts.as_ref().map_or(0.0, |i| i.eval(t))
+            + self.vibration.eval(t);
+        let horiz_x = self.gait_horizontal.eval(t) + self.sway_x.eval(t);
+        let horiz_y = self.sway_y.eval(t) + 0.4 * self.vibration.eval(t + 0.013);
+        let lin_world = [horiz_x, horiz_y, vert];
+
+        // --- rotate into the body frame --------------------------------
+        let lin_body = orient.world_to_body(lin_world);
+        // Accelerometer reads specific force: gravity appears as +g "up".
+        let grav_body = orient.world_to_body([0.0, 0.0, GRAVITY]);
+
+        // --- magnetometer ----------------------------------------------
+        let mag_body = orient.world_to_body(EARTH_FIELD_UT);
+        let mag_dist = self.profile.mag_disturbance_ut;
+
+        // --- gyroscope --------------------------------------------------
+        let gyro = [
+            self.gyro_stack_x.eval(t),
+            self.gyro_stack_y.eval(t),
+            self.gyro_stack_z.eval(t),
+        ];
+
+        let quat = orient.to_quaternion();
+
+        let mut f = SensorFrame::zeroed(t);
+        for axis in 0..3 {
+            let an = self.accel_noise[axis].next(&mut self.rng) as f64;
+            let gn = self.gyro_noise[axis].next(&mut self.rng) as f64;
+            let mn = self.mag_noise[axis].next(&mut self.rng) as f64;
+            f.values[SensorChannel::AccelX.index() + axis] =
+                (grav_body[axis] + lin_body[axis] + an) as f32;
+            f.values[SensorChannel::GyroX.index() + axis] = (gyro[axis] + gn) as f32;
+            f.values[SensorChannel::MagX.index() + axis] =
+                (mag_body[axis] + mag_dist * 0.6 + mn) as f32;
+            f.values[SensorChannel::LinAccX.index() + axis] =
+                (lin_body[axis] + an * 0.7) as f32;
+            f.values[SensorChannel::GravityX.index() + axis] = grav_body[axis] as f32;
+        }
+        for (i, q) in quat.iter().enumerate() {
+            f.values[SensorChannel::RotW.index() + i] = *q as f32;
+        }
+        f.set(
+            SensorChannel::Pressure,
+            (BASE_PRESSURE_HPA
+                + self.profile.pressure_trend_hpa_per_s * t
+                + self.baro_noise.next(&mut self.rng) as f64) as f32,
+        );
+        f.set(
+            SensorChannel::Light,
+            ((self.profile.light_lux + self.light_drift.eval(t)).max(0.0)) as f32,
+        );
+        let prox = if self.profile.proximity_near { 0.0 } else { 8.0 };
+        // Occasional proximity flicker (hand passing over the sensor).
+        let flicker = if self.rng.chance(0.002) { 4.0 } else { 0.0 };
+        f.set(SensorChannel::Proximity, prox + flicker);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+    use crate::channels::SAMPLE_RATE_HZ;
+
+    fn synth(kind: ActivityKind, seed: u64) -> SignalSynthesizer {
+        SignalSynthesizer::new(kind.profile(), PersonProfile::nominal(), SeededRng::new(seed))
+    }
+
+    fn collect_channel(s: &mut SignalSynthesizer, ch: SensorChannel, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| s.frame(i as f64 / SAMPLE_RATE_HZ).get(ch))
+            .collect()
+    }
+
+    #[test]
+    fn identity_orientation_reads_gravity_on_z() {
+        let e = EulerAngles::default();
+        let g = e.world_to_body([0.0, 0.0, GRAVITY]);
+        assert!((g[0]).abs() < 1e-9 && (g[1]).abs() < 1e-9);
+        assert!((g[2] - GRAVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let e = EulerAngles {
+            roll: 0.4,
+            pitch: -1.1,
+            yaw: 2.2,
+        };
+        let v = [1.0, -2.0, 3.0];
+        let r = e.world_to_body(v);
+        let n0 = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        let n1 = (r[0] * r[0] + r[1] * r[1] + r[2] * r[2]).sqrt();
+        assert!((n0 - n1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quaternion_is_unit() {
+        let e = EulerAngles {
+            roll: 0.3,
+            pitch: 0.7,
+            yaw: -1.4,
+        };
+        let q = e.to_quaternion();
+        let n: f64 = q.iter().map(|x| x * x).sum();
+        assert!((n - 1.0).abs() < 1e-9);
+        // Identity rotation -> identity quaternion.
+        let qi = EulerAngles::default().to_quaternion();
+        assert!((qi[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn still_accel_magnitude_near_gravity() {
+        let mut s = synth(ActivityKind::Still, 1);
+        let n = 240;
+        let mags: Vec<f32> = (0..n)
+            .map(|i| s.frame(i as f64 / SAMPLE_RATE_HZ).accel_magnitude())
+            .collect();
+        let mean = mags.iter().sum::<f32>() / n as f32;
+        assert!((mean - GRAVITY as f32).abs() < 0.3, "mean |a| = {mean}");
+        let std = magneto_tensor::stats::std_dev(&mags);
+        assert!(std < 0.3, "still should be quiet, std {std}");
+    }
+
+    #[test]
+    fn run_is_much_more_energetic_than_walk() {
+        let mut walk = synth(ActivityKind::Walk, 2);
+        let mut run = synth(ActivityKind::Run, 2);
+        let n = 480;
+        let w = collect_channel(&mut walk, SensorChannel::LinAccZ, n);
+        let r = collect_channel(&mut run, SensorChannel::LinAccZ, n);
+        let we = magneto_tensor::stats::energy(&w);
+        let re = magneto_tensor::stats::energy(&r);
+        assert!(re > we * 3.0, "run energy {re} vs walk {we}");
+    }
+
+    #[test]
+    fn walk_has_gait_periodicity() {
+        let mut s = synth(ActivityKind::Walk, 3);
+        let n = 600;
+        let z = collect_channel(&mut s, SensorChannel::LinAccZ, n);
+        // Autocorrelation at the gait period (~1.9 Hz -> 63 samples)
+        // should be clearly positive.
+        let lag = (SAMPLE_RATE_HZ / 1.9).round() as usize;
+        let ac = magneto_tensor::stats::autocorrelation(&z, lag);
+        assert!(ac > 0.4, "gait autocorr {ac}");
+    }
+
+    #[test]
+    fn drive_mag_disturbed_vs_still() {
+        let mut still = synth(ActivityKind::Still, 4);
+        let mut drive = synth(ActivityKind::Drive, 4);
+        let n = 240;
+        let ms = collect_channel(&mut still, SensorChannel::MagX, n);
+        let md = collect_channel(&mut drive, SensorChannel::MagX, n);
+        let still_mean = magneto_tensor::stats::mean(&ms);
+        let drive_mean = magneto_tensor::stats::mean(&md);
+        assert!(
+            (drive_mean - still_mean).abs() > 3.0,
+            "drive {drive_mean} vs still {still_mean}"
+        );
+    }
+
+    #[test]
+    fn stairs_pressure_falls() {
+        let mut s = synth(ActivityKind::StairsUp, 5);
+        let p0 = s.frame(0.0).get(SensorChannel::Pressure);
+        let p60 = s.frame(60.0).get(SensorChannel::Pressure);
+        assert!(p60 < p0 - 1.0, "pressure should fall: {p0} -> {p60}");
+    }
+
+    #[test]
+    fn pocket_activities_have_near_proximity() {
+        let mut walk = synth(ActivityKind::Walk, 6);
+        let mut drive = synth(ActivityKind::Drive, 6);
+        // Use many frames and medians: the proximity channel can flicker.
+        let w = collect_channel(&mut walk, SensorChannel::Proximity, 100);
+        let d = collect_channel(&mut drive, SensorChannel::Proximity, 100);
+        assert!(magneto_tensor::stats::median(&w) < 1.0);
+        assert!(magneto_tensor::stats::median(&d) > 5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = synth(ActivityKind::Run, 7);
+        let mut b = synth(ActivityKind::Run, 7);
+        for i in 0..100 {
+            let t = i as f64 / SAMPLE_RATE_HZ;
+            assert_eq!(a.frame(t), b.frame(t));
+        }
+    }
+
+    #[test]
+    fn person_changes_the_signal() {
+        let mut rng = SeededRng::new(8);
+        let person = PersonProfile::sample_atypical(&mut rng);
+        let mut nominal = synth(ActivityKind::Walk, 9);
+        let mut styled = SignalSynthesizer::new(
+            ActivityKind::Walk.profile(),
+            person,
+            SeededRng::new(9),
+        );
+        let a = collect_channel(&mut nominal, SensorChannel::AccelZ, 240);
+        let b = collect_channel(&mut styled, SensorChannel::AccelZ, 240);
+        let diff: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff / 240.0 > 0.1, "atypical user should shift the signal");
+    }
+
+    #[test]
+    fn gravity_channels_consistent_with_accel_at_rest() {
+        let mut s = synth(ActivityKind::Still, 10);
+        let f = s.frame(0.5);
+        // accel ≈ gravity + linacc; for Still, linacc is small.
+        for axis in 0..3 {
+            let acc = f.values[SensorChannel::AccelX.index() + axis];
+            let grav = f.values[SensorChannel::GravityX.index() + axis];
+            assert!((acc - grav).abs() < 0.5, "axis {axis}: {acc} vs {grav}");
+        }
+    }
+}

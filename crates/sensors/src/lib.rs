@@ -1,0 +1,44 @@
+//! # magneto-sensors
+//!
+//! Synthetic mobile-sensor substrate for the MAGNETO reproduction.
+//!
+//! The paper pre-trains on a proprietary corpus: "data collection campaigns
+//! capturing an initial dataset of more than 100 GB of sensor data …
+//! one-second window with roughly 120 sequential measurements from 22
+//! mobile sensors" (§4.1.2). That corpus is not available, so this crate
+//! *simulates* it with a physics-inspired generator that reproduces the
+//! statistical structure every downstream code path depends on:
+//!
+//! * a 22-channel smartphone sensor suite ([`channels`]) sampled at 120 Hz:
+//!   accelerometer, gyroscope, magnetometer, linear acceleration, gravity,
+//!   rotation-vector quaternion, barometric pressure, ambient light,
+//!   proximity;
+//! * per-activity motion models ([`activity`], [`waveform`]) for the five
+//!   base classes — *Drive, E-scooter, Run, Still, Walk* — plus custom
+//!   gestures used in the incremental-learning demo (*Gesture Hi* et al.);
+//! * realistic sensor imperfections ([`noise`]): white + pink noise, bias
+//!   random walk, spike artefacts, sample jitter and dropout;
+//! * per-user style parameters ([`person`]) — gait frequency/amplitude,
+//!   phone orientation, tremor level — which drive the paper's
+//!   *calibration* (personalisation) scenario;
+//! * real-time streaming ([`stream`]) and offline corpus generation
+//!   ([`dataset`]) with train/test splits.
+//!
+//! The generator is fully deterministic given a seed.
+
+pub mod activity;
+pub mod channels;
+pub mod dataset;
+pub mod imu;
+pub mod noise;
+pub mod person;
+pub mod script;
+pub mod stream;
+pub mod waveform;
+
+pub use activity::ActivityKind;
+pub use channels::{SensorChannel, SensorFrame, NUM_CHANNELS, SAMPLE_RATE_HZ};
+pub use dataset::{GeneratorConfig, LabeledWindow, SensorDataset};
+pub use person::PersonProfile;
+pub use script::{ScriptStep, SessionScript};
+pub use stream::SensorStream;

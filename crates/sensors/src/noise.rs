@@ -1,0 +1,257 @@
+//! Sensor imperfection models.
+//!
+//! Real MEMS sensors are noisy in structured ways that matter for HAR
+//! features: broadband white noise (raises feature variance floors), pink
+//! (1/f) noise and bias random walk (low-frequency drift that denoising
+//! must handle), and occasional spike artefacts (contact bounces, sensor
+//! hiccups) that stress the median filter in `magneto-dsp`.
+
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the per-channel noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Standard deviation of white Gaussian noise.
+    pub white_std: f32,
+    /// Amplitude of pink (1/f-ish) noise.
+    pub pink_std: f32,
+    /// Per-step standard deviation of the bias random walk.
+    pub bias_walk_std: f32,
+    /// Probability per sample of a spike artefact.
+    pub spike_prob: f64,
+    /// Spike magnitude (multiplied by a random sign and scale).
+    pub spike_magnitude: f32,
+}
+
+impl NoiseConfig {
+    /// Noise profile for a consumer-grade accelerometer axis.
+    pub fn accelerometer() -> Self {
+        NoiseConfig {
+            white_std: 0.09,
+            pink_std: 0.04,
+            bias_walk_std: 0.0005,
+            spike_prob: 0.0015,
+            spike_magnitude: 0.8,
+        }
+    }
+
+    /// Noise profile for a consumer-grade gyroscope axis.
+    pub fn gyroscope() -> Self {
+        NoiseConfig {
+            white_std: 0.02,
+            pink_std: 0.008,
+            bias_walk_std: 0.0002,
+            spike_prob: 0.001,
+            spike_magnitude: 0.2,
+        }
+    }
+
+    /// Noise profile for a magnetometer axis (noisier, more drift).
+    pub fn magnetometer() -> Self {
+        NoiseConfig {
+            white_std: 0.4,
+            pink_std: 0.3,
+            bias_walk_std: 0.01,
+            spike_prob: 0.002,
+            spike_magnitude: 5.0,
+        }
+    }
+
+    /// Noise profile for the barometer (very slow drift dominates).
+    pub fn barometer() -> Self {
+        NoiseConfig {
+            white_std: 0.02,
+            pink_std: 0.05,
+            bias_walk_std: 0.001,
+            spike_prob: 0.0005,
+            spike_magnitude: 0.3,
+        }
+    }
+
+    /// Silent configuration (tests, ideal-sensor ablations).
+    pub fn none() -> Self {
+        NoiseConfig {
+            white_std: 0.0,
+            pink_std: 0.0,
+            bias_walk_std: 0.0,
+            spike_prob: 0.0,
+            spike_magnitude: 0.0,
+        }
+    }
+
+    /// Scale every stochastic component by `factor` (per-user tremor /
+    /// device-quality knob).
+    pub fn scaled(mut self, factor: f32) -> Self {
+        self.white_std *= factor;
+        self.pink_std *= factor;
+        self.bias_walk_std *= factor;
+        self.spike_magnitude *= factor;
+        self
+    }
+}
+
+/// Stateful noise generator for one channel.
+///
+/// Pink noise uses the Voss–McCartney multi-row update (octave-spaced
+/// resampling) which yields an approximately 1/f spectrum; the bias walk
+/// is a plain Gaussian random walk.
+#[derive(Debug, Clone)]
+pub struct NoiseGenerator {
+    config: NoiseConfig,
+    pink_rows: [f32; 8],
+    pink_counter: u32,
+    bias: f32,
+}
+
+impl NoiseGenerator {
+    /// Create a generator with zeroed internal state.
+    pub fn new(config: NoiseConfig) -> Self {
+        NoiseGenerator {
+            config,
+            pink_rows: [0.0; 8],
+            pink_counter: 0,
+            bias: 0.0,
+        }
+    }
+
+    /// Current accumulated bias (useful for assertions/diagnostics).
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Draw the next noise sample.
+    pub fn next(&mut self, rng: &mut SeededRng) -> f32 {
+        let c = &self.config;
+        let mut v = 0.0f32;
+        if c.white_std > 0.0 {
+            v += rng.normal_with(0.0, c.white_std);
+        }
+        if c.pink_std > 0.0 {
+            // Voss–McCartney: row k updates every 2^k samples.
+            self.pink_counter = self.pink_counter.wrapping_add(1);
+            let trailing = self.pink_counter.trailing_zeros().min(7) as usize;
+            self.pink_rows[trailing] = rng.normal_with(0.0, c.pink_std);
+            v += self.pink_rows.iter().sum::<f32>() / (self.pink_rows.len() as f32).sqrt();
+        }
+        if c.bias_walk_std > 0.0 {
+            self.bias += rng.normal_with(0.0, c.bias_walk_std);
+            v += self.bias;
+        }
+        if c.spike_prob > 0.0 && rng.chance(c.spike_prob) {
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            v += sign * c.spike_magnitude * rng.uniform(0.5, 1.5);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_silent() {
+        let mut gen = NoiseGenerator::new(NoiseConfig::none());
+        let mut rng = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(gen.next(&mut rng), 0.0);
+        }
+        assert_eq!(gen.bias(), 0.0);
+    }
+
+    #[test]
+    fn white_noise_std_matches_config() {
+        let cfg = NoiseConfig {
+            white_std: 0.5,
+            ..NoiseConfig::none()
+        };
+        let mut gen = NoiseGenerator::new(cfg);
+        let mut rng = SeededRng::new(2);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gen.next(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let std =
+            (samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32).sqrt();
+        assert!((std - 0.5).abs() < 0.03, "std {std}");
+        assert!(mean.abs() < 0.02);
+    }
+
+    #[test]
+    fn bias_walk_accumulates() {
+        let cfg = NoiseConfig {
+            bias_walk_std: 0.1,
+            ..NoiseConfig::none()
+        };
+        let mut gen = NoiseGenerator::new(cfg);
+        let mut rng = SeededRng::new(3);
+        for _ in 0..5000 {
+            gen.next(&mut rng);
+        }
+        // After 5000 steps of std 0.1, |bias| is ~0.1*sqrt(5000) ≈ 7;
+        // overwhelmingly nonzero.
+        assert!(gen.bias().abs() > 0.5);
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let cfg = NoiseConfig {
+            spike_prob: 0.05,
+            spike_magnitude: 100.0,
+            ..NoiseConfig::none()
+        };
+        let mut gen = NoiseGenerator::new(cfg);
+        let mut rng = SeededRng::new(4);
+        let n = 10_000;
+        let spikes = (0..n)
+            .filter(|_| gen.next(&mut rng).abs() > 10.0)
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn pink_noise_is_low_frequency_heavy() {
+        let cfg = NoiseConfig {
+            pink_std: 1.0,
+            ..NoiseConfig::none()
+        };
+        let mut gen = NoiseGenerator::new(cfg);
+        let mut rng = SeededRng::new(5);
+        let n = 8192;
+        let xs: Vec<f32> = (0..n).map(|_| gen.next(&mut rng)).collect();
+        // Lag-1 autocorrelation of pink noise is strongly positive, unlike
+        // white noise (~0).
+        let ac1 = magneto_tensor::stats::autocorrelation(&xs, 1);
+        assert!(ac1 > 0.3, "lag-1 autocorr {ac1}");
+    }
+
+    #[test]
+    fn scaled_scales_all_components() {
+        let s = NoiseConfig::accelerometer().scaled(2.0);
+        let base = NoiseConfig::accelerometer();
+        assert_eq!(s.white_std, base.white_std * 2.0);
+        assert_eq!(s.pink_std, base.pink_std * 2.0);
+        assert_eq!(s.bias_walk_std, base.bias_walk_std * 2.0);
+        assert_eq!(s.spike_magnitude, base.spike_magnitude * 2.0);
+        assert_eq!(s.spike_prob, base.spike_prob);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g1 = NoiseGenerator::new(NoiseConfig::accelerometer());
+        let mut g2 = NoiseGenerator::new(NoiseConfig::accelerometer());
+        let mut r1 = SeededRng::new(7);
+        let mut r2 = SeededRng::new(7);
+        for _ in 0..200 {
+            assert_eq!(g1.next(&mut r1), g2.next(&mut r2));
+        }
+    }
+
+    #[test]
+    fn sensor_presets_are_distinct() {
+        assert_ne!(NoiseConfig::accelerometer(), NoiseConfig::gyroscope());
+        assert_ne!(NoiseConfig::gyroscope(), NoiseConfig::magnetometer());
+        assert_ne!(NoiseConfig::magnetometer(), NoiseConfig::barometer());
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-user style parameters.
+//!
+//! Personalisation is half of the paper's pitch: users differ in cadence,
+//! movement amplitude, where they carry the phone and how steady their
+//! hands are. A [`PersonProfile`] perturbs the activity motion profiles so
+//! that (a) pre-training data can be drawn from a *population* of users and
+//! (b) the calibration experiment (A3 in DESIGN.md) can create a user whose
+//! style sits far from the population mean and show that on-device
+//! calibration recovers the lost accuracy.
+
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// How one user's movement style deviates from the nominal activity
+/// profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PersonProfile {
+    /// Multiplier on gait/gesture frequency (1.0 = nominal).
+    pub gait_freq_scale: f64,
+    /// Multiplier on motion amplitudes.
+    pub amplitude_scale: f64,
+    /// Extra phone pitch relative to the activity's typical carry (rad).
+    pub pitch_offset_rad: f64,
+    /// Extra phone roll (rad).
+    pub roll_offset_rad: f64,
+    /// Extra phone yaw (rad) — also rotates the magnetometer signature.
+    pub yaw_offset_rad: f64,
+    /// Multiplier on sensor noise (hand tremor, cheap device).
+    pub tremor_scale: f32,
+    /// Per-user phase offset decorrelating gait cycles between users.
+    pub phase_offset: f64,
+}
+
+impl PersonProfile {
+    /// The nominal user: exactly the activity profiles as written.
+    pub fn nominal() -> Self {
+        PersonProfile {
+            gait_freq_scale: 1.0,
+            amplitude_scale: 1.0,
+            pitch_offset_rad: 0.0,
+            roll_offset_rad: 0.0,
+            yaw_offset_rad: 0.0,
+            tremor_scale: 1.0,
+            phase_offset: 0.0,
+        }
+    }
+
+    /// Sample a user from the population the Cloud pre-trains on:
+    /// mild, centred variation.
+    pub fn sample(rng: &mut SeededRng) -> Self {
+        PersonProfile {
+            gait_freq_scale: f64::from(rng.normal_with(1.0, 0.13).clamp(0.7, 1.35)),
+            amplitude_scale: f64::from(rng.normal_with(1.0, 0.28).clamp(0.4, 1.9)),
+            pitch_offset_rad: f64::from(rng.normal_with(0.0, 0.28)),
+            roll_offset_rad: f64::from(rng.normal_with(0.0, 0.28)),
+            yaw_offset_rad: f64::from(rng.uniform(-1.2, 1.2)),
+            tremor_scale: rng.normal_with(1.2, 0.4).clamp(0.5, 2.8),
+            phase_offset: rng.uniform(0.0, std::f32::consts::TAU) as f64,
+        }
+    }
+
+    /// Sample an *atypical* user whose style sits in the tail of the
+    /// population: slower-or-faster cadence, unusual carry orientation,
+    /// shaky hands. Pre-trained models degrade on such users; the paper's
+    /// calibration loop is meant to win it back.
+    pub fn sample_atypical(rng: &mut SeededRng) -> Self {
+        // Push cadence 20–35% away from nominal, in a random direction.
+        let dir = if rng.chance(0.5) { 1.0 } else { -1.0 };
+        PersonProfile {
+            gait_freq_scale: 1.0 + dir * rng.uniform(0.20, 0.35) as f64,
+            amplitude_scale: (1.0 + dir * rng.uniform(0.25, 0.45) as f64).max(0.3),
+            pitch_offset_rad: rng.uniform(0.35, 0.7) as f64 * dir,
+            roll_offset_rad: rng.uniform(0.25, 0.5) as f64,
+            yaw_offset_rad: rng.uniform(-1.5, 1.5) as f64,
+            tremor_scale: rng.uniform(1.5, 2.5),
+            phase_offset: rng.uniform(0.0, std::f32::consts::TAU) as f64,
+        }
+    }
+
+    /// A rough scalar measure of how far this user is from nominal
+    /// (0 = nominal). Useful in experiment reports.
+    pub fn atypicality(&self) -> f64 {
+        (self.gait_freq_scale - 1.0).abs()
+            + (self.amplitude_scale - 1.0).abs()
+            + self.pitch_offset_rad.abs()
+            + self.roll_offset_rad.abs()
+            + 0.25 * self.yaw_offset_rad.abs()
+            + (f64::from(self.tremor_scale) - 1.0).abs() * 0.5
+    }
+}
+
+impl Default for PersonProfile {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let p = PersonProfile::nominal();
+        assert_eq!(p.gait_freq_scale, 1.0);
+        assert_eq!(p.amplitude_scale, 1.0);
+        assert_eq!(p.tremor_scale, 1.0);
+        assert_eq!(p.atypicality(), 0.0);
+        assert_eq!(PersonProfile::default(), p);
+    }
+
+    #[test]
+    fn sampled_population_is_mild() {
+        let mut rng = SeededRng::new(42);
+        for _ in 0..200 {
+            let p = PersonProfile::sample(&mut rng);
+            // Clamp bounds are f32; allow an ULP of slack after the
+            // f32 → f64 widening.
+            assert!((0.7 - 1e-6..=1.35 + 1e-6).contains(&p.gait_freq_scale));
+            assert!((0.4 - 1e-6..=1.9 + 1e-6).contains(&p.amplitude_scale));
+            assert!((0.5..=2.8).contains(&p.tremor_scale));
+        }
+    }
+
+    #[test]
+    fn atypical_users_are_more_atypical_than_population() {
+        let mut rng = SeededRng::new(7);
+        let pop_mean: f64 = (0..100)
+            .map(|_| PersonProfile::sample(&mut rng).atypicality())
+            .sum::<f64>()
+            / 100.0;
+        let aty_mean: f64 = (0..100)
+            .map(|_| PersonProfile::sample_atypical(&mut rng).atypicality())
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            aty_mean > pop_mean * 2.0,
+            "atypical {aty_mean} vs population {pop_mean}"
+        );
+    }
+
+    #[test]
+    fn atypical_cadence_is_displaced() {
+        let mut rng = SeededRng::new(9);
+        for _ in 0..50 {
+            let p = PersonProfile::sample_atypical(&mut rng);
+            assert!((p.gait_freq_scale - 1.0).abs() >= 0.20 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = SeededRng::new(5);
+        let mut b = SeededRng::new(5);
+        assert_eq!(PersonProfile::sample(&mut a), PersonProfile::sample(&mut b));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = SeededRng::new(3);
+        let p = PersonProfile::sample(&mut rng);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PersonProfile = serde_json::from_str(&json).unwrap();
+        // serde_json's default float parser may be 1 ULP off; compare
+        // approximately.
+        assert!((p.gait_freq_scale - back.gait_freq_scale).abs() < 1e-12);
+        assert!((p.amplitude_scale - back.amplitude_scale).abs() < 1e-12);
+        assert!((p.phase_offset - back.phase_offset).abs() < 1e-12);
+        assert_eq!(p.tremor_scale, back.tremor_scale);
+    }
+}

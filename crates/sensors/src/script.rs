@@ -1,0 +1,246 @@
+//! Scripted multi-activity sessions.
+//!
+//! Real usage is not one activity per recording: a user is still, walks
+//! to the car, drives, walks again. A [`SessionScript`] produces a single
+//! continuous sensor stream that switches motion models at scripted
+//! times (with a short cross-fade so transitions are physically smooth,
+//! not teleports), together with the ground-truth segment list — exactly
+//! what is needed to evaluate streaming inference and the timeline
+//! aggregator end-to-end.
+
+use crate::activity::ActivityKind;
+use crate::channels::{SensorFrame, NUM_CHANNELS, SAMPLE_RATE_HZ};
+use crate::imu::SignalSynthesizer;
+use crate::person::PersonProfile;
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// One scripted step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptStep {
+    /// Activity during this step.
+    pub activity: ActivityKind,
+    /// Step duration in seconds.
+    pub seconds: f64,
+}
+
+/// Ground truth for one scripted segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthSegment {
+    /// Activity label.
+    pub label: String,
+    /// Segment start (seconds from session start).
+    pub start_s: f64,
+    /// Segment end.
+    pub end_s: f64,
+}
+
+/// A scripted session for one user.
+#[derive(Debug, Clone)]
+pub struct SessionScript {
+    steps: Vec<ScriptStep>,
+    person: PersonProfile,
+    /// Cross-fade duration at each transition (seconds).
+    crossfade_s: f64,
+}
+
+impl SessionScript {
+    /// Create a script. `crossfade_s` blends the outgoing and incoming
+    /// motion models at each boundary (0 disables).
+    pub fn new(steps: Vec<ScriptStep>, person: PersonProfile, crossfade_s: f64) -> Self {
+        SessionScript {
+            steps,
+            person,
+            crossfade_s: crossfade_s.max(0.0),
+        }
+    }
+
+    /// The classic demo errand: still → walk → drive → walk → still.
+    pub fn errand(person: PersonProfile) -> Self {
+        SessionScript::new(
+            vec![
+                ScriptStep { activity: ActivityKind::Still, seconds: 10.0 },
+                ScriptStep { activity: ActivityKind::Walk, seconds: 20.0 },
+                ScriptStep { activity: ActivityKind::Drive, seconds: 30.0 },
+                ScriptStep { activity: ActivityKind::Walk, seconds: 15.0 },
+                ScriptStep { activity: ActivityKind::Still, seconds: 10.0 },
+            ],
+            person,
+            1.0,
+        )
+    }
+
+    /// Total scripted duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Ground-truth segments.
+    pub fn truth(&self) -> Vec<TruthSegment> {
+        let mut out = Vec::with_capacity(self.steps.len());
+        let mut t = 0.0;
+        for s in &self.steps {
+            out.push(TruthSegment {
+                label: s.activity.label().to_string(),
+                start_s: t,
+                end_s: t + s.seconds,
+            });
+            t += s.seconds;
+        }
+        out
+    }
+
+    /// Synthesise the full session at 120 Hz.
+    ///
+    /// Each step gets its own synthesiser (seeded from `rng`); inside the
+    /// cross-fade window after a boundary, frames are a linear blend of
+    /// the outgoing and incoming models so accelerometer traces stay
+    /// continuous.
+    pub fn synthesize(&self, rng: &mut SeededRng) -> Vec<SensorFrame> {
+        let mut synths: Vec<SignalSynthesizer> = self
+            .steps
+            .iter()
+            .map(|s| {
+                SignalSynthesizer::new(s.activity.profile(), self.person, rng.split("step"))
+            })
+            .collect();
+        let total_frames = (self.duration_s() * SAMPLE_RATE_HZ).round() as usize;
+        let mut boundaries = Vec::with_capacity(self.steps.len());
+        let mut acc = 0.0;
+        for s in &self.steps {
+            boundaries.push(acc);
+            acc += s.seconds;
+        }
+
+        let mut frames = Vec::with_capacity(total_frames);
+        for i in 0..total_frames {
+            let t = i as f64 / SAMPLE_RATE_HZ;
+            // Which step are we in?
+            let idx = boundaries
+                .iter()
+                .rposition(|&b| t >= b)
+                .unwrap_or(0);
+            let into_step = t - boundaries[idx];
+            let mut frame = {
+                let (_, tail) = synths.split_at_mut(idx);
+                tail[0].frame(t)
+            };
+            // Cross-fade from the previous step's model.
+            if idx > 0 && self.crossfade_s > 0.0 && into_step < self.crossfade_s {
+                let alpha = (into_step / self.crossfade_s) as f32; // 0 -> 1
+                let prev = {
+                    let (head, _) = synths.split_at_mut(idx);
+                    head[idx - 1].frame(t)
+                };
+                for c in 0..NUM_CHANNELS {
+                    frame.values[c] = alpha * frame.values[c] + (1.0 - alpha) * prev.values[c];
+                }
+            }
+            frames.push(frame);
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::SensorChannel;
+
+    fn two_step() -> SessionScript {
+        SessionScript::new(
+            vec![
+                ScriptStep { activity: ActivityKind::Still, seconds: 2.0 },
+                ScriptStep { activity: ActivityKind::Run, seconds: 2.0 },
+            ],
+            PersonProfile::nominal(),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn duration_and_truth() {
+        let s = two_step();
+        assert_eq!(s.duration_s(), 4.0);
+        let truth = s.truth();
+        assert_eq!(truth.len(), 2);
+        assert_eq!(truth[0].label, "still");
+        assert_eq!(truth[0].end_s, 2.0);
+        assert_eq!(truth[1].start_s, 2.0);
+        assert_eq!(truth[1].end_s, 4.0);
+    }
+
+    #[test]
+    fn frame_count_matches_duration() {
+        let s = two_step();
+        let frames = s.synthesize(&mut SeededRng::new(1));
+        assert_eq!(frames.len(), 480);
+        // Timestamps are monotone.
+        for w in frames.windows(2) {
+            assert!(w[1].timestamp > w[0].timestamp);
+        }
+    }
+
+    #[test]
+    fn activity_change_changes_signal_energy() {
+        let s = two_step();
+        let frames = s.synthesize(&mut SeededRng::new(2));
+        let energy = |range: std::ops::Range<usize>| {
+            let xs: Vec<f32> = frames[range]
+                .iter()
+                .map(|f| f.get(SensorChannel::LinAccZ))
+                .collect();
+            magneto_tensor::stats::energy(&xs)
+        };
+        let still = energy(60..180); // inside the still step
+        let run = energy(360..470); // inside the run step
+        assert!(run > still * 10.0, "run {run} vs still {still}");
+    }
+
+    #[test]
+    fn crossfade_is_continuous() {
+        let s = two_step();
+        let frames = s.synthesize(&mut SeededRng::new(3));
+        // Max per-sample jump in accel_z around the boundary (frame 240)
+        // should not be grossly larger than elsewhere in the run segment.
+        let jump = |i: usize| {
+            (frames[i + 1].get(SensorChannel::AccelZ) - frames[i].get(SensorChannel::AccelZ))
+                .abs()
+        };
+        let boundary_jump = jump(239).max(jump(240));
+        let steady_max = (300..460).map(jump).fold(0.0f32, f32::max);
+        assert!(
+            boundary_jump < steady_max * 3.0 + 1.0,
+            "discontinuity at boundary: {boundary_jump} vs steady {steady_max}"
+        );
+    }
+
+    #[test]
+    fn no_crossfade_mode_works() {
+        let s = SessionScript::new(
+            vec![
+                ScriptStep { activity: ActivityKind::Still, seconds: 1.0 },
+                ScriptStep { activity: ActivityKind::Walk, seconds: 1.0 },
+            ],
+            PersonProfile::nominal(),
+            0.0,
+        );
+        assert_eq!(s.synthesize(&mut SeededRng::new(4)).len(), 240);
+    }
+
+    #[test]
+    fn errand_script_shape() {
+        let s = SessionScript::errand(PersonProfile::nominal());
+        assert_eq!(s.duration_s(), 85.0);
+        assert_eq!(s.truth().len(), 5);
+        assert_eq!(s.truth()[2].label, "drive");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = two_step();
+        let a = s.synthesize(&mut SeededRng::new(5));
+        let b = s.synthesize(&mut SeededRng::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Real-time sensor streaming.
+//!
+//! The Edge device consumes sensors as a *stream* (§3.3 "reading its
+//! sensors and passing the captured measurements sequentially"). This
+//! module provides that stream, including the imperfections a real Android
+//! sensor service exhibits: timestamp jitter and occasional dropped
+//! samples. The DSP segmentation layer must tolerate both.
+
+use crate::activity::MotionProfile;
+use crate::channels::{SensorFrame, SAMPLE_RATE_HZ};
+use crate::imu::SignalSynthesizer;
+use crate::person::PersonProfile;
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Stream timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Nominal sample rate (Hz).
+    pub sample_rate_hz: f64,
+    /// Standard deviation of per-sample timestamp jitter (seconds).
+    pub jitter_std_s: f64,
+    /// Probability that a sample is silently dropped by the sensor service.
+    pub dropout_prob: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            sample_rate_hz: SAMPLE_RATE_HZ,
+            jitter_std_s: 0.0006, // ~0.6 ms jitter, typical for Android
+            dropout_prob: 0.002,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Perfectly regular stream (unit tests, idealised benchmarks).
+    pub fn ideal() -> Self {
+        StreamConfig {
+            sample_rate_hz: SAMPLE_RATE_HZ,
+            jitter_std_s: 0.0,
+            dropout_prob: 0.0,
+        }
+    }
+}
+
+/// An infinite iterator of sensor frames for one (activity, person) pair.
+pub struct SensorStream {
+    synth: SignalSynthesizer,
+    config: StreamConfig,
+    rng: SeededRng,
+    tick: u64,
+}
+
+impl SensorStream {
+    /// Create a stream from a motion profile and user style.
+    pub fn new(
+        profile: MotionProfile,
+        person: PersonProfile,
+        config: StreamConfig,
+        mut rng: SeededRng,
+    ) -> Self {
+        let synth_rng = rng.split("synth");
+        SensorStream {
+            synth: SignalSynthesizer::new(profile, person, synth_rng),
+            config,
+            rng,
+            tick: 0,
+        }
+    }
+
+    /// Produce the next frame, or `None` if the sensor service dropped it.
+    /// (The tick still advances, so dropped samples create real gaps.)
+    pub fn poll(&mut self) -> Option<SensorFrame> {
+        let nominal_t = self.tick as f64 / self.config.sample_rate_hz;
+        self.tick += 1;
+        if self.config.dropout_prob > 0.0 && self.rng.chance(self.config.dropout_prob) {
+            return None;
+        }
+        let jitter = if self.config.jitter_std_s > 0.0 {
+            f64::from(self.rng.normal_with(0.0, self.config.jitter_std_s as f32))
+        } else {
+            0.0
+        };
+        Some(self.synth.frame((nominal_t + jitter).max(0.0)))
+    }
+
+    /// Collect the next `seconds` worth of frames (dropped samples simply
+    /// missing), as a recording session would.
+    pub fn record_seconds(&mut self, seconds: f64) -> Vec<SensorFrame> {
+        let n = (seconds * self.config.sample_rate_hz).round() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Some(f) = self.poll() {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    /// Number of ticks elapsed (including drops).
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+}
+
+impl Iterator for SensorStream {
+    type Item = SensorFrame;
+
+    /// Infinite stream; skips over dropped samples.
+    fn next(&mut self) -> Option<SensorFrame> {
+        loop {
+            if let Some(f) = self.poll() {
+                return Some(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+
+    fn stream(config: StreamConfig, seed: u64) -> SensorStream {
+        SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            config,
+            SeededRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn ideal_stream_has_regular_timestamps() {
+        let mut s = stream(StreamConfig::ideal(), 1);
+        let frames: Vec<SensorFrame> = (0..240).map(|_| s.poll().unwrap()).collect();
+        for (i, f) in frames.iter().enumerate() {
+            let expected = i as f64 / SAMPLE_RATE_HZ;
+            assert!((f.timestamp - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_perturbs_timestamps_slightly() {
+        let cfg = StreamConfig {
+            jitter_std_s: 0.001,
+            dropout_prob: 0.0,
+            ..StreamConfig::default()
+        };
+        let mut s = stream(cfg, 2);
+        let mut any_jitter = false;
+        for i in 0..240 {
+            let f = s.poll().unwrap();
+            let nominal = i as f64 / SAMPLE_RATE_HZ;
+            let dev = (f.timestamp - nominal).abs();
+            assert!(dev < 0.01, "jitter too large: {dev}");
+            if dev > 1e-9 {
+                any_jitter = true;
+            }
+        }
+        assert!(any_jitter);
+    }
+
+    #[test]
+    fn dropout_rate_is_respected() {
+        let cfg = StreamConfig {
+            jitter_std_s: 0.0,
+            dropout_prob: 0.1,
+            ..StreamConfig::default()
+        };
+        let mut s = stream(cfg, 3);
+        let n = 10_000;
+        let received = (0..n).filter(|_| s.poll().is_some()).count();
+        let rate = 1.0 - received as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "dropout rate {rate}");
+        assert_eq!(s.ticks(), n as u64);
+    }
+
+    #[test]
+    fn record_seconds_yields_expected_count() {
+        let mut s = stream(StreamConfig::ideal(), 4);
+        let frames = s.record_seconds(2.0);
+        assert_eq!(frames.len(), 240);
+        // With dropout, fewer frames arrive.
+        let cfg = StreamConfig {
+            dropout_prob: 0.5,
+            jitter_std_s: 0.0,
+            ..StreamConfig::default()
+        };
+        let mut lossy = stream(cfg, 4);
+        let got = lossy.record_seconds(2.0).len();
+        assert!(got < 200 && got > 60, "got {got}");
+    }
+
+    #[test]
+    fn iterator_skips_drops() {
+        let cfg = StreamConfig {
+            dropout_prob: 0.5,
+            jitter_std_s: 0.0,
+            ..StreamConfig::default()
+        };
+        let s = stream(cfg, 5);
+        let frames: Vec<SensorFrame> = s.take(100).collect();
+        assert_eq!(frames.len(), 100);
+        // Timestamps strictly increase even across gaps.
+        for w in frames.windows(2) {
+            assert!(w[1].timestamp > w[0].timestamp);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = stream(StreamConfig::default(), 6);
+        let mut b = stream(StreamConfig::default(), 6);
+        for _ in 0..200 {
+            assert_eq!(a.poll(), b.poll());
+        }
+    }
+}

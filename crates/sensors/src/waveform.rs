@@ -1,0 +1,286 @@
+//! Waveform primitives for motion synthesis.
+//!
+//! Human and vehicle motion as seen by a phone decomposes well into a small
+//! sum of harmonics plus impacts: walking is a ~2 Hz fundamental with a
+//! strong second harmonic (two foot strikes per stride), running adds sharp
+//! heel-strike impulses, engines and scooter motors contribute
+//! high-frequency vibration bands. These primitives are combined by the
+//! per-activity motion models in [`crate::activity`].
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// One sinusoidal component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Harmonic {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Peak amplitude (unit of the target signal).
+    pub amplitude: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl Harmonic {
+    /// Convenience constructor.
+    pub fn new(freq_hz: f64, amplitude: f64, phase: f64) -> Self {
+        Harmonic {
+            freq_hz,
+            amplitude,
+            phase,
+        }
+    }
+
+    /// Evaluate at time `t` seconds.
+    #[inline]
+    pub fn eval(&self, t: f64) -> f64 {
+        self.amplitude * (2.0 * PI * self.freq_hz * t + self.phase).sin()
+    }
+}
+
+/// A sum of harmonics — the basic periodic motion building block.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HarmonicStack {
+    components: Vec<Harmonic>,
+}
+
+impl HarmonicStack {
+    /// Empty stack (evaluates to 0 everywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style push.
+    pub fn with(mut self, h: Harmonic) -> Self {
+        self.components.push(h);
+        self
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when no components are present.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Evaluate the sum at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.components.iter().map(|h| h.eval(t)).sum()
+    }
+
+    /// Build a gait waveform: fundamental at `step_freq_hz` plus a second
+    /// harmonic (`ratio2`) and third harmonic (`ratio3`) of the given
+    /// fractional amplitudes, which produces the characteristic double-bump
+    /// vertical acceleration of walking/running.
+    pub fn gait(step_freq_hz: f64, amplitude: f64, ratio2: f64, ratio3: f64, phase: f64) -> Self {
+        HarmonicStack::new()
+            .with(Harmonic::new(step_freq_hz, amplitude, phase))
+            .with(Harmonic::new(
+                2.0 * step_freq_hz,
+                amplitude * ratio2,
+                phase * 1.7,
+            ))
+            .with(Harmonic::new(
+                3.0 * step_freq_hz,
+                amplitude * ratio3,
+                phase * 0.6,
+            ))
+    }
+
+    /// Build a vibration band: `n` components spread uniformly over
+    /// `[lo_hz, hi_hz]` with amplitudes decaying linearly, modelling engine
+    /// or motor buzz plus road texture.
+    pub fn vibration_band(lo_hz: f64, hi_hz: f64, amplitude: f64, n: usize) -> Self {
+        let mut stack = HarmonicStack::new();
+        if n == 0 {
+            return stack;
+        }
+        for i in 0..n {
+            let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+            let f = lo_hz + frac * (hi_hz - lo_hz);
+            let a = amplitude * (1.0 - 0.5 * frac);
+            // Deterministic pseudo-random phases decorrelate the band.
+            let phase = (i as f64 * 2.399_963).rem_euclid(2.0 * PI);
+            stack.components.push(Harmonic::new(f, a, phase));
+        }
+        stack
+    }
+}
+
+/// Periodic impulse train modelling impacts (heel strikes, jumps, road
+/// bumps): a narrow raised-cosine burst once per period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImpulseTrain {
+    /// Impacts per second.
+    pub rate_hz: f64,
+    /// Peak amplitude of each impulse.
+    pub amplitude: f64,
+    /// Fraction of the period occupied by the impulse (0..1).
+    pub duty: f64,
+}
+
+impl ImpulseTrain {
+    /// Convenience constructor; `duty` is clamped to `(0, 1]`.
+    pub fn new(rate_hz: f64, amplitude: f64, duty: f64) -> Self {
+        ImpulseTrain {
+            rate_hz,
+            amplitude,
+            duty: duty.clamp(1e-3, 1.0),
+        }
+    }
+
+    /// Evaluate at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        if self.rate_hz <= 0.0 {
+            return 0.0;
+        }
+        let period = 1.0 / self.rate_hz;
+        let phase = (t.rem_euclid(period)) / period; // 0..1 within the period
+        if phase < self.duty {
+            // Raised cosine from 0 -> peak -> 0 across the duty window.
+            let x = phase / self.duty; // 0..1
+            self.amplitude * 0.5 * (1.0 - (2.0 * PI * x).cos())
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Smooth bounded pseudo-random drift: a slow sum of incommensurate sines.
+/// Used for orientation wander, steering sway and baseline drift without
+/// needing stateful noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Drift {
+    /// Overall amplitude.
+    pub amplitude: f64,
+    /// Base frequency in Hz (kept well below gait frequencies).
+    pub freq_hz: f64,
+    /// Phase seed decorrelating different drift instances.
+    pub seed_phase: f64,
+}
+
+impl Drift {
+    /// Convenience constructor.
+    pub fn new(amplitude: f64, freq_hz: f64, seed_phase: f64) -> Self {
+        Drift {
+            amplitude,
+            freq_hz,
+            seed_phase,
+        }
+    }
+
+    /// Evaluate at time `t`; bounded by `±1.75 * amplitude`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let w = 2.0 * PI * self.freq_hz;
+        self.amplitude
+            * ((w * t + self.seed_phase).sin()
+                + 0.5 * (w * 2.71 * t + 2.0 * self.seed_phase).sin()
+                + 0.25 * (w * 5.13 * t + 3.0 * self.seed_phase).sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_period() {
+        let h = Harmonic::new(2.0, 1.0, 0.0);
+        assert!(h.eval(0.0).abs() < 1e-9);
+        assert!((h.eval(0.125) - 1.0).abs() < 1e-9); // quarter period of 2 Hz
+        assert!((h.eval(0.5) - h.eval(0.0)).abs() < 1e-9); // periodic
+    }
+
+    #[test]
+    fn stack_superposition() {
+        let s = HarmonicStack::new()
+            .with(Harmonic::new(1.0, 1.0, 0.0))
+            .with(Harmonic::new(1.0, 2.0, 0.0));
+        assert!((s.eval(0.25) - 3.0).abs() < 1e-9);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(HarmonicStack::new().is_empty());
+        assert_eq!(HarmonicStack::new().eval(0.3), 0.0);
+    }
+
+    #[test]
+    fn gait_contains_three_harmonics() {
+        let g = HarmonicStack::gait(2.0, 1.0, 0.5, 0.2, 0.0);
+        assert_eq!(g.len(), 3);
+        // Peak amplitude bounded by sum of component amplitudes.
+        let peak = (0..1000)
+            .map(|i| g.eval(i as f64 / 1000.0).abs())
+            .fold(0.0, f64::max);
+        assert!(peak <= 1.7 + 1e-6);
+        assert!(peak > 0.8);
+    }
+
+    #[test]
+    fn vibration_band_frequencies_within_band() {
+        let v = HarmonicStack::vibration_band(20.0, 40.0, 0.5, 8);
+        assert_eq!(v.len(), 8);
+        // RMS over a second should be well below the sum of amplitudes
+        // (decorrelated phases) but clearly nonzero.
+        let n = 1200;
+        let rms = ((0..n)
+            .map(|i| v.eval(i as f64 / 1200.0).powi(2))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        assert!(rms > 0.1 && rms < 2.0, "rms {rms}");
+        assert!(HarmonicStack::vibration_band(1.0, 2.0, 1.0, 0).is_empty());
+        assert_eq!(HarmonicStack::vibration_band(1.0, 2.0, 1.0, 1).len(), 1);
+    }
+
+    #[test]
+    fn impulse_train_shape() {
+        let imp = ImpulseTrain::new(2.0, 10.0, 0.2);
+        // Zero outside the duty window.
+        assert_eq!(imp.eval(0.3), 0.0);
+        // Peak near the middle of the duty window (duty 0.2 of a 0.5 s
+        // period -> peak near t = 0.05).
+        assert!((imp.eval(0.05) - 10.0).abs() < 0.1);
+        // Periodic.
+        assert!((imp.eval(0.05) - imp.eval(0.55)).abs() < 1e-9);
+        // Degenerate rate yields silence.
+        assert_eq!(ImpulseTrain::new(0.0, 5.0, 0.2).eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn impulse_train_nonnegative() {
+        let imp = ImpulseTrain::new(3.0, 5.0, 0.15);
+        for i in 0..2000 {
+            assert!(imp.eval(i as f64 / 500.0) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn drift_bounded_and_slow() {
+        let d = Drift::new(2.0, 0.1, 1.0);
+        let mut max_abs: f64 = 0.0;
+        let mut max_step: f64 = 0.0;
+        let mut prev = d.eval(0.0);
+        for i in 1..5000 {
+            let v = d.eval(i as f64 / 100.0);
+            max_abs = max_abs.max(v.abs());
+            max_step = max_step.max((v - prev).abs());
+            prev = v;
+        }
+        assert!(max_abs <= 3.5 + 1e-9);
+        // Slow: 10 ms steps change the value only slightly.
+        assert!(max_step < 0.3, "max step {max_step}");
+    }
+
+    #[test]
+    fn drift_seed_phase_decorrelates() {
+        let a = Drift::new(1.0, 0.2, 0.0);
+        let b = Drift::new(1.0, 0.2, 2.0);
+        let diff: f64 = (0..100)
+            .map(|i| (a.eval(i as f64 / 10.0) - b.eval(i as f64 / 10.0)).abs())
+            .sum();
+        assert!(diff > 1.0);
+    }
+}

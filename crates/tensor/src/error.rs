@@ -1,0 +1,119 @@
+//! Error type for tensor operations.
+//!
+//! All shape mismatches surface as [`TensorError`] rather than panics so
+//! that the higher layers (model deserialisation on the Edge device in
+//! particular) can reject corrupt bundles gracefully.
+
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given a buffer whose length does not match the
+    /// requested dimensions.
+    InvalidDimensions {
+        /// Requested rows.
+        rows: usize,
+        /// Requested cols.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index as `(row, col)`.
+        index: (usize, usize),
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Binary decoding failed (truncated or corrupt payload).
+    Decode(String),
+    /// An operation requires a non-empty input (e.g. statistics of `[]`).
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::InvalidDimensions { rows, cols, len } => write!(
+                f,
+                "invalid dimensions: {rows}x{cols} requires {} elements, got {len}",
+                rows * cols
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::Decode(msg) => write!(f, "decode error: {msg}"),
+            TensorError::EmptyInput(op) => write!(f, "`{op}` requires a non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in `matmul`: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_invalid_dimensions() {
+        let e = TensorError::InvalidDimensions {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        };
+        assert!(e.to_string().contains("requires 4 elements, got 3"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = TensorError::IndexOutOfBounds {
+            index: (5, 0),
+            shape: (2, 2),
+        };
+        assert!(e.to_string().contains("(5, 0)"));
+    }
+
+    #[test]
+    fn display_decode_and_empty() {
+        assert!(TensorError::Decode("truncated".into())
+            .to_string()
+            .contains("truncated"));
+        assert!(TensorError::EmptyInput("mean").to_string().contains("mean"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::EmptyInput("x"));
+    }
+}

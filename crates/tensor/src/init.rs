@@ -1,0 +1,110 @@
+//! Weight initialisers for dense layers.
+//!
+//! The paper's backbone is a ReLU MLP, for which He (Kaiming) initialisation
+//! is the standard choice; Xavier/Glorot is provided for linear/tanh heads
+//! and uniform for tests.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Weight initialisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Initializer {
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))` — for ReLU layers.
+    #[default]
+    HeNormal,
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Uniform in `[-scale, scale]`.
+    Uniform {
+        /// Half-width of the uniform range, in thousandths (integer so the
+        /// enum stays `Eq`/hashable); `scale_milli = 100` means `±0.1`.
+        scale_milli: u32,
+    },
+    /// All zeros (biases, tests).
+    Zeros,
+}
+
+impl Initializer {
+    /// Materialise a `(fan_in, fan_out)` weight matrix.
+    pub fn init(&self, fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        match self {
+            Initializer::Zeros => {}
+            Initializer::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                for v in m.as_mut_slice() {
+                    *v = rng.normal_with(0.0, std);
+                }
+            }
+            Initializer::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                for v in m.as_mut_slice() {
+                    *v = rng.uniform(-a, a);
+                }
+            }
+            Initializer::Uniform { scale_milli } => {
+                let s = *scale_milli as f32 / 1000.0;
+                for v in m.as_mut_slice() {
+                    *v = rng.uniform(-s, s);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = SeededRng::new(1);
+        let m = Initializer::Zeros.init(4, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn he_normal_std_close_to_theory() {
+        let mut rng = SeededRng::new(2);
+        let fan_in = 256;
+        let m = Initializer::HeNormal.init(fan_in, 256, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let expected = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expected).abs() / expected < 0.1,
+            "var {var}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = SeededRng::new(3);
+        let m = Initializer::XavierUniform.init(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate: spread over at least half the range.
+        assert!(m.max_abs() > a * 0.5);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SeededRng::new(4);
+        let m = Initializer::Uniform { scale_milli: 100 }.init(32, 32, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeededRng::new(9);
+        let mut b = SeededRng::new(9);
+        let m1 = Initializer::HeNormal.init(8, 8, &mut a);
+        let m2 = Initializer::HeNormal.init(8, 8, &mut b);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # magneto-tensor
+//!
+//! Dense linear-algebra substrate for the MAGNETO Edge-AI platform.
+//!
+//! The MAGNETO paper (EDBT 2024) implements its models in PyTorch; the
+//! offline Rust crate ecosystem available to this reproduction has no
+//! mature deep-learning stack, so everything the neural network and the
+//! classifiers need is built here from scratch:
+//!
+//! * [`Matrix`] — row-major `f32` dense matrix with the handful of BLAS-like
+//!   operations a fully-connected network needs (matmul, transpose,
+//!   broadcast row ops, element-wise maps).
+//! * [`vector`] — distance and similarity kernels (Euclidean, cosine,
+//!   Manhattan) used by the Nearest-Class-Mean classifier.
+//! * [`init`] — Xavier/He/uniform weight initialisers.
+//! * [`stats`] — scalar statistics (mean, variance, skewness, kurtosis,
+//!   percentiles, correlation) shared by the DSP feature extractor.
+//! * [`rng`] — a small deterministic RNG facade so every experiment is
+//!   reproducible from a single seed.
+//! * [`serialize`] — compact little-endian binary encoding used for the
+//!   Cloud → Edge bundle (the paper's < 5 MB footprint claim is measured
+//!   against these encodings).
+//!
+//! Design notes: matrices are plain `Vec<f32>` in row-major order. The
+//! backbone network in the paper is a 5-layer MLP (80→1024→512→128→64→128),
+//! small enough that a cache-friendly scalar matmul with manual loop
+//! ordering (i-k-j) is more than fast enough on laptop-class hardware, and
+//! far simpler to audit than SIMD intrinsics.
+
+pub mod error;
+pub mod init;
+pub mod matrix;
+pub mod rng;
+pub mod serialize;
+pub mod stats;
+pub mod vector;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use rng::SeededRng;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,233 @@
+//! Compact binary encoding for Cloud → Edge transfer.
+//!
+//! The paper's §4.2 footprint claim ("the entire data size … does not
+//! exceed 5 MB") is measured against real serialised bytes, so the bundle
+//! format matters. This module implements a tiny, versioned, little-endian
+//! framing built on the `bytes` crate:
+//!
+//! ```text
+//! matrix  := u32 rows | u32 cols | rows*cols * f32le
+//! f32 vec := u32 len  | len * f32le
+//! string  := u32 len  | len * utf8 bytes
+//! ```
+//!
+//! Every decoder validates lengths against the remaining buffer before
+//! allocating, so a truncated or hostile payload fails with
+//! [`TensorError::Decode`] instead of aborting the edge process.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Hard cap on any single decoded dimension, to stop a corrupt length
+/// prefix from triggering a multi-gigabyte allocation on a constrained
+/// edge device.
+const MAX_DIM: u32 = 16_000_000;
+
+/// Append a matrix to `buf` in the framing described at module level.
+pub fn encode_matrix(m: &Matrix, buf: &mut BytesMut) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    buf.reserve(m.len() * 4);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decode a matrix previously written by [`encode_matrix`].
+///
+/// # Errors
+/// [`TensorError::Decode`] on truncation or implausible dimensions.
+pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Decode("matrix header truncated".into()));
+    }
+    let rows = buf.get_u32_le();
+    let cols = buf.get_u32_le();
+    if rows > MAX_DIM || cols > MAX_DIM {
+        return Err(TensorError::Decode(format!(
+            "implausible matrix dims {rows}x{cols}"
+        )));
+    }
+    let n = rows as usize * cols as usize;
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Decode(format!(
+            "matrix body truncated: need {} bytes, have {}",
+            n * 4,
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Matrix::from_vec(rows as usize, cols as usize, data)
+}
+
+/// Append an `f32` vector.
+pub fn encode_f32_vec(v: &[f32], buf: &mut BytesMut) {
+    buf.put_u32_le(v.len() as u32);
+    buf.reserve(v.len() * 4);
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Decode an `f32` vector.
+///
+/// # Errors
+/// [`TensorError::Decode`] on truncation or implausible length.
+pub fn decode_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>> {
+    if buf.remaining() < 4 {
+        return Err(TensorError::Decode("vec header truncated".into()));
+    }
+    let n = buf.get_u32_le();
+    if n > MAX_DIM {
+        return Err(TensorError::Decode(format!("implausible vec len {n}")));
+    }
+    let n = n as usize;
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Decode("vec body truncated".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Append a UTF-8 string.
+pub fn encode_string(s: &str, buf: &mut BytesMut) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decode a UTF-8 string.
+///
+/// # Errors
+/// [`TensorError::Decode`] on truncation or invalid UTF-8.
+pub fn decode_string(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(TensorError::Decode("string header truncated".into()));
+    }
+    let n = buf.get_u32_le();
+    if n > MAX_DIM {
+        return Err(TensorError::Decode(format!("implausible string len {n}")));
+    }
+    let n = n as usize;
+    if buf.remaining() < n {
+        return Err(TensorError::Decode("string body truncated".into()));
+    }
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec())
+        .map_err(|e| TensorError::Decode(format!("invalid utf8: {e}")))
+}
+
+/// Serialised size in bytes of a matrix under this framing.
+pub fn matrix_encoded_size(m: &Matrix) -> usize {
+    8 + m.len() * 4
+}
+
+/// Serialised size in bytes of an `f32` vector under this framing.
+pub fn f32_vec_encoded_size(v: &[f32]) -> usize {
+    4 + v.len() * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.5, 3.25, 0.0, f32::MIN, f32::MAX]).unwrap();
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        assert_eq!(buf.len(), matrix_encoded_size(&m));
+        let mut bytes = buf.freeze();
+        let back = decode_matrix(&mut bytes).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![0.5f32, -1.5, 2.5];
+        let mut buf = BytesMut::new();
+        encode_f32_vec(&v, &mut buf);
+        assert_eq!(buf.len(), f32_vec_encoded_size(&v));
+        let back = decode_f32_vec(&mut buf.freeze()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let s = "gesture_hi ✋";
+        let mut buf = BytesMut::new();
+        encode_string(s, &mut buf);
+        let back = decode_string(&mut buf.freeze()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn sequential_fields_roundtrip() {
+        let m = Matrix::identity(3);
+        let v = vec![9.0f32; 4];
+        let mut buf = BytesMut::new();
+        encode_string("walk", &mut buf);
+        encode_matrix(&m, &mut buf);
+        encode_f32_vec(&v, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_string(&mut bytes).unwrap(), "walk");
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), m);
+        assert_eq!(decode_f32_vec(&mut bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_matrix_header_fails() {
+        let mut bytes = Bytes::from_static(&[1, 0, 0]);
+        assert!(matches!(
+            decode_matrix(&mut bytes),
+            Err(TensorError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_matrix_body_fails() {
+        let m = Matrix::zeros(4, 4);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..full.len() - 1);
+        assert!(decode_matrix(&mut cut).is_err());
+    }
+
+    #[test]
+    fn implausible_dims_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        let err = decode_matrix(&mut buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert!(decode_string(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_values_roundtrip() {
+        let mut buf = BytesMut::new();
+        encode_matrix(&Matrix::zeros(0, 0), &mut buf);
+        encode_f32_vec(&[], &mut buf);
+        encode_string("", &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_matrix(&mut bytes).unwrap().shape(), (0, 0));
+        assert!(decode_f32_vec(&mut bytes).unwrap().is_empty());
+        assert_eq!(decode_string(&mut bytes).unwrap(), "");
+    }
+}

@@ -1,0 +1,257 @@
+//! Vector kernels: distances, similarities and small helpers.
+//!
+//! The Nearest-Class-Mean classifier at the heart of MAGNETO's edge
+//! inference reduces to "argmin over class prototypes of a distance"; all
+//! the distance functions it supports live here.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric selector used by the NCM classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Euclidean (L2) distance — the metric used in the paper's NCM
+    /// formulation (Mensink et al. via Zuo et al., EDBT 2023).
+    #[default]
+    Euclidean,
+    /// Squared Euclidean distance (same argmin as Euclidean, cheaper).
+    SquaredEuclidean,
+    /// Cosine distance `1 - cos(a, b)` — natural for L2-normalised
+    /// contrastive embeddings.
+    Cosine,
+    /// Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Evaluate the metric between two equal-length vectors.
+    ///
+    /// # Panics
+    /// Debug-asserts equal lengths; in release builds the shorter length
+    /// governs (standard zip semantics), which callers must not rely on.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            DistanceMetric::Euclidean => euclidean(a, b),
+            DistanceMetric::SquaredEuclidean => squared_euclidean(a, b),
+            DistanceMetric::Cosine => cosine_distance(a, b),
+            DistanceMetric::Manhattan => manhattan(a, b),
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn manhattan(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`; `0.0` when either vector is ~zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine distance `1 - cosine_similarity`.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// L2-normalise a vector in place; zero vectors are left untouched.
+pub fn l2_normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 1e-12 {
+        let inv = 1.0 / n;
+        for x in v {
+            *x *= inv;
+        }
+    }
+}
+
+/// Element-wise mean of a set of equal-length vectors.
+///
+/// Returns `None` for an empty set.
+pub fn mean_vector(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut out = vec![0.0f32; first.len()];
+    for v in vectors {
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Some(out)
+}
+
+/// Index of the minimum value (first on ties). `None` when empty or when
+/// every value is NaN.
+pub fn argmin(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum value (first on ties). `None` when empty or when
+/// every value is NaN.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(values: &[f32]) -> Vec<f32> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = values.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances_known_values() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-6);
+        assert!((squared_euclidean(&a, &b) - 25.0).abs() < 1e-6);
+        assert!((manhattan(&a, &b) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_identity_of_indiscernibles() {
+        let a = [1.5, -2.5, 3.0];
+        for m in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::SquaredEuclidean,
+            DistanceMetric::Cosine,
+            DistanceMetric::Manhattan,
+        ] {
+            assert!(m.eval(&a, &a).abs() < 1e-6, "{m:?} self-distance nonzero");
+        }
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        // Zero vector yields 0 similarity, not NaN.
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn l2_normalize_vector() {
+        let mut v = vec![3.0, 4.0];
+        l2_normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_vector_averages() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let m = mean_vector(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 3.0]);
+        assert!(mean_vector(&[]).is_none());
+    }
+
+    #[test]
+    fn argmin_argmax_ties_and_nan() {
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 5.0, 5.0]), Some(1));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[f32::NAN, 2.0]), Some(1));
+        assert_eq!(argmin(&[f32::NAN]), None);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Large values must not overflow.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn metric_eval_dispatch() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((DistanceMetric::Euclidean.eval(&a, &b) - 2.0f32.sqrt()).abs() < 1e-6);
+        assert!((DistanceMetric::SquaredEuclidean.eval(&a, &b) - 2.0).abs() < 1e-6);
+        assert!((DistanceMetric::Cosine.eval(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((DistanceMetric::Manhattan.eval(&a, &b) - 2.0).abs() < 1e-6);
+        assert_eq!(DistanceMetric::default(), DistanceMetric::Euclidean);
+    }
+}

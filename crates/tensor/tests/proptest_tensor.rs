@@ -1,0 +1,176 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These pin down the algebraic laws the NN training code silently relies
+//! on: matmul distributivity/associativity with transpose, metric axioms
+//! for the NCM distance kernels, and lossless binary round-trips.
+
+use bytes::BytesMut;
+use magneto_tensor::matrix::Matrix;
+use magneto_tensor::serialize::{decode_matrix, encode_matrix};
+use magneto_tensor::stats;
+use magneto_tensor::vector;
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    // Keep magnitudes modest so float error bounds stay simple.
+    (-100i32..=100).prop_map(|v| v as f32 / 4.0)
+}
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(small_f32(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn paired_matrices(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(small_f32(), m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap());
+        let b = prop::collection::vec(small_f32(), k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap());
+        (a, b)
+    })
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_law((a, b) in paired_matrices(8)) {
+        // (A B)^T == B^T A^T
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transposed_consistent((a, b) in paired_matrices(8)) {
+        // a.matmul_transposed(c) where c = b^T equals a.matmul(b)
+        let c = b.transpose();
+        let direct = a.matmul_transposed(&c).unwrap();
+        let explicit = a.matmul(&b).unwrap();
+        prop_assert!(approx_eq(&direct, &explicit, 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral(m in matrix_strategy(10)) {
+        let i = Matrix::identity(m.cols());
+        prop_assert!(approx_eq(&m.matmul(&i).unwrap(), &m, 1e-6));
+    }
+
+    #[test]
+    fn add_commutes(m in matrix_strategy(10)) {
+        let doubled = m.add(&m).unwrap();
+        prop_assert!(approx_eq(&doubled, &m.scale(2.0), 1e-6));
+    }
+
+    #[test]
+    fn sub_self_is_zero(m in matrix_strategy(10)) {
+        let z = m.sub(&m).unwrap();
+        prop_assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vstack_preserves_rows(m in matrix_strategy(8)) {
+        let stacked = m.vstack(&m).unwrap();
+        prop_assert_eq!(stacked.rows(), m.rows() * 2);
+        prop_assert_eq!(stacked.row(m.rows()), m.row(0));
+    }
+
+    #[test]
+    fn binary_roundtrip_lossless(m in matrix_strategy(12)) {
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let back = decode_matrix(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn euclidean_symmetry(a in prop::collection::vec(small_f32(), 1..32)) {
+        let b: Vec<f32> = a.iter().map(|v| v + 1.0).collect();
+        let d1 = vector::euclidean(&a, &b);
+        let d2 = vector::euclidean(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-5);
+        prop_assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(
+        a in prop::collection::vec(small_f32(), 4),
+        b in prop::collection::vec(small_f32(), 4),
+        c in prop::collection::vec(small_f32(), 4),
+    ) {
+        let ab = vector::euclidean(&a, &b);
+        let bc = vector::euclidean(&b, &c);
+        let ac = vector::euclidean(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(
+        a in prop::collection::vec(small_f32(), 1..16),
+        b in prop::collection::vec(small_f32(), 1..16),
+    ) {
+        let n = a.len().min(b.len());
+        let s = vector::cosine_similarity(&a[..n], &b[..n]);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn softmax_is_distribution(v in prop::collection::vec(small_f32(), 1..16)) {
+        let p = vector::softmax(&v);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn stats_bounds(v in prop::collection::vec(small_f32(), 2..64)) {
+        let lo = stats::min(&v);
+        let hi = stats::max(&v);
+        prop_assert!(lo <= stats::mean(&v) + 1e-4);
+        prop_assert!(stats::mean(&v) <= hi + 1e-4);
+        prop_assert!(lo <= stats::median(&v) && stats::median(&v) <= hi);
+        prop_assert!(stats::variance(&v) >= 0.0);
+        prop_assert!(stats::iqr(&v) >= -1e-5);
+        let zcr = stats::zero_crossing_rate(&v);
+        prop_assert!((0.0..=1.0).contains(&zcr));
+    }
+
+    #[test]
+    fn pearson_bounded(v in prop::collection::vec(small_f32(), 2..32)) {
+        let w: Vec<f32> = v.iter().rev().cloned().collect();
+        let r = stats::pearson(&v, &w);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn l2_normalized_rows_unit_or_zero(m in matrix_strategy(8)) {
+        let mut m = m;
+        m.l2_normalize_rows();
+        for r in 0..m.rows() {
+            let n: f32 = m.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!(n < 1e-6 || (n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_expected(m in matrix_strategy(8)) {
+        let idx: Vec<usize> = (0..m.rows()).rev().collect();
+        let s = m.select_rows(&idx).unwrap();
+        for (out_r, &src_r) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(out_r), m.row(src_r));
+        }
+    }
+}

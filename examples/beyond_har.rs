@@ -1,0 +1,154 @@
+//! §5 versatility claim: "Leveraging incremental learning, the system can
+//! adapt to diverse data types, such as time series … By adjusting its
+//! feature extractor or backbone model."
+//!
+//! This example swaps out the 22-channel HAR front end entirely and runs
+//! the same platform core (Siamese embedding + support set + NCM +
+//! incremental update) on a different domain: univariate "appliance
+//! power-draw" time series (fridge / washing machine / kettle), with a
+//! hand-rolled 12-feature extractor — then teaches a *new* appliance
+//! (microwave) incrementally, exactly like the HAR demo teaches a
+//! gesture.
+//!
+//! ```sh
+//! cargo run --release --example beyond_har
+//! ```
+
+use magneto::core::incremental::{IncrementalConfig, ModelState, UpdateMode};
+use magneto::core::{LabelRegistry, SelectionStrategy, SupportSet};
+use magneto::nn::trainer::{train_siamese, TrainerConfig};
+use magneto::nn::{Mlp, SiameseNetwork};
+use magneto::tensor::vector::DistanceMetric;
+use magneto::tensor::{stats, Matrix, SeededRng};
+
+/// A synthetic appliance power trace: base load + duty-cycled element +
+/// noise. Each appliance has a distinct cycle signature.
+fn power_trace(appliance: &str, rng: &mut SeededRng) -> Vec<f32> {
+    let n = 240; // 4 minutes at 1 Hz
+    let (base, peak, period, duty) = match appliance {
+        "fridge" => (40.0, 120.0, 60.0, 0.4),
+        "washing_machine" => (20.0, 2000.0, 30.0, 0.6),
+        "kettle" => (2.0, 2800.0, 200.0, 0.15),
+        "microwave" => (5.0, 1100.0, 20.0, 0.5),
+        _ => unreachable!(),
+    };
+    let jitter = rng.uniform(0.9, 1.1);
+    (0..n)
+        .map(|i| {
+            let phase = (i as f32 / (period * jitter)).fract();
+            let element = if phase < duty { peak } else { 0.0 };
+            base + element * rng.uniform(0.92, 1.08) + rng.normal_with(0.0, base * 0.1)
+        })
+        .collect()
+}
+
+/// A 12-feature extractor for power traces — the "adjusted feature
+/// extractor" of §5. Any domain only needs to produce a fixed-width
+/// vector; everything downstream is unchanged.
+fn power_features(trace: &[f32]) -> Vec<f32> {
+    let on: Vec<f32> = trace.iter().filter(|&&v| v > 500.0).cloned().collect();
+    vec![
+        stats::mean(trace) / 1000.0,
+        stats::std_dev(trace) / 1000.0,
+        stats::max(trace) / 1000.0,
+        stats::median(trace) / 1000.0,
+        stats::iqr(trace) / 1000.0,
+        stats::skewness(trace),
+        stats::kurtosis(trace),
+        stats::mean_crossing_rate(trace),
+        stats::autocorrelation(trace, 20),
+        stats::autocorrelation(trace, 60),
+        on.len() as f32 / trace.len() as f32, // high-power duty fraction
+        stats::mean(&on) / 1000.0,
+    ]
+}
+
+fn dataset(appliances: &[&str], per_class: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (id, app) in appliances.iter().enumerate() {
+        for _ in 0..per_class {
+            rows.push(power_features(&power_trace(app, &mut rng)));
+            labels.push(id);
+        }
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+fn main() {
+    let base = ["fridge", "washing_machine", "kettle"];
+    println!("[cloud] training an appliance-recognition embedding (12-d features)…");
+    let (features, labels) = dataset(&base, 60, 1);
+    let mut rng = SeededRng::new(2);
+    // Same platform, different backbone width — §5's "adjusting the
+    // backbone model".
+    let mut model = SiameseNetwork::new(Mlp::new(&[12, 64, 32, 16], &mut rng).unwrap(), 1.0);
+    let cfg = TrainerConfig {
+        epochs: 15,
+        pairs_per_epoch: 1024,
+        learning_rate: 2e-3,
+        ..TrainerConfig::default()
+    };
+    let report = train_siamese(&mut model, &features, &labels, None, &cfg).unwrap();
+    println!(
+        "[cloud] loss {:.3} -> {:.3}",
+        report.epoch_losses[0],
+        report.final_loss()
+    );
+
+    // Support set + NCM, exactly as for HAR.
+    let mut support = SupportSet::new(30, SelectionStrategy::Herding);
+    let mut srng = SeededRng::new(3);
+    for (id, app) in base.iter().enumerate() {
+        let class_rows: Vec<Vec<f32>> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == id)
+            .map(|(r, _)| features.row(r).to_vec())
+            .collect();
+        support.set_class(app, &class_rows, &mut srng).unwrap();
+    }
+    let registry = LabelRegistry::from_labels(base);
+    let mut state =
+        ModelState::assemble(model, support, registry, DistanceMetric::Euclidean).unwrap();
+
+    // Evaluate on fresh traces.
+    let accuracy = |state: &ModelState, apps: &[&str], seed: u64| {
+        let (test_f, test_l) = dataset(apps, 25, seed);
+        let mut correct = 0;
+        for r in 0..test_f.rows() {
+            let emb = state.model.embed_one(test_f.row(r)).unwrap();
+            let label = state.ncm.classify(&emb).unwrap().label;
+            if label == apps[test_l[r]] {
+                correct += 1;
+            }
+        }
+        correct as f64 / test_l.len() as f64
+    };
+    println!(
+        "[edge]  base appliances accuracy: {:.1}%",
+        accuracy(&state, &base, 9) * 100.0
+    );
+
+    // Incremental learning of a new appliance — the same update code path
+    // the HAR demo uses for Gesture Hi.
+    println!("[edge]  user plugs in a microwave; recording 20 cycles…");
+    let mut rec_rng = SeededRng::new(4);
+    let new_data: Vec<Vec<f32>> = (0..20)
+        .map(|_| power_features(&power_trace("microwave", &mut rec_rng)))
+        .collect();
+    let inc = IncrementalConfig::default();
+    let mut urng = SeededRng::new(5);
+    state
+        .update("microwave", &new_data, UpdateMode::NewActivity, &inc, &mut urng)
+        .unwrap();
+    let all = ["fridge", "washing_machine", "kettle", "microwave"];
+    println!(
+        "[edge]  after on-device update: all-appliance accuracy {:.1}% (classes: {:?})",
+        accuracy(&state, &all, 10) * 100.0,
+        state.registry.labels()
+    );
+    println!("\nSame core — support set, Siamese embedding, NCM, distilled update —");
+    println!("different domain, exactly as §5 of the paper claims.");
+}

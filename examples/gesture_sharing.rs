@@ -1,0 +1,132 @@
+//! Extension demo: peer-to-peer gesture sharing and drift monitoring.
+//!
+//! Alice teaches her phone *Gesture Hi*, exports it as a ~KB class pack
+//! and beams it to Bob's phone (Bluetooth — never the Cloud). Bob's phone
+//! learns it through the normal incremental machinery. Meanwhile a drift
+//! monitor on Bob's phone watches nearest-prototype distances and flags
+//! when his data stops looking like the support set — the cue to
+//! recalibrate.
+//!
+//! ```sh
+//! cargo run --release --example gesture_sharing
+//! ```
+
+use magneto::core::drift::{DriftMonitor, DriftStatus};
+use magneto::core::sharing::ClassPack;
+use magneto::prelude::*;
+
+fn deploy(seed: u64) -> EdgeDevice {
+    let corpus = SensorDataset::generate(&GeneratorConfig::base_five(60), seed);
+    let mut cfg = CloudConfig::fast_demo();
+    cfg.trainer.epochs = 15;
+    let (bundle, _) = CloudInitializer::new(cfg).pretrain(&corpus).unwrap();
+    EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap()
+}
+
+fn main() {
+    println!("[setup] deploying two phones from the same cloud bundle…");
+    let mut alice = deploy(50);
+    let mut bob = deploy(50);
+
+    // --- Alice teaches her phone a gesture -----------------------------
+    println!("\n[alice] recording 25 s of `gesture_hi` and learning it…");
+    let recording = SensorDataset::record_session(
+        "gesture_hi",
+        ActivityKind::GestureHi,
+        PersonProfile::nominal(),
+        25.0,
+        51,
+    );
+    alice.learn_new_activity("gesture_hi", &recording).unwrap();
+    println!("[alice] phone now knows {:?}", alice.classes());
+
+    // --- Share it with Bob, peer-to-peer --------------------------------
+    let pack = alice.export_class("gesture_hi").unwrap();
+    let wire = pack.to_bytes();
+    println!(
+        "\n[share] exported class pack: {} exemplars, {} bytes (fits one BLE exchange)",
+        pack.len(),
+        wire.len()
+    );
+    let received = ClassPack::from_bytes(&wire).unwrap();
+    bob.import_class(&received).unwrap();
+    println!("[bob]   imported; phone now knows {:?}", bob.classes());
+
+    let probe = SensorDataset::record_session(
+        "gesture_hi",
+        ActivityKind::GestureHi,
+        PersonProfile::nominal(),
+        10.0,
+        52,
+    );
+    let hits = probe
+        .windows
+        .iter()
+        .filter(|w| bob.infer_window(&w.channels).unwrap().label == "gesture_hi")
+        .count();
+    println!(
+        "[bob]   recognises Alice's gesture: {hits}/{} windows",
+        probe.windows.len()
+    );
+
+    // --- Drift monitoring on Bob's phone --------------------------------
+    // Bootstrap the baseline from the support set, then re-anchor it on
+    // Bob's own early data (the principled deployment recipe: the
+    // baseline should describe *this* user's normal).
+    let bootstrap = bob.rejection_threshold(75.0, 1.0).unwrap();
+    let mut monitor = DriftMonitor::new(bootstrap, 3.0, 0.15, 10);
+
+    // Phase 1: Bob behaves like the population — stable.
+    let normal = SensorDataset::generate(&GeneratorConfig::base_five(8), 53);
+    for w in &normal.windows {
+        let pred = bob.infer_window(&w.channels).unwrap();
+        let d = pred.distances.iter().cloned().fold(f32::INFINITY, f32::min);
+        monitor.observe(d);
+    }
+    println!("\n[drift] after population-like data: {:?}", monitor.status());
+    let baseline = monitor.smoothed_distance().unwrap();
+    // Once the baseline describes *this* user's normal, a much tighter
+    // alert band is appropriate.
+    let mut monitor = DriftMonitor::new(baseline, 1.6, 0.15, 8);
+    println!(
+        "[drift] re-anchored baseline to Bob's normal: {baseline:.3}; alert at 1.6x"
+    );
+    // Re-warm the monitor on a little more normal data.
+    for w in normal.windows.iter().take(12) {
+        let pred = bob.infer_window(&w.channels).unwrap();
+        let d = pred.distances.iter().cloned().fold(f32::INFINITY, f32::min);
+        monitor.observe(d);
+    }
+
+    // Phase 2: Bob's style shifts hard (injury, new phone pocket) — the
+    // monitor flags it.
+    let mut rng = SeededRng::new(54);
+    let shifted_user = PersonProfile::sample_atypical(&mut rng);
+    let mut exaggerated = shifted_user;
+    exaggerated.tremor_scale = 2.8; // a cracked screen protector over the sensors, say
+    exaggerated.amplitude_scale *= 1.6;
+    let shifted = SensorDataset::generate_for_person(
+        &GeneratorConfig::base_five(15),
+        exaggerated,
+        55,
+    );
+    let mut alert = None;
+    for (i, w) in shifted.windows.iter().enumerate() {
+        let pred = bob.infer_window(&w.channels).unwrap();
+        let d = pred.distances.iter().cloned().fold(f32::INFINITY, f32::min);
+        if let DriftStatus::Drifted { severity } = monitor.observe(d) {
+            alert = Some((i, severity));
+            break;
+        }
+    }
+    match alert {
+        Some((i, severity)) => println!(
+            "[drift] DRIFT detected after {i} shifted windows (severity {severity:.1}x) → suggest recalibration"
+        ),
+        None => println!("[drift] no drift detected (style shift too mild)"),
+    }
+
+    alice.privacy_ledger().assert_no_uplink();
+    bob.privacy_ledger().assert_no_uplink();
+    println!("\n[privacy] both phones: 0 bytes Edge → Cloud ✓");
+}

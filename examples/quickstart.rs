@@ -1,0 +1,76 @@
+//! Quickstart: the full MAGNETO lifecycle in ~40 lines.
+//!
+//! Cloud initialisation → bundle transfer → edge inference, mirroring the
+//! architecture of Figure 2 of the paper.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use magneto::prelude::*;
+
+fn main() {
+    // ---------------- Cloud (offline) ----------------------------------
+    // Simulated stand-in for the paper's collection campaigns: five base
+    // activities, many users, one-second 22-channel windows at 120 Hz.
+    println!("[cloud] generating pre-training corpus…");
+    let corpus = SensorDataset::generate(&GeneratorConfig::base_five(60), 42);
+    println!(
+        "[cloud] corpus: {} windows over {:?}",
+        corpus.len(),
+        corpus.classes()
+    );
+
+    println!("[cloud] pre-training the Siamese embedding network…");
+    let mut config = CloudConfig::fast_demo();
+    config.trainer.epochs = 15;
+    let (bundle, report) = CloudInitializer::new(config)
+        .pretrain(&corpus)
+        .expect("cloud initialisation");
+    println!(
+        "[cloud] trained {} epochs, loss {:.4} -> {:.4}",
+        report.training.epochs_run,
+        report.training.epoch_losses[0],
+        report.training.final_loss()
+    );
+
+    let sizes = bundle.size_report(false);
+    println!(
+        "[cloud] bundle: pipeline {} B + model {} B + support set {} B = {:.2} MiB (< 5 MB: {})",
+        sizes.pipeline_bytes,
+        sizes.model_bytes,
+        sizes.support_set_bytes,
+        sizes.total_mib(),
+        sizes.within_5mb()
+    );
+
+    // ---------------- Edge (online) ------------------------------------
+    let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).expect("deploy");
+    println!("[edge]  deployed; classes = {:?}", device.classes());
+
+    // Classify held-out windows of every base activity.
+    let probe = SensorDataset::generate(&GeneratorConfig::base_five(4), 777);
+    let mut cm = ConfusionMatrix::new();
+    for w in &probe.windows {
+        let pred = device.infer_window(&w.channels).expect("inference");
+        cm.record(&w.label, &pred.label);
+    }
+    println!("[edge]  held-out accuracy: {:.1}%", cm.accuracy() * 100.0);
+    println!("{}", cm.to_table());
+
+    let lat = device.latency_stats();
+    println!(
+        "[edge]  inference latency: mean {:.2} ms, p95 {:.2} ms over {} windows",
+        lat.mean_us / 1e3,
+        lat.p95_us / 1e3,
+        lat.count
+    );
+
+    // Definition 1: nothing ever went Edge → Cloud.
+    device.privacy_ledger().assert_no_uplink();
+    println!(
+        "[edge]  privacy: downlink {} B, uplink {} B ✓",
+        device.privacy_ledger().downlink_bytes(),
+        device.privacy_ledger().uplink_bytes()
+    );
+}

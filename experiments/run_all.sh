@@ -1,0 +1,6 @@
+#!/bin/sh
+# Regenerate every experiment and benchmark from scratch.
+set -e
+cargo build --release -p magneto-bench --bins
+./target/release/eval_all "$@"
+cargo bench --workspace

@@ -1,0 +1,105 @@
+//! Integration tests for the `magneto` CLI binary: the pretrain →
+//! inspect → infer → learn → infer round trip through real process
+//! invocations and on-disk bundle storage.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn magneto() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_magneto"))
+}
+
+fn temp_bundle(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("magneto_cli_test_{name}_{}.mag", std::process::id()))
+}
+
+fn run(cmd: &mut Command) -> (bool, String) {
+    let out = cmd.output().expect("spawn magneto");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_cli_lifecycle() {
+    let bundle = temp_bundle("lifecycle");
+
+    // pretrain (tiny + fast so the test stays quick)
+    let (ok, text) = run(magneto()
+        .args(["pretrain", "--out"])
+        .arg(&bundle)
+        .args(["--fast", "--windows-per-class", "16", "--epochs", "6"]));
+    assert!(ok, "pretrain failed:\n{text}");
+    assert!(text.contains("< 5 MB: true"), "{text}");
+    assert!(bundle.exists());
+
+    // inspect
+    let (ok, text) = run(magneto().arg("inspect").arg(&bundle));
+    assert!(ok, "inspect failed:\n{text}");
+    assert!(text.contains("drive") && text.contains("walk"), "{text}");
+    assert!(text.contains("support set"), "{text}");
+
+    // infer a known activity
+    let (ok, text) = run(magneto()
+        .arg("infer")
+        .arg(&bundle)
+        .args(["--activity", "still", "--seconds", "3"]));
+    assert!(ok, "infer failed:\n{text}");
+    assert!(text.contains("activity timeline"), "{text}");
+    assert!(text.contains("uplink 0 B"), "{text}");
+
+    // learn a new activity, writing back to the same bundle
+    let (ok, text) = run(magneto()
+        .arg("learn")
+        .arg(&bundle)
+        .args(["--label", "gesture_hi", "--activity", "gesture_hi", "--seconds", "15"]));
+    assert!(ok, "learn failed:\n{text}");
+    assert!(text.contains("gesture_hi"), "{text}");
+
+    // the updated bundle knows 6 classes and can infer the new one
+    let (ok, text) = run(magneto().arg("inspect").arg(&bundle));
+    assert!(ok);
+    assert!(text.contains("gesture_hi"), "{text}");
+
+    std::fs::remove_file(&bundle).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    // No args -> usage, non-zero exit.
+    let (ok, text) = run(&mut magneto());
+    assert!(!ok);
+    assert!(text.contains("usage"), "{text}");
+
+    // Unknown subcommand.
+    let (ok, _) = run(magneto().arg("frobnicate"));
+    assert!(!ok);
+
+    // Missing required flag.
+    let (ok, text) = run(magneto().arg("pretrain"));
+    assert!(!ok);
+    assert!(text.contains("--out"), "{text}");
+
+    // Inspecting a missing bundle.
+    let (ok, text) = run(magneto().args(["inspect", "/nonexistent/x.mag"]));
+    assert!(!ok);
+    assert!(text.contains("error"), "{text}");
+
+    // Unknown activity name.
+    let bundle = temp_bundle("badusage");
+    let (ok, _) = run(magneto()
+        .args(["pretrain", "--out"])
+        .arg(&bundle)
+        .args(["--fast", "--windows-per-class", "8", "--epochs", "2"]));
+    assert!(ok);
+    let (ok, text) = run(magneto()
+        .arg("infer")
+        .arg(&bundle)
+        .args(["--activity", "yoga"]));
+    assert!(!ok);
+    assert!(text.contains("unknown activity"), "{text}");
+    std::fs::remove_file(&bundle).ok();
+}

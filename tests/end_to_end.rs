@@ -1,0 +1,194 @@
+//! End-to-end integration tests spanning every crate: the full MAGNETO
+//! lifecycle from Cloud initialisation to on-device personalisation.
+
+use magneto::core::incremental::ModelState;
+use magneto::core::CoreError;
+use magneto::prelude::*;
+use magneto::tensor::vector::DistanceMetric;
+
+fn small_corpus(seed: u64) -> SensorDataset {
+    SensorDataset::generate(&GeneratorConfig::base_five(20), seed)
+}
+
+fn fast_bundle(seed: u64) -> EdgeBundle {
+    let mut cfg = CloudConfig::fast_demo();
+    cfg.trainer.epochs = 8;
+    cfg.seed = seed;
+    CloudInitializer::new(cfg)
+        .pretrain(&small_corpus(seed))
+        .expect("pretrain")
+        .0
+}
+
+#[test]
+fn full_lifecycle_cloud_to_edge_to_personalisation() {
+    // 1. Cloud initialisation.
+    let bundle = fast_bundle(1);
+    assert!(bundle.size_report(false).within_5mb());
+
+    // 2. Transfer: serialise, "download", deserialise.
+    let wire_bytes = bundle.to_bytes(false);
+    let received = EdgeBundle::from_bytes(&wire_bytes).expect("decode");
+    assert_eq!(received, bundle);
+
+    // 3. Deploy and infer.
+    let mut device = EdgeDevice::deploy(received, EdgeConfig::default()).expect("deploy");
+    assert_eq!(device.classes().len(), 5);
+    let probe = SensorDataset::generate(&GeneratorConfig::base_five(3), 99);
+    let mut correct = 0;
+    for w in &probe.windows {
+        let pred = device.infer_window(&w.channels).expect("infer");
+        assert!(device.classes().contains(&pred.label));
+        assert!(pred.confidence > 0.0 && pred.confidence <= 1.0);
+        if pred.label == w.label {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct * 2 > probe.windows.len(),
+        "accuracy should beat coin flips: {correct}/{}",
+        probe.windows.len()
+    );
+
+    // 4. Learn a new activity on-device.
+    let recording = SensorDataset::record_session(
+        "gesture_hi",
+        ActivityKind::GestureHi,
+        PersonProfile::nominal(),
+        20.0,
+        7,
+    );
+    let report = device
+        .learn_new_activity("gesture_hi", &recording)
+        .expect("incremental");
+    assert_eq!(report.classes_after.len(), 6);
+
+    // 5. Calibrate an existing activity.
+    let walk_recording = SensorDataset::record_session(
+        "walk",
+        ActivityKind::Walk,
+        PersonProfile::nominal(),
+        10.0,
+        8,
+    );
+    device
+        .calibrate_activity("walk", &walk_recording)
+        .expect("calibration");
+    assert_eq!(device.classes().len(), 6);
+
+    // 6. Privacy invariant across the whole lifecycle.
+    device.privacy_ledger().assert_no_uplink();
+    assert!(device.privacy_ledger().downlink_bytes() > 0);
+}
+
+#[test]
+fn quantized_bundle_deploys_and_infers() {
+    let bundle = fast_bundle(2);
+    let wire = bundle.to_bytes(true);
+    assert!(wire.len() < bundle.to_bytes(false).len());
+    let received = EdgeBundle::from_bytes(&wire).expect("decode quantized");
+    let mut device = EdgeDevice::deploy(received, EdgeConfig::default()).expect("deploy");
+    let probe = SensorDataset::generate(&GeneratorConfig::base_five(2), 5);
+    for w in &probe.windows {
+        device.infer_window(&w.channels).expect("infer");
+    }
+}
+
+#[test]
+fn whole_flow_is_deterministic() {
+    let run = || {
+        let bundle = fast_bundle(3);
+        let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+        let recording = SensorDataset::record_session(
+            "jump",
+            ActivityKind::Jump,
+            PersonProfile::nominal(),
+            15.0,
+            9,
+        );
+        device.learn_new_activity("jump", &recording).unwrap();
+        let probe = SensorDataset::generate(&GeneratorConfig::base_five(3), 11);
+        probe
+            .windows
+            .iter()
+            .map(|w| device.infer_window(&w.channels).unwrap().label)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn streaming_inference_across_activity_change() {
+    let bundle = fast_bundle(4);
+    let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+    let mut labels_seen = Vec::new();
+    for (kind, seed) in [(ActivityKind::Still, 20u64), (ActivityKind::Run, 21)] {
+        device.reset_session();
+        let mut stream = SensorStream::new(
+            kind.profile(),
+            PersonProfile::nominal(),
+            magneto::sensors::stream::StreamConfig::ideal(),
+            SeededRng::new(seed),
+        );
+        let mut last = None;
+        for _ in 0..(120 * 4) {
+            let frame = stream.next().unwrap();
+            if let Some(p) = device.push_frame(&frame).unwrap() {
+                last = Some(p.smoothed_label);
+            }
+        }
+        labels_seen.push(last.expect("at least one window"));
+    }
+    // The two activity phases must not produce the same stable label.
+    assert_ne!(labels_seen[0], labels_seen[1]);
+}
+
+#[test]
+fn model_state_survives_bundle_snapshot() {
+    let bundle = fast_bundle(5);
+    let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+    let recording = SensorDataset::record_session(
+        "stairs_up",
+        ActivityKind::StairsUp,
+        PersonProfile::nominal(),
+        15.0,
+        12,
+    );
+    device.learn_new_activity("stairs_up", &recording).unwrap();
+
+    // Snapshot, restore on a "new phone", verify the learned class moved
+    // with it.
+    let snapshot = device.as_bundle().to_bytes(false);
+    let restored = EdgeBundle::from_bytes(&snapshot).unwrap();
+    let device2 = EdgeDevice::deploy(restored, EdgeConfig::default()).unwrap();
+    assert!(device2.classes().contains(&"stairs_up".to_string()));
+    assert_eq!(device2.classes(), device.classes());
+}
+
+#[test]
+fn privacy_violation_error_carries_details() {
+    let bundle = fast_bundle(6);
+    let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+    match device.try_sync_to_cloud("telemetry") {
+        Err(CoreError::PrivacyViolation { description, bytes }) => {
+            assert_eq!(description, "telemetry");
+            assert!(bytes > 0);
+        }
+        other => panic!("expected privacy violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_state_assemble_matches_device_view() {
+    let bundle = fast_bundle(7);
+    let state = ModelState::assemble(
+        bundle.model.clone(),
+        bundle.support_set.clone(),
+        bundle.registry.clone(),
+        DistanceMetric::Euclidean,
+    )
+    .unwrap();
+    assert_eq!(state.ncm.num_classes(), 5);
+    let device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+    assert_eq!(device.state().ncm.labels(), state.ncm.labels());
+}

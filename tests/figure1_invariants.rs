@@ -1,0 +1,137 @@
+//! Integration tests for the Figure-1 protocol comparison: the
+//! qualitative relationships the paper's architecture argument rests on
+//! must hold for any trained model.
+
+use magneto::core::incremental::ModelState;
+use magneto::prelude::*;
+use magneto::tensor::vector::DistanceMetric;
+
+struct Parts {
+    bundle: EdgeBundle,
+    state: ModelState,
+    windows: Vec<Vec<Vec<f32>>>,
+}
+
+fn parts(seed: u64) -> Parts {
+    let corpus = SensorDataset::generate(&GeneratorConfig::base_five(15), seed);
+    let mut cfg = CloudConfig::fast_demo();
+    cfg.trainer.epochs = 6;
+    let (bundle, _) = CloudInitializer::new(cfg).pretrain(&corpus).unwrap();
+    let state = ModelState::assemble(
+        bundle.model.clone(),
+        bundle.support_set.clone(),
+        bundle.registry.clone(),
+        DistanceMetric::Euclidean,
+    )
+    .unwrap();
+    let probe = SensorDataset::generate(&GeneratorConfig::base_five(4), seed ^ 77);
+    let windows = probe.windows.into_iter().map(|w| w.channels).collect();
+    Parts {
+        bundle,
+        state,
+        windows,
+    }
+}
+
+fn edge(p: &Parts, device: DeviceModel) -> EdgeProtocol {
+    EdgeProtocol::new(
+        p.bundle.pipeline.clone(),
+        p.state.model.clone(),
+        p.state.ncm.clone(),
+        device,
+        EnergyModel::lte_phone(),
+        p.bundle.total_bytes(),
+    )
+}
+
+fn cloud(p: &Parts, link: NetworkLink, seed: u64) -> CloudProtocol {
+    CloudProtocol::new(
+        p.bundle.pipeline.clone(),
+        p.state.model.clone(),
+        p.state.ncm.clone(),
+        link,
+        EnergyModel::lte_phone(),
+        SeededRng::new(seed),
+    )
+}
+
+#[test]
+fn protocols_agree_on_every_label() {
+    let p = parts(1);
+    let mut e = edge(&p, DeviceModel::budget_phone());
+    let mut c = cloud(&p, NetworkLink::lte(), 2);
+    for w in &p.windows {
+        assert_eq!(
+            e.infer_window(w).unwrap().label,
+            c.infer_window(w).unwrap().label
+        );
+    }
+}
+
+#[test]
+fn edge_beats_cloud_on_latency_privacy_energy() {
+    let p = parts(3);
+    let mut e = edge(&p, DeviceModel::budget_phone());
+    let mut c = cloud(&p, NetworkLink::wifi(), 4);
+    for w in &p.windows {
+        let eo = e.infer_window(w).unwrap();
+        let co = c.infer_window(w).unwrap();
+        assert!(eo.latency < co.latency, "latency: {eo:?} vs {co:?}");
+        assert_eq!(eo.uplink_bytes, 0);
+        assert!(co.uplink_bytes > 10_000);
+        assert!(eo.energy_joules < co.energy_joules);
+    }
+    e.ledger().assert_no_uplink();
+    assert!(c.ledger().uplink_bytes() > 0);
+}
+
+#[test]
+fn worse_links_strictly_worsen_cloud_latency() {
+    let p = parts(5);
+    let mut prev = 0.0f64;
+    for link in [
+        NetworkLink::ideal(),
+        NetworkLink::wifi(),
+        NetworkLink::lte(),
+        NetworkLink::cellular_3g(),
+    ] {
+        let mut c = cloud(&p, link, 6);
+        let total: f64 = p
+            .windows
+            .iter()
+            .map(|w| c.infer_window(w).unwrap().latency.as_secs_f64())
+            .sum();
+        assert!(total >= prev, "link ordering violated: {total} < {prev}");
+        prev = total;
+    }
+}
+
+#[test]
+fn edge_latency_orders_by_device_speed() {
+    let p = parts(7);
+    let mut latencies = Vec::new();
+    for device in [
+        DeviceModel::flagship_phone(),
+        DeviceModel::budget_phone(),
+        DeviceModel::wearable(),
+    ] {
+        let mut e = edge(&p, device);
+        latencies.push(e.infer_window(&p.windows[0]).unwrap().latency);
+    }
+    assert!(latencies[0] < latencies[1]);
+    assert!(latencies[1] < latencies[2]);
+}
+
+#[test]
+fn bundle_fits_every_target_device_class() {
+    let p = parts(8);
+    let bytes = p.bundle.total_bytes();
+    for device in [
+        DeviceModel::flagship_phone(),
+        DeviceModel::budget_phone(),
+        DeviceModel::wearable(),
+    ] {
+        assert!(device.fits_in_memory(bytes), "{}", device.name);
+        assert!(device.fits_in_storage(bytes), "{}", device.name);
+    }
+}
