@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the gate every PR must pass.
+
+CARGO ?= cargo
+
+.PHONY: check build test test-all clippy fmt bench clean
+
+check: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+test-all:
+	$(CARGO) test -q --workspace --no-fail-fast
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+fmt:
+	$(CARGO) fmt --all
+
+bench:
+	$(CARGO) bench -p magneto-bench --bench pipeline_stages
+
+clean:
+	$(CARGO) clean

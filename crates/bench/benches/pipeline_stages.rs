@@ -83,6 +83,38 @@ fn bench_ncm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_vs_per_sample(c: &mut Criterion) {
+    // The tentpole claim: embedding a backlog of 64 windows as one
+    // (64, 80) batch through the paper backbone vs looping embed_one.
+    let mut group = c.benchmark_group("batched_vs_per_sample");
+    let model = SiameseNetwork::new(
+        Mlp::new(&magneto_nn::PAPER_BACKBONE, &mut SeededRng::new(7)).unwrap(),
+        1.0,
+    );
+    let mut rng = SeededRng::new(8);
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..80).map(|_| rng.normal()).collect())
+        .collect();
+    group.bench_function("per_sample_embed_64", |b| {
+        b.iter(|| {
+            for r in &rows {
+                black_box(model.embed_one(black_box(r)).unwrap());
+            }
+        })
+    });
+    let mut embedder = magneto_core::BatchEmbedder::new();
+    let mut out = magneto_tensor::Matrix::default();
+    group.bench_function("batched_embed_64", |b| {
+        b.iter(|| {
+            embedder
+                .embed_rows(&model, black_box(&rows), &mut out)
+                .unwrap();
+            black_box(out.rows());
+        })
+    });
+    group.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     // Full inference path with the paper backbone — the C1 latency claim.
     let pipeline = fitted_pipeline();
@@ -129,6 +161,7 @@ criterion_group!(
     bench_features,
     bench_embedding_forward,
     bench_ncm,
+    bench_batched_vs_per_sample,
     bench_end_to_end
 );
 criterion_main!(benches);

@@ -8,10 +8,11 @@
 //! calibration — all without a byte of uplink.
 
 use crate::bundle::{BundleSizeReport, EdgeBundle};
+use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
 use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateReport};
 use crate::inference::{
-    infer_window, LatencyRecorder, LatencyStats, Prediction, SmoothedPrediction,
+    infer_window, infer_windows, LatencyRecorder, LatencyStats, Prediction, SmoothedPrediction,
     StreamingSession,
 };
 use crate::privacy::PrivacyLedger;
@@ -54,6 +55,7 @@ pub struct EdgeDevice {
     ledger: PrivacyLedger,
     latency: LatencyRecorder,
     session: StreamingSession,
+    embedder: BatchEmbedder,
     rng: SeededRng,
 }
 
@@ -80,6 +82,7 @@ impl EdgeDevice {
             state,
             ledger,
             latency: LatencyRecorder::new(),
+            embedder: BatchEmbedder::new(),
             rng: SeededRng::new(config.seed),
             config,
         })
@@ -103,6 +106,27 @@ impl EdgeDevice {
         let pred = infer_window(&self.pipeline, &self.state.model, &self.state.ncm, channels)?;
         self.latency.record(pred.latency);
         Ok(pred)
+    }
+
+    /// Classify a backlog of raw windows as **one batch**: every window
+    /// is featurised into a shared feature matrix and the whole batch
+    /// runs through the backbone in a single forward pass. Per-window
+    /// latency is the amortised batch cost.
+    ///
+    /// # Errors
+    /// Propagates pre-processing/classification errors.
+    pub fn infer_windows(&mut self, windows: &[Vec<Vec<f32>>]) -> Result<Vec<Prediction>> {
+        let preds = infer_windows(
+            &self.pipeline,
+            &self.state.model,
+            &self.state.ncm,
+            windows,
+            &mut self.embedder,
+        )?;
+        for p in &preds {
+            self.latency.record(p.latency);
+        }
+        Ok(preds)
     }
 
     /// Open-set classification: `None` means "unknown activity" — the
@@ -155,6 +179,27 @@ impl EdgeDevice {
         Ok(out)
     }
 
+    /// Push a backlog of live sensor frames at once — the catch-up path
+    /// after the app was suspended while the sensors kept buffering. All
+    /// windows completed by the backlog are embedded in one batched
+    /// forward pass (see [`StreamingSession::push_samples`]).
+    ///
+    /// # Errors
+    /// Propagates inference errors on completed windows.
+    pub fn push_frames(&mut self, frames: &[SensorFrame]) -> Result<Vec<SmoothedPrediction>> {
+        let rows: Vec<&[f32]> = frames.iter().map(|f| f.values.as_slice()).collect();
+        let out = self.session.push_samples(
+            &rows,
+            &self.pipeline,
+            &self.state.model,
+            &self.state.ncm,
+        )?;
+        for p in &out {
+            self.latency.record(p.raw.latency);
+        }
+        Ok(out)
+    }
+
     /// Reset the streaming session (activity boundary in the UI).
     pub fn reset_session(&mut self) {
         self.session.reset();
@@ -197,11 +242,14 @@ impl EdgeDevice {
         if recording.is_empty() {
             return Err(CoreError::InsufficientData("empty recording".into()));
         }
-        recording
-            .windows
-            .iter()
-            .map(|w| self.pipeline.process(&w.channels).map_err(CoreError::from))
-            .collect()
+        let dim = self.pipeline.output_dim();
+        let mut rows = Vec::with_capacity(recording.windows.len());
+        for w in &recording.windows {
+            let mut row = vec![0.0f32; dim];
+            self.pipeline.process_into(&w.channels, &mut row)?;
+            rows.push(row);
+        }
+        Ok(rows)
     }
 
     /// Export a learned activity as a portable [`crate::sharing::ClassPack`] for
@@ -356,6 +404,60 @@ mod tests {
         }
         assert_eq!(outputs, 3);
         device.reset_session();
+    }
+
+    #[test]
+    fn batched_window_inference_matches_per_window() {
+        let mut device = deployed_device(40);
+        let probe = SensorDataset::generate(
+            &GeneratorConfig {
+                windows_per_class: 2,
+                ..GeneratorConfig::tiny()
+            },
+            41,
+        );
+        let windows: Vec<Vec<Vec<f32>>> =
+            probe.windows.iter().map(|w| w.channels.clone()).collect();
+        let batched = device.infer_windows(&windows).unwrap();
+        assert_eq!(batched.len(), windows.len());
+        for (w, b) in windows.iter().zip(&batched) {
+            let single = device.infer_window(w).unwrap();
+            assert_eq!(single.label, b.label);
+            assert_eq!(single.confidence, b.confidence);
+            assert_eq!(single.distances, b.distances);
+        }
+        // Both paths fed the latency recorder.
+        assert_eq!(device.latency_stats().count, 2 * windows.len());
+        // An empty backlog is a no-op.
+        assert!(device.infer_windows(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_frames_match_sequential_frames() {
+        let mut seq_dev = deployed_device(42);
+        let mut batch_dev = deployed_device(42);
+        let mut stream = magneto_sensors::SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            magneto_sensors::stream::StreamConfig::ideal(),
+            SeededRng::new(43),
+        );
+        let frames: Vec<SensorFrame> = (0..360).map(|_| stream.next().unwrap()).collect();
+
+        let mut seq_out = Vec::new();
+        for f in &frames {
+            if let Some(p) = seq_dev.push_frame(f).unwrap() {
+                seq_out.push(p);
+            }
+        }
+        let batch_out = batch_dev.push_frames(&frames).unwrap();
+        assert_eq!(batch_out.len(), seq_out.len());
+        assert_eq!(batch_out.len(), 3);
+        for (b, s) in batch_out.iter().zip(&seq_out) {
+            assert_eq!(b.raw.label, s.raw.label);
+            assert_eq!(b.smoothed_label, s.smoothed_label);
+            assert_eq!(b.agreement, s.agreement);
+        }
     }
 
     #[test]

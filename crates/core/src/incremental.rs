@@ -15,6 +15,7 @@
 //! that the data for the targeted activity within the support set is
 //! replaced with newly acquired data".
 
+use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
 use crate::label::LabelRegistry;
 use crate::ncm::NcmClassifier;
@@ -135,15 +136,17 @@ impl ModelState {
     /// failures are propagated.
     pub fn rejection_threshold(&self, percentile: f32, margin: f32) -> Result<f32> {
         let mut dists = Vec::new();
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
         for label in self.support_set.classes() {
             let Some(proto) = self.ncm.prototype(label).map(<[f32]>::to_vec) else {
                 continue;
             };
-            let samples = self
-                .support_set
-                .samples(label)
-                .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
-            let embeddings = self.model.embed(&Matrix::from_rows(samples)?)?;
+            // One batched forward per class; the embedder's staging matrix
+            // and workspace are reused across classes.
+            self.support_set
+                .class_features_into(label, embedder.staging())?;
+            embedder.embed_staged(&self.model, &mut embeddings)?;
             for r in 0..embeddings.rows() {
                 dists.push(self.ncm.metric().eval(embeddings.row(r), &proto));
             }
@@ -254,12 +257,14 @@ fn build_ncm(
     metric: DistanceMetric,
 ) -> Result<NcmClassifier> {
     let mut prototypes = Vec::with_capacity(support_set.num_classes());
+    let mut embedder = BatchEmbedder::new();
+    let mut embeddings = Matrix::default();
     for label in support_set.classes() {
-        let samples = support_set
-            .samples(label)
-            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
-        let features = Matrix::from_rows(samples)?;
-        let embeddings = model.embed(&features)?;
+        // All of a class's exemplars go through the backbone as one
+        // (n_exemplars, 80) batch, with staging/scratch buffers shared
+        // across classes.
+        support_set.class_features_into(label, embedder.staging())?;
+        embedder.embed_staged(model, &mut embeddings)?;
         let prototype = embeddings.mean_rows()?;
         prototypes.push((label.to_string(), prototype));
     }

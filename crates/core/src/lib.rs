@@ -38,6 +38,7 @@ pub mod bundle;
 pub mod cloud;
 pub mod drift;
 pub mod edge;
+pub mod embed;
 pub mod error;
 pub mod incremental;
 pub mod inference;
@@ -54,6 +55,7 @@ pub use bundle::{BundleSizeReport, EdgeBundle};
 pub use cloud::{CloudConfig, CloudInitializer};
 pub use drift::{DriftMonitor, DriftStatus};
 pub use edge::{EdgeConfig, EdgeDevice};
+pub use embed::BatchEmbedder;
 pub use error::CoreError;
 pub use incremental::IncrementalConfig;
 pub use inference::Prediction;

@@ -160,18 +160,76 @@ impl SupportSet {
     /// [`CoreError::UnknownClass`] if a stored class is missing from the
     /// registry.
     pub fn training_data(&self, registry: &LabelRegistry) -> Result<(Matrix, Vec<usize>)> {
-        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(self.total_samples());
-        let mut labels = Vec::with_capacity(self.total_samples());
+        let mut features = Matrix::default();
+        let mut labels = Vec::new();
+        self.training_data_into(registry, &mut features, &mut labels)?;
+        Ok((features, labels))
+    }
+
+    /// [`training_data`](Self::training_data) writing into caller-provided
+    /// buffers, so retraining loops can reuse one feature matrix across
+    /// updates instead of re-cloning every exemplar row.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] if a stored class is missing from the
+    /// registry, [`CoreError::InsufficientData`] on an empty support set.
+    pub fn training_data_into(
+        &self,
+        registry: &LabelRegistry,
+        features: &mut Matrix,
+        labels: &mut Vec<usize>,
+    ) -> Result<()> {
+        let total = self.total_samples();
+        let dim = self
+            .classes
+            .values()
+            .flat_map(|v| v.iter())
+            .next()
+            .map(Vec::len)
+            .ok_or_else(|| CoreError::InsufficientData("support set is empty".into()))?;
+        features.resize(total, dim);
+        labels.clear();
+        labels.reserve(total);
+        let mut r = 0;
         for (label, samples) in &self.classes {
             let id = registry
                 .id_of(label)
                 .ok_or_else(|| CoreError::UnknownClass(label.clone()))?;
             for s in samples {
-                rows.push(s.clone());
+                if s.len() != dim {
+                    return Err(CoreError::InsufficientData(format!(
+                        "class `{label}` has a {}-dim exemplar, expected {dim}",
+                        s.len()
+                    )));
+                }
+                features.row_mut(r).copy_from_slice(s);
                 labels.push(id);
+                r += 1;
             }
         }
-        Ok((Matrix::from_rows(&rows)?, labels))
+        Ok(())
+    }
+
+    /// Stack the exemplars of one class into a caller-provided matrix —
+    /// the staging step for batched prototype construction.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] for an unstored label,
+    /// [`CoreError::InsufficientData`] for a class with no exemplars.
+    pub fn class_features_into(&self, label: &str, out: &mut Matrix) -> Result<()> {
+        let samples = self
+            .classes
+            .get(label)
+            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+        let dim = samples
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| CoreError::InsufficientData(format!("class `{label}` is empty")))?;
+        out.resize(samples.len(), dim);
+        for (i, s) in samples.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(s);
+        }
+        Ok(())
     }
 
     fn select(&self, samples: &[Vec<f32>], rng: &mut SeededRng) -> Vec<Vec<f32>> {

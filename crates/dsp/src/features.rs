@@ -107,6 +107,26 @@ impl FeatureExtractor {
     /// [`DspError::ChannelMismatch`] / [`DspError::WindowTooShort`] on
     /// malformed input.
     pub fn extract(&self, channels: &[Vec<f32>]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; NUM_FEATURES];
+        self.extract_into(channels, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`extract`](Self::extract) writing the 80 features directly into a
+    /// caller-provided slice — typically one row of a preallocated
+    /// feature matrix, so batch featurisation allocates no per-window
+    /// output vectors.
+    ///
+    /// # Errors
+    /// [`DspError::DimensionMismatch`] unless `out.len() == NUM_FEATURES`,
+    /// plus the malformed-window errors of [`extract`](Self::extract).
+    pub fn extract_into(&self, channels: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+        if out.len() != NUM_FEATURES {
+            return Err(DspError::DimensionMismatch {
+                expected: NUM_FEATURES,
+                found: out.len(),
+            });
+        }
         if channels.len() < layout::MIN_CHANNELS {
             return Err(DspError::ChannelMismatch {
                 expected: layout::MIN_CHANNELS,
@@ -141,43 +161,46 @@ impl FeatureExtractor {
             &pressure[..n],
         ];
 
-        let mut out = Vec::with_capacity(NUM_FEATURES);
+        let mut slots = out.iter_mut();
+        let mut emit = |v: f32| {
+            *slots.next().expect("feature table matches NUM_FEATURES") = v;
+        };
         for s in series {
-            out.push(stats::mean(s));
-            out.push(stats::std_dev(s));
-            out.push(stats::min(s));
-            out.push(stats::max(s));
-            out.push(stats::median(s));
-            out.push(stats::iqr(s));
-            out.push(stats::rms(s));
-            out.push(stats::skewness(s));
-            out.push(stats::kurtosis(s));
+            emit(stats::mean(s));
+            emit(stats::std_dev(s));
+            emit(stats::min(s));
+            emit(stats::max(s));
+            emit(stats::median(s));
+            emit(stats::iqr(s));
+            emit(stats::rms(s));
+            emit(stats::skewness(s));
+            emit(stats::kurtosis(s));
         }
-        out.push(stats::mean_crossing_rate(&accel_mag));
-        out.push(crate::spectral::dominant_frequency(
+        emit(stats::mean_crossing_rate(&accel_mag));
+        emit(crate::spectral::dominant_frequency(
             &accel_mag,
             self.sample_rate_hz,
         ));
-        out.push(crate::spectral::spectral_entropy(&accel_mag));
-        out.push(crate::spectral::band_energy_ratio(
+        emit(crate::spectral::spectral_entropy(&accel_mag));
+        emit(crate::spectral::band_energy_ratio(
             &accel_mag,
             self.sample_rate_hz,
             8.0,
             45.0,
         ));
-        out.push(stats::mean_crossing_rate(&gyro_mag));
-        out.push(crate::spectral::spectral_entropy(&gyro_mag));
-        out.push(stats::pearson(&accel_x[..n], &accel_y[..n]));
-        out.push(stats::pearson(&accel_y[..n], &accel_z[..n]));
+        emit(stats::mean_crossing_rate(&gyro_mag));
+        emit(crate::spectral::spectral_entropy(&gyro_mag));
+        emit(stats::pearson(&accel_x[..n], &accel_y[..n]));
+        emit(stats::pearson(&accel_y[..n], &accel_z[..n]));
+        debug_assert!(slots.next().is_none(), "feature table short of NUM_FEATURES");
 
-        debug_assert_eq!(out.len(), NUM_FEATURES);
         // A malformed sample must never poison downstream training.
-        for v in &mut out {
+        for v in out.iter_mut() {
             if !v.is_finite() {
                 *v = 0.0;
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -83,11 +83,23 @@ impl PreprocessingPipeline {
     /// # Errors
     /// Propagates extractor errors on malformed windows.
     pub fn raw_features(&self, channels: &[Vec<f32>]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; NUM_FEATURES];
+        self.raw_features_into(channels, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`raw_features`](Self::raw_features) writing into a caller-provided
+    /// slice of length [`NUM_FEATURES`].
+    ///
+    /// # Errors
+    /// Propagates extractor errors on malformed windows or a wrong-length
+    /// output slice.
+    pub fn raw_features_into(&self, channels: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
         let denoised: Vec<Vec<f32>> = channels
             .iter()
             .map(|c| self.config.denoise.apply(c))
             .collect();
-        self.extractor.extract(&denoised)
+        self.extractor.extract_into(&denoised, out)
     }
 
     /// Fit the normaliser over a corpus of windows (Cloud side).
@@ -108,11 +120,24 @@ impl PreprocessingPipeline {
     /// # Errors
     /// Propagates extractor/normaliser errors.
     pub fn process(&self, channels: &[Vec<f32>]) -> Result<Vec<f32>> {
-        let mut feats = self.raw_features(channels)?;
-        if let Some(norm) = &self.normalizer {
-            norm.apply(&mut feats)?;
-        }
+        let mut feats = vec![0.0f32; NUM_FEATURES];
+        self.process_into(channels, &mut feats)?;
         Ok(feats)
+    }
+
+    /// Full pipeline emitting the normalised features directly into a
+    /// caller-provided slice — typically one row of a preallocated
+    /// `(batch, 80)` feature matrix, so batch featurisation performs no
+    /// per-window output allocation.
+    ///
+    /// # Errors
+    /// Propagates extractor/normaliser errors.
+    pub fn process_into(&self, channels: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
+        self.raw_features_into(channels, out)?;
+        if let Some(norm) = &self.normalizer {
+            norm.apply(out)?;
+        }
+        Ok(())
     }
 
     /// Serialise to JSON bytes (the bundle embeds this).

@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::Result;
 use magneto_tensor::init::Initializer;
-use magneto_tensor::{Matrix, SeededRng};
+use magneto_tensor::{Matrix, SeededRng, TensorError, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A dense layer `y = act(x·W + b)` with `W: (in, out)`, `b: (out)`.
@@ -18,7 +18,7 @@ pub struct Dense {
 }
 
 /// Cached forward state needed by the backward pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DenseCache {
     /// The layer input `x` (batch, in_dim).
     pub input: Matrix,
@@ -27,7 +27,7 @@ pub struct DenseCache {
 }
 
 /// Gradients for one layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseGrad {
     /// `∂L/∂W`, same shape as the weights.
     pub dw: Matrix,
@@ -106,15 +106,26 @@ impl Dense {
     /// # Errors
     /// Shape mismatch if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Result<(Matrix, DenseCache)> {
-        let z = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
-        let out = z.map(|v| self.activation.apply(v));
-        Ok((
-            out,
-            DenseCache {
-                input: x.clone(),
-                pre_activation: z,
-            },
-        ))
+        let mut cache = DenseCache::default();
+        let mut out = Matrix::default();
+        self.forward_into(x, &mut cache, &mut out)?;
+        Ok((out, cache))
+    }
+
+    /// Forward pass writing the output into `out` and the backprop state
+    /// into `cache`, reusing both allocations across calls. Batched
+    /// inputs automatically hit the register-tiled matmul kernel.
+    ///
+    /// # Errors
+    /// Shape mismatch if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut DenseCache, out: &mut Matrix) -> Result<()> {
+        cache.input.copy_from(x);
+        x.matmul_into(&self.weights, &mut cache.pre_activation)?;
+        add_bias_inplace(&mut cache.pre_activation, &self.bias);
+        let act = self.activation;
+        out.copy_from(&cache.pre_activation);
+        out.map_inplace(|v| act.apply(v));
+        Ok(())
     }
 
     /// Forward pass without caching (inference).
@@ -122,8 +133,22 @@ impl Dense {
     /// # Errors
     /// Shape mismatch if `x.cols() != in_dim`.
     pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
-        let z = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
-        Ok(z.map(|v| self.activation.apply(v)))
+        let mut out = Matrix::default();
+        self.infer_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Inference forward pass writing into a caller-owned output. Batched
+    /// inputs automatically hit the register-tiled matmul kernel.
+    ///
+    /// # Errors
+    /// Shape mismatch if `x.cols() != in_dim`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        x.matmul_into(&self.weights, out)?;
+        add_bias_inplace(out, &self.bias);
+        let act = self.activation;
+        out.map_inplace(|v| act.apply(v));
+        Ok(())
     }
 
     /// Backward pass: given `∂L/∂out`, produce this layer's gradients and
@@ -132,15 +157,68 @@ impl Dense {
     /// # Errors
     /// Shape mismatch between cache and upstream gradient.
     pub fn backward(&self, cache: &DenseCache, grad_out: &Matrix) -> Result<(DenseGrad, Matrix)> {
+        let mut grad = DenseGrad::default();
+        let mut dx = Matrix::default();
+        let mut ws = Workspace::new();
+        self.backward_into(cache, grad_out, &mut grad, &mut dx, &mut ws)?;
+        Ok((grad, dx))
+    }
+
+    /// Backward pass writing the layer gradients into `grad` and the input
+    /// gradient into `dx`, drawing the δ scratch matrix from `ws`. No
+    /// transpose is materialised: `dW = xᵀ·δ` and `dX = δ·Wᵀ` use the
+    /// transpose-aware kernels directly.
+    ///
+    /// # Errors
+    /// Shape mismatch between cache and upstream gradient.
+    pub fn backward_into(
+        &self,
+        cache: &DenseCache,
+        grad_out: &Matrix,
+        grad: &mut DenseGrad,
+        dx: &mut Matrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        if grad_out.shape() != cache.pre_activation.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dense_backward",
+                lhs: grad_out.shape(),
+                rhs: cache.pre_activation.shape(),
+            }
+            .into());
+        }
         // δ = grad_out ⊙ act'(z)
         let act = self.activation;
-        let deriv = cache.pre_activation.map(|v| act.derivative(v));
-        let delta = grad_out.hadamard(&deriv)?;
+        let mut delta = ws.take(grad_out.rows(), grad_out.cols());
+        for (d, (&g, &z)) in delta.as_mut_slice().iter_mut().zip(
+            grad_out
+                .as_slice()
+                .iter()
+                .zip(cache.pre_activation.as_slice().iter()),
+        ) {
+            *d = g * act.derivative(z);
+        }
         // dW = xᵀ · δ ; db = column sums of δ ; dX = δ · Wᵀ
-        let dw = cache.input.transpose().matmul(&delta)?;
-        let db = delta.sum_rows();
-        let dx = delta.matmul(&self.weights.transpose())?;
-        Ok((DenseGrad { dw, db }, dx))
+        cache.input.transpose_matmul_into(&delta, &mut grad.dw)?;
+        grad.db.clear();
+        grad.db.resize(delta.cols(), 0.0);
+        for r in 0..delta.rows() {
+            for (acc, &v) in grad.db.iter_mut().zip(delta.row(r).iter()) {
+                *acc += v;
+            }
+        }
+        delta.matmul_transpose_into(&self.weights, dx)?;
+        ws.give(delta);
+        Ok(())
+    }
+}
+
+/// Broadcast-add a bias row over every row of `z` in place.
+fn add_bias_inplace(z: &mut Matrix, bias: &[f32]) {
+    for r in 0..z.rows() {
+        for (v, &b) in z.row_mut(r).iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
     }
 }
 

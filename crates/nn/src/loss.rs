@@ -33,6 +33,25 @@ pub fn contrastive_loss(
     same: &[bool],
     margin: f32,
 ) -> Result<(f32, Matrix, Matrix)> {
+    let mut grad_a = Matrix::default();
+    let mut grad_b = Matrix::default();
+    let loss = contrastive_loss_into(a, b, same, margin, &mut grad_a, &mut grad_b)?;
+    Ok((loss, grad_a, grad_b))
+}
+
+/// [`contrastive_loss`] writing the gradients into caller-owned matrices
+/// (resized to `(n, dim)`), so the training hot loop allocates nothing.
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on empty or misaligned batches.
+pub fn contrastive_loss_into(
+    a: &Matrix,
+    b: &Matrix,
+    same: &[bool],
+    margin: f32,
+    grad_a: &mut Matrix,
+    grad_b: &mut Matrix,
+) -> Result<f32> {
     if a.shape() != b.shape() || a.rows() != same.len() || a.rows() == 0 {
         return Err(NnError::InvalidBatch(format!(
             "contrastive batch misaligned: a {:?}, b {:?}, labels {}",
@@ -45,8 +64,8 @@ pub fn contrastive_loss(
     let dim = a.cols();
     let inv_n = 1.0 / n as f32;
     let mut loss = 0.0f32;
-    let mut grad_a = Matrix::zeros(n, dim);
-    let mut grad_b = Matrix::zeros(n, dim);
+    grad_a.resize(n, dim);
+    grad_b.resize(n, dim);
     #[allow(clippy::needless_range_loop)] // i indexes three parallel collections
     for i in 0..n {
         let ra = a.row(i);
@@ -72,7 +91,7 @@ pub fn contrastive_loss(
             }
         }
     }
-    Ok((loss * inv_n, grad_a, grad_b))
+    Ok(loss * inv_n)
 }
 
 /// Embedding-level distillation loss: mean squared error between student
@@ -87,6 +106,17 @@ pub fn contrastive_loss(
 /// # Errors
 /// [`NnError::InvalidBatch`] on shape mismatch or empty batch.
 pub fn distillation_loss(student: &Matrix, teacher: &Matrix) -> Result<(f32, Matrix)> {
+    let mut grad = Matrix::default();
+    let loss = distillation_loss_into(student, teacher, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`distillation_loss`] writing `∂L/∂student` into a caller-owned
+/// matrix (resized to the student's shape).
+///
+/// # Errors
+/// [`NnError::InvalidBatch`] on shape mismatch or empty batch.
+pub fn distillation_loss_into(student: &Matrix, teacher: &Matrix, grad: &mut Matrix) -> Result<f32> {
     if student.shape() != teacher.shape() || student.rows() == 0 {
         return Err(NnError::InvalidBatch(format!(
             "distillation shapes: student {:?}, teacher {:?}",
@@ -95,10 +125,20 @@ pub fn distillation_loss(student: &Matrix, teacher: &Matrix) -> Result<(f32, Mat
         )));
     }
     let n = student.rows() as f32;
-    let diff = student.sub(teacher)?;
-    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
-    let grad = diff.scale(2.0 / n);
-    Ok((loss, grad))
+    let scale = 2.0 / n;
+    grad.resize(student.rows(), student.cols());
+    let mut loss = 0.0f32;
+    for ((g, &s), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(student.as_slice().iter())
+        .zip(teacher.as_slice().iter())
+    {
+        let diff = s - t;
+        loss += diff * diff;
+        *g = diff * scale;
+    }
+    Ok(loss / n)
 }
 
 /// Supervised contrastive loss (Khosla et al., NeurIPS 2020 — the

@@ -8,7 +8,7 @@ use crate::activation::Activation;
 use crate::error::NnError;
 use crate::layer::{Dense, DenseCache, DenseGrad};
 use crate::Result;
-use magneto_tensor::{Matrix, SeededRng};
+use magneto_tensor::{Matrix, SeededRng, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A multi-layer perceptron.
@@ -18,15 +18,23 @@ pub struct Mlp {
 }
 
 /// Cached per-layer forward state for a whole network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ForwardCache {
     caches: Vec<DenseCache>,
     /// The network output for this batch.
     pub output: Matrix,
 }
 
+impl ForwardCache {
+    /// An empty cache, ready to be filled by
+    /// [`Mlp::forward_cached_into`].
+    pub fn new() -> Self {
+        ForwardCache::default()
+    }
+}
+
 /// Per-layer gradients for a whole network.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Gradients {
     /// One gradient per layer, input-side first.
     pub layers: Vec<DenseGrad>,
@@ -192,11 +200,35 @@ impl Mlp {
     /// # Errors
     /// Shape mismatch on malformed input.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.infer(&h)?;
+        let mut out = Matrix::default();
+        let mut ws = Workspace::new();
+        self.forward_into(x, &mut out, &mut ws)?;
+        Ok(out)
+    }
+
+    /// Inference forward pass writing the embedding batch into `out`,
+    /// ping-ponging the hidden activations between two workspace buffers
+    /// so the whole pass allocates nothing once `ws` is warm.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
+        let last = self.layers.len() - 1;
+        let mut a = ws.take(0, 0);
+        let mut b = ws.take(0, 0);
+        let mut result = Ok(());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src = if i == 0 { x } else { &a };
+            let dst = if i == last { &mut *out } else { &mut b };
+            result = layer.infer_into(src, dst);
+            if result.is_err() {
+                break;
+            }
+            std::mem::swap(&mut a, &mut b);
         }
-        Ok(h)
+        ws.give(a);
+        ws.give(b);
+        result
     }
 
     /// Embed a single feature vector.
@@ -213,14 +245,43 @@ impl Mlp {
     /// # Errors
     /// Shape mismatch on malformed input.
     pub fn forward_cached(&self, x: &Matrix) -> Result<ForwardCache> {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
-        for layer in &self.layers {
-            let (out, cache) = layer.forward(&h)?;
-            caches.push(cache);
-            h = out;
+        let mut cache = ForwardCache::new();
+        let mut ws = Workspace::new();
+        self.forward_cached_into(x, &mut cache, &mut ws)?;
+        Ok(cache)
+    }
+
+    /// Training forward pass reusing `cache`'s per-layer matrices and
+    /// drawing hidden-activation scratch from `ws`.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn forward_cached_into(
+        &self,
+        x: &Matrix,
+        cache: &mut ForwardCache,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        cache.caches.resize_with(self.layers.len(), DenseCache::default);
+        let mut h = ws.take(0, 0);
+        let mut result = Ok(());
+        for (i, (layer, lc)) in self.layers.iter().zip(cache.caches.iter_mut()).enumerate() {
+            if i == 0 {
+                result = layer.forward_into(x, lc, &mut h);
+            } else {
+                let mut out = ws.take(0, 0);
+                result = layer.forward_into(&h, lc, &mut out);
+                ws.give(std::mem::replace(&mut h, out));
+            }
+            if result.is_err() {
+                break;
+            }
         }
-        Ok(ForwardCache { caches, output: h })
+        if result.is_ok() {
+            std::mem::swap(&mut cache.output, &mut h);
+        }
+        ws.give(h);
+        result
     }
 
     /// Backward pass from `∂L/∂output`; returns gradients for every layer.
@@ -228,15 +289,53 @@ impl Mlp {
     /// # Errors
     /// Shape mismatch between cache and upstream gradient.
     pub fn backward(&self, cache: &ForwardCache, grad_output: &Matrix) -> Result<Gradients> {
-        let mut grads = Vec::with_capacity(self.layers.len());
-        let mut grad = grad_output.clone();
-        for (layer, lc) in self.layers.iter().zip(cache.caches.iter()).rev() {
-            let (g, dx) = layer.backward(lc, &grad)?;
-            grads.push(g);
-            grad = dx;
+        let mut grads = Gradients { layers: Vec::new() };
+        let mut ws = Workspace::new();
+        self.backward_into(cache, grad_output, &mut grads, &mut ws)?;
+        Ok(grads)
+    }
+
+    /// Backward pass writing every layer's gradients into `grads`
+    /// (resized to fit on first use) and drawing all intermediate
+    /// matrices from `ws`.
+    ///
+    /// # Errors
+    /// Shape mismatch between cache and upstream gradient.
+    pub fn backward_into(
+        &self,
+        cache: &ForwardCache,
+        grad_output: &Matrix,
+        grads: &mut Gradients,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        if cache.caches.len() != self.layers.len() {
+            return Err(NnError::InvalidBatch(format!(
+                "forward cache holds {} layers, network has {}",
+                cache.caches.len(),
+                self.layers.len()
+            )));
         }
-        grads.reverse();
-        Ok(Gradients { layers: grads })
+        grads.layers.resize_with(self.layers.len(), DenseGrad::default);
+        let mut grad = ws.take(0, 0);
+        grad.copy_from(grad_output);
+        let mut dx = ws.take(0, 0);
+        let mut result = Ok(());
+        for ((layer, lc), g) in self
+            .layers
+            .iter()
+            .zip(cache.caches.iter())
+            .zip(grads.layers.iter_mut())
+            .rev()
+        {
+            result = layer.backward_into(lc, &grad, g, &mut dx, ws);
+            if result.is_err() {
+                break;
+            }
+            std::mem::swap(&mut grad, &mut dx);
+        }
+        ws.give(grad);
+        ws.give(dx);
+        result
     }
 
     /// `true` if every weight is finite (divergence guard).

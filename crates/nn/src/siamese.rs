@@ -7,12 +7,12 @@
 //! model with contrastive loss and distillation loss." (§3.3)
 
 use crate::error::NnError;
-use crate::loss::{contrastive_loss, distillation_loss};
-use crate::network::Mlp;
+use crate::loss::{contrastive_loss_into, distillation_loss_into};
+use crate::network::{ForwardCache, Gradients, Mlp};
 use crate::optimizer::Optimizer;
 use crate::pairs::PairSample;
 use crate::Result;
-use magneto_tensor::{Matrix, SeededRng};
+use magneto_tensor::{Matrix, SeededRng, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A Siamese network: a single backbone applied to both views of each
@@ -38,6 +38,34 @@ impl StepLoss {
     /// Total optimised loss.
     pub fn total(&self) -> f32 {
         self.contrastive + self.distillation
+    }
+}
+
+/// Reusable scratch memory for training steps.
+///
+/// Owns every temporary a train step needs — the stacked input batch, the
+/// forward cache, gradient storage and a [`Workspace`] for the kernels —
+/// so that a trainer creating one `TrainScratch` before its epoch loop
+/// performs no per-step heap allocation once shapes have stabilised.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    ws: Workspace,
+    cache: ForwardCache,
+    grads: Gradients,
+    stacked: Matrix,
+    emb_a: Matrix,
+    emb_b: Matrix,
+    grad_a: Matrix,
+    grad_b: Matrix,
+    grad_out: Matrix,
+    teacher_emb: Matrix,
+    distill_grad: Matrix,
+}
+
+impl TrainScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        TrainScratch::default()
     }
 }
 
@@ -72,6 +100,16 @@ impl SiameseNetwork {
     /// Shape mismatch on malformed input.
     pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
         self.backbone.forward(features)
+    }
+
+    /// Embed a batch of feature rows into a caller-owned output matrix,
+    /// drawing hidden-layer scratch from `ws` — the allocation-free path
+    /// batch embedding and streaming inference run on.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed_into(&self, features: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
+        self.backbone.forward_into(features, out, ws)
     }
 
     /// Embed one feature vector.
@@ -126,6 +164,38 @@ impl SiameseNetwork {
         distill_mask: Option<&[bool]>,
         grad_clip: f32,
     ) -> Result<StepLoss> {
+        let mut scratch = TrainScratch::new();
+        self.train_step_masked_with(
+            features,
+            pairs,
+            optimizer,
+            teacher,
+            distill_mask,
+            grad_clip,
+            &mut scratch,
+        )
+    }
+
+    /// [`train_step_masked`](Self::train_step_masked) drawing every
+    /// temporary from a caller-owned [`TrainScratch`]. The pair batch is
+    /// assembled by copying feature rows straight into the scratch's
+    /// stacked `(2n, dim)` matrix and run through the backbone as a single
+    /// batched matmul chain per layer.
+    ///
+    /// # Errors
+    /// [`NnError::InvalidBatch`] on empty pairs, out-of-range indices or a
+    /// mask of the wrong length.
+    #[allow(clippy::too_many_arguments)] // mirrors train_step_masked
+    pub fn train_step_masked_with(
+        &mut self,
+        features: &Matrix,
+        pairs: &[PairSample],
+        optimizer: &mut dyn Optimizer,
+        teacher: Option<(&Mlp, f32)>,
+        distill_mask: Option<&[bool]>,
+        grad_clip: f32,
+        scratch: &mut TrainScratch,
+    ) -> Result<StepLoss> {
         if pairs.is_empty() {
             return Err(NnError::InvalidBatch("empty pair batch".into()));
         }
@@ -149,40 +219,77 @@ impl SiameseNetwork {
                 )));
             }
         }
-        let ia: Vec<usize> = pairs.iter().map(|p| p.i).collect();
-        let ib: Vec<usize> = pairs.iter().map(|p| p.j).collect();
         let same: Vec<bool> = pairs.iter().map(|p| p.same).collect();
 
         // One forward pass over the stacked views; the backbone is shared,
-        // so gradients from both views accumulate naturally.
-        let a = features.select_rows(&ia)?;
-        let b = features.select_rows(&ib)?;
-        let stacked = a.vstack(&b)?;
-        let cache = self.backbone.forward_cached(&stacked)?;
+        // so gradients from both views accumulate naturally. Rows are
+        // copied directly into the reusable stacked batch — no
+        // select_rows/vstack intermediates.
+        scratch.stacked.resize(2 * n, features.cols());
+        for (r, p) in pairs.iter().enumerate() {
+            scratch.stacked.row_mut(r).copy_from_slice(features.row(p.i));
+            scratch
+                .stacked
+                .row_mut(n + r)
+                .copy_from_slice(features.row(p.j));
+        }
+        self.backbone
+            .forward_cached_into(&scratch.stacked, &mut scratch.cache, &mut scratch.ws)?;
 
         let emb_dim = self.backbone.output_dim();
-        let emb_a = cache.output.select_rows(&(0..n).collect::<Vec<_>>())?;
-        let emb_b = cache.output.select_rows(&(n..2 * n).collect::<Vec<_>>())?;
+        scratch.emb_a.resize(n, emb_dim);
+        scratch.emb_b.resize(n, emb_dim);
+        for r in 0..n {
+            scratch
+                .emb_a
+                .row_mut(r)
+                .copy_from_slice(scratch.cache.output.row(r));
+            scratch
+                .emb_b
+                .row_mut(r)
+                .copy_from_slice(scratch.cache.output.row(n + r));
+        }
 
-        let (c_loss, grad_a, grad_b) = contrastive_loss(&emb_a, &emb_b, &same, self.margin)?;
-        let mut grad_out = grad_a.vstack(&grad_b)?;
-        debug_assert_eq!(grad_out.shape(), (2 * n, emb_dim));
+        let c_loss = contrastive_loss_into(
+            &scratch.emb_a,
+            &scratch.emb_b,
+            &same,
+            self.margin,
+            &mut scratch.grad_a,
+            &mut scratch.grad_b,
+        )?;
+        scratch.grad_out.resize(2 * n, emb_dim);
+        for r in 0..n {
+            scratch
+                .grad_out
+                .row_mut(r)
+                .copy_from_slice(scratch.grad_a.row(r));
+            scratch
+                .grad_out
+                .row_mut(n + r)
+                .copy_from_slice(scratch.grad_b.row(r));
+        }
 
         let mut d_loss = 0.0f32;
         if let Some((teacher, weight)) = teacher {
             if weight > 0.0 {
-                let teacher_emb = teacher.forward(&stacked)?;
-                let (dl, mut dgrad) = distillation_loss(&cache.output, &teacher_emb)?;
+                teacher.forward_into(&scratch.stacked, &mut scratch.teacher_emb, &mut scratch.ws)?;
+                let dl = distillation_loss_into(
+                    &scratch.cache.output,
+                    &scratch.teacher_emb,
+                    &mut scratch.distill_grad,
+                )?;
                 let mut effective = dl;
                 if let Some(mask) = distill_mask {
                     // Zero the gradient (and discount the reported loss)
                     // for rows whose source sample is unmasked.
                     let mut kept = 0usize;
-                    for (row, &src) in ia.iter().chain(ib.iter()).enumerate() {
+                    let sources = pairs.iter().map(|p| p.i).chain(pairs.iter().map(|p| p.j));
+                    for (row, src) in sources.enumerate() {
                         if mask[src] {
                             kept += 1;
                         } else {
-                            for v in dgrad.row_mut(row) {
+                            for v in scratch.distill_grad.row_mut(row) {
                                 *v = 0.0;
                             }
                         }
@@ -190,15 +297,22 @@ impl SiameseNetwork {
                     effective = dl * kept as f32 / (2 * n) as f32;
                 }
                 d_loss = weight * effective;
-                grad_out.add_scaled_inplace(&dgrad, weight)?;
+                scratch
+                    .grad_out
+                    .add_scaled_inplace(&scratch.distill_grad, weight)?;
             }
         }
 
-        let mut grads = self.backbone.backward(&cache, &grad_out)?;
+        self.backbone.backward_into(
+            &scratch.cache,
+            &scratch.grad_out,
+            &mut scratch.grads,
+            &mut scratch.ws,
+        )?;
         if grad_clip > 0.0 {
-            grads.clip(grad_clip);
+            scratch.grads.clip(grad_clip);
         }
-        optimizer.step(&mut self.backbone, &grads)?;
+        optimizer.step(&mut self.backbone, &scratch.grads)?;
         Ok(StepLoss {
             contrastive: c_loss,
             distillation: d_loss,
@@ -225,6 +339,39 @@ impl SiameseNetwork {
         temperature: f32,
         grad_clip: f32,
     ) -> Result<StepLoss> {
+        let mut scratch = TrainScratch::new();
+        self.train_step_supcon_with(
+            features,
+            labels,
+            batch,
+            optimizer,
+            teacher,
+            distill_mask,
+            temperature,
+            grad_clip,
+            &mut scratch,
+        )
+    }
+
+    /// [`train_step_supcon`](Self::train_step_supcon) drawing every
+    /// temporary from a caller-owned [`TrainScratch`].
+    ///
+    /// # Errors
+    /// [`NnError::InvalidBatch`] on an empty batch, out-of-range indices,
+    /// or a wrong-length mask.
+    #[allow(clippy::too_many_arguments)] // mirrors train_step_supcon
+    pub fn train_step_supcon_with(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        batch: &[usize],
+        optimizer: &mut dyn Optimizer,
+        teacher: Option<(&Mlp, f32)>,
+        distill_mask: Option<&[bool]>,
+        temperature: f32,
+        grad_clip: f32,
+        scratch: &mut TrainScratch,
+    ) -> Result<StepLoss> {
         if batch.is_empty() {
             return Err(NnError::InvalidBatch("empty supcon batch".into()));
         }
@@ -244,19 +391,30 @@ impl SiameseNetwork {
                 )));
             }
         }
-        let x = features.select_rows(batch)?;
+        scratch.stacked.resize(batch.len(), features.cols());
+        for (r, &i) in batch.iter().enumerate() {
+            scratch.stacked.row_mut(r).copy_from_slice(features.row(i));
+        }
         let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
-        let cache = self.backbone.forward_cached(&x)?;
-        let (c_loss, mut grad_out) = crate::loss::supervised_contrastive_loss(
-            &cache.output,
+        self.backbone
+            .forward_cached_into(&scratch.stacked, &mut scratch.cache, &mut scratch.ws)?;
+        // The supcon gradient is O(batch²) pairwise structure; it still
+        // allocates internally, which is fine — the matmuls dominate.
+        let (c_loss, grad_out) = crate::loss::supervised_contrastive_loss(
+            &scratch.cache.output,
             &batch_labels,
             temperature,
         )?;
+        scratch.grad_out.copy_from(&grad_out);
         let mut d_loss = 0.0f32;
         if let Some((teacher, weight)) = teacher {
             if weight > 0.0 {
-                let teacher_emb = teacher.forward(&x)?;
-                let (dl, mut dgrad) = distillation_loss(&cache.output, &teacher_emb)?;
+                teacher.forward_into(&scratch.stacked, &mut scratch.teacher_emb, &mut scratch.ws)?;
+                let dl = distillation_loss_into(
+                    &scratch.cache.output,
+                    &scratch.teacher_emb,
+                    &mut scratch.distill_grad,
+                )?;
                 let mut effective = dl;
                 if let Some(mask) = distill_mask {
                     let mut kept = 0usize;
@@ -264,7 +422,7 @@ impl SiameseNetwork {
                         if mask[src] {
                             kept += 1;
                         } else {
-                            for v in dgrad.row_mut(row) {
+                            for v in scratch.distill_grad.row_mut(row) {
                                 *v = 0.0;
                             }
                         }
@@ -272,14 +430,21 @@ impl SiameseNetwork {
                     effective = dl * kept as f32 / batch.len() as f32;
                 }
                 d_loss = weight * effective;
-                grad_out.add_scaled_inplace(&dgrad, weight)?;
+                scratch
+                    .grad_out
+                    .add_scaled_inplace(&scratch.distill_grad, weight)?;
             }
         }
-        let mut grads = self.backbone.backward(&cache, &grad_out)?;
+        self.backbone.backward_into(
+            &scratch.cache,
+            &scratch.grad_out,
+            &mut scratch.grads,
+            &mut scratch.ws,
+        )?;
         if grad_clip > 0.0 {
-            grads.clip(grad_clip);
+            scratch.grads.clip(grad_clip);
         }
-        optimizer.step(&mut self.backbone, &grads)?;
+        optimizer.step(&mut self.backbone, &scratch.grads)?;
         Ok(StepLoss {
             contrastive: c_loss,
             distillation: d_loss,

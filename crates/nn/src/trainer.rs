@@ -8,7 +8,7 @@ use crate::error::NnError;
 use crate::network::Mlp;
 use crate::optimizer::{Adam, Optimizer};
 use crate::pairs::{sample_balanced_batch, sample_pairs};
-use crate::siamese::SiameseNetwork;
+use crate::siamese::{SiameseNetwork, TrainScratch};
 use crate::Result;
 use magneto_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
@@ -157,6 +157,9 @@ pub fn train_siamese_masked(
         steps: 0,
     };
     let teacher_arg = teacher.map(|t| (t, config.distill_weight));
+    // One scratch arena for the whole run: after the first step warms it,
+    // every later step reuses the same buffers (see TrainScratch).
+    let mut scratch = TrainScratch::new();
     for epoch in 0..config.epochs {
         let mut epoch_total = 0.0f32;
         let mut epoch_contrastive = 0.0f32;
@@ -180,13 +183,14 @@ pub fn train_siamese_masked(
                     ));
                 }
                 for chunk in pairs.chunks(config.batch_pairs.max(1)) {
-                    let loss = net.train_step_masked(
+                    let loss = net.train_step_masked_with(
                         features,
                         chunk,
                         &mut optimizer,
                         teacher_arg,
                         distill_mask,
                         config.grad_clip,
+                        &mut scratch,
                     )?;
                     run_step(loss, &mut batches, &mut report.steps);
                 }
@@ -200,7 +204,7 @@ pub fn train_siamese_masked(
                     if batch.is_empty() {
                         return Err(NnError::InvalidBatch("no samples to batch".into()));
                     }
-                    let loss = net.train_step_supcon(
+                    let loss = net.train_step_supcon_with(
                         features,
                         labels,
                         &batch,
@@ -209,6 +213,7 @@ pub fn train_siamese_masked(
                         distill_mask,
                         temperature,
                         config.grad_clip,
+                        &mut scratch,
                     )?;
                     run_step(loss, &mut batches, &mut report.steps);
                 }

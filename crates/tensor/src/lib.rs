@@ -20,12 +20,18 @@
 //! * [`serialize`] — compact little-endian binary encoding used for the
 //!   Cloud → Edge bundle (the paper's < 5 MB footprint claim is measured
 //!   against these encodings).
+//! * [`workspace`] — a scratch-buffer pool so the batched hot path
+//!   (training steps, batch embedding, streaming inference) reuses
+//!   allocations instead of re-allocating every call.
 //!
 //! Design notes: matrices are plain `Vec<f32>` in row-major order. The
 //! backbone network in the paper is a 5-layer MLP (80→1024→512→128→64→128),
-//! small enough that a cache-friendly scalar matmul with manual loop
-//! ordering (i-k-j) is more than fast enough on laptop-class hardware, and
-//! far simpler to audit than SIMD intrinsics.
+//! small enough that a cache-blocked scalar matmul with manual loop
+//! ordering (i-k-j, k-panelled) is more than fast enough on laptop-class
+//! hardware, and far simpler to audit than SIMD intrinsics. Hot-path
+//! kernels come in `_into` form (`matmul_into`, `matmul_transpose_into`,
+//! `transpose_matmul_into`) writing into caller-owned outputs; the
+//! allocating variants are thin shims over them.
 
 pub mod error;
 pub mod init;
@@ -34,10 +40,12 @@ pub mod rng;
 pub mod serialize;
 pub mod stats;
 pub mod vector;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use rng::SeededRng;
+pub use workspace::Workspace;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -16,6 +16,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural seed for `_into` outputs
+    /// and [`crate::workspace::Workspace`] scratch buffers.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -208,6 +216,171 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols == rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into `out`, reusing `out`'s
+    /// allocation when it is already large enough.
+    ///
+    /// Dispatches on batch size. Small inputs (fewer than
+    /// [`TILED_MIN_ROWS`] rows, including the per-sample `rows == 1`
+    /// case) run an axpy kernel that skips zero `self` entries — post-ReLU
+    /// activations are ~50% zeros, so the skip removes whole row
+    /// updates. Batched inputs run the broadcast-FMA register tile of
+    /// [`Matrix::matmul_tiled`], which trades the sparsity skip for
+    /// keeping a 4×32 output tile in vector registers across the whole
+    /// `k` loop. Both paths accumulate `k` contributions in ascending
+    /// order, so results match [`Matrix::matmul_naive`] exactly (up to
+    /// the sign of zero: the tiled path adds exact `±0.0` terms where
+    /// the reference skips zero `a` entries).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.rows, rhs.cols);
+        if self.rows >= TILED_MIN_ROWS {
+            self.matmul_tiled(rhs, out);
+            return Ok(());
+        }
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = fma(a, b, *o);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcast-FMA register-tiled kernel behind [`Matrix::matmul_into`]
+    /// for batched inputs. Walks `rhs` row-major (no transpose needed):
+    /// for each 4-row × 32-column output tile the accumulators live in
+    /// vector registers for the entire `k` loop, and every `k` step costs
+    /// four scalar broadcasts plus two vector loads for eight vector
+    /// FMAs — versus the axpy kernel's load + FMA + store per vector.
+    /// Shapes must already be checked and `out` zero-resized by the
+    /// caller.
+    fn matmul_tiled(&self, rhs: &Matrix, out: &mut Matrix) {
+        const TILE_ROWS: usize = 4;
+        const TILE_COLS: usize = 32;
+        // 256 k-steps × 32 columns × 4 B = 32 KiB of `rhs` per panel —
+        // L1-resident, so every row block of `self` re-reads it from L1
+        // instead of streaming the full column strip from L2.
+        const PANEL_K: usize = 256;
+        let m = self.rows;
+        let n = rhs.cols;
+        let mut j = 0;
+        while j + TILE_COLS <= n {
+            let mut k0 = 0;
+            while k0 < self.cols {
+                let k1 = (k0 + PANEL_K).min(self.cols);
+                let mut i = 0;
+                while i + TILE_ROWS <= m {
+                    // `out` arrives zeroed from `resize`, so reloading the
+                    // tile between k-panels continues the same ascending-k
+                    // accumulation.
+                    let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let at = (i + r) * n + j;
+                        acc_row.copy_from_slice(&out.data[at..at + TILE_COLS]);
+                    }
+                    let a0 = self.row(i);
+                    let a1 = self.row(i + 1);
+                    let a2 = self.row(i + 2);
+                    let a3 = self.row(i + 3);
+                    for k in k0..k1 {
+                        let b: &[f32; TILE_COLS] = rhs.data
+                            [k * n + j..k * n + j + TILE_COLS]
+                            .try_into()
+                            .unwrap();
+                        let x0 = a0[k];
+                        let x1 = a1[k];
+                        let x2 = a2[k];
+                        let x3 = a3[k];
+                        for l in 0..TILE_COLS {
+                            let bl = b[l];
+                            acc[0][l] = fma(x0, bl, acc[0][l]);
+                            acc[1][l] = fma(x1, bl, acc[1][l]);
+                            acc[2][l] = fma(x2, bl, acc[2][l]);
+                            acc[3][l] = fma(x3, bl, acc[3][l]);
+                        }
+                    }
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let at = (i + r) * n + j;
+                        out.data[at..at + TILE_COLS].copy_from_slice(acc_row);
+                    }
+                    i += TILE_ROWS;
+                }
+                // Row remainder: one row at a time, zero-skip restored.
+                while i < m {
+                    let mut acc = [0.0f32; TILE_COLS];
+                    let at = i * n + j;
+                    acc.copy_from_slice(&out.data[at..at + TILE_COLS]);
+                    for (k, &x) in self.row(i)[k0..k1].iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let b: &[f32; TILE_COLS] = rhs.data
+                            [(k0 + k) * n + j..(k0 + k) * n + j + TILE_COLS]
+                            .try_into()
+                            .unwrap();
+                        for l in 0..TILE_COLS {
+                            acc[l] = fma(x, b[l], acc[l]);
+                        }
+                    }
+                    out.data[at..at + TILE_COLS].copy_from_slice(&acc);
+                    i += 1;
+                }
+                k0 = k1;
+            }
+            j += TILE_COLS;
+        }
+        // Column tail (n % 16): plain zero-skipping axpy over the tail.
+        if j < n {
+            for i in 0..m {
+                for (k, &x) in self.row(i).iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let b_tail = &rhs.data[k * n + j..(k + 1) * n];
+                    let o_tail = &mut out.data[i * n + j..(i + 1) * n];
+                    for (o, &b) in o_tail.iter_mut().zip(b_tail.iter()) {
+                        *o = fma(x, b, *o);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference i-k-j matmul with no blocking: the oracle the blocked
+    /// kernel is property-tested against.
+    ///
+    /// Always compiled (not `#[cfg(test)]`) so the integration property
+    /// tests in `tests/` can reach it; hidden from docs because production
+    /// code should call [`Matrix::matmul_into`].
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    #[doc(hidden)]
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -225,7 +398,7 @@ impl Matrix {
                 }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+                    *o = fma(a, b, *o);
                 }
             }
         }
@@ -238,6 +411,24 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols == rhs.cols`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs^T` written into `out`, reusing `out`'s
+    /// allocation. Both operands are walked row-major, so every inner
+    /// loop is a contiguous dot product; rows are processed as 2×4
+    /// register tiles with eight-lane accumulators, which keeps the whole
+    /// tile in vector registers and loads each operand row once per four
+    /// (resp. two) outputs. This is the batched-forward fast path: with
+    /// the weights pre-transposed, `x · Wᵀᵀ` runs here instead of the
+    /// store-bound axpy kernel.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_transpose_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_transposed",
@@ -245,30 +436,114 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
+        out.resize(self.rows, rhs.rows);
+        let n = rhs.rows;
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let a0 = self.row(i);
+            let a1 = self.row(i + 1);
+            let mut j = 0;
+            while j + 4 <= n {
+                let t = tile_2x4(
+                    a0,
+                    a1,
+                    rhs.row(j),
+                    rhs.row(j + 1),
+                    rhs.row(j + 2),
+                    rhs.row(j + 3),
+                );
+                out.data[i * n + j..i * n + j + 4].copy_from_slice(&t[0]);
+                out.data[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&t[1]);
+                j += 4;
+            }
+            while j < n {
+                let b = rhs.row(j);
+                out.data[i * n + j] = dot_lanes(a0, b);
+                out.data[(i + 1) * n + j] = dot_lanes(a1, b);
+                j += 1;
+            }
+            i += 2;
+        }
+        if i < self.rows {
+            let a0 = self.row(i);
+            for j in 0..n {
+                out.data[i * n + j] = dot_lanes(a0, rhs.row(j));
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Matrix product `self^T * rhs` written into `out`, reusing `out`'s
+    /// allocation and never materialising the transpose.
+    ///
+    /// This is the gradient kernel: `dw = input^T * delta`. The loop runs
+    /// over shared rows `r`, scattering `self[r][i] * rhs[r][..]` into
+    /// output row `i` — every slice access is contiguous.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.rows == rhs.rows`.
+    pub fn transpose_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = &rhs.data[r * n..(r + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = fma(a, b, *o);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reshape in place to `rows x cols`, zero-filling every element and
+    /// reusing the existing allocation when it is large enough.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Make `self` an element-for-element copy of `src`, reusing `self`'s
+    /// allocation when it is large enough.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into `out`, reusing `out`'s allocation — the
+    /// staging step that lets batched forwards run on the tiled
+    /// [`Matrix::matmul_transpose_into`] kernel.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Element-wise sum `self + rhs`.
@@ -504,6 +779,115 @@ impl Matrix {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+}
+
+/// Minimum row count at which [`Matrix::matmul_into`] routes to the
+/// register-tiled kernel. The tile forgoes the zero-skip that post-ReLU
+/// activation sparsity makes profitable, so it needs enough rows for
+/// register reuse to amortise the extra arithmetic; below this the
+/// zero-skipping axpy kernel wins and stays on the exact per-sample
+/// code path.
+pub const TILED_MIN_ROWS: usize = 16;
+
+/// Fused multiply-add `a * b + c`, the one accumulation primitive every
+/// matmul kernel in this crate goes through.
+///
+/// Rust never contracts `a * b + c` into a hardware FMA on its own (it
+/// would change the rounding), which leaves half the machine's FLOP/s on
+/// the table. When the build targets an FMA-capable CPU (the workspace
+/// `.cargo/config.toml` passes `-C target-cpu=native`) this compiles to a
+/// single fused instruction; otherwise it falls back to plain mul+add
+/// rather than a libm `fmaf` call, which would be orders of magnitude
+/// slower. Routing *all* kernels through the same primitive keeps the
+/// batched, per-sample, and naive-oracle paths bit-identical to each
+/// other within any one build.
+#[inline(always)]
+fn fma(a: f32, b: f32, c: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+/// Accumulator lanes for the dot-product kernels — wide enough for one
+/// 256-bit vector register of `f32`.
+const LANES: usize = 8;
+
+/// Lane-parallel dot product: eight independent accumulator chains the
+/// compiler turns into one vector FMA stream, plus a scalar tail.
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    let chunks = k / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let ac = &a[c * LANES..(c + 1) * LANES];
+        let bc = &b[c * LANES..(c + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] = fma(ac[l], bc[l], acc[l]);
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for t in chunks * LANES..k {
+        s = fma(a[t], b[t], s);
+    }
+    s
+}
+
+/// 2×4 register tile of dot products: each loaded `a` chunk feeds four
+/// outputs and each `b` chunk feeds two, so the kernel performs eight
+/// FMAs per six vector loads with no stores inside the loop.
+fn tile_2x4(
+    a0: &[f32],
+    a1: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> [[f32; 4]; 2] {
+    let k = a0.len();
+    let chunks = k / LANES;
+    let mut acc = [[[0.0f32; LANES]; 4]; 2];
+    for c in 0..chunks {
+        let base = c * LANES;
+        let a0c = &a0[base..base + LANES];
+        let a1c = &a1[base..base + LANES];
+        let b0c = &b0[base..base + LANES];
+        let b1c = &b1[base..base + LANES];
+        let b2c = &b2[base..base + LANES];
+        let b3c = &b3[base..base + LANES];
+        for l in 0..LANES {
+            let x0 = a0c[l];
+            let x1 = a1c[l];
+            acc[0][0][l] = fma(x0, b0c[l], acc[0][0][l]);
+            acc[0][1][l] = fma(x0, b1c[l], acc[0][1][l]);
+            acc[0][2][l] = fma(x0, b2c[l], acc[0][2][l]);
+            acc[0][3][l] = fma(x0, b3c[l], acc[0][3][l]);
+            acc[1][0][l] = fma(x1, b0c[l], acc[1][0][l]);
+            acc[1][1][l] = fma(x1, b1c[l], acc[1][1][l]);
+            acc[1][2][l] = fma(x1, b2c[l], acc[1][2][l]);
+            acc[1][3][l] = fma(x1, b3c[l], acc[1][3][l]);
+        }
+    }
+    let mut out = [[0.0f32; 4]; 2];
+    for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+        for (lanes, o) in acc_row.iter().zip(out_row.iter_mut()) {
+            *o = lanes.iter().sum();
+        }
+    }
+    for t in chunks * LANES..k {
+        let x0 = a0[t];
+        let x1 = a1[t];
+        out[0][0] = fma(x0, b0[t], out[0][0]);
+        out[0][1] = fma(x0, b1[t], out[0][1]);
+        out[0][2] = fma(x0, b2[t], out[0][2]);
+        out[0][3] = fma(x0, b3[t], out[0][3]);
+        out[1][0] = fma(x1, b0[t], out[1][0]);
+        out[1][1] = fma(x1, b1[t], out[1][1]);
+        out[1][2] = fma(x1, b2[t], out[1][2]);
+        out[1][3] = fma(x1, b3[t], out[1][3]);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -5,24 +5,65 @@
 //! [`SeededRng`], and parent seeds can be split into independent child
 //! streams with [`SeededRng::split`]. Re-running any experiment with the
 //! same seed reproduces the same numbers bit-for-bit.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 (the reference seeding procedure), so the crate has no
+//! external RNG dependency and the stream is stable across platforms.
 
 /// A seeded, splittable random-number generator.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] that adds a stable `split`
-/// operation and a few convenience samplers used throughout the workspace.
+/// xoshiro256++ with SplitMix64 seeding, plus a stable `split` operation
+/// and a few convenience samplers used throughout the workspace.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SeededRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state, per the
+        // xoshiro reference implementation.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SeededRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let raw = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&raw[..chunk.len()]);
         }
     }
 
@@ -37,8 +78,18 @@ impl SeededRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mix = self.inner.gen::<u64>();
+        let mix = self.next_u64();
         SeededRng::new(h ^ mix.rotate_left(17))
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 random mantissa bits).
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[low, high)`.
@@ -46,15 +97,15 @@ impl SeededRng {
         if low == high {
             return low;
         }
-        self.inner.gen::<f32>() * (high - low) + low
+        self.unit_f32() * (high - low) + low
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f32 {
         // Box–Muller: two uniforms -> one normal (the second is discarded
         // for simplicity; this is not a hot path).
-        let u1: f32 = self.inner.gen::<f32>().max(1e-10);
-        let u2: f32 = self.inner.gen::<f32>();
+        let u1: f32 = self.unit_f32().max(1e-10);
+        let u2: f32 = self.unit_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -68,19 +119,27 @@ impl SeededRng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            // Lemire's multiply-shift range reduction (bias is negligible
+            // for the sizes used here and the stream stays deterministic).
+            ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
         }
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            // Consume a draw so the stream advances consistently.
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit_f64() < p
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             slice.swap(i, j);
         }
     }
@@ -92,29 +151,6 @@ impl SeededRng {
         self.shuffle(&mut idx);
         idx.truncate(k.min(n));
         idx
-    }
-
-    /// Access the underlying `rand` RNG (for APIs that need `impl Rng`).
-    pub fn as_rng(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
-}
-
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -219,5 +255,23 @@ mod tests {
         // k >= n returns everything.
         assert_eq!(rng.sample_indices(3, 10).len(), 3);
         assert!(rng.sample_indices(0, 5).is_empty());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SeededRng::new(21);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Astronomically unlikely to stay all-zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn chance_zero_one_is_bernoulli_mean() {
+        let mut rng = SeededRng::new(23);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
     }
 }

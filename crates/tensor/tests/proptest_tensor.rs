@@ -9,6 +9,7 @@ use magneto_tensor::matrix::Matrix;
 use magneto_tensor::serialize::{decode_matrix, encode_matrix};
 use magneto_tensor::stats;
 use magneto_tensor::vector;
+use magneto_tensor::Workspace;
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
@@ -25,6 +26,19 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
 
 fn paired_matrices(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
     (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(small_f32(), m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap());
+        let b = prop::collection::vec(small_f32(), k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap());
+        (a, b)
+    })
+}
+
+/// Like [`paired_matrices`] but with enough lhs rows to cross the
+/// register-tiled dispatch threshold of `matmul_into`, and rhs widths
+/// spanning both full 32-column tiles and ragged tails.
+fn tall_paired_matrices() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (16..=48usize, 1..=24usize, 1..=48usize).prop_flat_map(|(m, k, n)| {
         let a = prop::collection::vec(small_f32(), m * k)
             .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap());
         let b = prop::collection::vec(small_f32(), k * n)
@@ -62,6 +76,81 @@ proptest! {
         let direct = a.matmul_transposed(&c).unwrap();
         let explicit = a.matmul(&b).unwrap();
         prop_assert!(approx_eq(&direct, &explicit, 1e-4));
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle((a, b) in paired_matrices(12)) {
+        // The production kernel (axpy path at these sizes) against the
+        // reference triple loop it replaced.
+        let naive = a.matmul_naive(&b).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert!(approx_eq(&out, &naive, 1e-4));
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_oracle((a, b) in tall_paired_matrices()) {
+        // Same law, but with enough rows that matmul_into dispatches to
+        // the register-tiled kernel (including its row/column tails).
+        let naive = a.matmul_naive(&b).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert!(approx_eq(&out, &naive, 1e-4));
+    }
+
+    #[test]
+    fn tiled_batch_rows_equal_per_row_axpy((a, b) in tall_paired_matrices()) {
+        // The batched (tiled) and per-sample (axpy) paths accumulate k in
+        // the same order through the same fma primitive, so a batch
+        // result must equal the row-at-a-time results bit for bit.
+        let full = a.matmul(&b).unwrap();
+        for i in 0..a.rows() {
+            let row = Matrix::from_vec(1, a.cols(), a.row(i).to_vec()).unwrap();
+            let single = row.matmul(&b).unwrap();
+            prop_assert_eq!(full.row(i), single.row(0), "row {}", i);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_into_matches_naive_oracle((a, b) in paired_matrices(8)) {
+        // A·(Bᵀ)ᵀ == A·B: feed the transposed rhs through the
+        // B-transposed kernel and compare against the oracle.
+        let c = b.transpose();
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_into(&c, &mut out).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        prop_assert!(approx_eq(&out, &naive, 1e-4));
+    }
+
+    #[test]
+    fn transpose_matmul_into_matches_naive_oracle((a, b) in paired_matrices(8)) {
+        // Aᵀ·D via the scatter kernel equals the oracle on the
+        // materialised transpose.
+        let d = a.matmul_naive(&b).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.transpose_matmul_into(&d, &mut out).unwrap();
+        let naive = a.transpose().matmul_naive(&d).unwrap();
+        prop_assert!(approx_eq(&out, &naive, 1e-4));
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_output((a, b) in paired_matrices(8)) {
+        // A reused output buffer with a stale shape and stale contents
+        // must end up identical to a fresh allocation.
+        let mut out = Matrix::from_vec(2, 3, vec![9.0; 6]).unwrap();
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn workspace_take_is_always_zeroed(m in matrix_strategy(8)) {
+        // Whatever was given back, the next take of any shape is zeroed.
+        let mut ws = Workspace::new();
+        let (r, c) = m.shape();
+        ws.give(m);
+        let t = ws.take(r + 1, c);
+        prop_assert_eq!(t.shape(), (r + 1, c));
+        prop_assert!(t.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

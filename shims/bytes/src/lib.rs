@@ -1,0 +1,383 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of `Bytes`/`BytesMut`/`Buf`/`BufMut` the codec
+//! modules in this workspace use. Semantics match the real crate at the
+//! API level (a `Bytes` is a consumable view; reading advances it), but
+//! the implementation is a plain `Vec<u8>` with an offset — no reference
+//! counting or zero-copy slicing, which the workspace never relies on.
+
+use std::ops::{Bound, Deref, RangeBounds};
+
+/// An immutable byte buffer that is consumed by reading from the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    off: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Buffer over a static byte slice (copied; the real crate borrows).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: bytes.to_vec(),
+            off: 0,
+        }
+    }
+
+    /// Buffer holding a copy of `bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes {
+            data: bytes.to_vec(),
+            off: 0,
+        }
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+
+    /// Copy of the unread bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new buffer over a sub-range of the unread bytes.
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes {
+            data: self.as_slice()[start..end].to_vec(),
+            off: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, off: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Read-side cursor operations over a byte buffer.
+pub trait Buf {
+    /// Unread bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discard `cnt` bytes from the front.
+    ///
+    /// # Panics
+    /// If `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read one signed byte.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `f32`.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Read a little-endian `f64`.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Fill `dst` from the front of the buffer.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Split off the next `len` bytes as an owned buffer.
+    ///
+    /// # Panics
+    /// On underflow.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.off += cnt;
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copy of the written bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Freeze into an immutable, readable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            off: 0,
+        }
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side operations over a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(7);
+        buf.put_f32_le(-1.25);
+        buf.put_u8(0xAB);
+        buf.put_i8(-3);
+        assert_eq!(buf.len(), 10);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 10);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_f32_le(), -1.25);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_i8(), -3);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_copy_to_bytes() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let mut c = b.clone();
+        let front = c.copy_to_bytes(2);
+        assert_eq!(front.as_slice(), &[1, 2]);
+        assert_eq!(c.remaining(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.advance(3);
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/API shape the bench targets use (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, benchmark groups, `Bencher::iter`,
+//! `iter_batched`, `BenchmarkId`, `black_box`) with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery: warm up
+//! briefly, time batches until a time budget is spent, report the median
+//! per-iteration time.
+//!
+//! Command-line behaviour matches what cargo drives: `--bench` (passed by
+//! `cargo bench`) runs the benchmarks, `--test` (passed by
+//! `cargo test --benches`) exits immediately after checking the harness
+//! wires up, and a bare positional argument filters benchmarks by
+//! substring.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label (allows `&str` or `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The label to report under.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the measured routine.
+    elapsed_per_iter: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: a few calls to page in code and data.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(60) && warmup_iters < 1_000 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+
+        let mut samples: Vec<f64> = Vec::new();
+        let budget = self.measurement_time;
+        let run_start = Instant::now();
+        // Batch size chosen so one batch is ~1/20 of the budget.
+        let per_iter = (warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64)
+            .max(1e-9);
+        let batch = ((budget.as_secs_f64() / 20.0 / per_iter) as u64).clamp(1, 1_000_000);
+        while run_start.elapsed() < budget || samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.elapsed_per_iter = Duration::from_secs_f64(samples[samples.len() / 2]);
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup.
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        let budget = self.measurement_time;
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget || samples.len() < 5 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_secs_f64());
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.elapsed_per_iter = Duration::from_secs_f64(samples[samples.len() / 2]);
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Mode {
+    /// `cargo test --benches` passes `--test`: verify wiring, skip timing.
+    test_only: bool,
+    /// Positional argument: substring filter on benchmark labels.
+    filter: Option<String>,
+}
+
+impl Mode {
+    fn from_args() -> Self {
+        let mut test_only = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_only = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Mode { test_only, filter }
+    }
+
+    fn selects(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::from_args(),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        if !self.mode.selects(label) {
+            return;
+        }
+        if self.mode.test_only {
+            println!("{label}: bench harness ok (skipped under --test)");
+            return;
+        }
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        println!("{label:<56} time: [{}]", format_time(b.elapsed_per_iter));
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            measurement_time: Duration::from_millis(10),
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.elapsed_per_iter > Duration::ZERO);
+
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.elapsed_per_iter > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).into_label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_label(), "x");
+    }
+}

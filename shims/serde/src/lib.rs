@@ -1,0 +1,480 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external `serde` dependency is replaced by this small self-contained
+//! crate. It keeps the parts of the serde surface the workspace actually
+//! uses: `#[derive(Serialize, Deserialize)]` on structs and enums, the
+//! `Serialize`/`Deserialize` traits, and enough of serde's data model to
+//! round-trip every type in the repo through JSON (see the sibling
+//! `serde_json` shim).
+//!
+//! The data model is a single self-describing [`Value`] tree instead of
+//! serde's visitor machinery: `Serialize` renders a type into a `Value`,
+//! `Deserialize` reads one back. Representations match real serde's JSON
+//! behaviour where the workspace depends on it (field maps for structs,
+//! string for unit enum variants, `{"Variant": {..}}` for struct variants,
+//! `{"secs", "nanos"}` for `Duration`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+/// Self-describing serialized value (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (wide enough for `u64`/`i64`/`usize` without loss).
+    Int(i128),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key → value map with stable insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as a field map, if this value is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this value is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this value is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Build a type-mismatch error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {context}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the shim.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `self` into the serialized data model.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the serialized data model.
+pub trait Deserialize: Sized {
+    /// Convert from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (referenced by generated code; not a public API).
+// ---------------------------------------------------------------------------
+
+/// Look up a required struct field in a field map.
+#[doc(hidden)]
+pub fn __get_field<T: Deserialize>(map: &[(String, Value)], key: &str, ctx: &str) -> Result<T> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("{ctx}.{key}: {e}"))),
+        None => Err(Error::custom(format!("missing field `{key}` in {ctx}"))),
+    }
+}
+
+/// Look up an optional struct field (used when a `default` is declared).
+#[doc(hidden)]
+pub fn __opt_field<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<Option<T>> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| Error::custom(format!("{ctx}.{key}: {e}"))),
+        None => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self> {
+                let wide = match v {
+                    Value::Int(i) => *i,
+                    // Tolerate integral floats (JSON has one number type).
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde borrows `&str` zero-copy from the input; this value
+    /// model owns its strings, so `&'static str` fields are interned
+    /// instead. The intern table grows by one entry per *distinct* string
+    /// ever deserialized (these fields hold short diagnostic labels).
+    fn from_value(v: &Value) -> Result<Self> {
+        use std::collections::BTreeSet;
+        use std::sync::{Mutex, OnceLock};
+
+        static INTERN: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+
+        let s = match v {
+            Value::Str(s) => s.as_str(),
+            _ => return Err(Error::expected("string", "&str")),
+        };
+        let table = INTERN.get_or_init(|| Mutex::new(BTreeSet::new()));
+        let mut guard = table.lock().expect("intern table poisoned");
+        if let Some(interned) = guard.get(s) {
+            return Ok(interned);
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        guard.insert(leaked);
+        Ok(leaked)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self> {
+        let seq = v.as_seq().ok_or_else(|| Error::expected("sequence", "array"))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("2-element sequence", "tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v.as_seq() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::expected("3-element sequence", "tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_value(v: &Value) -> Result<Self> {
+        match v.as_seq() {
+            Some([a, b, c, d]) => Ok((
+                A::from_value(a)?,
+                B::from_value(b)?,
+                C::from_value(c)?,
+                D::from_value(d)?,
+            )),
+            _ => Err(Error::expected("4-element sequence", "tuple")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), V::from_value(item)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic, matching the
+        // expectations of byte-level footprint tests.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), V::from_value(item)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i128)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i128)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", "Duration"))?;
+        let secs: u64 = __get_field(m, "secs", "Duration")?;
+        let nanos: u32 = __get_field(m, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self> {
+        Ok(v.clone())
+    }
+}

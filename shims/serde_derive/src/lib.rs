@@ -1,0 +1,526 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser understands the shapes this
+//! workspace actually derives on:
+//!
+//! - structs with named fields (including lifetime-generic structs and
+//!   reference fields, for serialize-only envelopes),
+//! - newtype structs,
+//! - enums with unit variants (optionally with explicit discriminants),
+//!   newtype variants, and struct variants,
+//! - the `#[serde(skip_serializing)]`, `#[serde(skip_deserializing)]`,
+//!   `#[serde(default)]` and `#[serde(default = "path")]` field attributes.
+//!
+//! Representation matches real serde's external JSON encoding for these
+//! shapes: structs become field maps, unit variants become their name as a
+//! string, data-carrying variants become `{"Name": payload}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip_serializing: bool,
+    skip_deserializing: bool,
+    /// `Some("")` for `default`, `Some(path)` for `default = "path"`.
+    default: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Generic parameter list verbatim, e.g. `<'a>`; empty when absent.
+    generics: String,
+    kind: ItemKind,
+}
+
+/// Cursor over a flattened token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume attributes (`#[...]`), returning any parsed serde attrs.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_serde_attr(g.stream(), &mut attrs);
+                }
+                other => panic!("serde shim derive: malformed attribute, found {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Consume a visibility qualifier if present (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consume a generic parameter list if present and return it verbatim.
+    fn skip_generics(&mut self) -> String {
+        if !self.at_punct('<') {
+            return String::new();
+        }
+        let mut depth = 0usize;
+        let mut out = String::new();
+        loop {
+            let Some(t) = self.next() else {
+                panic!("serde shim derive: unterminated generics");
+            };
+            let s = t.to_string();
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            if out.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+                && s.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            {
+                out.push(' ');
+            }
+            out.push_str(&s);
+            if depth == 0 {
+                return out;
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (or the end), consuming the comma.
+    fn skip_to_comma(&mut self) {
+        let mut angle = 0isize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut cur = Cursor::new(stream);
+    if !cur.at_ident("serde") {
+        return; // doc comment, #[default], etc.
+    }
+    cur.next();
+    let Some(TokenTree::Group(g)) = cur.next() else {
+        return; // bare `#[serde]` — nothing to do
+    };
+    let mut inner = Cursor::new(g.stream());
+    while let Some(t) = inner.next() {
+        let TokenTree::Ident(word) = t else { continue };
+        let word = word.to_string();
+        let mut value = None;
+        if inner.at_punct('=') {
+            inner.next();
+            if let Some(TokenTree::Literal(lit)) = inner.next() {
+                value = Some(lit.to_string().trim_matches('"').to_string());
+            }
+        }
+        match word.as_str() {
+            "skip" => {
+                attrs.skip_serializing = true;
+                attrs.skip_deserializing = true;
+            }
+            "skip_serializing" => attrs.skip_serializing = true,
+            "skip_deserializing" => attrs.skip_deserializing = true,
+            "default" => attrs.default = Some(value.unwrap_or_default()),
+            other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.skip_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        cur.skip_to_comma();
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0isize;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle == 0 && cur.peek().is_some() =>
+            {
+                count += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attrs();
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        cur.skip_to_comma();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    let generics = cur.skip_generics();
+    // A `where` clause would sit here; none of the workspace types use one.
+    let kind = match (keyword.as_str(), cur.peek()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            if count_tuple_fields(g.stream()) == 1 {
+                ItemKind::NewtypeStruct
+            } else {
+                panic!("serde shim derive: multi-field tuple structs are not supported")
+            }
+        }
+        ("struct", _) => ItemKind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, t) => panic!("serde shim derive: cannot parse {kw} body at {t:?}"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn default_expr(attrs: &FieldAttrs) -> String {
+    match attrs.default.as_deref() {
+        Some("") | None => "::std::default::Default::default()".to_string(),
+        Some(path) => format!("{path}()"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let generics = &item.generics;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip_serializing {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__fields)"
+            )
+        }
+        ItemKind::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip_serializing)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    output.parse().expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.attrs.skip_deserializing {
+                    inits.push_str(&format!("{fname}: {},\n", default_expr(&f.attrs)));
+                } else if f.attrs.default.is_some() {
+                    inits.push_str(&format!(
+                        "{fname}: match ::serde::__opt_field(__map, \"{fname}\", \"{name}\")? {{\n\
+                             ::std::option::Option::Some(__v) => __v,\n\
+                             ::std::option::Option::None => {},\n\
+                         }},\n",
+                        default_expr(&f.attrs)
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: ::serde::__get_field(__map, \"{fname}\", \"{name}\")?,\n"
+                    ));
+                }
+            }
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::NewtypeStruct => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Newtype => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __seq = __inner.as_seq().ok_or_else(|| \
+                                     ::serde::Error::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                                 if __seq.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::expected(\
+                                         \"{arity}-element sequence\", \"{name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.attrs.skip_deserializing {
+                                inits.push_str(&format!(
+                                    "{fname}: {},\n",
+                                    default_expr(&f.attrs)
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: ::serde::__get_field(__map, \"{fname}\", \
+                                     \"{name}::{vname}\")?,\n"
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __map = __inner.as_map().ok_or_else(|| \
+                                     ::serde::Error::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                         \"string or single-key map\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    output.parse().expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -50,6 +50,52 @@ proptest! {
         }
     }
 
+    /// The in-place pipeline (`process_into` writing one feature-matrix
+    /// row) is byte-identical to the allocating `process` for any window.
+    #[test]
+    fn process_into_equals_process(kind in any_activity(), seed in 0u64..500) {
+        let mut synth = SignalSynthesizer::new(
+            kind.profile(),
+            PersonProfile::nominal(),
+            SeededRng::new(seed),
+        );
+        let frames: Vec<_> = (0..120).map(|i| synth.frame(i as f64 / 120.0)).collect();
+        let window = magneto::sensors::dataset::LabeledWindow::from_frames(kind.label(), &frames);
+        let pipeline = magneto::dsp::PreprocessingPipeline::new(
+            magneto::dsp::PipelineConfig::default(),
+        );
+        let allocated = pipeline.process(&window.channels).unwrap();
+        let mut in_place = vec![0.0f32; NUM_FEATURES];
+        pipeline.process_into(&window.channels, &mut in_place).unwrap();
+        prop_assert_eq!(allocated, in_place);
+    }
+
+    /// One batched forward pass over stacked feature rows equals the
+    /// per-sample embedding loop, row for row, for any batch — including
+    /// batches past the register-tiled matmul dispatch threshold.
+    #[test]
+    fn batched_embedding_equals_per_sample(
+        batch in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let model = magneto::nn::SiameseNetwork::new(
+            magneto::nn::Mlp::new(&[10, 8, 4], &mut rng).unwrap(),
+            1.0,
+        );
+        let rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..10).map(|_| rng.normal()).collect())
+            .collect();
+        let mut embedder = magneto::core::BatchEmbedder::new();
+        let mut out = magneto::tensor::Matrix::default();
+        embedder.embed_rows(&model, &rows, &mut out).unwrap();
+        prop_assert_eq!(out.shape(), (batch, 4));
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.embed_one(row).unwrap();
+            prop_assert_eq!(out.row(i), single.as_slice(), "row {}", i);
+        }
+    }
+
     /// Dataset generation honours the requested shape for any size.
     #[test]
     fn dataset_shape_invariant(windows in 1usize..20, seed in 0u64..100) {
