@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy fmt bench clean
+.PHONY: check build test test-all clippy fmt bench bench-fleet fleet-smoke clean
 
-check: build test clippy
+check: build test clippy fleet-smoke
 
 build:
 	$(CARGO) build --release
@@ -23,6 +23,14 @@ fmt:
 
 bench:
 	$(CARGO) bench -p magneto-bench --bench pipeline_stages
+
+bench-fleet:
+	$(CARGO) bench -p magneto-bench --bench fleet_throughput
+
+# Short release-mode fleet serving run: 4 worker threads, 16 sessions,
+# asserts nonzero throughput and zero cross-session label leaks.
+fleet-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin fleet_smoke
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,121 @@
+//! Fleet serving smoke test (wired into `make check`): a 4-worker fleet
+//! serves 16 concurrent sessions, one of which learns a private activity
+//! on-device mid-run. Asserts (1) nonzero end-to-end throughput and
+//! (2) zero cross-session label leaks — no session other than the learner
+//! ever sees the private class in a reply, and every reply's prototype
+//! count matches its own session's class list.
+
+use magneto_core::{CloudConfig, CloudInitializer, EdgeConfig, EdgeDevice};
+use magneto_fleet::{Fleet, FleetConfig, ModelKey};
+use magneto_sensors::pool::StreamPool;
+use magneto_sensors::stream::StreamConfig;
+use magneto_sensors::{ActivityKind, GeneratorConfig, PersonProfile, SensorDataset};
+use std::time::{Duration, Instant};
+
+const USERS: usize = 16;
+const ROUNDS: usize = 8;
+const PRIVATE_LABEL: &str = "user3_private_gesture";
+const LEARNER: usize = 3;
+
+fn main() {
+    let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 5);
+    let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
+        .pretrain(&corpus)
+        .unwrap();
+    let base_classes = bundle.registry.labels().len();
+
+    let fleet = Fleet::new(FleetConfig {
+        workers: 4,
+        shards: 4,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let key = ModelKey::of_bundle(&bundle);
+    let sessions: Vec<_> = (0..USERS)
+        .map(|_| {
+            let dev = EdgeDevice::deploy(bundle.clone(), EdgeConfig::default()).unwrap();
+            fleet.register(dev, key)
+        })
+        .collect();
+
+    // One user personalises mid-fleet: a private gesture learned
+    // on-device. The session is re-keyed off the shared model version.
+    let recording = SensorDataset::record_session(
+        PRIVATE_LABEL,
+        ActivityKind::GestureHi,
+        PersonProfile::nominal(),
+        25.0,
+        17,
+    );
+    fleet
+        .update_session(sessions[LEARNER].0, |dev| {
+            dev.learn_new_activity(PRIVATE_LABEL, &recording).unwrap();
+        })
+        .unwrap();
+    assert!(fleet.session_key(sessions[LEARNER].0).unwrap().is_unique());
+
+    let mut pool = StreamPool::new(USERS, &ActivityKind::BASE_FIVE, 120, StreamConfig::ideal(), 2);
+    let start = Instant::now();
+    let mut submitted = 0u64;
+    for _ in 0..ROUNDS {
+        for (u, window) in pool.next_round().into_iter().enumerate() {
+            loop {
+                match fleet.submit(sessions[u].0, window.clone()) {
+                    Ok(_) => break,
+                    Err(e) => {
+                        let retry = e.retry_after().unwrap_or_else(|| {
+                            panic!("fleet_smoke: non-backpressure submit error: {e}")
+                        });
+                        std::thread::sleep(retry);
+                    }
+                }
+            }
+            submitted += 1;
+        }
+    }
+    assert!(
+        fleet.wait_idle(Duration::from_secs(60)),
+        "fleet_smoke: queues did not drain"
+    );
+    let elapsed = start.elapsed();
+
+    let mut served = 0u64;
+    let mut leaks = 0u64;
+    for (u, (_, rx)) in sessions.iter().enumerate() {
+        let expected_protos = if u == LEARNER {
+            base_classes + 1
+        } else {
+            base_classes
+        };
+        let mut last_seq = None;
+        for reply in rx.try_iter() {
+            let pred = reply.outcome.expect("inference failed in smoke run");
+            served += 1;
+            if u != LEARNER && (pred.label == PRIVATE_LABEL || pred.distances.len() != expected_protos)
+            {
+                leaks += 1;
+            }
+            if u == LEARNER {
+                assert_eq!(pred.distances.len(), expected_protos);
+            }
+            // Replies arrive in per-session FIFO order.
+            assert!(last_seq.is_none_or(|s| reply.seq > s), "seq order violated");
+            last_seq = Some(reply.seq);
+        }
+    }
+
+    assert_eq!(served, submitted, "lost {} windows", submitted - served);
+    assert_eq!(leaks, 0, "cross-session label leaks detected");
+    let throughput = served as f64 / elapsed.as_secs_f64();
+    assert!(throughput > 0.0, "zero throughput");
+
+    let stats = fleet.shard_stats();
+    let rejected: u64 = stats.iter().map(|s| s.rejected).sum();
+    let batches: u64 = stats.iter().map(|s| s.batches).sum();
+    println!(
+        "fleet_smoke OK: {served} windows / {:.2}s = {throughput:.0} windows/s, \
+         {batches} micro-batches, {rejected} rejections, 0 label leaks across {USERS} sessions",
+        elapsed.as_secs_f64()
+    );
+    fleet.shutdown();
+}

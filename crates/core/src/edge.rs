@@ -12,8 +12,8 @@ use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
 use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateReport};
 use crate::inference::{
-    infer_window, infer_windows, LatencyRecorder, LatencyStats, Prediction, SmoothedPrediction,
-    StreamingSession,
+    infer_window, infer_windows, InferenceView, LatencyRecorder, LatencyStats, Prediction,
+    SmoothedPrediction, StreamingSession,
 };
 use crate::privacy::PrivacyLedger;
 use crate::Result;
@@ -338,6 +338,26 @@ impl EdgeDevice {
     /// Direct access to the model state (experiments and diagnostics).
     pub fn state(&self) -> &ModelState {
         &self.state
+    }
+
+    /// Borrow everything a serving runtime needs to classify windows for
+    /// this device without taking `&mut`: pipeline, backbone, NCM. A
+    /// fleet scheduler stacks views from many sessions into one
+    /// [`crate::inference::infer_batch`] call.
+    pub fn inference_view(&self) -> InferenceView<'_> {
+        InferenceView {
+            pipeline: &self.pipeline,
+            model: &self.state.model,
+            ncm: &self.state.ncm,
+        }
+    }
+
+    /// Record an externally measured inference latency — the hook a
+    /// batching runtime uses to keep this device's latency statistics
+    /// honest when the inference ran outside [`infer_window`](Self::infer_window)
+    /// (e.g. amortised across a cross-session micro-batch).
+    pub fn note_latency(&mut self, latency: std::time::Duration) {
+        self.latency.record(latency);
     }
 }
 

@@ -130,6 +130,80 @@ pub(crate) fn infer_window(
     })
 }
 
+/// A read-only borrow of everything one session needs to classify a
+/// window: its pre-processing pipeline, its backbone, and its NCM
+/// prototypes. The fleet scheduler holds many of these at once —
+/// inference never needs `&mut` device state, so a serving runtime can
+/// batch across sessions while each session keeps exclusive ownership of
+/// its mutable state (support set, ledger, RNG).
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceView<'a> {
+    /// The session's fitted pre-processing function.
+    pub pipeline: &'a PreprocessingPipeline,
+    /// The session's Siamese backbone.
+    pub model: &'a SiameseNetwork,
+    /// The session's prototype classifier.
+    pub ncm: &'a NcmClassifier,
+}
+
+/// One pending window in a cross-session micro-batch. The backbone is
+/// shared by the whole batch (the caller guarantees every job's session
+/// runs the same model weights); pre-processing and classification stay
+/// per-job because those may differ per session even under one model.
+#[derive(Debug)]
+pub struct BatchJob<'a> {
+    /// The owning session's pre-processing function.
+    pub pipeline: &'a PreprocessingPipeline,
+    /// The owning session's NCM prototypes.
+    pub ncm: &'a NcmClassifier,
+    /// Channel-major raw window to classify.
+    pub window: &'a [Vec<f32>],
+}
+
+/// Cross-session micro-batched inference: featurise every job's window
+/// with *its own* pipeline straight into the shared staging matrix, run
+/// the whole batch through `model` as **one** forward pass, then classify
+/// each embedding row with that job's own NCM. Outputs are bit-identical
+/// to calling [`infer_window`] per job (the batched and per-sample kernel
+/// paths are property-tested equal), so a scheduler may group jobs from
+/// many sessions freely as long as they share model weights. Reported
+/// per-window latency is the amortised batch cost.
+///
+/// # Errors
+/// Propagates pre-processing/classification errors; shape errors on
+/// pipelines with mismatched output dimensions.
+pub fn infer_batch(
+    model: &SiameseNetwork,
+    jobs: &[BatchJob<'_>],
+    embedder: &mut BatchEmbedder,
+) -> Result<Vec<Prediction>> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let start = Instant::now();
+    let staging = embedder.staging();
+    staging.resize(jobs.len(), jobs[0].pipeline.output_dim());
+    for (i, job) in jobs.iter().enumerate() {
+        job.pipeline.process_into(job.window, staging.row_mut(i))?;
+    }
+    let mut embeddings = Matrix::default();
+    embedder.embed_staged(model, &mut embeddings)?;
+    let mut decisions = Vec::with_capacity(jobs.len());
+    for (r, job) in jobs.iter().enumerate() {
+        decisions.push(job.ncm.classify(embeddings.row(r))?);
+    }
+    let per_window = start.elapsed() / jobs.len() as u32;
+    Ok(decisions
+        .into_iter()
+        .map(|d| Prediction {
+            label: d.label,
+            confidence: d.confidence,
+            distances: d.distances,
+            latency: per_window,
+        })
+        .collect())
+}
+
 /// Batched inference over a backlog of windows: every window is
 /// featurised straight into one row of the embedder's staging matrix
 /// (`process_into`), the whole batch goes through the backbone as a
@@ -143,31 +217,15 @@ pub(crate) fn infer_windows(
     windows: &[Vec<Vec<f32>>],
     embedder: &mut BatchEmbedder,
 ) -> Result<Vec<Prediction>> {
-    if windows.is_empty() {
-        return Ok(Vec::new());
-    }
-    let start = Instant::now();
-    let staging = embedder.staging();
-    staging.resize(windows.len(), pipeline.output_dim());
-    for (i, w) in windows.iter().enumerate() {
-        pipeline.process_into(w, staging.row_mut(i))?;
-    }
-    let mut embeddings = Matrix::default();
-    embedder.embed_staged(model, &mut embeddings)?;
-    let mut decisions = Vec::with_capacity(windows.len());
-    for r in 0..embeddings.rows() {
-        decisions.push(ncm.classify(embeddings.row(r))?);
-    }
-    let per_window = start.elapsed() / windows.len() as u32;
-    Ok(decisions
-        .into_iter()
-        .map(|d| Prediction {
-            label: d.label,
-            confidence: d.confidence,
-            distances: d.distances,
-            latency: per_window,
+    let jobs: Vec<BatchJob<'_>> = windows
+        .iter()
+        .map(|w| BatchJob {
+            pipeline,
+            ncm,
+            window: w,
         })
-        .collect())
+        .collect();
+    infer_batch(model, &jobs, embedder)
 }
 
 /// A live streaming session: feeds raw 22-channel samples into a
@@ -310,6 +368,48 @@ mod tests {
 
     fn window(value: f32) -> Vec<Vec<f32>> {
         vec![vec![value; 120]; 22]
+    }
+
+    #[test]
+    fn cross_session_batch_matches_per_window_inference() {
+        // Two "sessions" with the same backbone but different prototype
+        // sets, micro-batched through one forward pass, must produce
+        // bit-identical outputs to per-window inference on each session.
+        let (pipeline, model, ncm_a) = fixture();
+        let ncm_b = NcmClassifier::new(
+            DistanceMetric::Euclidean,
+            vec![
+                ("still".into(), vec![1.0; 4]),
+                ("walk".into(), vec![50.0; 4]),
+                ("run".into(), vec![-20.0; 4]),
+            ],
+        )
+        .unwrap();
+        let windows: Vec<Vec<Vec<f32>>> = (0..6).map(|i| window(i as f32 * 0.03)).collect();
+        let jobs: Vec<BatchJob<'_>> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| BatchJob {
+                pipeline: &pipeline,
+                ncm: if i % 2 == 0 { &ncm_a } else { &ncm_b },
+                window: w,
+            })
+            .collect();
+        let mut embedder = BatchEmbedder::new();
+        let batched = infer_batch(&model, &jobs, &mut embedder).unwrap();
+        assert_eq!(batched.len(), 6);
+        for (i, (w, b)) in windows.iter().zip(&batched).enumerate() {
+            let ncm = if i % 2 == 0 { &ncm_a } else { &ncm_b };
+            let single = infer_window(&pipeline, &model, ncm, w).unwrap();
+            assert_eq!(single.label, b.label, "job {i}");
+            assert_eq!(single.confidence, b.confidence, "job {i}");
+            assert_eq!(single.distances, b.distances, "job {i}");
+        }
+        // Distances follow each job's own class count.
+        assert_eq!(batched[0].distances.len(), 2);
+        assert_eq!(batched[1].distances.len(), 3);
+        // Empty batch is a no-op.
+        assert!(infer_batch(&model, &[], &mut embedder).unwrap().is_empty());
     }
 
     #[test]

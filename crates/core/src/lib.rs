@@ -58,7 +58,7 @@ pub use edge::{EdgeConfig, EdgeDevice};
 pub use embed::BatchEmbedder;
 pub use error::CoreError;
 pub use incremental::IncrementalConfig;
-pub use inference::Prediction;
+pub use inference::{infer_batch, BatchJob, InferenceView, LatencyStats, Prediction};
 pub use label::LabelRegistry;
 pub use metrics::ConfusionMatrix;
 pub use ncm::NcmClassifier;

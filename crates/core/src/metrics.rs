@@ -5,12 +5,19 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Label-keyed confusion matrix.
+///
+/// Internally a dense `n × n` count grid plus a label→index map, so
+/// recording an observation is two `O(log n)` index lookups and one
+/// array increment — no per-observation allocation and no linear label
+/// scan. Million-window fleet evaluations stay linear in observations.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ConfusionMatrix {
-    /// `counts[truth][predicted]` (nested string keys so the matrix
-    /// serialises to plain JSON).
-    counts: BTreeMap<String, BTreeMap<String, usize>>,
+    /// All labels, in first-seen order.
     labels: Vec<String>,
+    /// Label → position in `labels` (and thus grid row/column).
+    index: BTreeMap<String, usize>,
+    /// Row-major `labels.len()²` grid: `grid[truth * n + predicted]`.
+    grid: Vec<usize>,
 }
 
 impl ConfusionMatrix {
@@ -19,19 +26,38 @@ impl ConfusionMatrix {
         Self::default()
     }
 
+    /// Index of `label`, registering it (and growing the grid) if new.
+    fn index_or_insert(&mut self, label: &str) -> usize {
+        if let Some(&i) = self.index.get(label) {
+            return i;
+        }
+        let old_n = self.labels.len();
+        let new_n = old_n + 1;
+        // Re-embed the old n×n grid into the new (n+1)×(n+1) one. Label
+        // additions are rare (once per class) so the O(n²) copy is noise
+        // next to the per-observation path.
+        let mut grid = vec![0usize; new_n * new_n];
+        for t in 0..old_n {
+            grid[t * new_n..t * new_n + old_n]
+                .copy_from_slice(&self.grid[t * old_n..(t + 1) * old_n]);
+        }
+        self.grid = grid;
+        self.labels.push(label.to_string());
+        self.index.insert(label.to_string(), old_n);
+        old_n
+    }
+
+    /// Index of `label`, if it has been seen.
+    fn index_of(&self, label: &str) -> Option<usize> {
+        self.index.get(label).copied()
+    }
+
     /// Record one `(truth, predicted)` observation.
     pub fn record(&mut self, truth: &str, predicted: &str) {
-        for l in [truth, predicted] {
-            if !self.labels.iter().any(|x| x == l) {
-                self.labels.push(l.to_string());
-            }
-        }
-        *self
-            .counts
-            .entry(truth.to_string())
-            .or_default()
-            .entry(predicted.to_string())
-            .or_insert(0) += 1;
+        let t = self.index_or_insert(truth);
+        let p = self.index_or_insert(predicted);
+        let n = self.labels.len();
+        self.grid[t * n + p] += 1;
     }
 
     /// All labels seen, in first-seen order.
@@ -41,16 +67,15 @@ impl ConfusionMatrix {
 
     /// Total observations.
     pub fn total(&self) -> usize {
-        self.counts.values().flat_map(|row| row.values()).sum()
+        self.grid.iter().sum()
     }
 
     /// Count for a `(truth, predicted)` cell.
     pub fn count(&self, truth: &str, predicted: &str) -> usize {
-        self.counts
-            .get(truth)
-            .and_then(|row| row.get(predicted))
-            .copied()
-            .unwrap_or(0)
+        match (self.index_of(truth), self.index_of(predicted)) {
+            (Some(t), Some(p)) => self.grid[t * self.labels.len() + p],
+            _ => 0,
+        }
     }
 
     /// Overall accuracy; `0.0` when empty.
@@ -59,39 +84,32 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let correct: usize = self
-            .counts
-            .iter()
-            .filter_map(|(t, row)| row.get(t))
-            .sum();
+        let n = self.labels.len();
+        let correct: usize = (0..n).map(|i| self.grid[i * n + i]).sum();
         correct as f64 / total as f64
     }
 
     /// Recall (per-class accuracy) for one label; `None` if the label has
     /// no ground-truth observations.
     pub fn recall(&self, label: &str) -> Option<f64> {
-        let truth_total: usize = self
-            .counts
-            .get(label)
-            .map(|row| row.values().sum())
-            .unwrap_or(0);
+        let t = self.index_of(label)?;
+        let n = self.labels.len();
+        let truth_total: usize = self.grid[t * n..(t + 1) * n].iter().sum();
         if truth_total == 0 {
             return None;
         }
-        Some(self.count(label, label) as f64 / truth_total as f64)
+        Some(self.grid[t * n + t] as f64 / truth_total as f64)
     }
 
     /// Precision for one label; `None` if the label was never predicted.
     pub fn precision(&self, label: &str) -> Option<f64> {
-        let pred_total: usize = self
-            .counts
-            .values()
-            .filter_map(|row| row.get(label))
-            .sum();
+        let p = self.index_of(label)?;
+        let n = self.labels.len();
+        let pred_total: usize = (0..n).map(|t| self.grid[t * n + p]).sum();
         if pred_total == 0 {
             return None;
         }
-        Some(self.count(label, label) as f64 / pred_total as f64)
+        Some(self.grid[p * n + p] as f64 / pred_total as f64)
     }
 
     /// F1 for one label; `None` when undefined.
@@ -277,5 +295,57 @@ mod tests {
         let json = serde_json::to_string(&cm).unwrap();
         let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
         assert_eq!(cm, back);
+        // The restored index still resolves cells.
+        assert_eq!(back.count("walk", "run"), 2);
+    }
+
+    #[test]
+    fn grid_growth_preserves_existing_counts() {
+        // Interleave new-label introductions with observations so every
+        // re-embedding of the grid is exercised, then check cells against
+        // an order-independent oracle.
+        let labels = ["a", "b", "c", "d", "e", "f", "g"];
+        let mut cm = ConfusionMatrix::new();
+        let mut oracle = std::collections::BTreeMap::new();
+        for round in 0..6usize {
+            for (i, t) in labels.iter().enumerate().take(2 + round) {
+                let p = labels[(i + round) % (2 + round)];
+                cm.record(t, p);
+                *oracle.entry((*t, p)).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(cm.total(), oracle.values().sum::<usize>());
+        for t in labels {
+            for p in labels {
+                assert_eq!(
+                    cm.count(t, p),
+                    oracle.get(&(t, p)).copied().unwrap_or(0),
+                    "cell ({t}, {p})"
+                );
+            }
+        }
+        // First-seen order is preserved.
+        assert_eq!(cm.labels()[0], "a");
+        assert_eq!(cm.labels()[1], "b");
+    }
+
+    #[test]
+    fn high_volume_recording_stays_consistent() {
+        // The fleet-evaluation shape: few labels, many observations.
+        let mut cm = ConfusionMatrix::new();
+        let labels = ["walk", "run", "still", "drive", "e_scooter"];
+        for i in 0..100_000usize {
+            let t = labels[i % labels.len()];
+            let p = labels[(i * 7 + i / 13) % labels.len()];
+            cm.record(t, p);
+        }
+        assert_eq!(cm.total(), 100_000);
+        assert_eq!(cm.labels().len(), 5);
+        let cm_ref = &cm;
+        let cell_sum: usize = labels
+            .iter()
+            .flat_map(|t| labels.iter().map(move |p| cm_ref.count(t, p)))
+            .sum();
+        assert_eq!(cell_sum, 100_000);
     }
 }

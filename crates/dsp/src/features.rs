@@ -165,25 +165,68 @@ impl FeatureExtractor {
         let mut emit = |v: f32| {
             *slots.next().expect("feature table matches NUM_FEATURES") = v;
         };
+        // The order statistics of each series share one sorted copy
+        // (median and IQR probe the same ranks), reusing a single scratch
+        // buffer across all eight series.
+        let mut sorted: Vec<f32> = Vec::with_capacity(n);
         for s in series {
-            emit(stats::mean(s));
-            emit(stats::std_dev(s));
-            emit(stats::min(s));
-            emit(stats::max(s));
-            emit(stats::median(s));
-            emit(stats::iqr(s));
-            emit(stats::rms(s));
-            emit(stats::skewness(s));
-            emit(stats::kurtosis(s));
+            sorted.clear();
+            sorted.extend_from_slice(s);
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // The nine statistics need three passes: raw sums (mean, RMS,
+            // min, max), centred second moment (std), and standardised
+            // third/fourth moments (skew, kurtosis) — each accumulator
+            // matches its single-purpose `stats` counterpart.
+            let len = s.len() as f32;
+            let (mut sum, mut sum_sq) = (0.0f32, 0.0f32);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in s {
+                sum += x;
+                sum_sq += x * x;
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let mean = sum / len;
+            let std = stats::variance_with(s, mean).sqrt();
+            let (mut m3, mut m4) = (0.0f32, 0.0f32);
+            if std >= 1e-12 {
+                for &x in s {
+                    let d = (x - mean) / std;
+                    let d2 = d * d;
+                    m3 += d2 * d;
+                    m4 += d2 * d2;
+                }
+            }
+            emit(mean);
+            emit(std);
+            emit(lo);
+            emit(hi);
+            emit(stats::percentile_of_sorted(&sorted, 50.0));
+            emit(
+                stats::percentile_of_sorted(&sorted, 75.0)
+                    - stats::percentile_of_sorted(&sorted, 25.0),
+            );
+            emit((sum_sq / len).sqrt());
+            emit(if s.len() < 3 || std < 1e-12 { 0.0 } else { m3 / len });
+            emit(if s.len() < 4 || std < 1e-12 {
+                0.0
+            } else {
+                m4 / len - 3.0
+            });
         }
+        // Each magnitude series contributes several spectral summaries;
+        // evaluate its Goertzel spectrum once and share it.
+        let accel_spectrum = crate::spectral::dft_magnitudes(&accel_mag);
         emit(stats::mean_crossing_rate(&accel_mag));
-        emit(crate::spectral::dominant_frequency(
-            &accel_mag,
+        emit(crate::spectral::dominant_frequency_of(
+            &accel_spectrum,
+            accel_mag.len(),
             self.sample_rate_hz,
         ));
-        emit(crate::spectral::spectral_entropy(&accel_mag));
-        emit(crate::spectral::band_energy_ratio(
-            &accel_mag,
+        emit(crate::spectral::spectral_entropy_of(&accel_spectrum));
+        emit(crate::spectral::band_energy_ratio_of(
+            &accel_spectrum,
+            accel_mag.len(),
             self.sample_rate_hz,
             8.0,
             45.0,

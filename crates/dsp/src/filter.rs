@@ -35,22 +35,47 @@ pub fn moving_average(xs: &[f32], k: usize) -> Vec<f32> {
 /// `k <= 1` returns the input unchanged. Removes isolated spikes without
 /// smearing step edges the way a mean filter does.
 pub fn median_filter(xs: &[f32], k: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    median_filter_into(xs, k, &mut out);
+    out
+}
+
+/// [`median_filter`] writing into a caller-provided buffer (cleared
+/// first), so per-window denoising allocates nothing after warm-up.
+pub fn median_filter_into(xs: &[f32], k: usize, out: &mut Vec<f32>) {
+    out.clear();
     if k <= 1 || xs.is_empty() {
-        return xs.to_vec();
+        out.extend_from_slice(xs);
+        return;
+    }
+    let n = xs.len();
+    out.reserve(n);
+    if k == 3 {
+        // The pipeline default: a branchless median-of-three over the
+        // interior, max-of-two at the clamped edges (the sorted middle of
+        // a two-sample window is its larger element).
+        if n == 1 {
+            out.push(xs[0]);
+            return;
+        }
+        out.push(xs[0].max(xs[1]));
+        for w in xs.windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            out.push(a.max(b).min(a.min(b).max(c)));
+        }
+        out.push(xs[n - 2].max(xs[n - 1]));
+        return;
     }
     let half = k / 2;
-    let n = xs.len();
-    let mut out = Vec::with_capacity(n);
     let mut buf: Vec<f32> = Vec::with_capacity(k);
     for i in 0..n {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
         buf.clear();
         buf.extend_from_slice(&xs[lo..hi]);
-        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         out.push(buf[buf.len() / 2]);
     }
-    out
 }
 
 /// Exponential moving average with smoothing factor `alpha` in `(0, 1]`;
@@ -110,7 +135,16 @@ impl Biquad {
 
     /// Single forward pass (causal, introduces phase lag).
     pub fn filter(&self, xs: &[f32]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(xs.len());
+        let mut out = Vec::new();
+        self.filter_into(xs, &mut out);
+        out
+    }
+
+    /// [`filter`](Self::filter) into a caller-provided buffer (cleared
+    /// first).
+    pub fn filter_into(&self, xs: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(xs.len());
         let (mut x1, mut x2, mut y1, mut y2) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
         // Initialise state to the first sample to avoid a start-up
         // transient from an implicit zero history.
@@ -128,15 +162,78 @@ impl Biquad {
             y1 = y;
             out.push(y);
         }
-        out
     }
 
     /// Forward-backward pass: zero phase, squared magnitude response.
     pub fn filtfilt(&self, xs: &[f32]) -> Vec<f32> {
-        let fwd = self.filter(xs);
-        let rev: Vec<f32> = fwd.into_iter().rev().collect();
-        let back = self.filter(&rev);
-        back.into_iter().rev().collect()
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.filtfilt_into(xs, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`filtfilt`](Self::filtfilt) into a caller-provided buffer, using
+    /// `scratch` for the intermediate forward pass; allocates nothing once
+    /// both buffers have grown to the window length.
+    pub fn filtfilt_into(&self, xs: &[f32], out: &mut Vec<f32>, scratch: &mut Vec<f32>) {
+        self.filter_into(xs, scratch);
+        scratch.reverse();
+        self.filter_into(scratch, out);
+        out.reverse();
+    }
+
+    /// Zero-phase forward-backward filtering of a time-major strip of
+    /// `lanes` interleaved channels, in place: row `t` is
+    /// `data[t*lanes..(t+1)*lanes]` and every lane is filtered exactly as
+    /// [`filtfilt`](Self::filtfilt) would filter it alone — the lanes only
+    /// share loop iterations, which lets the recurrence vectorise across
+    /// channels. `state` is a reusable scratch buffer.
+    pub fn filtfilt_strip(&self, data: &mut [f32], state: &mut Vec<f32>, lanes: usize) {
+        if lanes == 0 || data.len() < lanes {
+            return;
+        }
+        let n = data.len() / lanes;
+        state.clear();
+        state.resize(4 * lanes, 0.0);
+        let (x1, rest) = state.split_at_mut(lanes);
+        let (x2, rest) = rest.split_at_mut(lanes);
+        let (y1, y2) = rest.split_at_mut(lanes);
+        for pass in 0..2 {
+            // Pass 0 runs forward in time, pass 1 backward (identical to
+            // reversing, filtering and reversing again). Each pass seeds
+            // its state from its own first row, like `filter`.
+            let first = if pass == 0 { 0 } else { n - 1 };
+            for c in 0..lanes {
+                let x0 = data[first * lanes + c];
+                x1[c] = x0;
+                x2[c] = x0;
+                y1[c] = x0;
+                y2[c] = x0;
+            }
+            let mut step = |t: usize, x1: &mut [f32], x2: &mut [f32], y1: &mut [f32], y2: &mut [f32]| {
+                let row = &mut data[t * lanes..(t + 1) * lanes];
+                for c in 0..lanes {
+                    let x = row[c];
+                    let y = self.b0 * x + self.b1 * x1[c] + self.b2 * x2[c]
+                        - self.a1 * y1[c]
+                        - self.a2 * y2[c];
+                    x2[c] = x1[c];
+                    x1[c] = x;
+                    y2[c] = y1[c];
+                    y1[c] = y;
+                    row[c] = y;
+                }
+            };
+            if pass == 0 {
+                for t in 0..n {
+                    step(t, x1, x2, y1, y2);
+                }
+            } else {
+                for t in (0..n).rev() {
+                    step(t, x1, x2, y1, y2);
+                }
+            }
+        }
     }
 }
 
@@ -176,16 +273,131 @@ impl DenoiseConfig {
 
     /// Apply the configured denoising chain to one channel.
     pub fn apply(&self, xs: &[f32]) -> Vec<f32> {
-        let stage1 = if self.median_window > 1 {
-            median_filter(xs, self.median_window)
-        } else {
-            xs.to_vec()
-        };
-        match self.lowpass_cutoff_hz {
-            Some(fc) => Biquad::lowpass(fc, self.sample_rate_hz).filtfilt(&stage1),
-            None => stage1,
+        let mut out = Vec::new();
+        self.kernel().apply_into(xs, &mut out, &mut DenoiseScratch::default());
+        out
+    }
+
+    /// Compile the configuration into a reusable kernel — the Biquad
+    /// design (a handful of `f64` trig evaluations) runs once instead of
+    /// once per channel per window.
+    pub fn kernel(&self) -> DenoiseKernel {
+        DenoiseKernel {
+            median_window: self.median_window,
+            lowpass: self
+                .lowpass_cutoff_hz
+                .map(|fc| Biquad::lowpass(fc, self.sample_rate_hz)),
         }
     }
+}
+
+/// Reusable intermediate buffers for [`DenoiseKernel::apply_into`].
+#[derive(Debug, Default)]
+pub struct DenoiseScratch {
+    median: Vec<f32>,
+    filt: Vec<f32>,
+}
+
+/// A [`DenoiseConfig`] with its filter designs precomputed; apply it to
+/// many channels/windows without re-deriving coefficients or allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenoiseKernel {
+    median_window: usize,
+    lowpass: Option<Biquad>,
+}
+
+impl DenoiseKernel {
+    /// Run median + low-pass denoising of one channel into `out`
+    /// (cleared first), reusing `scratch` across calls.
+    pub fn apply_into(&self, xs: &[f32], out: &mut Vec<f32>, scratch: &mut DenoiseScratch) {
+        match self.lowpass {
+            Some(bq) if self.median_window > 1 => {
+                median_filter_into(xs, self.median_window, &mut scratch.median);
+                bq.filtfilt_into(&scratch.median, out, &mut scratch.filt);
+            }
+            Some(bq) => bq.filtfilt_into(xs, out, &mut scratch.filt),
+            None => median_filter_into(xs, self.median_window, out),
+        }
+    }
+
+    /// Denoise a whole channel-major window at once.
+    ///
+    /// Channels are mutually independent, so for the common case (all
+    /// channels equal length, default median window 3) the work runs over
+    /// a time-major interleave where every time step updates all channels
+    /// as one lane-parallel strip — the median network and the biquad
+    /// recurrences vectorise across channels instead of crawling one
+    /// serial dependency chain per channel. Falls back to the per-channel
+    /// kernel for ragged windows or non-default median widths.
+    ///
+    /// `out` is resized to match `channels`; `scratch` is reused across
+    /// calls.
+    pub fn apply_window_into(
+        &self,
+        channels: &[Vec<f32>],
+        out: &mut Vec<Vec<f32>>,
+        scratch: &mut WindowDenoiseScratch,
+    ) {
+        out.resize(channels.len(), Vec::new());
+        let n = channels.first().map(Vec::len).unwrap_or(0);
+        let uniform = channels.iter().all(|c| c.len() == n);
+        if !uniform || (self.median_window > 1 && self.median_window != 3) || n < 2 {
+            for (c, d) in channels.iter().zip(out.iter_mut()) {
+                self.apply_into(c, d, &mut scratch.channel);
+            }
+            return;
+        }
+        let lanes = channels.len();
+        // Interleave: row t of `cur` holds sample t of every channel.
+        let cur = &mut scratch.a;
+        cur.clear();
+        cur.reserve(n * lanes);
+        for t in 0..n {
+            for ch in channels {
+                cur.push(ch[t]);
+            }
+        }
+        if self.median_window == 3 {
+            let med = &mut scratch.b;
+            med.clear();
+            med.reserve(n * lanes);
+            // Clamped edges: the sorted middle of a two-sample window is
+            // its larger element; interior rows take a median-of-three.
+            for c in 0..lanes {
+                med.push(cur[c].max(cur[lanes + c]));
+            }
+            for t in 1..n - 1 {
+                let (p, x, q) = (t - 1, t, t + 1);
+                for c in 0..lanes {
+                    let (a, b, d) = (cur[p * lanes + c], cur[x * lanes + c], cur[q * lanes + c]);
+                    med.push(a.max(b).min(a.min(b).max(d)));
+                }
+            }
+            for c in 0..lanes {
+                med.push(cur[(n - 2) * lanes + c].max(cur[(n - 1) * lanes + c]));
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        if let Some(bq) = self.lowpass {
+            bq.filtfilt_strip(&mut scratch.a, &mut scratch.state, lanes);
+        }
+        for (c, d) in out.iter_mut().enumerate() {
+            d.clear();
+            d.reserve(n);
+            for t in 0..n {
+                d.push(scratch.a[t * lanes + c]);
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`DenoiseKernel::apply_window_into`].
+#[derive(Debug, Default)]
+pub struct WindowDenoiseScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    state: Vec<f32>,
+    channel: DenoiseScratch,
 }
 
 #[cfg(test)]
@@ -317,6 +529,71 @@ mod tests {
     fn denoise_disabled_is_identity() {
         let xs = sine(7.0, 120.0, 60);
         assert_eq!(DenoiseConfig::disabled().apply(&xs), xs);
+    }
+
+    #[test]
+    fn window_denoise_matches_per_channel_kernel() {
+        let mut rng = magneto_tensor::SeededRng::new(7);
+        let channels: Vec<Vec<f32>> = (0..22)
+            .map(|c| {
+                (0..120)
+                    .map(|i| (TAU * (c + 1) as f32 * i as f32 / 120.0).sin() + rng.normal())
+                    .collect()
+            })
+            .collect();
+        for cfg in [
+            DenoiseConfig::default(),
+            DenoiseConfig::disabled(),
+            DenoiseConfig {
+                median_window: 5,
+                ..DenoiseConfig::default()
+            },
+            DenoiseConfig {
+                lowpass_cutoff_hz: None,
+                ..DenoiseConfig::default()
+            },
+            DenoiseConfig {
+                median_window: 1,
+                ..DenoiseConfig::default()
+            },
+        ] {
+            let kernel = cfg.kernel();
+            let mut out = Vec::new();
+            kernel.apply_window_into(
+                &channels,
+                &mut out,
+                &mut WindowDenoiseScratch::default(),
+            );
+            assert_eq!(out.len(), channels.len());
+            for (c, (got, raw)) in out.iter().zip(channels.iter()).enumerate() {
+                let want = cfg.apply(raw);
+                assert_eq!(got.len(), want.len());
+                for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                    assert!(
+                        (g - w).abs() <= 1e-5 * w.abs().max(1.0),
+                        "cfg {cfg:?} channel {c} sample {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_denoise_handles_ragged_and_empty_windows() {
+        let kernel = DenoiseConfig::default().kernel();
+        let mut scratch = WindowDenoiseScratch::default();
+        let mut out = Vec::new();
+        // Ragged channel lengths fall back to the per-channel path.
+        let ragged = vec![vec![1.0; 50], vec![2.0; 120]];
+        kernel.apply_window_into(&ragged, &mut out, &mut scratch);
+        assert_eq!(out[0], DenoiseConfig::default().apply(&ragged[0]));
+        assert_eq!(out[1], DenoiseConfig::default().apply(&ragged[1]));
+        // Empty input.
+        kernel.apply_window_into(&[], &mut out, &mut scratch);
+        assert!(out.is_empty());
+        // Output shrinks when reused on a smaller window.
+        kernel.apply_window_into(&ragged[..1], &mut out, &mut scratch);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -95,10 +95,13 @@ impl PreprocessingPipeline {
     /// Propagates extractor errors on malformed windows or a wrong-length
     /// output slice.
     pub fn raw_features_into(&self, channels: &[Vec<f32>], out: &mut [f32]) -> Result<()> {
-        let denoised: Vec<Vec<f32>> = channels
-            .iter()
-            .map(|c| self.config.denoise.apply(c))
-            .collect();
+        // One compiled kernel denoises the whole window lane-parallel
+        // across channels; only the denoised per-channel outputs are
+        // allocated.
+        let kernel = self.config.denoise.kernel();
+        let mut scratch = crate::filter::WindowDenoiseScratch::default();
+        let mut denoised: Vec<Vec<f32>> = Vec::new();
+        kernel.apply_window_into(channels, &mut denoised, &mut scratch);
         self.extractor.extract_into(&denoised, out)
     }
 

@@ -2,10 +2,13 @@
 //!
 //! Cadence (Walk ≈ 1.9 Hz vs Run ≈ 2.8 Hz) and vibration bands
 //! (E-scooter ≈ 9–19 Hz vs Drive ≈ 22–38 Hz) are fundamentally spectral
-//! signatures, so a handful of the 80 features are frequency-domain. For
-//! 120-sample windows a naive `O(n·k)` DFT over `k = n/2` bins is a few
-//! thousand multiply-adds — cheaper than setting up an FFT and trivially
-//! allocation-free per bin.
+//! signatures, so a handful of the 80 features are frequency-domain. The
+//! spectrum is evaluated by a bank of Goertzel resonators updated
+//! lane-parallel across bins — `O(n·k)` like the naive DFT but with one
+//! fused multiply-add per (sample, bin) instead of a `sin_cos` call, so
+//! LLVM vectorises the bin loop the same way it does the dense kernels in
+//! `magneto-tensor`. Several summaries of the same series should share one
+//! [`dft_magnitudes`] call via the `*_of` variants.
 
 use std::f32::consts::TAU;
 
@@ -18,35 +21,51 @@ pub fn dft_magnitudes(xs: &[f32]) -> Vec<f32> {
     }
     let mean = xs.iter().sum::<f32>() / n as f32;
     let half = n / 2;
-    let mut mags = Vec::with_capacity(half);
-    for k in 1..=half {
-        let mut re = 0.0f32;
-        let mut im = 0.0f32;
-        let w = TAU * k as f32 / n as f32;
-        for (i, &x) in xs.iter().enumerate() {
-            let (s, c) = (w * i as f32).sin_cos();
-            let v = x - mean; // remove DC so bin 0 leakage doesn't dominate
-            re += v * c;
-            im -= v * s;
+    // Goertzel bank: bin k resonates at w_k = TAU*k/n under
+    //   s0 = v + 2cos(w_k)*s1 - s2,
+    // and after the full pass X_k = s1 - e^{-j w_k} s2, i.e.
+    //   re = s1 - cos(w_k)*s2,  im = -sin(w_k)*s2
+    // (conjugate convention; magnitudes are identical either way).
+    let mut coeff = vec![0.0f32; half];
+    let mut s1 = vec![0.0f32; half];
+    let mut s2 = vec![0.0f32; half];
+    for (k, c) in coeff.iter_mut().enumerate() {
+        *c = 2.0 * (TAU * (k + 1) as f32 / n as f32).cos();
+    }
+    for &x in xs {
+        let v = x - mean; // remove DC so bin 0 leakage doesn't dominate
+        for k in 0..half {
+            let s0 = v + coeff[k] * s1[k] - s2[k];
+            s2[k] = s1[k];
+            s1[k] = s0;
         }
+    }
+    let mut mags = Vec::with_capacity(half);
+    for k in 0..half {
+        let w = TAU * (k + 1) as f32 / n as f32;
+        let re = s1[k] - w.cos() * s2[k];
+        let im = -(w.sin() * s2[k]);
         mags.push((re * re + im * im).sqrt() * 2.0 / n as f32);
     }
     mags
 }
 
-/// Frequency (Hz) of the strongest non-DC bin; `0.0` for degenerate input.
-pub fn dominant_frequency(xs: &[f32], sample_rate_hz: f32) -> f32 {
-    let mags = dft_magnitudes(xs);
-    match magneto_tensor::vector::argmax(&mags) {
-        Some(i) if mags[i] > 1e-9 => (i + 1) as f32 * sample_rate_hz / xs.len() as f32,
+/// [`dominant_frequency`] over a precomputed spectrum of a length-`n`
+/// series (as returned by [`dft_magnitudes`]).
+pub fn dominant_frequency_of(mags: &[f32], n: usize, sample_rate_hz: f32) -> f32 {
+    match magneto_tensor::vector::argmax(mags) {
+        Some(i) if mags[i] > 1e-9 && n > 0 => (i + 1) as f32 * sample_rate_hz / n as f32,
         _ => 0.0,
     }
 }
 
-/// Shannon entropy (nats) of the normalised magnitude spectrum. Low for a
-/// pure tone (Walk cadence), high for broadband vibration (Drive).
-pub fn spectral_entropy(xs: &[f32]) -> f32 {
-    let mags = dft_magnitudes(xs);
+/// Frequency (Hz) of the strongest non-DC bin; `0.0` for degenerate input.
+pub fn dominant_frequency(xs: &[f32], sample_rate_hz: f32) -> f32 {
+    dominant_frequency_of(&dft_magnitudes(xs), xs.len(), sample_rate_hz)
+}
+
+/// [`spectral_entropy`] over a precomputed spectrum.
+pub fn spectral_entropy_of(mags: &[f32]) -> f32 {
     let total: f32 = mags.iter().sum();
     if total < 1e-12 {
         return 0.0;
@@ -58,6 +77,12 @@ pub fn spectral_entropy(xs: &[f32]) -> f32 {
             -p * p.ln()
         })
         .sum()
+}
+
+/// Shannon entropy (nats) of the normalised magnitude spectrum. Low for a
+/// pure tone (Walk cadence), high for broadband vibration (Drive).
+pub fn spectral_entropy(xs: &[f32]) -> f32 {
+    spectral_entropy_of(&dft_magnitudes(xs))
 }
 
 /// Magnitude-weighted mean frequency (Hz); the spectrum's centre of mass.
@@ -75,15 +100,14 @@ pub fn spectral_centroid(xs: &[f32], sample_rate_hz: f32) -> f32 {
         / total
 }
 
-/// Fraction of spectral energy inside `[lo_hz, hi_hz]` (inclusive),
-/// in `[0, 1]`.
-pub fn band_energy_ratio(xs: &[f32], sample_rate_hz: f32, lo_hz: f32, hi_hz: f32) -> f32 {
-    let mags = dft_magnitudes(xs);
+/// [`band_energy_ratio`] over a precomputed spectrum of a length-`n`
+/// series.
+pub fn band_energy_ratio_of(mags: &[f32], n: usize, sample_rate_hz: f32, lo_hz: f32, hi_hz: f32) -> f32 {
     let total: f32 = mags.iter().map(|m| m * m).sum();
-    if total < 1e-12 {
+    if total < 1e-12 || n == 0 {
         return 0.0;
     }
-    let n = xs.len() as f32;
+    let n = n as f32;
     let band: f32 = mags
         .iter()
         .enumerate()
@@ -94,6 +118,12 @@ pub fn band_energy_ratio(xs: &[f32], sample_rate_hz: f32, lo_hz: f32, hi_hz: f32
         .map(|(_, &m)| m * m)
         .sum();
     band / total
+}
+
+/// Fraction of spectral energy inside `[lo_hz, hi_hz]` (inclusive),
+/// in `[0, 1]`.
+pub fn band_energy_ratio(xs: &[f32], sample_rate_hz: f32, lo_hz: f32, hi_hz: f32) -> f32 {
+    band_energy_ratio_of(&dft_magnitudes(xs), xs.len(), sample_rate_hz, lo_hz, hi_hz)
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Fleet runtime configuration.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Tuning knobs for the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Session shards. A session lives on shard `id % shards` for its
+    /// whole life, and each shard is drained by exactly one worker, so
+    /// per-session request order is preserved end to end.
+    pub shards: usize,
+    /// Worker threads. `0` selects deterministic inline mode: no threads
+    /// are spawned and the caller drives processing via
+    /// [`crate::Fleet::pump`] — single-threaded, reproducible, and
+    /// bit-identical to the threaded modes (which only change *when*
+    /// windows are processed, never *what* they compute).
+    pub workers: usize,
+    /// Pending-window bound per shard. A full queue rejects with
+    /// [`crate::SubmitError::QueueFull`] instead of buffering without
+    /// limit — explicit backpressure, never unbounded memory.
+    pub queue_capacity: usize,
+    /// Most windows drained into one scheduling cycle (and therefore the
+    /// largest possible micro-batch).
+    pub max_batch: usize,
+    /// Admission control: most in-flight (queued or executing) windows
+    /// one session may have.
+    pub max_inflight_per_session: usize,
+    /// Admission control: most in-flight windows fleet-wide.
+    pub max_inflight_global: usize,
+    /// Retry hint handed back with every rejection.
+    pub retry_after: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 64,
+            max_inflight_per_session: 32,
+            max_inflight_global: 1024,
+            retry_after: Duration::from_millis(2),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The deterministic single-threaded configuration: one shard, no
+    /// workers, caller-driven [`crate::Fleet::pump`].
+    pub fn deterministic() -> Self {
+        FleetConfig {
+            shards: 1,
+            workers: 0,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    /// A description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("fleet needs at least one shard".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max batch must be positive".into());
+        }
+        if self.max_inflight_per_session == 0 || self.max_inflight_global == 0 {
+            return Err("in-flight limits must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(FleetConfig::default().validate().is_ok());
+        assert!(FleetConfig::deterministic().validate().is_ok());
+        assert_eq!(FleetConfig::deterministic().workers, 0);
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        for bad in [
+            FleetConfig {
+                shards: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                queue_capacity: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                max_batch: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                max_inflight_per_session: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                max_inflight_global: 0,
+                ..FleetConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = FleetConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

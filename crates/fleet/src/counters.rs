@@ -1,0 +1,116 @@
+//! Per-shard serving counters.
+
+use magneto_core::inference::{LatencyRecorder, LatencyStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Live counters for one shard. Counts are atomics (touched on the
+/// submit fast path); the latency recorder sits behind its own mutex and
+/// is only touched by the shard's single draining worker.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub batches: AtomicU64,
+    pub windows: AtomicU64,
+    pub max_batch: AtomicU64,
+    pub latency: Mutex<LatencyRecorder>,
+}
+
+impl ShardCounters {
+    /// Fold one executed micro-batch into the counters.
+    pub fn record_batch(&self, size: usize, per_window_latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.windows.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        let mut rec = self.latency.lock().expect("latency lock");
+        for _ in 0..size {
+            rec.record(per_window_latency);
+        }
+    }
+
+    /// Snapshot into a report row.
+    pub fn snapshot(&self, shard: usize, sessions: usize, pending: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            sessions,
+            pending,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            windows: self.windows.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            latency: self.latency.lock().expect("latency lock").stats(),
+        }
+    }
+}
+
+/// A point-in-time view of one shard's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions registered on the shard.
+    pub sessions: usize,
+    /// Windows currently queued (bounded by `queue_capacity`).
+    pub pending: usize,
+    /// Windows admitted since start.
+    pub accepted: u64,
+    /// Windows rejected by backpressure since start.
+    pub rejected: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Windows served.
+    pub windows: u64,
+    /// Largest micro-batch executed.
+    pub max_batch: u64,
+    /// Amortised per-window serving latency distribution (p50–p99).
+    pub latency: LatencyStats,
+}
+
+impl ShardStats {
+    /// Mean windows per executed micro-batch; `0.0` before any batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.windows as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_and_snapshot() {
+        let c = ShardCounters::default();
+        c.accepted.fetch_add(10, Ordering::Relaxed);
+        c.rejected.fetch_add(2, Ordering::Relaxed);
+        c.record_batch(6, Duration::from_micros(100));
+        c.record_batch(4, Duration::from_micros(300));
+        let s = c.snapshot(3, 5, 1);
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.sessions, 5);
+        assert_eq!(s.pending, 1);
+        assert_eq!(s.accepted, 10);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.windows, 10);
+        assert_eq!(s.max_batch, 6);
+        assert!((s.mean_batch() - 5.0).abs() < 1e-12);
+        assert_eq!(s.latency.count, 10);
+        assert!(s.latency.p99_us >= s.latency.p50_us);
+    }
+
+    #[test]
+    fn empty_counters_report_zero() {
+        let c = ShardCounters::default();
+        let s = c.snapshot(0, 0, 0);
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.mean_batch(), 0.0);
+        assert_eq!(s.latency, LatencyStats::default());
+    }
+}

@@ -1,0 +1,535 @@
+//! The serving runtime: sharded session registry, bounded queues,
+//! micro-batching worker loop.
+
+use crate::config::FleetConfig;
+use crate::counters::{ShardCounters, ShardStats};
+use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
+use magneto_core::inference::{infer_batch, BatchJob};
+use magneto_core::{BatchEmbedder, EdgeDevice};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One pending window.
+struct Request {
+    session: u64,
+    seq: u64,
+    window: Vec<Vec<f32>>,
+}
+
+/// One registered per-user session. The device is owned by the fleet;
+/// all mutation goes through [`Fleet::update_session`], which re-keys the
+/// session so its personalised weights are never batched with anyone
+/// else's.
+struct SessionEntry {
+    device: EdgeDevice,
+    key: ModelKey,
+    tx: Sender<FleetReply>,
+}
+
+/// Admission-control state, guarded by the queue mutex so the submit
+/// fast path takes exactly one lock.
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Request>,
+    /// Queued + executing windows per session. A session's entry exists
+    /// from registration to deregistration, so a missing entry means an
+    /// unknown session.
+    inflight: HashMap<u64, usize>,
+    /// Next per-session submission sequence number.
+    seqs: HashMap<u64, u64>,
+}
+
+struct Shard {
+    queue: Mutex<QueueState>,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    counters: ShardCounters,
+}
+
+/// Wake-up signal for one worker thread.
+struct WorkerSignal {
+    work: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct Inner {
+    config: FleetConfig,
+    shards: Vec<Shard>,
+    signals: Vec<WorkerSignal>,
+    global_inflight: AtomicUsize,
+    next_session: AtomicU64,
+    next_key: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The concurrent multi-device serving runtime.
+///
+/// Owns N per-user [`EdgeDevice`] sessions behind a sharded registry,
+/// admits sensor windows through bounded per-shard queues (rejecting
+/// with a retry hint under load), and serves them with per-worker
+/// micro-batching schedulers: each drain cycle groups pending windows
+/// *across sessions* by [`ModelKey`] and runs every group through the
+/// shared backbone as one `(batch, dim)` forward pass, scattering the
+/// per-window NCM predictions back to each session's reply channel.
+///
+/// Sessions never share user data — a window is featurised with its own
+/// session's pipeline and classified against its own prototypes; only
+/// the backbone matmul is shared, and only between sessions whose model
+/// keys attest bit-identical weights. Outputs are bit-identical to
+/// driving each device sequentially (property-tested), at any worker or
+/// shard count.
+pub struct Fleet {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    /// Embedder for inline (`workers == 0`) pumping.
+    inline_embedder: BatchEmbedder,
+}
+
+impl Fleet {
+    /// Start a fleet. With `config.workers == 0` no threads are spawned
+    /// and the caller drives serving via [`pump`](Self::pump).
+    ///
+    /// # Errors
+    /// A description of the first invalid configuration knob.
+    pub fn new(config: FleetConfig) -> Result<Self, String> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                queue: Mutex::new(QueueState::default()),
+                sessions: Mutex::new(HashMap::new()),
+                counters: ShardCounters::default(),
+            })
+            .collect();
+        let signals = (0..config.workers)
+            .map(|_| WorkerSignal {
+                work: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            config,
+            shards,
+            signals,
+            global_inflight: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+            next_key: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        Ok(Fleet {
+            inner,
+            workers,
+            inline_embedder: BatchEmbedder::new(),
+        })
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.inner.config
+    }
+
+    /// Register a session, taking ownership of its device. `key` attests
+    /// the device's model weights: pass the same key for sessions
+    /// deployed from the same bundle ([`ModelKey::of_bundle`]) so the
+    /// scheduler may batch them together. Returns the session handle and
+    /// the channel its predictions arrive on.
+    pub fn register(&self, device: EdgeDevice, key: ModelKey) -> (SessionId, Receiver<FleetReply>) {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.inner.shards[id as usize % self.inner.config.shards];
+        let (tx, rx) = channel();
+        {
+            let mut q = shard.queue.lock().expect("queue lock");
+            q.inflight.insert(id, 0);
+            q.seqs.insert(id, 0);
+        }
+        shard
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .insert(id, SessionEntry { device, key, tx });
+        (SessionId(id), rx)
+    }
+
+    /// Remove a session, returning its device (with all personalised
+    /// state). Still-queued windows for it are dropped unserved.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn deregister(&self, id: SessionId) -> Result<EdgeDevice, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let entry = shard
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .remove(&id.0)
+            .ok_or(SubmitError::UnknownSession(id))?;
+        let mut q = shard.queue.lock().expect("queue lock");
+        // Queued (not yet popped) windows die with the session; executing
+        // ones finish and decrement the remainder themselves.
+        let queued = q.pending.iter().filter(|r| r.session == id.0).count();
+        q.pending.retain(|r| r.session != id.0);
+        if let Some(inflight) = q.inflight.remove(&id.0) {
+            debug_assert!(inflight >= queued);
+            self.inner.global_inflight.fetch_sub(queued, Ordering::AcqRel);
+        }
+        q.seqs.remove(&id.0);
+        Ok(entry.device)
+    }
+
+    /// Submit one channel-major sensor window for a session. On success
+    /// returns the per-session sequence number its [`FleetReply`] will
+    /// carry. Under load this *rejects* — bounded queues plus in-flight
+    /// caps, never unbounded buffering; the error carries a retry hint.
+    ///
+    /// # Errors
+    /// [`SubmitError`] on backpressure, unknown session, or shutdown.
+    pub fn submit(&self, id: SessionId, window: Vec<Vec<f32>>) -> Result<u64, SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let config = &self.inner.config;
+        let shard_idx = id.0 as usize % config.shards;
+        let shard = &self.inner.shards[shard_idx];
+        let seq = {
+            let mut q = shard.queue.lock().expect("queue lock");
+            let Some(&inflight) = q.inflight.get(&id.0) else {
+                return Err(SubmitError::UnknownSession(id));
+            };
+            if q.pending.len() >= config.queue_capacity {
+                shard.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull {
+                    shard: shard_idx,
+                    retry_after: config.retry_after,
+                });
+            }
+            if inflight >= config.max_inflight_per_session {
+                shard.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::SessionBusy {
+                    in_flight: inflight,
+                    retry_after: config.retry_after,
+                });
+            }
+            let global = self.inner.global_inflight.load(Ordering::Acquire);
+            if global >= config.max_inflight_global {
+                shard.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::FleetBusy {
+                    in_flight: global,
+                    retry_after: config.retry_after,
+                });
+            }
+            let seq = q.seqs.get_mut(&id.0).expect("seq entry");
+            let this_seq = *seq;
+            *seq += 1;
+            *q.inflight.get_mut(&id.0).expect("inflight entry") += 1;
+            self.inner.global_inflight.fetch_add(1, Ordering::AcqRel);
+            q.pending.push_back(Request {
+                session: id.0,
+                seq: this_seq,
+                window,
+            });
+            shard.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            this_seq
+        };
+        self.wake_worker_for(shard_idx);
+        Ok(seq)
+    }
+
+    /// Mutate a session's device (learn a new activity, calibrate,
+    /// import a class pack). The session is re-keyed with a fleet-issued
+    /// unique [`ModelKey`] afterwards: its weights may have diverged, so
+    /// it must never again batch with sessions holding the old key.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn update_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut EdgeDevice) -> R,
+    ) -> Result<R, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = shard.sessions.lock().expect("sessions lock");
+        let entry = sessions
+            .get_mut(&id.0)
+            .ok_or(SubmitError::UnknownSession(id))?;
+        let out = f(&mut entry.device);
+        entry.key = ModelKey::unique(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        Ok(out)
+    }
+
+    /// Read-only access to a session's device.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&EdgeDevice) -> R,
+    ) -> Result<R, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = shard.sessions.lock().expect("sessions lock");
+        let entry = sessions.get(&id.0).ok_or(SubmitError::UnknownSession(id))?;
+        Ok(f(&entry.device))
+    }
+
+    /// The model key a session currently serves under.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn session_key(&self, id: SessionId) -> Result<ModelKey, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = shard.sessions.lock().expect("sessions lock");
+        sessions
+            .get(&id.0)
+            .map(|e| e.key)
+            .ok_or(SubmitError::UnknownSession(id))
+    }
+
+    /// Deterministic inline serving: drain every shard on the caller's
+    /// thread until all queues are empty, and return how many windows
+    /// were served. This is the `workers == 0` single-threaded mode —
+    /// same drain logic, same grouping, same kernels as the threaded
+    /// path, so outputs are bit-identical; only scheduling differs. Safe
+    /// (but rarely useful) to call while workers are also running.
+    pub fn pump(&mut self) -> usize {
+        let mut served = 0;
+        loop {
+            let mut round = 0;
+            for s in 0..self.inner.config.shards {
+                round += drain_shard(&self.inner, s, &mut self.inline_embedder);
+            }
+            if round == 0 {
+                return served;
+            }
+            served += round;
+        }
+    }
+
+    /// Block until no window is queued or executing, or until `timeout`.
+    /// Returns `true` when the fleet went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let idle = self.inner.global_inflight.load(Ordering::Acquire) == 0;
+            if idle {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Point-in-time serving statistics for every shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let sessions = s.sessions.lock().expect("sessions lock").len();
+                let pending = s.queue.lock().expect("queue lock").pending.len();
+                s.counters.snapshot(i, sessions, pending)
+            })
+            .collect()
+    }
+
+    /// Windows currently in flight (queued or executing) fleet-wide.
+    pub fn in_flight(&self) -> usize {
+        self.inner.global_inflight.load(Ordering::Acquire)
+    }
+
+    /// Stop admitting, serve everything still queued, and join the
+    /// workers. Consumes the fleet.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for sig in &self.inner.signals {
+            let _unused = sig.work.lock().expect("signal lock");
+            sig.cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _joined = handle.join();
+        }
+        // Inline mode (or anything left after the workers exited, which
+        // drain-before-exit should make empty): serve the remainder.
+        self.pump();
+    }
+
+    fn wake_worker_for(&self, shard: usize) {
+        let workers = self.inner.config.workers;
+        if workers == 0 {
+            return;
+        }
+        let sig = &self.inner.signals[shard % workers];
+        let mut work = sig.work.lock().expect("signal lock");
+        *work = true;
+        sig.cv.notify_one();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// One worker: waits for its signal, then drains every shard it owns
+/// (shards are partitioned `shard % workers == w`, so no two workers
+/// ever drain the same shard and per-session FIFO order is preserved).
+fn worker_loop(inner: &Inner, w: usize) {
+    let mut embedder = BatchEmbedder::new();
+    let owned: Vec<usize> = (0..inner.config.shards)
+        .filter(|s| s % inner.config.workers == w)
+        .collect();
+    loop {
+        {
+            let sig = &inner.signals[w];
+            let mut work = sig.work.lock().expect("signal lock");
+            while !*work && !inner.shutdown.load(Ordering::Acquire) {
+                let (next, _timeout) = sig
+                    .cv
+                    .wait_timeout(work, Duration::from_millis(50))
+                    .expect("signal wait");
+                work = next;
+            }
+            *work = false;
+        }
+        loop {
+            let mut drained = 0;
+            for &s in &owned {
+                drained += drain_shard(inner, s, &mut embedder);
+            }
+            if drained == 0 {
+                break;
+            }
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            // Final sweep so nothing accepted before shutdown is lost.
+            for &s in &owned {
+                while drain_shard(inner, s, &mut embedder) > 0 {}
+            }
+            return;
+        }
+    }
+}
+
+/// Drain one scheduling cycle from a shard: pop up to `max_batch`
+/// pending windows, group them by model key, run each group through the
+/// shared backbone as one forward pass, and scatter replies. Returns the
+/// number of windows served.
+fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) -> usize {
+    let shard = &inner.shards[shard_idx];
+    let popped: Vec<Request> = {
+        let mut q = shard.queue.lock().expect("queue lock");
+        let n = q.pending.len().min(inner.config.max_batch);
+        q.pending.drain(..n).collect()
+    };
+    if popped.is_empty() {
+        return 0;
+    }
+
+    {
+        let mut sessions = shard.sessions.lock().expect("sessions lock");
+        // Group request indices by model key, preserving pop order within
+        // each group (pop order preserves per-session submission order).
+        let mut groups: BTreeMap<ModelKey, Vec<usize>> = BTreeMap::new();
+        for (i, req) in popped.iter().enumerate() {
+            if let Some(entry) = sessions.get(&req.session) {
+                groups.entry(entry.key).or_default().push(i);
+            }
+            // A session deregistered after enqueue: its windows are
+            // dropped; deregister already reconciled the accounting for
+            // queued windows it removed, and any that were already
+            // popped are reconciled below like served ones.
+        }
+
+        for indices in groups.values() {
+            let start = Instant::now();
+            let jobs: Vec<BatchJob<'_>> = indices
+                .iter()
+                .map(|&i| {
+                    let req = &popped[i];
+                    let view = sessions
+                        .get(&req.session)
+                        .expect("grouped session present")
+                        .device
+                        .inference_view();
+                    BatchJob {
+                        pipeline: view.pipeline,
+                        ncm: view.ncm,
+                        window: &req.window,
+                    }
+                })
+                .collect();
+            let model = sessions
+                .get(&popped[indices[0]].session)
+                .expect("grouped session present")
+                .device
+                .inference_view()
+                .model;
+            let outcome = infer_batch(model, &jobs, embedder);
+            drop(jobs);
+            let per_window = start.elapsed() / indices.len() as u32;
+            shard.counters.record_batch(indices.len(), per_window);
+
+            match outcome {
+                Ok(preds) => {
+                    for (&i, pred) in indices.iter().zip(preds) {
+                        let req = &popped[i];
+                        if let Some(entry) = sessions.get_mut(&req.session) {
+                            entry.device.note_latency(pred.latency);
+                            let _receiver_gone = entry.tx.send(FleetReply {
+                                session: SessionId(req.session),
+                                seq: req.seq,
+                                outcome: Ok(pred),
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for &i in indices {
+                        let req = &popped[i];
+                        if let Some(entry) = sessions.get(&req.session) {
+                            let _receiver_gone = entry.tx.send(FleetReply {
+                                session: SessionId(req.session),
+                                seq: req.seq,
+                                outcome: Err(msg.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconcile in-flight accounting for everything popped this cycle
+    // (served or dropped-with-session alike).
+    {
+        let mut q = shard.queue.lock().expect("queue lock");
+        for req in &popped {
+            if let Some(n) = q.inflight.get_mut(&req.session) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+    inner.global_inflight.fetch_sub(popped.len(), Ordering::AcqRel);
+    popped.len()
+}

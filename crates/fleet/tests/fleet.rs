@@ -1,0 +1,361 @@
+//! Fleet integration tests: the determinism guarantee (fleet output is
+//! bit-identical to sequential per-device inference at any worker/shard
+//! count), explicit backpressure, admission control, re-keying, and
+//! cross-session isolation.
+
+use magneto_core::{
+    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, Prediction,
+};
+use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, SubmitError};
+use magneto_sensors::pool::StreamPool;
+use magneto_sensors::stream::StreamConfig;
+use magneto_sensors::{ActivityKind, GeneratorConfig, PersonProfile, SensorDataset};
+use proptest::prelude::*;
+use std::sync::mpsc::Receiver;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn bundle() -> &'static EdgeBundle {
+    static BUNDLE: OnceLock<EdgeBundle> = OnceLock::new();
+    BUNDLE.get_or_init(|| {
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 1);
+        CloudInitializer::new(CloudConfig::fast_demo())
+            .pretrain(&corpus)
+            .unwrap()
+            .0
+    })
+}
+
+fn device() -> EdgeDevice {
+    EdgeDevice::deploy(bundle().clone(), EdgeConfig::default()).unwrap()
+}
+
+fn traffic(users: usize, rounds: usize, seed: u64) -> Vec<Vec<Vec<Vec<f32>>>> {
+    let mut pool = StreamPool::new(
+        users,
+        &ActivityKind::BASE_FIVE,
+        120,
+        StreamConfig::ideal(),
+        seed,
+    );
+    let mut per_user = vec![Vec::new(); users];
+    for _ in 0..rounds {
+        for (u, w) in pool.next_round().into_iter().enumerate() {
+            per_user[u].push(w);
+        }
+    }
+    per_user
+}
+
+fn submit_retrying(fleet: &Fleet, id: SessionId, window: &[Vec<f32>]) -> u64 {
+    loop {
+        match fleet.submit(id, window.to_vec()) {
+            Ok(seq) => return seq,
+            Err(e) if e.retry_after().is_some() => std::thread::sleep(Duration::from_micros(100)),
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+}
+
+fn collect(rx: &Receiver<FleetReply>, n: usize) -> Vec<FleetReply> {
+    (0..n)
+        .map(|i| {
+            rx.recv_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("reply {i}/{n} never arrived"))
+        })
+        .collect()
+}
+
+/// Drive the same per-user traffic through a fleet and through plain
+/// sequential per-device `infer_window`, and assert bit-identical
+/// outputs and per-session FIFO ordering.
+fn assert_fleet_matches_sequential(workers: usize, shards: usize, seed: u64) {
+    let users = 5;
+    let rounds = 3;
+    let per_user = traffic(users, rounds, seed);
+
+    // Sequential oracle: each user's own device, windows in order.
+    let oracle: Vec<Vec<Prediction>> = per_user
+        .iter()
+        .map(|windows| {
+            let mut dev = device();
+            windows
+                .iter()
+                .map(|w| dev.infer_window(w).unwrap())
+                .collect()
+        })
+        .collect();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        workers,
+        shards,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let key = ModelKey::of_bundle(bundle());
+    let registered: Vec<(SessionId, Receiver<FleetReply>)> =
+        (0..users).map(|_| fleet.register(device(), key)).collect();
+
+    // Interleave submissions round-robin, the worst case for accidental
+    // cross-session mixups.
+    for r in 0..rounds {
+        for (u, (id, _)) in registered.iter().enumerate() {
+            submit_retrying(&fleet, *id, &per_user[u][r]);
+        }
+    }
+    if workers == 0 {
+        fleet.pump();
+    } else {
+        assert!(fleet.wait_idle(Duration::from_secs(30)), "fleet never idled");
+    }
+
+    for (u, (id, rx)) in registered.iter().enumerate() {
+        let replies = collect(rx, rounds);
+        for (r, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.session, *id);
+            assert_eq!(reply.seq, r as u64, "user {u} replies out of order");
+            let got = reply.outcome.as_ref().unwrap();
+            let want = &oracle[u][r];
+            assert_eq!(got.label, want.label, "user {u} round {r}");
+            assert_eq!(got.confidence, want.confidence, "user {u} round {r}");
+            assert_eq!(got.distances, want.distances, "user {u} round {r}");
+        }
+    }
+
+    let stats = fleet.shard_stats();
+    let served: u64 = stats.iter().map(|s| s.windows).sum();
+    assert_eq!(served, (users * rounds) as u64);
+    // Micro-batching actually happened: everyone shares one model key,
+    // so at least one batch held more than one window.
+    let max_batch = stats.iter().map(|s| s.max_batch).max().unwrap();
+    assert!(max_batch >= 1);
+    fleet.shutdown();
+}
+
+#[test]
+fn fleet_output_is_bit_identical_at_1_2_and_8_workers() {
+    for workers in [1, 2, 8] {
+        assert_fleet_matches_sequential(workers, 3, 77);
+    }
+}
+
+#[test]
+fn deterministic_pump_mode_matches_sequential() {
+    assert_fleet_matches_sequential(0, 1, 78);
+    assert_fleet_matches_sequential(0, 4, 78);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The determinism guarantee, property-tested over the scheduling
+    /// space: any worker count, any shard count, any traffic seed.
+    #[test]
+    fn fleet_matches_sequential_for_any_topology(
+        workers in prop::sample::select(vec![0usize, 1, 2, 8]),
+        shards in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        assert_fleet_matches_sequential(workers, shards, seed);
+    }
+}
+
+#[test]
+fn saturated_shard_rejects_instead_of_growing() {
+    // No workers and no pumping: the queue can only fill.
+    let capacity = 8;
+    let fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        queue_capacity: capacity,
+        max_inflight_per_session: 1000,
+        max_inflight_global: 1000,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (id, rx) = fleet.register(device(), ModelKey::shared(1));
+    let window = traffic(1, 1, 5)[0][0].clone();
+
+    let mut accepted = 0;
+    let mut rejections = 0;
+    for _ in 0..(capacity * 4) {
+        match fleet.submit(id, window.clone()) {
+            Ok(_) => accepted += 1,
+            Err(SubmitError::QueueFull { shard, retry_after }) => {
+                assert_eq!(shard, 0);
+                assert!(retry_after > Duration::ZERO);
+                rejections += 1;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+        // The queue never grows past its bound.
+        assert!(fleet.shard_stats()[0].pending <= capacity);
+    }
+    assert_eq!(accepted, capacity);
+    assert_eq!(rejections, capacity * 3);
+    let stats = &fleet.shard_stats()[0];
+    assert_eq!(stats.accepted, capacity as u64);
+    assert_eq!(stats.rejected, (capacity * 3) as u64);
+
+    // Draining serves exactly the admitted windows and frees capacity.
+    let mut fleet = fleet;
+    assert_eq!(fleet.pump(), capacity);
+    assert_eq!(collect(&rx, capacity).len(), capacity);
+    assert!(fleet.submit(id, window).is_ok());
+}
+
+#[test]
+fn per_session_and_global_inflight_caps_apply() {
+    let fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 2,
+        queue_capacity: 100,
+        max_inflight_per_session: 2,
+        max_inflight_global: 3,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (a, _rx_a) = fleet.register(device(), ModelKey::shared(1));
+    let (b, _rx_b) = fleet.register(device(), ModelKey::shared(1));
+    let window = traffic(1, 1, 6)[0][0].clone();
+
+    assert!(fleet.submit(a, window.clone()).is_ok());
+    assert!(fleet.submit(a, window.clone()).is_ok());
+    assert!(matches!(
+        fleet.submit(a, window.clone()),
+        Err(SubmitError::SessionBusy { in_flight: 2, .. })
+    ));
+    assert!(fleet.submit(b, window.clone()).is_ok());
+    assert!(matches!(
+        fleet.submit(b, window.clone()),
+        Err(SubmitError::FleetBusy { in_flight: 3, .. })
+    ));
+    assert_eq!(fleet.in_flight(), 3);
+}
+
+#[test]
+fn personalisation_rekeys_a_session() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let key = ModelKey::of_bundle(bundle());
+    let (a, rx_a) = fleet.register(device(), key);
+    let (b, rx_b) = fleet.register(device(), key);
+    assert_eq!(fleet.session_key(a).unwrap(), fleet.session_key(b).unwrap());
+
+    // Session A learns a private gesture on-device, through the fleet.
+    let recording = SensorDataset::record_session(
+        "secret_gesture",
+        ActivityKind::GestureHi,
+        PersonProfile::nominal(),
+        25.0,
+        9,
+    );
+    fleet
+        .update_session(a, |dev| {
+            dev.learn_new_activity("secret_gesture", &recording).unwrap();
+        })
+        .unwrap();
+    let key_a = fleet.session_key(a).unwrap();
+    assert!(key_a.is_unique());
+    assert_ne!(key_a, fleet.session_key(b).unwrap());
+
+    // Both still serve; B's predictions never mention A's class.
+    let per_user = traffic(2, 2, 10);
+    for r in 0..2 {
+        fleet.submit(a, per_user[0][r].clone()).unwrap();
+        fleet.submit(b, per_user[1][r].clone()).unwrap();
+    }
+    fleet.pump();
+    let classes_b = fleet.with_session(b, |dev| dev.classes()).unwrap();
+    for reply in collect(&rx_a, 2) {
+        let pred = reply.outcome.unwrap();
+        assert_eq!(pred.distances.len(), 6); // 5 base + the new gesture
+    }
+    for reply in collect(&rx_b, 2) {
+        let pred = reply.outcome.unwrap();
+        assert_eq!(pred.distances.len(), 5);
+        assert!(classes_b.contains(&pred.label));
+        assert_ne!(pred.label, "secret_gesture");
+    }
+}
+
+#[test]
+fn deregister_returns_device_and_drops_queued_windows() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (a, rx_a) = fleet.register(device(), ModelKey::shared(1));
+    let (b, rx_b) = fleet.register(device(), ModelKey::shared(1));
+    let window = traffic(1, 1, 11)[0][0].clone();
+    fleet.submit(a, window.clone()).unwrap();
+    fleet.submit(b, window.clone()).unwrap();
+
+    let dev_a = fleet.deregister(a).unwrap();
+    assert_eq!(dev_a.classes().len(), 5);
+    assert!(matches!(
+        fleet.submit(a, window.clone()),
+        Err(SubmitError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        fleet.deregister(a),
+        Err(SubmitError::UnknownSession(_))
+    ));
+
+    // B's window still serves; A's died with the session.
+    fleet.pump();
+    assert!(rx_b.recv_timeout(Duration::from_secs(5)).is_ok());
+    assert!(rx_a.try_recv().is_err());
+    assert_eq!(fleet.in_flight(), 0);
+}
+
+#[test]
+fn shutdown_serves_everything_already_admitted() {
+    let fleet = Fleet::new(FleetConfig {
+        workers: 2,
+        shards: 2,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let key = ModelKey::of_bundle(bundle());
+    let sessions: Vec<(SessionId, Receiver<FleetReply>)> =
+        (0..4).map(|_| fleet.register(device(), key)).collect();
+    let per_user = traffic(4, 2, 12);
+    for r in 0..2 {
+        for (u, (id, _)) in sessions.iter().enumerate() {
+            submit_retrying(&fleet, *id, &per_user[u][r]);
+        }
+    }
+    fleet.shutdown();
+    for (_, rx) in &sessions {
+        assert_eq!(collect(rx, 2).len(), 2);
+    }
+}
+
+#[test]
+fn fleet_latency_stats_feed_each_device() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (id, _rx) = fleet.register(device(), ModelKey::shared(3));
+    let per_user = traffic(1, 3, 13);
+    for w in &per_user[0] {
+        fleet.submit(id, w.clone()).unwrap();
+    }
+    fleet.pump();
+    let stats = fleet.with_session(id, |dev| dev.latency_stats()).unwrap();
+    assert_eq!(stats.count, 3);
+    assert!(stats.mean_us > 0.0);
+    let shard = &fleet.shard_stats()[0];
+    assert_eq!(shard.latency.count, 3);
+    assert!(shard.mean_batch() >= 1.0);
+}

@@ -1,0 +1,241 @@
+//! Fleet-level energy and traffic accounting.
+//!
+//! One phone is the paper's story; a serving fleet is the ROADMAP's. This
+//! module aggregates the per-device models ([`crate::energy`],
+//! [`crate::flops`]) across N concurrently served edge sessions so a
+//! fleet operator can answer: what does serving this population cost in
+//! joules, and what *would* it have cost to ship every window to the
+//! Cloud instead? The asymmetry of Figure 1 compounds at fleet scale —
+//! radio tails are paid per device per transaction, while edge compute
+//! amortises across micro-batches.
+
+use crate::energy::EnergyModel;
+use crate::flops;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated accounting for a fleet of edge sessions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAccounting {
+    energy: EnergyModel,
+    /// Backbone layer dims (input → … → embedding) used for FLOP counts.
+    dims: Vec<usize>,
+    /// Classes per session (prototype count for the NCM FLOP term).
+    classes: usize,
+    /// Sensor channels per window.
+    channels: usize,
+    /// Samples per window.
+    window_len: usize,
+    /// Sessions registered.
+    pub sessions: usize,
+    /// Windows served on-device.
+    pub windows: u64,
+    /// Micro-batches executed (one backbone forward each).
+    pub batches: u64,
+    /// Joules spent on on-device compute.
+    pub compute_joules: f64,
+    /// Joules spent on radio (bundle downloads only — Definition 1
+    /// forbids uplink, so serving adds no radio cost).
+    pub radio_joules: f64,
+    /// Bytes moved Cloud → Edge (bundle deployments).
+    pub downlink_bytes: u64,
+}
+
+/// A summary row for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetEnergyReport {
+    /// Total joules across the fleet (compute + radio).
+    pub total_joules: f64,
+    /// Mean joules per served window.
+    pub joules_per_window: f64,
+    /// Mean windows per micro-batch (batching efficiency).
+    pub mean_batch_size: f64,
+    /// Joules the same traffic would have cost under the Cloud protocol
+    /// (every raw window radioed up, per device, per window).
+    pub cloud_equivalent_joules: f64,
+}
+
+impl FleetAccounting {
+    /// Accounting for a fleet of devices with the given backbone shape.
+    pub fn new(
+        energy: EnergyModel,
+        dims: &[usize],
+        classes: usize,
+        channels: usize,
+        window_len: usize,
+    ) -> Self {
+        FleetAccounting {
+            energy,
+            dims: dims.to_vec(),
+            classes,
+            channels,
+            window_len,
+            sessions: 0,
+            windows: 0,
+            batches: 0,
+            compute_joules: 0.0,
+            radio_joules: 0.0,
+            downlink_bytes: 0,
+        }
+    }
+
+    /// Record one session deployment: the bundle download is the only
+    /// radio transaction an edge session ever costs.
+    pub fn record_deploy(&mut self, bundle_bytes: usize) {
+        self.sessions += 1;
+        self.downlink_bytes += bundle_bytes as u64;
+        self.radio_joules += self.energy.radio_joules(bundle_bytes);
+    }
+
+    /// Record one executed micro-batch of `batch` windows. FLOPs are the
+    /// full per-window pipeline (features + backbone + NCM) — batching
+    /// saves wall-clock and allocations, not arithmetic, so energy scales
+    /// with windows while `mean_batch_size` captures the serving
+    /// efficiency.
+    pub fn record_batch(&mut self, batch: usize) {
+        if batch == 0 {
+            return;
+        }
+        self.batches += 1;
+        self.windows += batch as u64;
+        let per_window =
+            flops::inference_flops(&self.dims, self.classes, self.channels, self.window_len);
+        self.compute_joules += self.energy.compute_joules(per_window * batch as u64);
+    }
+
+    /// Fold in an aggregate of `windows` served across `batches`
+    /// micro-batches — the shape shard counters report. Equivalent to
+    /// replaying the individual [`record_batch`](Self::record_batch)
+    /// calls.
+    pub fn record_served(&mut self, windows: u64, batches: u64) {
+        if windows == 0 {
+            return;
+        }
+        self.batches += batches;
+        self.windows += windows;
+        let per_window =
+            flops::inference_flops(&self.dims, self.classes, self.channels, self.window_len);
+        self.compute_joules += self.energy.compute_joules(per_window * windows);
+    }
+
+    /// Raw bytes of one serialized window (f32 samples, all channels).
+    fn window_bytes(&self) -> usize {
+        self.channels * self.window_len * std::mem::size_of::<f32>()
+    }
+
+    /// Summarise the fleet's energy position.
+    pub fn report(&self) -> FleetEnergyReport {
+        let total = self.compute_joules + self.radio_joules;
+        let cloud = self.windows as f64 * self.energy.radio_joules(self.window_bytes());
+        FleetEnergyReport {
+            total_joules: total,
+            joules_per_window: if self.windows == 0 {
+                0.0
+            } else {
+                total / self.windows as f64
+            },
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                self.windows as f64 / self.batches as f64
+            },
+            cloud_equivalent_joules: cloud,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> FleetAccounting {
+        FleetAccounting::new(EnergyModel::lte_phone(), &[80, 128, 64, 32], 5, 22, 120)
+    }
+
+    #[test]
+    fn empty_fleet_reports_zeroes() {
+        let acc = fleet();
+        let r = acc.report();
+        assert_eq!(r.total_joules, 0.0);
+        assert_eq!(r.joules_per_window, 0.0);
+        assert_eq!(r.mean_batch_size, 0.0);
+        assert_eq!(r.cloud_equivalent_joules, 0.0);
+    }
+
+    #[test]
+    fn deploys_and_batches_accumulate() {
+        let mut acc = fleet();
+        for _ in 0..8 {
+            acc.record_deploy(2_000_000);
+        }
+        for _ in 0..100 {
+            acc.record_batch(16);
+        }
+        acc.record_batch(0); // no-op
+        assert_eq!(acc.sessions, 8);
+        assert_eq!(acc.downlink_bytes, 16_000_000);
+        assert_eq!(acc.windows, 1600);
+        assert_eq!(acc.batches, 100);
+        let r = acc.report();
+        assert!((r.mean_batch_size - 16.0).abs() < 1e-12);
+        assert!(r.total_joules > 0.0);
+        assert!(r.joules_per_window > 0.0);
+    }
+
+    #[test]
+    fn edge_fleet_beats_cloud_equivalent_at_scale() {
+        // 64 sessions, a day's worth of windows each: compute energy for
+        // on-device serving stays far under radioing every raw window up
+        // over LTE — the Figure-1 asymmetry, fleet-sized.
+        let mut acc = fleet();
+        for _ in 0..64 {
+            acc.record_deploy(2_000_000);
+        }
+        for _ in 0..(64 * 100) {
+            acc.record_batch(10);
+        }
+        let r = acc.report();
+        assert!(
+            r.cloud_equivalent_joules > r.total_joules * 10.0,
+            "cloud {} J vs edge {} J",
+            r.cloud_equivalent_joules,
+            r.total_joules
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_windows_not_batching() {
+        // Same window count, different batch shapes → same joules.
+        let mut coarse = fleet();
+        coarse.record_batch(64);
+        let mut fine = fleet();
+        for _ in 0..64 {
+            fine.record_batch(1);
+        }
+        assert!((coarse.compute_joules - fine.compute_joules).abs() < 1e-9);
+        assert!(coarse.report().mean_batch_size > fine.report().mean_batch_size);
+    }
+
+    #[test]
+    fn record_served_matches_replayed_batches() {
+        let mut replay = fleet();
+        for _ in 0..10 {
+            replay.record_batch(16);
+        }
+        let mut folded = fleet();
+        folded.record_served(160, 10);
+        folded.record_served(0, 3); // no windows -> no-op
+        assert_eq!(replay.windows, folded.windows);
+        assert_eq!(replay.batches, folded.batches);
+        assert!((replay.compute_joules - folded.compute_joules).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut acc = fleet();
+        acc.record_deploy(1_000);
+        acc.record_batch(4);
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: FleetAccounting = serde_json::from_str(&json).unwrap();
+        assert_eq!(acc, back);
+    }
+}

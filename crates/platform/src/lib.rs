@@ -19,15 +19,20 @@
 //!   over cellular costs orders of magnitude more than a FLOP);
 //! * [`protocol`] — the two [`protocol::HarProtocol`]
 //!   implementations plus per-inference outcome records feeding the F1
-//!   experiment tables.
+//!   experiment tables;
+//! * [`fleet`] — energy/traffic accounting aggregated across a whole
+//!   fleet of concurrently served edge sessions (the `magneto-fleet`
+//!   serving runtime reports into it).
 
 pub mod device;
 pub mod energy;
+pub mod fleet;
 pub mod flops;
 pub mod network;
 pub mod protocol;
 
 pub use device::DeviceModel;
 pub use energy::EnergyModel;
+pub use fleet::{FleetAccounting, FleetEnergyReport};
 pub use network::NetworkLink;
 pub use protocol::{CloudProtocol, EdgeProtocol, HarProtocol, ProtocolOutcome};

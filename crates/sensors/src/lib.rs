@@ -32,6 +32,7 @@ pub mod dataset;
 pub mod imu;
 pub mod noise;
 pub mod person;
+pub mod pool;
 pub mod script;
 pub mod stream;
 pub mod waveform;
@@ -40,5 +41,6 @@ pub use activity::ActivityKind;
 pub use channels::{SensorChannel, SensorFrame, NUM_CHANNELS, SAMPLE_RATE_HZ};
 pub use dataset::{GeneratorConfig, LabeledWindow, SensorDataset};
 pub use person::PersonProfile;
+pub use pool::StreamPool;
 pub use script::{ScriptStep, SessionScript};
 pub use stream::SensorStream;

@@ -1,0 +1,196 @@
+//! Multi-person stream generation for fleet-scale serving.
+//!
+//! The serving runtime (`magneto-fleet`) ingests sensor windows from many
+//! users at once. A [`StreamPool`] simulates that population: N
+//! concurrent [`SensorStream`]s, each with its own sampled
+//! [`PersonProfile`] and assigned activity, emitting complete
+//! channel-major windows ready for inference. Everything is deterministic
+//! given the pool seed, so fleet tests can replay identical traffic
+//! against different scheduler configurations.
+
+use crate::activity::ActivityKind;
+use crate::channels::SensorFrame;
+use crate::dataset::LabeledWindow;
+use crate::person::PersonProfile;
+use crate::stream::{SensorStream, StreamConfig};
+use magneto_tensor::SeededRng;
+
+/// One simulated user: a live stream plus its frame accumulator.
+struct PooledUser {
+    stream: SensorStream,
+    person: PersonProfile,
+    activity: ActivityKind,
+    buf: Vec<SensorFrame>,
+}
+
+/// A population of N concurrently streaming users.
+pub struct StreamPool {
+    users: Vec<PooledUser>,
+    window_len: usize,
+}
+
+impl StreamPool {
+    /// Spawn `users` streams, cycling activities from `activities` and
+    /// sampling a distinct person style per user. Deterministic given
+    /// `seed`: the same pool replays the same traffic window for window.
+    ///
+    /// # Panics
+    /// When `users == 0`, `activities` is empty, or `window_len == 0`.
+    pub fn new(
+        users: usize,
+        activities: &[ActivityKind],
+        window_len: usize,
+        stream: StreamConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(users > 0, "a stream pool needs at least one user");
+        assert!(!activities.is_empty(), "a stream pool needs activities");
+        assert!(window_len > 0, "windows need at least one sample");
+        let mut rng = SeededRng::new(seed);
+        let users = (0..users)
+            .map(|u| {
+                let person = PersonProfile::sample(&mut rng);
+                let activity = activities[u % activities.len()];
+                PooledUser {
+                    stream: SensorStream::new(
+                        activity.profile(),
+                        person,
+                        stream,
+                        rng.split("user-stream"),
+                    ),
+                    person,
+                    activity,
+                    buf: Vec::with_capacity(window_len),
+                }
+            })
+            .collect();
+        StreamPool { users, window_len }
+    }
+
+    /// Number of users in the pool.
+    pub fn users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Samples per emitted window.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// The sampled style of one user.
+    pub fn person(&self, user: usize) -> &PersonProfile {
+        &self.users[user].person
+    }
+
+    /// The activity one user is performing.
+    pub fn activity(&self, user: usize) -> ActivityKind {
+        self.users[user].activity
+    }
+
+    /// Stream the next complete channel-major window for one user,
+    /// pulling frames until the window fills (dropped samples are skipped
+    /// by the stream, so windows are always full length).
+    pub fn next_window(&mut self, user: usize) -> Vec<Vec<f32>> {
+        let u = &mut self.users[user];
+        while u.buf.len() < self.window_len {
+            if let Some(f) = u.stream.next() {
+                u.buf.push(f);
+            }
+        }
+        let window = LabeledWindow::from_frames(u.activity.label(), &u.buf).channels;
+        u.buf.clear();
+        window
+    }
+
+    /// One round of traffic: the next window from every user, in user
+    /// order — the "all phones report in" tick fleet benchmarks replay.
+    pub fn next_round(&mut self) -> Vec<Vec<Vec<f32>>> {
+        (0..self.users.len()).map(|u| self.next_window(u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::NUM_CHANNELS;
+
+    fn pool(seed: u64) -> StreamPool {
+        StreamPool::new(
+            6,
+            &ActivityKind::BASE_FIVE,
+            120,
+            StreamConfig::ideal(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn windows_are_channel_major_and_full_length() {
+        let mut p = pool(1);
+        assert_eq!(p.users(), 6);
+        assert_eq!(p.window_len(), 120);
+        for u in 0..p.users() {
+            let w = p.next_window(u);
+            assert_eq!(w.len(), NUM_CHANNELS);
+            assert!(w.iter().all(|ch| ch.len() == 120));
+            assert!(w.iter().flatten().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn users_have_distinct_styles_and_cycled_activities() {
+        let p = pool(2);
+        // Activities cycle through the base five, then wrap.
+        assert_eq!(p.activity(0), ActivityKind::BASE_FIVE[0]);
+        assert_eq!(p.activity(5), ActivityKind::BASE_FIVE[0]);
+        assert_eq!(p.activity(3), ActivityKind::BASE_FIVE[3]);
+        // Sampled persons differ pairwise (same sampler, advancing RNG).
+        for a in 0..p.users() {
+            for b in (a + 1)..p.users() {
+                assert_ne!(p.person(a), p.person(b), "users {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = pool(7);
+        let mut b = pool(7);
+        for _ in 0..3 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+        // A different seed produces different traffic.
+        let mut c = pool(8);
+        assert_ne!(a.next_window(0), c.next_window(0));
+    }
+
+    #[test]
+    fn per_user_streams_are_independent() {
+        // Draining one user's stream must not perturb another's.
+        let mut solo = pool(9);
+        let expected: Vec<_> = (0..4).map(|_| solo.next_window(3)).collect();
+        let mut interleaved = pool(9);
+        let mut got = Vec::new();
+        for round in 0..4 {
+            for u in 0..interleaved.users() {
+                let w = interleaved.next_window(u);
+                if u == 3 {
+                    got.push(w);
+                }
+            }
+            assert_eq!(got[round], expected[round], "round {round}");
+        }
+    }
+
+    #[test]
+    fn lossy_streams_still_fill_windows() {
+        let cfg = StreamConfig {
+            dropout_prob: 0.3,
+            ..StreamConfig::default()
+        };
+        let mut p = StreamPool::new(2, &[ActivityKind::Walk], 120, cfg, 11);
+        let w = p.next_window(0);
+        assert_eq!(w.len(), NUM_CHANNELS);
+        assert!(w.iter().all(|ch| ch.len() == 120));
+    }
+}

@@ -16,11 +16,16 @@ pub fn mean(xs: &[f32]) -> f32 {
 
 /// Population variance; `0.0` for slices shorter than 2.
 pub fn variance(xs: &[f32]) -> f32 {
+    variance_with(xs, mean(xs))
+}
+
+/// [`variance`] given the slice's precomputed mean — callers evaluating
+/// several moments of one series pay for the mean pass once.
+pub fn variance_with(xs: &[f32], mean: f32) -> f32 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+    xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32
 }
 
 /// Population standard deviation.
@@ -61,7 +66,17 @@ pub fn percentile(xs: &[f32], p: f32) -> f32 {
         return 0.0;
     }
     let mut sorted: Vec<f32> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already ascending-sorted slice — callers that
+/// need several order statistics of the same series (median + IQR, say)
+/// sort once and probe this; `0.0` when empty.
+pub fn percentile_of_sorted(sorted: &[f32], p: f32) -> f32 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f32;
     let lo = rank.floor() as usize;
@@ -112,30 +127,30 @@ pub fn energy(xs: &[f32]) -> f32 {
 
 /// Sample skewness (Fisher); `0.0` for constant or short inputs.
 pub fn skewness(xs: &[f32]) -> f32 {
-    if xs.len() < 3 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    let s = std_dev(xs);
-    if s < 1e-12 {
+    skewness_with(xs, mean(xs), std_dev(xs))
+}
+
+/// [`skewness`] given the slice's precomputed mean and standard deviation.
+pub fn skewness_with(xs: &[f32], mean: f32, std: f32) -> f32 {
+    if xs.len() < 3 || std < 1e-12 {
         return 0.0;
     }
     let n = xs.len() as f32;
-    xs.iter().map(|&x| ((x - m) / s).powi(3)).sum::<f32>() / n
+    xs.iter().map(|&x| ((x - mean) / std).powi(3)).sum::<f32>() / n
 }
 
 /// Excess kurtosis; `0.0` for constant or short inputs (a Gaussian yields ~0).
 pub fn kurtosis(xs: &[f32]) -> f32 {
-    if xs.len() < 4 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    let s = std_dev(xs);
-    if s < 1e-12 {
+    kurtosis_with(xs, mean(xs), std_dev(xs))
+}
+
+/// [`kurtosis`] given the slice's precomputed mean and standard deviation.
+pub fn kurtosis_with(xs: &[f32], mean: f32, std: f32) -> f32 {
+    if xs.len() < 4 || std < 1e-12 {
         return 0.0;
     }
     let n = xs.len() as f32;
-    xs.iter().map(|&x| ((x - m) / s).powi(4)).sum::<f32>() / n - 3.0
+    xs.iter().map(|&x| ((x - mean) / std).powi(4)).sum::<f32>() / n - 3.0
 }
 
 /// Rate of sign changes in `[0, 1]` (zero-crossing rate).

@@ -23,7 +23,10 @@
 //! * [`core`] — the MAGNETO platform: Cloud initialisation, edge bundle,
 //!   NCM inference, support set, incremental learning, privacy ledger;
 //! * [`platform`] — the simulated Cloud/Edge deployment environment used
-//!   for the paper's Figure-1 protocol comparison.
+//!   for the paper's Figure-1 protocol comparison;
+//! * [`fleet`] — concurrent multi-device serving runtime with
+//!   cross-session micro-batching (sharded sessions, bounded queues,
+//!   deterministic scheduling).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use magneto_core as core;
 pub use magneto_dsp as dsp;
+pub use magneto_fleet as fleet;
 pub use magneto_nn as nn;
 pub use magneto_platform as platform;
 pub use magneto_sensors as sensors;
@@ -59,8 +63,10 @@ pub mod prelude {
         EdgeConfig, EdgeDevice, LabelRegistry, NcmClassifier, PrivacyLedger, SelectionStrategy,
         SupportSet,
     };
+    pub use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, SubmitError};
     pub use magneto_platform::{
-        CloudProtocol, DeviceModel, EdgeProtocol, EnergyModel, HarProtocol, NetworkLink,
+        CloudProtocol, DeviceModel, EdgeProtocol, EnergyModel, FleetAccounting, HarProtocol,
+        NetworkLink,
     };
     pub use magneto_sensors::{
         ActivityKind, GeneratorConfig, PersonProfile, SensorDataset, SensorStream,
