@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy fmt bench bench-fleet fleet-smoke clean
+.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet fleet-smoke train-smoke clean
 
-check: build test clippy fleet-smoke
+check: build test clippy fleet-smoke train-smoke
 
 build:
 	$(CARGO) build --release
@@ -27,10 +27,21 @@ bench:
 bench-fleet:
 	$(CARGO) bench -p magneto-bench --bench fleet_throughput
 
+# Training/inference wall-time sweep across compute-pool sizes; emits
+# BENCH_train.json and BENCH_infer.json in the working directory.
+bench-train: build
+	$(CARGO) run --release -p magneto-bench --bin train_smoke
+
 # Short release-mode fleet serving run: 4 worker threads, 16 sessions,
 # asserts nonzero throughput and zero cross-session label leaks.
 fleet-smoke: build
 	$(CARGO) run --release -p magneto-bench --bin fleet_smoke
+
+# Release-mode training smoke run: asserts trained weights and batched
+# embeddings are bit-identical at pool sizes 1/2/4/8, and that the
+# installed kernel plan is not slower than forced sequential.
+train-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin train_smoke
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,249 @@
+//! On-device training smoke test (wired into `make check`): times the
+//! Siamese train step and batched inference across compute-pool sizes,
+//! emits machine-readable `BENCH_train.json` / `BENCH_infer.json`, and
+//! gates on two properties of the parallel execution path:
+//!
+//! 1. **Determinism** — the trained weights (and inference embeddings)
+//!    must be bit-identical at every pool size, including fully inline.
+//! 2. **No regression** — running under the installed kernel plan must
+//!    not be slower than the forced single-thread path (≥ 1.0× with a
+//!    parallel plan; ≥ 0.9× noise floor when the host resolves to one
+//!    thread and both runs are sequential).
+//!
+//! The per-thread-count rows are recorded in the JSON whatever they
+//! measure — on a single-core host the 2/4/8-thread rows honestly show
+//! dispatch overhead rather than speedup.
+
+use magneto_nn::pairs::{sample_pairs, PairSample};
+use magneto_nn::siamese::TrainScratch;
+use magneto_nn::{Adam, Mlp, SiameseNetwork};
+use magneto_tensor::{Exec, KernelPlan, Matrix, SeededRng, Workspace};
+use serde::Serialize;
+use std::time::Instant;
+
+const DIMS: &[usize] = &[80, 512, 256, 128];
+const CLASSES: usize = 4;
+const ROWS_PER_CLASS: usize = 32;
+const PAIRS_PER_STEP: usize = 32;
+const TRAIN_STEPS: usize = 30;
+const INFER_REPS: usize = 50;
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct BenchEntry {
+    threads: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    speedup_vs_1: f64,
+    bit_identical_to_sequential: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    plan: String,
+    host_threads: usize,
+    iterations: usize,
+    entries: Vec<BenchEntry>,
+    gate_speedup: f64,
+    gate_threshold: f64,
+}
+
+struct Timings {
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn stats(mut ms: Vec<f64>) -> Timings {
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean_ms = ms.iter().sum::<f64>() / ms.len() as f64;
+    let pct = |p: f64| ms[((ms.len() - 1) as f64 * p).round() as usize];
+    Timings {
+        mean_ms,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Gaussian class blobs in the DSP feature dimension.
+fn dataset() -> (Matrix, Vec<usize>) {
+    let mut rng = SeededRng::new(0xBEEF);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..CLASSES {
+        for _ in 0..ROWS_PER_CLASS {
+            let row: Vec<f32> = (0..DIMS[0])
+                .map(|d| rng.normal_with(if d % CLASSES == c { 2.0 } else { 0.0 }, 1.0))
+                .collect();
+            rows.push(row);
+            labels.push(c);
+        }
+    }
+    (Matrix::from_rows(&rows).expect("dataset"), labels)
+}
+
+/// Train a fresh copy of `init` for `TRAIN_STEPS` fixed pair batches on
+/// the given exec; returns the trained backbone and per-step times.
+fn train_run(
+    init: &SiameseNetwork,
+    features: &Matrix,
+    batches: &[Vec<PairSample>],
+    exec: Exec,
+) -> (Mlp, Vec<f64>) {
+    let mut net = init.clone();
+    let mut opt = Adam::new(2e-3);
+    let mut scratch = TrainScratch::with_exec(exec);
+    let mut times = Vec::with_capacity(batches.len());
+    for pairs in batches {
+        let t0 = Instant::now();
+        net.train_step_masked_with(features, pairs, &mut opt, None, None, 5.0, &mut scratch)
+            .expect("train step");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (net.into_backbone(), times)
+}
+
+/// Embed the whole feature matrix `INFER_REPS` times on the given exec;
+/// returns the last embedding batch and per-call times.
+fn infer_run(net: &SiameseNetwork, features: &Matrix, exec: Exec) -> (Matrix, Vec<f64>) {
+    let mut ws = Workspace::with_exec(exec);
+    let mut out = Matrix::default();
+    let mut times = Vec::with_capacity(INFER_REPS);
+    for _ in 0..INFER_REPS {
+        let t0 = Instant::now();
+        net.embed_into(features, &mut out, &mut ws).expect("embed");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (out, times)
+}
+
+fn write_report(path: &str, report: &BenchReport) {
+    let json = serde_json::to_string_pretty(report).expect("serialize report");
+    std::fs::write(path, json).expect("write report");
+    println!("train_smoke: wrote {path}");
+}
+
+fn main() {
+    let plan = KernelPlan::host_default();
+    let host_threads = plan.threads;
+    println!("train_smoke: kernel plan [{}]", plan.describe());
+
+    let (features, labels) = dataset();
+    let mut rng = SeededRng::new(0x5EED);
+    let init = SiameseNetwork::new(Mlp::new(DIMS, &mut rng).expect("backbone"), 1.0);
+    let batches: Vec<Vec<PairSample>> = (0..TRAIN_STEPS)
+        .map(|_| sample_pairs(&labels, PAIRS_PER_STEP, &mut rng))
+        .collect();
+
+    // ---- training sweep -------------------------------------------------
+    let (seq_weights, seq_times) = train_run(&init, &features, &batches, Exec::inline());
+    let seq_mean = stats(seq_times.clone()).mean_ms;
+
+    let mut train_entries = Vec::new();
+    for &t in THREAD_SWEEP {
+        let exec = Exec::from_plan(plan.with_threads(t));
+        let (weights, times) = train_run(&init, &features, &batches, exec);
+        let identical = weights == seq_weights;
+        assert!(
+            identical,
+            "trained weights at {t} threads differ from the sequential path"
+        );
+        let s = stats(times);
+        train_entries.push(BenchEntry {
+            threads: t,
+            mean_ms: s.mean_ms,
+            p50_ms: s.p50_ms,
+            p99_ms: s.p99_ms,
+            speedup_vs_1: seq_mean / s.mean_ms,
+            bit_identical_to_sequential: identical,
+        });
+        println!(
+            "train_smoke: train {t:>2} thread(s): mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms, speedup {:.2}x",
+            s.mean_ms,
+            s.p50_ms,
+            s.p99_ms,
+            seq_mean / s.mean_ms
+        );
+    }
+
+    // The gate compares the *installed plan* against forced sequential: a
+    // parallel plan must win outright; a single-thread plan (1-core host)
+    // runs the same code both times, so only timer noise separates them.
+    let (plan_weights, plan_times) = train_run(&init, &features, &batches, Exec::from_plan(plan));
+    assert_eq!(
+        plan_weights, seq_weights,
+        "trained weights under the installed plan differ from the sequential path"
+    );
+    let gate_speedup = seq_mean / stats(plan_times).mean_ms;
+    let gate_threshold = if plan.threads > 1 { 1.0 } else { 0.9 };
+    println!(
+        "train_smoke: installed plan ({} thread(s)) speedup {gate_speedup:.2}x (gate ≥ {gate_threshold:.1}x)",
+        plan.threads
+    );
+    assert!(
+        gate_speedup >= gate_threshold,
+        "train step under the installed plan regressed: {gate_speedup:.2}x < {gate_threshold:.1}x"
+    );
+
+    write_report(
+        "BENCH_train.json",
+        &BenchReport {
+            bench: "train_siamese_step".into(),
+            plan: plan.describe(),
+            host_threads,
+            iterations: TRAIN_STEPS,
+            entries: train_entries,
+            gate_speedup,
+            gate_threshold,
+        },
+    );
+
+    // ---- inference sweep ------------------------------------------------
+    let trained = SiameseNetwork::new(seq_weights, 1.0);
+    let (seq_emb, seq_times) = infer_run(&trained, &features, Exec::inline());
+    let seq_mean = stats(seq_times.clone()).mean_ms;
+
+    let mut infer_entries = Vec::new();
+    for &t in THREAD_SWEEP {
+        let exec = Exec::from_plan(plan.with_threads(t));
+        let (emb, times) = infer_run(&trained, &features, exec);
+        let identical = emb == seq_emb;
+        assert!(
+            identical,
+            "batched embeddings at {t} threads differ from the sequential path"
+        );
+        let s = stats(times);
+        infer_entries.push(BenchEntry {
+            threads: t,
+            mean_ms: s.mean_ms,
+            p50_ms: s.p50_ms,
+            p99_ms: s.p99_ms,
+            speedup_vs_1: seq_mean / s.mean_ms,
+            bit_identical_to_sequential: identical,
+        });
+        println!(
+            "train_smoke: infer {t:>2} thread(s): mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms, speedup {:.2}x",
+            s.mean_ms,
+            s.p50_ms,
+            s.p99_ms,
+            seq_mean / s.mean_ms
+        );
+    }
+
+    write_report(
+        "BENCH_infer.json",
+        &BenchReport {
+            bench: "batched_embed".into(),
+            plan: plan.describe(),
+            host_threads,
+            iterations: INFER_REPS,
+            entries: infer_entries,
+            gate_speedup,
+            gate_threshold,
+        },
+    );
+
+    println!("train_smoke OK: bit-identical at all pool sizes, gate {gate_speedup:.2}x");
+}

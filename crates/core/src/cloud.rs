@@ -221,7 +221,7 @@ mod tests {
         assert_eq!(bundle.model.backbone().input_dim(), 80);
         // The fast-demo run must actually have learned something.
         assert!(report.training.epochs_run > 0);
-        assert!(report.training.final_loss() < report.training.epoch_losses[0]);
+        assert!(report.training.final_loss().unwrap() < report.training.epoch_losses[0]);
     }
 
     #[test]

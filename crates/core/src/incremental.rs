@@ -22,7 +22,7 @@ use crate::ncm::NcmClassifier;
 use crate::support_set::SupportSet;
 use crate::Result;
 use magneto_nn::trainer::{train_siamese_masked, TrainerConfig, TrainingReport};
-use magneto_nn::SiameseNetwork;
+use magneto_nn::{Mlp, SiameseNetwork};
 use magneto_tensor::vector::DistanceMetric;
 use magneto_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
@@ -76,6 +76,43 @@ pub struct UpdateReport {
     pub new_windows: usize,
 }
 
+/// Reusable storage for the frozen distillation teacher.
+///
+/// [`ModelState::update`] freezes the pre-update backbone every time it
+/// runs; cloning a paper-sized backbone (~700k weights) per update is the
+/// single largest allocation of the edge loop. The buffer keeps the
+/// previous teacher's matrices alive and copies the new weights into them
+/// in place, so every update after the first is allocation-free here.
+///
+/// It is a scratch cache, not model state: equality ignores it and clones
+/// start cold (empty), keeping `ModelState`'s derived semantics unchanged.
+#[derive(Debug, Default)]
+struct TeacherBuf(Option<Mlp>);
+
+impl TeacherBuf {
+    /// Copy `src` into the buffer (allocating only on first use) and
+    /// return the frozen teacher.
+    fn freeze_from(&mut self, src: &Mlp) -> &Mlp {
+        match &mut self.0 {
+            Some(buf) => buf.copy_from(src),
+            None => self.0 = Some(src.clone()),
+        }
+        self.0.as_ref().expect("teacher buffer just filled")
+    }
+}
+
+impl Clone for TeacherBuf {
+    fn clone(&self) -> Self {
+        TeacherBuf(None)
+    }
+}
+
+impl PartialEq for TeacherBuf {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// The full mutable model state living on the Edge device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
@@ -87,6 +124,8 @@ pub struct ModelState {
     pub registry: LabelRegistry,
     /// NCM classifier over current prototypes.
     pub ncm: NcmClassifier,
+    /// Reusable distillation-teacher storage (scratch, not state).
+    teacher_buf: TeacherBuf,
 }
 
 impl ModelState {
@@ -106,6 +145,7 @@ impl ModelState {
             support_set,
             registry,
             ncm,
+            teacher_buf: TeacherBuf::default(),
         })
     }
 
@@ -194,8 +234,13 @@ impl ModelState {
             }
         }
 
-        // Freeze the pre-update model as the distillation teacher.
-        let teacher = self.model.backbone().clone();
+        // Freeze the pre-update model as the distillation teacher,
+        // reusing the buffer from the previous update (no allocation
+        // after the first update; skipped entirely in the
+        // no-distillation ablation).
+        if !config.disable_distillation {
+            self.teacher_buf.freeze_from(self.model.backbone());
+        }
 
         // Step 2 — support set update. Both modes end with `label`'s
         // exemplars drawn from the fresh recording; for NewActivity the
@@ -229,7 +274,7 @@ impl ModelState {
         let teacher_ref = if config.disable_distillation {
             None
         } else {
-            Some(&teacher)
+            self.teacher_buf.0.as_ref()
         };
         let training = train_siamese_masked(
             &mut self.model,
@@ -545,6 +590,36 @@ mod tests {
         // Both still know all three classes.
         assert_eq!(naive.ncm.num_classes(), 3);
         assert_eq!(magneto.ncm.num_classes(), 3);
+    }
+
+    #[test]
+    fn warm_teacher_buffer_matches_cold_buffer_bitwise() {
+        // After one update the teacher buffer is warm (holds the previous
+        // teacher's matrices); a cloned state starts with a cold buffer.
+        // The next update must produce bit-identical results either way —
+        // the buffer is pure scratch.
+        let mut warm = base_state(50);
+        let cfg = fast_config();
+        let mut rng = SeededRng::new(51);
+        warm.update(
+            "g1",
+            &class_features(2, 10, 52),
+            UpdateMode::NewActivity,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        let mut cold = warm.clone();
+        assert_eq!(warm, cold);
+        let data = class_features(3, 10, 54);
+        let mut rng_w = SeededRng::new(53);
+        let mut rng_c = SeededRng::new(53);
+        warm.update("g2", &data, UpdateMode::NewActivity, &cfg, &mut rng_w)
+            .unwrap();
+        cold.update("g2", &data, UpdateMode::NewActivity, &cfg, &mut rng_c)
+            .unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(warm.ncm.num_classes(), 4);
     }
 
     #[test]

@@ -139,6 +139,19 @@ impl Fleet {
         &self.inner.config
     }
 
+    /// The kernel plan fleet GEMMs run under.
+    ///
+    /// All fleet workers share the single process-wide compute pool (the
+    /// global [`Exec`](magneto_tensor::Exec)) rather than spawning one
+    /// pool each: the pool serialises dispatch with a `try_lock`, so when
+    /// one fleet worker's batch already occupies it, another worker's
+    /// GEMM simply runs inline on its own thread instead of competing —
+    /// cores are never oversubscribed, and results are bit-identical
+    /// either way.
+    pub fn compute_plan(&self) -> magneto_tensor::KernelPlan {
+        magneto_tensor::pool::global_plan()
+    }
+
     /// Register a session, taking ownership of its device. `key` attests
     /// the device's model weights: pass the same key for sessions
     /// deployed from the same bundle ([`ModelKey::of_bundle`]) so the

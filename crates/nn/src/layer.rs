@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::Result;
 use magneto_tensor::init::Initializer;
-use magneto_tensor::{Matrix, SeededRng, TensorError, Workspace};
+use magneto_tensor::{Exec, Matrix, SeededRng, TensorError, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A dense layer `y = act(x·W + b)` with `W: (in, out)`, `b: (out)`.
@@ -119,9 +119,32 @@ impl Dense {
     /// # Errors
     /// Shape mismatch if `x.cols() != in_dim`.
     pub fn forward_into(&self, x: &Matrix, cache: &mut DenseCache, out: &mut Matrix) -> Result<()> {
+        self.forward_into_exec(x, cache, out, &Exec::inline())
+    }
+
+    /// [`Dense::forward_into`] on an explicit compute context: the
+    /// matmul + bias run as one fused, row-panel-parallel kernel (the
+    /// pre-activation must be materialised for backprop, so only the
+    /// activation stays a separate pass). Bit-identical to the
+    /// sequential path at any thread count.
+    ///
+    /// # Errors
+    /// Shape mismatch if `x.cols() != in_dim`.
+    pub fn forward_into_exec(
+        &self,
+        x: &Matrix,
+        cache: &mut DenseCache,
+        out: &mut Matrix,
+        exec: &Exec,
+    ) -> Result<()> {
         cache.input.copy_from(x);
-        x.matmul_into(&self.weights, &mut cache.pre_activation)?;
-        add_bias_inplace(&mut cache.pre_activation, &self.bias);
+        x.matmul_bias_act_into_exec(
+            &self.weights,
+            &self.bias,
+            |v| v,
+            &mut cache.pre_activation,
+            exec,
+        )?;
         let act = self.activation;
         out.copy_from(&cache.pre_activation);
         out.map_inplace(|v| act.apply(v));
@@ -144,10 +167,19 @@ impl Dense {
     /// # Errors
     /// Shape mismatch if `x.cols() != in_dim`.
     pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
-        x.matmul_into(&self.weights, out)?;
-        add_bias_inplace(out, &self.bias);
+        self.infer_into_exec(x, out, &Exec::inline())
+    }
+
+    /// [`Dense::infer_into`] on an explicit compute context: matmul,
+    /// bias broadcast and activation fused into one row-panel-parallel
+    /// pass over the output. Bit-identical to the sequential path at
+    /// any thread count.
+    ///
+    /// # Errors
+    /// Shape mismatch if `x.cols() != in_dim`.
+    pub fn infer_into_exec(&self, x: &Matrix, out: &mut Matrix, exec: &Exec) -> Result<()> {
         let act = self.activation;
-        out.map_inplace(|v| act.apply(v));
+        x.matmul_bias_act_into_exec(&self.weights, &self.bias, |v| act.apply(v), out, exec)?;
         Ok(())
     }
 
@@ -189,6 +221,7 @@ impl Dense {
         }
         // δ = grad_out ⊙ act'(z)
         let act = self.activation;
+        let exec = ws.exec().clone();
         let mut delta = ws.take(grad_out.rows(), grad_out.cols());
         for (d, (&g, &z)) in delta.as_mut_slice().iter_mut().zip(
             grad_out
@@ -198,8 +231,11 @@ impl Dense {
         ) {
             *d = g * act.derivative(z);
         }
-        // dW = xᵀ · δ ; db = column sums of δ ; dX = δ · Wᵀ
-        cache.input.transpose_matmul_into(&delta, &mut grad.dw)?;
+        // dW = xᵀ · δ ; db = column sums of δ ; dX = δ · Wᵀ — both GEMMs
+        // split over the workspace's compute pool.
+        cache
+            .input
+            .transpose_matmul_into_exec(&delta, &mut grad.dw, &exec)?;
         grad.db.clear();
         grad.db.resize(delta.cols(), 0.0);
         for r in 0..delta.rows() {
@@ -207,18 +243,19 @@ impl Dense {
                 *acc += v;
             }
         }
-        delta.matmul_transpose_into(&self.weights, dx)?;
+        delta.matmul_transpose_into_exec(&self.weights, dx, &exec)?;
         ws.give(delta);
         Ok(())
     }
-}
 
-/// Broadcast-add a bias row over every row of `z` in place.
-fn add_bias_inplace(z: &mut Matrix, bias: &[f32]) {
-    for r in 0..z.rows() {
-        for (v, &b) in z.row_mut(r).iter_mut().zip(bias.iter()) {
-            *v += b;
-        }
+    /// Make `self` an element-for-element copy of `src`, reusing
+    /// `self`'s allocations — the allocation-free path behind
+    /// [`crate::Mlp::copy_from`] (distillation-teacher snapshots).
+    pub fn copy_from(&mut self, src: &Dense) {
+        self.weights.copy_from(&src.weights);
+        self.bias.clear();
+        self.bias.extend_from_slice(&src.bias);
+        self.activation = src.activation;
     }
 }
 

@@ -214,13 +214,14 @@ impl Mlp {
     /// Shape mismatch on malformed input.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
         let last = self.layers.len() - 1;
+        let exec = ws.exec().clone();
         let mut a = ws.take(0, 0);
         let mut b = ws.take(0, 0);
         let mut result = Ok(());
         for (i, layer) in self.layers.iter().enumerate() {
             let src = if i == 0 { x } else { &a };
             let dst = if i == last { &mut *out } else { &mut b };
-            result = layer.infer_into(src, dst);
+            result = layer.infer_into_exec(src, dst, &exec);
             if result.is_err() {
                 break;
             }
@@ -263,14 +264,15 @@ impl Mlp {
         ws: &mut Workspace,
     ) -> Result<()> {
         cache.caches.resize_with(self.layers.len(), DenseCache::default);
+        let exec = ws.exec().clone();
         let mut h = ws.take(0, 0);
         let mut result = Ok(());
         for (i, (layer, lc)) in self.layers.iter().zip(cache.caches.iter_mut()).enumerate() {
             if i == 0 {
-                result = layer.forward_into(x, lc, &mut h);
+                result = layer.forward_into_exec(x, lc, &mut h, &exec);
             } else {
                 let mut out = ws.take(0, 0);
-                result = layer.forward_into(&h, lc, &mut out);
+                result = layer.forward_into_exec(&h, lc, &mut out, &exec);
                 ws.give(std::mem::replace(&mut h, out));
             }
             if result.is_err() {
@@ -336,6 +338,21 @@ impl Mlp {
         ws.give(grad);
         ws.give(dx);
         result
+    }
+
+    /// Make `self` a parameter-for-parameter copy of `src`, reusing
+    /// `self`'s layer allocations when the architectures match (the
+    /// common case: refreshing a distillation-teacher snapshot from the
+    /// live backbone every incremental update). Falls back to a clone
+    /// when layer counts differ.
+    pub fn copy_from(&mut self, src: &Mlp) {
+        if self.layers.len() != src.layers.len() {
+            self.layers = src.layers.clone();
+            return;
+        }
+        for (dst, s) in self.layers.iter_mut().zip(src.layers.iter()) {
+            dst.copy_from(s);
+        }
     }
 
     /// `true` if every weight is finite (divergence guard).

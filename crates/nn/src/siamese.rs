@@ -12,7 +12,7 @@ use crate::network::{ForwardCache, Gradients, Mlp};
 use crate::optimizer::Optimizer;
 use crate::pairs::PairSample;
 use crate::Result;
-use magneto_tensor::{Matrix, SeededRng, Workspace};
+use magneto_tensor::{Exec, Matrix, SeededRng, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// A Siamese network: a single backbone applied to both views of each
@@ -66,6 +66,27 @@ impl TrainScratch {
     /// Empty scratch; buffers grow on first use and are reused after.
     pub fn new() -> Self {
         TrainScratch::default()
+    }
+
+    /// Scratch whose kernels run on the given execution context (thread
+    /// pool + kernel plan). Training steps drawing from this scratch
+    /// dispatch their GEMMs across the context's pool; results are
+    /// bit-identical to the sequential path at any thread count.
+    pub fn with_exec(exec: Exec) -> Self {
+        let mut scratch = TrainScratch::default();
+        scratch.ws.set_exec(exec);
+        scratch
+    }
+
+    /// The execution context train steps using this scratch run on.
+    pub fn exec(&self) -> &Exec {
+        self.ws.exec()
+    }
+
+    /// Swap the execution context (e.g. after installing an autotuned
+    /// global plan).
+    pub fn set_exec(&mut self, exec: Exec) {
+        self.ws.set_exec(exec);
     }
 }
 

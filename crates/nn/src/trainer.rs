@@ -101,9 +101,13 @@ pub struct TrainingReport {
 }
 
 impl TrainingReport {
-    /// Final epoch's mean loss, `f32::NAN` when no epoch ran.
-    pub fn final_loss(&self) -> f32 {
-        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    /// Final epoch's mean loss, `None` when no epoch ran.
+    ///
+    /// Callers that want a printable value can
+    /// `.unwrap_or(f32::NAN)`; forcing the `Option` through the API
+    /// keeps "zero epochs" from masquerading as a numeric loss.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
     }
 }
 
@@ -140,6 +144,31 @@ pub fn train_siamese_masked(
     distill_mask: Option<&[bool]>,
     config: &TrainerConfig,
 ) -> Result<TrainingReport> {
+    // One scratch arena for the whole run: after the first step warms it,
+    // every later step reuses the same buffers (see TrainScratch). The
+    // default scratch runs on the process-wide execution context, so an
+    // installed autotuned plan parallelises this loop automatically.
+    let mut scratch = TrainScratch::new();
+    train_siamese_masked_with(net, features, labels, teacher, distill_mask, config, &mut scratch)
+}
+
+/// [`train_siamese_masked`] drawing every temporary from a caller-owned
+/// [`TrainScratch`]. The scratch also fixes the execution context
+/// (kernel plan + thread pool) the GEMMs run on — results are
+/// bit-identical at any thread count, so context choice is purely a
+/// throughput decision.
+///
+/// # Errors
+/// As [`train_siamese_masked`].
+pub fn train_siamese_masked_with(
+    net: &mut SiameseNetwork,
+    features: &Matrix,
+    labels: &[usize],
+    teacher: Option<&Mlp>,
+    distill_mask: Option<&[bool]>,
+    config: &TrainerConfig,
+    scratch: &mut TrainScratch,
+) -> Result<TrainingReport> {
     if features.rows() != labels.len() || features.rows() == 0 {
         return Err(NnError::InvalidBatch(format!(
             "{} feature rows vs {} labels",
@@ -157,9 +186,6 @@ pub fn train_siamese_masked(
         steps: 0,
     };
     let teacher_arg = teacher.map(|t| (t, config.distill_weight));
-    // One scratch arena for the whole run: after the first step warms it,
-    // every later step reuses the same buffers (see TrainScratch).
-    let mut scratch = TrainScratch::new();
     for epoch in 0..config.epochs {
         let mut epoch_total = 0.0f32;
         let mut epoch_contrastive = 0.0f32;
@@ -190,7 +216,7 @@ pub fn train_siamese_masked(
                         teacher_arg,
                         distill_mask,
                         config.grad_clip,
-                        &mut scratch,
+                        scratch,
                     )?;
                     run_step(loss, &mut batches, &mut report.steps);
                 }
@@ -213,7 +239,7 @@ pub fn train_siamese_masked(
                         distill_mask,
                         temperature,
                         config.grad_clip,
-                        &mut scratch,
+                        scratch,
                     )?;
                     run_step(loss, &mut batches, &mut report.steps);
                 }
@@ -276,7 +302,7 @@ mod tests {
         assert_eq!(report.epochs_run, 10);
         assert_eq!(report.epoch_losses.len(), 10);
         assert!(
-            report.final_loss() < report.epoch_losses[0] * 0.7,
+            report.final_loss().unwrap() < report.epoch_losses[0] * 0.7,
             "losses: {:?}",
             report.epoch_losses
         );
@@ -362,7 +388,7 @@ mod tests {
         let report = train_siamese(&mut net, &features, &labels, None, &config).unwrap();
         assert_eq!(report.epochs_run, config.epochs);
         assert!(
-            report.final_loss() < report.epoch_losses[0],
+            report.final_loss().unwrap() < report.epoch_losses[0],
             "losses {:?}",
             report.epoch_losses
         );
@@ -409,7 +435,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_report_final_loss_is_nan() {
+    fn empty_report_final_loss_is_none() {
         let r = TrainingReport {
             epoch_losses: vec![],
             contrastive_losses: vec![],
@@ -417,6 +443,40 @@ mod tests {
             epochs_run: 0,
             steps: 0,
         };
-        assert!(r.final_loss().is_nan());
+        assert_eq!(r.final_loss(), None);
+    }
+
+    #[test]
+    fn final_loss_is_last_epoch_mean() {
+        let r = TrainingReport {
+            epoch_losses: vec![0.9, 0.4, 0.25],
+            contrastive_losses: vec![0.9, 0.4, 0.25],
+            distillation_losses: vec![0.0, 0.0, 0.0],
+            epochs_run: 3,
+            steps: 12,
+        };
+        assert_eq!(r.final_loss(), Some(0.25));
+    }
+
+    #[test]
+    fn external_scratch_matches_internal_path_bitwise() {
+        let (features, labels) = blobs(10, 2, 6, 2.0, 40);
+        let mut a = small_net(41);
+        let mut b = small_net(41);
+        let ra =
+            train_siamese_masked(&mut a, &features, &labels, None, None, &fast_config()).unwrap();
+        let mut scratch = TrainScratch::with_exec(magneto_tensor::Exec::inline());
+        let rb = train_siamese_masked_with(
+            &mut b,
+            &features,
+            &labels,
+            None,
+            None,
+            &fast_config(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert_eq!(a, b);
     }
 }

@@ -3,8 +3,10 @@
 use magneto_nn::loss::{contrastive_loss, distillation_loss, softmax_cross_entropy};
 use magneto_nn::quantize::QuantizedMlp;
 use magneto_nn::serialize::{decode_mlp, encode_mlp};
-use magneto_nn::Mlp;
-use magneto_tensor::{Matrix, SeededRng};
+use magneto_nn::siamese::TrainScratch;
+use magneto_nn::trainer::train_siamese_masked_with;
+use magneto_nn::{Mlp, SiameseNetwork, TrainerConfig};
+use magneto_tensor::{Exec, KernelPlan, Matrix, SeededRng, Workspace};
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
@@ -118,5 +120,139 @@ proptest! {
         let out = net.forward(&x).unwrap();
         prop_assert_eq!(out.shape(), (batch, *dims.last().unwrap()));
         prop_assert!(out.all_finite());
+    }
+}
+
+/// Execution contexts at pool sizes 0 (inline), 1, 2 and 8, built once so
+/// pool threads are reused across proptest cases.
+fn execs() -> &'static [Exec] {
+    static EXECS: std::sync::OnceLock<Vec<Exec>> = std::sync::OnceLock::new();
+    EXECS.get_or_init(|| {
+        let mut execs = vec![Exec::inline()];
+        for t in [1usize, 2, 8] {
+            let mut plan = KernelPlan::inline().with_threads(t);
+            plan.par_min_rows = 8;
+            execs.push(Exec::from_plan(plan));
+        }
+        execs
+    })
+}
+
+fn blob_features(classes: usize, per_class: usize, dim: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        for _ in 0..per_class {
+            rows.push(
+                (0..dim)
+                    .map(|d| rng.normal_with(if d % classes == c { 2.0 } else { 0.0 }, 1.0))
+                    .collect::<Vec<f32>>(),
+            );
+            labels.push(c);
+        }
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full `train_siamese` runs are bit-identical at every pool size:
+    /// identical loss histories AND identical trained weights. This is
+    /// the end-to-end form of the panel-aligned determinism argument.
+    #[test]
+    fn train_siamese_bit_identical_at_any_pool_size(
+        seed in 0u64..200,
+        hidden in 8usize..24,
+    ) {
+        let (features, labels) = blob_features(3, 8, 10, seed);
+        let config = TrainerConfig {
+            epochs: 2,
+            pairs_per_epoch: 32,
+            batch_pairs: 16,
+            seed,
+            ..TrainerConfig::default()
+        };
+        let init = SiameseNetwork::new(
+            Mlp::new(&[10, hidden, 6], &mut SeededRng::new(seed ^ 0xA5)).unwrap(),
+            1.0,
+        );
+        let mut reference_net = init.clone();
+        let mut scratch = TrainScratch::with_exec(Exec::inline());
+        let reference = train_siamese_masked_with(
+            &mut reference_net, &features, &labels, None, None, &config, &mut scratch,
+        ).unwrap();
+        for exec in execs() {
+            let mut net = init.clone();
+            let mut scratch = TrainScratch::with_exec(exec.clone());
+            let report = train_siamese_masked_with(
+                &mut net, &features, &labels, None, None, &config, &mut scratch,
+            ).unwrap();
+            prop_assert_eq!(&report.epoch_losses, &reference.epoch_losses, "threads={}", exec.threads());
+            prop_assert_eq!(&net, &reference_net, "threads={}", exec.threads());
+        }
+    }
+
+    /// The masked/distilled variant (the on-device update path) is
+    /// equally deterministic: teacher forward, masked distillation
+    /// gradients and all backward GEMMs included.
+    #[test]
+    fn train_siamese_masked_bit_identical_at_any_pool_size(seed in 0u64..200) {
+        let (features, labels) = blob_features(2, 8, 10, seed);
+        let teacher = Mlp::new(&[10, 12, 6], &mut SeededRng::new(seed ^ 0x3C)).unwrap();
+        let mask: Vec<bool> = labels.iter().map(|&l| l == 0).collect();
+        let config = TrainerConfig {
+            epochs: 2,
+            pairs_per_epoch: 32,
+            batch_pairs: 16,
+            distill_weight: 2.0,
+            seed,
+            ..TrainerConfig::default()
+        };
+        let init = SiameseNetwork::new(
+            Mlp::new(&[10, 16, 6], &mut SeededRng::new(seed ^ 0x5A)).unwrap(),
+            1.0,
+        );
+        let mut reference_net = init.clone();
+        let mut scratch = TrainScratch::with_exec(Exec::inline());
+        let reference = train_siamese_masked_with(
+            &mut reference_net, &features, &labels, Some(&teacher), Some(&mask), &config, &mut scratch,
+        ).unwrap();
+        for exec in execs() {
+            let mut net = init.clone();
+            let mut scratch = TrainScratch::with_exec(exec.clone());
+            let report = train_siamese_masked_with(
+                &mut net, &features, &labels, Some(&teacher), Some(&mask), &config, &mut scratch,
+            ).unwrap();
+            prop_assert_eq!(&report.epoch_losses, &reference.epoch_losses, "threads={}", exec.threads());
+            prop_assert_eq!(&net, &reference_net, "threads={}", exec.threads());
+        }
+    }
+
+    /// Batched inference embeds bit-identically at every pool size.
+    #[test]
+    fn batched_inference_bit_identical_at_any_pool_size(
+        seed in 0u64..200,
+        rows in 1usize..40,
+    ) {
+        let net = SiameseNetwork::new(
+            Mlp::new(&[10, 20, 6], &mut SeededRng::new(seed)).unwrap(),
+            1.0,
+        );
+        let mut rng = SeededRng::new(seed ^ 0x77);
+        let data: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..10).map(|_| rng.normal_with(0.0, 1.0)).collect())
+            .collect();
+        let features = Matrix::from_rows(&data).unwrap();
+        let mut ws = Workspace::with_exec(Exec::inline());
+        let mut reference = Matrix::default();
+        net.embed_into(&features, &mut reference, &mut ws).unwrap();
+        for exec in execs() {
+            let mut ws = Workspace::with_exec(exec.clone());
+            let mut out = Matrix::default();
+            net.embed_into(&features, &mut out, &mut ws).unwrap();
+            prop_assert_eq!(&out, &reference, "threads={}", exec.threads());
+        }
     }
 }

@@ -23,6 +23,12 @@
 //! * [`workspace`] — a scratch-buffer pool so the batched hot path
 //!   (training steps, batch embedding, streaming inference) reuses
 //!   allocations instead of re-allocating every call.
+//! * [`pool`] — a deterministic fixed-partition compute pool: GEMMs are
+//!   split over output row panels across cores with results
+//!   bit-identical to the sequential path at any thread count.
+//! * [`plan`] — the autotuned [`KernelPlan`] (tile shape, dispatch
+//!   thresholds, thread count) that steers every kernel, cached on
+//!   device next to the model bundle.
 //!
 //! Design notes: matrices are plain `Vec<f32>` in row-major order. The
 //! backbone network in the paper is a 5-layer MLP (80→1024→512→128→64→128),
@@ -36,6 +42,8 @@
 pub mod error;
 pub mod init;
 pub mod matrix;
+pub mod plan;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod stats;
@@ -44,6 +52,8 @@ pub mod workspace;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use plan::KernelPlan;
+pub use pool::{install_global, ComputePool, Exec};
 pub use rng::SeededRng;
 pub use workspace::Workspace;
 

@@ -5,6 +5,7 @@
 //! `(in, out)` matrices so a forward pass is `x.matmul(w)`.
 
 use crate::error::TensorError;
+use crate::pool::{Exec, SendPtr};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
@@ -228,8 +229,8 @@ impl Matrix {
     /// [`TILED_MIN_ROWS`] rows, including the per-sample `rows == 1`
     /// case) run an axpy kernel that skips zero `self` entries — post-ReLU
     /// activations are ~50% zeros, so the skip removes whole row
-    /// updates. Batched inputs run the broadcast-FMA register tile of
-    /// [`Matrix::matmul_tiled`], which trades the sparsity skip for
+    /// updates. Batched inputs run a broadcast-FMA register-tiled
+    /// kernel, which trades the sparsity skip for
     /// keeping a 4×32 output tile in vector registers across the whole
     /// `k` loop. Both paths accumulate `k` contributions in ascending
     /// order, so results match [`Matrix::matmul_naive`] exactly (up to
@@ -240,6 +241,24 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols == rhs.rows`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_into_exec(rhs, out, &Exec::inline())
+    }
+
+    /// Plan-driven [`Matrix::matmul_into`]: dispatch thresholds, tile
+    /// width and k-panel depth come from `exec`'s [`KernelPlan`](crate::plan::KernelPlan), and
+    /// the output is split into row panels across `exec`'s compute pool.
+    ///
+    /// Panels are aligned to the 4-row tile height, so exactly the same
+    /// rows take the tiled path vs. the zero-skip remainder as in a
+    /// sequential run, and each output element is accumulated by exactly
+    /// one thread in ascending-`k` order — the result is bit-identical
+    /// at every thread count for a fixed plan. With [`Exec::inline`]
+    /// this *is* the PR-1 sequential kernel.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul_into_exec(&self, rhs: &Matrix, out: &mut Matrix, exec: &Exec) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -248,14 +267,106 @@ impl Matrix {
             });
         }
         out.resize(self.rows, rhs.cols);
-        if self.rows >= TILED_MIN_ROWS {
-            self.matmul_tiled(rhs, out);
-            return Ok(());
-        }
+        let plan = exec.plan();
         let n = rhs.cols;
-        for i in 0..self.rows {
+        // Kernel choice depends on the *total* batch size, never on a
+        // panel's size — another thread-count invariance requirement.
+        let tiled = self.rows >= plan.tiled_min_rows;
+        let out_ptr = SendPtr::new(out.data.as_mut_ptr());
+        exec.run_row_panels(self.rows, if tiled { TILE_ROWS } else { 1 }, &|r0, r1| {
+            // SAFETY: `run_row_panels` hands out disjoint `[r0, r1)` row
+            // ranges covering `0..rows`, so the panels never alias and
+            // the pointer stays valid for the duration of the dispatch.
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n)
+            };
+            if tiled {
+                if plan.tile_cols <= 16 {
+                    self.matmul_tiled_rows::<16>(rhs, r0, r1, panel, plan.panel_k);
+                } else {
+                    self.matmul_tiled_rows::<32>(rhs, r0, r1, panel, plan.panel_k);
+                }
+            } else {
+                self.matmul_rows_axpy(rhs, r0, r1, panel);
+            }
+        });
+        Ok(())
+    }
+
+    /// Fused `act(self * rhs + bias)` written into `out` — the whole
+    /// dense-layer forward in one pass over the output. The bias add and
+    /// activation run per row panel while it is still cache-hot, after
+    /// that row's `k` accumulation has fully finished, so the float
+    /// operation sequence per element (`acc`, `acc + bias`, `act(·)`) is
+    /// exactly the one the separate matmul → bias → map passes produce.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows` and `bias.len() == rhs.cols`.
+    pub fn matmul_bias_act_into_exec<F>(
+        &self,
+        rhs: &Matrix,
+        bias: &[f32],
+        act: F,
+        out: &mut Matrix,
+        exec: &Exec,
+    ) -> Result<()>
+    where
+        F: Fn(f32) -> f32 + Sync,
+    {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if bias.len() != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias_act",
+                lhs: self.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        out.resize(self.rows, rhs.cols);
+        let plan = exec.plan();
+        let n = rhs.cols;
+        let tiled = self.rows >= plan.tiled_min_rows;
+        let out_ptr = SendPtr::new(out.data.as_mut_ptr());
+        exec.run_row_panels(self.rows, if tiled { TILE_ROWS } else { 1 }, &|r0, r1| {
+            // SAFETY: disjoint row panels; see `matmul_into_exec`.
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n)
+            };
+            if tiled {
+                if plan.tile_cols <= 16 {
+                    self.matmul_tiled_rows::<16>(rhs, r0, r1, panel, plan.panel_k);
+                } else {
+                    self.matmul_tiled_rows::<32>(rhs, r0, r1, panel, plan.panel_k);
+                }
+            } else {
+                self.matmul_rows_axpy(rhs, r0, r1, panel);
+            }
+            if n > 0 {
+                for row in panel.chunks_exact_mut(n) {
+                    for (o, &b) in row.iter_mut().zip(bias.iter()) {
+                        *o = act(*o + b);
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Zero-skipping axpy matmul over output rows `[r0, r1)`, writing
+    /// into the panel slice that starts at row `r0` (panel-local
+    /// indexing). This is PR-1's per-sample kernel, restricted to a row
+    /// range so pool pieces can run it on disjoint panels.
+    fn matmul_rows_axpy(&self, rhs: &Matrix, r0: usize, r1: usize, panel: &mut [f32]) {
+        let n = rhs.cols;
+        for i in r0..r1 {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let out_row = &mut panel[(i - r0) * n..(i - r0 + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -266,55 +377,54 @@ impl Matrix {
                 }
             }
         }
-        Ok(())
     }
 
-    /// Broadcast-FMA register-tiled kernel behind [`Matrix::matmul_into`]
-    /// for batched inputs. Walks `rhs` row-major (no transpose needed):
-    /// for each 4-row × 32-column output tile the accumulators live in
-    /// vector registers for the entire `k` loop, and every `k` step costs
-    /// four scalar broadcasts plus two vector loads for eight vector
-    /// FMAs — versus the axpy kernel's load + FMA + store per vector.
-    /// Shapes must already be checked and `out` zero-resized by the
-    /// caller.
-    fn matmul_tiled(&self, rhs: &Matrix, out: &mut Matrix) {
-        const TILE_ROWS: usize = 4;
-        const TILE_COLS: usize = 32;
-        // 256 k-steps × 32 columns × 4 B = 32 KiB of `rhs` per panel —
-        // L1-resident, so every row block of `self` re-reads it from L1
-        // instead of streaming the full column strip from L2.
-        const PANEL_K: usize = 256;
-        let m = self.rows;
+    /// Broadcast-FMA register-tiled kernel behind [`Matrix::matmul_into_exec`]
+    /// for batched inputs, over output rows `[r0, r1)` (panel-local
+    /// indexing into `panel`). Walks `rhs` row-major (no transpose
+    /// needed): for each 4-row × `TC`-column output tile the
+    /// accumulators live in vector registers for the entire `k` loop,
+    /// and every `k` step costs four scalar broadcasts plus vector loads
+    /// for the tile's FMAs — versus the axpy kernel's load + FMA + store
+    /// per vector. `panel_k` bounds how much of `rhs` is re-read per row
+    /// block (L1 residency). The panel must arrive zeroed (`resize`), so
+    /// reloading the tile between k-panels continues the same
+    /// ascending-`k` accumulation.
+    fn matmul_tiled_rows<const TC: usize>(
+        &self,
+        rhs: &Matrix,
+        r0: usize,
+        r1: usize,
+        panel: &mut [f32],
+        panel_k: usize,
+    ) {
         let n = rhs.cols;
+        let panel_k = panel_k.max(1);
+        let base = r0 * n;
         let mut j = 0;
-        while j + TILE_COLS <= n {
+        while j + TC <= n {
             let mut k0 = 0;
             while k0 < self.cols {
-                let k1 = (k0 + PANEL_K).min(self.cols);
-                let mut i = 0;
-                while i + TILE_ROWS <= m {
-                    // `out` arrives zeroed from `resize`, so reloading the
-                    // tile between k-panels continues the same ascending-k
-                    // accumulation.
-                    let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+                let k1 = (k0 + panel_k).min(self.cols);
+                let mut i = r0;
+                while i + TILE_ROWS <= r1 {
+                    let mut acc = [[0.0f32; TC]; TILE_ROWS];
                     for (r, acc_row) in acc.iter_mut().enumerate() {
-                        let at = (i + r) * n + j;
-                        acc_row.copy_from_slice(&out.data[at..at + TILE_COLS]);
+                        let at = (i + r) * n + j - base;
+                        acc_row.copy_from_slice(&panel[at..at + TC]);
                     }
                     let a0 = self.row(i);
                     let a1 = self.row(i + 1);
                     let a2 = self.row(i + 2);
                     let a3 = self.row(i + 3);
                     for k in k0..k1 {
-                        let b: &[f32; TILE_COLS] = rhs.data
-                            [k * n + j..k * n + j + TILE_COLS]
-                            .try_into()
-                            .unwrap();
+                        let b: &[f32; TC] =
+                            rhs.data[k * n + j..k * n + j + TC].try_into().unwrap();
                         let x0 = a0[k];
                         let x1 = a1[k];
                         let x2 = a2[k];
                         let x3 = a3[k];
-                        for l in 0..TILE_COLS {
+                        for l in 0..TC {
                             let bl = b[l];
                             acc[0][l] = fma(x0, bl, acc[0][l]);
                             acc[1][l] = fma(x1, bl, acc[1][l]);
@@ -323,44 +433,44 @@ impl Matrix {
                         }
                     }
                     for (r, acc_row) in acc.iter().enumerate() {
-                        let at = (i + r) * n + j;
-                        out.data[at..at + TILE_COLS].copy_from_slice(acc_row);
+                        let at = (i + r) * n + j - base;
+                        panel[at..at + TC].copy_from_slice(acc_row);
                     }
                     i += TILE_ROWS;
                 }
                 // Row remainder: one row at a time, zero-skip restored.
-                while i < m {
-                    let mut acc = [0.0f32; TILE_COLS];
-                    let at = i * n + j;
-                    acc.copy_from_slice(&out.data[at..at + TILE_COLS]);
+                while i < r1 {
+                    let mut acc = [0.0f32; TC];
+                    let at = i * n + j - base;
+                    acc.copy_from_slice(&panel[at..at + TC]);
                     for (k, &x) in self.row(i)[k0..k1].iter().enumerate() {
                         if x == 0.0 {
                             continue;
                         }
-                        let b: &[f32; TILE_COLS] = rhs.data
-                            [(k0 + k) * n + j..(k0 + k) * n + j + TILE_COLS]
+                        let b: &[f32; TC] = rhs.data
+                            [(k0 + k) * n + j..(k0 + k) * n + j + TC]
                             .try_into()
                             .unwrap();
-                        for l in 0..TILE_COLS {
+                        for l in 0..TC {
                             acc[l] = fma(x, b[l], acc[l]);
                         }
                     }
-                    out.data[at..at + TILE_COLS].copy_from_slice(&acc);
+                    panel[at..at + TC].copy_from_slice(&acc);
                     i += 1;
                 }
                 k0 = k1;
             }
-            j += TILE_COLS;
+            j += TC;
         }
-        // Column tail (n % 16): plain zero-skipping axpy over the tail.
+        // Column tail (n % TC): plain zero-skipping axpy over the tail.
         if j < n {
-            for i in 0..m {
+            for i in r0..r1 {
                 for (k, &x) in self.row(i).iter().enumerate() {
                     if x == 0.0 {
                         continue;
                     }
                     let b_tail = &rhs.data[k * n + j..(k + 1) * n];
-                    let o_tail = &mut out.data[i * n + j..(i + 1) * n];
+                    let o_tail = &mut panel[i * n + j - base..(i + 1) * n - base];
                     for (o, &b) in o_tail.iter_mut().zip(b_tail.iter()) {
                         *o = fma(x, b, *o);
                     }
@@ -429,6 +539,24 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols == rhs.cols`.
     pub fn matmul_transpose_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_transpose_into_exec(rhs, out, &Exec::inline())
+    }
+
+    /// Parallel [`Matrix::matmul_transpose_into`]: output rows are split
+    /// into panels aligned to the kernel's 2-row pairing across `exec`'s
+    /// pool, so the same rows form register-tile pairs as in a
+    /// sequential run and the result is bit-identical at any thread
+    /// count.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_transpose_into_exec(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        exec: &Exec,
+    ) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_transposed",
@@ -438,8 +566,24 @@ impl Matrix {
         }
         out.resize(self.rows, rhs.rows);
         let n = rhs.rows;
-        let mut i = 0;
-        while i + 2 <= self.rows {
+        let out_ptr = SendPtr::new(out.data.as_mut_ptr());
+        exec.run_row_panels(self.rows, 2, &|r0, r1| {
+            // SAFETY: disjoint row panels; see `matmul_into_exec`.
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n)
+            };
+            self.matmul_transpose_rows(rhs, r0, r1, panel);
+        });
+        Ok(())
+    }
+
+    /// 2×4 register-tiled `self * rhs^T` over output rows `[r0, r1)`
+    /// (panel-local indexing) — PR-1's kernel restricted to a row range.
+    fn matmul_transpose_rows(&self, rhs: &Matrix, r0: usize, r1: usize, panel: &mut [f32]) {
+        let n = rhs.rows;
+        let base = r0 * n;
+        let mut i = r0;
+        while i + 2 <= r1 {
             let a0 = self.row(i);
             let a1 = self.row(i + 1);
             let mut j = 0;
@@ -452,25 +596,24 @@ impl Matrix {
                     rhs.row(j + 2),
                     rhs.row(j + 3),
                 );
-                out.data[i * n + j..i * n + j + 4].copy_from_slice(&t[0]);
-                out.data[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&t[1]);
+                panel[i * n + j - base..i * n + j + 4 - base].copy_from_slice(&t[0]);
+                panel[(i + 1) * n + j - base..(i + 1) * n + j + 4 - base].copy_from_slice(&t[1]);
                 j += 4;
             }
             while j < n {
                 let b = rhs.row(j);
-                out.data[i * n + j] = dot_lanes(a0, b);
-                out.data[(i + 1) * n + j] = dot_lanes(a1, b);
+                panel[i * n + j - base] = dot_lanes(a0, b);
+                panel[(i + 1) * n + j - base] = dot_lanes(a1, b);
                 j += 1;
             }
             i += 2;
         }
-        if i < self.rows {
+        if i < r1 {
             let a0 = self.row(i);
             for j in 0..n {
-                out.data[i * n + j] = dot_lanes(a0, rhs.row(j));
+                panel[i * n + j - base] = dot_lanes(a0, rhs.row(j));
             }
         }
-        Ok(())
     }
 
     /// Matrix product `self^T * rhs` written into `out`, reusing `out`'s
@@ -484,6 +627,25 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.rows == rhs.rows`.
     pub fn transpose_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.transpose_matmul_into_exec(rhs, out, &Exec::inline())
+    }
+
+    /// Parallel [`Matrix::transpose_matmul_into`]: the *output* rows
+    /// (columns of `self`) are split into panels across `exec`'s pool.
+    /// Every thread walks the shared sample rows `r` in the same
+    /// ascending order, scattering only into its own panel, so each
+    /// output element keeps the sequential accumulation order and the
+    /// result is bit-identical at any thread count.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.rows == rhs.rows`.
+    pub fn transpose_matmul_into_exec(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        exec: &Exec,
+    ) -> Result<()> {
         if self.rows != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "transpose_matmul",
@@ -493,20 +655,35 @@ impl Matrix {
         }
         out.resize(self.cols, rhs.cols);
         let n = rhs.cols;
+        let out_ptr = SendPtr::new(out.data.as_mut_ptr());
+        exec.run_row_panels(self.cols, 1, &|c0, c1| {
+            // SAFETY: disjoint output-row panels; see `matmul_into_exec`.
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(c0 * n), (c1 - c0) * n)
+            };
+            self.transpose_matmul_cols(rhs, c0, c1, panel);
+        });
+        Ok(())
+    }
+
+    /// Gradient scatter kernel `self^T * rhs` restricted to output rows
+    /// `[c0, c1)` — i.e. columns `c0..c1` of `self` (panel-local
+    /// indexing). Keeps PR-1's r-outer, zero-skipping loop shape.
+    fn transpose_matmul_cols(&self, rhs: &Matrix, c0: usize, c1: usize, panel: &mut [f32]) {
+        let n = rhs.cols;
         for r in 0..self.rows {
-            let a_row = self.row(r);
+            let a_row = &self.row(r)[c0..c1];
             let b_row = &rhs.data[r * n..(r + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut panel[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o = fma(a, b, *o);
                 }
             }
         }
-        Ok(())
     }
 
     /// Reshape in place to `rows x cols`, zero-filling every element and
@@ -781,13 +958,20 @@ impl Matrix {
     }
 }
 
-/// Minimum row count at which [`Matrix::matmul_into`] routes to the
-/// register-tiled kernel. The tile forgoes the zero-skip that post-ReLU
-/// activation sparsity makes profitable, so it needs enough rows for
-/// register reuse to amortise the extra arithmetic; below this the
-/// zero-skipping axpy kernel wins and stays on the exact per-sample
-/// code path.
+/// Default minimum row count at which [`Matrix::matmul_into`] routes to
+/// the register-tiled kernel. The tile forgoes the zero-skip that
+/// post-ReLU activation sparsity makes profitable, so it needs enough
+/// rows for register reuse to amortise the extra arithmetic; below this
+/// the zero-skipping axpy kernel wins and stays on the exact per-sample
+/// code path. Since PR 3 this is only the *default* — the live
+/// threshold is `KernelPlan::tiled_min_rows`, measured per host by
+/// [`KernelPlan::autotune`](crate::plan::KernelPlan::autotune).
 pub const TILED_MIN_ROWS: usize = 16;
+
+/// Row height of the register tile in [`Matrix::matmul_into_exec`]'s
+/// batched kernel. Row panels handed to pool pieces are aligned to this
+/// so tile membership is identical to a sequential run.
+pub(crate) const TILE_ROWS: usize = 4;
 
 /// Fused multiply-add `a * b + c`, the one accumulation primitive every
 /// matmul kernel in this crate goes through.

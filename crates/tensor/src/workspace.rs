@@ -20,17 +20,45 @@
 //!   fully zeroed matrix of exactly the requested shape.
 
 use crate::matrix::Matrix;
+use crate::pool::Exec;
 
-/// A pool of recycled `f32` buffers backing temporary matrices.
+/// A pool of recycled `f32` buffers backing temporary matrices, plus
+/// the [`Exec`] compute context the owning driver loop's kernels run
+/// on. Riding the execution context here means every batched hot path
+/// that already threads a `Workspace` (training steps, batch embedding,
+/// streaming inference) picks up the autotuned [`crate::plan::KernelPlan`]
+/// and the shared compute pool without any signature changes.
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    exec: Exec,
 }
 
 impl Workspace {
-    /// An empty workspace; buffers are allocated lazily on first use.
+    /// An empty workspace; buffers are allocated lazily on first use and
+    /// kernels run on the process-wide [`Exec::global`] context.
     pub fn new() -> Self {
         Workspace::default()
+    }
+
+    /// An empty workspace whose kernels run on `exec` — how benchmarks
+    /// and property tests pin a specific pool size or plan.
+    pub fn with_exec(exec: Exec) -> Self {
+        Workspace {
+            pool: Vec::new(),
+            exec,
+        }
+    }
+
+    /// The compute context this workspace's kernels run on.
+    pub fn exec(&self) -> &Exec {
+        &self.exec
+    }
+
+    /// Replace the compute context (e.g. after installing an autotuned
+    /// plan mid-session).
+    pub fn set_exec(&mut self, exec: Exec) {
+        self.exec = exec;
     }
 
     /// Borrow a zeroed `rows x cols` matrix, reusing a pooled allocation

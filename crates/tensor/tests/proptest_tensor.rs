@@ -9,7 +9,7 @@ use magneto_tensor::matrix::Matrix;
 use magneto_tensor::serialize::{decode_matrix, encode_matrix};
 use magneto_tensor::stats;
 use magneto_tensor::vector;
-use magneto_tensor::Workspace;
+use magneto_tensor::{Exec, KernelPlan, Workspace};
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
@@ -261,5 +261,124 @@ proptest! {
         for (out_r, &src_r) in idx.iter().enumerate() {
             prop_assert_eq!(s.row(out_r), m.row(src_r));
         }
+    }
+}
+
+/// Execution contexts for the determinism properties below, one per pool
+/// size, built once (pool threads are reused across proptest cases). The
+/// `par_min_rows` floor is lowered so even small generated matrices take
+/// the parallel dispatch path.
+fn pooled_execs() -> &'static [Exec] {
+    static EXECS: std::sync::OnceLock<Vec<Exec>> = std::sync::OnceLock::new();
+    EXECS.get_or_init(|| {
+        [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                let mut plan = KernelPlan::inline().with_threads(t);
+                plan.par_min_rows = 8;
+                Exec::from_plan(plan)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The tentpole determinism claim: every exec GEMM kernel produces
+    /// bit-identical output at any pool size, because row panels are
+    /// aligned to kernel tile heights and per-element accumulation order
+    /// never changes.
+    #[test]
+    fn matmul_exec_bit_identical_at_any_pool_size((a, b) in tall_paired_matrices()) {
+        let mut reference = Matrix::zeros(0, 0);
+        a.matmul_into_exec(&b, &mut reference, &Exec::inline()).unwrap();
+        for exec in pooled_execs() {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_into_exec(&b, &mut out, exec).unwrap();
+            prop_assert_eq!(&out, &reference, "threads={}", exec.threads());
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_exec_bit_identical((a, b) in tall_paired_matrices()) {
+        let c = b.transpose();
+        let mut reference = Matrix::zeros(0, 0);
+        a.matmul_transpose_into_exec(&c, &mut reference, &Exec::inline()).unwrap();
+        for exec in pooled_execs() {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_transpose_into_exec(&c, &mut out, exec).unwrap();
+            prop_assert_eq!(&out, &reference, "threads={}", exec.threads());
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_exec_bit_identical((a, b) in tall_paired_matrices()) {
+        let d = a.matmul_naive(&b).unwrap();
+        let mut reference = Matrix::zeros(0, 0);
+        a.transpose_matmul_into_exec(&d, &mut reference, &Exec::inline()).unwrap();
+        for exec in pooled_execs() {
+            let mut out = Matrix::zeros(0, 0);
+            a.transpose_matmul_into_exec(&d, &mut out, exec).unwrap();
+            prop_assert_eq!(&out, &reference, "threads={}", exec.threads());
+        }
+    }
+
+    /// The fused bias+activation epilogue must match the separate
+    /// matmul → add-bias → activate passes bit for bit (bias is added
+    /// once after full k-accumulation, exactly like the unfused path),
+    /// at every pool size.
+    #[test]
+    fn fused_bias_act_exec_bit_identical((a, b) in tall_paired_matrices()) {
+        let bias: Vec<f32> = (0..b.cols()).map(|c| c as f32 / 8.0 - 1.0).collect();
+        let relu = |v: f32| if v > 0.0 { v } else { 0.0 };
+        let mut reference = Matrix::zeros(0, 0);
+        a.matmul_into_exec(&b, &mut reference, &Exec::inline()).unwrap();
+        for r in 0..reference.rows() {
+            for (o, &bv) in reference.row_mut(r).iter_mut().zip(bias.iter()) {
+                *o = relu(*o + bv);
+            }
+        }
+        for exec in std::iter::once(&Exec::inline()).chain(pooled_execs()) {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_bias_act_into_exec(&b, &bias, relu, &mut out, exec).unwrap();
+            prop_assert_eq!(&out, &reference, "threads={}", exec.threads());
+        }
+    }
+
+    /// Any sanitized kernel plan survives a JSON round-trip unchanged.
+    #[test]
+    fn kernel_plan_json_roundtrip(
+        threads in 0usize..40,
+        tile_cols in 0usize..80,
+        tiled_min_rows in 0usize..10_000,
+        panel_k in 0usize..20_000,
+        par_min_rows in 0usize..2_000_000,
+    ) {
+        let plan = KernelPlan {
+            version: magneto_tensor::plan::PLAN_VERSION,
+            threads,
+            tile_cols,
+            tiled_min_rows,
+            panel_k,
+            par_min_rows,
+        }
+        .sanitized();
+        let back = KernelPlan::from_json(&plan.to_json()).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    /// A corrupt (or absent) plan cache never breaks startup: loading
+    /// falls back to the host default plan.
+    #[test]
+    fn corrupt_plan_cache_falls_back_to_default(garbage in prop::collection::vec(any::<u8>(), 0..64)) {
+        let path = std::env::temp_dir().join(format!(
+            "magneto_plan_prop_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, &garbage).unwrap();
+        let loaded = KernelPlan::load_or_default(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded, KernelPlan::host_default());
+        let missing = path.with_extension("missing.json");
+        prop_assert_eq!(KernelPlan::load_or_default(&missing), KernelPlan::host_default());
     }
 }

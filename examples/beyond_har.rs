@@ -94,7 +94,7 @@ fn main() {
     println!(
         "[cloud] loss {:.3} -> {:.3}",
         report.epoch_losses[0],
-        report.final_loss()
+        report.final_loss().unwrap_or(f32::NAN)
     );
 
     // Support set + NCM, exactly as for HAR.

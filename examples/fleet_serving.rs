@@ -59,6 +59,10 @@ fn main() {
         ..FleetConfig::default()
     })
     .unwrap();
+    println!(
+        "[fleet] compute (shared across workers): {}",
+        fleet.compute_plan().describe()
+    );
     let key = ModelKey::of_bundle(&bundle);
 
     // Cheap on-device calibration for the demo: a couple of epochs is

@@ -31,7 +31,7 @@ fn main() {
         "[cloud] trained {} epochs, loss {:.4} -> {:.4}",
         report.training.epochs_run,
         report.training.epoch_losses[0],
-        report.training.final_loss()
+        report.training.final_loss().unwrap_or(f32::NAN)
     );
 
     let sizes = bundle.size_report(false);

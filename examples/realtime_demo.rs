@@ -47,6 +47,10 @@ fn live_inference(
 
 fn main() {
     println!("== MAGNETO demo replay (Figure 3) ==\n");
+    println!(
+        "[setup] compute: {}",
+        magneto::tensor::pool::global_plan().describe()
+    );
     println!("[setup] cloud initialisation…");
     let corpus = SensorDataset::generate(&GeneratorConfig::base_five(60), 11);
     let mut cfg = CloudConfig::fast_demo();
@@ -77,7 +81,7 @@ fn main() {
     println!(
         "    {} epochs, final loss {:.4}; model now knows {:?}",
         report.training.epochs_run,
-        report.training.final_loss(),
+        report.training.final_loss().unwrap_or(f32::NAN),
         report.classes_after
     );
 

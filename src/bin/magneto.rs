@@ -68,12 +68,14 @@ impl Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  magneto pretrain  --out PATH [--windows-per-class N] [--epochs N] [--seed N] [--fast] [--quantized]
+  magneto pretrain  --out PATH [--windows-per-class N] [--epochs N] [--seed N] [--fast] [--quantized] [--retune]
   magneto inspect   BUNDLE
-  magneto infer     BUNDLE --activity NAME [--seconds N] [--seed N] [--atypical]
-  magneto learn     BUNDLE --label NAME --activity NAME [--seconds N] [--seed N] [--out PATH]
-  magneto calibrate BUNDLE --label NAME [--seconds N] [--seed N] [--atypical] [--out PATH]
+  magneto infer     BUNDLE --activity NAME [--seconds N] [--seed N] [--atypical] [--retune]
+  magneto learn     BUNDLE --label NAME --activity NAME [--seconds N] [--seed N] [--out PATH] [--retune]
+  magneto calibrate BUNDLE --label NAME [--seconds N] [--seed N] [--atypical] [--out PATH] [--retune]
   magneto demo      [--fast]
+
+--retune re-runs the kernel-plan autotune instead of loading the cached *.plan.json
 
 activities: drive e_scooter run still walk gesture_hi gesture_circle jump stairs_up"
     );
@@ -120,6 +122,29 @@ fn bundle_path(args: &Args) -> Result<PathBuf, String> {
         .ok_or_else(|| "missing bundle path".into())
 }
 
+/// Install the process-wide execution context for this device.
+///
+/// The autotuned kernel plan is cached next to the bundle
+/// (`*.plan.json`); first run — or `--retune` — pays a short
+/// micro-benchmark pass, every later run loads the cache. A missing or
+/// corrupt cache silently falls back to the host default: tuning state
+/// must never stop the app from starting.
+fn install_compute_plan(bundle: &Path, args: &Args) {
+    use magneto::core::storage::{kernel_plan_path, load_kernel_plan, save_kernel_plan};
+    let plan = if !args.has("retune") && kernel_plan_path(bundle).exists() {
+        load_kernel_plan(bundle)
+    } else {
+        println!("[compute] autotuning kernel plan…");
+        let plan = magneto::tensor::KernelPlan::autotune();
+        if let Err(e) = save_kernel_plan(&plan, bundle) {
+            eprintln!("warning: could not cache kernel plan: {e}");
+        }
+        plan
+    };
+    magneto::tensor::install_global(magneto::tensor::Exec::from_plan(plan));
+    println!("[compute] {}", plan.describe());
+}
+
 fn cmd_pretrain(args: &Args) -> Result<(), String> {
     let out = PathBuf::from(args.flag("out").ok_or("--out PATH is required")?);
     let windows = args.num("windows-per-class", 120usize);
@@ -132,6 +157,7 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
     };
     config.trainer.epochs = epochs;
     config.seed = seed;
+    install_compute_plan(&out, args);
 
     println!("[cloud] generating corpus: {windows} windows x 5 activities (seed {seed})…");
     let corpus = SensorDataset::generate(&GeneratorConfig::base_five(windows), seed);
@@ -142,7 +168,7 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
     println!(
         "[cloud] loss {:.4} -> {:.4} over {} epochs",
         report.training.epoch_losses.first().unwrap_or(&f32::NAN),
-        report.training.final_loss(),
+        report.training.final_loss().unwrap_or(f32::NAN),
         report.training.epochs_run
     );
     let quantized = args.has("quantized");
@@ -197,6 +223,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let seconds = args.num("seconds", 5usize);
     let seed = args.num("seed", 1u64);
 
+    install_compute_plan(&path, args);
     let mut device = load_device(&path)?;
     println!(
         "[edge] session: {seconds}s of `{activity}` (device knows {:?})",
@@ -250,6 +277,7 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     let seed = args.num("seed", 2u64);
     let out = args.flag("out").map(PathBuf::from).unwrap_or_else(|| path.clone());
 
+    install_compute_plan(&path, args);
     let mut device = load_device(&path)?;
     println!("[edge] recording {seconds:.0}s of `{label}`…");
     let recording =
@@ -261,7 +289,7 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     println!(
         "[edge] {} epochs, final loss {:.4}; classes now {:?}",
         report.training.epochs_run,
-        report.training.final_loss(),
+        report.training.final_loss().unwrap_or(f32::NAN),
         report.classes_after
     );
     save_bundle(&device.as_bundle(), &out, false).map_err(|e| e.to_string())?;
@@ -279,6 +307,7 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
     let seed = args.num("seed", 3u64);
     let out = args.flag("out").map(PathBuf::from).unwrap_or_else(|| path.clone());
 
+    install_compute_plan(&path, args);
     let mut device = load_device(&path)?;
     let person = person_for(args);
     println!(
@@ -292,7 +321,7 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
     println!(
         "[edge] calibrated `{label}` in {} epochs (final loss {:.4})",
         report.training.epochs_run,
-        report.training.final_loss()
+        report.training.final_loss().unwrap_or(f32::NAN)
     );
     save_bundle(&device.as_bundle(), &out, false).map_err(|e| e.to_string())?;
     println!("[edge] saved updated bundle to {}", out.display());
