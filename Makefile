@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet fleet-smoke train-smoke clean
+.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke clean
 
-check: build test clippy fleet-smoke train-smoke
+check: build test clippy fleet-smoke train-smoke quant-smoke
 
 build:
 	$(CARGO) build --release
@@ -42,6 +42,16 @@ fleet-smoke: build
 # installed kernel plan is not slower than forced sequential.
 train-smoke: build
 	$(CARGO) run --release -p magneto-bench --bin train_smoke
+
+# Release-mode quantised-path smoke run: asserts ≥99% f32/int8 prediction
+# agreement, bit-identical int8 embeddings at pool sizes 0/1/2/8, and no
+# regression of the int8 forward under the installed kernel plan; emits
+# BENCH_quant.json in the working directory.
+quant-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin quant_smoke
+
+# Alias mirroring bench-train for the quantised path.
+bench-quant: quant-smoke
 
 clean:
 	$(CARGO) clean

@@ -27,7 +27,7 @@ fn main() {
     header("C1", "end-to-end inference latency", &opts);
 
     let fx = build_fixture(&opts);
-    let dims = fx.bundle.model.backbone().dims();
+    let dims = fx.bundle.model.dims();
     let classes = fx.bundle.registry.len();
     let mut device = deploy(fx.bundle);
 

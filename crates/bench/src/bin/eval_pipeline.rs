@@ -80,7 +80,7 @@ fn main() {
     let embed_us = t2.elapsed().as_secs_f64() * 1e6;
     println!(
         "  embed     : Siamese FC {:?}  {:>9.1} µs  (dim {})",
-        fx.bundle.model.backbone().dims(),
+        fx.bundle.model.dims(),
         embed_us,
         embedding.len()
     );

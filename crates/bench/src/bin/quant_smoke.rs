@@ -1,0 +1,236 @@
+//! Quantised execution smoke test (wired into `make check`): measures
+//! the int8 inference path against f32 end-to-end and emits
+//! machine-readable `BENCH_quant.json`. Gates on three properties:
+//!
+//! 1. **Agreement** — an int8 device must agree with the f32 device on
+//!    ≥ 99% of synthetic eval windows (the deploy-policy acceptance bar).
+//! 2. **Determinism** — int8 batched embeddings must be bit-identical
+//!    across compute-pool sizes, including fully inline: the i8×i8→i32
+//!    kernels accumulate exactly, so any split of the row space commutes.
+//! 3. **No regression** — the int8 forward under the installed kernel
+//!    plan must not be slower than forced sequential (≥ 1.0× with a
+//!    parallel plan; ≥ 0.9× noise floor on a single-thread host).
+
+use magneto_core::{CloudConfig, CloudInitializer, EdgeConfig, EdgeDevice, Precision};
+use magneto_nn::{Mlp, QuantizedSiamese, SiameseNetwork};
+use magneto_sensors::{GeneratorConfig, SensorDataset};
+use magneto_tensor::{Exec, KernelPlan, Matrix, SeededRng, Workspace};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Backbone for the kernel-level sweep — big enough that threading the
+/// GEMM matters.
+const DIMS: &[usize] = &[80, 512, 256, 128];
+const BATCH: usize = 128;
+const REPS: usize = 50;
+/// Pool sizes for the bit-identity sweep; 0 means fully inline.
+const POOL_SWEEP: &[usize] = &[0, 1, 2, 8];
+
+#[derive(Serialize)]
+struct SweepEntry {
+    threads: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    bit_identical_to_inline: bool,
+}
+
+#[derive(Serialize)]
+struct QuantReport {
+    bench: String,
+    plan: String,
+    host_threads: usize,
+    eval_windows: usize,
+    agreement: f64,
+    f32_per_window_ms: f64,
+    int8_per_window_ms: f64,
+    f32_resident_bytes: usize,
+    int8_resident_bytes: usize,
+    f32_bundle_bytes: usize,
+    int8_bundle_bytes: usize,
+    entries: Vec<SweepEntry>,
+    gate_speedup: f64,
+    gate_threshold: f64,
+}
+
+struct Timings {
+    min_ms: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn stats(mut ms: Vec<f64>) -> Timings {
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean_ms = ms.iter().sum::<f64>() / ms.len() as f64;
+    let pct = |p: f64| ms[((ms.len() - 1) as f64 * p).round() as usize];
+    Timings {
+        min_ms: ms[0],
+        mean_ms,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Embed `features` `REPS` times on the given exec; returns the last
+/// embedding batch and per-call times.
+fn quant_infer_run(net: &QuantizedSiamese, features: &Matrix, exec: Exec) -> (Matrix, Vec<f64>) {
+    let mut ws = Workspace::with_exec(exec);
+    let mut out = Matrix::default();
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        net.embed_into(features, &mut out, &mut ws).expect("embed");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (out, times)
+}
+
+fn main() {
+    let plan = KernelPlan::host_default();
+    println!("quant_smoke: kernel plan [{}]", plan.describe());
+
+    // ---- end-to-end: f32 vs int8 devices from one bundle ---------------
+    let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 0x51);
+    let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
+        .pretrain(&corpus)
+        .expect("pretrain");
+    let f32_bundle_bytes = bundle.to_bytes(false).len();
+    let int8_bundle_bytes = bundle.to_bytes(true).len();
+
+    let deploy = |precision| {
+        EdgeDevice::deploy(
+            bundle.clone(),
+            EdgeConfig {
+                precision,
+                ..EdgeConfig::default()
+            },
+        )
+        .expect("deploy")
+    };
+    let mut f32_dev = deploy(Precision::F32);
+    let mut int8_dev = deploy(Precision::Int8);
+    println!(
+        "quant_smoke: resident bytes f32 {} / int8 {} ({:.2}x)",
+        f32_dev.resident_bytes(),
+        int8_dev.resident_bytes(),
+        int8_dev.resident_bytes() as f64 / f32_dev.resident_bytes() as f64
+    );
+
+    let eval = SensorDataset::generate(
+        &GeneratorConfig {
+            windows_per_class: 20,
+            ..GeneratorConfig::tiny()
+        },
+        0x52,
+    );
+    let mut agree = 0usize;
+    let (mut f32_ms, mut int8_ms) = (Vec::new(), Vec::new());
+    for w in &eval.windows {
+        let t0 = Instant::now();
+        let a = f32_dev.infer_window(&w.channels).expect("f32 infer");
+        f32_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let b = int8_dev.infer_window(&w.channels).expect("int8 infer");
+        int8_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if a.label == b.label {
+            agree += 1;
+        }
+    }
+    let agreement = agree as f64 / eval.windows.len() as f64;
+    let f32_t = stats(f32_ms);
+    let int8_t = stats(int8_ms);
+    println!(
+        "quant_smoke: agreement {agree}/{} ({:.1}%); per-window f32 {:.3} ms / int8 {:.3} ms",
+        eval.windows.len(),
+        agreement * 100.0,
+        f32_t.mean_ms,
+        int8_t.mean_ms
+    );
+    assert!(
+        agreement >= 0.99,
+        "int8 agreement {agreement:.3} below the 0.99 gate"
+    );
+
+    // ---- kernel-level sweep: bit-identity across pool sizes ------------
+    let mut rng = SeededRng::new(0x53);
+    let net = SiameseNetwork::new(Mlp::new(DIMS, &mut rng).expect("backbone"), 1.0);
+    let qnet = QuantizedSiamese::quantize(&net).expect("quantize");
+    let rows: Vec<Vec<f32>> = (0..BATCH)
+        .map(|_| (0..DIMS[0]).map(|_| rng.normal()).collect())
+        .collect();
+    let features = Matrix::from_rows(&rows).expect("features");
+
+    let (inline_emb, inline_times) = quant_infer_run(&qnet, &features, Exec::inline());
+    // Gate on best-observed time: the min is robust to scheduler noise
+    // and co-running workloads where the mean is not.
+    let seq_min = stats(inline_times).min_ms;
+
+    let mut entries = Vec::new();
+    for &t in POOL_SWEEP {
+        let exec = if t == 0 {
+            Exec::inline()
+        } else {
+            Exec::from_plan(plan.with_threads(t))
+        };
+        let (emb, times) = quant_infer_run(&qnet, &features, exec);
+        let identical = emb == inline_emb;
+        assert!(
+            identical,
+            "int8 embeddings at pool size {t} differ from the inline path"
+        );
+        let s = stats(times);
+        println!(
+            "quant_smoke: int8 embed pool {t}: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+            s.mean_ms, s.p50_ms, s.p99_ms
+        );
+        entries.push(SweepEntry {
+            threads: t,
+            mean_ms: s.mean_ms,
+            p50_ms: s.p50_ms,
+            p99_ms: s.p99_ms,
+            bit_identical_to_inline: identical,
+        });
+    }
+
+    // ---- gate: installed plan vs forced sequential on the int8 path ----
+    let (plan_emb, plan_times) = quant_infer_run(&qnet, &features, Exec::from_plan(plan));
+    assert_eq!(
+        plan_emb, inline_emb,
+        "int8 embeddings under the installed plan differ from the inline path"
+    );
+    let gate_speedup = seq_min / stats(plan_times).min_ms;
+    let gate_threshold = if plan.threads > 1 { 1.0 } else { 0.9 };
+    println!(
+        "quant_smoke: installed plan ({} thread(s)) speedup {gate_speedup:.2}x (gate ≥ {gate_threshold:.1}x)",
+        plan.threads
+    );
+    assert!(
+        gate_speedup >= gate_threshold,
+        "int8 forward under the installed plan regressed: {gate_speedup:.2}x < {gate_threshold:.1}x"
+    );
+
+    let report = QuantReport {
+        bench: "quantized_inference".into(),
+        plan: plan.describe(),
+        host_threads: plan.threads,
+        eval_windows: eval.windows.len(),
+        agreement,
+        f32_per_window_ms: f32_t.mean_ms,
+        int8_per_window_ms: int8_t.mean_ms,
+        f32_resident_bytes: f32_dev.resident_bytes(),
+        int8_resident_bytes: int8_dev.resident_bytes(),
+        f32_bundle_bytes,
+        int8_bundle_bytes,
+        entries,
+        gate_speedup,
+        gate_threshold,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_quant.json", json).expect("write report");
+    println!("quant_smoke: wrote BENCH_quant.json");
+    println!(
+        "quant_smoke OK: agreement {:.1}%, bit-identical at pool sizes {POOL_SWEEP:?}, gate {gate_speedup:.2}x",
+        agreement * 100.0
+    );
+}

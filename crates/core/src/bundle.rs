@@ -19,11 +19,12 @@
 
 use crate::error::CoreError;
 use crate::label::LabelRegistry;
+use crate::precision::ResidentModel;
 use crate::support_set::SupportSet;
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use magneto_dsp::PreprocessingPipeline;
-use magneto_nn::quantize::QuantizedMlp;
+use magneto_nn::quantize::{QuantizedMlp, QuantizedSiamese};
 use magneto_nn::serialize::{decode_mlp, encode_mlp};
 use magneto_nn::SiameseNetwork;
 use serde::{Deserialize, Serialize};
@@ -38,8 +39,10 @@ const FORMAT_QUANTIZED: u8 = 1;
 pub struct EdgeBundle {
     /// The pre-processing function (denoise → 80 features → normalise).
     pub pipeline: PreprocessingPipeline,
-    /// The Siamese embedding model.
-    pub model: SiameseNetwork,
+    /// The embedding model at the precision it was decoded (or built)
+    /// at. A quantised bundle decodes straight into the `Int8` arm — no
+    /// f32 weights are ever materialised.
+    pub model: ResidentModel,
     /// Budgeted per-class exemplars.
     pub support_set: SupportSet,
     /// Class id registry.
@@ -62,14 +65,22 @@ pub struct BundleSizeReport {
 }
 
 impl BundleSizeReport {
-    /// Total size in MiB.
+    /// Total size in MiB (binary mebibytes, for humans used to them).
     pub fn total_mib(&self) -> f64 {
         self.total_bytes as f64 / (1024.0 * 1024.0)
     }
 
-    /// Whether the paper's 5 MB budget is met.
+    /// Total size in decimal megabytes — the unit of the paper's
+    /// "does not exceed 5 MB".
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes as f64 / 1_000_000.0
+    }
+
+    /// Whether the paper's 5 MB budget is met. "MB" is decimal
+    /// (5 MB = 5,000,000 bytes); the earlier MiB comparison silently
+    /// granted a ~4.9% larger budget than the paper claims.
     pub fn within_5mb(&self) -> bool {
-        self.total_bytes < 5 * 1024 * 1024
+        self.total_bytes <= 5_000_000
     }
 }
 
@@ -95,17 +106,31 @@ fn get_section(buf: &mut Bytes, what: &str) -> Result<Vec<u8>> {
 }
 
 impl EdgeBundle {
+    /// The model section at the requested wire precision. An int8
+    /// resident model writes its weights verbatim when `quantized`;
+    /// mixed cases convert (f32→int8 quantises, int8→f32 dequantises).
+    fn model_section(&self, quantized: bool) -> Vec<u8> {
+        match (&self.model, quantized) {
+            (ResidentModel::F32(net), false) => encode_mlp(net.backbone()),
+            (ResidentModel::F32(net), true) => QuantizedMlp::quantize(net.backbone())
+                .expect("a constructed backbone has no degenerate layers")
+                .to_bytes(),
+            (ResidentModel::Int8(q), true) => q.backbone().to_bytes(),
+            (ResidentModel::Int8(q), false) => encode_mlp(
+                &q.backbone()
+                    .dequantize()
+                    .expect("a constructed quantized backbone is consistent"),
+            ),
+        }
+    }
+
     /// Serialise the bundle. With `quantized = true` the model section
     /// stores int8 weights (~4× smaller, slightly lossy).
     pub fn to_bytes(&self, quantized: bool) -> Vec<u8> {
         let pipeline = self.pipeline.to_bytes();
-        let model = if quantized {
-            QuantizedMlp::quantize(self.model.backbone()).to_bytes()
-        } else {
-            encode_mlp(self.model.backbone())
-        };
+        let model = self.model_section(quantized);
         let support = serde_json::to_vec(&SupportEnvelope {
-            margin: self.model.margin,
+            margin: self.model.margin(),
             support_set: &self.support_set,
         })
         .expect("support set serialisation cannot fail");
@@ -151,23 +176,32 @@ impl EdgeBundle {
         let registry_bytes = get_section(&mut buf, "registry")?;
 
         let pipeline = PreprocessingPipeline::from_bytes(&pipeline_bytes)?;
-        let backbone = match format {
-            FORMAT_F32 => decode_mlp(&model_bytes)?,
-            FORMAT_QUANTIZED => QuantizedMlp::from_bytes(&model_bytes)?.dequantize()?,
+        let envelope: SupportEnvelopeOwned = serde_json::from_slice(&support_bytes)
+            .map_err(|e| CoreError::InvalidBundle(format!("support set: {e}")))?;
+        let registry: LabelRegistry = serde_json::from_slice(&registry_bytes)
+            .map_err(|e| CoreError::InvalidBundle(format!("registry: {e}")))?;
+
+        // A quantised model section stays quantised: the int8 weights
+        // become the resident model directly, with zero f32 rehydration.
+        let model = match format {
+            FORMAT_F32 => ResidentModel::F32(SiameseNetwork::new(
+                decode_mlp(&model_bytes)?,
+                envelope.margin,
+            )),
+            FORMAT_QUANTIZED => ResidentModel::Int8(QuantizedSiamese::from_parts(
+                QuantizedMlp::from_bytes(&model_bytes)?,
+                envelope.margin,
+            )),
             other => {
                 return Err(CoreError::InvalidBundle(format!(
                     "unknown model format {other}"
                 )))
             }
         };
-        let envelope: SupportEnvelopeOwned = serde_json::from_slice(&support_bytes)
-            .map_err(|e| CoreError::InvalidBundle(format!("support set: {e}")))?;
-        let registry: LabelRegistry = serde_json::from_slice(&registry_bytes)
-            .map_err(|e| CoreError::InvalidBundle(format!("registry: {e}")))?;
 
         let bundle = EdgeBundle {
             pipeline,
-            model: SiameseNetwork::new(backbone, envelope.margin),
+            model,
             support_set: envelope.support_set,
             registry,
         };
@@ -180,10 +214,10 @@ impl EdgeBundle {
     /// # Errors
     /// [`CoreError::InvalidBundle`] describing the first inconsistency.
     pub fn validate(&self) -> Result<()> {
-        if self.model.backbone().input_dim() != self.pipeline.output_dim() {
+        if self.model.input_dim() != self.pipeline.output_dim() {
             return Err(CoreError::InvalidBundle(format!(
                 "model expects {} features, pipeline produces {}",
-                self.model.backbone().input_dim(),
+                self.model.input_dim(),
                 self.pipeline.output_dim()
             )));
         }
@@ -210,13 +244,9 @@ impl EdgeBundle {
     /// Measured size breakdown for a given precision.
     pub fn size_report(&self, quantized: bool) -> BundleSizeReport {
         let pipeline_bytes = self.pipeline.to_bytes().len();
-        let model_bytes = if quantized {
-            QuantizedMlp::quantize(self.model.backbone()).to_bytes().len()
-        } else {
-            encode_mlp(self.model.backbone()).len()
-        };
+        let model_bytes = self.model_section(quantized).len();
         let support_set_bytes = serde_json::to_vec(&SupportEnvelope {
-            margin: self.model.margin,
+            margin: self.model.margin(),
             support_set: &self.support_set,
         })
         .map(|v| v.len())
@@ -282,7 +312,7 @@ mod tests {
         support.set_class("run", &samples, &mut rng).unwrap();
         EdgeBundle {
             pipeline,
-            model: SiameseNetwork::new(backbone, 1.0),
+            model: SiameseNetwork::new(backbone, 1.0).into(),
             support_set: support,
             registry: LabelRegistry::from_labels(["walk", "run"]),
         }
@@ -301,11 +331,23 @@ mod tests {
         let b = tiny_bundle(2);
         let bytes = b.to_bytes(true);
         let back = EdgeBundle::from_bytes(&bytes).unwrap();
-        // Weights are lossy but architecture and everything else is exact.
-        assert_eq!(back.model.backbone().dims(), b.model.backbone().dims());
+        // Weights are lossy but architecture and everything else is exact,
+        // and the decoded model stays int8 — no f32 rehydration.
+        assert_eq!(back.model.precision(), crate::precision::Precision::Int8);
+        assert_eq!(back.model.dims(), b.model.dims());
         assert_eq!(back.support_set, b.support_set);
         assert_eq!(back.registry, b.registry);
         assert!(bytes.len() < b.to_bytes(false).len());
+    }
+
+    #[test]
+    fn quantized_bundle_reserializes_verbatim() {
+        // int8 → bytes → int8 → bytes is lossless: the resident weights
+        // are written back without any dequantize/requantize round trip.
+        let b = tiny_bundle(10);
+        let bytes = b.to_bytes(true);
+        let back = EdgeBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(true), bytes);
     }
 
     #[test]
@@ -349,7 +391,7 @@ mod tests {
         // Model input dim that does not match the pipeline.
         let mut b2 = tiny_bundle(6);
         let mut rng = SeededRng::new(7);
-        b2.model = SiameseNetwork::new(Mlp::new(&[40, 8], &mut rng).unwrap(), 1.0);
+        b2.model = SiameseNetwork::new(Mlp::new(&[40, 8], &mut rng).unwrap(), 1.0).into();
         assert!(b2.validate().is_err());
     }
 
@@ -366,8 +408,64 @@ mod tests {
     #[test]
     fn margin_survives_roundtrip() {
         let mut b = tiny_bundle(9);
-        b.model.margin = 2.5;
+        b.model.set_margin(2.5);
         let back = EdgeBundle::from_bytes(&b.to_bytes(false)).unwrap();
-        assert_eq!(back.model.margin, 2.5);
+        assert_eq!(back.model.margin(), 2.5);
+        let back_q = EdgeBundle::from_bytes(&b.to_bytes(true)).unwrap();
+        assert_eq!(back_q.model.margin(), 2.5);
+    }
+
+    #[test]
+    fn within_5mb_uses_decimal_megabytes() {
+        let at_budget = BundleSizeReport {
+            pipeline_bytes: 0,
+            model_bytes: 0,
+            support_set_bytes: 0,
+            registry_bytes: 0,
+            total_bytes: 5_000_000,
+        };
+        assert!(at_budget.within_5mb());
+        let one_over = BundleSizeReport {
+            total_bytes: 5_000_001,
+            ..at_budget
+        };
+        assert!(!one_over.within_5mb());
+        // 5,000,001 bytes is under 5 MiB — the old MiB comparison would
+        // have (wrongly) passed it.
+        assert!(one_over.total_mib() < 5.0);
+        assert!(one_over.total_mb() > 5.0);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_without_panicking() {
+        let b = tiny_bundle(11);
+        for quantized in [false, true] {
+            let good = b.to_bytes(quantized);
+            for cut in 0..good.len() {
+                assert!(
+                    EdgeBundle::from_bytes(&good[..cut]).is_err(),
+                    "prefix of {cut}/{} bytes decoded successfully",
+                    good.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_byte_flips_never_panic() {
+        let b = tiny_bundle(12);
+        for quantized in [false, true] {
+            let good = b.to_bytes(quantized);
+            let mut rng = SeededRng::new(13);
+            for _ in 0..200 {
+                let mut bad = good.clone();
+                let pos = (rng.next_u64() as usize) % bad.len();
+                let bit = 1u8 << ((rng.next_u64() % 8) as u8);
+                bad[pos] ^= bit;
+                // Decoding corrupted input may fail or (for benign flips)
+                // succeed; it must never panic.
+                let _ = EdgeBundle::from_bytes(&bad);
+            }
+        }
     }
 }

@@ -157,7 +157,7 @@ impl CloudInitializer {
         // 5. Package.
         let bundle = EdgeBundle {
             pipeline,
-            model,
+            model: model.into(),
             support_set,
             registry: registry.clone(),
         };
@@ -218,7 +218,7 @@ mod tests {
         );
         assert_eq!(bundle.support_set.num_classes(), 5);
         assert_eq!(bundle.registry.len(), 5);
-        assert_eq!(bundle.model.backbone().input_dim(), 80);
+        assert_eq!(bundle.model.input_dim(), 80);
         // The fast-demo run must actually have learned something.
         assert!(report.training.epochs_run > 0);
         assert!(report.training.final_loss().unwrap() < report.training.epoch_losses[0]);

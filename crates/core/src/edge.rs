@@ -15,6 +15,7 @@ use crate::inference::{
     infer_window, infer_windows, InferenceView, LatencyRecorder, LatencyStats, Prediction,
     SmoothedPrediction, StreamingSession,
 };
+use crate::precision::{Precision, QuantizedSupportSet, ResidentSupport};
 use crate::privacy::PrivacyLedger;
 use crate::Result;
 use magneto_dsp::PreprocessingPipeline;
@@ -33,6 +34,11 @@ pub struct EdgeConfig {
     pub incremental: IncrementalConfig,
     /// Seed for on-device randomness (exemplar selection, pair sampling).
     pub seed: u64,
+    /// Resident precision policy: `Int8` keeps the quantised weights and
+    /// support set resident (no f32 rehydration), `F32` is the
+    /// pre-refactor behaviour.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl Default for EdgeConfig {
@@ -42,6 +48,7 @@ impl Default for EdgeConfig {
             smoothing_window: 3,
             incremental: IncrementalConfig::default(),
             seed: 0,
+            precision: Precision::F32,
         }
     }
 }
@@ -70,9 +77,17 @@ impl EdgeDevice {
         bundle.validate()?;
         let mut ledger = PrivacyLedger::edge_only();
         ledger.record_download(bundle.total_bytes(), "edge bundle (pipeline+model+support)");
+        // Convert to the policy precision before assembly: an int8 deploy
+        // keeps quantised weights AND a quantised support set resident
+        // (a quantised bundle model passes through untouched).
+        let model = bundle.model.into_precision(config.precision)?;
+        let support: ResidentSupport = match config.precision {
+            Precision::F32 => bundle.support_set.into(),
+            Precision::Int8 => QuantizedSupportSet::quantize(&bundle.support_set).into(),
+        };
         let state = ModelState::assemble(
-            bundle.model,
-            bundle.support_set,
+            model,
+            support,
             bundle.registry,
             config.incremental.metric,
         )?;
@@ -96,6 +111,18 @@ impl EdgeDevice {
     /// The runtime configuration.
     pub fn config(&self) -> &EdgeConfig {
         &self.config
+    }
+
+    /// The precision the resident model executes at.
+    pub fn precision(&self) -> Precision {
+        self.state.model.precision()
+    }
+
+    /// Bytes held resident for the model parameters plus the support
+    /// set at their deployed precision — the quantity the int8 policy
+    /// shrinks (prototypes, registry and pipeline are noise next to it).
+    pub fn resident_bytes(&self) -> usize {
+        self.state.model.resident_bytes() + self.state.support_set.bytes()
     }
 
     /// Classify one channel-major raw window (22 × ~120 samples).
@@ -265,7 +292,7 @@ impl EdgeDevice {
             .support_set
             .samples(label)
             .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
-        crate::sharing::ClassPack::new(label, samples.to_vec())
+        crate::sharing::ClassPack::new(label, samples)
     }
 
     /// Import a peer's [`crate::sharing::ClassPack`], learning the class exactly as if
@@ -325,12 +352,18 @@ impl EdgeDevice {
     }
 
     /// Snapshot the current device state as a bundle (e.g. for local
-    /// persistence; never for upload).
+    /// persistence; never for upload). The model keeps its resident
+    /// precision; the support-set section of the wire format is f32, so
+    /// an int8 store is dequantised for the snapshot.
     pub fn as_bundle(&self) -> EdgeBundle {
         EdgeBundle {
             pipeline: self.pipeline.clone(),
             model: self.state.model.clone(),
-            support_set: self.state.support_set.clone(),
+            support_set: self
+                .state
+                .support_set
+                .to_f32()
+                .expect("resident support set is non-empty by construction"),
             registry: self.state.registry.clone(),
         }
     }
@@ -368,11 +401,19 @@ mod tests {
     use magneto_sensors::{ActivityKind, GeneratorConfig, PersonProfile};
 
     fn deployed_device(seed: u64) -> EdgeDevice {
+        deployed_device_at(seed, Precision::F32)
+    }
+
+    fn deployed_device_at(seed: u64, precision: Precision) -> EdgeDevice {
         let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), seed);
         let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
             .pretrain(&corpus)
             .unwrap();
-        EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap()
+        let config = EdgeConfig {
+            precision,
+            ..EdgeConfig::default()
+        };
+        EdgeDevice::deploy(bundle, config).unwrap()
     }
 
     #[test]
@@ -657,6 +698,108 @@ mod tests {
             gesture_rate < base_rate,
             "unseen gesture accepted at {gesture_rate} vs base {base_rate}"
         );
+    }
+
+    #[test]
+    fn int8_deploy_keeps_resident_footprint_under_035x() {
+        let f32_dev = deployed_device_at(20, Precision::F32);
+        let int8_dev = deployed_device_at(20, Precision::Int8);
+        assert_eq!(f32_dev.precision(), Precision::F32);
+        assert_eq!(int8_dev.precision(), Precision::Int8);
+        let ratio = int8_dev.resident_bytes() as f64 / f32_dev.resident_bytes() as f64;
+        assert!(
+            ratio <= 0.35,
+            "int8 resident {} bytes vs f32 {} bytes (ratio {ratio:.3})",
+            int8_dev.resident_bytes(),
+            f32_dev.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn int8_predictions_agree_with_f32_above_99_percent() {
+        let mut f32_dev = deployed_device_at(21, Precision::F32);
+        let mut int8_dev = deployed_device_at(21, Precision::Int8);
+        let eval = SensorDataset::generate(
+            &GeneratorConfig {
+                windows_per_class: 20,
+                ..GeneratorConfig::tiny()
+            },
+            22,
+        );
+        let mut agree = 0;
+        for w in &eval.windows {
+            let a = f32_dev.infer_window(&w.channels).unwrap();
+            let b = int8_dev.infer_window(&w.channels).unwrap();
+            if a.label == b.label {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / eval.windows.len() as f64;
+        assert!(
+            rate >= 0.99,
+            "int8 agreed with f32 on {agree}/{} windows ({rate:.3})",
+            eval.windows.len()
+        );
+    }
+
+    #[test]
+    fn int8_learn_new_activity_round_trip() {
+        let mut device = deployed_device_at(23, Precision::Int8);
+        let recording = SensorDataset::record_session(
+            "gesture_hi",
+            ActivityKind::GestureHi,
+            PersonProfile::nominal(),
+            25.0,
+            24,
+        );
+        let report = device.learn_new_activity("gesture_hi", &recording).unwrap();
+        assert!(report.classes_after.contains(&"gesture_hi".to_string()));
+        // The device recommitted to int8 after the f32 training pass,
+        // support set included.
+        assert_eq!(device.precision(), Precision::Int8);
+        assert_eq!(
+            device.state().support_set.precision(),
+            Precision::Int8
+        );
+        device.privacy_ledger().assert_no_uplink();
+
+        // The new gesture is recognised through the int8 path.
+        let probe = SensorDataset::record_session(
+            "gesture_hi",
+            ActivityKind::GestureHi,
+            PersonProfile::nominal(),
+            10.0,
+            25,
+        );
+        let mut hits = 0;
+        for w in &probe.windows {
+            if device.infer_window(&w.channels).unwrap().label == "gesture_hi" {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 10 >= probe.windows.len() * 7,
+            "recognised {hits}/{}",
+            probe.windows.len()
+        );
+    }
+
+    #[test]
+    fn int8_snapshot_roundtrips_and_redeploys() {
+        let device = deployed_device_at(26, Precision::Int8);
+        let snapshot = device.as_bundle();
+        let restored = EdgeBundle::from_bytes(&snapshot.to_bytes(true)).unwrap();
+        assert_eq!(restored.model.precision(), Precision::Int8);
+        let device2 = EdgeDevice::deploy(
+            restored,
+            EdgeConfig {
+                precision: Precision::Int8,
+                ..EdgeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(device2.classes(), device.classes());
+        assert_eq!(device2.precision(), Precision::Int8);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! repeated batches reuse the same allocations.
 
 use crate::error::CoreError;
+use crate::precision::ResidentModel;
 use crate::Result;
-use magneto_nn::SiameseNetwork;
 use magneto_tensor::{Matrix, Workspace};
 
 /// Reusable batched-embedding state: a staging matrix for stacked
@@ -35,7 +35,7 @@ impl BatchEmbedder {
     /// embedding failures are propagated.
     pub fn embed_rows(
         &mut self,
-        model: &SiameseNetwork,
+        model: &ResidentModel,
         rows: &[Vec<f32>],
         out: &mut Matrix,
     ) -> Result<()> {
@@ -65,7 +65,7 @@ impl BatchEmbedder {
     /// Shape mismatch on malformed input.
     pub fn embed_matrix(
         &mut self,
-        model: &SiameseNetwork,
+        model: &ResidentModel,
         features: &Matrix,
         out: &mut Matrix,
     ) -> Result<()> {
@@ -84,7 +84,7 @@ impl BatchEmbedder {
     ///
     /// # Errors
     /// Shape mismatch on malformed staged input.
-    pub fn embed_staged(&mut self, model: &SiameseNetwork, out: &mut Matrix) -> Result<()> {
+    pub fn embed_staged(&mut self, model: &ResidentModel, out: &mut Matrix) -> Result<()> {
         model.embed_into(&self.features, out, &mut self.ws)?;
         Ok(())
     }
@@ -93,12 +93,16 @@ impl BatchEmbedder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use magneto_nn::Mlp;
+    use crate::precision::Precision;
+    use magneto_nn::{Mlp, SiameseNetwork};
     use magneto_tensor::SeededRng;
 
-    fn model() -> SiameseNetwork {
+    fn model() -> ResidentModel {
         let mut rng = SeededRng::new(7);
-        SiameseNetwork::new(Mlp::new(&[6, 12, 4], &mut rng).unwrap(), 1.0)
+        ResidentModel::from(SiameseNetwork::new(
+            Mlp::new(&[6, 12, 4], &mut rng).unwrap(),
+            1.0,
+        ))
     }
 
     #[test]
@@ -112,6 +116,23 @@ mod tests {
         let mut out = Matrix::default();
         embedder.embed_rows(&model, &rows, &mut out).unwrap();
         assert_eq!(out.shape(), (9, 4));
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.embed_one(row).unwrap();
+            assert_eq!(out.row(i), single.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn int8_batch_matches_int8_per_sample_embedding() {
+        let model = model().into_precision(Precision::Int8).unwrap();
+        let mut rng = SeededRng::new(9);
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|_| (0..6).map(|_| rng.normal()).collect())
+            .collect();
+        let mut embedder = BatchEmbedder::new();
+        let mut out = Matrix::default();
+        embedder.embed_rows(&model, &rows, &mut out).unwrap();
+        assert_eq!(out.shape(), (7, 4));
         for (i, row) in rows.iter().enumerate() {
             let single = model.embed_one(row).unwrap();
             assert_eq!(out.row(i), single.as_slice(), "row {i}");

@@ -19,10 +19,10 @@ use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
 use crate::label::LabelRegistry;
 use crate::ncm::NcmClassifier;
-use crate::support_set::SupportSet;
+use crate::precision::{Precision, ResidentModel, ResidentSupport};
 use crate::Result;
 use magneto_nn::trainer::{train_siamese_masked, TrainerConfig, TrainingReport};
-use magneto_nn::{Mlp, SiameseNetwork};
+use magneto_nn::{Mlp, QuantizedSiamese};
 use magneto_tensor::vector::DistanceMetric;
 use magneto_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
@@ -116,10 +116,10 @@ impl PartialEq for TeacherBuf {
 /// The full mutable model state living on the Edge device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
-    /// The Siamese embedding model.
-    pub model: SiameseNetwork,
-    /// Budgeted exemplar store.
-    pub support_set: SupportSet,
+    /// The embedding model at its resident precision.
+    pub model: ResidentModel,
+    /// Budgeted exemplar store at its resident precision.
+    pub support_set: ResidentSupport,
     /// Class registry.
     pub registry: LabelRegistry,
     /// NCM classifier over current prototypes.
@@ -129,16 +129,20 @@ pub struct ModelState {
 }
 
 impl ModelState {
-    /// Assemble state from bundle components, computing prototypes.
+    /// Assemble state from bundle components, computing prototypes
+    /// *through the resident model* so prototypes and query embeddings
+    /// always share one (possibly quantised) embedding space.
     ///
     /// # Errors
     /// Propagates embedding/classifier construction failures.
     pub fn assemble(
-        model: SiameseNetwork,
-        support_set: SupportSet,
+        model: impl Into<ResidentModel>,
+        support_set: impl Into<ResidentSupport>,
         registry: LabelRegistry,
         metric: DistanceMetric,
     ) -> Result<Self> {
+        let model = model.into();
+        let support_set = support_set.into();
         let ncm = build_ncm(&model, &support_set, metric)?;
         Ok(ModelState {
             model,
@@ -179,13 +183,15 @@ impl ModelState {
         let mut embedder = BatchEmbedder::new();
         let mut embeddings = Matrix::default();
         for label in self.support_set.classes() {
-            let Some(proto) = self.ncm.prototype(label).map(<[f32]>::to_vec) else {
+            let Some(proto) = self.ncm.prototype(&label).map(<[f32]>::to_vec) else {
                 continue;
             };
             // One batched forward per class; the embedder's staging matrix
-            // and workspace are reused across classes.
+            // and workspace are reused across classes. Distances are
+            // measured through the resident model, so an int8 device
+            // calibrates its threshold in the int8 embedding space.
             self.support_set
-                .class_features_into(label, embedder.staging())?;
+                .class_features_into(&label, embedder.staging())?;
             embedder.embed_staged(&self.model, &mut embeddings)?;
             for r in 0..embeddings.rows() {
                 dists.push(self.ncm.metric().eval(embeddings.row(r), &proto));
@@ -234,12 +240,25 @@ impl ModelState {
             }
         }
 
+        // Training needs f32 gradients: an int8 device rehydrates a
+        // full-precision training copy first (the only moment f32
+        // weights exist on an int8 deploy) and re-quantises on commit
+        // below.
+        let committed_precision = self.model.precision();
+        if committed_precision == Precision::Int8 {
+            self.model = ResidentModel::F32(self.model.to_f32()?);
+        }
+
         // Freeze the pre-update model as the distillation teacher,
         // reusing the buffer from the previous update (no allocation
         // after the first update; skipped entirely in the
-        // no-distillation ablation).
+        // no-distillation ablation). On an int8 device the teacher is
+        // the dequantised pre-update backbone — exactly the geometry
+        // the device has been serving.
         if !config.disable_distillation {
-            self.teacher_buf.freeze_from(self.model.backbone());
+            if let ResidentModel::F32(net) = &self.model {
+                self.teacher_buf.freeze_from(net.backbone());
+            }
         }
 
         // Step 2 — support set update. Both modes end with `label`'s
@@ -276,14 +295,31 @@ impl ModelState {
         } else {
             self.teacher_buf.0.as_ref()
         };
-        let training = train_siamese_masked(
-            &mut self.model,
-            &features,
-            &labels,
-            teacher_ref,
-            Some(&distill_mask),
-            &config.trainer,
-        )?;
+        let training = {
+            let ResidentModel::F32(net) = &mut self.model else {
+                unreachable!("training model rehydrated to f32 above")
+            };
+            train_siamese_masked(
+                net,
+                &features,
+                &labels,
+                teacher_ref,
+                Some(&distill_mask),
+                &config.trainer,
+            )?
+        };
+
+        // Commit: an int8 device re-quantises the trained weights
+        // (Int8 → F32 → train → Int8 round trip) before prototypes are
+        // rebuilt, so prototypes land in the embedding space that will
+        // actually serve queries.
+        if committed_precision == Precision::Int8 {
+            let ResidentModel::F32(net) = &self.model else {
+                unreachable!("training model is f32 until commit")
+            };
+            self.model =
+                ResidentModel::Int8(QuantizedSiamese::quantize(net).map_err(CoreError::Nn)?);
+        }
 
         // Prototypes move with the embedding space.
         self.rebuild_prototypes()?;
@@ -296,9 +332,14 @@ impl ModelState {
 }
 
 /// Mission (i) of the support set: class prototypes for the NCM.
+///
+/// Prototypes are the mean of the *resident* model's embeddings — an
+/// int8 device builds them through its int8 forward path, keeping the
+/// prototypes, the rejection threshold and every query embedding in one
+/// shared space.
 fn build_ncm(
-    model: &SiameseNetwork,
-    support_set: &SupportSet,
+    model: &ResidentModel,
+    support_set: &ResidentSupport,
     metric: DistanceMetric,
 ) -> Result<NcmClassifier> {
     let mut prototypes = Vec::with_capacity(support_set.num_classes());
@@ -308,10 +349,10 @@ fn build_ncm(
         // All of a class's exemplars go through the backbone as one
         // (n_exemplars, 80) batch, with staging/scratch buffers shared
         // across classes.
-        support_set.class_features_into(label, embedder.staging())?;
+        support_set.class_features_into(&label, embedder.staging())?;
         embedder.embed_staged(model, &mut embeddings)?;
         let prototype = embeddings.mean_rows()?;
-        prototypes.push((label.to_string(), prototype));
+        prototypes.push((label, prototype));
     }
     NcmClassifier::new(metric, prototypes)
 }
@@ -319,8 +360,9 @@ fn build_ncm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::support_set::SelectionStrategy;
-    use magneto_nn::Mlp;
+    use crate::precision::QuantizedSupportSet;
+    use crate::support_set::{SelectionStrategy, SupportSet};
+    use magneto_nn::SiameseNetwork;
 
     /// Features for class `c`: a Gaussian blob around distinct corners.
     fn class_features(c: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -430,6 +472,79 @@ mod tests {
         }
         let acc = correct as f64 / total as f64;
         assert!(acc >= 0.8, "old-class accuracy after update: {acc}");
+    }
+
+    /// `base_state` re-assembled at int8: quantised model + quantised
+    /// support exemplars, prototypes built through the int8 forward path.
+    fn int8_state(seed: u64) -> ModelState {
+        let base = base_state(seed);
+        let model = base.model.into_precision(Precision::Int8).unwrap();
+        let support = QuantizedSupportSet::quantize(&base.support_set.to_f32().unwrap());
+        ModelState::assemble(model, support, base.registry, DistanceMetric::Euclidean).unwrap()
+    }
+
+    #[test]
+    fn int8_prototypes_live_in_the_int8_embedding_space() {
+        let state = int8_state(40);
+        assert_eq!(state.model.precision(), Precision::Int8);
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        for label in state.support_set.classes() {
+            state
+                .support_set
+                .class_features_into(&label, embedder.staging())
+                .unwrap();
+            embedder.embed_staged(&state.model, &mut embeddings).unwrap();
+            let expected = embeddings.mean_rows().unwrap();
+            assert_eq!(
+                state.ncm.prototype(&label).unwrap(),
+                expected.as_slice(),
+                "prototype for `{label}` must be the int8-model mean"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_update_trains_in_f32_and_recommits_int8() {
+        let mut state = int8_state(42);
+        let mut rng = SeededRng::new(43);
+        let report = state
+            .update(
+                "gesture_hi",
+                &class_features(2, 12, 44),
+                UpdateMode::NewActivity,
+                &fast_config(),
+                &mut rng,
+            )
+            .unwrap();
+        // The committed state never keeps f32 weights resident.
+        assert_eq!(state.model.precision(), Precision::Int8);
+        assert_eq!(state.support_set.precision(), Precision::Int8);
+        assert_eq!(report.new_windows, 12);
+        assert_eq!(state.ncm.num_classes(), 3);
+        // The new class is recognisable through the int8 path (majority).
+        let probes = class_features(2, 10, 45);
+        let correct = probes
+            .iter()
+            .filter(|p| {
+                let emb = state.model.embed_one(p).unwrap();
+                state.ncm.classify(&emb).unwrap().label == "gesture_hi"
+            })
+            .count();
+        assert!(correct >= 7, "int8 new-class recall {correct}/10");
+    }
+
+    #[test]
+    fn int8_rejection_threshold_calibrates_in_int8_space() {
+        let f32_state = base_state(46);
+        let int8 = int8_state(46);
+        let t_f32 = f32_state.rejection_threshold(95.0, 1.0).unwrap();
+        let t_int8 = int8.rejection_threshold(95.0, 1.0).unwrap();
+        assert!(t_f32 > 0.0 && t_int8 > 0.0);
+        // Same data, different embedding spaces: the calibrated values
+        // track each other but need not match bitwise.
+        let rel = (t_f32 - t_int8).abs() / t_f32.max(1e-9);
+        assert!(rel < 0.5, "thresholds diverged: f32 {t_f32} vs int8 {t_int8}");
     }
 
     #[test]

@@ -11,9 +11,9 @@
 
 use crate::embed::BatchEmbedder;
 use crate::ncm::NcmClassifier;
+use crate::precision::ResidentModel;
 use crate::Result;
 use magneto_dsp::{PreprocessingPipeline, segment::Segmenter};
-use magneto_nn::SiameseNetwork;
 use magneto_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -114,7 +114,7 @@ impl LatencyRecorder {
 /// The per-window inference path: pipeline → embedding → NCM.
 pub(crate) fn infer_window(
     pipeline: &PreprocessingPipeline,
-    model: &SiameseNetwork,
+    model: &ResidentModel,
     ncm: &NcmClassifier,
     channels: &[Vec<f32>],
 ) -> Result<Prediction> {
@@ -140,8 +140,8 @@ pub(crate) fn infer_window(
 pub struct InferenceView<'a> {
     /// The session's fitted pre-processing function.
     pub pipeline: &'a PreprocessingPipeline,
-    /// The session's Siamese backbone.
-    pub model: &'a SiameseNetwork,
+    /// The session's backbone at its resident precision.
+    pub model: &'a ResidentModel,
     /// The session's prototype classifier.
     pub ncm: &'a NcmClassifier,
 }
@@ -173,7 +173,7 @@ pub struct BatchJob<'a> {
 /// Propagates pre-processing/classification errors; shape errors on
 /// pipelines with mismatched output dimensions.
 pub fn infer_batch(
-    model: &SiameseNetwork,
+    model: &ResidentModel,
     jobs: &[BatchJob<'_>],
     embedder: &mut BatchEmbedder,
 ) -> Result<Vec<Prediction>> {
@@ -212,7 +212,7 @@ pub fn infer_batch(
 /// — the amortised cost, which is the honest number for a batched path.
 pub(crate) fn infer_windows(
     pipeline: &PreprocessingPipeline,
-    model: &SiameseNetwork,
+    model: &ResidentModel,
     ncm: &NcmClassifier,
     windows: &[Vec<Vec<f32>>],
     embedder: &mut BatchEmbedder,
@@ -271,7 +271,7 @@ impl StreamingSession {
         &mut self,
         sample: &[f32],
         pipeline: &PreprocessingPipeline,
-        model: &SiameseNetwork,
+        model: &ResidentModel,
         ncm: &NcmClassifier,
     ) -> Result<Option<SmoothedPrediction>> {
         let Some(window) = self.segmenter.push(sample) else {
@@ -293,7 +293,7 @@ impl StreamingSession {
         &mut self,
         samples: &[S],
         pipeline: &PreprocessingPipeline,
-        model: &SiameseNetwork,
+        model: &ResidentModel,
         ncm: &NcmClassifier,
     ) -> Result<Vec<SmoothedPrediction>> {
         let mut windows = Vec::new();
@@ -345,15 +345,17 @@ impl StreamingSession {
 mod tests {
     use super::*;
     use crate::ncm::NcmClassifier;
+    use crate::precision::Precision;
     use magneto_dsp::PipelineConfig;
-    use magneto_nn::Mlp;
+    use magneto_nn::{Mlp, SiameseNetwork};
     use magneto_tensor::vector::DistanceMetric;
     use magneto_tensor::SeededRng;
 
-    fn fixture() -> (PreprocessingPipeline, SiameseNetwork, NcmClassifier) {
+    fn fixture() -> (PreprocessingPipeline, ResidentModel, NcmClassifier) {
         let pipeline = PreprocessingPipeline::new(PipelineConfig::default());
         let mut rng = SeededRng::new(1);
-        let model = SiameseNetwork::new(Mlp::new(&[80, 16, 4], &mut rng).unwrap(), 1.0);
+        let model =
+            ResidentModel::from(SiameseNetwork::new(Mlp::new(&[80, 16, 4], &mut rng).unwrap(), 1.0));
         // Prototypes straddling the embedding of a zero-ish window.
         let ncm = NcmClassifier::new(
             DistanceMetric::Euclidean,
@@ -410,6 +412,29 @@ mod tests {
         assert_eq!(batched[1].distances.len(), 3);
         // Empty batch is a no-op.
         assert!(infer_batch(&model, &[], &mut embedder).unwrap().is_empty());
+    }
+
+    #[test]
+    fn int8_batch_matches_int8_per_window_inference() {
+        let (pipeline, model, ncm) = fixture();
+        let model = model.into_precision(Precision::Int8).unwrap();
+        let windows: Vec<Vec<Vec<f32>>> = (0..5).map(|i| window(i as f32 * 0.04)).collect();
+        let jobs: Vec<BatchJob<'_>> = windows
+            .iter()
+            .map(|w| BatchJob {
+                pipeline: &pipeline,
+                ncm: &ncm,
+                window: w,
+            })
+            .collect();
+        let mut embedder = BatchEmbedder::new();
+        let batched = infer_batch(&model, &jobs, &mut embedder).unwrap();
+        for (i, (w, b)) in windows.iter().zip(&batched).enumerate() {
+            let single = infer_window(&pipeline, &model, &ncm, w).unwrap();
+            assert_eq!(single.label, b.label, "window {i}");
+            assert_eq!(single.confidence, b.confidence, "window {i}");
+            assert_eq!(single.distances, b.distances, "window {i}");
+        }
     }
 
     #[test]

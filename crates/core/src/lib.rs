@@ -45,6 +45,7 @@ pub mod inference;
 pub mod label;
 pub mod metrics;
 pub mod ncm;
+pub mod precision;
 pub mod privacy;
 pub mod sharing;
 pub mod storage;
@@ -62,6 +63,7 @@ pub use inference::{infer_batch, BatchJob, InferenceView, LatencyStats, Predicti
 pub use label::LabelRegistry;
 pub use metrics::ConfusionMatrix;
 pub use ncm::NcmClassifier;
+pub use precision::{Precision, QuantizedSupportSet, ResidentModel, ResidentSupport};
 pub use privacy::PrivacyLedger;
 pub use sharing::ClassPack;
 pub use timeline::TimelineBuilder;

@@ -1,0 +1,748 @@
+//! Precision-polymorphic residency: which numeric format lives on the
+//! device.
+//!
+//! The paper ships a < 5 MB bundle to the Edge (§4.2) and the earlier
+//! PRs already *stored* the backbone as int8 — but deploy always
+//! rehydrated to f32, so the resident footprint was the full f32 model
+//! again. This module closes that gap: [`ResidentModel`] and
+//! [`ResidentSupport`] keep whatever the deploy policy chose — f32 or
+//! int8 — resident, and every consumer (batch embedder, NCM prototype
+//! construction, streaming inference, the fleet scheduler) works against
+//! them instead of a concrete network type.
+//!
+//! Design rules:
+//!
+//! * **One embedding space per device.** NCM prototypes are computed
+//!   through the *resident* model, so prototypes, rejection thresholds
+//!   and query embeddings always share the same (possibly quantised)
+//!   space. Prototypes themselves stay f32 — a handful of 128-float
+//!   vectors is noise next to the weights.
+//! * **Training stays f32.** Gradients need the dynamic range; int8
+//!   devices rehydrate a training copy, run the normal update, and
+//!   re-quantise on commit (see `ModelState::update`).
+
+use crate::error::CoreError;
+use crate::label::LabelRegistry;
+use crate::support_set::{SelectionStrategy, SupportSet};
+use crate::Result;
+use magneto_nn::{QuantizedSiamese, SiameseNetwork};
+use magneto_tensor::{Matrix, SeededRng, Workspace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub use magneto_tensor::Precision;
+
+/// A deployed model at its resident precision.
+///
+/// The `Int8` arm holds the quantised weights *only* — constructing it
+/// never materialises f32 weights, which is what keeps an int8 deploy at
+/// roughly a quarter of the f32 footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResidentModel {
+    /// Full-precision network (the pre-refactor behaviour).
+    F32(SiameseNetwork),
+    /// Int8 weights with per-output-channel scales; inference runs on
+    /// the i8×i8→i32 kernels directly.
+    Int8(QuantizedSiamese),
+}
+
+impl From<SiameseNetwork> for ResidentModel {
+    fn from(net: SiameseNetwork) -> Self {
+        ResidentModel::F32(net)
+    }
+}
+
+impl From<QuantizedSiamese> for ResidentModel {
+    fn from(net: QuantizedSiamese) -> Self {
+        ResidentModel::Int8(net)
+    }
+}
+
+impl ResidentModel {
+    /// The precision this model executes at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            ResidentModel::F32(_) => Precision::F32,
+            ResidentModel::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// Contrastive margin carried by either arm.
+    pub fn margin(&self) -> f32 {
+        match self {
+            ResidentModel::F32(n) => n.margin,
+            ResidentModel::Int8(q) => q.margin,
+        }
+    }
+
+    /// Set the contrastive margin.
+    pub fn set_margin(&mut self, margin: f32) {
+        match self {
+            ResidentModel::F32(n) => n.margin = margin,
+            ResidentModel::Int8(q) => q.margin = margin,
+        }
+    }
+
+    /// Layer widths, input first.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            ResidentModel::F32(n) => n.backbone().dims(),
+            ResidentModel::Int8(q) => q.backbone().dims(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ResidentModel::F32(n) => n.backbone().input_dim(),
+            ResidentModel::Int8(q) => q.backbone().input_dim(),
+        }
+    }
+
+    /// Embedding (output) dimension.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            ResidentModel::F32(n) => n.backbone().output_dim(),
+            ResidentModel::Int8(q) => q.backbone().output_dim(),
+        }
+    }
+
+    /// Total parameters (weights + biases), identical across precisions.
+    pub fn param_count(&self) -> usize {
+        match self {
+            ResidentModel::F32(n) => n.backbone().param_count(),
+            ResidentModel::Int8(q) => q.backbone().param_count(),
+        }
+    }
+
+    /// Bytes needed to keep the parameters resident at this precision.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            ResidentModel::F32(n) => n.backbone().param_bytes(),
+            ResidentModel::Int8(q) => q.stored_bytes(),
+        }
+    }
+
+    /// Embed a batch of feature rows (allocating shim).
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        match self {
+            ResidentModel::F32(n) => n.embed(features).map_err(CoreError::Nn),
+            ResidentModel::Int8(q) => q.embed(features).map_err(CoreError::Nn),
+        }
+    }
+
+    /// Embed a batch into a caller-owned output, drawing scratch from
+    /// `ws` — the allocation-free path both precisions run on.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed_into(&self, features: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
+        match self {
+            ResidentModel::F32(n) => n.embed_into(features, out, ws).map_err(CoreError::Nn),
+            ResidentModel::Int8(q) => q.embed_into(features, out, ws).map_err(CoreError::Nn),
+        }
+    }
+
+    /// Embed one feature vector.
+    ///
+    /// # Errors
+    /// Shape mismatch on malformed input.
+    pub fn embed_one(&self, features: &[f32]) -> Result<Vec<f32>> {
+        match self {
+            ResidentModel::F32(n) => n.embed_one(features).map_err(CoreError::Nn),
+            ResidentModel::Int8(q) => q.embed_one(features).map_err(CoreError::Nn),
+        }
+    }
+
+    /// An f32 copy of the network: identity for the `F32` arm, a lossy
+    /// dequantisation for `Int8` (used when training needs gradients).
+    ///
+    /// # Errors
+    /// Internal inconsistency in the quantised weights.
+    pub fn to_f32(&self) -> Result<SiameseNetwork> {
+        match self {
+            ResidentModel::F32(n) => Ok(n.clone()),
+            ResidentModel::Int8(q) => q.dequantize().map_err(CoreError::Nn),
+        }
+    }
+
+    /// Convert to the requested precision. Same-precision conversions
+    /// are the identity (no round trip through the other format).
+    ///
+    /// # Errors
+    /// Degenerate weights on quantise, internal inconsistency on
+    /// dequantise.
+    pub fn into_precision(self, precision: Precision) -> Result<Self> {
+        match (self, precision) {
+            (ResidentModel::F32(n), Precision::Int8) => Ok(ResidentModel::Int8(
+                QuantizedSiamese::quantize(&n).map_err(CoreError::Nn)?,
+            )),
+            (ResidentModel::Int8(q), Precision::F32) => {
+                Ok(ResidentModel::F32(q.dequantize().map_err(CoreError::Nn)?))
+            }
+            (same, _) => Ok(same),
+        }
+    }
+}
+
+/// One class's exemplars quantised to int8, one symmetric scale per row.
+///
+/// Per-row scales (rather than one per class) keep the dequantisation
+/// error of each exemplar bounded by half an int8 step of *its own*
+/// magnitude, so an outlier row cannot wash out the resolution of the
+/// others.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QuantClass {
+    dim: usize,
+    /// Row-major `n × dim` int8 payload.
+    data: Vec<i8>,
+    /// One scale per row.
+    scales: Vec<f32>,
+}
+
+impl QuantClass {
+    fn quantize_rows(rows: &[Vec<f32>], dim: usize) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        let mut scales = Vec::with_capacity(rows.len());
+        for row in rows {
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            scales.push(scale);
+            data.extend(row.iter().map(|&v| {
+                let q = (v / scale).round();
+                q.clamp(-127.0, 127.0) as i8
+            }));
+        }
+        QuantClass { dim, data, scales }
+    }
+
+    fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    fn dequantize_row_into(&self, row: usize, out: &mut [f32]) {
+        let scale = self.scales[row];
+        let src = &self.data[row * self.dim..(row + 1) * self.dim];
+        for (o, &q) in out.iter_mut().zip(src.iter()) {
+            *o = f32::from(q) * scale;
+        }
+    }
+
+    fn dequantize_rows(&self) -> Vec<Vec<f32>> {
+        (0..self.len())
+            .map(|r| {
+                let mut row = vec![0.0f32; self.dim];
+                self.dequantize_row_into(r, &mut row);
+                row
+            })
+            .collect()
+    }
+}
+
+/// The support set quantised to int8 — the second half of the "no f32
+/// blow-up" budget. Selection semantics (budget, strategy) are retained;
+/// replacing a class routes the candidates through the same f32
+/// selection logic as [`SupportSet`] and quantises the survivors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedSupportSet {
+    budget_per_class: usize,
+    strategy: SelectionStrategy,
+    classes: BTreeMap<String, QuantClass>,
+}
+
+impl QuantizedSupportSet {
+    /// Quantise every class of an f32 support set.
+    pub fn quantize(set: &SupportSet) -> Self {
+        let mut classes = BTreeMap::new();
+        for label in set.classes() {
+            let rows = set.samples(label).unwrap_or(&[]);
+            let dim = rows.first().map_or(0, Vec::len);
+            classes.insert(label.to_string(), QuantClass::quantize_rows(rows, dim));
+        }
+        QuantizedSupportSet {
+            budget_per_class: set.budget(),
+            strategy: set.strategy(),
+            classes,
+        }
+    }
+
+    /// Reconstruct an f32 support set (lossy round trip through int8).
+    ///
+    /// # Errors
+    /// Never in practice — stored classes are non-empty by construction;
+    /// fallible for uniformity with the selection path.
+    pub fn to_f32(&self) -> Result<SupportSet> {
+        let mut set = SupportSet::new(self.budget_per_class, self.strategy);
+        let mut rng = SeededRng::new(0);
+        for (label, class) in &self.classes {
+            // Stored rows never exceed the budget, so selection is the
+            // identity and the rng is never consulted.
+            set.set_class(label, &class.dequantize_rows(), &mut rng)?;
+        }
+        Ok(set)
+    }
+
+    /// Budget per class.
+    pub fn budget(&self) -> usize {
+        self.budget_per_class
+    }
+
+    /// Active selection strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Class labels currently stored (sorted).
+    pub fn classes(&self) -> Vec<&str> {
+        self.classes.keys().map(String::as_str).collect()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Exemplars stored for `label`, dequantised into owned rows.
+    pub fn samples(&self, label: &str) -> Option<Vec<Vec<f32>>> {
+        self.classes.get(label).map(QuantClass::dequantize_rows)
+    }
+
+    /// Total exemplars across classes.
+    pub fn total_samples(&self) -> usize {
+        self.classes.values().map(QuantClass::len).sum()
+    }
+
+    /// Resident bytes: i8 payload plus per-row f32 scales.
+    pub fn bytes(&self) -> usize {
+        self.classes.values().map(QuantClass::bytes).sum()
+    }
+
+    /// Replace the exemplars of a class with a budget-sized selection
+    /// from `samples`, then quantise the selection.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] when `samples` is empty.
+    pub fn set_class(
+        &mut self,
+        label: &str,
+        samples: &[Vec<f32>],
+        rng: &mut SeededRng,
+    ) -> Result<()> {
+        // Route through the f32 selection machinery so strategy
+        // semantics (herding, reservoir) are byte-for-byte shared.
+        let mut staging = SupportSet::new(self.budget_per_class, self.strategy);
+        staging.set_class(label, samples, rng)?;
+        let rows = staging.samples(label).expect("just inserted");
+        let dim = rows.first().map_or(0, Vec::len);
+        self.classes
+            .insert(label.to_string(), QuantClass::quantize_rows(rows, dim));
+        Ok(())
+    }
+
+    /// Remove a class entirely.
+    pub fn remove_class(&mut self, label: &str) -> bool {
+        self.classes.remove(label).is_some()
+    }
+
+    /// Stack the (dequantised) exemplars of one class into a
+    /// caller-provided matrix — the staging step for batched prototype
+    /// construction, mirroring [`SupportSet::class_features_into`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] for an unstored label,
+    /// [`CoreError::InsufficientData`] for a class with no exemplars.
+    pub fn class_features_into(&self, label: &str, out: &mut Matrix) -> Result<()> {
+        let class = self
+            .classes
+            .get(label)
+            .ok_or_else(|| CoreError::UnknownClass(label.to_string()))?;
+        if class.len() == 0 {
+            return Err(CoreError::InsufficientData(format!(
+                "class `{label}` is empty"
+            )));
+        }
+        out.resize(class.len(), class.dim);
+        for r in 0..class.len() {
+            class.dequantize_row_into(r, out.row_mut(r));
+        }
+        Ok(())
+    }
+
+    /// Flatten into a training `(features, labels)` pair using `registry`
+    /// ids, dequantising rows on the way out.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] if a stored class is missing from the
+    /// registry, [`CoreError::InsufficientData`] on an empty store.
+    pub fn training_data(&self, registry: &LabelRegistry) -> Result<(Matrix, Vec<usize>)> {
+        let total = self.total_samples();
+        let dim = self
+            .classes
+            .values()
+            .find(|c| c.len() > 0)
+            .map(|c| c.dim)
+            .ok_or_else(|| CoreError::InsufficientData("support set is empty".into()))?;
+        let mut features = Matrix::default();
+        features.resize(total, dim);
+        let mut labels = Vec::with_capacity(total);
+        let mut r = 0;
+        for (label, class) in &self.classes {
+            let id = registry
+                .id_of(label)
+                .ok_or_else(|| CoreError::UnknownClass(label.clone()))?;
+            for row in 0..class.len() {
+                class.dequantize_row_into(row, features.row_mut(r));
+                labels.push(id);
+                r += 1;
+            }
+        }
+        Ok((features, labels))
+    }
+}
+
+/// The device-resident support set at its deployed precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResidentSupport {
+    /// Full-precision exemplars (the pre-refactor behaviour).
+    F32(SupportSet),
+    /// Int8 exemplars with per-row scales.
+    Int8(QuantizedSupportSet),
+}
+
+impl From<SupportSet> for ResidentSupport {
+    fn from(set: SupportSet) -> Self {
+        ResidentSupport::F32(set)
+    }
+}
+
+impl From<QuantizedSupportSet> for ResidentSupport {
+    fn from(set: QuantizedSupportSet) -> Self {
+        ResidentSupport::Int8(set)
+    }
+}
+
+impl ResidentSupport {
+    /// The precision exemplars are stored at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            ResidentSupport::F32(_) => Precision::F32,
+            ResidentSupport::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// Budget per class.
+    pub fn budget(&self) -> usize {
+        match self {
+            ResidentSupport::F32(s) => s.budget(),
+            ResidentSupport::Int8(s) => s.budget(),
+        }
+    }
+
+    /// Active selection strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        match self {
+            ResidentSupport::F32(s) => s.strategy(),
+            ResidentSupport::Int8(s) => s.strategy(),
+        }
+    }
+
+    /// Class labels currently stored (sorted).
+    pub fn classes(&self) -> Vec<String> {
+        match self {
+            ResidentSupport::F32(s) => s.classes().into_iter().map(str::to_string).collect(),
+            ResidentSupport::Int8(s) => s.classes().into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            ResidentSupport::F32(s) => s.num_classes(),
+            ResidentSupport::Int8(s) => s.num_classes(),
+        }
+    }
+
+    /// Exemplars stored for `label` as owned f32 rows (dequantised for
+    /// the `Int8` arm).
+    pub fn samples(&self, label: &str) -> Option<Vec<Vec<f32>>> {
+        match self {
+            ResidentSupport::F32(s) => s.samples(label).map(<[Vec<f32>]>::to_vec),
+            ResidentSupport::Int8(s) => s.samples(label),
+        }
+    }
+
+    /// Total exemplars across classes.
+    pub fn total_samples(&self) -> usize {
+        match self {
+            ResidentSupport::F32(s) => s.total_samples(),
+            ResidentSupport::Int8(s) => s.total_samples(),
+        }
+    }
+
+    /// Resident bytes at the stored precision.
+    pub fn bytes(&self) -> usize {
+        match self {
+            ResidentSupport::F32(s) => s.bytes(),
+            ResidentSupport::Int8(s) => s.bytes(),
+        }
+    }
+
+    /// Replace the exemplars of a class with a budget-sized selection.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] when `samples` is empty.
+    pub fn set_class(
+        &mut self,
+        label: &str,
+        samples: &[Vec<f32>],
+        rng: &mut SeededRng,
+    ) -> Result<()> {
+        match self {
+            ResidentSupport::F32(s) => s.set_class(label, samples, rng),
+            ResidentSupport::Int8(s) => s.set_class(label, samples, rng),
+        }
+    }
+
+    /// Remove a class entirely.
+    pub fn remove_class(&mut self, label: &str) -> bool {
+        match self {
+            ResidentSupport::F32(s) => s.remove_class(label),
+            ResidentSupport::Int8(s) => s.remove_class(label),
+        }
+    }
+
+    /// Stack one class's exemplars into a caller-provided matrix.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] / [`CoreError::InsufficientData`] as
+    /// the underlying store reports.
+    pub fn class_features_into(&self, label: &str, out: &mut Matrix) -> Result<()> {
+        match self {
+            ResidentSupport::F32(s) => s.class_features_into(label, out),
+            ResidentSupport::Int8(s) => s.class_features_into(label, out),
+        }
+    }
+
+    /// Flatten into a training `(features, labels)` pair (always f32 —
+    /// training consumes full-precision features).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownClass`] / [`CoreError::InsufficientData`] as
+    /// the underlying store reports.
+    pub fn training_data(&self, registry: &LabelRegistry) -> Result<(Matrix, Vec<usize>)> {
+        match self {
+            ResidentSupport::F32(s) => s.training_data(registry),
+            ResidentSupport::Int8(s) => s.training_data(registry),
+        }
+    }
+
+    /// An f32 copy of the store: identity for `F32`, lossy for `Int8`.
+    ///
+    /// # Errors
+    /// Never in practice; fallible for uniformity.
+    pub fn to_f32(&self) -> Result<SupportSet> {
+        match self {
+            ResidentSupport::F32(s) => Ok(s.clone()),
+            ResidentSupport::Int8(s) => s.to_f32(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magneto_nn::Mlp;
+
+    fn small_net(seed: u64) -> SiameseNetwork {
+        SiameseNetwork::new(Mlp::new(&[8, 16, 4], &mut SeededRng::new(seed)).unwrap(), 1.5)
+    }
+
+    fn sample_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn resident_model_precision_and_metadata() {
+        let f32_model = ResidentModel::from(small_net(1));
+        assert_eq!(f32_model.precision(), Precision::F32);
+        let int8 = f32_model.clone().into_precision(Precision::Int8).unwrap();
+        assert_eq!(int8.precision(), Precision::Int8);
+        assert_eq!(int8.dims(), f32_model.dims());
+        assert_eq!(int8.input_dim(), 8);
+        assert_eq!(int8.output_dim(), 4);
+        assert_eq!(int8.param_count(), f32_model.param_count());
+        assert_eq!(int8.margin(), 1.5);
+        assert!(
+            int8.resident_bytes() < f32_model.resident_bytes() / 2,
+            "int8 {} vs f32 {}",
+            int8.resident_bytes(),
+            f32_model.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn into_precision_identity_is_lossless() {
+        let model = ResidentModel::from(small_net(2));
+        let same = model.clone().into_precision(Precision::F32).unwrap();
+        assert_eq!(same, model);
+        let int8 = model.into_precision(Precision::Int8).unwrap();
+        let same8 = int8.clone().into_precision(Precision::Int8).unwrap();
+        assert_eq!(same8, int8);
+    }
+
+    #[test]
+    fn resident_model_embeddings_agree_across_precisions() {
+        let model = ResidentModel::from(small_net(3));
+        let int8 = model.clone().into_precision(Precision::Int8).unwrap();
+        let x = Matrix::filled(5, 8, 0.3);
+        let ef = model.embed(&x).unwrap();
+        let eq = int8.embed(&x).unwrap();
+        assert_eq!(ef.shape(), eq.shape());
+        let rel = ef.sub(&eq).unwrap().frobenius_norm() / ef.frobenius_norm().max(1e-9);
+        assert!(rel < 0.1, "embedding drift {rel}");
+        // embed_one and embed_into agree with embed.
+        let one = int8.embed_one(x.row(0)).unwrap();
+        assert_eq!(one.as_slice(), eq.row(0));
+        let mut out = Matrix::default();
+        let mut ws = Workspace::new();
+        int8.embed_into(&x, &mut out, &mut ws).unwrap();
+        assert_eq!(out, eq);
+    }
+
+    #[test]
+    fn set_margin_crosses_precisions() {
+        let mut model = ResidentModel::from(small_net(4));
+        model.set_margin(2.25);
+        assert_eq!(model.margin(), 2.25);
+        let mut int8 = model.into_precision(Precision::Int8).unwrap();
+        assert_eq!(int8.margin(), 2.25);
+        int8.set_margin(0.5);
+        assert_eq!(int8.to_f32().unwrap().margin, 0.5);
+    }
+
+    #[test]
+    fn quantized_support_round_trip_error_bounded() {
+        let mut rng = SeededRng::new(5);
+        let mut set = SupportSet::new(16, SelectionStrategy::Herding);
+        set.set_class("walk", &sample_rows(12, 8, 6), &mut rng).unwrap();
+        set.set_class("run", &sample_rows(10, 8, 7), &mut rng).unwrap();
+        let q = QuantizedSupportSet::quantize(&set);
+        assert_eq!(q.num_classes(), 2);
+        assert_eq!(q.total_samples(), set.total_samples());
+        assert_eq!(q.budget(), 16);
+        assert_eq!(q.strategy(), SelectionStrategy::Herding);
+        for label in ["walk", "run"] {
+            let orig = set.samples(label).unwrap();
+            let back = q.samples(label).unwrap();
+            assert_eq!(orig.len(), back.len());
+            for (o, b) in orig.iter().zip(back.iter()) {
+                let max_abs = o.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let step = max_abs / 127.0;
+                for (x, y) in o.iter().zip(b.iter()) {
+                    assert!((x - y).abs() <= step * 0.5 + 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_support_is_roughly_quarter_size() {
+        let mut rng = SeededRng::new(8);
+        let mut set = SupportSet::new(32, SelectionStrategy::Random);
+        for label in ["a", "b", "c"] {
+            set.set_class(label, &sample_rows(32, 80, 9), &mut rng).unwrap();
+        }
+        let q = QuantizedSupportSet::quantize(&set);
+        let ratio = q.bytes() as f64 / set.bytes() as f64;
+        assert!(ratio < 0.30, "quantised support ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn quantized_support_set_class_and_training_data() {
+        let mut rng = SeededRng::new(10);
+        let mut q = QuantizedSupportSet::quantize(&SupportSet::new(
+            8,
+            SelectionStrategy::Herding,
+        ));
+        q.set_class("walk", &sample_rows(20, 6, 11), &mut rng).unwrap();
+        q.set_class("run", &sample_rows(4, 6, 12), &mut rng).unwrap();
+        assert_eq!(q.samples("walk").unwrap().len(), 8, "budget enforced");
+        assert_eq!(q.samples("run").unwrap().len(), 4);
+        assert!(q.set_class("x", &[], &mut rng).is_err());
+
+        let registry = LabelRegistry::from_labels(["run", "walk"]);
+        let (features, labels) = q.training_data(&registry).unwrap();
+        assert_eq!(features.shape(), (12, 6));
+        assert_eq!(labels.len(), 12);
+
+        let mut staged = Matrix::default();
+        q.class_features_into("walk", &mut staged).unwrap();
+        assert_eq!(staged.shape(), (8, 6));
+        assert!(q.class_features_into("missing", &mut staged).is_err());
+
+        assert!(q.remove_class("run"));
+        assert!(!q.remove_class("run"));
+        assert!(q.samples("run").is_none());
+    }
+
+    #[test]
+    fn resident_support_delegates_to_both_arms() {
+        let mut rng = SeededRng::new(13);
+        let mut set = SupportSet::new(8, SelectionStrategy::Random);
+        set.set_class("walk", &sample_rows(6, 5, 14), &mut rng).unwrap();
+
+        let f32_arm = ResidentSupport::from(set.clone());
+        let int8_arm = ResidentSupport::from(QuantizedSupportSet::quantize(&set));
+        assert_eq!(f32_arm.precision(), Precision::F32);
+        assert_eq!(int8_arm.precision(), Precision::Int8);
+        for arm in [&f32_arm, &int8_arm] {
+            assert_eq!(arm.classes(), vec!["walk".to_string()]);
+            assert_eq!(arm.num_classes(), 1);
+            assert_eq!(arm.total_samples(), 6);
+            assert_eq!(arm.budget(), 8);
+            assert_eq!(arm.samples("walk").unwrap().len(), 6);
+        }
+        assert!(int8_arm.bytes() < f32_arm.bytes() / 2);
+        let back = int8_arm.to_f32().unwrap();
+        assert_eq!(back.num_classes(), 1);
+    }
+
+    #[test]
+    fn zero_rows_quantize_without_dividing_by_zero() {
+        let mut rng = SeededRng::new(15);
+        let mut set = SupportSet::new(4, SelectionStrategy::Random);
+        set.set_class("still", &vec![vec![0.0f32; 6]; 3], &mut rng).unwrap();
+        let q = QuantizedSupportSet::quantize(&set);
+        for row in q.samples("still").unwrap() {
+            assert!(row.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrips() {
+        let model = ResidentModel::from(small_net(16))
+            .into_precision(Precision::Int8)
+            .unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ResidentModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+
+        let mut rng = SeededRng::new(17);
+        let mut set = SupportSet::new(4, SelectionStrategy::Random);
+        set.set_class("walk", &sample_rows(3, 4, 18), &mut rng).unwrap();
+        let support = ResidentSupport::from(QuantizedSupportSet::quantize(&set));
+        let json = serde_json::to_string(&support).unwrap();
+        let back: ResidentSupport = serde_json::from_str(&json).unwrap();
+        assert_eq!(support, back);
+    }
+}

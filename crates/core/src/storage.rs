@@ -18,16 +18,33 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MGST";
 
+/// The 256-entry CRC-32 lookup table (polynomial `0xEDB8_8320`,
+/// reflected), computed once at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
 /// CRC-32 (IEEE 802.3, reflected) — hand-rolled so no new dependency is
-/// needed for a 20-line checksum.
+/// needed for a checksum. Table-driven: one lookup per input byte
+/// instead of the eight shift/xor rounds of the bitwise form.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        let idx = (crc ^ u32::from(b)) & 0xFF;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx as usize];
     }
     !crc
 }
@@ -136,6 +153,58 @@ mod tests {
         // Standard test vector: CRC-32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// The pre-table bitwise implementation, kept as the test oracle.
+    fn crc32_bitwise(bytes: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn table_crc_matches_bitwise_reference() {
+        let mut rng = magneto_tensor::SeededRng::new(99);
+        for len in [0usize, 1, 2, 3, 7, 64, 255, 1000] {
+            let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            assert_eq!(crc32(&data), crc32_bitwise(&data), "len {len}");
+        }
+        // All 256 single-byte inputs.
+        for b in 0u8..=255 {
+            assert_eq!(crc32(&[b]), crc32_bitwise(&[b]), "byte {b}");
+        }
+    }
+
+    #[test]
+    fn load_bundle_never_panics_on_truncation_or_flips() {
+        let b = bundle();
+        let path = temp_path("fuzz");
+        save_bundle(&b, &path, true).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Truncation at every prefix: always a clean error.
+        for cut in 0..good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(load_bundle(&path).is_err(), "prefix {cut} loaded");
+        }
+
+        // Random byte flips: the CRC catches essentially all of them; a
+        // flip must never panic either way.
+        let mut rng = magneto_tensor::SeededRng::new(7);
+        for _ in 0..100 {
+            let mut bad = good.clone();
+            let pos = (rng.next_u64() as usize) % bad.len();
+            bad[pos] ^= 1 << (rng.next_u64() % 8);
+            fs::write(&path, &bad).unwrap();
+            let _ = load_bundle(&path);
+        }
+        fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-shard serving counters.
 
 use magneto_core::inference::{LatencyRecorder, LatencyStats};
+use magneto_core::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -14,15 +15,22 @@ pub(crate) struct ShardCounters {
     pub rejected: AtomicU64,
     pub batches: AtomicU64,
     pub windows: AtomicU64,
+    pub windows_f32: AtomicU64,
+    pub windows_int8: AtomicU64,
     pub max_batch: AtomicU64,
     pub latency: Mutex<LatencyRecorder>,
 }
 
 impl ShardCounters {
-    /// Fold one executed micro-batch into the counters.
-    pub fn record_batch(&self, size: usize, per_window_latency: Duration) {
+    /// Fold one executed micro-batch into the counters. `precision` is
+    /// the precision the batch's shared backbone ran at.
+    pub fn record_batch(&self, size: usize, precision: Precision, per_window_latency: Duration) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.windows.fetch_add(size as u64, Ordering::Relaxed);
+        match precision {
+            Precision::F32 => self.windows_f32.fetch_add(size as u64, Ordering::Relaxed),
+            Precision::Int8 => self.windows_int8.fetch_add(size as u64, Ordering::Relaxed),
+        };
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
         let mut rec = self.latency.lock().expect("latency lock");
         for _ in 0..size {
@@ -40,6 +48,8 @@ impl ShardCounters {
             rejected: self.rejected.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             windows: self.windows.load(Ordering::Relaxed),
+            windows_f32: self.windows_f32.load(Ordering::Relaxed),
+            windows_int8: self.windows_int8.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             latency: self.latency.lock().expect("latency lock").stats(),
         }
@@ -63,6 +73,10 @@ pub struct ShardStats {
     pub batches: u64,
     /// Windows served.
     pub windows: u64,
+    /// Windows served through an f32 backbone.
+    pub windows_f32: u64,
+    /// Windows served through an int8 backbone.
+    pub windows_int8: u64,
     /// Largest micro-batch executed.
     pub max_batch: u64,
     /// Amortised per-window serving latency distribution (p50–p99).
@@ -89,8 +103,8 @@ mod tests {
         let c = ShardCounters::default();
         c.accepted.fetch_add(10, Ordering::Relaxed);
         c.rejected.fetch_add(2, Ordering::Relaxed);
-        c.record_batch(6, Duration::from_micros(100));
-        c.record_batch(4, Duration::from_micros(300));
+        c.record_batch(6, Precision::F32, Duration::from_micros(100));
+        c.record_batch(4, Precision::Int8, Duration::from_micros(300));
         let s = c.snapshot(3, 5, 1);
         assert_eq!(s.shard, 3);
         assert_eq!(s.sessions, 5);
@@ -99,6 +113,8 @@ mod tests {
         assert_eq!(s.rejected, 2);
         assert_eq!(s.batches, 2);
         assert_eq!(s.windows, 10);
+        assert_eq!(s.windows_f32, 6);
+        assert_eq!(s.windows_int8, 4);
         assert_eq!(s.max_batch, 6);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
         assert_eq!(s.latency.count, 10);

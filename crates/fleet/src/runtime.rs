@@ -5,7 +5,7 @@ use crate::config::FleetConfig;
 use crate::counters::{ShardCounters, ShardStats};
 use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
 use magneto_core::inference::{infer_batch, BatchJob};
-use magneto_core::{BatchEmbedder, EdgeDevice};
+use magneto_core::{BatchEmbedder, EdgeDevice, Precision};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -27,6 +27,10 @@ struct Request {
 struct SessionEntry {
     device: EdgeDevice,
     key: ModelKey,
+    /// The device's resident precision — part of the batching key, so an
+    /// int8 session never shares a forward pass with an f32 one even when
+    /// both were deployed from the same bundle.
+    precision: Precision,
     tx: Sender<FleetReply>,
 }
 
@@ -166,11 +170,16 @@ impl Fleet {
             q.inflight.insert(id, 0);
             q.seqs.insert(id, 0);
         }
-        shard
-            .sessions
-            .lock()
-            .expect("sessions lock")
-            .insert(id, SessionEntry { device, key, tx });
+        let precision = device.precision();
+        shard.sessions.lock().expect("sessions lock").insert(
+            id,
+            SessionEntry {
+                device,
+                key,
+                precision,
+                tx,
+            },
+        );
         (SessionId(id), rx)
     }
 
@@ -277,6 +286,9 @@ impl Fleet {
             .ok_or(SubmitError::UnknownSession(id))?;
         let out = f(&mut entry.device);
         entry.key = ModelKey::unique(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        // The mutation may also have changed the resident precision
+        // (e.g. a redeploy helper) — refresh the batching key component.
+        entry.precision = entry.device.precision();
         Ok(out)
     }
 
@@ -460,12 +472,14 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
 
     {
         let mut sessions = shard.sessions.lock().expect("sessions lock");
-        // Group request indices by model key, preserving pop order within
-        // each group (pop order preserves per-session submission order).
-        let mut groups: BTreeMap<ModelKey, Vec<usize>> = BTreeMap::new();
+        // Group request indices by (model key, precision), preserving pop
+        // order within each group (pop order preserves per-session
+        // submission order). Precision is part of the key: identical
+        // weights at different precisions are different backbones.
+        let mut groups: BTreeMap<(ModelKey, Precision), Vec<usize>> = BTreeMap::new();
         for (i, req) in popped.iter().enumerate() {
             if let Some(entry) = sessions.get(&req.session) {
-                groups.entry(entry.key).or_default().push(i);
+                groups.entry((entry.key, entry.precision)).or_default().push(i);
             }
             // A session deregistered after enqueue: its windows are
             // dropped; deregister already reconciled the accounting for
@@ -473,7 +487,7 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
             // popped are reconciled below like served ones.
         }
 
-        for indices in groups.values() {
+        for (&(_, precision), indices) in &groups {
             let start = Instant::now();
             let jobs: Vec<BatchJob<'_>> = indices
                 .iter()
@@ -500,7 +514,7 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
             let outcome = infer_batch(model, &jobs, embedder);
             drop(jobs);
             let per_window = start.elapsed() / indices.len() as u32;
-            shard.counters.record_batch(indices.len(), per_window);
+            shard.counters.record_batch(indices.len(), precision, per_window);
 
             match outcome {
                 Ok(preds) => {

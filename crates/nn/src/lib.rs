@@ -26,7 +26,8 @@
 //!   batches, optional frozen teacher;
 //! * [`trainer`] — epoch loop with loss history and divergence guards;
 //! * [`quantize`] — post-training 8-bit weight quantisation (for the
-//!   < 5 MB footprint budget);
+//!   < 5 MB footprint budget) *and* the int8 forward path that runs
+//!   inference directly on the quantised weights;
 //! * [`serialize`] — compact binary model encoding for the bundle.
 
 pub mod activation;
@@ -45,6 +46,7 @@ pub use activation::Activation;
 pub use error::NnError;
 pub use network::Mlp;
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use quantize::{QuantizedMlp, QuantizedSiamese};
 pub use siamese::SiameseNetwork;
 pub use trainer::{TrainerConfig, TrainingReport};
 

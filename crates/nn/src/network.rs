@@ -213,23 +213,10 @@ impl Mlp {
     /// # Errors
     /// Shape mismatch on malformed input.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
-        let last = self.layers.len() - 1;
         let exec = ws.exec().clone();
-        let mut a = ws.take(0, 0);
-        let mut b = ws.take(0, 0);
-        let mut result = Ok(());
-        for (i, layer) in self.layers.iter().enumerate() {
-            let src = if i == 0 { x } else { &a };
-            let dst = if i == last { &mut *out } else { &mut b };
-            result = layer.infer_into_exec(src, dst, &exec);
-            if result.is_err() {
-                break;
-            }
-            std::mem::swap(&mut a, &mut b);
-        }
-        ws.give(a);
-        ws.give(b);
-        result
+        forward_layers(self.layers.len(), x, out, ws, |i, src, dst, _ws| {
+            self.layers[i].infer_into_exec(src, dst, &exec)
+        })
     }
 
     /// Embed a single feature vector.
@@ -361,6 +348,49 @@ impl Mlp {
             .iter()
             .all(|l| l.weights.all_finite() && l.bias.iter().all(|v| v.is_finite()))
     }
+}
+
+/// The shared layer-walking skeleton every inference forward runs on:
+/// ping-pong the hidden activations between two workspace buffers and
+/// write the last layer straight into `out`. The f32 path
+/// ([`Mlp::forward_into`]) and the int8 path
+/// ([`crate::quantize::QuantizedMlp::forward_into`]) differ only in the
+/// per-layer `step` they plug in here, so precision is a property of the
+/// step, not of the loop.
+///
+/// `step(i, src, dst, ws)` must compute layer `i` from `src` into `dst`;
+/// `ws` is free for the step's own scratch (the int8 step draws its
+/// activation-quantisation buffers from it).
+///
+/// # Errors
+/// Propagates the first step error; `out` is left unspecified then.
+pub(crate) fn forward_layers<F>(
+    n_layers: usize,
+    x: &Matrix,
+    out: &mut Matrix,
+    ws: &mut Workspace,
+    mut step: F,
+) -> Result<()>
+where
+    F: FnMut(usize, &Matrix, &mut Matrix, &mut Workspace) -> Result<()>,
+{
+    debug_assert!(n_layers > 0, "layer chain validated at construction");
+    let last = n_layers - 1;
+    let mut a = ws.take(0, 0);
+    let mut b = ws.take(0, 0);
+    let mut result = Ok(());
+    for i in 0..n_layers {
+        let src = if i == 0 { x } else { &a };
+        let dst = if i == last { &mut *out } else { &mut b };
+        result = step(i, src, dst, ws);
+        if result.is_err() {
+            break;
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    ws.give(a);
+    ws.give(b);
+    result
 }
 
 #[cfg(test)]

@@ -90,7 +90,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let net = Mlp::new(&dims, &mut SeededRng::new(seed)).unwrap();
-        let q = QuantizedMlp::quantize(&net);
+        let q = QuantizedMlp::quantize(&net).unwrap();
         let back = q.dequantize().unwrap();
         for (orig, rest) in net.layers().iter().zip(back.layers().iter()) {
             let step = orig.weights.max_abs() / 127.0;

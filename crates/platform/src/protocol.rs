@@ -17,9 +17,9 @@ use crate::flops;
 use crate::network::NetworkLink;
 use magneto_core::ncm::NcmClassifier;
 use magneto_core::privacy::PrivacyLedger;
+use magneto_core::ResidentModel;
 use magneto_core::{CoreError, Result};
 use magneto_dsp::PreprocessingPipeline;
-use magneto_nn::SiameseNetwork;
 use magneto_tensor::SeededRng;
 use std::time::Duration;
 
@@ -58,9 +58,10 @@ pub trait HarProtocol {
 }
 
 /// Shared classification core (identical across protocols by design).
+/// Works at whatever precision the model is resident at.
 struct Classifier {
     pipeline: PreprocessingPipeline,
-    model: SiameseNetwork,
+    model: ResidentModel,
     ncm: NcmClassifier,
 }
 
@@ -74,7 +75,7 @@ impl Classifier {
 
     fn inference_flops(&self, channels: usize, window_len: usize) -> u64 {
         flops::inference_flops(
-            &self.model.backbone().dims(),
+            &self.model.dims(),
             self.ncm.num_classes(),
             channels,
             window_len,
@@ -95,7 +96,7 @@ impl EdgeProtocol {
     /// one-time bundle download in the ledger.
     pub fn new(
         pipeline: PreprocessingPipeline,
-        model: SiameseNetwork,
+        model: impl Into<ResidentModel>,
         ncm: NcmClassifier,
         device: DeviceModel,
         energy: EnergyModel,
@@ -106,7 +107,7 @@ impl EdgeProtocol {
         EdgeProtocol {
             classifier: Classifier {
                 pipeline,
-                model,
+                model: model.into(),
                 ncm,
             },
             device,
@@ -157,7 +158,7 @@ impl CloudProtocol {
     /// and the device's energy model.
     pub fn new(
         pipeline: PreprocessingPipeline,
-        model: SiameseNetwork,
+        model: impl Into<ResidentModel>,
         ncm: NcmClassifier,
         link: NetworkLink,
         energy: EnergyModel,
@@ -166,7 +167,7 @@ impl CloudProtocol {
         CloudProtocol {
             classifier: Classifier {
                 pipeline,
-                model,
+                model: model.into(),
                 ncm,
             },
             link,
@@ -236,7 +237,7 @@ mod tests {
     use magneto_sensors::{GeneratorConfig, SensorDataset};
     use magneto_tensor::vector::DistanceMetric;
 
-    fn trained_parts() -> (PreprocessingPipeline, SiameseNetwork, NcmClassifier, usize) {
+    fn trained_parts() -> (PreprocessingPipeline, ResidentModel, NcmClassifier, usize) {
         let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 1);
         let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
             .pretrain(&corpus)

@@ -29,6 +29,10 @@
 //! * [`plan`] — the autotuned [`KernelPlan`] (tile shape, dispatch
 //!   thresholds, thread count) that steers every kernel, cached on
 //!   device next to the model bundle.
+//! * [`quant`] — the int8 execution seam: [`QuantMatrix`] weights with
+//!   per-output-channel scales, dynamic per-row activation quantisation,
+//!   and an i8×i8→i32 fused GEMM that is bit-identical across pool
+//!   sizes (integer accumulation + a per-element f32 epilogue).
 //!
 //! Design notes: matrices are plain `Vec<f32>` in row-major order. The
 //! backbone network in the paper is a 5-layer MLP (80→1024→512→128→64→128),
@@ -44,6 +48,7 @@ pub mod init;
 pub mod matrix;
 pub mod plan;
 pub mod pool;
+pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod stats;
@@ -54,6 +59,7 @@ pub use error::TensorError;
 pub use matrix::Matrix;
 pub use plan::KernelPlan;
 pub use pool::{install_global, ComputePool, Exec};
+pub use quant::{Precision, QuantMatrix, QuantScratch};
 pub use rng::SeededRng;
 pub use workspace::Workspace;
 

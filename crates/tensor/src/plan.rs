@@ -39,7 +39,10 @@ use crate::Result;
 
 /// Format version stamped into serialized plans; bump on layout change
 /// so stale cached plans fall back to defaults instead of misdispatching.
-pub const PLAN_VERSION: u32 = 1;
+/// v2 added the int8 kernel constants (`i8_tile_cols`,
+/// `i8_tiled_min_rows`); v1 plans cached on disk are rejected and the
+/// runtime falls back to [`KernelPlan::host_default`].
+pub const PLAN_VERSION: u32 = 2;
 
 /// Hard cap on pool threads a plan may request.
 pub const MAX_THREADS: usize = 16;
@@ -66,6 +69,12 @@ pub struct KernelPlan {
     /// Minimum output rows before a GEMM is split across pool threads;
     /// below this the dispatch overhead outweighs the parallelism.
     pub par_min_rows: usize,
+    /// Register-tile width of the int8 GEMM kernel (16 or 32 output
+    /// columns per strip).
+    pub i8_tile_cols: usize,
+    /// Minimum batch rows before the int8 matmul leaves the single-row
+    /// kernel for the register-tiled one.
+    pub i8_tiled_min_rows: usize,
 }
 
 impl Default for KernelPlan {
@@ -87,6 +96,8 @@ impl KernelPlan {
             tiled_min_rows: 16,
             panel_k: 256,
             par_min_rows: 32,
+            i8_tile_cols: 32,
+            i8_tiled_min_rows: 16,
         }
     }
 
@@ -122,14 +133,22 @@ impl KernelPlan {
             tiled_min_rows: self.tiled_min_rows.clamp(4, 4096),
             panel_k: self.panel_k.clamp(32, 8192),
             par_min_rows: self.par_min_rows.clamp(8, 1 << 20),
+            i8_tile_cols: if self.i8_tile_cols <= 16 { 16 } else { 32 },
+            i8_tiled_min_rows: self.i8_tiled_min_rows.clamp(4, 4096),
         }
     }
 
     /// One-line human-readable summary for startup banners.
     pub fn describe(&self) -> String {
         format!(
-            "threads={} tile=4x{} panel_k={} tiled_min_rows={} par_min_rows={}",
-            self.threads, self.tile_cols, self.panel_k, self.tiled_min_rows, self.par_min_rows
+            "threads={} tile=4x{} panel_k={} tiled_min_rows={} par_min_rows={} i8_tile=4x{} i8_tiled_min_rows={}",
+            self.threads,
+            self.tile_cols,
+            self.panel_k,
+            self.tiled_min_rows,
+            self.par_min_rows,
+            self.i8_tile_cols,
+            self.i8_tiled_min_rows
         )
     }
 
@@ -253,6 +272,30 @@ fn autotune_impl(reps: usize) -> KernelPlan {
     }
     let (tile_cols, panel_k) = (best.1.tile_cols, best.1.panel_k);
 
+    // Stage 1b: int8 tile shape, single-threaded. The i8 kernel has its
+    // own register-tile width because the widening i8→i32 multiply
+    // changes the register pressure profile versus the f32 FMA kernel.
+    let w_q = crate::quant::QuantMatrix::quantize(&b).expect("tune weights quantize");
+    let mut scratch = crate::quant::QuantScratch::default();
+    let mut i8_best = (f64::INFINITY, 32usize);
+    for &i8_tile_cols in &[16usize, 32] {
+        let plan = KernelPlan {
+            i8_tile_cols,
+            // Force the tiled kernel so the tile shape is what's timed.
+            i8_tiled_min_rows: 4,
+            ..KernelPlan::inline()
+        };
+        let exec = Exec::from_plan(plan);
+        let t = bench(reps, || {
+            w_q.matmul_bias_act_into_exec(&a, &[0.0; TUNE_N], |v| v, &mut out, &mut scratch, &exec)
+                .expect("tune shapes agree");
+        });
+        if t < i8_best.0 {
+            i8_best = (t, i8_tile_cols);
+        }
+    }
+    let i8_tile_cols = i8_best.1;
+
     // Stage 2: axpy↔tiled crossover. Time both kernels at candidate batch
     // sizes and set the threshold to the smallest batch where the tiled
     // kernel wins (post-ReLU sparsity favours axpy's zero-skip below it).
@@ -288,6 +331,7 @@ fn autotune_impl(reps: usize) -> KernelPlan {
         tile_cols,
         panel_k,
         tiled_min_rows,
+        i8_tile_cols,
         ..KernelPlan::inline()
     }
     .sanitized();
@@ -379,6 +423,8 @@ mod tests {
             tiled_min_rows: 0,
             panel_k: 1,
             par_min_rows: 0,
+            i8_tile_cols: 999,
+            i8_tiled_min_rows: 0,
         }
         .sanitized();
         assert_eq!(p.version, PLAN_VERSION);
@@ -387,6 +433,8 @@ mod tests {
         assert!(p.tiled_min_rows >= 4);
         assert!(p.panel_k >= 32);
         assert!(p.par_min_rows >= 8);
+        assert_eq!(p.i8_tile_cols, 32);
+        assert!(p.i8_tiled_min_rows >= 4);
     }
 
     #[test]
@@ -412,5 +460,6 @@ mod tests {
         let d = KernelPlan::inline().describe();
         assert!(d.contains("threads=1"));
         assert!(d.contains("tile=4x32"));
+        assert!(d.contains("i8_tile=4x32"));
     }
 }

@@ -21,6 +21,7 @@
 
 use crate::matrix::Matrix;
 use crate::pool::Exec;
+use crate::quant::QuantScratch;
 
 /// A pool of recycled `f32` buffers backing temporary matrices, plus
 /// the [`Exec`] compute context the owning driver loop's kernels run
@@ -32,6 +33,7 @@ use crate::pool::Exec;
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
     exec: Exec,
+    quant: QuantScratch,
 }
 
 impl Workspace {
@@ -47,6 +49,7 @@ impl Workspace {
         Workspace {
             pool: Vec::new(),
             exec,
+            quant: QuantScratch::new(),
         }
     }
 
@@ -78,6 +81,14 @@ impl Workspace {
     /// Number of idle buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Scratch buffers for the int8 kernels' dynamic activation
+    /// quantisation (see [`crate::quant`]). Reused across calls like the
+    /// f32 pool, so the quantised forward path is allocation-free once
+    /// warm.
+    pub fn quant_scratch(&mut self) -> &mut QuantScratch {
+        &mut self.quant
     }
 }
 

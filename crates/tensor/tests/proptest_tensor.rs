@@ -352,6 +352,8 @@ proptest! {
         tiled_min_rows in 0usize..10_000,
         panel_k in 0usize..20_000,
         par_min_rows in 0usize..2_000_000,
+        i8_tile_cols in 0usize..80,
+        i8_tiled_min_rows in 0usize..10_000,
     ) {
         let plan = KernelPlan {
             version: magneto_tensor::plan::PLAN_VERSION,
@@ -360,6 +362,8 @@ proptest! {
             tiled_min_rows,
             panel_k,
             par_min_rows,
+            i8_tile_cols,
+            i8_tiled_min_rows,
         }
         .sanitized();
         let back = KernelPlan::from_json(&plan.to_json()).unwrap();

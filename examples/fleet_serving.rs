@@ -46,7 +46,7 @@ fn main() {
         .pretrain(&corpus)
         .unwrap();
     let bundle_bytes = bundle.to_bytes(false).len();
-    let backbone_dims = bundle.model.backbone().dims();
+    let backbone_dims = bundle.model.dims();
     let classes = bundle.registry.labels().len();
 
     // The population: distinct sampled person styles, base activities

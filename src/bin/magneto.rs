@@ -70,12 +70,14 @@ fn usage() -> ExitCode {
         "usage:
   magneto pretrain  --out PATH [--windows-per-class N] [--epochs N] [--seed N] [--fast] [--quantized] [--retune]
   magneto inspect   BUNDLE
-  magneto infer     BUNDLE --activity NAME [--seconds N] [--seed N] [--atypical] [--retune]
-  magneto learn     BUNDLE --label NAME --activity NAME [--seconds N] [--seed N] [--out PATH] [--retune]
-  magneto calibrate BUNDLE --label NAME [--seconds N] [--seed N] [--atypical] [--out PATH] [--retune]
-  magneto demo      [--fast]
+  magneto infer     BUNDLE --activity NAME [--seconds N] [--seed N] [--atypical] [--precision f32|int8] [--retune]
+  magneto learn     BUNDLE --label NAME --activity NAME [--seconds N] [--seed N] [--out PATH] [--precision f32|int8] [--retune]
+  magneto calibrate BUNDLE --label NAME [--seconds N] [--seed N] [--atypical] [--out PATH] [--precision f32|int8] [--retune]
+  magneto demo      [--fast] [--precision f32|int8]
 
 --retune re-runs the kernel-plan autotune instead of loading the cached *.plan.json
+--precision picks the resident execution precision: int8 keeps the quantised
+  weights and support set resident (~4x smaller, int8 kernels end-to-end)
 
 activities: drive e_scooter run still walk gesture_hi gesture_circle jump stairs_up"
     );
@@ -120,6 +122,13 @@ fn bundle_path(args: &Args) -> Result<PathBuf, String> {
         .first()
         .map(PathBuf::from)
         .ok_or_else(|| "missing bundle path".into())
+}
+
+fn precision_for(args: &Args) -> Result<Precision, String> {
+    match args.flag("precision") {
+        None => Ok(Precision::F32),
+        Some(name) => Precision::parse(name).map_err(|e| e.to_string()),
+    }
 }
 
 /// Install the process-wide execution context for this device.
@@ -189,11 +198,16 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     let sizes = bundle.size_report(false);
     println!("bundle {}", path.display());
     println!("  classes        : {:?}", bundle.registry.labels());
-    println!("  backbone       : {:?}", bundle.model.backbone().dims());
+    println!("  backbone       : {:?}", bundle.model.dims());
     println!(
-        "  parameters     : {} ({} KiB f32)",
-        bundle.model.backbone().param_count(),
-        bundle.model.backbone().param_bytes() / 1024
+        "  precision      : {} ({} KiB resident)",
+        bundle.model.precision(),
+        bundle.model.resident_bytes() / 1024
+    );
+    println!(
+        "  parameters     : {} ({} KiB at stored precision)",
+        bundle.model.param_count(),
+        bundle.model.resident_bytes() / 1024
     );
     println!(
         "  support set    : {} exemplars across {} classes ({} KiB)",
@@ -210,9 +224,19 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_device(path: &Path) -> Result<EdgeDevice, String> {
+fn load_device(path: &Path, precision: Precision) -> Result<EdgeDevice, String> {
     let bundle = load_bundle(path).map_err(|e| e.to_string())?;
-    EdgeDevice::deploy(bundle, EdgeConfig::default()).map_err(|e| e.to_string())
+    let config = EdgeConfig {
+        precision,
+        ..EdgeConfig::default()
+    };
+    let device = EdgeDevice::deploy(bundle, config).map_err(|e| e.to_string())?;
+    println!(
+        "[edge] precision {} — model+support resident ≈ {} KiB",
+        device.precision(),
+        device.resident_bytes() / 1024
+    );
+    Ok(device)
 }
 
 fn cmd_infer(args: &Args) -> Result<(), String> {
@@ -224,7 +248,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let seed = args.num("seed", 1u64);
 
     install_compute_plan(&path, args);
-    let mut device = load_device(&path)?;
+    let mut device = load_device(&path, precision_for(args)?)?;
     println!(
         "[edge] session: {seconds}s of `{activity}` (device knows {:?})",
         device.classes()
@@ -278,7 +302,7 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     let out = args.flag("out").map(PathBuf::from).unwrap_or_else(|| path.clone());
 
     install_compute_plan(&path, args);
-    let mut device = load_device(&path)?;
+    let mut device = load_device(&path, precision_for(args)?)?;
     println!("[edge] recording {seconds:.0}s of `{label}`…");
     let recording =
         SensorDataset::record_session(label, kind, person_for(args), seconds, seed);
@@ -292,7 +316,12 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
         report.training.final_loss().unwrap_or(f32::NAN),
         report.classes_after
     );
-    save_bundle(&device.as_bundle(), &out, false).map_err(|e| e.to_string())?;
+    save_bundle(
+        &device.as_bundle(),
+        &out,
+        device.precision() == Precision::Int8,
+    )
+    .map_err(|e| e.to_string())?;
     println!("[edge] saved updated bundle to {}", out.display());
     device.privacy_ledger().assert_no_uplink();
     Ok(())
@@ -308,7 +337,7 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
     let out = args.flag("out").map(PathBuf::from).unwrap_or_else(|| path.clone());
 
     install_compute_plan(&path, args);
-    let mut device = load_device(&path)?;
+    let mut device = load_device(&path, precision_for(args)?)?;
     let person = person_for(args);
     println!(
         "[edge] recording {seconds:.0}s of the user's own `{label}` (atypicality {:.2})…",
@@ -323,7 +352,12 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
         report.training.epochs_run,
         report.training.final_loss().unwrap_or(f32::NAN)
     );
-    save_bundle(&device.as_bundle(), &out, false).map_err(|e| e.to_string())?;
+    save_bundle(
+        &device.as_bundle(),
+        &out,
+        device.precision() == Precision::Int8,
+    )
+    .map_err(|e| e.to_string())?;
     println!("[edge] saved updated bundle to {}", out.display());
     Ok(())
 }
@@ -355,6 +389,7 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
     };
     cmd_pretrain(&Args::parse(&pretrain_args))?;
 
+    let precision = precision_for(args)?;
     let infer = |activity: &str| {
         cmd_infer(&Args::parse(&[
             bundle_file.display().to_string(),
@@ -362,6 +397,8 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
             activity.to_string(),
             "--seconds".to_string(),
             "3".to_string(),
+            "--precision".to_string(),
+            precision.name().to_string(),
         ]))
     };
     println!("\n(a) still:");
@@ -375,6 +412,8 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
         "gesture_hi".to_string(),
         "--activity".to_string(),
         "gesture_hi".to_string(),
+        "--precision".to_string(),
+        precision.name().to_string(),
     ]))?;
     println!("\n(e) gesture_hi after learning (reloaded from storage):");
     infer("gesture_hi")?;

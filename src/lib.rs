@@ -60,8 +60,8 @@ pub use magneto_tensor as tensor;
 pub mod prelude {
     pub use magneto_core::{
         BundleSizeReport, CloudConfig, CloudInitializer, ConfusionMatrix, EdgeBundle,
-        EdgeConfig, EdgeDevice, LabelRegistry, NcmClassifier, PrivacyLedger, SelectionStrategy,
-        SupportSet,
+        EdgeConfig, EdgeDevice, LabelRegistry, NcmClassifier, Precision, PrivacyLedger,
+        QuantizedSupportSet, ResidentModel, ResidentSupport, SelectionStrategy, SupportSet,
     };
     pub use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, SubmitError};
     pub use magneto_platform::{

@@ -79,10 +79,10 @@ proptest! {
         seed in 0u64..500,
     ) {
         let mut rng = SeededRng::new(seed);
-        let model = magneto::nn::SiameseNetwork::new(
+        let model = magneto::core::ResidentModel::from(magneto::nn::SiameseNetwork::new(
             magneto::nn::Mlp::new(&[10, 8, 4], &mut rng).unwrap(),
             1.0,
-        );
+        ));
         let rows: Vec<Vec<f32>> = (0..batch)
             .map(|_| (0..10).map(|_| rng.normal()).collect())
             .collect();
@@ -162,11 +162,10 @@ proptest! {
         let back = EdgeBundle::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back.registry, bundle.registry);
         prop_assert_eq!(back.support_set, bundle.support_set);
-        prop_assert_eq!(
-            back.model.backbone().dims(),
-            bundle.model.backbone().dims()
-        );
-        if !quantized {
+        prop_assert_eq!(back.model.dims(), bundle.model.dims());
+        if quantized {
+            prop_assert_eq!(back.model.precision(), magneto::core::Precision::Int8);
+        } else {
             prop_assert_eq!(back.model, bundle.model);
         }
     }
