@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke clean
+.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke fault-smoke chaos clean
 
-check: build test clippy fleet-smoke train-smoke quant-smoke
+check: build test clippy fleet-smoke train-smoke quant-smoke fault-smoke
 
 build:
 	$(CARGO) build --release
@@ -52,6 +52,19 @@ quant-smoke: build
 
 # Alias mirroring bench-train for the quantised path.
 bench-quant: quant-smoke
+
+# Release-mode fault-tolerance smoke run: gates accuracy under 5%/20%
+# frame drop, byte-exact transactional rollback, crash-safe journaled
+# saves (torn and complete journals), and a 4-seed chaos sweep; emits
+# BENCH_fault.json in the working directory.
+fault-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin fault_smoke
+
+# Extended chaos sweep: the fault-smoke gates with 32 seeded all-faults
+# plans (drops + frozen channels + NaN/saturation bursts + jitter)
+# through the full streaming path, each replayed for bit-identity.
+chaos: build
+	$(CARGO) run --release -p magneto-bench --bin fault_smoke -- --chaos-seeds 32
 
 clean:
 	$(CARGO) clean

@@ -65,7 +65,11 @@ fn main() {
             20.0,
             opts.seed ^ (0x2000 + u as u64),
         );
-        device.calibrate_activity("walk", &recording).expect("calibration");
+        device
+            .calibrate_activity("walk", &recording)
+            .expect("calibration")
+            .committed()
+            .expect("calibration committed");
 
         let after = evaluate_device(&mut device, &personal_test);
         let walk_after = after.recall("walk").unwrap_or(0.0);
@@ -113,7 +117,9 @@ fn main() {
             );
             device
                 .calibrate_activity(kind.label(), &rec)
-                .expect("calibrate");
+                .expect("calibrate")
+                .committed()
+                .expect("calibrate committed");
         }
         let after = evaluate_device(&mut device, &personal_test).accuracy();
         println!(

@@ -114,7 +114,9 @@ fn main() {
             for (k, kind) in NEW_ACTIVITIES.iter().enumerate() {
                 device
                     .learn_new_activity(kind.label(), &recording(*kind, opts.seed + k as u64))
-                    .expect("update");
+                    .expect("update")
+                    .committed()
+                    .expect("update committed");
                 let mut full = test.clone();
                 full.extend(gestures.clone());
                 let cm = evaluate_device(&mut device, &full);

@@ -46,7 +46,9 @@ fn main() {
     let t0 = Instant::now();
     let report = device
         .learn_new_activity("gesture_hi", &recording)
-        .expect("incremental update");
+        .expect("incremental update")
+        .committed()
+        .expect("incremental update committed");
     let update_seconds = t0.elapsed().as_secs_f64();
     println!(
         "  on-device update: {} epochs in {:.2} s; classes now {:?}",

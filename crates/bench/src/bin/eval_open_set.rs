@@ -89,7 +89,9 @@ fn main() {
     );
     device
         .learn_new_activity("gesture_hi", &recording)
-        .expect("learn");
+        .expect("learn")
+        .committed()
+        .expect("learn committed");
     let threshold = device
         .rejection_threshold(100.0, chosen.0 as f32)
         .expect("threshold");

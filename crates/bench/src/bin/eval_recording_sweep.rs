@@ -48,7 +48,9 @@ fn main() {
         );
         device
             .learn_new_activity("gesture_hi", &recording)
-            .expect("update");
+            .expect("update")
+            .committed()
+            .expect("update committed");
         let mut test = fx.test.clone();
         test.extend(gesture_test.clone());
         let cm = evaluate_device(&mut device, &test);

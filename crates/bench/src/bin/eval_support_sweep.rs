@@ -51,7 +51,9 @@ fn main() {
         // classes.
         device
             .learn_new_activity("gesture_hi", &recording)
-            .expect("update");
+            .expect("update")
+            .committed()
+            .expect("update committed");
         let retention = evaluate_device(&mut device, &fx.test).subset_accuracy(&base);
         println!(
             "{budget:>8} {:>11.1}% {bytes:>12} {:>21.1}%",

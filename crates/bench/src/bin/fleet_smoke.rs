@@ -49,7 +49,10 @@ fn main() {
     );
     fleet
         .update_session(sessions[LEARNER].0, |dev| {
-            dev.learn_new_activity(PRIVATE_LABEL, &recording).unwrap();
+            dev.learn_new_activity(PRIVATE_LABEL, &recording)
+                .unwrap()
+                .committed()
+                .unwrap();
         })
         .unwrap();
     assert!(fleet.session_key(sessions[LEARNER].0).unwrap().is_unique());

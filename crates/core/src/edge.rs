@@ -10,7 +10,7 @@
 use crate::bundle::{BundleSizeReport, EdgeBundle};
 use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
-use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateReport};
+use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateOutcome};
 use crate::inference::{
     infer_window, infer_windows, InferenceView, LatencyRecorder, LatencyStats, Prediction,
     SmoothedPrediction, StreamingSession,
@@ -91,9 +91,18 @@ impl EdgeDevice {
             bundle.registry,
             config.incremental.metric,
         )?;
+        // The streaming session's entry guard repairs with the same
+        // thresholds the pipeline's window guard uses, so the streaming
+        // and batch paths degrade identically.
+        let guard = bundle.pipeline.config().guard;
         Ok(EdgeDevice {
             pipeline: bundle.pipeline,
-            session: StreamingSession::new(NUM_CHANNELS, config.window_len, config.smoothing_window),
+            session: StreamingSession::with_guard(
+                NUM_CHANNELS,
+                config.window_len,
+                config.smoothing_window,
+                guard,
+            ),
             state,
             ledger,
             latency: LatencyRecorder::new(),
@@ -232,37 +241,60 @@ impl EdgeDevice {
         self.session.reset();
     }
 
+    /// Cumulative sensor-health picture of the streaming path: frames
+    /// scrubbed, samples repaired, the least healthy channel, and how
+    /// many emitted windows were degraded.
+    pub fn sensor_health(&self) -> crate::inference::SensorHealth {
+        self.session.sensor_health()
+    }
+
     /// §4.2.2: learn a brand-new activity from a recorded session. The
     /// recording never leaves the device.
     ///
+    /// Runs transactionally: the trained state must pass validation
+    /// (finite losses/weights, bounded loss growth, old-class
+    /// self-accuracy floor) or the device is restored to its exact
+    /// pre-update state and [`UpdateOutcome::RolledBack`] is returned.
+    ///
     /// # Errors
-    /// See [`ModelState::update`].
+    /// See [`ModelState::update_transactional`].
     pub fn learn_new_activity(
         &mut self,
         label: &str,
         recording: &SensorDataset,
-    ) -> Result<UpdateReport> {
+    ) -> Result<UpdateOutcome> {
         let features = self.featurize_recording(recording)?;
         let config = self.config.incremental;
-        self.state
-            .update(label, &features, UpdateMode::NewActivity, &config, &mut self.rng)
+        self.state.update_transactional(
+            label,
+            &features,
+            UpdateMode::NewActivity,
+            &config,
+            &mut self.rng,
+        )
     }
 
     /// Calibrate an existing activity to the user's personal style: the
     /// class's support data is replaced by the new recording, then the
-    /// model re-trains.
+    /// model re-trains. Transactional, like
+    /// [`learn_new_activity`](Self::learn_new_activity).
     ///
     /// # Errors
-    /// See [`ModelState::update`].
+    /// See [`ModelState::update_transactional`].
     pub fn calibrate_activity(
         &mut self,
         label: &str,
         recording: &SensorDataset,
-    ) -> Result<UpdateReport> {
+    ) -> Result<UpdateOutcome> {
         let features = self.featurize_recording(recording)?;
         let config = self.config.incremental;
-        self.state
-            .update(label, &features, UpdateMode::Calibration, &config, &mut self.rng)
+        self.state.update_transactional(
+            label,
+            &features,
+            UpdateMode::Calibration,
+            &config,
+            &mut self.rng,
+        )
     }
 
     fn featurize_recording(&self, recording: &SensorDataset) -> Result<Vec<Vec<f32>>> {
@@ -306,7 +338,7 @@ impl EdgeDevice {
     pub fn import_class(
         &mut self,
         pack: &crate::sharing::ClassPack,
-    ) -> Result<UpdateReport> {
+    ) -> Result<UpdateOutcome> {
         if pack.feature_dim != self.pipeline.output_dim() {
             return Err(CoreError::InvalidConfig(format!(
                 "class pack has {}-d features, pipeline produces {}",
@@ -315,7 +347,7 @@ impl EdgeDevice {
             )));
         }
         let config = self.config.incremental;
-        self.state.update(
+        self.state.update_transactional(
             &pack.label,
             &pack.exemplars,
             UpdateMode::NewActivity,
@@ -531,7 +563,11 @@ mod tests {
             25.0,
             6,
         );
-        let report = device.learn_new_activity("gesture_hi", &recording).unwrap();
+        let report = device
+            .learn_new_activity("gesture_hi", &recording)
+            .unwrap()
+            .committed()
+            .unwrap();
         assert!(report.classes_after.contains(&"gesture_hi".to_string()));
         assert_eq!(report.new_windows, 25);
         assert_eq!(device.classes().len(), 6);
@@ -562,7 +598,11 @@ mod tests {
         let person = PersonProfile::sample_atypical(&mut rng);
         let recording =
             SensorDataset::record_session("walk", ActivityKind::Walk, person, 20.0, 11);
-        let report = device.calibrate_activity("walk", &recording).unwrap();
+        let report = device
+            .calibrate_activity("walk", &recording)
+            .unwrap()
+            .committed()
+            .unwrap();
         assert_eq!(report.classes_after.len(), 5); // no new class
         assert!(matches!(
             device.calibrate_activity("yoga", &recording),
@@ -608,14 +648,18 @@ mod tests {
             25.0,
             31,
         );
-        device_a.learn_new_activity("gesture_hi", &recording).unwrap();
+        device_a
+            .learn_new_activity("gesture_hi", &recording)
+            .unwrap()
+            .committed()
+            .unwrap();
         let pack = device_a.export_class("gesture_hi").unwrap();
         let wire = pack.to_bytes();
 
         let mut device_b = deployed_device(30);
         assert_eq!(device_b.classes().len(), 5);
         let received = crate::sharing::ClassPack::from_bytes(&wire).unwrap();
-        device_b.import_class(&received).unwrap();
+        device_b.import_class(&received).unwrap().committed().unwrap();
         assert_eq!(device_b.classes().len(), 6);
 
         // B recognises the gesture from fresh windows.
@@ -752,7 +796,11 @@ mod tests {
             25.0,
             24,
         );
-        let report = device.learn_new_activity("gesture_hi", &recording).unwrap();
+        let report = device
+            .learn_new_activity("gesture_hi", &recording)
+            .unwrap()
+            .committed()
+            .unwrap();
         assert!(report.classes_after.contains(&"gesture_hi".to_string()));
         // The device recommitted to int8 after the f32 training pass,
         // support set included.

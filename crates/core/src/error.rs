@@ -31,6 +31,10 @@ pub enum CoreError {
     InsufficientData(String),
     /// A configuration value is out of range.
     InvalidConfig(String),
+    /// A transactional on-device update failed validation and was rolled
+    /// back (surfaced as an error by
+    /// [`crate::incremental::UpdateOutcome::committed`]).
+    UpdateRolledBack(crate::incremental::RollbackReason),
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +51,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidBundle(msg) => write!(f, "invalid bundle: {msg}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CoreError::UpdateRolledBack(reason) => {
+                write!(f, "on-device update rolled back: {reason}")
+            }
         }
     }
 }

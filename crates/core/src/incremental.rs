@@ -42,6 +42,11 @@ pub struct IncrementalConfig {
     /// its worst (A1 ablation). The support set is still *updated* (the
     /// NCM needs prototypes); it is just excluded from the training set.
     pub disable_replay: bool,
+    /// Post-training validation thresholds for the transactional update
+    /// path ([`ModelState::update_transactional`]). `serde(default)`
+    /// keeps configs serialised before this field existed loadable.
+    #[serde(default)]
+    pub validation: ValidationConfig,
 }
 
 impl Default for IncrementalConfig {
@@ -51,6 +56,149 @@ impl Default for IncrementalConfig {
             metric: DistanceMetric::Euclidean,
             disable_distillation: false,
             disable_replay: false,
+            validation: ValidationConfig::default(),
+        }
+    }
+}
+
+/// Acceptance thresholds a freshly trained state must clear before the
+/// transactional update commits it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationConfig {
+    /// Minimum post-update accuracy on the *old* classes' own support
+    /// exemplars (the cheapest held-back forgetting probe the device
+    /// has: data it already stores, classified through the new model).
+    /// `<= 0` disables the check. Support exemplars are training data,
+    /// so a healthy update scores near 1.0 here — a drop below 0.5 means
+    /// the old embedding space collapsed.
+    pub self_accuracy_floor: f32,
+    /// Maximum allowed ratio of final epoch loss to first epoch loss.
+    /// Healthy contrastive updates routinely grow the loss a few-fold
+    /// early on (the new class reshapes the pair distribution), so the
+    /// default only fires on order-of-magnitude blow-ups. `<= 0`
+    /// disables the check.
+    pub max_loss_growth: f32,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            self_accuracy_floor: 0.5,
+            max_loss_growth: 10.0,
+        }
+    }
+}
+
+impl ValidationConfig {
+    /// All checks except weight/loss finiteness disabled (the finiteness
+    /// checks cannot be turned off — committing NaN weights is never
+    /// acceptable).
+    pub fn permissive() -> Self {
+        ValidationConfig {
+            self_accuracy_floor: 0.0,
+            max_loss_growth: 0.0,
+        }
+    }
+}
+
+/// Why a transactional update refused to commit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RollbackReason {
+    /// An epoch loss came out NaN/infinite during re-training.
+    NonFiniteLoss {
+        /// Zero-based epoch of the first non-finite loss.
+        epoch: usize,
+    },
+    /// The trained weights contain a non-finite parameter.
+    NonFiniteWeights,
+    /// The loss trajectory grew past the configured ratio.
+    LossDiverged {
+        /// First epoch loss.
+        first: f32,
+        /// Final epoch loss.
+        last: f32,
+        /// The configured [`ValidationConfig::max_loss_growth`].
+        max_growth: f32,
+    },
+    /// Old-class self-accuracy fell below the configured floor
+    /// (catastrophic forgetting detected).
+    SelfAccuracy {
+        /// Measured post-update accuracy on old-class exemplars.
+        after: f32,
+        /// The configured [`ValidationConfig::self_accuracy_floor`].
+        floor: f32,
+    },
+}
+
+impl std::fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollbackReason::NonFiniteLoss { epoch } => {
+                write!(f, "non-finite training loss at epoch {epoch}")
+            }
+            RollbackReason::NonFiniteWeights => write!(f, "non-finite trained weights"),
+            RollbackReason::LossDiverged {
+                first,
+                last,
+                max_growth,
+            } => write!(
+                f,
+                "loss diverged: {first} -> {last} (allowed growth {max_growth}x)"
+            ),
+            RollbackReason::SelfAccuracy { after, floor } => write!(
+                f,
+                "old-class self-accuracy {after:.3} fell below floor {floor:.3}"
+            ),
+        }
+    }
+}
+
+/// Result of a transactional update: either the new state was validated
+/// and committed, or the device was rolled back to its exact pre-update
+/// state (model, support set, registry and prototypes all restored).
+#[derive(Debug, Clone)]
+pub enum UpdateOutcome {
+    /// The update passed validation; the report describes the training.
+    Committed(UpdateReport),
+    /// The update failed validation; nothing changed on the device.
+    RolledBack {
+        /// Which validation gate rejected the trained state.
+        reason: RollbackReason,
+    },
+}
+
+impl UpdateOutcome {
+    /// `true` when the update committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, UpdateOutcome::Committed(_))
+    }
+
+    /// The training report, when committed.
+    pub fn report(&self) -> Option<&UpdateReport> {
+        match self {
+            UpdateOutcome::Committed(r) => Some(r),
+            UpdateOutcome::RolledBack { .. } => None,
+        }
+    }
+
+    /// The rollback reason, when rolled back.
+    pub fn rollback_reason(&self) -> Option<RollbackReason> {
+        match self {
+            UpdateOutcome::Committed(_) => None,
+            UpdateOutcome::RolledBack { reason } => Some(*reason),
+        }
+    }
+
+    /// Unwrap into the report, converting a rollback into
+    /// [`CoreError::UpdateRolledBack`] — for callers that treat a
+    /// rollback as a hard failure (scripts, demos).
+    ///
+    /// # Errors
+    /// [`CoreError::UpdateRolledBack`] when the update rolled back.
+    pub fn committed(self) -> Result<UpdateReport> {
+        match self {
+            UpdateOutcome::Committed(r) => Ok(r),
+            UpdateOutcome::RolledBack { reason } => Err(CoreError::UpdateRolledBack(reason)),
         }
     }
 }
@@ -328,6 +476,130 @@ impl ModelState {
             classes_after: self.registry.labels().to_vec(),
             new_windows: new_features.len(),
         })
+    }
+
+    /// [`update`](Self::update) wrapped in a transaction: the pre-update
+    /// state is snapshotted, the trained state is validated (finite
+    /// losses and weights, bounded loss growth, old-class self-accuracy
+    /// floor — see [`ValidationConfig`]), and on any failure the device
+    /// is restored to *exactly* its pre-update state and
+    /// [`UpdateOutcome::RolledBack`] is returned instead of committing a
+    /// poisoned model. This is the path the device API
+    /// (`EdgeDevice::learn_new_activity` et al.) runs; the raw `update`
+    /// remains available for experiments that study divergence itself.
+    ///
+    /// # Errors
+    /// Precondition errors (unknown/duplicate class, empty recording)
+    /// and training I/O errors propagate as before — the state is
+    /// restored in those cases too. A *validation* failure is not an
+    /// error: it returns `Ok(RolledBack { .. })`.
+    pub fn update_transactional(
+        &mut self,
+        label: &str,
+        new_features: &[Vec<f32>],
+        mode: UpdateMode,
+        config: &IncrementalConfig,
+        rng: &mut SeededRng,
+    ) -> Result<UpdateOutcome> {
+        // Snapshot everything `update` can mutate. The teacher buffer is
+        // scratch (cold clones are semantically identical), so it is not
+        // part of the transaction.
+        let model = self.model.clone();
+        let support_set = self.support_set.clone();
+        let registry = self.registry.clone();
+        let ncm = self.ncm.clone();
+
+        let verdict = self
+            .update(label, new_features, mode, config, rng)
+            .and_then(|report| {
+                let gate =
+                    self.validate_update(&report, &support_set, label, &config.validation)?;
+                Ok((gate, report))
+            });
+        match verdict {
+            Ok((None, report)) => Ok(UpdateOutcome::Committed(report)),
+            Ok((Some(reason), _)) => {
+                self.model = model;
+                self.support_set = support_set;
+                self.registry = registry;
+                self.ncm = ncm;
+                Ok(UpdateOutcome::RolledBack { reason })
+            }
+            Err(e) => {
+                self.model = model;
+                self.support_set = support_set;
+                self.registry = registry;
+                self.ncm = ncm;
+                Err(e)
+            }
+        }
+    }
+
+    /// Post-training acceptance gates, in cost order. Returns the first
+    /// failed gate, or `None` when the trained state is committable.
+    fn validate_update(
+        &self,
+        report: &UpdateReport,
+        pre_support: &ResidentSupport,
+        target: &str,
+        validation: &ValidationConfig,
+    ) -> Result<Option<RollbackReason>> {
+        // Gate 1 — every epoch loss finite. A NaN loss means NaN
+        // gradients flowed; the weights are not trustworthy even if they
+        // happen to read finite.
+        let losses = &report.training.epoch_losses;
+        if let Some(epoch) = losses.iter().position(|l| !l.is_finite()) {
+            return Ok(Some(RollbackReason::NonFiniteLoss { epoch }));
+        }
+        // Gate 2 — every committed parameter finite (int8 deploys check
+        // their scales/biases).
+        if !self.model.all_finite() {
+            return Ok(Some(RollbackReason::NonFiniteWeights));
+        }
+        // Gate 3 — bounded loss trajectory.
+        if validation.max_loss_growth > 0.0 {
+            if let (Some(&first), Some(&last)) = (losses.first(), losses.last()) {
+                if last > first * validation.max_loss_growth {
+                    return Ok(Some(RollbackReason::LossDiverged {
+                        first,
+                        last,
+                        max_growth: validation.max_loss_growth,
+                    }));
+                }
+            }
+        }
+        // Gate 4 — held-back forgetting probe: the old classes' own
+        // support exemplars (as they existed *before* the update),
+        // classified through the new model and prototypes.
+        if validation.self_accuracy_floor > 0.0 {
+            let mut embedder = BatchEmbedder::new();
+            let mut embeddings = Matrix::default();
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for label in pre_support.classes() {
+                if label == target {
+                    continue;
+                }
+                pre_support.class_features_into(&label, embedder.staging())?;
+                embedder.embed_staged(&self.model, &mut embeddings)?;
+                for r in 0..embeddings.rows() {
+                    if self.ncm.classify(embeddings.row(r))?.label == label {
+                        correct += 1;
+                    }
+                    total += 1;
+                }
+            }
+            if total > 0 {
+                let after = correct as f32 / total as f32;
+                if after < validation.self_accuracy_floor {
+                    return Ok(Some(RollbackReason::SelfAccuracy {
+                        after,
+                        floor: validation.self_accuracy_floor,
+                    }));
+                }
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -757,5 +1029,129 @@ mod tests {
         assert_eq!(state.ncm.num_classes(), 5);
         assert_eq!(state.registry.len(), 5);
         assert_eq!(state.support_set.num_classes(), 5);
+    }
+
+    #[test]
+    fn transactional_commit_matches_raw_update() {
+        let mut raw = base_state(60);
+        let mut txn = raw.clone();
+        let data = class_features(2, 10, 61);
+        let cfg = fast_config();
+        let mut rng_raw = SeededRng::new(62);
+        let mut rng_txn = SeededRng::new(62);
+        raw.update("g", &data, UpdateMode::NewActivity, &cfg, &mut rng_raw)
+            .unwrap();
+        let outcome = txn
+            .update_transactional("g", &data, UpdateMode::NewActivity, &cfg, &mut rng_txn)
+            .unwrap();
+        assert!(outcome.is_committed());
+        assert_eq!(outcome.report().unwrap().classes_after.len(), 3);
+        // A committed transactional update is bit-identical to the raw path.
+        assert_eq!(raw, txn);
+    }
+
+    #[test]
+    fn impossible_accuracy_floor_rolls_back_to_exact_pre_state() {
+        let mut state = base_state(63);
+        let before = state.clone();
+        let mut cfg = fast_config();
+        cfg.validation.self_accuracy_floor = 1.5; // unattainable
+        let mut rng = SeededRng::new(64);
+        let outcome = state
+            .update_transactional(
+                "g",
+                &class_features(2, 10, 65),
+                UpdateMode::NewActivity,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            outcome.rollback_reason(),
+            Some(RollbackReason::SelfAccuracy { .. })
+        ));
+        assert_eq!(state, before);
+        // The typed error path reports the same reason.
+        let err = outcome.committed().unwrap_err();
+        assert!(matches!(err, CoreError::UpdateRolledBack(_)));
+        assert!(err.to_string().contains("rolled back"));
+    }
+
+    #[test]
+    fn loss_growth_gate_rolls_back() {
+        let mut state = base_state(66);
+        let before = state.clone();
+        let mut cfg = fast_config();
+        // Any epoch whose final loss exceeds first*1e-6 counts as divergence,
+        // which real contrastive training cannot avoid.
+        cfg.validation.max_loss_growth = 1e-6;
+        let mut rng = SeededRng::new(67);
+        let outcome = state
+            .update_transactional(
+                "g",
+                &class_features(2, 10, 68),
+                UpdateMode::NewActivity,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            outcome.rollback_reason(),
+            Some(RollbackReason::LossDiverged { .. })
+        ));
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn training_error_still_restores_pre_state() {
+        let mut state = base_state(69);
+        let before = state.clone();
+        let mut cfg = fast_config();
+        // An absurd learning rate makes the trainer itself abort with
+        // `Diverged`; the transaction must still restore the snapshot.
+        cfg.trainer.learning_rate = 1e9;
+        let mut rng = SeededRng::new(70);
+        let result = state.update_transactional(
+            "g",
+            &class_features(2, 10, 71),
+            UpdateMode::NewActivity,
+            &cfg,
+            &mut rng,
+        );
+        assert!(result.is_err());
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn permissive_validation_never_rolls_back() {
+        let mut state = base_state(72);
+        let mut cfg = fast_config();
+        cfg.validation = ValidationConfig::permissive();
+        let mut rng = SeededRng::new(73);
+        let outcome = state
+            .update_transactional(
+                "g",
+                &class_features(2, 10, 74),
+                UpdateMode::NewActivity,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn pre_validation_configs_deserialize_with_default_gates() {
+        // Configs serialized before the validation field existed must load.
+        let serialized = serde_json::to_string(&IncrementalConfig::default()).unwrap();
+        let marker = ",\"validation\":";
+        let start = serialized.find(marker).expect("validation key present");
+        let end = serialized[start + 1..]
+            .find('}')
+            .map(|i| start + 1 + i + 1)
+            .expect("validation object closes");
+        let stripped = format!("{}{}", &serialized[..start], &serialized[end..]);
+        let cfg: IncrementalConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(cfg.validation, ValidationConfig::default());
     }
 }

@@ -13,7 +13,9 @@ use crate::embed::BatchEmbedder;
 use crate::ncm::NcmClassifier;
 use crate::precision::ResidentModel;
 use crate::Result;
-use magneto_dsp::{PreprocessingPipeline, segment::Segmenter};
+use magneto_dsp::{
+    segment::Segmenter, FrameGuard, GuardConfig, PreprocessingPipeline, SignalQuality,
+};
 use magneto_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -30,6 +32,26 @@ pub struct Prediction {
     pub distances: Vec<f32>,
     /// Wall-clock time of the full pre-process → embed → classify path.
     pub latency: Duration,
+    /// Whether the window's signal was clean or repaired at pipeline
+    /// entry ([`SignalQuality::Degraded`] output should not be trusted
+    /// the way nominal output is).
+    pub quality: SignalQuality,
+}
+
+/// Cumulative sensor-health picture for one device's streaming session:
+/// what the entry guard repaired and how many emitted windows were
+/// affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SensorHealth {
+    /// Frames that passed through the guard.
+    pub frames: u64,
+    /// Channel-samples repaired (non-finite or out-of-range).
+    pub repaired_samples: u64,
+    /// `(channel index, repair count)` of the least healthy channel, if
+    /// any repairs happened.
+    pub worst_channel: Option<(usize, u64)>,
+    /// Windows emitted with [`SignalQuality::Degraded`].
+    pub degraded_windows: u64,
 }
 
 /// Aggregated latency statistics (microseconds).
@@ -119,7 +141,7 @@ pub(crate) fn infer_window(
     channels: &[Vec<f32>],
 ) -> Result<Prediction> {
     let start = Instant::now();
-    let features = pipeline.process(channels)?;
+    let (features, quality) = pipeline.process_checked(channels)?;
     let embedding = model.embed_one(&features)?;
     let decision = ncm.classify(&embedding)?;
     Ok(Prediction {
@@ -127,6 +149,7 @@ pub(crate) fn infer_window(
         confidence: decision.confidence,
         distances: decision.distances,
         latency: start.elapsed(),
+        quality,
     })
 }
 
@@ -183,8 +206,12 @@ pub fn infer_batch(
     let start = Instant::now();
     let staging = embedder.staging();
     staging.resize(jobs.len(), jobs[0].pipeline.output_dim());
+    let mut qualities = Vec::with_capacity(jobs.len());
     for (i, job) in jobs.iter().enumerate() {
-        job.pipeline.process_into(job.window, staging.row_mut(i))?;
+        qualities.push(
+            job.pipeline
+                .process_checked_into(job.window, staging.row_mut(i))?,
+        );
     }
     let mut embeddings = Matrix::default();
     embedder.embed_staged(model, &mut embeddings)?;
@@ -195,11 +222,13 @@ pub fn infer_batch(
     let per_window = start.elapsed() / jobs.len() as u32;
     Ok(decisions
         .into_iter()
-        .map(|d| Prediction {
+        .zip(qualities)
+        .map(|(d, quality)| Prediction {
             label: d.label,
             confidence: d.confidence,
             distances: d.distances,
             latency: per_window,
+            quality,
         })
         .collect())
 }
@@ -237,6 +266,13 @@ pub struct StreamingSession {
     history: VecDeque<String>,
     smoothing_window: usize,
     embedder: BatchEmbedder,
+    guard: FrameGuard,
+    /// Scratch copy of the incoming sample so the guard can repair it
+    /// without mutating the caller's buffer.
+    scrub_buf: Vec<f32>,
+    /// Samples repaired since the current window started filling.
+    faults_in_window: usize,
+    degraded_windows: u64,
 }
 
 /// A smoothed streaming prediction.
@@ -253,17 +289,56 @@ pub struct SmoothedPrediction {
 impl StreamingSession {
     /// Create a session for `channels`-channel input with `window_len`
     /// samples per window and a vote over `smoothing_window` windows.
+    /// The entry guard uses the default [`GuardConfig`]; see
+    /// [`with_guard`](Self::with_guard) to match a pipeline's config.
     pub fn new(channels: usize, window_len: usize, smoothing_window: usize) -> Self {
+        Self::with_guard(channels, window_len, smoothing_window, GuardConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit entry-guard configuration
+    /// (deployment wires the pipeline's own guard config here so the
+    /// streaming path and the batch path repair identically).
+    pub fn with_guard(
+        channels: usize,
+        window_len: usize,
+        smoothing_window: usize,
+        guard: GuardConfig,
+    ) -> Self {
         StreamingSession {
             segmenter: Segmenter::new(channels, window_len, window_len),
             history: VecDeque::with_capacity(smoothing_window.max(1)),
             smoothing_window: smoothing_window.max(1),
             embedder: BatchEmbedder::new(),
+            guard: FrameGuard::new(channels, guard),
+            scrub_buf: Vec::with_capacity(channels),
+            faults_in_window: 0,
+            degraded_windows: 0,
         }
     }
 
+    /// Scrub one incoming sample through the guard (copy-on-write into
+    /// the scratch buffer) and feed it to the segmenter. Returns the
+    /// completed window, if any, and its entry quality.
+    fn push_scrubbed(&mut self, sample: &[f32]) -> Option<(Vec<Vec<f32>>, SignalQuality)> {
+        self.scrub_buf.clear();
+        self.scrub_buf.extend_from_slice(sample);
+        self.faults_in_window += self.guard.scrub(&mut self.scrub_buf);
+        let window = self.segmenter.push(&self.scrub_buf)?;
+        let quality = if self.faults_in_window > 0 {
+            self.degraded_windows += 1;
+            SignalQuality::Degraded
+        } else {
+            SignalQuality::Nominal
+        };
+        self.faults_in_window = 0;
+        Some((window, quality))
+    }
+
     /// Push one raw sample. When a window completes, runs inference and
-    /// returns the smoothed prediction.
+    /// returns the smoothed prediction. Non-finite or out-of-range
+    /// values are repaired at entry (last-good-value hold per channel);
+    /// a window containing any repaired sample is flagged
+    /// [`SignalQuality::Degraded`] on its prediction.
     ///
     /// # Errors
     /// Propagates inference errors on completed windows.
@@ -274,10 +349,11 @@ impl StreamingSession {
         model: &ResidentModel,
         ncm: &NcmClassifier,
     ) -> Result<Option<SmoothedPrediction>> {
-        let Some(window) = self.segmenter.push(sample) else {
+        let Some((window, quality)) = self.push_scrubbed(sample) else {
             return Ok(None);
         };
-        let raw = infer_window(pipeline, model, ncm, &window)?;
+        let mut raw = infer_window(pipeline, model, ncm, &window)?;
+        raw.quality = raw.quality.merge(quality);
         Ok(Some(self.smooth(raw)))
     }
 
@@ -297,13 +373,22 @@ impl StreamingSession {
         ncm: &NcmClassifier,
     ) -> Result<Vec<SmoothedPrediction>> {
         let mut windows = Vec::new();
+        let mut qualities = Vec::new();
         for sample in samples {
-            if let Some(window) = self.segmenter.push(sample.as_ref()) {
+            if let Some((window, quality)) = self.push_scrubbed(sample.as_ref()) {
                 windows.push(window);
+                qualities.push(quality);
             }
         }
         let raws = infer_windows(pipeline, model, ncm, &windows, &mut self.embedder)?;
-        Ok(raws.into_iter().map(|raw| self.smooth(raw)).collect())
+        Ok(raws
+            .into_iter()
+            .zip(qualities)
+            .map(|(mut raw, quality)| {
+                raw.quality = raw.quality.merge(quality);
+                self.smooth(raw)
+            })
+            .collect())
     }
 
     /// Fold one raw prediction into the majority-vote history.
@@ -334,10 +419,26 @@ impl StreamingSession {
         self.segmenter.emitted()
     }
 
-    /// Clear segmentation and vote history (activity change).
+    /// Cumulative sensor-health picture (guard repairs + degraded
+    /// window count) since the session was created.
+    pub fn sensor_health(&self) -> SensorHealth {
+        SensorHealth {
+            frames: self.guard.frames(),
+            repaired_samples: self.guard.repaired_total(),
+            worst_channel: self.guard.worst_channel(),
+            degraded_windows: self.degraded_windows,
+        }
+    }
+
+    /// Clear segmentation and vote history (activity change). The
+    /// guard's last-good hold is dropped too — values from the previous
+    /// activity must not patch holes in the next one — but its health
+    /// counters persist for the life of the session.
     pub fn reset(&mut self) {
         self.segmenter.reset();
         self.history.clear();
+        self.guard.reset_hold();
+        self.faults_in_window = 0;
     }
 }
 
@@ -583,6 +684,68 @@ mod tests {
         assert_eq!(session.windows_seen(), 1);
         session.reset();
         assert_eq!(session.windows_seen(), 0);
+    }
+
+    #[test]
+    fn degraded_samples_flag_their_window_only() {
+        let (pipeline, model, ncm) = fixture();
+        let mut session = StreamingSession::new(22, 120, 3);
+        let mut preds = Vec::new();
+        for i in 0..360 {
+            let mut sample = vec![0.1; 22];
+            // Poison a few samples inside the SECOND window only.
+            if (150..155).contains(&i) {
+                sample[3] = f32::NAN;
+                sample[7] = f32::INFINITY;
+            }
+            if let Some(p) = session
+                .push_sample(&sample, &pipeline, &model, &ncm)
+                .unwrap()
+            {
+                preds.push(p);
+            }
+        }
+        assert_eq!(preds.len(), 3);
+        assert_eq!(preds[0].raw.quality, SignalQuality::Nominal);
+        assert_eq!(preds[1].raw.quality, SignalQuality::Degraded);
+        assert_eq!(preds[2].raw.quality, SignalQuality::Nominal);
+        assert!(preds.iter().all(|p| p.raw.distances.iter().all(|d| d.is_finite())));
+        let health = session.sensor_health();
+        assert_eq!(health.repaired_samples, 10);
+        assert_eq!(health.degraded_windows, 1);
+        assert!(matches!(health.worst_channel, Some((3 | 7, 5))));
+    }
+
+    #[test]
+    fn batched_degraded_push_matches_sequential() {
+        let (pipeline, model, ncm) = fixture();
+        let mut samples: Vec<Vec<f32>> = (0..360)
+            .map(|i| vec![(i % 7) as f32 * 0.01; 22])
+            .collect();
+        samples[40][0] = f32::NAN;
+        samples[250][12] = f32::NEG_INFINITY;
+
+        let mut sequential = StreamingSession::new(22, 120, 3);
+        let mut seq_out = Vec::new();
+        for s in &samples {
+            if let Some(p) = sequential.push_sample(s, &pipeline, &model, &ncm).unwrap() {
+                seq_out.push(p);
+            }
+        }
+        let mut batched = StreamingSession::new(22, 120, 3);
+        let batch_out = batched
+            .push_samples(&samples, &pipeline, &model, &ncm)
+            .unwrap();
+        assert_eq!(batch_out.len(), seq_out.len());
+        for (b, s) in batch_out.iter().zip(&seq_out) {
+            assert_eq!(b.raw.quality, s.raw.quality);
+            assert_eq!(b.raw.label, s.raw.label);
+            assert_eq!(b.raw.distances, s.raw.distances);
+        }
+        assert_eq!(batch_out[0].raw.quality, SignalQuality::Degraded);
+        assert_eq!(batch_out[1].raw.quality, SignalQuality::Nominal);
+        assert_eq!(batch_out[2].raw.quality, SignalQuality::Degraded);
+        assert_eq!(batched.sensor_health(), sequential.sensor_health());
     }
 
     #[test]

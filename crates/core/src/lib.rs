@@ -58,8 +58,11 @@ pub use drift::{DriftMonitor, DriftStatus};
 pub use edge::{EdgeConfig, EdgeDevice};
 pub use embed::BatchEmbedder;
 pub use error::CoreError;
-pub use incremental::IncrementalConfig;
-pub use inference::{infer_batch, BatchJob, InferenceView, LatencyStats, Prediction};
+pub use incremental::{
+    IncrementalConfig, RollbackReason, UpdateOutcome, UpdateReport, ValidationConfig,
+};
+pub use inference::{infer_batch, BatchJob, InferenceView, LatencyStats, Prediction, SensorHealth};
+pub use magneto_dsp::{GuardConfig, SignalQuality};
 pub use label::LabelRegistry;
 pub use metrics::ConfusionMatrix;
 pub use ncm::NcmClassifier;

@@ -169,6 +169,16 @@ impl ResidentModel {
         }
     }
 
+    /// `true` when every float parameter of the resident representation
+    /// is finite — the post-training weight check of the transactional
+    /// update path.
+    pub fn all_finite(&self) -> bool {
+        match self {
+            ResidentModel::F32(n) => n.margin.is_finite() && n.backbone().all_finite(),
+            ResidentModel::Int8(q) => q.all_finite(),
+        }
+    }
+
     /// Convert to the requested precision. Same-precision conversions
     /// are the identity (no round trip through the other format).
     ///

@@ -33,6 +33,7 @@
 pub mod error;
 pub mod features;
 pub mod filter;
+pub mod guard;
 pub mod normalize;
 pub mod pipeline;
 pub mod segment;
@@ -40,6 +41,7 @@ pub mod spectral;
 
 pub use error::DspError;
 pub use features::{FeatureExtractor, NUM_FEATURES};
+pub use guard::{FrameGuard, GuardConfig, SignalQuality};
 pub use normalize::{Normalizer, NormalizerKind};
 pub use pipeline::{PipelineConfig, PreprocessingPipeline};
 

@@ -8,6 +8,7 @@
 use crate::error::DspError;
 use crate::features::{FeatureExtractor, NUM_FEATURES};
 use crate::filter::DenoiseConfig;
+use crate::guard::{self, GuardConfig, SignalQuality};
 use crate::normalize::{Normalizer, NormalizerKind};
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -25,6 +26,11 @@ pub struct PipelineConfig {
     pub normalizer_kind: NormalizerKind,
     /// Sample rate of incoming windows (Hz).
     pub sample_rate_hz: f32,
+    /// Entry-point signal guard (non-finite / out-of-range repair).
+    /// Defaults keep bundles serialised before this field existed
+    /// loadable.
+    #[serde(default)]
+    pub guard: GuardConfig,
 }
 
 impl Default for PipelineConfig {
@@ -33,6 +39,7 @@ impl Default for PipelineConfig {
             denoise: DenoiseConfig::default(),
             normalizer_kind: NormalizerKind::ZScore,
             sample_rate_hz: 120.0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -141,6 +148,45 @@ impl PreprocessingPipeline {
             norm.apply(out)?;
         }
         Ok(())
+    }
+
+    /// Guarded full pipeline: scan the window at entry, repair any
+    /// non-finite / out-of-range samples (last-good-value hold within the
+    /// window), then run denoise → features → normalise. Returns whether
+    /// the window was [`SignalQuality::Nominal`] or had to be repaired.
+    ///
+    /// Clean windows take the exact same path as
+    /// [`process_into`](Self::process_into) — no copy, no extra work
+    /// beyond the scan — so the guard is free on the healthy fast path.
+    ///
+    /// # Errors
+    /// Structural faults (empty channel, wrong channel count, too-short
+    /// window) are *not* repairable and still error; only value faults
+    /// are scrubbed.
+    pub fn process_checked_into(
+        &self,
+        channels: &[Vec<f32>],
+        out: &mut [f32],
+    ) -> Result<SignalQuality> {
+        if guard::window_is_clean(channels, &self.config.guard) {
+            self.process_into(channels, out)?;
+            return Ok(SignalQuality::Nominal);
+        }
+        let mut scrubbed = channels.to_vec();
+        guard::scrub_window(&mut scrubbed, &self.config.guard);
+        self.process_into(&scrubbed, out)?;
+        Ok(SignalQuality::Degraded)
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`process_checked_into`](Self::process_checked_into).
+    ///
+    /// # Errors
+    /// Same as `process_checked_into`.
+    pub fn process_checked(&self, channels: &[Vec<f32>]) -> Result<(Vec<f32>, SignalQuality)> {
+        let mut feats = vec![0.0f32; NUM_FEATURES];
+        let quality = self.process_checked_into(channels, &mut feats)?;
+        Ok((feats, quality))
     }
 
     /// Serialise to JSON bytes (the bundle embeds this).
@@ -266,5 +312,86 @@ mod tests {
         let cfg = PipelineConfig::default();
         let p = PreprocessingPipeline::new(cfg);
         assert_eq!(p.config(), &cfg);
+    }
+
+    #[test]
+    fn pre_guard_configs_deserialize_with_default_guard() {
+        // Bundles serialised before the guard field existed must load:
+        // round-trip the default config with its "guard" key spliced out.
+        let json = serde_json::to_string(&PipelineConfig::default()).unwrap();
+        assert!(json.contains("\"guard\""));
+        let start = json.find(",\"guard\"").unwrap();
+        let end = json[start + 1..].find("}").unwrap() + start + 2;
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let cfg: PipelineConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(cfg.guard, crate::guard::GuardConfig::default());
+    }
+
+    // Entry-point guard: one test per injected fault class.
+
+    fn checked(p: &PreprocessingPipeline, w: &[Vec<f32>]) -> (Vec<f32>, SignalQuality) {
+        let (feats, q) = p.process_checked(w).unwrap();
+        assert!(feats.iter().all(|v| v.is_finite()), "non-finite features");
+        (feats, q)
+    }
+
+    #[test]
+    fn guard_clean_window_is_nominal_and_matches_unchecked() {
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let w = noisy_window(10);
+        let (feats, q) = checked(&p, &w);
+        assert_eq!(q, SignalQuality::Nominal);
+        assert_eq!(feats, p.process(&w).unwrap());
+    }
+
+    #[test]
+    fn guard_repairs_nan_samples() {
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let mut w = noisy_window(11);
+        w[3][40] = f32::NAN;
+        w[3][41] = f32::NAN;
+        let (_, q) = checked(&p, &w);
+        assert_eq!(q, SignalQuality::Degraded);
+    }
+
+    #[test]
+    fn guard_repairs_infinite_samples() {
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let mut w = noisy_window(12);
+        w[0][0] = f32::INFINITY;
+        w[21][119] = f32::NEG_INFINITY;
+        let (_, q) = checked(&p, &w);
+        assert_eq!(q, SignalQuality::Degraded);
+    }
+
+    #[test]
+    fn guard_repairs_saturated_samples() {
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let mut w = noisy_window(13);
+        for i in 20..30 {
+            w[5][i] = 1.0e7; // above GuardConfig::default().max_abs
+        }
+        let (_, q) = checked(&p, &w);
+        assert_eq!(q, SignalQuality::Degraded);
+    }
+
+    #[test]
+    fn guard_empty_channel_still_errors() {
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let mut w = noisy_window(14);
+        w[7].clear();
+        let mut out = vec![0.0f32; NUM_FEATURES];
+        assert!(p.process_checked_into(&w, &mut out).is_err());
+    }
+
+    #[test]
+    fn guard_all_nan_window_still_produces_finite_features() {
+        // Worst case: every sample of every channel is garbage. The
+        // scrub holds 0.0 everywhere; features must still be finite
+        // (and the quality flag tells the caller not to trust them).
+        let p = PreprocessingPipeline::new(PipelineConfig::default());
+        let w: Vec<Vec<f32>> = (0..22).map(|_| vec![f32::NAN; 120]).collect();
+        let (_, q) = checked(&p, &w);
+        assert_eq!(q, SignalQuality::Degraded);
     }
 }

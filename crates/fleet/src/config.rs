@@ -30,6 +30,26 @@ pub struct FleetConfig {
     pub max_inflight_global: usize,
     /// Retry hint handed back with every rejection.
     pub retry_after: Duration,
+    /// Circuit breaker: panics a session may cause (strikes) before it
+    /// is quarantined. Serving a window from a panicking session is
+    /// caught per batch and isolated per window, so one bad session
+    /// costs retries, never a worker — but a session that keeps
+    /// panicking is cut off. `0` disables quarantining.
+    #[serde(default = "default_quarantine_strikes")]
+    pub quarantine_strikes: u32,
+    /// How long a quarantined session is refused at submit before the
+    /// breaker half-opens again. Returned as the retry hint in
+    /// [`crate::SubmitError::Quarantined`].
+    #[serde(default = "default_quarantine_for")]
+    pub quarantine_for: Duration,
+}
+
+fn default_quarantine_strikes() -> u32 {
+    3
+}
+
+fn default_quarantine_for() -> Duration {
+    Duration::from_secs(5)
 }
 
 impl Default for FleetConfig {
@@ -42,6 +62,8 @@ impl Default for FleetConfig {
             max_inflight_per_session: 32,
             max_inflight_global: 1024,
             retry_after: Duration::from_millis(2),
+            quarantine_strikes: default_quarantine_strikes(),
+            quarantine_for: default_quarantine_for(),
         }
     }
 }
@@ -123,5 +145,21 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FleetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pre_quarantine_configs_deserialize_with_defaults() {
+        // Configs serialized before the circuit-breaker knobs existed
+        // must still load, picking up the defaults.
+        let json = serde_json::to_string(&FleetConfig::default()).unwrap();
+        let stripped = json
+            .split(",\"quarantine_strikes\"")
+            .next()
+            .map(|head| format!("{head}}}"))
+            .unwrap();
+        assert_ne!(stripped, json);
+        let back: FleetConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.quarantine_strikes, default_quarantine_strikes());
+        assert_eq!(back.quarantine_for, default_quarantine_for());
     }
 }

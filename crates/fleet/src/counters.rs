@@ -18,6 +18,8 @@ pub(crate) struct ShardCounters {
     pub windows_f32: AtomicU64,
     pub windows_int8: AtomicU64,
     pub max_batch: AtomicU64,
+    pub panics_caught: AtomicU64,
+    pub sessions_quarantined: AtomicU64,
     pub latency: Mutex<LatencyRecorder>,
 }
 
@@ -51,6 +53,8 @@ impl ShardCounters {
             windows_f32: self.windows_f32.load(Ordering::Relaxed),
             windows_int8: self.windows_int8.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
             latency: self.latency.lock().expect("latency lock").stats(),
         }
     }
@@ -79,6 +83,12 @@ pub struct ShardStats {
     pub windows_int8: u64,
     /// Largest micro-batch executed.
     pub max_batch: u64,
+    /// Serving panics caught and isolated (batch-level catches plus
+    /// per-window fallback catches — one panicking window counts at
+    /// least twice: once failing its batch, once re-failing alone).
+    pub panics_caught: u64,
+    /// Times a session's circuit breaker tripped into quarantine.
+    pub sessions_quarantined: u64,
     /// Amortised per-window serving latency distribution (p50–p99).
     pub latency: LatencyStats,
 }

@@ -1,0 +1,49 @@
+//! Typed fleet start-up errors.
+
+use std::fmt;
+
+/// Why a [`crate::Fleet`] failed to start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A configuration knob is out of range
+    /// ([`crate::FleetConfig::validate`]).
+    Config(String),
+    /// The OS refused to spawn a worker thread. Workers spawned before
+    /// the failure have already been shut down and joined — a failed
+    /// `Fleet::new` never leaks threads.
+    Spawn {
+        /// Index of the worker that failed to spawn.
+        worker: usize,
+        /// The OS error description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Spawn { worker, reason } => {
+                write!(f, "failed to spawn fleet worker {worker}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(FleetError::Config("shards".into()).to_string().contains("shards"));
+        let e = FleetError::Spawn {
+            worker: 3,
+            reason: "EAGAIN".into(),
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("EAGAIN"));
+    }
+}

@@ -62,10 +62,12 @@
 
 pub mod config;
 pub mod counters;
+pub mod error;
 pub mod runtime;
 pub mod session;
 
 pub use config::FleetConfig;
 pub use counters::ShardStats;
+pub use error::FleetError;
 pub use runtime::Fleet;
 pub use session::{FleetReply, ModelKey, SessionId, SubmitError};

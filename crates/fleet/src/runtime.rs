@@ -3,15 +3,25 @@
 
 use crate::config::FleetConfig;
 use crate::counters::{ShardCounters, ShardStats};
+use crate::error::FleetError;
 use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
 use magneto_core::inference::{infer_batch, BatchJob};
 use magneto_core::{BatchEmbedder, EdgeDevice, Precision};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering the data from a poisoned lock. The runtime
+/// catches panics before they can unwind through a held lock (guards are
+/// acquired outside every `catch_unwind`), but a poisoned mutex must
+/// still never cascade one panic into a fleet-wide one.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One pending window.
 struct Request {
@@ -32,6 +42,14 @@ struct SessionEntry {
     /// both were deployed from the same bundle.
     precision: Precision,
     tx: Sender<FleetReply>,
+    /// Panic strikes this session has accumulated (each window that
+    /// panicked during its isolated re-run). Reaching the configured
+    /// threshold trips the circuit breaker.
+    strikes: u32,
+    /// Chaos hook ([`Fleet::arm_panics`]): pending deliberate panics.
+    /// Atomic so the serving path can consume it through a shared
+    /// borrow of the session map.
+    armed_panics: AtomicU32,
 }
 
 /// Admission-control state, guarded by the queue mutex so the submit
@@ -45,6 +63,10 @@ struct QueueState {
     inflight: HashMap<u64, usize>,
     /// Next per-session submission sequence number.
     seqs: HashMap<u64, u64>,
+    /// Open circuit breakers: session → (strikes at trip, refuse-until).
+    /// Lives beside the admission state so the submit fast path still
+    /// takes exactly one lock; entries expire lazily at submit.
+    quarantined: HashMap<u64, (u32, Instant)>,
 }
 
 struct Shard {
@@ -97,9 +119,12 @@ impl Fleet {
     /// and the caller drives serving via [`pump`](Self::pump).
     ///
     /// # Errors
-    /// A description of the first invalid configuration knob.
-    pub fn new(config: FleetConfig) -> Result<Self, String> {
-        config.validate()?;
+    /// [`FleetError::Config`] for an invalid knob; [`FleetError::Spawn`]
+    /// when the OS refuses a worker thread — workers spawned before the
+    /// failure are shut down and joined, so a failed start never leaks
+    /// threads.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate().map_err(FleetError::Config)?;
         let shards = (0..config.shards)
             .map(|_| Shard {
                 queue: Mutex::new(QueueState::default()),
@@ -122,15 +147,31 @@ impl Fleet {
             next_key: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..config.workers)
-            .map(|w| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("fleet-worker-{w}"))
-                    .spawn(move || worker_loop(&inner, w))
-                    .expect("spawn fleet worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("fleet-worker-{w}"))
+                .spawn(move || supervised_worker(&worker_inner, w));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Tear down what already started before reporting.
+                    inner.shutdown.store(true, Ordering::Release);
+                    for sig in &inner.signals {
+                        let _woken = lock_unpoisoned(&sig.work);
+                        sig.cv.notify_all();
+                    }
+                    for handle in workers {
+                        let _joined = handle.join();
+                    }
+                    return Err(FleetError::Spawn {
+                        worker: w,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
         Ok(Fleet {
             inner,
             workers,
@@ -166,18 +207,20 @@ impl Fleet {
         let shard = &self.inner.shards[id as usize % self.inner.config.shards];
         let (tx, rx) = channel();
         {
-            let mut q = shard.queue.lock().expect("queue lock");
+            let mut q = lock_unpoisoned(&shard.queue);
             q.inflight.insert(id, 0);
             q.seqs.insert(id, 0);
         }
         let precision = device.precision();
-        shard.sessions.lock().expect("sessions lock").insert(
+        lock_unpoisoned(&shard.sessions).insert(
             id,
             SessionEntry {
                 device,
                 key,
                 precision,
                 tx,
+                strikes: 0,
+                armed_panics: AtomicU32::new(0),
             },
         );
         (SessionId(id), rx)
@@ -196,7 +239,7 @@ impl Fleet {
             .expect("sessions lock")
             .remove(&id.0)
             .ok_or(SubmitError::UnknownSession(id))?;
-        let mut q = shard.queue.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&shard.queue);
         // Queued (not yet popped) windows die with the session; executing
         // ones finish and decrement the remainder themselves.
         let queued = q.pending.iter().filter(|r| r.session == id.0).count();
@@ -206,6 +249,7 @@ impl Fleet {
             self.inner.global_inflight.fetch_sub(queued, Ordering::AcqRel);
         }
         q.seqs.remove(&id.0);
+        q.quarantined.remove(&id.0);
         Ok(entry.device)
     }
 
@@ -224,10 +268,23 @@ impl Fleet {
         let shard_idx = id.0 as usize % config.shards;
         let shard = &self.inner.shards[shard_idx];
         let seq = {
-            let mut q = shard.queue.lock().expect("queue lock");
+            let mut q = lock_unpoisoned(&shard.queue);
             let Some(&inflight) = q.inflight.get(&id.0) else {
                 return Err(SubmitError::UnknownSession(id));
             };
+            if let Some(&(strikes, until)) = q.quarantined.get(&id.0) {
+                let now = Instant::now();
+                if now < until {
+                    shard.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Quarantined {
+                        strikes,
+                        retry_after: until - now,
+                    });
+                }
+                // Breaker half-opens: admit again; a further panic
+                // re-trips it immediately (strikes persist on the entry).
+                q.quarantined.remove(&id.0);
+            }
             if q.pending.len() >= config.queue_capacity {
                 shard.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull {
@@ -280,7 +337,7 @@ impl Fleet {
         f: impl FnOnce(&mut EdgeDevice) -> R,
     ) -> Result<R, SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
-        let mut sessions = shard.sessions.lock().expect("sessions lock");
+        let mut sessions = lock_unpoisoned(&shard.sessions);
         let entry = sessions
             .get_mut(&id.0)
             .ok_or(SubmitError::UnknownSession(id))?;
@@ -302,7 +359,7 @@ impl Fleet {
         f: impl FnOnce(&EdgeDevice) -> R,
     ) -> Result<R, SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
-        let sessions = shard.sessions.lock().expect("sessions lock");
+        let sessions = lock_unpoisoned(&shard.sessions);
         let entry = sessions.get(&id.0).ok_or(SubmitError::UnknownSession(id))?;
         Ok(f(&entry.device))
     }
@@ -313,11 +370,50 @@ impl Fleet {
     /// [`SubmitError::UnknownSession`] when the id is not registered.
     pub fn session_key(&self, id: SessionId) -> Result<ModelKey, SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
-        let sessions = shard.sessions.lock().expect("sessions lock");
+        let sessions = lock_unpoisoned(&shard.sessions);
         sessions
             .get(&id.0)
             .map(|e| e.key)
             .ok_or(SubmitError::UnknownSession(id))
+    }
+
+    /// Chaos hook: make the session's next `count` served windows panic
+    /// mid-inference. Drives the fault-injection tests and the `chaos`
+    /// smoke target — the runtime must catch each panic, isolate it to
+    /// this session, and quarantine the session once it exhausts its
+    /// strikes. Useless (and harmless) outside testing.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn arm_panics(&self, id: SessionId, count: u32) -> Result<(), SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = lock_unpoisoned(&shard.sessions);
+        let entry = sessions.get(&id.0).ok_or(SubmitError::UnknownSession(id))?;
+        entry.armed_panics.fetch_add(count, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Panic strikes a session has accumulated, and whether its circuit
+    /// breaker is currently open.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn session_strikes(&self, id: SessionId) -> Result<(u32, bool), SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let strikes = {
+            let sessions = lock_unpoisoned(&shard.sessions);
+            sessions
+                .get(&id.0)
+                .map(|e| e.strikes)
+                .ok_or(SubmitError::UnknownSession(id))?
+        };
+        let open = {
+            let q = lock_unpoisoned(&shard.queue);
+            q.quarantined
+                .get(&id.0)
+                .is_some_and(|&(_, until)| Instant::now() < until)
+        };
+        Ok((strikes, open))
     }
 
     /// Deterministic inline serving: drain every shard on the caller's
@@ -363,8 +459,8 @@ impl Fleet {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let sessions = s.sessions.lock().expect("sessions lock").len();
-                let pending = s.queue.lock().expect("queue lock").pending.len();
+                let sessions = lock_unpoisoned(&s.sessions).len();
+                let pending = lock_unpoisoned(&s.queue).pending.len();
                 s.counters.snapshot(i, sessions, pending)
             })
             .collect()
@@ -384,7 +480,7 @@ impl Fleet {
     fn stop_and_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         for sig in &self.inner.signals {
-            let _unused = sig.work.lock().expect("signal lock");
+            let _unused = lock_unpoisoned(&sig.work);
             sig.cv.notify_all();
         }
         for handle in self.workers.drain(..) {
@@ -401,7 +497,7 @@ impl Fleet {
             return;
         }
         let sig = &self.inner.signals[shard % workers];
-        let mut work = sig.work.lock().expect("signal lock");
+        let mut work = lock_unpoisoned(&sig.work);
         *work = true;
         sig.cv.notify_one();
     }
@@ -411,6 +507,27 @@ impl Drop for Fleet {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
             self.stop_and_join();
+        }
+    }
+}
+
+/// Worker supervisor: runs [`worker_loop`] under `catch_unwind` and
+/// restarts it if a panic ever escapes the per-batch isolation inside
+/// [`drain_shard`] (defence in depth — nothing is expected to). The
+/// respawned loop gets a fresh embedder, so no scratch state poisoned by
+/// the unwind survives. The worker thread itself never dies to a panic.
+fn supervised_worker(inner: &Inner, w: usize) {
+    loop {
+        let escaped =
+            std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(inner, w))).is_err();
+        if !escaped {
+            return; // clean shutdown
+        }
+        for shard in &inner.shards {
+            shard.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
         }
     }
 }
@@ -426,13 +543,12 @@ fn worker_loop(inner: &Inner, w: usize) {
     loop {
         {
             let sig = &inner.signals[w];
-            let mut work = sig.work.lock().expect("signal lock");
+            let mut work = lock_unpoisoned(&sig.work);
             while !*work && !inner.shutdown.load(Ordering::Acquire) {
-                let (next, _timeout) = sig
-                    .cv
-                    .wait_timeout(work, Duration::from_millis(50))
-                    .expect("signal wait");
-                work = next;
+                work = match sig.cv.wait_timeout(work, Duration::from_millis(50)) {
+                    Ok((next, _timeout)) => next,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
             *work = false;
         }
@@ -455,14 +571,94 @@ fn worker_loop(inner: &Inner, w: usize) {
     }
 }
 
+/// Featurise and classify the windows at `indices` through the group's
+/// shared backbone — one `(batch, dim)` forward pass.
+///
+/// This is the only serving code that runs inside a `catch_unwind` (its
+/// callers hold the session-map lock *outside* the catch, so a panic
+/// here can never poison it). Before touching the model it fires any
+/// armed chaos panics: a group-sized call (`consume_armed == false`)
+/// only peeks — the same window must panic again when retried alone so
+/// the strike lands on the right session — while an isolated single
+/// -window call (`consume_armed == true`) consumes one armed charge.
+fn run_windows(
+    sessions: &HashMap<u64, SessionEntry>,
+    popped: &[Request],
+    indices: &[usize],
+    embedder: &mut BatchEmbedder,
+    consume_armed: bool,
+) -> Result<Vec<magneto_core::Prediction>, magneto_core::CoreError> {
+    for &i in indices {
+        if let Some(entry) = sessions.get(&popped[i].session) {
+            // Single drainer per shard: load/store needs no CAS.
+            let armed = entry.armed_panics.load(Ordering::Relaxed);
+            if armed > 0 {
+                if consume_armed {
+                    entry.armed_panics.store(armed - 1, Ordering::Relaxed);
+                }
+                panic!("chaos: armed panic for session {}", popped[i].session);
+            }
+        }
+    }
+    let jobs: Vec<BatchJob<'_>> = indices
+        .iter()
+        .map(|&i| {
+            let req = &popped[i];
+            let view = sessions
+                .get(&req.session)
+                .expect("grouped session present")
+                .device
+                .inference_view();
+            BatchJob {
+                pipeline: view.pipeline,
+                ncm: view.ncm,
+                window: &req.window,
+            }
+        })
+        .collect();
+    let model = sessions
+        .get(&popped[indices[0]].session)
+        .expect("grouped session present")
+        .device
+        .inference_view()
+        .model;
+    infer_batch(model, &jobs, embedder)
+}
+
+/// Scatter one prediction (or serving error) back to its session.
+fn reply_to(
+    sessions: &mut HashMap<u64, SessionEntry>,
+    req: &Request,
+    outcome: Result<magneto_core::Prediction, String>,
+) {
+    if let Some(entry) = sessions.get_mut(&req.session) {
+        if let Ok(pred) = &outcome {
+            entry.device.note_latency(pred.latency);
+        }
+        let _receiver_gone = entry.tx.send(FleetReply {
+            session: SessionId(req.session),
+            seq: req.seq,
+            outcome,
+        });
+    }
+}
+
 /// Drain one scheduling cycle from a shard: pop up to `max_batch`
 /// pending windows, group them by model key, run each group through the
 /// shared backbone as one forward pass, and scatter replies. Returns the
 /// number of windows served.
+///
+/// Panic isolation: each group runs under `catch_unwind`. If it panics,
+/// the group's windows are retried one at a time, each under its own
+/// `catch_unwind` — innocent bystanders batched with a panicking session
+/// get served (bit-identical to the batched result, which is the
+/// runtime's standing invariant), the panicking window's session takes a
+/// strike and its caller an error reply, and a session that exhausts its
+/// strikes is quarantined (circuit breaker, [`SubmitError::Quarantined`]).
 fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) -> usize {
     let shard = &inner.shards[shard_idx];
     let popped: Vec<Request> = {
-        let mut q = shard.queue.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&shard.queue);
         let n = q.pending.len().min(inner.config.max_batch);
         q.pending.drain(..n).collect()
     };
@@ -470,8 +666,12 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
         return 0;
     }
 
+    // Sessions that take a panic strike this cycle, and breakers tripped.
+    let mut struck: Vec<u64> = Vec::new();
+    let mut tripped: Vec<(u64, u32)> = Vec::new();
+
     {
-        let mut sessions = shard.sessions.lock().expect("sessions lock");
+        let mut sessions = lock_unpoisoned(&shard.sessions);
         // Group request indices by (model key, precision), preserving pop
         // order within each group (pop order preserves per-session
         // submission order). Precision is part of the key: identical
@@ -489,72 +689,97 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
 
         for (&(_, precision), indices) in &groups {
             let start = Instant::now();
-            let jobs: Vec<BatchJob<'_>> = indices
-                .iter()
-                .map(|&i| {
-                    let req = &popped[i];
-                    let view = sessions
-                        .get(&req.session)
-                        .expect("grouped session present")
-                        .device
-                        .inference_view();
-                    BatchJob {
-                        pipeline: view.pipeline,
-                        ncm: view.ncm,
-                        window: &req.window,
+            // The session-map guard stays OUTSIDE the catch so an unwind
+            // cannot poison it.
+            let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_windows(&sessions, &popped, indices, embedder, false)
+            }));
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(_panic) => {
+                    // The batch died. Count it, discard the embedder's
+                    // possibly half-written scratch, and retry each
+                    // window alone so one bad session cannot take its
+                    // batchmates down with it.
+                    shard.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    *embedder = BatchEmbedder::new();
+                    for &i in indices {
+                        let req = &popped[i];
+                        let solo_start = Instant::now();
+                        let solo = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_windows(&sessions, &popped, &[i], embedder, true)
+                        }));
+                        let solo_outcome = match solo {
+                            Ok(Ok(mut preds)) => {
+                                shard.counters.record_batch(1, precision, solo_start.elapsed());
+                                Ok(preds.pop().expect("one prediction for one job"))
+                            }
+                            Ok(Err(e)) => Err(e.to_string()),
+                            Err(_panic) => {
+                                shard
+                                    .counters
+                                    .panics_caught
+                                    .fetch_add(1, Ordering::Relaxed);
+                                *embedder = BatchEmbedder::new();
+                                struck.push(req.session);
+                                Err(format!(
+                                    "serving panicked for {}; window dropped",
+                                    SessionId(req.session)
+                                ))
+                            }
+                        };
+                        reply_to(&mut sessions, req, solo_outcome);
                     }
-                })
-                .collect();
-            let model = sessions
-                .get(&popped[indices[0]].session)
-                .expect("grouped session present")
-                .device
-                .inference_view()
-                .model;
-            let outcome = infer_batch(model, &jobs, embedder);
-            drop(jobs);
+                    continue;
+                }
+            };
             let per_window = start.elapsed() / indices.len() as u32;
             shard.counters.record_batch(indices.len(), precision, per_window);
 
             match outcome {
                 Ok(preds) => {
                     for (&i, pred) in indices.iter().zip(preds) {
-                        let req = &popped[i];
-                        if let Some(entry) = sessions.get_mut(&req.session) {
-                            entry.device.note_latency(pred.latency);
-                            let _receiver_gone = entry.tx.send(FleetReply {
-                                session: SessionId(req.session),
-                                seq: req.seq,
-                                outcome: Ok(pred),
-                            });
-                        }
+                        reply_to(&mut sessions, &popped[i], Ok(pred));
                     }
                 }
                 Err(e) => {
                     let msg = e.to_string();
                     for &i in indices {
-                        let req = &popped[i];
-                        if let Some(entry) = sessions.get(&req.session) {
-                            let _receiver_gone = entry.tx.send(FleetReply {
-                                session: SessionId(req.session),
-                                seq: req.seq,
-                                outcome: Err(msg.clone()),
-                            });
-                        }
+                        reply_to(&mut sessions, &popped[i], Err(msg.clone()));
                     }
+                }
+            }
+        }
+
+        // Apply this cycle's strikes; trip breakers that crossed the
+        // threshold. (`quarantine_strikes == 0` disables the breaker.)
+        let threshold = inner.config.quarantine_strikes;
+        for s in struck {
+            if let Some(entry) = sessions.get_mut(&s) {
+                entry.strikes += 1;
+                if threshold > 0 && entry.strikes >= threshold {
+                    tripped.push((s, entry.strikes));
                 }
             }
         }
     }
 
     // Reconcile in-flight accounting for everything popped this cycle
-    // (served or dropped-with-session alike).
+    // (served or dropped-with-session alike), and open tripped breakers.
     {
-        let mut q = shard.queue.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&shard.queue);
         for req in &popped {
             if let Some(n) = q.inflight.get_mut(&req.session) {
                 *n = n.saturating_sub(1);
             }
+        }
+        let until = Instant::now() + inner.config.quarantine_for;
+        for (s, strikes) in tripped {
+            q.quarantined.insert(s, (strikes, until));
+            shard
+                .counters
+                .sessions_quarantined
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
     inner.global_inflight.fetch_sub(popped.len(), Ordering::AcqRel);

@@ -96,6 +96,15 @@ pub enum SubmitError {
         /// Hint: when to retry.
         retry_after: Duration,
     },
+    /// The session's circuit breaker is open: it caused too many serving
+    /// panics and is refused until the breaker half-opens.
+    Quarantined {
+        /// Panic strikes the session has accumulated.
+        strikes: u32,
+        /// Hint: when the breaker half-opens and submits are admitted
+        /// again.
+        retry_after: Duration,
+    },
     /// No such session is registered.
     UnknownSession(SessionId),
     /// The fleet is shutting down.
@@ -108,7 +117,8 @@ impl SubmitError {
         match self {
             SubmitError::QueueFull { retry_after, .. }
             | SubmitError::SessionBusy { retry_after, .. }
-            | SubmitError::FleetBusy { retry_after, .. } => Some(*retry_after),
+            | SubmitError::FleetBusy { retry_after, .. }
+            | SubmitError::Quarantined { retry_after, .. } => Some(*retry_after),
             _ => None,
         }
     }
@@ -133,6 +143,13 @@ impl fmt::Display for SubmitError {
             } => write!(
                 f,
                 "fleet has {in_flight} windows in flight, retry in {retry_after:?}"
+            ),
+            SubmitError::Quarantined {
+                strikes,
+                retry_after,
+            } => write!(
+                f,
+                "session quarantined after {strikes} serving panics, retry in {retry_after:?}"
             ),
             SubmitError::UnknownSession(id) => write!(f, "unknown {id}"),
             SubmitError::ShuttingDown => write!(f, "fleet is shutting down"),

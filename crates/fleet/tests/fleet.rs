@@ -256,7 +256,10 @@ fn personalisation_rekeys_a_session() {
     );
     fleet
         .update_session(a, |dev| {
-            dev.learn_new_activity("secret_gesture", &recording).unwrap();
+            dev.learn_new_activity("secret_gesture", &recording)
+                .unwrap()
+                .committed()
+                .unwrap();
         })
         .unwrap();
     let key_a = fleet.session_key(a).unwrap();
@@ -358,4 +361,197 @@ fn fleet_latency_stats_feed_each_device() {
     let shard = &fleet.shard_stats()[0];
     assert_eq!(shard.latency.count, 3);
     assert!(shard.mean_batch() >= 1.0);
+}
+
+/// A deliberately panicking session in an 8-worker fleet is isolated and
+/// quarantined; every innocent session's replies stay bit-identical to
+/// the sequential oracle, and the shard stats account for the carnage.
+#[test]
+fn panicking_session_is_quarantined_and_innocents_match_sequential() {
+    let users = 5;
+    let rounds = 3;
+    let victim = 0usize;
+    let per_user = traffic(users, rounds, 91);
+
+    // Sequential oracle for the innocent sessions only.
+    let oracle: Vec<Vec<Prediction>> = per_user
+        .iter()
+        .map(|windows| {
+            let mut dev = device();
+            windows
+                .iter()
+                .map(|w| dev.infer_window(w).unwrap())
+                .collect()
+        })
+        .collect();
+
+    let fleet = Fleet::new(FleetConfig {
+        workers: 8,
+        shards: 2,
+        quarantine_strikes: 2,
+        quarantine_for: Duration::from_secs(60),
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let key = ModelKey::of_bundle(bundle());
+    let registered: Vec<(SessionId, Receiver<FleetReply>)> =
+        (0..users).map(|_| fleet.register(device(), key)).collect();
+    let victim_id = registered[victim].0;
+
+    // Two armed panics, one per victim window: each served victim window
+    // blows up its micro-batch, re-blows up its solo retry, and lands one
+    // strike. Two strikes trip the breaker.
+    fleet.arm_panics(victim_id, 2).unwrap();
+
+    for r in 0..rounds {
+        for (u, (id, _)) in registered.iter().enumerate() {
+            if u == victim && r >= 2 {
+                continue; // third victim window may already be quarantined
+            }
+            submit_retrying(&fleet, *id, &per_user[u][r]);
+        }
+    }
+    assert!(fleet.wait_idle(Duration::from_secs(30)), "fleet never idled");
+
+    // Victim: both windows came back as errors naming the panic, never a
+    // wedged channel and never a poisoned-lock crash of the whole fleet.
+    let victim_replies = collect(&registered[victim].1, 2);
+    for reply in &victim_replies {
+        let err = reply.outcome.as_ref().unwrap_err();
+        assert!(err.contains("panicked"), "unexpected victim error: {err}");
+    }
+
+    // Innocents: full service, bit-identical to sequential, in FIFO order,
+    // despite sharing micro-batches with a panicking neighbour.
+    for (u, (id, rx)) in registered.iter().enumerate() {
+        if u == victim {
+            continue;
+        }
+        let replies = collect(rx, rounds);
+        for (r, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.session, *id);
+            assert_eq!(reply.seq, r as u64, "user {u} replies out of order");
+            let got = reply.outcome.as_ref().unwrap();
+            let want = &oracle[u][r];
+            assert_eq!(got.label, want.label, "user {u} round {r}");
+            assert_eq!(got.confidence, want.confidence, "user {u} round {r}");
+            assert_eq!(got.distances, want.distances, "user {u} round {r}");
+        }
+    }
+
+    // The breaker is open: strikes accumulated and submits are refused
+    // with a typed, retry-hinted rejection.
+    let (strikes, open) = fleet.session_strikes(victim_id).unwrap();
+    assert_eq!(strikes, 2);
+    assert!(open, "breaker should be open after {strikes} strikes");
+    match fleet.submit(victim_id, per_user[victim][2].clone()) {
+        Err(SubmitError::Quarantined {
+            strikes,
+            retry_after,
+        }) => {
+            assert_eq!(strikes, 2);
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+
+    // Stats tell the story: every panic was caught (each armed window
+    // fails its batch and then its solo retry), and one breaker tripped.
+    let stats = fleet.shard_stats();
+    let panics: u64 = stats.iter().map(|s| s.panics_caught).sum();
+    let quarantined: u64 = stats.iter().map(|s| s.sessions_quarantined).sum();
+    assert!(panics >= 3, "expected >=3 caught panics, saw {panics}");
+    assert_eq!(quarantined, 1);
+    let served: u64 = stats.iter().map(|s| s.windows).sum();
+    assert_eq!(served, ((users - 1) * rounds) as u64);
+    fleet.shutdown();
+}
+
+/// The breaker half-opens after `quarantine_for`: the session is admitted
+/// again, serves cleanly, and re-trips immediately on its next strike.
+/// Pump mode keeps the whole sequence deterministic.
+#[test]
+fn quarantine_half_opens_after_expiry_and_retrips_on_next_strike() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        quarantine_strikes: 1,
+        quarantine_for: Duration::from_millis(50),
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (id, rx) = fleet.register(device(), ModelKey::of_bundle(bundle()));
+    let per_user = traffic(1, 3, 92);
+    let oracle = device().infer_window(&per_user[0][1]).unwrap();
+
+    // Strike 1 trips the one-strike breaker.
+    fleet.arm_panics(id, 1).unwrap();
+    fleet.submit(id, per_user[0][0].clone()).unwrap();
+    fleet.pump();
+    assert!(collect(&rx, 1)[0].outcome.is_err());
+    assert_eq!(fleet.session_strikes(id).unwrap(), (1, true));
+    assert!(matches!(
+        fleet.submit(id, per_user[0][1].clone()),
+        Err(SubmitError::Quarantined { strikes: 1, .. })
+    ));
+
+    // After the window passes, the breaker half-opens: the submit is
+    // admitted and a clean window serves bit-identically.
+    std::thread::sleep(Duration::from_millis(60));
+    fleet.submit(id, per_user[0][1].clone()).unwrap();
+    fleet.pump();
+    let reply = collect(&rx, 1).remove(0);
+    let got = reply.outcome.as_ref().unwrap();
+    assert_eq!(got.label, oracle.label);
+    assert_eq!(got.confidence, oracle.confidence);
+    assert_eq!(got.distances, oracle.distances);
+    // Half-open clears the refusal but the strike history persists.
+    assert_eq!(fleet.session_strikes(id).unwrap(), (1, false));
+
+    // Next panic re-trips at the accumulated count, not from zero.
+    fleet.arm_panics(id, 1).unwrap();
+    fleet.submit(id, per_user[0][2].clone()).unwrap();
+    fleet.pump();
+    assert!(collect(&rx, 1)[0].outcome.is_err());
+    assert_eq!(fleet.session_strikes(id).unwrap(), (2, true));
+
+    // Quarantine state dies with the session.
+    fleet.deregister(id).unwrap();
+    assert!(matches!(
+        fleet.submit(id, per_user[0][2].clone()),
+        Err(SubmitError::UnknownSession(_))
+    ));
+}
+
+/// Quarantine counts rejected submits as `rejected` in the shard stats,
+/// and a zero-strike config disables the breaker entirely.
+#[test]
+fn zero_strike_threshold_disables_the_breaker() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 0,
+        shards: 1,
+        quarantine_strikes: 0,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let (id, rx) = fleet.register(device(), ModelKey::of_bundle(bundle()));
+    let per_user = traffic(1, 2, 93);
+
+    fleet.arm_panics(id, 1).unwrap();
+    fleet.submit(id, per_user[0][0].clone()).unwrap();
+    fleet.pump();
+    assert!(collect(&rx, 1)[0].outcome.is_err());
+
+    // A strike landed but no breaker exists to trip.
+    let (strikes, open) = fleet.session_strikes(id).unwrap();
+    assert_eq!(strikes, 1);
+    assert!(!open);
+    fleet.submit(id, per_user[0][1].clone()).unwrap();
+    fleet.pump();
+    assert!(collect(&rx, 1)[0].outcome.is_ok());
+    assert_eq!(
+        fleet.shard_stats()[0].sessions_quarantined,
+        0,
+        "breaker disabled, nothing should quarantine"
+    );
 }

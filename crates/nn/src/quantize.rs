@@ -65,6 +65,14 @@ impl QuantizedDense {
         })
     }
 
+    /// `true` when every float parameter (scales, bias) is finite. The
+    /// i8 weights cannot be non-finite; the scales and bias can, if the
+    /// f32 model they were quantised from had diverged.
+    fn all_finite(&self) -> bool {
+        self.weights.scales().iter().all(|s| s.is_finite())
+            && self.bias.iter().all(|b| b.is_finite())
+    }
+
     fn in_dim(&self) -> usize {
         self.weights.rows()
     }
@@ -123,6 +131,12 @@ impl QuantizedMlp {
             .map(QuantizedDense::dequantize)
             .collect::<Result<Vec<_>>>()?;
         Mlp::from_layers(layers)
+    }
+
+    /// `true` when every float parameter of every layer is finite
+    /// (mirrors [`Mlp::all_finite`] for the quantised representation).
+    pub fn all_finite(&self) -> bool {
+        self.layers.iter().all(QuantizedDense::all_finite)
     }
 
     /// Layer widths, input first (mirrors [`Mlp::dims`]).
@@ -387,6 +401,12 @@ impl QuantizedSiamese {
     /// Bytes needed to keep the quantised parameters resident.
     pub fn stored_bytes(&self) -> usize {
         self.backbone.stored_bytes()
+    }
+
+    /// `true` when every float parameter (scales, biases, margin) is
+    /// finite.
+    pub fn all_finite(&self) -> bool {
+        self.margin.is_finite() && self.backbone.all_finite()
     }
 }
 

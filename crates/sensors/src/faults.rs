@@ -1,0 +1,457 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A real phone's sensor service misbehaves constantly: the HAL drops
+//! frames under load, a flaky MEMS die freezes a channel at its last
+//! value, an I²C glitch emits NaNs or rails a channel at ±full-scale,
+//! and timestamps jitter. MAGNETO's pitch is that inference *and*
+//! learning survive on such a device, so the fault model must be a
+//! first-class, replayable input — not an afterthought.
+//!
+//! [`FaultPlan`] describes *which* faults to inject at what rates;
+//! [`FaultInjector`] applies a plan to a stream of [`SensorFrame`]s
+//! deterministically: the same plan over the same frames produces a
+//! bit-identical perturbed stream on every replay, so any chaos failure
+//! reproduces from its seed alone. The injector's RNG consumption
+//! depends only on the plan and the number of frames seen — never on
+//! frame *values* — which keeps replays aligned even when the upstream
+//! generator changes.
+
+use crate::channels::{SensorFrame, NUM_CHANNELS};
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Rate and duration of one class of per-channel fault burst.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Per-frame, per-channel probability that a new burst starts.
+    pub prob: f64,
+    /// Shortest burst, in frames.
+    pub min_len: usize,
+    /// Longest burst, in frames (inclusive).
+    pub max_len: usize,
+}
+
+impl BurstConfig {
+    /// A disabled burst class.
+    pub fn off() -> Self {
+        BurstConfig {
+            prob: 0.0,
+            min_len: 0,
+            max_len: 0,
+        }
+    }
+
+    /// `true` when this class can never fire.
+    pub fn is_off(&self) -> bool {
+        self.prob <= 0.0 || self.max_len == 0
+    }
+}
+
+/// A complete, seeded description of the faults to inject into a sensor
+/// stream. Every chaos run is identified by its plan; replaying the same
+/// plan yields the same perturbations bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the injector's private RNG.
+    pub seed: u64,
+    /// Per-frame probability that the whole frame is dropped (the sensor
+    /// service never delivers it; the gap is real).
+    pub drop_prob: f64,
+    /// Frozen/stuck channel bursts: the channel repeats its last good
+    /// value for the burst duration.
+    pub freeze: BurstConfig,
+    /// NaN bursts: the channel reads NaN for the burst duration.
+    pub nan: BurstConfig,
+    /// Saturation bursts: the channel rails at `±saturation_value`.
+    pub saturate: BurstConfig,
+    /// Rail magnitude for saturation bursts.
+    pub saturation_value: f32,
+    /// Extra timestamp jitter (standard deviation, seconds) on top of
+    /// whatever the stream already exhibits.
+    pub jitter_std_s: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (identity transform; still draws from
+    /// the RNG so stream alignment matches active plans).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            freeze: BurstConfig::off(),
+            nan: BurstConfig::off(),
+            saturate: BurstConfig::off(),
+            saturation_value: 1.0e7,
+            jitter_std_s: 0.0,
+        }
+    }
+
+    /// Drop-only plan at the given frame-drop rate (the EXPERIMENTS.md
+    /// degradation sweep).
+    pub fn drops(seed: u64, drop_prob: f64) -> Self {
+        FaultPlan {
+            drop_prob,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// An aggressive all-faults plan for chaos sweeps: ~2 % frame drops,
+    /// frequent freeze/NaN/saturation bursts and 2 ms timestamp jitter.
+    pub fn nasty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.02,
+            freeze: BurstConfig {
+                prob: 0.002,
+                min_len: 4,
+                max_len: 40,
+            },
+            nan: BurstConfig {
+                prob: 0.002,
+                min_len: 1,
+                max_len: 24,
+            },
+            saturate: BurstConfig {
+                prob: 0.002,
+                min_len: 1,
+                max_len: 24,
+            },
+            saturation_value: 1.0e7,
+            jitter_std_s: 0.002,
+        }
+    }
+
+    /// Build the injector that applies this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(*self)
+    }
+}
+
+/// Counts of every fault actually injected so far, per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Frames seen (dropped or delivered).
+    pub frames: u64,
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Channel-samples replaced by a frozen (stuck-at) value.
+    pub frozen_samples: u64,
+    /// Channel-samples replaced by NaN.
+    pub nan_samples: u64,
+    /// Channel-samples railed at ±saturation.
+    pub saturated_samples: u64,
+}
+
+impl FaultStats {
+    /// Total perturbed channel-samples across value-fault classes.
+    pub fn faulty_samples(&self) -> u64 {
+        self.frozen_samples + self.nan_samples + self.saturated_samples
+    }
+}
+
+/// Per-channel burst state: frames remaining and the value strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Burst {
+    Idle,
+    Freeze { left: usize, value: f32 },
+    Nan { left: usize },
+    Saturate { left: usize, rail: f32 },
+}
+
+/// Applies a [`FaultPlan`] to a sequence of frames, deterministically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SeededRng,
+    /// Last value delivered per channel (the freeze source).
+    last: [f32; NUM_CHANNELS],
+    burst: [Burst; NUM_CHANNELS],
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Fresh injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            rng: SeededRng::new(plan.seed),
+            plan,
+            last: [0.0; NUM_CHANNELS],
+            burst: [Burst::Idle; NUM_CHANNELS],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counts so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Draw a burst length in `[min_len, max_len]`.
+    fn burst_len(rng: &mut SeededRng, cfg: &BurstConfig) -> usize {
+        let span = cfg.max_len.saturating_sub(cfg.min_len) + 1;
+        cfg.min_len + rng.index(span.max(1))
+    }
+
+    /// Perturb one frame. Returns `None` when the plan drops it (the
+    /// caller sees a real gap, exactly like sensor-service dropout).
+    pub fn perturb(&mut self, frame: &SensorFrame) -> Option<SensorFrame> {
+        self.stats.frames += 1;
+        // Drop decision first, one draw per frame, always consumed.
+        if self.rng.chance(self.plan.drop_prob) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let mut out = frame.clone();
+        if self.plan.jitter_std_s > 0.0 {
+            let j = f64::from(self.rng.normal_with(0.0, self.plan.jitter_std_s as f32));
+            out.timestamp = (out.timestamp + j).max(0.0);
+        }
+        for c in 0..NUM_CHANNELS {
+            // Maybe start a burst when idle. Draw order is fixed
+            // (freeze, nan, saturate) so replays stay aligned.
+            if self.burst[c] == Burst::Idle {
+                if !self.plan.freeze.is_off() && self.rng.chance(self.plan.freeze.prob) {
+                    self.burst[c] = Burst::Freeze {
+                        left: Self::burst_len(&mut self.rng, &self.plan.freeze),
+                        value: self.last[c],
+                    };
+                } else if !self.plan.nan.is_off() && self.rng.chance(self.plan.nan.prob) {
+                    self.burst[c] = Burst::Nan {
+                        left: Self::burst_len(&mut self.rng, &self.plan.nan),
+                    };
+                } else if !self.plan.saturate.is_off() && self.rng.chance(self.plan.saturate.prob)
+                {
+                    let sign = if self.rng.chance(0.5) { 1.0 } else { -1.0 };
+                    self.burst[c] = Burst::Saturate {
+                        left: Self::burst_len(&mut self.rng, &self.plan.saturate),
+                        rail: sign * self.plan.saturation_value,
+                    };
+                }
+            }
+            // Apply the active burst, if any.
+            self.burst[c] = match self.burst[c] {
+                Burst::Idle => {
+                    self.last[c] = out.values[c];
+                    Burst::Idle
+                }
+                Burst::Freeze { left, value } => {
+                    out.values[c] = value;
+                    self.stats.frozen_samples += 1;
+                    if left > 1 {
+                        Burst::Freeze {
+                            left: left - 1,
+                            value,
+                        }
+                    } else {
+                        Burst::Idle
+                    }
+                }
+                Burst::Nan { left } => {
+                    out.values[c] = f32::NAN;
+                    self.stats.nan_samples += 1;
+                    if left > 1 {
+                        Burst::Nan { left: left - 1 }
+                    } else {
+                        Burst::Idle
+                    }
+                }
+                Burst::Saturate { left, rail } => {
+                    out.values[c] = rail;
+                    self.stats.saturated_samples += 1;
+                    if left > 1 {
+                        Burst::Saturate {
+                            left: left - 1,
+                            rail,
+                        }
+                    } else {
+                        Burst::Idle
+                    }
+                }
+            };
+        }
+        Some(out)
+    }
+
+    /// Perturb a whole recording: dropped frames are simply missing from
+    /// the output, exactly as a lossy sensor service would deliver it.
+    pub fn apply(&mut self, frames: &[SensorFrame]) -> Vec<SensorFrame> {
+        frames.iter().filter_map(|f| self.perturb(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+    use crate::person::PersonProfile;
+    use crate::stream::{SensorStream, StreamConfig};
+
+    fn frames(n: usize, seed: u64) -> Vec<SensorFrame> {
+        let mut s = SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            StreamConfig::ideal(),
+            SeededRng::new(seed),
+        );
+        (0..n).map(|_| s.next().unwrap()).collect()
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let input = frames(600, 1);
+        let plan = FaultPlan::nasty(42);
+        let a = plan.injector().apply(&input);
+        let b = plan.injector().apply(&input);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.timestamp.to_bits(), y.timestamp.to_bits());
+            for c in 0..NUM_CHANNELS {
+                assert_eq!(x.values[c].to_bits(), y.values[c].to_bits(), "channel {c}");
+            }
+        }
+        let mut inj_a = plan.injector();
+        let mut inj_b = plan.injector();
+        let _ = inj_a.apply(&input);
+        let _ = inj_b.apply(&input);
+        assert_eq!(inj_a.stats(), inj_b.stats());
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let input = frames(240, 2);
+        let out = FaultPlan::none(7).injector().apply(&input);
+        assert_eq!(out, input);
+        let mut inj = FaultPlan::none(7).injector();
+        let _ = inj.apply(&input);
+        assert_eq!(inj.stats().faulty_samples(), 0);
+        assert_eq!(inj.stats().dropped, 0);
+        assert_eq!(inj.stats().frames, 240);
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let input = frames(8000, 3);
+        let mut inj = FaultPlan::drops(9, 0.2).injector();
+        let out = inj.apply(&input);
+        let rate = 1.0 - out.len() as f64 / input.len() as f64;
+        assert!((rate - 0.2).abs() < 0.03, "drop rate {rate}");
+        assert_eq!(inj.stats().dropped as usize, input.len() - out.len());
+    }
+
+    #[test]
+    fn nan_bursts_inject_nans() {
+        let input = frames(2000, 4);
+        let plan = FaultPlan {
+            nan: BurstConfig {
+                prob: 0.01,
+                min_len: 2,
+                max_len: 8,
+            },
+            ..FaultPlan::none(11)
+        };
+        let mut inj = plan.injector();
+        let out = inj.apply(&input);
+        let nans: u64 = out
+            .iter()
+            .map(|f| f.values.iter().filter(|v| v.is_nan()).count() as u64)
+            .sum();
+        assert!(nans > 0);
+        assert_eq!(nans, inj.stats().nan_samples);
+        assert_eq!(inj.stats().frozen_samples, 0);
+        assert_eq!(inj.stats().saturated_samples, 0);
+    }
+
+    #[test]
+    fn freeze_bursts_repeat_last_good_value() {
+        let input = frames(4000, 5);
+        let plan = FaultPlan {
+            freeze: BurstConfig {
+                prob: 0.01,
+                min_len: 3,
+                max_len: 12,
+            },
+            ..FaultPlan::none(13)
+        };
+        let mut inj = plan.injector();
+        let out = inj.apply(&input);
+        assert!(inj.stats().frozen_samples > 0);
+        // Frozen samples show up as exact repeats of an earlier value in
+        // the same channel: find at least one run of >= 3 identical
+        // consecutive samples in some channel (the raw synth makes exact
+        // repeats essentially impossible).
+        let mut found_run = false;
+        for c in 0..NUM_CHANNELS {
+            let mut run = 1;
+            for w in out.windows(2) {
+                if w[0].values[c].to_bits() == w[1].values[c].to_bits() {
+                    run += 1;
+                    if run >= 3 {
+                        found_run = true;
+                    }
+                } else {
+                    run = 1;
+                }
+            }
+        }
+        assert!(found_run, "no stuck-channel run found");
+    }
+
+    #[test]
+    fn saturation_bursts_rail_channels() {
+        let input = frames(2000, 6);
+        let plan = FaultPlan {
+            saturate: BurstConfig {
+                prob: 0.01,
+                min_len: 1,
+                max_len: 6,
+            },
+            saturation_value: 12345.0,
+            ..FaultPlan::none(17)
+        };
+        let mut inj = plan.injector();
+        let out = inj.apply(&input);
+        let railed: u64 = out
+            .iter()
+            .map(|f| {
+                f.values
+                    .iter()
+                    .filter(|v| v.abs() == 12345.0)
+                    .count() as u64
+            })
+            .sum();
+        assert!(railed > 0);
+        assert_eq!(railed, inj.stats().saturated_samples);
+    }
+
+    #[test]
+    fn jitter_perturbs_timestamps_only() {
+        let input = frames(500, 7);
+        let plan = FaultPlan {
+            jitter_std_s: 0.005,
+            ..FaultPlan::none(19)
+        };
+        let out = plan.injector().apply(&input);
+        assert_eq!(out.len(), input.len());
+        let mut moved = 0;
+        for (a, b) in input.iter().zip(&out) {
+            assert_eq!(a.values, b.values);
+            if (a.timestamp - b.timestamp).abs() > 1e-9 {
+                moved += 1;
+            }
+        }
+        assert!(moved > input.len() / 2, "only {moved} timestamps jittered");
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let plan = FaultPlan::nasty(99);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod activity;
 pub mod channels;
 pub mod dataset;
+pub mod faults;
 pub mod imu;
 pub mod noise;
 pub mod person;
@@ -40,6 +41,7 @@ pub mod waveform;
 pub use activity::ActivityKind;
 pub use channels::{SensorChannel, SensorFrame, NUM_CHANNELS, SAMPLE_RATE_HZ};
 pub use dataset::{GeneratorConfig, LabeledWindow, SensorDataset};
+pub use faults::{BurstConfig, FaultInjector, FaultPlan, FaultStats};
 pub use person::PersonProfile;
 pub use pool::StreamPool;
 pub use script::{ScriptStep, SessionScript};

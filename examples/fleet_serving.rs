@@ -95,6 +95,8 @@ fn main() {
         fleet
             .update_session(sessions[u].0, |dev| {
                 dev.calibrate_activity(recording.windows[0].label.as_str(), &recording)
+                    .unwrap()
+                    .committed()
                     .unwrap();
             })
             .unwrap();

@@ -37,7 +37,11 @@ fn main() {
         25.0,
         51,
     );
-    alice.learn_new_activity("gesture_hi", &recording).unwrap();
+    alice
+        .learn_new_activity("gesture_hi", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
     println!("[alice] phone now knows {:?}", alice.classes());
 
     // --- Share it with Bob, peer-to-peer --------------------------------
@@ -49,7 +53,7 @@ fn main() {
         wire.len()
     );
     let received = ClassPack::from_bytes(&wire).unwrap();
-    bob.import_class(&received).unwrap();
+    bob.import_class(&received).unwrap().committed().unwrap();
     println!("[bob]   imported; phone now knows {:?}", bob.classes());
 
     let probe = SensorDataset::record_session(

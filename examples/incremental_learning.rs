@@ -64,14 +64,22 @@ fn main() {
         7,
     );
     println!("[edge] updating the model on-device (contrastive + distillation)…");
-    let report = magneto.learn_new_activity("gesture_hi", &recording).unwrap();
+    let report = magneto
+        .learn_new_activity("gesture_hi", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
     println!(
         "[edge] re-trained {} epochs on {} fresh windows; classes = {:?}",
         report.training.epochs_run,
         report.new_windows,
         report.classes_after
     );
-    ablated.learn_new_activity("gesture_hi", &recording).unwrap();
+    ablated
+        .learn_new_activity("gesture_hi", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
 
     // Evaluate both devices.
     let mut full_test = base_test.clone();

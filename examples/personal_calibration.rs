@@ -60,7 +60,11 @@ fn main() {
     println!("[edge]  recording 20 s of the user's own walk and calibrating…");
     let recording =
         SensorDataset::record_session("walk", ActivityKind::Walk, user, 20.0, 18);
-    let report = device.calibrate_activity("walk", &recording).unwrap();
+    let report = device
+        .calibrate_activity("walk", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
     println!(
         "[edge]  calibration re-trained {} epochs on {} personal windows",
         report.training.epochs_run, report.new_windows

@@ -77,7 +77,11 @@ fn main() {
     println!("    captured {} one-second windows", recording.len());
 
     println!("\n(d) updating the Edge model (contrastive + distillation)…");
-    let report = device.learn_new_activity("gesture_hi", &recording).unwrap();
+    let report = device
+        .learn_new_activity("gesture_hi", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
     println!(
         "    {} epochs, final loss {:.4}; model now knows {:?}",
         report.training.epochs_run,

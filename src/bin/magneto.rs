@@ -309,6 +309,7 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     println!("[edge] updating the model on-device…");
     let report = device
         .learn_new_activity(label, &recording)
+        .and_then(|outcome| outcome.committed())
         .map_err(|e| e.to_string())?;
     println!(
         "[edge] {} epochs, final loss {:.4}; classes now {:?}",
@@ -346,6 +347,7 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
     let recording = SensorDataset::record_session(label, kind, person, seconds, seed);
     let report = device
         .calibrate_activity(label, &recording)
+        .and_then(|outcome| outcome.committed())
         .map_err(|e| e.to_string())?;
     println!(
         "[edge] calibrated `{label}` in {} epochs (final loss {:.4})",

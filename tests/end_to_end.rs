@@ -63,7 +63,9 @@ fn full_lifecycle_cloud_to_edge_to_personalisation() {
     );
     let report = device
         .learn_new_activity("gesture_hi", &recording)
-        .expect("incremental");
+        .expect("incremental")
+        .committed()
+        .expect("incremental committed");
     assert_eq!(report.classes_after.len(), 6);
 
     // 5. Calibrate an existing activity.
@@ -76,7 +78,9 @@ fn full_lifecycle_cloud_to_edge_to_personalisation() {
     );
     device
         .calibrate_activity("walk", &walk_recording)
-        .expect("calibration");
+        .expect("calibration")
+        .committed()
+        .expect("calibration committed");
     assert_eq!(device.classes().len(), 6);
 
     // 6. Privacy invariant across the whole lifecycle.
@@ -109,7 +113,11 @@ fn whole_flow_is_deterministic() {
             15.0,
             9,
         );
-        device.learn_new_activity("jump", &recording).unwrap();
+        device
+            .learn_new_activity("jump", &recording)
+            .unwrap()
+            .committed()
+            .unwrap();
         let probe = SensorDataset::generate(&GeneratorConfig::base_five(3), 11);
         probe
             .windows
@@ -157,7 +165,11 @@ fn model_state_survives_bundle_snapshot() {
         15.0,
         12,
     );
-    device.learn_new_activity("stairs_up", &recording).unwrap();
+    device
+        .learn_new_activity("stairs_up", &recording)
+        .unwrap()
+        .committed()
+        .unwrap();
 
     // Snapshot, restore on a "new phone", verify the learned class moved
     // with it.
