@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke fault-smoke chaos clean
+.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke fault-smoke chaos clean
 
-check: build test clippy fleet-smoke train-smoke quant-smoke fault-smoke
+check: build test clippy lint-unsafe fleet-smoke train-smoke quant-smoke fault-smoke
 
 build:
 	$(CARGO) build --release
@@ -17,6 +17,24 @@ test-all:
 
 clippy:
 	$(CARGO) clippy --workspace -- -D warnings
+
+# Every `unsafe` block (and unsafe impl) must carry a `// SAFETY:`
+# comment on one of the three lines above it. The SIMD micro-kernels in
+# crates/tensor/src/kernels made unsafe common enough to lint for; the
+# crate also sets `#![deny(unsafe_op_in_unsafe_fn)]` so no operation
+# hides inside an `unsafe fn` without its own annotated block.
+lint-unsafe:
+	@fail=0; \
+	for f in $$(grep -rln --include='*.rs' -e 'unsafe ' crates src 2>/dev/null); do \
+		bad=$$(awk '/\/\/ SAFETY:/ { mark = NR } \
+			/^[[:space:]]*\/\// { if (mark == NR - 1) mark = NR } \
+			/unsafe (\{|impl )/ { if (mark == 0 || NR - mark > 3) print FILENAME ":" NR ": " $$0 }' $$f); \
+		if [ -n "$$bad" ]; then echo "$$bad"; fail=1; fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then \
+		echo "error: unsafe block without a '// SAFETY:' comment ending within 3 lines above"; exit 1; \
+	fi; \
+	echo "lint-unsafe: all unsafe blocks annotated"
 
 fmt:
 	$(CARGO) fmt --all

@@ -14,7 +14,7 @@
 use magneto_core::{CloudConfig, CloudInitializer, EdgeConfig, EdgeDevice, Precision};
 use magneto_nn::{Mlp, QuantizedSiamese, SiameseNetwork};
 use magneto_sensors::{GeneratorConfig, SensorDataset};
-use magneto_tensor::{Exec, KernelPlan, Matrix, SeededRng, Workspace};
+use magneto_tensor::{install_global, Backend, Exec, KernelPlan, Matrix, SeededRng, Workspace};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -39,6 +39,7 @@ struct SweepEntry {
 struct QuantReport {
     bench: String,
     plan: String,
+    backend: String,
     host_threads: usize,
     eval_windows: usize,
     agreement: f64,
@@ -51,6 +52,16 @@ struct QuantReport {
     entries: Vec<SweepEntry>,
     gate_speedup: f64,
     gate_threshold: f64,
+    /// SIMD backend the host detected, if any (`None` = scalar-only;
+    /// the three fields below are `None` exactly when this one is).
+    simd_backend: Option<String>,
+    /// Forced-SIMD f32 device prediction agreement vs the scalar device.
+    simd_f32_agreement: Option<f64>,
+    /// Forced-SIMD int8 embeddings bit-identical to scalar (must be
+    /// `true`: integer accumulation is exact on every backend).
+    simd_int8_bit_identical: Option<bool>,
+    /// Forced-SIMD vs scalar int8 embed speedup on this host.
+    simd_int8_speedup: Option<f64>,
 }
 
 struct Timings {
@@ -88,6 +99,7 @@ fn quant_infer_run(net: &QuantizedSiamese, features: &Matrix, exec: Exec) -> (Ma
 
 fn main() {
     let plan = KernelPlan::host_default();
+    println!("quant_smoke: host isa {}", Backend::isa_summary());
     println!("quant_smoke: kernel plan [{}]", plan.describe());
 
     // ---- end-to-end: f32 vs int8 devices from one bundle ---------------
@@ -126,6 +138,7 @@ fn main() {
     );
     let mut agree = 0usize;
     let (mut f32_ms, mut int8_ms) = (Vec::new(), Vec::new());
+    let (mut f32_labels, mut int8_labels) = (Vec::new(), Vec::new());
     for w in &eval.windows {
         let t0 = Instant::now();
         let a = f32_dev.infer_window(&w.channels).expect("f32 infer");
@@ -136,6 +149,8 @@ fn main() {
         if a.label == b.label {
             agree += 1;
         }
+        f32_labels.push(a.label);
+        int8_labels.push(b.label);
     }
     let agreement = agree as f64 / eval.windows.len() as f64;
     let f32_t = stats(f32_ms);
@@ -210,9 +225,69 @@ fn main() {
         "int8 forward under the installed plan regressed: {gate_speedup:.2}x < {gate_threshold:.1}x"
     );
 
+    // ---- forced-SIMD agreement sweep -----------------------------------
+    // Devices capture the process-wide Exec when they deploy, so swap a
+    // forced-SIMD plan into the global, deploy fresh devices, restore,
+    // and compare their predictions against the scalar devices above.
+    // Skips gracefully when the host has no SIMD backend.
+    let mut simd_backend = None;
+    let mut simd_f32_agreement = None;
+    let mut simd_int8_bit_identical = None;
+    let mut simd_int8_speedup = None;
+    if let Some(simd) = Backend::detect_simd() {
+        let saved = Exec::global();
+        install_global(Exec::from_plan(plan.with_backend(simd)));
+        let mut f32_simd = deploy(Precision::F32);
+        let mut int8_simd = deploy(Precision::Int8);
+        install_global(saved);
+        let mut f32_agree = 0usize;
+        let mut int8_agree = 0usize;
+        for (w, (fl, il)) in eval.windows.iter().zip(f32_labels.iter().zip(&int8_labels)) {
+            let a = f32_simd.infer_window(&w.channels).expect("simd f32 infer");
+            let b = int8_simd.infer_window(&w.channels).expect("simd int8 infer");
+            f32_agree += usize::from(a.label == *fl);
+            int8_agree += usize::from(b.label == *il);
+        }
+        let f32_agreement = f32_agree as f64 / eval.windows.len() as f64;
+        println!(
+            "quant_smoke: forced-{simd} agreement vs scalar: f32 {f32_agree}/{n}, int8 {int8_agree}/{n}",
+            n = eval.windows.len()
+        );
+        assert!(
+            f32_agreement >= 0.99,
+            "forced-{simd} f32 agreement {f32_agreement:.3} below the 0.99 gate"
+        );
+        assert_eq!(
+            int8_agree,
+            eval.windows.len(),
+            "int8 predictions must be identical across backends (exact integer GEMM)"
+        );
+        // Kernel level: forced-SIMD int8 embeddings must be bit-identical
+        // to the inline scalar run.
+        let (simd_emb, simd_times) = quant_infer_run(
+            &qnet,
+            &features,
+            Exec::from_plan(plan.with_threads(1).with_backend(simd)),
+        );
+        let identical = simd_emb == inline_emb;
+        assert!(
+            identical,
+            "forced-{simd} int8 embeddings differ from the scalar inline path"
+        );
+        let speedup = seq_min / stats(simd_times).min_ms;
+        println!("quant_smoke: {simd} int8 embed speedup vs scalar {speedup:.2}x");
+        simd_backend = Some(simd.name().to_string());
+        simd_f32_agreement = Some(f32_agreement);
+        simd_int8_bit_identical = Some(identical);
+        simd_int8_speedup = Some(speedup);
+    } else {
+        println!("quant_smoke: no SIMD backend on this host; skipping forced-SIMD sweep");
+    }
+
     let report = QuantReport {
         bench: "quantized_inference".into(),
         plan: plan.describe(),
+        backend: plan.backend.to_string(),
         host_threads: plan.threads,
         eval_windows: eval.windows.len(),
         agreement,
@@ -225,6 +300,10 @@ fn main() {
         entries,
         gate_speedup,
         gate_threshold,
+        simd_backend,
+        simd_f32_agreement,
+        simd_int8_bit_identical,
+        simd_int8_speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_quant.json", json).expect("write report");

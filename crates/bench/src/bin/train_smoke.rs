@@ -17,7 +17,7 @@
 use magneto_nn::pairs::{sample_pairs, PairSample};
 use magneto_nn::siamese::TrainScratch;
 use magneto_nn::{Adam, Mlp, SiameseNetwork};
-use magneto_tensor::{Exec, KernelPlan, Matrix, SeededRng, Workspace};
+use magneto_tensor::{Backend, Exec, KernelPlan, Matrix, SeededRng, Workspace};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -43,11 +43,21 @@ struct BenchEntry {
 struct BenchReport {
     bench: String,
     plan: String,
+    backend: String,
     host_threads: usize,
     iterations: usize,
     entries: Vec<BenchEntry>,
     gate_speedup: f64,
     gate_threshold: f64,
+    /// SIMD backend the host detected, if any (`None` = scalar-only).
+    simd_backend: Option<String>,
+    /// Forced-SIMD vs forced-scalar embed speedup on this host.
+    simd_speedup_vs_scalar: Option<f64>,
+    /// f32 backend a fresh autotune sweep selected on this host.
+    autotuned_backend: Option<String>,
+    /// int8 backend the same sweep selected (tuned independently — the
+    /// widening i8 multiply often favours a different instance).
+    autotuned_i8_backend: Option<String>,
 }
 
 struct Timings {
@@ -128,6 +138,7 @@ fn write_report(path: &str, report: &BenchReport) {
 fn main() {
     let plan = KernelPlan::host_default();
     let host_threads = plan.threads;
+    println!("train_smoke: host isa {}", Backend::isa_summary());
     println!("train_smoke: kernel plan [{}]", plan.describe());
 
     let (features, labels) = dataset();
@@ -192,11 +203,16 @@ fn main() {
         &BenchReport {
             bench: "train_siamese_step".into(),
             plan: plan.describe(),
+            backend: plan.backend.to_string(),
             host_threads,
             iterations: TRAIN_STEPS,
             entries: train_entries,
             gate_speedup,
             gate_threshold,
+            simd_backend: Backend::detect_simd().map(|b| b.name().to_string()),
+            simd_speedup_vs_scalar: None,
+            autotuned_backend: None,
+            autotuned_i8_backend: None,
         },
     );
 
@@ -232,16 +248,73 @@ fn main() {
         );
     }
 
+    // ---- SIMD backend comparison ----------------------------------------
+    // Forced-scalar vs forced-SIMD batched embedding on one thread, so
+    // the comparison isolates the micro-kernel. The float SIMD policy is
+    // accuracy-gated (DESIGN.md §14): elementwise tolerance, not bits.
+    let mut simd_backend = None;
+    let mut simd_speedup = None;
+    let mut autotuned_backend = None;
+    let mut autotuned_i8_backend = None;
+    if let Some(simd) = Backend::detect_simd() {
+        let (scalar_emb, scalar_times) =
+            infer_run(&trained, &features, Exec::from_plan(plan.with_threads(1)));
+        let (simd_emb, simd_times) = infer_run(
+            &trained,
+            &features,
+            Exec::from_plan(plan.with_threads(1).with_backend(simd)),
+        );
+        let max_diff = scalar_emb
+            .as_slice()
+            .iter()
+            .zip(simd_emb.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff <= 1e-3,
+            "forced-{simd} embeddings diverge from scalar: max diff {max_diff}"
+        );
+        let best = |ms: &[f64]| ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let speedup = best(&scalar_times) / best(&simd_times);
+        println!(
+            "train_smoke: {simd} vs scalar embed speedup {speedup:.2}x (max elementwise diff {max_diff:.1e})"
+        );
+        // Host-aware no-regression gate: explicit SIMD may tie with the
+        // auto-vectorised scalar build, but must never badly lose to it.
+        assert!(
+            speedup >= 0.8,
+            "forced-{simd} embed regressed vs scalar: {speedup:.2}x < 0.8x"
+        );
+        let tuned = KernelPlan::autotune();
+        println!(
+            "train_smoke: autotune selected f32 backend {} / i8 backend {} [{}]",
+            tuned.backend,
+            tuned.i8_backend,
+            tuned.describe()
+        );
+        simd_backend = Some(simd.name().to_string());
+        simd_speedup = Some(speedup);
+        autotuned_backend = Some(tuned.backend.name().to_string());
+        autotuned_i8_backend = Some(tuned.i8_backend.name().to_string());
+    } else {
+        println!("train_smoke: no SIMD backend on this host; skipping backend comparison");
+    }
+
     write_report(
         "BENCH_infer.json",
         &BenchReport {
             bench: "batched_embed".into(),
             plan: plan.describe(),
+            backend: plan.backend.to_string(),
             host_threads,
             iterations: INFER_REPS,
             entries: infer_entries,
             gate_speedup,
             gate_threshold,
+            simd_backend,
+            simd_speedup_vs_scalar: simd_speedup,
+            autotuned_backend,
+            autotuned_i8_backend,
         },
     );
 

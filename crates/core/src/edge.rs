@@ -127,6 +127,13 @@ impl EdgeDevice {
         self.state.model.precision()
     }
 
+    /// The micro-kernel backend this device's GEMMs dispatch to —
+    /// the workspace captured at construction, so it reflects the plan
+    /// that was globally installed when the device deployed.
+    pub fn compute_backend(&self) -> magneto_tensor::Backend {
+        self.embedder.backend()
+    }
+
     /// Bytes held resident for the model parameters plus the support
     /// set at their deployed precision — the quantity the int8 policy
     /// shrinks (prototypes, registry and pipeline are noise next to it).

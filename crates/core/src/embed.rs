@@ -27,6 +27,12 @@ impl BatchEmbedder {
         BatchEmbedder::default()
     }
 
+    /// The micro-kernel backend this embedder's forward GEMMs dispatch
+    /// to (scalar / avx2 / neon).
+    pub fn backend(&self) -> magneto_tensor::Backend {
+        self.ws.backend()
+    }
+
     /// Embed a slice of feature rows in one forward pass, writing the
     /// `(rows.len(), emb_dim)` embedding batch into `out`.
     ///

@@ -197,6 +197,13 @@ impl Fleet {
         magneto_tensor::pool::global_plan()
     }
 
+    /// The micro-kernel backend fleet workers dispatch to (scalar /
+    /// avx2 / neon) — always an available one, because the global plan
+    /// is sanitized on installation.
+    pub fn compute_backend(&self) -> magneto_tensor::Backend {
+        self.compute_plan().backend
+    }
+
     /// Register a session, taking ownership of its device. `key` attests
     /// the device's model weights: pass the same key for sessions
     /// deployed from the same bundle ([`ModelKey::of_bundle`]) so the

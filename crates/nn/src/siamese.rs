@@ -83,6 +83,12 @@ impl TrainScratch {
         self.ws.exec()
     }
 
+    /// The micro-kernel backend train-step GEMMs dispatch to (scalar /
+    /// avx2 / neon) — surfaced for banners and telemetry.
+    pub fn backend(&self) -> magneto_tensor::Backend {
+        self.ws.backend()
+    }
+
     /// Swap the execution context (e.g. after installing an autotuned
     /// global plan).
     pub fn set_exec(&mut self, exec: Exec) {

@@ -1,0 +1,316 @@
+//! AVX2 + FMA micro-kernels (`x86_64`, runtime-detected).
+//!
+//! Every function here mirrors its scalar sibling's *loop and
+//! accumulation structure*: each output element is one fused
+//! multiply-add chain in ascending `k`, and horizontal reductions store
+//! the vector lanes to an array and sum them in the same sequential
+//! order as the scalar lane sums. On an FMA-contracted build (the
+//! workspace passes `-C target-cpu=native`) that typically makes the
+//! f32 results bit-equal to scalar, but the contract is only the
+//! DESIGN.md §14 accuracy-agreement gate — never byte equality. The
+//! int8 kernels accumulate in exact integer arithmetic and *are*
+//! bit-identical to scalar.
+//!
+//! Callers must only dispatch here after
+//! [`Backend::Avx2.is_available()`](crate::tiling::Backend::is_available)
+//! returned true — the `#[target_feature]` functions are `unsafe`
+//! precisely because executing them on a non-AVX2 host is undefined.
+
+use std::arch::x86_64::*;
+
+use super::fma;
+use crate::matrix::TILE_ROWS;
+use crate::quant::QTILE_ROWS;
+
+/// f32 lanes per 256-bit vector.
+const VL: usize = 8;
+
+/// AVX2 instance of [`super::scalar::tile_fma`]: broadcast-FMA over one
+/// k-panel for a 4-row × `TC`-column tile, reading the packed stage.
+///
+/// # Safety
+/// Requires AVX2 + FMA at runtime. `TC` must be a multiple of 8, and
+/// `stage` must hold at least `(k1 - k0) * TC` elements.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)] // tile geometry is inherently wide
+pub(crate) unsafe fn tile_fma<const TC: usize>(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    k0: usize,
+    k1: usize,
+    stage: &[f32],
+    acc: &mut [[f32; TC]; TILE_ROWS],
+) {
+    debug_assert!(TC.is_multiple_of(VL) && TC / VL <= 4);
+    debug_assert!(stage.len() >= (k1 - k0) * TC);
+    let nv = TC / VL;
+    let mut vacc = [[_mm256_setzero_ps(); 4]; TILE_ROWS];
+    for (row, vrow) in acc.iter().zip(vacc.iter_mut()) {
+        for (v, lane) in vrow.iter_mut().take(nv).enumerate() {
+            // SAFETY: `v * VL + VL <= TC`, in bounds of the `[f32; TC]` row.
+            *lane = unsafe { _mm256_loadu_ps(row.as_ptr().add(v * VL)) };
+        }
+    }
+    for k in k0..k1 {
+        let x = [
+            _mm256_set1_ps(a0[k]),
+            _mm256_set1_ps(a1[k]),
+            _mm256_set1_ps(a2[k]),
+            _mm256_set1_ps(a3[k]),
+        ];
+        let at = (k - k0) * TC;
+        for v in 0..nv {
+            // SAFETY: `at + v * VL + VL <= (k1 - k0) * TC <= stage.len()`.
+            let b = unsafe { _mm256_loadu_ps(stage.as_ptr().add(at + v * VL)) };
+            for (xr, vrow) in x.iter().zip(vacc.iter_mut()) {
+                vrow[v] = _mm256_fmadd_ps(*xr, b, vrow[v]);
+            }
+        }
+    }
+    for (row, vrow) in acc.iter_mut().zip(vacc.iter()) {
+        for (v, lane) in vrow.iter().take(nv).enumerate() {
+            // SAFETY: same bounds as the load above.
+            unsafe { _mm256_storeu_ps(row.as_mut_ptr().add(v * VL), *lane) };
+        }
+    }
+}
+
+/// AVX2 instance of [`super::scalar::axpy`]: `out += x * b` with a
+/// scalar tail. The caller decides the zero-skip.
+///
+/// # Safety
+/// Requires AVX2 + FMA at runtime. `b.len()` must be ≥ `out.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn axpy(x: f32, b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    debug_assert!(b.len() >= n);
+    let xv = _mm256_set1_ps(x);
+    let mut i = 0;
+    while i + VL <= n {
+        // SAFETY: `i + VL <= n <= b.len()`, so both 8-lane windows are
+        // in bounds; `out` is exclusively borrowed.
+        unsafe {
+            let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+            let ov = _mm256_loadu_ps(out.as_ptr().add(i));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_fmadd_ps(xv, bv, ov));
+        }
+        i += VL;
+    }
+    while i < n {
+        out[i] = fma(x, b[i], out[i]);
+        i += 1;
+    }
+}
+
+/// Sum the lanes of `v` sequentially, mirroring the scalar kernels'
+/// `acc.iter().sum()` reduction order.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_ordered(v: __m256) -> f32 {
+    let mut lanes = [0.0f32; VL];
+    // SAFETY: `lanes` is exactly one 256-bit vector wide.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), v) };
+    lanes.iter().sum()
+}
+
+/// AVX2 instance of [`super::scalar::dot_lanes`].
+///
+/// # Safety
+/// Requires AVX2 + FMA at runtime. `b.len()` must be ≥ `a.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    debug_assert!(b.len() >= k);
+    let chunks = k / VL;
+    let mut acc = _mm256_setzero_ps();
+    for c in 0..chunks {
+        // SAFETY: `c * VL + VL <= k` for both operands.
+        unsafe {
+            let av = _mm256_loadu_ps(a.as_ptr().add(c * VL));
+            let bv = _mm256_loadu_ps(b.as_ptr().add(c * VL));
+            acc = _mm256_fmadd_ps(av, bv, acc);
+        }
+    }
+    // SAFETY: AVX2 is enabled for this function.
+    let mut s = unsafe { hsum_ordered(acc) };
+    for t in chunks * VL..k {
+        s = fma(a[t], b[t], s);
+    }
+    s
+}
+
+/// AVX2 instance of [`super::scalar::tile_2x4`]: eight vector
+/// accumulators, six loads and eight FMAs per 8-deep chunk.
+///
+/// # Safety
+/// Requires AVX2 + FMA at runtime. All six slices must be at least
+/// `a0.len()` long.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn tile_2x4(
+    a0: &[f32],
+    a1: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> [[f32; 4]; 2] {
+    let k = a0.len();
+    debug_assert!(
+        a1.len() >= k && b0.len() >= k && b1.len() >= k && b2.len() >= k && b3.len() >= k
+    );
+    let chunks = k / VL;
+    let mut acc = [[_mm256_setzero_ps(); 4]; 2];
+    for c in 0..chunks {
+        let base = c * VL;
+        // SAFETY: `base + VL <= k`, in bounds of every operand slice.
+        unsafe {
+            let x0 = _mm256_loadu_ps(a0.as_ptr().add(base));
+            let x1 = _mm256_loadu_ps(a1.as_ptr().add(base));
+            let bv = [
+                _mm256_loadu_ps(b0.as_ptr().add(base)),
+                _mm256_loadu_ps(b1.as_ptr().add(base)),
+                _mm256_loadu_ps(b2.as_ptr().add(base)),
+                _mm256_loadu_ps(b3.as_ptr().add(base)),
+            ];
+            for (j, &b) in bv.iter().enumerate() {
+                acc[0][j] = _mm256_fmadd_ps(x0, b, acc[0][j]);
+                acc[1][j] = _mm256_fmadd_ps(x1, b, acc[1][j]);
+            }
+        }
+    }
+    let mut out = [[0.0f32; 4]; 2];
+    for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+        for (v, o) in acc_row.iter().zip(out_row.iter_mut()) {
+            // SAFETY: AVX2 is enabled for this function.
+            *o = unsafe { hsum_ordered(*v) };
+        }
+    }
+    for t in chunks * VL..k {
+        let x0 = a0[t];
+        let x1 = a1[t];
+        out[0][0] = fma(x0, b0[t], out[0][0]);
+        out[0][1] = fma(x0, b1[t], out[0][1]);
+        out[0][2] = fma(x0, b2[t], out[0][2]);
+        out[0][3] = fma(x0, b3[t], out[0][3]);
+        out[1][0] = fma(x1, b0[t], out[1][0]);
+        out[1][1] = fma(x1, b1[t], out[1][1]);
+        out[1][2] = fma(x1, b2[t], out[1][2]);
+        out[1][3] = fma(x1, b3[t], out[1][3]);
+    }
+    out
+}
+
+/// Widen 8 int8 weights at `p` to 8 lanes of i32.
+///
+/// # Safety
+/// Requires AVX2 at runtime; `p` must be valid for an 8-byte read.
+#[target_feature(enable = "avx2")]
+unsafe fn load8_i8_as_i32(p: *const i8) -> __m256i {
+    // SAFETY: caller guarantees 8 readable bytes at `p`; `loadl` reads
+    // exactly the low 64 bits.
+    let bytes = unsafe { _mm_loadl_epi64(p.cast()) };
+    _mm256_cvtepi8_epi32(bytes)
+}
+
+/// AVX2 instance of [`super::scalar::qtile`]: i8×i8→i32 for a 4-row ×
+/// `TC`-column tile. Integer accumulation is exactly associative, so
+/// this is bit-identical to the scalar kernel by construction.
+///
+/// Column strips are processed one vector (8 outputs) at a time with
+/// four row accumulators live — 4 × (`TC`/8) vector registers would
+/// spill at `TC = 32`, re-reading the L1-resident x rows per strip is
+/// cheaper.
+///
+/// # Safety
+/// Requires AVX2 at runtime. `TC` must be a multiple of 8,
+/// `j0 + TC <= n`, and the slices must cover a full `4 × k` (resp.
+/// `k × n`) block starting at `i0` (resp. row 0).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn qtile<const TC: usize>(
+    x_q: &[i8],
+    k: usize,
+    w: &[i8],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    acc: &mut [[i32; TC]; QTILE_ROWS],
+) {
+    debug_assert!(TC.is_multiple_of(VL));
+    debug_assert!(j0 + TC <= n && w.len() >= k * n && x_q.len() >= (i0 + QTILE_ROWS) * k);
+    let x0 = &x_q[i0 * k..(i0 + 1) * k];
+    let x1 = &x_q[(i0 + 1) * k..(i0 + 2) * k];
+    let x2 = &x_q[(i0 + 2) * k..(i0 + 3) * k];
+    let x3 = &x_q[(i0 + 3) * k..(i0 + 4) * k];
+    for v in 0..TC / VL {
+        let mut vacc = [_mm256_setzero_si256(); QTILE_ROWS];
+        for kk in 0..k {
+            let xv0 = i32::from(x0[kk]);
+            let xv1 = i32::from(x1[kk]);
+            let xv2 = i32::from(x2[kk]);
+            let xv3 = i32::from(x3[kk]);
+            if (xv0 | xv1 | xv2 | xv3) == 0 {
+                // Same post-ReLU zero skip as scalar: adding exact
+                // integer zeros is a no-op either way.
+                continue;
+            }
+            // SAFETY: `kk * n + j0 + v * VL + VL <= kk * n + n <= k * n`,
+            // so 8 bytes are readable.
+            let wv = unsafe { load8_i8_as_i32(w.as_ptr().add(kk * n + j0 + v * VL)) };
+            vacc[0] = _mm256_add_epi32(vacc[0], _mm256_mullo_epi32(_mm256_set1_epi32(xv0), wv));
+            vacc[1] = _mm256_add_epi32(vacc[1], _mm256_mullo_epi32(_mm256_set1_epi32(xv1), wv));
+            vacc[2] = _mm256_add_epi32(vacc[2], _mm256_mullo_epi32(_mm256_set1_epi32(xv2), wv));
+            vacc[3] = _mm256_add_epi32(vacc[3], _mm256_mullo_epi32(_mm256_set1_epi32(xv3), wv));
+        }
+        for (row, vr) in acc.iter_mut().zip(vacc.iter()) {
+            // SAFETY: `v * VL + VL <= TC`, in bounds of the `[i32; TC]` row.
+            unsafe { _mm256_storeu_si256(row.as_mut_ptr().add(v * VL).cast(), *vr) };
+        }
+    }
+}
+
+/// AVX2 instance of [`super::scalar::qrow`]: one int8 row over a
+/// `jw`-wide strip, vectorised in 8-output chunks with a scalar tail
+/// for ragged strip widths. Bit-identical to scalar (exact integers).
+///
+/// # Safety
+/// Requires AVX2 at runtime. `j0 + jw <= n` and `w` must cover
+/// `x_row.len() × n`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn qrow<const TC: usize>(
+    x_row: &[i8],
+    w: &[i8],
+    n: usize,
+    j0: usize,
+    jw: usize,
+    acc: &mut [i32; TC],
+) {
+    debug_assert!(jw <= TC && j0 + jw <= n && w.len() >= x_row.len() * n);
+    *acc = [0; TC];
+    let vw = jw / VL;
+    for v in 0..vw {
+        let mut vacc = _mm256_setzero_si256();
+        for (kk, &xq) in x_row.iter().enumerate() {
+            let xv = i32::from(xq);
+            if xv == 0 {
+                continue;
+            }
+            // SAFETY: `kk * n + j0 + v * VL + VL <= (kk + 1) * n <= w.len()`.
+            let wv = unsafe { load8_i8_as_i32(w.as_ptr().add(kk * n + j0 + v * VL)) };
+            vacc = _mm256_add_epi32(vacc, _mm256_mullo_epi32(_mm256_set1_epi32(xv), wv));
+        }
+        // SAFETY: `v * VL + VL <= jw <= TC`, in bounds of `acc`.
+        unsafe { _mm256_storeu_si256(acc.as_mut_ptr().add(v * VL).cast(), vacc) };
+    }
+    // Ragged tail of the strip (jw % 8 columns), scalar.
+    for (kk, &xq) in x_row.iter().enumerate() {
+        let xv = i32::from(xq);
+        if xv == 0 {
+            continue;
+        }
+        let w_row = &w[kk * n + j0 + vw * VL..kk * n + j0 + jw];
+        for (t, &wq) in w_row.iter().enumerate() {
+            acc[vw * VL + t] += xv * i32::from(wq);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! NEON micro-kernels (`aarch64`).
+//!
+//! NEON is a baseline feature of aarch64, so unlike the AVX2 instances
+//! these are safe functions — the only `unsafe` is the raw loads and
+//! stores. Structure mirrors the scalar kernels the same way
+//! [`super::avx2`] does: one fused multiply-add chain per output element
+//! in ascending `k`, sequential lane sums for reductions. The float
+//! contract is the DESIGN.md §14 accuracy-agreement gate; the int8
+//! kernels are bit-identical to scalar (exact integer arithmetic).
+
+// Whether the pure-register NEON intrinsics (`vdupq_n_f32`,
+// `vfmaq_n_f32`, ...) require `unsafe` depends on the rustc version:
+// newer compilers make them safe to call where the feature is a baseline
+// target feature. The blocks below keep working either way.
+#![allow(unused_unsafe)]
+
+use std::arch::aarch64::*;
+
+use super::fma;
+use crate::matrix::TILE_ROWS;
+use crate::quant::QTILE_ROWS;
+
+/// f32 lanes per 128-bit vector.
+const VL: usize = 4;
+
+/// NEON instance of [`super::scalar::tile_fma`]. Column strips are
+/// processed one vector (4 outputs) at a time with the four row
+/// accumulators live, re-reading the L1-resident lhs rows per strip
+/// instead of spilling `4 × TC/4` accumulators.
+pub(crate) fn tile_fma<const TC: usize>(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    k0: usize,
+    k1: usize,
+    stage: &[f32],
+    acc: &mut [[f32; TC]; TILE_ROWS],
+) {
+    debug_assert!(TC % VL == 0);
+    debug_assert!(stage.len() >= (k1 - k0) * TC);
+    for v in 0..TC / VL {
+        // SAFETY: pure register op, no memory access.
+        let mut vacc = [unsafe { vdupq_n_f32(0.0) }; TILE_ROWS];
+        for (row, lane) in acc.iter().zip(vacc.iter_mut()) {
+            // SAFETY: `v * VL + VL <= TC`, in bounds of the `[f32; TC]` row.
+            *lane = unsafe { vld1q_f32(row.as_ptr().add(v * VL)) };
+        }
+        for k in k0..k1 {
+            // SAFETY: `(k - k0) * TC + v * VL + VL <= (k1 - k0) * TC`.
+            let b = unsafe { vld1q_f32(stage.as_ptr().add((k - k0) * TC + v * VL)) };
+            // SAFETY: pure register ops, no memory access.
+            unsafe {
+                vacc[0] = vfmaq_n_f32(vacc[0], b, a0[k]);
+                vacc[1] = vfmaq_n_f32(vacc[1], b, a1[k]);
+                vacc[2] = vfmaq_n_f32(vacc[2], b, a2[k]);
+                vacc[3] = vfmaq_n_f32(vacc[3], b, a3[k]);
+            }
+        }
+        for (row, lane) in acc.iter_mut().zip(vacc.iter()) {
+            // SAFETY: same bounds as the load above.
+            unsafe { vst1q_f32(row.as_mut_ptr().add(v * VL), *lane) };
+        }
+    }
+}
+
+/// NEON instance of [`super::scalar::axpy`]: `out += x * b` with a
+/// scalar tail. The caller decides the zero-skip.
+pub(crate) fn axpy(x: f32, b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    debug_assert!(b.len() >= n);
+    let mut i = 0;
+    while i + VL <= n {
+        // SAFETY: `i + VL <= n <= b.len()`; `out` is exclusively borrowed.
+        unsafe {
+            let bv = vld1q_f32(b.as_ptr().add(i));
+            let ov = vld1q_f32(out.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vfmaq_n_f32(ov, bv, x));
+        }
+        i += VL;
+    }
+    while i < n {
+        out[i] = fma(x, b[i], out[i]);
+        i += 1;
+    }
+}
+
+/// Sum the lanes of `v` sequentially, mirroring the scalar kernels'
+/// ordered reductions.
+fn hsum_ordered(v: float32x4_t) -> f32 {
+    let mut lanes = [0.0f32; VL];
+    // SAFETY: `lanes` is exactly one 128-bit vector wide.
+    unsafe { vst1q_f32(lanes.as_mut_ptr(), v) };
+    lanes.iter().sum()
+}
+
+/// NEON instance of [`super::scalar::dot_lanes`].
+pub(crate) fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    debug_assert!(b.len() >= k);
+    let chunks = k / VL;
+    // SAFETY: pure register op, no memory access.
+    let mut acc = unsafe { vdupq_n_f32(0.0) };
+    for c in 0..chunks {
+        // SAFETY: `c * VL + VL <= k` for both operands.
+        unsafe {
+            let av = vld1q_f32(a.as_ptr().add(c * VL));
+            let bv = vld1q_f32(b.as_ptr().add(c * VL));
+            acc = vfmaq_f32(acc, av, bv);
+        }
+    }
+    let mut s = hsum_ordered(acc);
+    for t in chunks * VL..k {
+        s = fma(a[t], b[t], s);
+    }
+    s
+}
+
+/// NEON instance of [`super::scalar::tile_2x4`]: eight vector
+/// accumulators, six loads and eight FMAs per 4-deep chunk.
+pub(crate) fn tile_2x4(
+    a0: &[f32],
+    a1: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> [[f32; 4]; 2] {
+    let k = a0.len();
+    debug_assert!(
+        a1.len() >= k && b0.len() >= k && b1.len() >= k && b2.len() >= k && b3.len() >= k
+    );
+    let chunks = k / VL;
+    // SAFETY: pure register op, no memory access.
+    let mut acc = [[unsafe { vdupq_n_f32(0.0) }; 4]; 2];
+    for c in 0..chunks {
+        let base = c * VL;
+        // SAFETY: `base + VL <= k`, in bounds of every operand slice.
+        unsafe {
+            let x0 = vld1q_f32(a0.as_ptr().add(base));
+            let x1 = vld1q_f32(a1.as_ptr().add(base));
+            let bv = [
+                vld1q_f32(b0.as_ptr().add(base)),
+                vld1q_f32(b1.as_ptr().add(base)),
+                vld1q_f32(b2.as_ptr().add(base)),
+                vld1q_f32(b3.as_ptr().add(base)),
+            ];
+            for (j, &b) in bv.iter().enumerate() {
+                acc[0][j] = vfmaq_f32(acc[0][j], x0, b);
+                acc[1][j] = vfmaq_f32(acc[1][j], x1, b);
+            }
+        }
+    }
+    let mut out = [[0.0f32; 4]; 2];
+    for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+        for (v, o) in acc_row.iter().zip(out_row.iter_mut()) {
+            *o = hsum_ordered(*v);
+        }
+    }
+    for t in chunks * VL..k {
+        let x0 = a0[t];
+        let x1 = a1[t];
+        out[0][0] = fma(x0, b0[t], out[0][0]);
+        out[0][1] = fma(x0, b1[t], out[0][1]);
+        out[0][2] = fma(x0, b2[t], out[0][2]);
+        out[0][3] = fma(x0, b3[t], out[0][3]);
+        out[1][0] = fma(x1, b0[t], out[1][0]);
+        out[1][1] = fma(x1, b1[t], out[1][1]);
+        out[1][2] = fma(x1, b2[t], out[1][2]);
+        out[1][3] = fma(x1, b3[t], out[1][3]);
+    }
+    out
+}
+
+/// Widen 8 int8 weights at `p` to two i32 vectors (low 4, high 4).
+///
+/// # Safety
+/// `p` must be valid for an 8-byte read.
+unsafe fn load8_i8_as_i32(p: *const i8) -> (int32x4_t, int32x4_t) {
+    // SAFETY: caller guarantees 8 readable bytes at `p`; `vld1_s8` reads
+    // exactly 8.
+    let w8 = unsafe { vld1_s8(p) };
+    let w16 = unsafe { vmovl_s8(w8) };
+    // SAFETY: pure register ops.
+    unsafe {
+        (
+            vmovl_s16(vget_low_s16(w16)),
+            vmovl_s16(vget_high_s16(w16)),
+        )
+    }
+}
+
+/// NEON instance of [`super::scalar::qtile`]: i8×i8→i32 for a 4-row ×
+/// `TC`-column tile. Bit-identical to scalar (exact integers).
+pub(crate) fn qtile<const TC: usize>(
+    x_q: &[i8],
+    k: usize,
+    w: &[i8],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    acc: &mut [[i32; TC]; QTILE_ROWS],
+) {
+    debug_assert!(TC % 8 == 0);
+    debug_assert!(j0 + TC <= n && w.len() >= k * n && x_q.len() >= (i0 + QTILE_ROWS) * k);
+    let xs = [
+        &x_q[i0 * k..(i0 + 1) * k],
+        &x_q[(i0 + 1) * k..(i0 + 2) * k],
+        &x_q[(i0 + 2) * k..(i0 + 3) * k],
+        &x_q[(i0 + 3) * k..(i0 + 4) * k],
+    ];
+    for v in 0..TC / 8 {
+        // SAFETY: pure register ops, no memory access.
+        let mut lo = [unsafe { vdupq_n_s32(0) }; QTILE_ROWS];
+        let mut hi = [unsafe { vdupq_n_s32(0) }; QTILE_ROWS];
+        for kk in 0..k {
+            let xv = [
+                i32::from(xs[0][kk]),
+                i32::from(xs[1][kk]),
+                i32::from(xs[2][kk]),
+                i32::from(xs[3][kk]),
+            ];
+            if (xv[0] | xv[1] | xv[2] | xv[3]) == 0 {
+                // Same post-ReLU zero skip as scalar: integer adds of
+                // zero are exact no-ops.
+                continue;
+            }
+            // SAFETY: `kk * n + j0 + v * 8 + 8 <= (kk + 1) * n <= k * n`.
+            let (wlo, whi) = unsafe { load8_i8_as_i32(w.as_ptr().add(kk * n + j0 + v * 8)) };
+            for r in 0..QTILE_ROWS {
+                // SAFETY: pure register ops, no memory access.
+                unsafe {
+                    lo[r] = vmlaq_n_s32(lo[r], wlo, xv[r]);
+                    hi[r] = vmlaq_n_s32(hi[r], whi, xv[r]);
+                }
+            }
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            // SAFETY: `v * 8 + 8 <= TC`, in bounds of the `[i32; TC]` row.
+            unsafe {
+                vst1q_s32(row.as_mut_ptr().add(v * 8), lo[r]);
+                vst1q_s32(row.as_mut_ptr().add(v * 8 + VL), hi[r]);
+            }
+        }
+    }
+}
+
+/// NEON instance of [`super::scalar::qrow`]: one int8 row over a
+/// `jw`-wide strip, 8-output chunks plus a scalar tail for ragged
+/// widths. Bit-identical to scalar (exact integers).
+pub(crate) fn qrow<const TC: usize>(
+    x_row: &[i8],
+    w: &[i8],
+    n: usize,
+    j0: usize,
+    jw: usize,
+    acc: &mut [i32; TC],
+) {
+    debug_assert!(jw <= TC && j0 + jw <= n && w.len() >= x_row.len() * n);
+    *acc = [0; TC];
+    let vw = jw / 8;
+    for v in 0..vw {
+        // SAFETY: pure register ops, no memory access.
+        let mut lo = unsafe { vdupq_n_s32(0) };
+        let mut hi = unsafe { vdupq_n_s32(0) };
+        for (kk, &xq) in x_row.iter().enumerate() {
+            let xv = i32::from(xq);
+            if xv == 0 {
+                continue;
+            }
+            // SAFETY: `kk * n + j0 + v * 8 + 8 <= (kk + 1) * n <= w.len()`.
+            let (wlo, whi) = unsafe { load8_i8_as_i32(w.as_ptr().add(kk * n + j0 + v * 8)) };
+            // SAFETY: pure register ops, no memory access.
+            unsafe {
+                lo = vmlaq_n_s32(lo, wlo, xv);
+                hi = vmlaq_n_s32(hi, whi, xv);
+            }
+        }
+        // SAFETY: `v * 8 + 8 <= jw <= TC`, in bounds of `acc`.
+        unsafe {
+            vst1q_s32(acc.as_mut_ptr().add(v * 8), lo);
+            vst1q_s32(acc.as_mut_ptr().add(v * 8 + VL), hi);
+        }
+    }
+    // Ragged tail of the strip (jw % 8 columns), scalar.
+    for (kk, &xq) in x_row.iter().enumerate() {
+        let xv = i32::from(xq);
+        if xv == 0 {
+            continue;
+        }
+        let w_row = &w[kk * n + j0 + vw * 8..kk * n + j0 + jw];
+        for (t, &wq) in w_row.iter().enumerate() {
+            acc[vw * 8 + t] += xv * i32::from(wq);
+        }
+    }
+}

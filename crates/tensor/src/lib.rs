@@ -43,8 +43,14 @@
 //! `transpose_matmul_into`) writing into caller-owned outputs; the
 //! allocating variants are thin shims over them.
 
+// Every `unsafe` operation must sit in its own explicit `unsafe` block
+// (with a `// SAFETY:` comment — `make lint-unsafe` greps for it), even
+// inside `unsafe fn`s like the `#[target_feature]` SIMD kernels.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod error;
 pub mod init;
+pub(crate) mod kernels;
 pub mod matrix;
 pub mod plan;
 pub mod pool;
@@ -52,6 +58,7 @@ pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod stats;
+pub mod tiling;
 pub mod vector;
 pub mod workspace;
 
@@ -61,6 +68,7 @@ pub use plan::KernelPlan;
 pub use pool::{install_global, ComputePool, Exec};
 pub use quant::{Precision, QuantMatrix, QuantScratch};
 pub use rng::SeededRng;
+pub use tiling::{Backend, TilingScheme};
 pub use workspace::Workspace;
 
 /// Crate-wide result alias.

@@ -5,6 +5,7 @@
 //! `(in, out)` matrices so a forward pass is `x.matmul(w)`.
 
 use crate::error::TensorError;
+use crate::kernels::{self, fma};
 use crate::pool::{Exec, SendPtr};
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -282,12 +283,20 @@ impl Matrix {
             };
             if tiled {
                 if plan.tile_cols <= 16 {
-                    self.matmul_tiled_rows::<16>(rhs, r0, r1, panel, plan.panel_k);
+                    kernels::matmul_tiled_panel::<16>(
+                        plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                        plan.panel_k,
+                    );
                 } else {
-                    self.matmul_tiled_rows::<32>(rhs, r0, r1, panel, plan.panel_k);
+                    kernels::matmul_tiled_panel::<32>(
+                        plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                        plan.panel_k,
+                    );
                 }
             } else {
-                self.matmul_rows_axpy(rhs, r0, r1, panel);
+                kernels::matmul_axpy_panel(
+                    plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                );
             }
         });
         Ok(())
@@ -340,12 +349,20 @@ impl Matrix {
             };
             if tiled {
                 if plan.tile_cols <= 16 {
-                    self.matmul_tiled_rows::<16>(rhs, r0, r1, panel, plan.panel_k);
+                    kernels::matmul_tiled_panel::<16>(
+                        plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                        plan.panel_k,
+                    );
                 } else {
-                    self.matmul_tiled_rows::<32>(rhs, r0, r1, panel, plan.panel_k);
+                    kernels::matmul_tiled_panel::<32>(
+                        plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                        plan.panel_k,
+                    );
                 }
             } else {
-                self.matmul_rows_axpy(rhs, r0, r1, panel);
+                kernels::matmul_axpy_panel(
+                    plan.backend, &self.data, self.cols, &rhs.data, n, r0, r1, panel,
+                );
             }
             if n > 0 {
                 for row in panel.chunks_exact_mut(n) {
@@ -356,127 +373,6 @@ impl Matrix {
             }
         });
         Ok(())
-    }
-
-    /// Zero-skipping axpy matmul over output rows `[r0, r1)`, writing
-    /// into the panel slice that starts at row `r0` (panel-local
-    /// indexing). This is PR-1's per-sample kernel, restricted to a row
-    /// range so pool pieces can run it on disjoint panels.
-    fn matmul_rows_axpy(&self, rhs: &Matrix, r0: usize, r1: usize, panel: &mut [f32]) {
-        let n = rhs.cols;
-        for i in r0..r1 {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut panel[(i - r0) * n..(i - r0 + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o = fma(a, b, *o);
-                }
-            }
-        }
-    }
-
-    /// Broadcast-FMA register-tiled kernel behind [`Matrix::matmul_into_exec`]
-    /// for batched inputs, over output rows `[r0, r1)` (panel-local
-    /// indexing into `panel`). Walks `rhs` row-major (no transpose
-    /// needed): for each 4-row × `TC`-column output tile the
-    /// accumulators live in vector registers for the entire `k` loop,
-    /// and every `k` step costs four scalar broadcasts plus vector loads
-    /// for the tile's FMAs — versus the axpy kernel's load + FMA + store
-    /// per vector. `panel_k` bounds how much of `rhs` is re-read per row
-    /// block (L1 residency). The panel must arrive zeroed (`resize`), so
-    /// reloading the tile between k-panels continues the same
-    /// ascending-`k` accumulation.
-    fn matmul_tiled_rows<const TC: usize>(
-        &self,
-        rhs: &Matrix,
-        r0: usize,
-        r1: usize,
-        panel: &mut [f32],
-        panel_k: usize,
-    ) {
-        let n = rhs.cols;
-        let panel_k = panel_k.max(1);
-        let base = r0 * n;
-        let mut j = 0;
-        while j + TC <= n {
-            let mut k0 = 0;
-            while k0 < self.cols {
-                let k1 = (k0 + panel_k).min(self.cols);
-                let mut i = r0;
-                while i + TILE_ROWS <= r1 {
-                    let mut acc = [[0.0f32; TC]; TILE_ROWS];
-                    for (r, acc_row) in acc.iter_mut().enumerate() {
-                        let at = (i + r) * n + j - base;
-                        acc_row.copy_from_slice(&panel[at..at + TC]);
-                    }
-                    let a0 = self.row(i);
-                    let a1 = self.row(i + 1);
-                    let a2 = self.row(i + 2);
-                    let a3 = self.row(i + 3);
-                    for k in k0..k1 {
-                        let b: &[f32; TC] =
-                            rhs.data[k * n + j..k * n + j + TC].try_into().unwrap();
-                        let x0 = a0[k];
-                        let x1 = a1[k];
-                        let x2 = a2[k];
-                        let x3 = a3[k];
-                        for l in 0..TC {
-                            let bl = b[l];
-                            acc[0][l] = fma(x0, bl, acc[0][l]);
-                            acc[1][l] = fma(x1, bl, acc[1][l]);
-                            acc[2][l] = fma(x2, bl, acc[2][l]);
-                            acc[3][l] = fma(x3, bl, acc[3][l]);
-                        }
-                    }
-                    for (r, acc_row) in acc.iter().enumerate() {
-                        let at = (i + r) * n + j - base;
-                        panel[at..at + TC].copy_from_slice(acc_row);
-                    }
-                    i += TILE_ROWS;
-                }
-                // Row remainder: one row at a time, zero-skip restored.
-                while i < r1 {
-                    let mut acc = [0.0f32; TC];
-                    let at = i * n + j - base;
-                    acc.copy_from_slice(&panel[at..at + TC]);
-                    for (k, &x) in self.row(i)[k0..k1].iter().enumerate() {
-                        if x == 0.0 {
-                            continue;
-                        }
-                        let b: &[f32; TC] = rhs.data
-                            [(k0 + k) * n + j..(k0 + k) * n + j + TC]
-                            .try_into()
-                            .unwrap();
-                        for l in 0..TC {
-                            acc[l] = fma(x, b[l], acc[l]);
-                        }
-                    }
-                    panel[at..at + TC].copy_from_slice(&acc);
-                    i += 1;
-                }
-                k0 = k1;
-            }
-            j += TC;
-        }
-        // Column tail (n % TC): plain zero-skipping axpy over the tail.
-        if j < n {
-            for i in r0..r1 {
-                for (k, &x) in self.row(i).iter().enumerate() {
-                    if x == 0.0 {
-                        continue;
-                    }
-                    let b_tail = &rhs.data[k * n + j..(k + 1) * n];
-                    let o_tail = &mut panel[i * n + j - base..(i + 1) * n - base];
-                    for (o, &b) in o_tail.iter_mut().zip(b_tail.iter()) {
-                        *o = fma(x, b, *o);
-                    }
-                }
-            }
-        }
     }
 
     /// Reference i-k-j matmul with no blocking: the oracle the blocked
@@ -572,48 +468,18 @@ impl Matrix {
             let panel = unsafe {
                 std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n)
             };
-            self.matmul_transpose_rows(rhs, r0, r1, panel);
+            kernels::matmul_transpose_panel(
+                exec.plan().backend,
+                &self.data,
+                self.cols,
+                &rhs.data,
+                n,
+                r0,
+                r1,
+                panel,
+            );
         });
         Ok(())
-    }
-
-    /// 2×4 register-tiled `self * rhs^T` over output rows `[r0, r1)`
-    /// (panel-local indexing) — PR-1's kernel restricted to a row range.
-    fn matmul_transpose_rows(&self, rhs: &Matrix, r0: usize, r1: usize, panel: &mut [f32]) {
-        let n = rhs.rows;
-        let base = r0 * n;
-        let mut i = r0;
-        while i + 2 <= r1 {
-            let a0 = self.row(i);
-            let a1 = self.row(i + 1);
-            let mut j = 0;
-            while j + 4 <= n {
-                let t = tile_2x4(
-                    a0,
-                    a1,
-                    rhs.row(j),
-                    rhs.row(j + 1),
-                    rhs.row(j + 2),
-                    rhs.row(j + 3),
-                );
-                panel[i * n + j - base..i * n + j + 4 - base].copy_from_slice(&t[0]);
-                panel[(i + 1) * n + j - base..(i + 1) * n + j + 4 - base].copy_from_slice(&t[1]);
-                j += 4;
-            }
-            while j < n {
-                let b = rhs.row(j);
-                panel[i * n + j - base] = dot_lanes(a0, b);
-                panel[(i + 1) * n + j - base] = dot_lanes(a1, b);
-                j += 1;
-            }
-            i += 2;
-        }
-        if i < r1 {
-            let a0 = self.row(i);
-            for j in 0..n {
-                panel[i * n + j - base] = dot_lanes(a0, rhs.row(j));
-            }
-        }
     }
 
     /// Matrix product `self^T * rhs` written into `out`, reusing `out`'s
@@ -661,29 +527,19 @@ impl Matrix {
             let panel = unsafe {
                 std::slice::from_raw_parts_mut(out_ptr.get().add(c0 * n), (c1 - c0) * n)
             };
-            self.transpose_matmul_cols(rhs, c0, c1, panel);
+            kernels::transpose_matmul_panel(
+                exec.plan().backend,
+                &self.data,
+                self.cols,
+                self.rows,
+                &rhs.data,
+                n,
+                c0,
+                c1,
+                panel,
+            );
         });
         Ok(())
-    }
-
-    /// Gradient scatter kernel `self^T * rhs` restricted to output rows
-    /// `[c0, c1)` — i.e. columns `c0..c1` of `self` (panel-local
-    /// indexing). Keeps PR-1's r-outer, zero-skipping loop shape.
-    fn transpose_matmul_cols(&self, rhs: &Matrix, c0: usize, c1: usize, panel: &mut [f32]) {
-        let n = rhs.cols;
-        for r in 0..self.rows {
-            let a_row = &self.row(r)[c0..c1];
-            let b_row = &rhs.data[r * n..(r + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut panel[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o = fma(a, b, *o);
-                }
-            }
-        }
     }
 
     /// Reshape in place to `rows x cols`, zero-filling every element and
@@ -970,109 +826,10 @@ pub const TILED_MIN_ROWS: usize = 16;
 
 /// Row height of the register tile in [`Matrix::matmul_into_exec`]'s
 /// batched kernel. Row panels handed to pool pieces are aligned to this
-/// so tile membership is identical to a sequential run.
+/// so tile membership is identical to a sequential run. The micro-kernel
+/// bodies themselves live in [`crate::kernels`], one instance per
+/// [`Backend`](crate::tiling::Backend).
 pub(crate) const TILE_ROWS: usize = 4;
-
-/// Fused multiply-add `a * b + c`, the one accumulation primitive every
-/// matmul kernel in this crate goes through.
-///
-/// Rust never contracts `a * b + c` into a hardware FMA on its own (it
-/// would change the rounding), which leaves half the machine's FLOP/s on
-/// the table. When the build targets an FMA-capable CPU (the workspace
-/// `.cargo/config.toml` passes `-C target-cpu=native`) this compiles to a
-/// single fused instruction; otherwise it falls back to plain mul+add
-/// rather than a libm `fmaf` call, which would be orders of magnitude
-/// slower. Routing *all* kernels through the same primitive keeps the
-/// batched, per-sample, and naive-oracle paths bit-identical to each
-/// other within any one build.
-#[inline(always)]
-fn fma(a: f32, b: f32, c: f32) -> f32 {
-    if cfg!(target_feature = "fma") {
-        a.mul_add(b, c)
-    } else {
-        a * b + c
-    }
-}
-
-/// Accumulator lanes for the dot-product kernels — wide enough for one
-/// 256-bit vector register of `f32`.
-const LANES: usize = 8;
-
-/// Lane-parallel dot product: eight independent accumulator chains the
-/// compiler turns into one vector FMA stream, plus a scalar tail.
-fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
-    let k = a.len();
-    let chunks = k / LANES;
-    let mut acc = [0.0f32; LANES];
-    for c in 0..chunks {
-        let ac = &a[c * LANES..(c + 1) * LANES];
-        let bc = &b[c * LANES..(c + 1) * LANES];
-        for l in 0..LANES {
-            acc[l] = fma(ac[l], bc[l], acc[l]);
-        }
-    }
-    let mut s: f32 = acc.iter().sum();
-    for t in chunks * LANES..k {
-        s = fma(a[t], b[t], s);
-    }
-    s
-}
-
-/// 2×4 register tile of dot products: each loaded `a` chunk feeds four
-/// outputs and each `b` chunk feeds two, so the kernel performs eight
-/// FMAs per six vector loads with no stores inside the loop.
-fn tile_2x4(
-    a0: &[f32],
-    a1: &[f32],
-    b0: &[f32],
-    b1: &[f32],
-    b2: &[f32],
-    b3: &[f32],
-) -> [[f32; 4]; 2] {
-    let k = a0.len();
-    let chunks = k / LANES;
-    let mut acc = [[[0.0f32; LANES]; 4]; 2];
-    for c in 0..chunks {
-        let base = c * LANES;
-        let a0c = &a0[base..base + LANES];
-        let a1c = &a1[base..base + LANES];
-        let b0c = &b0[base..base + LANES];
-        let b1c = &b1[base..base + LANES];
-        let b2c = &b2[base..base + LANES];
-        let b3c = &b3[base..base + LANES];
-        for l in 0..LANES {
-            let x0 = a0c[l];
-            let x1 = a1c[l];
-            acc[0][0][l] = fma(x0, b0c[l], acc[0][0][l]);
-            acc[0][1][l] = fma(x0, b1c[l], acc[0][1][l]);
-            acc[0][2][l] = fma(x0, b2c[l], acc[0][2][l]);
-            acc[0][3][l] = fma(x0, b3c[l], acc[0][3][l]);
-            acc[1][0][l] = fma(x1, b0c[l], acc[1][0][l]);
-            acc[1][1][l] = fma(x1, b1c[l], acc[1][1][l]);
-            acc[1][2][l] = fma(x1, b2c[l], acc[1][2][l]);
-            acc[1][3][l] = fma(x1, b3c[l], acc[1][3][l]);
-        }
-    }
-    let mut out = [[0.0f32; 4]; 2];
-    for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
-        for (lanes, o) in acc_row.iter().zip(out_row.iter_mut()) {
-            *o = lanes.iter().sum();
-        }
-    }
-    for t in chunks * LANES..k {
-        let x0 = a0[t];
-        let x1 = a1[t];
-        out[0][0] = fma(x0, b0[t], out[0][0]);
-        out[0][1] = fma(x0, b1[t], out[0][1]);
-        out[0][2] = fma(x0, b2[t], out[0][2]);
-        out[0][3] = fma(x0, b3[t], out[0][3]);
-        out[1][0] = fma(x1, b0[t], out[1][0]);
-        out[1][1] = fma(x1, b1[t], out[1][1]);
-        out[1][2] = fma(x1, b2[t], out[1][2]);
-        out[1][3] = fma(x1, b3[t], out[1][3]);
-    }
-    out
-}
 
 #[cfg(test)]
 mod tests {

@@ -35,14 +35,16 @@ use crate::error::TensorError;
 use crate::matrix::Matrix;
 use crate::pool::Exec;
 use crate::rng::SeededRng;
+use crate::tiling::Backend;
 use crate::Result;
 
 /// Format version stamped into serialized plans; bump on layout change
 /// so stale cached plans fall back to defaults instead of misdispatching.
-/// v2 added the int8 kernel constants (`i8_tile_cols`,
-/// `i8_tiled_min_rows`); v1 plans cached on disk are rejected and the
-/// runtime falls back to [`KernelPlan::host_default`].
-pub const PLAN_VERSION: u32 = 2;
+/// v3 added the micro-kernel [`Backend`] choice; v2 added the int8
+/// kernel constants (`i8_tile_cols`, `i8_tiled_min_rows`). Plans cached
+/// on disk by any previous version are rejected and the runtime falls
+/// back to [`KernelPlan::host_default`].
+pub const PLAN_VERSION: u32 = 3;
 
 /// Hard cap on pool threads a plan may request.
 pub const MAX_THREADS: usize = 16;
@@ -75,6 +77,23 @@ pub struct KernelPlan {
     /// Minimum batch rows before the int8 matmul leaves the single-row
     /// kernel for the register-tiled one.
     pub i8_tiled_min_rows: usize,
+    /// Micro-kernel instance executing the f32 register tiles. Defaults
+    /// to [`Backend::Scalar`] (the bit-identity reference) when absent
+    /// from a serialized plan; only [`KernelPlan::autotune`] or an
+    /// explicit [`KernelPlan::with_backend`] select a SIMD instance, and
+    /// [`KernelPlan::sanitized`] degrades any backend the host cannot
+    /// run back to scalar.
+    #[serde(default)]
+    pub backend: Backend,
+    /// Micro-kernel instance executing the int8 GEMM tiles, tuned
+    /// independently of `backend`: the widening i8→i32 multiply has a
+    /// very different instruction profile from the f32 FMA, so the
+    /// fastest instance for one family routinely loses for the other
+    /// (on AVX2 the `mullo_epi32` chain can trail an auto-vectorised
+    /// scalar build). Same defaulting and sanitization rules as
+    /// `backend`.
+    #[serde(default)]
+    pub i8_backend: Backend,
 }
 
 impl Default for KernelPlan {
@@ -98,6 +117,8 @@ impl KernelPlan {
             par_min_rows: 32,
             i8_tile_cols: 32,
             i8_tiled_min_rows: 16,
+            backend: Backend::Scalar,
+            i8_backend: Backend::Scalar,
         }
     }
 
@@ -120,6 +141,24 @@ impl KernelPlan {
         }
     }
 
+    /// The same plan with *both* micro-kernel backends (`backend` and
+    /// `i8_backend`) replaced, degraded to [`Backend::Scalar`] when the
+    /// host cannot run the requested one — used by the smoke benchmarks
+    /// to force the SIMD/scalar comparison and by applications honouring
+    /// a user override.
+    pub fn with_backend(self, backend: Backend) -> Self {
+        let backend = if backend.is_available() {
+            backend
+        } else {
+            Backend::Scalar
+        };
+        KernelPlan {
+            backend,
+            i8_backend: backend,
+            ..self
+        }
+    }
+
     /// Clamp every field into the range the kernels support. Applied to
     /// every plan that crosses a trust boundary (deserialized from disk,
     /// handed in by an application) so a corrupt value can degrade
@@ -135,18 +174,33 @@ impl KernelPlan {
             par_min_rows: self.par_min_rows.clamp(8, 1 << 20),
             i8_tile_cols: if self.i8_tile_cols <= 16 { 16 } else { 32 },
             i8_tiled_min_rows: self.i8_tiled_min_rows.clamp(4, 4096),
+            // A cached plan may name a backend this host lacks (bundle
+            // copied between devices, CPU migration): degrade to the
+            // always-available scalar instance instead of faulting.
+            backend: if self.backend.is_available() {
+                self.backend
+            } else {
+                Backend::Scalar
+            },
+            i8_backend: if self.i8_backend.is_available() {
+                self.i8_backend
+            } else {
+                Backend::Scalar
+            },
         }
     }
 
     /// One-line human-readable summary for startup banners.
     pub fn describe(&self) -> String {
         format!(
-            "threads={} tile=4x{} panel_k={} tiled_min_rows={} par_min_rows={} i8_tile=4x{} i8_tiled_min_rows={}",
+            "backend={} threads={} tile=4x{} panel_k={} tiled_min_rows={} par_min_rows={} i8_backend={} i8_tile=4x{} i8_tiled_min_rows={}",
+            self.backend,
             self.threads,
             self.tile_cols,
             self.panel_k,
             self.tiled_min_rows,
             self.par_min_rows,
+            self.i8_backend,
             self.i8_tile_cols,
             self.i8_tiled_min_rows
         )
@@ -250,51 +304,92 @@ fn autotune_impl(reps: usize) -> KernelPlan {
     let b = dense_matrix(TUNE_K, TUNE_N, &mut rng);
     let mut out = Matrix::zeros(TUNE_M, TUNE_N);
 
-    // Stage 1: tile shape, single-threaded.
-    let mut best = (f64::INFINITY, KernelPlan::inline());
-    for &tile_cols in &[16usize, 32] {
-        for &panel_k in &[128usize, 256] {
+    // Stage 1: backend × tile shape, single-threaded. The best
+    // configuration is kept *per backend* so the SIMD-vs-scalar decision
+    // compares each instance at its own preferred tile shape.
+    let mut per_backend: Vec<(f64, KernelPlan)> = Vec::new();
+    for backend in Backend::candidates() {
+        let mut best = (f64::INFINITY, KernelPlan::inline());
+        for &tile_cols in &[16usize, 32] {
+            for &panel_k in &[128usize, 256] {
+                let plan = KernelPlan {
+                    backend,
+                    tile_cols,
+                    panel_k,
+                    // Force the tiled kernel so the tile shape is what's timed.
+                    tiled_min_rows: 4,
+                    ..KernelPlan::inline()
+                };
+                let exec = Exec::from_plan(plan);
+                let t = bench(reps, || {
+                    a.matmul_into_exec(&b, &mut out, &exec).expect("tune shapes agree");
+                });
+                if t < best.0 {
+                    best = (t, plan);
+                }
+            }
+        }
+        per_backend.push(best);
+    }
+    // Scalar is always per_backend[0]; a SIMD candidate, when the host
+    // has one, is the only other entry. Prefer SIMD within a 5%
+    // hysteresis window: on builds whose "scalar" already auto-vectorises
+    // (-C target-cpu=native) the two often tie, and the explicit kernels'
+    // performance is guaranteed across compilers and build flags where
+    // the auto-vectoriser's is not.
+    let (t_scalar, scalar_best) = per_backend[0];
+    let (tile_cols, panel_k, backend) = match per_backend.get(1) {
+        Some(&(t_simd, simd_best)) if t_simd <= t_scalar * 1.05 => {
+            (simd_best.tile_cols, simd_best.panel_k, simd_best.backend)
+        }
+        _ => (scalar_best.tile_cols, scalar_best.panel_k, Backend::Scalar),
+    };
+
+    // Stage 1b: int8 backend × tile shape, single-threaded. The i8
+    // kernel gets its own backend decision as well as its own
+    // register-tile width: the widening i8→i32 multiply has a different
+    // instruction profile from the f32 FMA, and the fastest instance
+    // for one family routinely loses for the other. Best configuration
+    // is kept per backend, then compared with the same SIMD-preference
+    // hysteresis as the f32 stage.
+    let w_q = crate::quant::QuantMatrix::quantize(&b).expect("tune weights quantize");
+    let mut scratch = crate::quant::QuantScratch::default();
+    let mut i8_per_backend: Vec<(f64, KernelPlan)> = Vec::new();
+    for i8_backend in Backend::candidates() {
+        let mut best = (f64::INFINITY, KernelPlan::inline());
+        for &i8_tile_cols in &[16usize, 32] {
             let plan = KernelPlan {
-                tile_cols,
-                panel_k,
+                i8_backend,
+                i8_tile_cols,
                 // Force the tiled kernel so the tile shape is what's timed.
-                tiled_min_rows: 4,
+                i8_tiled_min_rows: 4,
                 ..KernelPlan::inline()
             };
             let exec = Exec::from_plan(plan);
             let t = bench(reps, || {
-                a.matmul_into_exec(&b, &mut out, &exec).expect("tune shapes agree");
+                w_q.matmul_bias_act_into_exec(
+                    &a,
+                    &[0.0; TUNE_N],
+                    |v| v,
+                    &mut out,
+                    &mut scratch,
+                    &exec,
+                )
+                .expect("tune shapes agree");
             });
             if t < best.0 {
                 best = (t, plan);
             }
         }
+        i8_per_backend.push(best);
     }
-    let (tile_cols, panel_k) = (best.1.tile_cols, best.1.panel_k);
-
-    // Stage 1b: int8 tile shape, single-threaded. The i8 kernel has its
-    // own register-tile width because the widening i8→i32 multiply
-    // changes the register pressure profile versus the f32 FMA kernel.
-    let w_q = crate::quant::QuantMatrix::quantize(&b).expect("tune weights quantize");
-    let mut scratch = crate::quant::QuantScratch::default();
-    let mut i8_best = (f64::INFINITY, 32usize);
-    for &i8_tile_cols in &[16usize, 32] {
-        let plan = KernelPlan {
-            i8_tile_cols,
-            // Force the tiled kernel so the tile shape is what's timed.
-            i8_tiled_min_rows: 4,
-            ..KernelPlan::inline()
-        };
-        let exec = Exec::from_plan(plan);
-        let t = bench(reps, || {
-            w_q.matmul_bias_act_into_exec(&a, &[0.0; TUNE_N], |v| v, &mut out, &mut scratch, &exec)
-                .expect("tune shapes agree");
-        });
-        if t < i8_best.0 {
-            i8_best = (t, i8_tile_cols);
+    let (i8_t_scalar, i8_scalar_best) = i8_per_backend[0];
+    let (i8_tile_cols, i8_backend) = match i8_per_backend.get(1) {
+        Some(&(t_simd, simd_best)) if t_simd <= i8_t_scalar * 1.05 => {
+            (simd_best.i8_tile_cols, simd_best.i8_backend)
         }
-    }
-    let i8_tile_cols = i8_best.1;
+        _ => (i8_scalar_best.i8_tile_cols, Backend::Scalar),
+    };
 
     // Stage 2: axpy↔tiled crossover. Time both kernels at candidate batch
     // sizes and set the threshold to the smallest batch where the tiled
@@ -304,10 +399,12 @@ fn autotune_impl(reps: usize) -> KernelPlan {
         let a_small = sparse_matrix(rows, TUNE_K, &mut rng);
         let mut o_small = Matrix::zeros(rows, TUNE_N);
         let axpy = Exec::from_plan(KernelPlan {
+            backend,
             tiled_min_rows: usize::MAX,
             ..KernelPlan::inline()
         });
         let tiled = Exec::from_plan(KernelPlan {
+            backend,
             tile_cols,
             panel_k,
             tiled_min_rows: 1,
@@ -328,9 +425,11 @@ fn autotune_impl(reps: usize) -> KernelPlan {
     // Stage 3: thread count on a training-shaped workload (forward GEMM +
     // both backward GEMMs), with hysteresis towards fewer threads.
     let tuned = KernelPlan {
+        backend,
         tile_cols,
         panel_k,
         tiled_min_rows,
+        i8_backend,
         i8_tile_cols,
         ..KernelPlan::inline()
     }
@@ -425,6 +524,8 @@ mod tests {
             par_min_rows: 0,
             i8_tile_cols: 999,
             i8_tiled_min_rows: 0,
+            backend: Backend::Neon,
+            i8_backend: Backend::Avx2,
         }
         .sanitized();
         assert_eq!(p.version, PLAN_VERSION);
@@ -435,6 +536,82 @@ mod tests {
         assert!(p.par_min_rows >= 8);
         assert_eq!(p.i8_tile_cols, 32);
         assert!(p.i8_tiled_min_rows >= 4);
+        // An unavailable backend degrades to scalar; an available one
+        // survives. Either way the sanitized plan can always dispatch.
+        assert!(p.backend.is_available());
+        assert!(p.i8_backend.is_available());
+    }
+
+    #[test]
+    fn with_backend_degrades_unavailable_to_scalar() {
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            let p = KernelPlan::inline().with_backend(b);
+            assert!(p.backend.is_available());
+            assert_eq!(p.i8_backend, p.backend, "with_backend forces both families");
+            if b.is_available() {
+                assert_eq!(p.backend, b);
+            } else {
+                assert_eq!(p.backend, Backend::Scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_plan_without_backend_is_rejected_and_falls_back() {
+        // A faithful v2 cache file: no `backend` field, version 2. The
+        // serde default lets it *parse*, but the version gate must still
+        // reject it so stale tunings re-run instead of mis-steering.
+        let v2_json = r#"{
+            "version": 2,
+            "threads": 4,
+            "tile_cols": 16,
+            "tiled_min_rows": 8,
+            "panel_k": 128,
+            "par_min_rows": 32,
+            "i8_tile_cols": 16,
+            "i8_tiled_min_rows": 8
+        }"#;
+        assert!(matches!(
+            KernelPlan::from_json(v2_json),
+            Err(TensorError::Decode(_))
+        ));
+        let dir = std::env::temp_dir().join("magneto_plan_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        std::fs::write(&path, v2_json).unwrap();
+        assert_eq!(KernelPlan::load_or_default(&path), KernelPlan::host_default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn current_version_plan_without_backend_defaults_to_scalar() {
+        // Forward-compat within v3: hand-edited plans may omit the
+        // backend; serde's default fills in the safe scalar instance.
+        let json = format!(
+            r#"{{
+            "version": {PLAN_VERSION},
+            "threads": 2,
+            "tile_cols": 32,
+            "tiled_min_rows": 16,
+            "panel_k": 256,
+            "par_min_rows": 32,
+            "i8_tile_cols": 32,
+            "i8_tiled_min_rows": 16
+        }}"#
+        );
+        let plan = KernelPlan::from_json(&json).unwrap();
+        assert_eq!(plan.backend, Backend::Scalar);
+        assert_eq!(plan.i8_backend, Backend::Scalar);
+    }
+
+    #[test]
+    fn corrupt_plan_file_falls_back_to_default() {
+        let dir = std::env::temp_dir().join("magneto_plan_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        std::fs::write(&path, "{ not json at all").unwrap();
+        assert_eq!(KernelPlan::load_or_default(&path), KernelPlan::host_default());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -456,10 +633,12 @@ mod tests {
     }
 
     #[test]
-    fn describe_mentions_threads_and_tile() {
+    fn describe_mentions_threads_tile_and_backend() {
         let d = KernelPlan::inline().describe();
+        assert!(d.contains("backend=scalar"));
         assert!(d.contains("threads=1"));
         assert!(d.contains("tile=4x32"));
+        assert!(d.contains("i8_backend=scalar"));
         assert!(d.contains("i8_tile=4x32"));
     }
 }

@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 
 use crate::plan::KernelPlan;
+use crate::tiling::Backend;
 
 /// A job body: receives the piece index it should execute.
 ///
@@ -342,6 +343,19 @@ impl Exec {
     /// The active plan.
     pub fn plan(&self) -> KernelPlan {
         self.plan
+    }
+
+    /// The micro-kernel backend the f32 kernels dispatch to. Always an
+    /// available one: every constructor sanitizes its plan, which
+    /// degrades backends the host cannot run to [`Backend::Scalar`].
+    pub fn backend(&self) -> Backend {
+        self.plan.backend
+    }
+
+    /// The micro-kernel backend the int8 GEMM dispatches to, tuned
+    /// independently of [`Exec::backend`]; same availability guarantee.
+    pub fn i8_backend(&self) -> Backend {
+        self.plan.i8_backend
     }
 
     /// Effective parallelism: plan threads, capped by the pool actually

@@ -30,8 +30,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::kernels::{qrow_dispatch, qtile_dispatch};
 use crate::matrix::Matrix;
 use crate::pool::{Exec, SendPtr};
+use crate::tiling::Backend;
 use crate::Result;
 
 /// Numeric precision a model executes at.
@@ -259,16 +261,17 @@ impl QuantMatrix {
         let x_scales = &scratch.x_scales[..];
         let out_ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
         let act = &act;
+        let backend = plan.i8_backend;
         exec.run_row_panels(m, if tiled { QTILE_ROWS } else { 1 }, &|r0, r1| {
-            // Safety: panels partition the row range, so each closure
+            // SAFETY: panels partition the row range, so each closure
             // invocation writes a disjoint slice of `out`.
             let panel = unsafe {
                 std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n)
             };
             if plan.i8_tile_cols <= 16 {
-                self.qgemm_panel::<16, _>(x_q, x_scales, k, bias, act, r0, r1, panel, tiled);
+                self.qgemm_panel::<16, _>(x_q, x_scales, k, bias, act, r0, r1, panel, tiled, backend);
             } else {
-                self.qgemm_panel::<32, _>(x_q, x_scales, k, bias, act, r0, r1, panel, tiled);
+                self.qgemm_panel::<32, _>(x_q, x_scales, k, bias, act, r0, r1, panel, tiled, backend);
             }
         });
         Ok(())
@@ -277,7 +280,10 @@ impl QuantMatrix {
     /// Compute output rows `r0..r1` into `panel`, one `TC`-column strip
     /// at a time. Both the 4-row tiled path and the single-row path
     /// produce identical i32 accumulators and share one epilogue, so the
-    /// split between them never changes results.
+    /// split between them never changes results — and because integer
+    /// accumulation is exactly associative, neither does the `backend`
+    /// (the SIMD int8 micro-kernels in [`crate::kernels`] are
+    /// bit-identical to scalar, unlike their f32 siblings).
     #[allow(clippy::too_many_arguments)] // internal kernel plumbing
     fn qgemm_panel<const TC: usize, F: Fn(f32) -> f32>(
         &self,
@@ -290,6 +296,7 @@ impl QuantMatrix {
         r1: usize,
         panel: &mut [f32],
         tiled: bool,
+        backend: Backend,
     ) {
         let n = self.cols;
         let w = &self.data[..];
@@ -302,7 +309,7 @@ impl QuantMatrix {
             if tiled && jw == TC {
                 let mut acc = [[0i32; TC]; QTILE_ROWS];
                 while i + QTILE_ROWS <= r1 {
-                    qtile::<TC>(x_q, k, w, n, i, j0, &mut acc);
+                    qtile_dispatch::<TC>(backend, x_q, k, w, n, i, j0, &mut acc);
                     for (t, row_acc) in acc.iter().enumerate() {
                         let base = (i + t - r0) * n + j0;
                         epilogue(row_acc, x_scales[i + t], w_scales, b, &mut panel[base..base + TC], act);
@@ -312,74 +319,12 @@ impl QuantMatrix {
             }
             let mut racc = [0i32; TC];
             while i < r1 {
-                qrow::<TC>(&x_q[i * k..(i + 1) * k], w, n, j0, jw, &mut racc);
+                qrow_dispatch::<TC>(backend, &x_q[i * k..(i + 1) * k], w, n, j0, jw, &mut racc);
                 let base = (i - r0) * n + j0;
                 epilogue(&racc[..jw], x_scales[i], w_scales, b, &mut panel[base..base + jw], act);
                 i += 1;
             }
             j0 += TC;
-        }
-    }
-}
-
-/// i32 accumulators for a 4-row × `TC`-column tile.
-#[inline]
-fn qtile<const TC: usize>(
-    x_q: &[i8],
-    k: usize,
-    w: &[i8],
-    n: usize,
-    i0: usize,
-    j0: usize,
-    acc: &mut [[i32; TC]; QTILE_ROWS],
-) {
-    for a in acc.iter_mut() {
-        *a = [0; TC];
-    }
-    let x0 = &x_q[i0 * k..(i0 + 1) * k];
-    let x1 = &x_q[(i0 + 1) * k..(i0 + 2) * k];
-    let x2 = &x_q[(i0 + 2) * k..(i0 + 3) * k];
-    let x3 = &x_q[(i0 + 3) * k..(i0 + 4) * k];
-    for kk in 0..k {
-        let xv0 = i32::from(x0[kk]);
-        let xv1 = i32::from(x1[kk]);
-        let xv2 = i32::from(x2[kk]);
-        let xv3 = i32::from(x3[kk]);
-        if (xv0 | xv1 | xv2 | xv3) == 0 {
-            // All four rows hit a post-ReLU zero; integer adds of zero
-            // are exact no-ops, so skipping cannot change results.
-            continue;
-        }
-        let w_row = &w[kk * n + j0..kk * n + j0 + TC];
-        for (t, &wq) in w_row.iter().enumerate() {
-            let wv = i32::from(wq);
-            acc[0][t] += xv0 * wv;
-            acc[1][t] += xv1 * wv;
-            acc[2][t] += xv2 * wv;
-            acc[3][t] += xv3 * wv;
-        }
-    }
-}
-
-/// i32 accumulators for one row over a `jw`-wide column strip.
-#[inline]
-fn qrow<const TC: usize>(
-    x_row: &[i8],
-    w: &[i8],
-    n: usize,
-    j0: usize,
-    jw: usize,
-    acc: &mut [i32; TC],
-) {
-    *acc = [0; TC];
-    for (kk, &xq) in x_row.iter().enumerate() {
-        let xv = i32::from(xq);
-        if xv == 0 {
-            continue;
-        }
-        let w_row = &w[kk * n + j0..kk * n + j0 + jw];
-        for (t, &wq) in w_row.iter().enumerate() {
-            acc[t] += xv * i32::from(wq);
         }
     }
 }

@@ -22,6 +22,7 @@
 use crate::matrix::Matrix;
 use crate::pool::Exec;
 use crate::quant::QuantScratch;
+use crate::tiling::Backend;
 
 /// A pool of recycled `f32` buffers backing temporary matrices, plus
 /// the [`Exec`] compute context the owning driver loop's kernels run
@@ -62,6 +63,12 @@ impl Workspace {
     /// plan mid-session).
     pub fn set_exec(&mut self, exec: Exec) {
         self.exec = exec;
+    }
+
+    /// The micro-kernel backend this workspace's kernels dispatch to
+    /// (surfaced for banners and telemetry; see [`Exec::backend`]).
+    pub fn backend(&self) -> Backend {
+        self.exec.backend()
     }
 
     /// Borrow a zeroed `rows x cols` matrix, reusing a pooled allocation

@@ -9,7 +9,7 @@ use magneto_tensor::matrix::Matrix;
 use magneto_tensor::serialize::{decode_matrix, encode_matrix};
 use magneto_tensor::stats;
 use magneto_tensor::vector;
-use magneto_tensor::{Exec, KernelPlan, Workspace};
+use magneto_tensor::{Backend, Exec, KernelPlan, Workspace};
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
@@ -354,7 +354,13 @@ proptest! {
         par_min_rows in 0usize..2_000_000,
         i8_tile_cols in 0usize..80,
         i8_tiled_min_rows in 0usize..10_000,
+        backend_idx in 0usize..3,
+        i8_backend_idx in 0usize..3,
     ) {
+        // Sweep all three backends independently per kernel family;
+        // `sanitized()` degrades the ones the host can't run to scalar,
+        // and the round-trip must preserve whichever survives.
+        const BACKENDS: [Backend; 3] = [Backend::Scalar, Backend::Avx2, Backend::Neon];
         let plan = KernelPlan {
             version: magneto_tensor::plan::PLAN_VERSION,
             threads,
@@ -364,6 +370,8 @@ proptest! {
             par_min_rows,
             i8_tile_cols,
             i8_tiled_min_rows,
+            backend: BACKENDS[backend_idx],
+            i8_backend: BACKENDS[i8_backend_idx],
         }
         .sanitized();
         let back = KernelPlan::from_json(&plan.to_json()).unwrap();

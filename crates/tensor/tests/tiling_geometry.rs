@@ -1,0 +1,265 @@
+//! Tail- and edge-geometry tests for the tiled kernel layer.
+//!
+//! The TilingScheme refactor split every GEMM into tile / stage / global
+//! levels with per-backend micro-kernels; the seams of that split are
+//! the *geometry edges* — empty inner dimensions, single rows/columns,
+//! prime sizes that leave ragged tile and panel tails. These tests pin
+//! them down on the scalar reference and, when the host has a SIMD
+//! backend, on the SIMD instance too:
+//!
+//! * scalar tiled output is **bit-identical** to the streaming axpy
+//!   kernel and to the naive i-k-j oracle (same `fma` chain, same
+//!   ascending-`k` order — packing must not change a single bit);
+//! * float SIMD output agrees with scalar within elementwise tolerance
+//!   (the accuracy-gated policy of DESIGN.md §14);
+//! * int8 SIMD output is **bit-identical** to int8 scalar (exact
+//!   integer accumulation has no rounding to disagree about).
+
+use magneto_tensor::matrix::Matrix;
+use magneto_tensor::{Backend, Exec, KernelPlan, QuantMatrix, QuantScratch, SeededRng};
+
+/// Geometries chosen to hit every remainder path: K=0 (empty
+/// accumulation), K=1 (single panel step), 1×N (row kernel), M×1
+/// (column tail of width 1), primes (ragged tile, panel and lane
+/// tails), and multiples of the tile sizes (no tails at all).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 0, 1),
+    (4, 0, 7),
+    (1, 7, 1),
+    (5, 1, 3),
+    (1, 13, 32),
+    (17, 1, 1),
+    (4, 16, 16),
+    (8, 8, 32),
+    (7, 13, 29),
+    (13, 31, 37),
+    (37, 17, 33),
+    (3, 5, 64),
+    (19, 23, 1),
+    (23, 41, 47),
+];
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    let data = (0..rows * cols).map(|_| rng.uniform(-2.0, 2.0)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// A plan that forces the register-tiled kernel for every batch size.
+fn tiled_plan(tile_cols: usize, panel_k: usize, backend: Backend) -> KernelPlan {
+    KernelPlan {
+        tile_cols,
+        tiled_min_rows: 1,
+        panel_k,
+        i8_tile_cols: tile_cols,
+        i8_tiled_min_rows: 1,
+        backend,
+        i8_backend: backend,
+        ..KernelPlan::inline()
+    }
+}
+
+/// A plan that forces the streaming axpy kernel for every batch size.
+fn axpy_plan(backend: Backend) -> KernelPlan {
+    KernelPlan {
+        tiled_min_rows: usize::MAX,
+        i8_tiled_min_rows: usize::MAX,
+        backend,
+        i8_backend: backend,
+        ..KernelPlan::inline()
+    }
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn scalar_tiled_is_bit_identical_to_axpy_and_naive_on_edge_geometries() {
+    for &(m, k, n) in SHAPES {
+        let a = mat(m, k, 0xA0 + (m * 31 + k * 7 + n) as u64);
+        let b = mat(k, n, 0xB0 + (m + k * 13 + n * 3) as u64);
+        let naive = a.matmul_naive(&b).unwrap();
+        let mut axpy_out = Matrix::default();
+        a.matmul_into_exec(&b, &mut axpy_out, &Exec::from_plan(axpy_plan(Backend::Scalar)))
+            .unwrap();
+        assert_eq!(axpy_out, naive, "axpy vs naive, shape ({m},{k},{n})");
+        for tile_cols in [16usize, 32] {
+            for panel_k in [1usize, 5, 256, usize::MAX] {
+                let plan = tiled_plan(tile_cols, panel_k, Backend::Scalar);
+                let mut out = Matrix::default();
+                a.matmul_into_exec(&b, &mut out, &Exec::from_plan(plan)).unwrap();
+                assert_eq!(
+                    out, naive,
+                    "tiled vs naive, shape ({m},{k},{n}) tile_cols={tile_cols} panel_k={panel_k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_backward_gemms_cover_edge_geometries() {
+    // d/dA = G · Bᵀ and d/dB = Aᵀ · G walk the transpose kernels; check
+    // them against explicit transposes through the forward oracle.
+    for &(m, k, n) in SHAPES {
+        if k == 0 {
+            continue; // transpose oracle shapes degenerate identically
+        }
+        let g = mat(m, n, 0xC0 + (m * 17 + n) as u64);
+        let a = mat(m, k, 0xD0 + (k * 11 + n) as u64);
+        let b = mat(k, n, 0xE0 + (m + k + n) as u64);
+        let exec = Exec::from_plan(tiled_plan(32, 256, Backend::Scalar));
+
+        let mut da = Matrix::default();
+        g.matmul_transpose_into_exec(&b, &mut da, &exec).unwrap();
+        let da_oracle = g.matmul_naive(&b.transpose()).unwrap();
+        assert!(
+            max_abs_diff(&da, &da_oracle) <= 1e-4,
+            "G·Bᵀ, shape ({m},{k},{n})"
+        );
+
+        let mut db = Matrix::default();
+        a.transpose_matmul_into_exec(&g, &mut db, &exec).unwrap();
+        let db_oracle = a.transpose().matmul_naive(&g).unwrap();
+        assert!(
+            max_abs_diff(&db, &db_oracle) <= 1e-4,
+            "Aᵀ·G, shape ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn simd_f32_agrees_with_scalar_on_edge_geometries() {
+    let Some(simd) = Backend::detect_simd() else {
+        eprintln!("skipping: no SIMD backend on this host");
+        return;
+    };
+    for &(m, k, n) in SHAPES {
+        let a = mat(m, k, 0x1A0 + (m * 31 + k * 7 + n) as u64);
+        let b = mat(k, n, 0x1B0 + (m + k * 13 + n * 3) as u64);
+        for tile_cols in [16usize, 32] {
+            for panel_k in [1usize, 5, 256] {
+                let mut scalar_out = Matrix::default();
+                let mut simd_out = Matrix::default();
+                a.matmul_into_exec(
+                    &b,
+                    &mut scalar_out,
+                    &Exec::from_plan(tiled_plan(tile_cols, panel_k, Backend::Scalar)),
+                )
+                .unwrap();
+                a.matmul_into_exec(
+                    &b,
+                    &mut simd_out,
+                    &Exec::from_plan(tiled_plan(tile_cols, panel_k, simd)),
+                )
+                .unwrap();
+                // Accuracy-gated, not bit-gated: the SIMD kernels mirror
+                // the scalar FMA chain, but the policy bar is tolerance.
+                let diff = max_abs_diff(&scalar_out, &simd_out);
+                assert!(
+                    diff <= 1e-4 * (k.max(1) as f32),
+                    "f32 {simd} vs scalar diff {diff}, shape ({m},{k},{n}) \
+                     tile_cols={tile_cols} panel_k={panel_k}"
+                );
+            }
+        }
+        // Streaming axpy and both backward kernels, once per shape.
+        let mut scalar_out = Matrix::default();
+        let mut simd_out = Matrix::default();
+        a.matmul_into_exec(&b, &mut scalar_out, &Exec::from_plan(axpy_plan(Backend::Scalar)))
+            .unwrap();
+        a.matmul_into_exec(&b, &mut simd_out, &Exec::from_plan(axpy_plan(simd)))
+            .unwrap();
+        assert!(max_abs_diff(&scalar_out, &simd_out) <= 1e-4 * (k.max(1) as f32));
+        if k > 0 {
+            let g = mat(m, n, 0x1C0 + (m + n) as u64);
+            let scalar_exec = Exec::from_plan(tiled_plan(32, 256, Backend::Scalar));
+            let simd_exec = Exec::from_plan(tiled_plan(32, 256, simd));
+            let (mut s, mut v) = (Matrix::default(), Matrix::default());
+            g.matmul_transpose_into_exec(&b, &mut s, &scalar_exec).unwrap();
+            g.matmul_transpose_into_exec(&b, &mut v, &simd_exec).unwrap();
+            assert!(max_abs_diff(&s, &v) <= 1e-4 * (n.max(1) as f32), "G·Bᵀ ({m},{k},{n})");
+            a.transpose_matmul_into_exec(&g, &mut s, &scalar_exec).unwrap();
+            a.transpose_matmul_into_exec(&g, &mut v, &simd_exec).unwrap();
+            assert!(max_abs_diff(&s, &v) <= 1e-4 * (m.max(1) as f32), "Aᵀ·G ({m},{k},{n})");
+        }
+    }
+}
+
+#[test]
+fn simd_i8_is_bit_identical_to_scalar_on_edge_geometries() {
+    let Some(simd) = Backend::detect_simd() else {
+        eprintln!("skipping: no SIMD backend on this host");
+        return;
+    };
+    let act = |v: f32| if v > 0.0 { v } else { 0.01 * v };
+    for &(m, k, n) in SHAPES {
+        if k == 0 || n == 0 {
+            continue; // QuantMatrix requires a non-empty weight matrix
+        }
+        let w = QuantMatrix::quantize(&mat(k, n, 0x2A0 + (k * 29 + n) as u64)).unwrap();
+        let x = mat(m, k, 0x2B0 + (m * 23 + k) as u64);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32).sin() * 0.1).collect();
+        for tile_cols in [16usize, 32] {
+            for tiled in [true, false] {
+                let mk_plan = |backend| {
+                    let mut p = tiled_plan(tile_cols, 256, backend);
+                    p.i8_tiled_min_rows = if tiled { 1 } else { usize::MAX };
+                    p
+                };
+                let mut scalar_out = Matrix::default();
+                let mut simd_out = Matrix::default();
+                let mut scratch = QuantScratch::new();
+                w.matmul_bias_act_into_exec(
+                    &x,
+                    &bias,
+                    act,
+                    &mut scalar_out,
+                    &mut scratch,
+                    &Exec::from_plan(mk_plan(Backend::Scalar)),
+                )
+                .unwrap();
+                w.matmul_bias_act_into_exec(
+                    &x,
+                    &bias,
+                    act,
+                    &mut simd_out,
+                    &mut scratch,
+                    &Exec::from_plan(mk_plan(simd)),
+                )
+                .unwrap();
+                // Integer accumulation is exact: any difference is a bug,
+                // not rounding.
+                assert_eq!(
+                    scalar_out, simd_out,
+                    "i8 {simd} vs scalar, shape ({m},{k},{n}) \
+                     tile_cols={tile_cols} tiled={tiled}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_simd_plan_sanitizes_to_available_backend() {
+    // A plan carrying a backend this host can't run must degrade to
+    // scalar rather than fault — the heterogeneous-fleet guarantee.
+    for backend in [Backend::Avx2, Backend::Neon] {
+        let plan = tiled_plan(32, 256, backend).sanitized();
+        assert!(plan.backend.is_available());
+        assert!(plan.i8_backend.is_available());
+        if !backend.is_available() {
+            assert_eq!(plan.backend, Backend::Scalar);
+            assert_eq!(plan.i8_backend, Backend::Scalar);
+        }
+        // And the Exec constructor applies the same clamp.
+        assert!(Exec::from_plan(tiled_plan(32, 256, backend)).backend().is_available());
+    }
+}

@@ -151,7 +151,11 @@ fn install_compute_plan(bundle: &Path, args: &Args) {
         plan
     };
     magneto::tensor::install_global(magneto::tensor::Exec::from_plan(plan));
-    println!("[compute] {}", plan.describe());
+    println!(
+        "[compute] {} | host {}",
+        plan.describe(),
+        magneto::tensor::Backend::isa_summary()
+    );
 }
 
 fn cmd_pretrain(args: &Args) -> Result<(), String> {
