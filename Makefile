@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant fleet-smoke train-smoke quant-smoke fault-smoke chaos clean
+.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke chaos clean
 
-check: build test clippy lint-unsafe fleet-smoke train-smoke quant-smoke fault-smoke
+check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke
 
 build:
 	$(CARGO) build --release
@@ -54,6 +54,18 @@ bench-train: build
 # asserts nonzero throughput and zero cross-session label leaks.
 fleet-smoke: build
 	$(CARGO) run --release -p magneto-bench --bin fleet_smoke
+
+# Release-mode tiered-store scale run: 10k base+delta sessions under
+# Zipf traffic through one shared base. Gates resident-bytes-per-user
+# ≤ 0.5× the naive full-resident footprint and bit-identical serving
+# after a page-out → rehydrate round trip; emits BENCH_fleet_scale.json
+# in the working directory.
+fleet-scale-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin fleet_scale_smoke
+
+# The same gates at 100k sessions (the full scale bench).
+bench-fleet-scale: build
+	$(CARGO) run --release -p magneto-bench --bin fleet_scale_smoke -- --sessions 100000 --arrivals 40000
 
 # Release-mode training smoke run: asserts trained weights and batched
 # embeddings are bit-identical at pool sizes 1/2/4/8, and that the

@@ -22,7 +22,7 @@ use crate::label::LabelRegistry;
 use crate::precision::ResidentModel;
 use crate::support_set::SupportSet;
 use crate::Result;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use magneto_dsp::PreprocessingPipeline;
 use magneto_nn::quantize::{QuantizedMlp, QuantizedSiamese};
 use magneto_nn::serialize::{decode_mlp, encode_mlp};
@@ -84,11 +84,6 @@ impl BundleSizeReport {
     }
 }
 
-fn put_section(buf: &mut BytesMut, payload: &[u8]) {
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(payload);
-}
-
 fn get_section(buf: &mut Bytes, what: &str) -> Result<Vec<u8>> {
     if buf.remaining() < 4 {
         return Err(CoreError::InvalidBundle(format!("{what} header truncated")));
@@ -124,11 +119,15 @@ impl EdgeBundle {
         }
     }
 
-    /// Serialise the bundle. With `quantized = true` the model section
-    /// stores int8 weights (~4× smaller, slightly lossy).
-    pub fn to_bytes(&self, quantized: bool) -> Vec<u8> {
-        let pipeline = self.pipeline.to_bytes();
-        let model = self.model_section(quantized);
+    /// Stream the bundle's wire bytes into `out`, section by section —
+    /// the same layout [`to_bytes`](Self::to_bytes) produces, without
+    /// ever materialising the concatenated bundle. Consumers that only
+    /// *scan* the bytes (hashing for a model key, checksumming) write
+    /// into a digest sink instead of allocating a full serialized copy.
+    ///
+    /// # Errors
+    /// Propagates writer I/O errors (an in-memory sink never fails).
+    pub fn write_wire<W: std::io::Write>(&self, quantized: bool, out: &mut W) -> std::io::Result<()> {
         let support = serde_json::to_vec(&SupportEnvelope {
             margin: self.model.margin(),
             support_set: &self.support_set,
@@ -136,17 +135,28 @@ impl EdgeBundle {
         .expect("support set serialisation cannot fail");
         let registry = serde_json::to_vec(&self.registry).expect("registry serialisation");
 
-        let mut buf = BytesMut::with_capacity(
-            16 + pipeline.len() + model.len() + support.len() + registry.len(),
-        );
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u8(if quantized { FORMAT_QUANTIZED } else { FORMAT_F32 });
-        put_section(&mut buf, &pipeline);
-        put_section(&mut buf, &model);
-        put_section(&mut buf, &support);
-        put_section(&mut buf, &registry);
-        buf.to_vec()
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&[if quantized { FORMAT_QUANTIZED } else { FORMAT_F32 }])?;
+        for section in [
+            self.pipeline.to_bytes(),
+            self.model_section(quantized),
+            support,
+            registry,
+        ] {
+            out.write_all(&(section.len() as u32).to_le_bytes())?;
+            out.write_all(&section)?;
+        }
+        Ok(())
+    }
+
+    /// Serialise the bundle. With `quantized = true` the model section
+    /// stores int8 weights (~4× smaller, slightly lossy).
+    pub fn to_bytes(&self, quantized: bool) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_wire(quantized, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
     }
 
     /// Deserialise a bundle produced by [`to_bytes`](Self::to_bytes).

@@ -36,6 +36,7 @@
 
 pub mod bundle;
 pub mod cloud;
+pub mod delta;
 pub mod drift;
 pub mod edge;
 pub mod embed;
@@ -54,6 +55,7 @@ pub mod timeline;
 
 pub use bundle::{BundleSizeReport, EdgeBundle};
 pub use cloud::{CloudConfig, CloudInitializer};
+pub use delta::{AppliedDelta, PersonalDelta};
 pub use drift::{DriftMonitor, DriftStatus};
 pub use edge::{EdgeConfig, EdgeDevice};
 pub use embed::BatchEmbedder;

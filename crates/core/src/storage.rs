@@ -134,20 +134,25 @@ fn unframe(bytes: &[u8]) -> Option<&[u8]> {
     (crc32(payload) == stored_crc).then_some(payload)
 }
 
-/// Save a bundle to `path` crash-safely, with checksum framing.
+/// Save an arbitrary payload to `path` crash-safely, wrapped in the same
+/// `MGST` + CRC-32 frame and two-phase journaled commit as
+/// [`save_bundle`]. This is the generic persistence primitive the tiered
+/// fleet session store uses to page cold per-user deltas out to disk —
+/// anything written here survives a power cut at any byte with
+/// old-or-new (never torn) semantics.
 ///
 /// Protocol (each step durable before the next):
 /// 1. write the frame to a uniquely named `…tmp.<pid>.<seq>` sibling and
 ///    fsync it — a crash here leaves only ignorable scratch;
 /// 2. rename it to the write-ahead [`journal_path`] and fsync the parent
-///    dir — from here the *new* bundle is durable and recovery rolls it
+///    dir — from here the *new* payload is durable and recovery rolls it
 ///    forward;
 /// 3. rename the journal over `path` and fsync the parent dir again.
 ///
 /// # Errors
 /// [`CoreError::InvalidBundle`] wrapping any I/O failure.
-pub fn save_bundle(bundle: &EdgeBundle, path: &Path, quantized: bool) -> Result<()> {
-    let framed = frame_payload(&bundle.to_bytes(quantized));
+pub fn save_framed(payload: &[u8], path: &Path) -> Result<()> {
+    let framed = frame_payload(payload);
     let tmp = unique_tmp_path(path);
     {
         let mut f = fs::File::create(&tmp).map_err(io_err)?;
@@ -162,6 +167,33 @@ pub fn save_bundle(bundle: &EdgeBundle, path: &Path, quantized: bool) -> Result<
         .and_then(|()| sync_parent_dir(path));
     drop(guard);
     committed.map_err(io_err)
+}
+
+/// Load a payload previously written by [`save_framed`], first
+/// completing any interrupted save via [`recover_journal`].
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] on I/O failure, bad framing, or checksum
+/// mismatch.
+pub fn load_framed(path: &Path) -> Result<Vec<u8>> {
+    recover_journal(path)?;
+    let bytes = fs::read(path)
+        .map_err(|e| CoreError::InvalidBundle(format!("storage read {}: {e}", path.display())))?;
+    unframe(&bytes).map(<[u8]>::to_vec).ok_or_else(|| {
+        CoreError::InvalidBundle(
+            "not a MAGNETO storage file, or corrupt / partially written (checksum mismatch)"
+                .into(),
+        )
+    })
+}
+
+/// Save a bundle to `path` crash-safely, with checksum framing — the
+/// [`save_framed`] commit protocol over the bundle's wire bytes.
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] wrapping any I/O failure.
+pub fn save_bundle(bundle: &EdgeBundle, path: &Path, quantized: bool) -> Result<()> {
+    save_framed(&bundle.to_bytes(quantized), path)
 }
 
 /// Inspect `path`'s write-ahead journal, rolling a complete one forward
@@ -206,16 +238,7 @@ pub fn recover_journal(path: &Path) -> Result<bool> {
 /// [`CoreError::InvalidBundle`] on I/O failure, bad framing, checksum
 /// mismatch, or bundle decode failure.
 pub fn load_bundle(path: &Path) -> Result<EdgeBundle> {
-    recover_journal(path)?;
-    let bytes = fs::read(path)
-        .map_err(|e| CoreError::InvalidBundle(format!("storage read {}: {e}", path.display())))?;
-    let payload = unframe(&bytes).ok_or_else(|| {
-        CoreError::InvalidBundle(
-            "not a MAGNETO storage file, or corrupt / partially written (checksum mismatch)"
-                .into(),
-        )
-    })?;
-    EdgeBundle::from_bytes(payload)
+    EdgeBundle::from_bytes(&load_framed(path)?)
 }
 
 /// Path of the kernel-plan cache that rides next to a bundle: the
@@ -325,6 +348,28 @@ mod tests {
             fs::write(&path, &bad).unwrap();
             let _ = load_bundle(&path);
         }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn framed_payload_roundtrip_and_corruption() {
+        let path = temp_path("framed");
+        let payload = b"arbitrary session delta bytes \x00\x01\xff";
+        save_framed(payload, &path).unwrap();
+        assert_eq!(load_framed(&path).unwrap(), payload);
+        // Corruption is caught by the CRC.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_framed(&path).is_err());
+        // A torn journal is discarded and the old payload survives.
+        save_framed(payload, &path).unwrap();
+        fs::write(&journal_path(&path), b"MGSThalf").unwrap();
+        assert_eq!(load_framed(&path).unwrap(), payload);
+        // A complete journal rolls forward.
+        fs::write(&journal_path(&path), frame_payload(b"newer")).unwrap();
+        assert_eq!(load_framed(&path).unwrap(), b"newer");
         fs::remove_file(&path).ok();
     }
 

@@ -42,6 +42,16 @@ pub struct FleetConfig {
     /// [`crate::SubmitError::Quarantined`].
     #[serde(default = "default_quarantine_for")]
     pub quarantine_for: Duration,
+    /// Tiered session store: most base+delta sessions kept hot
+    /// (overlay resident) **per shard**. Above the cap, the
+    /// least-recently-served deltas page out to the spool (crash-safe
+    /// framed files, or an in-memory spill if no spool directory is
+    /// configured) and rehydrate — bit-identically — on their next
+    /// submit. `0` disables tiering: every delta stays hot.
+    /// Device-backed sessions never page and do not count against the
+    /// cap.
+    #[serde(default)]
+    pub hot_delta_capacity: usize,
 }
 
 fn default_quarantine_strikes() -> u32 {
@@ -64,6 +74,7 @@ impl Default for FleetConfig {
             retry_after: Duration::from_millis(2),
             quarantine_strikes: default_quarantine_strikes(),
             quarantine_for: default_quarantine_for(),
+            hot_delta_capacity: 0,
         }
     }
 }
@@ -161,5 +172,8 @@ mod tests {
         let back: FleetConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.quarantine_strikes, default_quarantine_strikes());
         assert_eq!(back.quarantine_for, default_quarantine_for());
+        // Stripping at quarantine_strikes also drops the (later)
+        // tiering knob; it defaults to disabled.
+        assert_eq!(back.hot_delta_capacity, 0);
     }
 }

@@ -1,5 +1,6 @@
 //! Per-shard serving counters.
 
+use crate::store::TierSnapshot;
 use magneto_core::inference::{LatencyRecorder, LatencyStats};
 use magneto_core::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,12 +41,23 @@ impl ShardCounters {
         }
     }
 
-    /// Snapshot into a report row.
-    pub fn snapshot(&self, shard: usize, sessions: usize, pending: usize) -> ShardStats {
+    /// Snapshot into a report row. `tier` is the owning shard's
+    /// point-in-time session-store accounting (hot/paged/resident).
+    pub fn snapshot(
+        &self,
+        shard: usize,
+        sessions: usize,
+        pending: usize,
+        tier: TierSnapshot,
+    ) -> ShardStats {
         ShardStats {
             shard,
             sessions,
             pending,
+            resident_bytes: tier.resident_bytes,
+            hot_sessions: tier.hot_sessions,
+            paged_sessions: tier.paged_sessions,
+            rehydrations: tier.rehydrations,
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -69,6 +81,16 @@ pub struct ShardStats {
     pub sessions: usize,
     /// Windows currently queued (bounded by `queue_capacity`).
     pub pending: usize,
+    /// Per-session bytes resident on the shard (devices' full models +
+    /// hot deltas' overlays + in-memory cold spills; excludes shared
+    /// bases, which are fleet-global and counted once).
+    pub resident_bytes: usize,
+    /// Sessions serveable without rehydration (devices + hot deltas).
+    pub hot_sessions: usize,
+    /// Delta sessions currently paged out of the hot tier.
+    pub paged_sessions: usize,
+    /// Paged sessions rehydrated on touch since start.
+    pub rehydrations: u64,
     /// Windows admitted since start.
     pub accepted: u64,
     /// Windows rejected by backpressure since start.
@@ -115,10 +137,20 @@ mod tests {
         c.rejected.fetch_add(2, Ordering::Relaxed);
         c.record_batch(6, Precision::F32, Duration::from_micros(100));
         c.record_batch(4, Precision::Int8, Duration::from_micros(300));
-        let s = c.snapshot(3, 5, 1);
+        let tier = TierSnapshot {
+            resident_bytes: 4096,
+            hot_sessions: 4,
+            paged_sessions: 1,
+            rehydrations: 7,
+        };
+        let s = c.snapshot(3, 5, 1, tier);
         assert_eq!(s.shard, 3);
         assert_eq!(s.sessions, 5);
         assert_eq!(s.pending, 1);
+        assert_eq!(s.resident_bytes, 4096);
+        assert_eq!(s.hot_sessions, 4);
+        assert_eq!(s.paged_sessions, 1);
+        assert_eq!(s.rehydrations, 7);
         assert_eq!(s.accepted, 10);
         assert_eq!(s.rejected, 2);
         assert_eq!(s.batches, 2);
@@ -134,8 +166,10 @@ mod tests {
     #[test]
     fn empty_counters_report_zero() {
         let c = ShardCounters::default();
-        let s = c.snapshot(0, 0, 0);
+        let s = c.snapshot(0, 0, 0, TierSnapshot::default());
         assert_eq!(s.windows, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.paged_sessions, 0);
         assert_eq!(s.mean_batch(), 0.0);
         assert_eq!(s.latency, LatencyStats::default());
     }

@@ -37,6 +37,16 @@
 //! weights they both already have. On-device learning re-keys a session
 //! ([`Fleet::update_session`]) so personalised weights are never pooled.
 //!
+//! * **Tiered session store** ([`store`]) — beyond device-backed
+//!   sessions, the fleet serves *base+delta* sessions: one refcounted
+//!   immutable [`store::SharedBase`] per `(ModelKey, precision)` plus a
+//!   compact per-user [`magneto_core::PersonalDelta`] applied as an NCM
+//!   overlay at serve time. Personalized sessions keep the shared key
+//!   (only the classifier is overlaid, never the backbone) and stay
+//!   batchable; cold deltas page out to crash-safe storage under an LRU
+//!   and rehydrate bit-identically on their next submit. Resident bytes
+//!   per user collapse from a full model copy to the delta alone.
+//!
 //! ```
 //! use magneto_core::{CloudConfig, CloudInitializer, EdgeConfig, EdgeDevice};
 //! use magneto_fleet::{Fleet, FleetConfig, ModelKey};
@@ -65,9 +75,11 @@ pub mod counters;
 pub mod error;
 pub mod runtime;
 pub mod session;
+pub mod store;
 
 pub use config::FleetConfig;
 pub use counters::ShardStats;
 pub use error::FleetError;
 pub use runtime::Fleet;
 pub use session::{FleetReply, ModelKey, SessionId, SubmitError};
+pub use store::{SharedBase, StoreError};

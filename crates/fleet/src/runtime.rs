@@ -5,12 +5,18 @@ use crate::config::FleetConfig;
 use crate::counters::{ShardCounters, ShardStats};
 use crate::error::FleetError;
 use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
+use crate::store::{
+    DeltaSession, SessionEntry, SessionModel, SessionStore, SharedBase, StoreError,
+};
 use magneto_core::inference::{infer_batch, BatchJob};
-use magneto_core::{BatchEmbedder, EdgeDevice, Precision};
+use magneto_core::{BatchEmbedder, EdgeBundle, EdgeDevice, PersonalDelta, Precision};
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,28 +34,6 @@ struct Request {
     session: u64,
     seq: u64,
     window: Vec<Vec<f32>>,
-}
-
-/// One registered per-user session. The device is owned by the fleet;
-/// all mutation goes through [`Fleet::update_session`], which re-keys the
-/// session so its personalised weights are never batched with anyone
-/// else's.
-struct SessionEntry {
-    device: EdgeDevice,
-    key: ModelKey,
-    /// The device's resident precision — part of the batching key, so an
-    /// int8 session never shares a forward pass with an f32 one even when
-    /// both were deployed from the same bundle.
-    precision: Precision,
-    tx: Sender<FleetReply>,
-    /// Panic strikes this session has accumulated (each window that
-    /// panicked during its isolated re-run). Reaching the configured
-    /// threshold trips the circuit breaker.
-    strikes: u32,
-    /// Chaos hook ([`Fleet::arm_panics`]): pending deliberate panics.
-    /// Atomic so the serving path can consume it through a shared
-    /// borrow of the session map.
-    armed_panics: AtomicU32,
 }
 
 /// Admission-control state, guarded by the queue mutex so the submit
@@ -71,7 +55,7 @@ struct QueueState {
 
 struct Shard {
     queue: Mutex<QueueState>,
-    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    sessions: Mutex<SessionStore>,
     counters: ShardCounters,
 }
 
@@ -85,6 +69,12 @@ struct Inner {
     config: FleetConfig,
     shards: Vec<Shard>,
     signals: Vec<WorkerSignal>,
+    /// Shared immutable bases, one per `(key, precision)`, `Arc`-cloned
+    /// into every delta session deployed from them.
+    bases: Mutex<HashMap<(ModelKey, Precision), Arc<SharedBase>>>,
+    /// Directory cold deltas spill to (crash-safe framed files). `None`
+    /// = spill in memory.
+    spool_dir: Mutex<Option<PathBuf>>,
     global_inflight: AtomicUsize,
     next_session: AtomicU64,
     next_key: AtomicU64,
@@ -128,7 +118,7 @@ impl Fleet {
         let shards = (0..config.shards)
             .map(|_| Shard {
                 queue: Mutex::new(QueueState::default()),
-                sessions: Mutex::new(HashMap::new()),
+                sessions: Mutex::new(SessionStore::new()),
                 counters: ShardCounters::default(),
             })
             .collect();
@@ -142,6 +132,8 @@ impl Fleet {
             config,
             shards,
             signals,
+            bases: Mutex::new(HashMap::new()),
+            spool_dir: Mutex::new(None),
             global_inflight: AtomicUsize::new(0),
             next_session: AtomicU64::new(0),
             next_key: AtomicU64::new(0),
@@ -210,6 +202,63 @@ impl Fleet {
     /// scheduler may batch them together. Returns the session handle and
     /// the channel its predictions arrive on.
     pub fn register(&self, device: EdgeDevice, key: ModelKey) -> (SessionId, Receiver<FleetReply>) {
+        let precision = device.precision();
+        self.register_entry(SessionModel::Device(Box::new(device)), key, precision)
+    }
+
+    /// Register a shared immutable base assembled from `bundle` at
+    /// `precision`, keyed by [`ModelKey::of_bundle`]. Idempotent: a base
+    /// already registered under the same `(key, precision)` is kept and
+    /// its key returned. Delta sessions deployed from it
+    /// ([`Self::register_from_base`]) share one refcounted copy of the
+    /// backbone, support set, and base classifier.
+    ///
+    /// # Errors
+    /// [`StoreError::Storage`] when the bundle fails validation or
+    /// precision conversion.
+    pub fn register_base(
+        &self,
+        bundle: &EdgeBundle,
+        precision: Precision,
+    ) -> Result<ModelKey, StoreError> {
+        let key = ModelKey::of_bundle(bundle);
+        let mut bases = lock_unpoisoned(&self.inner.bases);
+        if let std::collections::hash_map::Entry::Vacant(slot) = bases.entry((key, precision)) {
+            let base = SharedBase::from_bundle(bundle, precision, DistanceMetric::default())?;
+            slot.insert(Arc::new(base));
+        }
+        Ok(key)
+    }
+
+    /// Register a base+delta session against a base previously
+    /// registered with [`Self::register_base`]. The session starts with
+    /// an empty [`PersonalDelta`] and — crucially — keeps the **shared**
+    /// key: personalizing the delta only overlays the classifier, never
+    /// the backbone, so the session stays batchable with every peer of
+    /// the same base. If the shard is over its configured hot-delta
+    /// capacity, the coldest sessions page out.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownBase`] when no base is registered under
+    /// `(key, precision)`.
+    pub fn register_from_base(
+        &self,
+        key: ModelKey,
+        precision: Precision,
+    ) -> Result<(SessionId, Receiver<FleetReply>), StoreError> {
+        let base = lock_unpoisoned(&self.inner.bases)
+            .get(&(key, precision))
+            .cloned()
+            .ok_or(StoreError::UnknownBase(key, precision))?;
+        Ok(self.register_entry(SessionModel::Delta(DeltaSession::fresh(base)), key, precision))
+    }
+
+    fn register_entry(
+        &self,
+        model: SessionModel,
+        key: ModelKey,
+        precision: Precision,
+    ) -> (SessionId, Receiver<FleetReply>) {
         let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
         let shard = &self.inner.shards[id as usize % self.inner.config.shards];
         let (tx, rx) = channel();
@@ -218,46 +267,109 @@ impl Fleet {
             q.inflight.insert(id, 0);
             q.seqs.insert(id, 0);
         }
-        let precision = device.precision();
-        lock_unpoisoned(&shard.sessions).insert(
-            id,
-            SessionEntry {
-                device,
-                key,
-                precision,
-                tx,
-                strikes: 0,
-                armed_panics: AtomicU32::new(0),
-            },
-        );
+        let spool = self.spool();
+        {
+            let mut sessions = lock_unpoisoned(&shard.sessions);
+            sessions.insert(
+                id,
+                SessionEntry {
+                    model,
+                    key,
+                    precision,
+                    tx,
+                    strikes: 0,
+                    armed_panics: AtomicU32::new(0),
+                },
+            );
+            sessions.enforce_capacity(self.inner.config.hot_delta_capacity, spool.as_deref());
+        }
         (SessionId(id), rx)
     }
 
-    /// Remove a session, returning its device (with all personalised
-    /// state). Still-queued windows for it are dropped unserved.
+    /// Configure the directory cold deltas page out to (created if
+    /// missing). Until this is set — or if a spill write ever fails —
+    /// evicted deltas fall back to an in-memory spill: still out of the
+    /// hot tier, never lost.
     ///
     /// # Errors
-    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    /// Propagates directory-creation failure.
+    pub fn set_spool_dir(&self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        *lock_unpoisoned(&self.inner.spool_dir) = Some(dir);
+        Ok(())
+    }
+
+    fn spool(&self) -> Option<PathBuf> {
+        lock_unpoisoned(&self.inner.spool_dir).clone()
+    }
+
+    /// Remove a device-backed session, returning its device (with all
+    /// personalised state). Still-queued windows for it are dropped
+    /// unserved.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered;
+    /// [`SubmitError::NotDeviceBacked`] for a base+delta session (use
+    /// [`Self::deregister_delta`]).
     pub fn deregister(&self, id: SessionId) -> Result<EdgeDevice, SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
-        let entry = shard
-            .sessions
-            .lock()
-            .expect("sessions lock")
-            .remove(&id.0)
-            .ok_or(SubmitError::UnknownSession(id))?;
+        let entry = {
+            let mut sessions = lock_unpoisoned(&shard.sessions);
+            match sessions.get(id.0) {
+                None => return Err(SubmitError::UnknownSession(id)),
+                Some(e) if !e.is_device() => return Err(SubmitError::NotDeviceBacked(id)),
+                Some(_) => {}
+            }
+            sessions.remove(id.0).expect("presence just checked")
+        };
+        self.reconcile_removed(shard, id.0);
+        match entry.model {
+            SessionModel::Device(device) => Ok(*device),
+            _ => unreachable!("device-backed checked above"),
+        }
+    }
+
+    /// Remove a base+delta session, returning its [`PersonalDelta`]
+    /// (rehydrated first if paged). Still-queued windows for it are
+    /// dropped unserved; its spool file, if any, is deleted.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownSession`] / [`StoreError::NotDelta`], or a
+    /// [`StoreError::Storage`] if a paged delta cannot be read back.
+    pub fn deregister_delta(&self, id: SessionId) -> Result<PersonalDelta, StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let delta = {
+            let mut sessions = lock_unpoisoned(&shard.sessions);
+            match sessions.get(id.0) {
+                None => return Err(StoreError::UnknownSession(id)),
+                Some(e) if e.is_device() => return Err(StoreError::NotDelta(id)),
+                Some(_) => {}
+            }
+            sessions.ensure_hot(id.0)?;
+            let entry = sessions.remove(id.0).expect("presence just checked");
+            match entry.model {
+                SessionModel::Delta(ds) => ds.delta,
+                _ => unreachable!("ensure_hot leaves a hot delta"),
+            }
+        };
+        self.reconcile_removed(shard, id.0);
+        Ok(delta)
+    }
+
+    /// Drop a removed session's queued windows and admission state.
+    /// Queued (not yet popped) windows die with the session; executing
+    /// ones finish and decrement the remainder themselves.
+    fn reconcile_removed(&self, shard: &Shard, id: u64) {
         let mut q = lock_unpoisoned(&shard.queue);
-        // Queued (not yet popped) windows die with the session; executing
-        // ones finish and decrement the remainder themselves.
-        let queued = q.pending.iter().filter(|r| r.session == id.0).count();
-        q.pending.retain(|r| r.session != id.0);
-        if let Some(inflight) = q.inflight.remove(&id.0) {
+        let queued = q.pending.iter().filter(|r| r.session == id).count();
+        q.pending.retain(|r| r.session != id);
+        if let Some(inflight) = q.inflight.remove(&id) {
             debug_assert!(inflight >= queued);
             self.inner.global_inflight.fetch_sub(queued, Ordering::AcqRel);
         }
-        q.seqs.remove(&id.0);
-        q.quarantined.remove(&id.0);
-        Ok(entry.device)
+        q.seqs.remove(&id);
+        q.quarantined.remove(&id);
     }
 
     /// Submit one channel-major sensor window for a session. On success
@@ -346,20 +458,24 @@ impl Fleet {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
         let mut sessions = lock_unpoisoned(&shard.sessions);
         let entry = sessions
-            .get_mut(&id.0)
+            .get_mut(id.0)
             .ok_or(SubmitError::UnknownSession(id))?;
-        let out = f(&mut entry.device);
-        entry.key = ModelKey::unique(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        let SessionModel::Device(device) = &mut entry.model else {
+            return Err(SubmitError::NotDeviceBacked(id));
+        };
+        let out = f(device);
         // The mutation may also have changed the resident precision
         // (e.g. a redeploy helper) — refresh the batching key component.
-        entry.precision = entry.device.precision();
+        entry.precision = device.precision();
+        entry.key = ModelKey::unique(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
         Ok(out)
     }
 
     /// Read-only access to a session's device.
     ///
     /// # Errors
-    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    /// [`SubmitError::UnknownSession`] when the id is not registered;
+    /// [`SubmitError::NotDeviceBacked`] for a base+delta session.
     pub fn with_session<R>(
         &self,
         id: SessionId,
@@ -367,8 +483,127 @@ impl Fleet {
     ) -> Result<R, SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
         let sessions = lock_unpoisoned(&shard.sessions);
-        let entry = sessions.get(&id.0).ok_or(SubmitError::UnknownSession(id))?;
-        Ok(f(&entry.device))
+        let entry = sessions.get(id.0).ok_or(SubmitError::UnknownSession(id))?;
+        match &entry.model {
+            SessionModel::Device(device) => Ok(f(device)),
+            _ => Err(SubmitError::NotDeviceBacked(id)),
+        }
+    }
+
+    /// Calibrate a base+delta session with this user's recordings of one
+    /// activity: featurize and embed the windows through the *shared*
+    /// base, store their mean embedding as the user's prototype for
+    /// `label` (plus the feature rows as private support exemplars), and
+    /// rebuild the serving overlay.
+    ///
+    /// Unlike [`Self::update_session`], this does **not** re-key the
+    /// session: the backbone is untouched, so the session stays
+    /// batchable with every peer of the same base — personalization
+    /// without forking.
+    ///
+    /// # Errors
+    /// Store errors for unknown/device sessions; [`StoreError::Storage`]
+    /// on featurization/embedding failure or an empty `windows`.
+    pub fn calibrate_session(
+        &self,
+        id: SessionId,
+        label: &str,
+        windows: &[Vec<Vec<f32>>],
+    ) -> Result<(), StoreError> {
+        if windows.is_empty() {
+            return Err(StoreError::Storage("no calibration windows".into()));
+        }
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        let ds = sessions.delta_mut(id.0)?;
+        let dim = ds.base.pipeline.output_dim();
+        let mut rows = Vec::with_capacity(windows.len());
+        for window in windows {
+            let mut row = vec![0.0f32; dim];
+            ds.base
+                .pipeline
+                .process_checked_into(window, &mut row)
+                .map_err(|e| StoreError::Storage(e.to_string()))?;
+            rows.push(row);
+        }
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        embedder
+            .embed_rows(&ds.base.model, &rows, &mut embeddings)
+            .map_err(|e| StoreError::Storage(e.to_string()))?;
+        let mut proto = vec![0.0f32; embeddings.cols()];
+        for r in 0..embeddings.rows() {
+            for (p, v) in proto.iter_mut().zip(embeddings.row(r)) {
+                *p += v;
+            }
+        }
+        let n = embeddings.rows() as f32;
+        for p in &mut proto {
+            *p /= n;
+        }
+        ds.delta.set_prototype(label, proto);
+        ds.delta.set_support(label, rows);
+        ds.rebuild_overlay()?;
+        sessions.touch(id.0);
+        Ok(())
+    }
+
+    /// Set a base+delta session's per-user open-set rejection threshold.
+    ///
+    /// # Errors
+    /// Store errors for unknown/device sessions.
+    pub fn set_session_threshold(&self, id: SessionId, threshold: f32) -> Result<(), StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        let ds = sessions.delta_mut(id.0)?;
+        ds.delta.set_threshold(threshold);
+        sessions.touch(id.0);
+        Ok(())
+    }
+
+    /// A snapshot of a base+delta session's current [`PersonalDelta`]
+    /// (rehydrating it first if paged).
+    ///
+    /// # Errors
+    /// Store errors for unknown/device sessions.
+    pub fn session_delta(&self, id: SessionId) -> Result<PersonalDelta, StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        Ok(sessions.delta_mut(id.0)?.delta.clone())
+    }
+
+    /// Force a base+delta session out of the hot tier immediately (the
+    /// eviction the LRU would eventually perform). Returns `true` when
+    /// the session was hot and is now paged. Primarily a test/ops hook —
+    /// normal paging is driven by `hot_delta_capacity`.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownSession`] when the id is not registered.
+    pub fn page_out(&self, id: SessionId) -> Result<bool, StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let spool = self.spool();
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        if sessions.get(id.0).is_none() {
+            return Err(StoreError::UnknownSession(id));
+        }
+        Ok(sessions.page_out(id.0, spool.as_deref()))
+    }
+
+    /// Number of shared bases currently registered.
+    pub fn num_bases(&self) -> usize {
+        lock_unpoisoned(&self.inner.bases).len()
+    }
+
+    /// Total resident bytes of all shared bases — paid once each,
+    /// however many sessions share them.
+    pub fn bases_resident_bytes(&self) -> usize {
+        lock_unpoisoned(&self.inner.bases)
+            .values()
+            .map(|b| b.bytes())
+            .sum()
     }
 
     /// The model key a session currently serves under.
@@ -379,7 +614,7 @@ impl Fleet {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
         let sessions = lock_unpoisoned(&shard.sessions);
         sessions
-            .get(&id.0)
+            .get(id.0)
             .map(|e| e.key)
             .ok_or(SubmitError::UnknownSession(id))
     }
@@ -395,7 +630,7 @@ impl Fleet {
     pub fn arm_panics(&self, id: SessionId, count: u32) -> Result<(), SubmitError> {
         let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
         let sessions = lock_unpoisoned(&shard.sessions);
-        let entry = sessions.get(&id.0).ok_or(SubmitError::UnknownSession(id))?;
+        let entry = sessions.get(id.0).ok_or(SubmitError::UnknownSession(id))?;
         entry.armed_panics.fetch_add(count, Ordering::Relaxed);
         Ok(())
     }
@@ -410,7 +645,7 @@ impl Fleet {
         let strikes = {
             let sessions = lock_unpoisoned(&shard.sessions);
             sessions
-                .get(&id.0)
+                .get(id.0)
                 .map(|e| e.strikes)
                 .ok_or(SubmitError::UnknownSession(id))?
         };
@@ -466,9 +701,12 @@ impl Fleet {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let sessions = lock_unpoisoned(&s.sessions).len();
+                let (sessions, tier) = {
+                    let store = lock_unpoisoned(&s.sessions);
+                    (store.len(), store.tier_snapshot())
+                };
                 let pending = lock_unpoisoned(&s.queue).pending.len();
-                s.counters.snapshot(i, sessions, pending)
+                s.counters.snapshot(i, sessions, pending, tier)
             })
             .collect()
     }
@@ -589,14 +827,14 @@ fn worker_loop(inner: &Inner, w: usize) {
 /// the strike lands on the right session — while an isolated single
 /// -window call (`consume_armed == true`) consumes one armed charge.
 fn run_windows(
-    sessions: &HashMap<u64, SessionEntry>,
+    sessions: &SessionStore,
     popped: &[Request],
     indices: &[usize],
     embedder: &mut BatchEmbedder,
     consume_armed: bool,
 ) -> Result<Vec<magneto_core::Prediction>, magneto_core::CoreError> {
     for &i in indices {
-        if let Some(entry) = sessions.get(&popped[i].session) {
+        if let Some(entry) = sessions.get(popped[i].session) {
             // Single drainer per shard: load/store needs no CAS.
             let armed = entry.armed_panics.load(Ordering::Relaxed);
             if armed > 0 {
@@ -607,15 +845,18 @@ fn run_windows(
             }
         }
     }
+    // Grouped sessions were rehydrated by the drainer before grouping,
+    // so every view is present (a paged session here would be a drainer
+    // bug; the expect unwinds into the group's catch).
     let jobs: Vec<BatchJob<'_>> = indices
         .iter()
         .map(|&i| {
             let req = &popped[i];
             let view = sessions
-                .get(&req.session)
+                .get(req.session)
                 .expect("grouped session present")
-                .device
-                .inference_view();
+                .view()
+                .expect("grouped session is hot");
             BatchJob {
                 pipeline: view.pipeline,
                 ncm: view.ncm,
@@ -624,23 +865,23 @@ fn run_windows(
         })
         .collect();
     let model = sessions
-        .get(&popped[indices[0]].session)
+        .get(popped[indices[0]].session)
         .expect("grouped session present")
-        .device
-        .inference_view()
+        .view()
+        .expect("grouped session is hot")
         .model;
     infer_batch(model, &jobs, embedder)
 }
 
 /// Scatter one prediction (or serving error) back to its session.
 fn reply_to(
-    sessions: &mut HashMap<u64, SessionEntry>,
+    sessions: &mut SessionStore,
     req: &Request,
     outcome: Result<magneto_core::Prediction, String>,
 ) {
-    if let Some(entry) = sessions.get_mut(&req.session) {
+    if let Some(entry) = sessions.get_mut(req.session) {
         if let Ok(pred) = &outcome {
-            entry.device.note_latency(pred.latency);
+            entry.note_latency(pred.latency);
         }
         let _receiver_gone = entry.tx.send(FleetReply {
             session: SessionId(req.session),
@@ -679,13 +920,33 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
 
     {
         let mut sessions = lock_unpoisoned(&shard.sessions);
+        // Rehydrate any paged session with popped windows before
+        // grouping — the tiered store's page-in point. Failures (storage
+        // unreadable, delta undecodable) turn into error replies below.
+        let mut rehydrate_failed: HashMap<u64, String> = HashMap::new();
+        for req in &popped {
+            if rehydrate_failed.contains_key(&req.session) {
+                continue;
+            }
+            match sessions.ensure_hot(req.session) {
+                // Unknown = deregistered after enqueue: dropped below.
+                Ok(_) | Err(StoreError::UnknownSession(_)) => {}
+                Err(e) => {
+                    rehydrate_failed.insert(req.session, e.to_string());
+                }
+            }
+        }
         // Group request indices by (model key, precision), preserving pop
         // order within each group (pop order preserves per-session
         // submission order). Precision is part of the key: identical
         // weights at different precisions are different backbones.
         let mut groups: BTreeMap<(ModelKey, Precision), Vec<usize>> = BTreeMap::new();
         for (i, req) in popped.iter().enumerate() {
-            if let Some(entry) = sessions.get(&req.session) {
+            if let Some(msg) = rehydrate_failed.get(&req.session) {
+                reply_to(&mut sessions, req, Err(msg.clone()));
+                continue;
+            }
+            if let Some(entry) = sessions.get(req.session) {
                 groups.entry((entry.key, entry.precision)).or_default().push(i);
             }
             // A session deregistered after enqueue: its windows are
@@ -762,13 +1023,19 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
         // threshold. (`quarantine_strikes == 0` disables the breaker.)
         let threshold = inner.config.quarantine_strikes;
         for s in struck {
-            if let Some(entry) = sessions.get_mut(&s) {
+            if let Some(entry) = sessions.get_mut(s) {
                 entry.strikes += 1;
                 if threshold > 0 && entry.strikes >= threshold {
                     tripped.push((s, entry.strikes));
                 }
             }
         }
+
+        // Served delta sessions were touched by ensure_hot above; now
+        // that the cycle is over, page out whatever the LRU says is
+        // coldest if the shard is over its hot capacity.
+        let spool = lock_unpoisoned(&inner.spool_dir).clone();
+        sessions.enforce_capacity(inner.config.hot_delta_capacity, spool.as_deref());
     }
 
     // Reconcile in-flight accounting for everything popped this cycle

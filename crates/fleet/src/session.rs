@@ -38,15 +38,16 @@ impl ModelKey {
         ModelKey(version & !UNIQUE_BIT)
     }
 
-    /// Derive a shared key from the bundle a session was deployed from
-    /// (FNV-1a over the full-precision serialized bundle).
+    /// Derive a shared key from the bundle a session was deployed from:
+    /// FNV-1a over the full-precision wire bytes, streamed section by
+    /// section through a digest writer — no full serialized copy of the
+    /// bundle is ever allocated just to be hashed.
     pub fn of_bundle(bundle: &EdgeBundle) -> Self {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in bundle.to_bytes(false) {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        ModelKey(hash & !UNIQUE_BIT)
+        let mut digest = FnvWriter::new();
+        bundle
+            .write_wire(false, &mut digest)
+            .expect("digest sink never fails");
+        ModelKey(digest.finish() & !UNIQUE_BIT)
     }
 
     /// A fleet-issued never-shared key (counter from the runtime).
@@ -58,6 +59,34 @@ impl ModelKey {
     /// personalisation, i.e. is guaranteed unique to one session.
     pub fn is_unique(&self) -> bool {
         self.0 & UNIQUE_BIT != 0
+    }
+}
+
+/// An FNV-1a digest behind `io::Write`, so byte producers that stream
+/// (like [`EdgeBundle::write_wire`]) can be hashed chunk by chunk.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::io::Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for &b in buf {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -107,6 +136,13 @@ pub enum SubmitError {
     },
     /// No such session is registered.
     UnknownSession(SessionId),
+    /// The session exists but is not backed by a full resident
+    /// [`EdgeDevice`](magneto_core::EdgeDevice) — it is a base+delta
+    /// session in the tiered store, which device-oriented APIs
+    /// ([`crate::Fleet::deregister`], [`crate::Fleet::update_session`],
+    /// [`crate::Fleet::with_session`]) cannot operate on. Use the
+    /// delta-session APIs instead.
+    NotDeviceBacked(SessionId),
     /// The fleet is shutting down.
     ShuttingDown,
 }
@@ -152,6 +188,9 @@ impl fmt::Display for SubmitError {
                 "session quarantined after {strikes} serving panics, retry in {retry_after:?}"
             ),
             SubmitError::UnknownSession(id) => write!(f, "unknown {id}"),
+            SubmitError::NotDeviceBacked(id) => {
+                write!(f, "{id} is a base+delta session, not device-backed")
+            }
             SubmitError::ShuttingDown => write!(f, "fleet is shutting down"),
         }
     }

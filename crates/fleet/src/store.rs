@@ -1,0 +1,491 @@
+//! Tiered session store: shared immutable bases + per-user deltas.
+//!
+//! A million registered users do not need a million resident models.
+//! What differs per user is a compact [`PersonalDelta`] (calibrated
+//! prototypes, private support rows, last-layer adjustments); everything
+//! else — pipeline, backbone weights, base support set, base NCM — is
+//! identical across every session deployed from the same bundle at the
+//! same precision. The store therefore splits session state into two
+//! tiers:
+//!
+//! * **[`SharedBase`]** — one refcounted (`Arc`) immutable copy per
+//!   `(ModelKey, Precision)`, registered once via
+//!   [`crate::Fleet::register_base`] and shared by every delta session
+//!   deployed from it. Because a delta only overlays the *classifier*
+//!   (prototypes), never the backbone, delta sessions keep the shared
+//!   [`ModelKey`](crate::ModelKey) and stay batchable with their
+//!   base-model peers.
+//! * **Per-session state** — [`SessionModel`]: either a legacy
+//!   device-backed session (full resident [`EdgeDevice`]), a *hot* delta
+//!   session (delta + pre-applied NCM overlay, ready to serve), or a
+//!   *paged* delta session (delta serialized out to the crash-safe
+//!   framed-storage path, only an `Arc` to the base and a path/bytes
+//!   handle resident).
+//!
+//! Hot deltas live in an LRU (touch-clock + `BTreeMap`); when a shard
+//! exceeds its configured hot capacity, the coldest deltas page out.
+//! Rehydration on the next submit is exact: delta bytes round-trip
+//! bit-identically (see `magneto_core::delta`) and the overlay is
+//! rebuilt by re-applying the delta to the same immutable base, so a
+//! paged-out → rehydrated session serves bit-identical predictions.
+//! Device-backed sessions never page (int8 re-quantization is lossy and
+//! their state is not delta-representable); they pin hot.
+
+use crate::session::{FleetReply, ModelKey, SessionId};
+use magneto_core::incremental::ModelState;
+use magneto_core::storage::{load_framed, save_framed};
+use magneto_core::{
+    CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, NcmClassifier, PersonalDelta,
+    Precision, QuantizedSupportSet, ResidentSupport,
+};
+use magneto_dsp::PreprocessingPipeline;
+use magneto_tensor::vector::DistanceMetric;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::AtomicU32;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from the tiered-store APIs ([`crate::Fleet::register_base`],
+/// [`crate::Fleet::register_from_base`],
+/// [`crate::Fleet::calibrate_session`], paging).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No such session is registered.
+    UnknownSession(SessionId),
+    /// The session exists but is device-backed, not a base+delta
+    /// session; delta APIs cannot operate on it.
+    NotDelta(SessionId),
+    /// No base is registered under this `(key, precision)`.
+    UnknownBase(ModelKey, Precision),
+    /// Serving/serialization/storage failure, with the underlying error
+    /// rendered.
+    Storage(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownSession(id) => write!(f, "unknown {id}"),
+            StoreError::NotDelta(id) => {
+                write!(f, "{id} is device-backed, not a base+delta session")
+            }
+            StoreError::UnknownBase(key, precision) => {
+                write!(f, "no shared base registered for {key:?} at {precision:?}")
+            }
+            StoreError::Storage(msg) => write!(f, "session store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Storage(e.to_string())
+    }
+}
+
+/// One immutable, refcounted base model: everything identical across all
+/// sessions deployed from one bundle at one precision. Assembled exactly
+/// like [`EdgeDevice::deploy`] assembles its resident state, so a delta
+/// session with an empty delta serves bit-identically to a device-backed
+/// session from the same bundle.
+pub struct SharedBase {
+    pub(crate) pipeline: PreprocessingPipeline,
+    pub(crate) model: magneto_core::ResidentModel,
+    pub(crate) support: ResidentSupport,
+    pub(crate) registry: LabelRegistry,
+    pub(crate) ncm: NcmClassifier,
+}
+
+impl SharedBase {
+    /// Assemble a shared base from a bundle at `precision`, mirroring
+    /// the [`EdgeDevice::deploy`] conversion path.
+    ///
+    /// # Errors
+    /// Propagates bundle validation / precision conversion / assembly
+    /// errors.
+    pub fn from_bundle(
+        bundle: &EdgeBundle,
+        precision: Precision,
+        metric: DistanceMetric,
+    ) -> magneto_core::Result<Self> {
+        bundle.validate()?;
+        let model = bundle.model.clone().into_precision(precision)?;
+        let support: ResidentSupport = match precision {
+            Precision::F32 => bundle.support_set.clone().into(),
+            Precision::Int8 => QuantizedSupportSet::quantize(&bundle.support_set).into(),
+        };
+        let state = ModelState::assemble(model, support, bundle.registry.clone(), metric)?;
+        Ok(SharedBase {
+            pipeline: bundle.pipeline.clone(),
+            model: state.model,
+            support: state.support_set,
+            registry: state.registry,
+            ncm: state.ncm,
+        })
+    }
+
+    /// Resident bytes of this base (model parameters + support set +
+    /// prototypes) — paid **once** per `(key, precision)`, however many
+    /// sessions share it.
+    pub fn bytes(&self) -> usize {
+        self.model.resident_bytes()
+            + self.support.bytes()
+            + self.ncm.num_classes() * self.ncm.dim() * 4
+    }
+
+    /// Class labels the base recognises.
+    pub fn classes(&self) -> Vec<String> {
+        self.registry.labels().to_vec()
+    }
+}
+
+/// A hot (resident, serveable) base+delta session.
+pub(crate) struct DeltaSession {
+    /// The shared immutable base — an `Arc` clone, not a copy.
+    pub(crate) base: Arc<SharedBase>,
+    /// This user's compact personalization.
+    pub(crate) delta: PersonalDelta,
+    /// The base NCM with the delta applied, rebuilt (never edited in
+    /// place) whenever the delta changes. `None` while the delta is
+    /// empty: serve straight off the base's NCM.
+    pub(crate) overlay: Option<NcmClassifier>,
+    /// LRU touch stamp (0 = not yet in the LRU).
+    touch: u64,
+}
+
+impl DeltaSession {
+    pub(crate) fn fresh(base: Arc<SharedBase>) -> Self {
+        DeltaSession {
+            base,
+            delta: PersonalDelta::new(),
+            overlay: None,
+            touch: 0,
+        }
+    }
+
+    /// Rebuild the overlay from the base + current delta. Always clones
+    /// from the immutable base, so the overlay is a pure deterministic
+    /// function of `(base, delta)` — the property that makes a page-out
+    /// → rehydrate cycle bit-exact.
+    pub(crate) fn rebuild_overlay(&mut self) -> Result<(), StoreError> {
+        if self.delta.is_empty() {
+            self.overlay = None;
+        } else {
+            let mut ncm = self.base.ncm.clone();
+            self.delta.apply(&mut ncm)?;
+            self.overlay = Some(ncm);
+        }
+        Ok(())
+    }
+}
+
+/// Where a paged-out delta's bytes live.
+pub(crate) enum ColdStore {
+    /// In-memory spill (no spool directory configured, or disk write
+    /// failed): still evicted from the hot tier, bytes kept verbatim.
+    Memory(Vec<u8>),
+    /// On disk via the crash-safe framed-storage path
+    /// (`magneto_core::storage::save_framed`).
+    Disk(std::path::PathBuf),
+}
+
+/// A paged-out delta session: only the base `Arc` and a cold handle
+/// remain resident. Not serveable until rehydrated.
+pub(crate) struct PagedDelta {
+    pub(crate) base: Arc<SharedBase>,
+    pub(crate) store: ColdStore,
+}
+
+/// The tiered per-session model state. The device arm is boxed: it is
+/// kilobytes where a delta session is pointers, and tiering exists
+/// precisely because the two differ by orders of magnitude.
+pub(crate) enum SessionModel {
+    /// Legacy fully-resident device (own backbone copy; never pages).
+    Device(Box<EdgeDevice>),
+    /// Hot base+delta session.
+    Delta(DeltaSession),
+    /// Cold base+delta session (delta paged out).
+    Paged(PagedDelta),
+}
+
+/// One registered session: tiered model state plus serving bookkeeping.
+pub(crate) struct SessionEntry {
+    pub(crate) model: SessionModel,
+    pub(crate) key: ModelKey,
+    pub(crate) precision: Precision,
+    pub(crate) tx: Sender<FleetReply>,
+    pub(crate) strikes: u32,
+    pub(crate) armed_panics: AtomicU32,
+}
+
+impl SessionEntry {
+    /// Borrowed serving view, if the session is hot. Paged sessions
+    /// return `None` — the drainer rehydrates before grouping, so a
+    /// `None` here during serving is a logic error upstream.
+    pub(crate) fn view(&self) -> Option<InferenceView<'_>> {
+        match &self.model {
+            SessionModel::Device(device) => Some(device.inference_view()),
+            SessionModel::Delta(ds) => Some(InferenceView {
+                pipeline: &ds.base.pipeline,
+                model: &ds.base.model,
+                ncm: ds.overlay.as_ref().unwrap_or(&ds.base.ncm),
+            }),
+            SessionModel::Paged(_) => None,
+        }
+    }
+
+    pub(crate) fn is_device(&self) -> bool {
+        matches!(self.model, SessionModel::Device(_))
+    }
+
+    /// Record a served latency (device-backed sessions keep their own
+    /// recorder; delta sessions are covered by shard counters).
+    pub(crate) fn note_latency(&mut self, latency: Duration) {
+        if let SessionModel::Device(device) = &mut self.model {
+            device.note_latency(latency);
+        }
+    }
+
+    /// Bytes this session holds resident *beyond* its shared base.
+    fn resident_bytes(&self) -> usize {
+        match &self.model {
+            SessionModel::Device(device) => device.resident_bytes(),
+            SessionModel::Delta(ds) => {
+                let overlay = ds
+                    .overlay
+                    .as_ref()
+                    .map_or(0, |n| n.num_classes() * n.dim() * 4);
+                ds.delta.resident_bytes() + overlay
+            }
+            SessionModel::Paged(pd) => match &pd.store {
+                ColdStore::Memory(bytes) => bytes.len(),
+                ColdStore::Disk(_) => 0,
+            },
+        }
+    }
+}
+
+/// Point-in-time tier accounting for one shard, folded into
+/// [`crate::ShardStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TierSnapshot {
+    /// Per-session resident bytes across the shard (excludes shared
+    /// bases, which are fleet-global and counted once).
+    pub resident_bytes: usize,
+    /// Sessions currently serveable without rehydration (devices + hot
+    /// deltas).
+    pub hot_sessions: usize,
+    /// Delta sessions currently paged out.
+    pub paged_sessions: usize,
+    /// Lifetime count of page-ins (cold session touched by a submit).
+    pub rehydrations: u64,
+}
+
+/// One shard's session map with LRU tiering over its delta sessions.
+///
+/// All methods assume the caller holds the shard's session lock — this
+/// type adds no synchronisation of its own (mirrors the plain `HashMap`
+/// it replaced).
+pub(crate) struct SessionStore {
+    entries: HashMap<u64, SessionEntry>,
+    /// touch-stamp → session id, oldest first. Only hot delta sessions
+    /// appear here; devices pin hot, paged sessions left the tier.
+    lru: BTreeMap<u64, u64>,
+    clock: u64,
+    hot_deltas: usize,
+    paged: usize,
+    rehydrations: u64,
+}
+
+impl SessionStore {
+    pub(crate) fn new() -> Self {
+        SessionStore {
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            hot_deltas: 0,
+            paged: 0,
+            rehydrations: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&SessionEntry> {
+        self.entries.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut SessionEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Mutable access to a **hot** delta session (call
+    /// [`ensure_hot`](Self::ensure_hot) first).
+    pub(crate) fn delta_mut(&mut self, id: u64) -> Result<&mut DeltaSession, StoreError> {
+        match self.entries.get_mut(&id) {
+            None => Err(StoreError::UnknownSession(SessionId(id))),
+            Some(entry) => match &mut entry.model {
+                SessionModel::Delta(ds) => Ok(ds),
+                SessionModel::Device(_) => Err(StoreError::NotDelta(SessionId(id))),
+                SessionModel::Paged(_) => Err(StoreError::Storage(format!(
+                    "{} touched while paged (ensure_hot not called)",
+                    SessionId(id)
+                ))),
+            },
+        }
+    }
+
+    pub(crate) fn insert(&mut self, id: u64, entry: SessionEntry) {
+        match &entry.model {
+            SessionModel::Delta(_) => self.hot_deltas += 1,
+            SessionModel::Paged(_) => self.paged += 1,
+            SessionModel::Device(_) => {}
+        }
+        let is_delta = matches!(entry.model, SessionModel::Delta(_));
+        self.entries.insert(id, entry);
+        if is_delta {
+            self.touch(id);
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: u64) -> Option<SessionEntry> {
+        let entry = self.entries.remove(&id)?;
+        match &entry.model {
+            SessionModel::Delta(ds) => {
+                if ds.touch != 0 {
+                    self.lru.remove(&ds.touch);
+                }
+                self.hot_deltas -= 1;
+            }
+            SessionModel::Paged(pd) => {
+                self.paged -= 1;
+                if let ColdStore::Disk(path) = &pd.store {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            SessionModel::Device(_) => {}
+        }
+        Some(entry)
+    }
+
+    /// Mark a delta session most-recently-used. No-op for devices,
+    /// paged, and unknown sessions.
+    pub(crate) fn touch(&mut self, id: u64) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            if let SessionModel::Delta(ds) = &mut entry.model {
+                if ds.touch != 0 {
+                    self.lru.remove(&ds.touch);
+                }
+                self.clock += 1;
+                ds.touch = self.clock;
+                self.lru.insert(self.clock, id);
+            }
+        }
+    }
+
+    /// Rehydrate `id` if it is paged: load the delta bytes (memory or
+    /// crash-safe disk frame), decode, and rebuild the overlay against
+    /// the same immutable base. Returns `true` if a rehydration
+    /// happened. Hot and device sessions are touched and left alone.
+    pub(crate) fn ensure_hot(&mut self, id: u64) -> Result<bool, StoreError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::UnknownSession(SessionId(id)))?;
+        let SessionModel::Paged(pd) = &entry.model else {
+            self.touch(id);
+            return Ok(false);
+        };
+        let bytes = match &pd.store {
+            ColdStore::Memory(bytes) => bytes.clone(),
+            ColdStore::Disk(path) => load_framed(path)?,
+        };
+        let delta = PersonalDelta::from_bytes(&bytes)?;
+        let mut ds = DeltaSession {
+            base: Arc::clone(&pd.base),
+            delta,
+            overlay: None,
+            touch: 0,
+        };
+        ds.rebuild_overlay()?;
+        if let ColdStore::Disk(path) = &pd.store {
+            let _ = std::fs::remove_file(path);
+        }
+        entry.model = SessionModel::Delta(ds);
+        self.paged -= 1;
+        self.hot_deltas += 1;
+        self.rehydrations += 1;
+        self.touch(id);
+        Ok(true)
+    }
+
+    /// Page a hot delta session out: serialize the delta, spill it to
+    /// the spool directory via the crash-safe framed path (falling back
+    /// to an in-memory spill if no spool is set or the write fails), and
+    /// drop the overlay. Returns `true` if the session was a hot delta
+    /// and is now paged.
+    pub(crate) fn page_out(&mut self, id: u64, spool: Option<&Path>) -> bool {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return false;
+        };
+        let SessionModel::Delta(ds) = &entry.model else {
+            return false;
+        };
+        let bytes = ds.delta.to_bytes();
+        let base = Arc::clone(&ds.base);
+        let touch = ds.touch;
+        let store = match spool {
+            Some(dir) => {
+                let path = dir.join(format!("session-{id}.delta"));
+                match save_framed(&bytes, &path) {
+                    Ok(()) => ColdStore::Disk(path),
+                    Err(_) => ColdStore::Memory(bytes),
+                }
+            }
+            None => ColdStore::Memory(bytes),
+        };
+        entry.model = SessionModel::Paged(PagedDelta { base, store });
+        if touch != 0 {
+            self.lru.remove(&touch);
+        }
+        self.hot_deltas -= 1;
+        self.paged += 1;
+        true
+    }
+
+    /// Evict least-recently-used delta sessions until at most
+    /// `capacity` remain hot. `capacity == 0` disables tiering (all
+    /// deltas stay resident).
+    pub(crate) fn enforce_capacity(&mut self, capacity: usize, spool: Option<&Path>) {
+        if capacity == 0 {
+            return;
+        }
+        while self.hot_deltas > capacity {
+            let Some((_, &id)) = self.lru.iter().next() else {
+                break;
+            };
+            if !self.page_out(id, spool) {
+                // An LRU entry must be a hot delta; bail rather than spin
+                // if the invariant is ever broken.
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn tier_snapshot(&self) -> TierSnapshot {
+        let resident_bytes = self.entries.values().map(SessionEntry::resident_bytes).sum();
+        TierSnapshot {
+            resident_bytes,
+            hot_sessions: self.entries.len() - self.paged,
+            paged_sessions: self.paged,
+            rehydrations: self.rehydrations,
+        }
+    }
+}

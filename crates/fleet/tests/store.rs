@@ -1,0 +1,359 @@
+//! Tiered session store integration tests: delta apply/revert
+//! exactness (property-tested), base+delta serving equivalence, shared
+//! -key batching for personalized sessions, and the headline guarantee
+//! — a paged-out then rehydrated session serves *bit-identical*
+//! predictions.
+
+use magneto_core::{
+    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, NcmClassifier,
+    PersonalDelta, Precision, Prediction,
+};
+use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, StoreError, SubmitError};
+use magneto_sensors::pool::StreamPool;
+use magneto_sensors::stream::StreamConfig;
+use magneto_sensors::{ActivityKind, GeneratorConfig, SensorDataset};
+use magneto_tensor::vector::DistanceMetric;
+use proptest::prelude::*;
+use std::sync::mpsc::Receiver;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn bundle() -> &'static EdgeBundle {
+    static BUNDLE: OnceLock<EdgeBundle> = OnceLock::new();
+    BUNDLE.get_or_init(|| {
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 1);
+        CloudInitializer::new(CloudConfig::fast_demo())
+            .pretrain(&corpus)
+            .unwrap()
+            .0
+    })
+}
+
+fn windows(count: usize, seed: u64) -> Vec<Vec<Vec<f32>>> {
+    let mut pool = StreamPool::new(1, &ActivityKind::BASE_FIVE, 120, StreamConfig::ideal(), seed);
+    (0..count).map(|_| pool.next_round().remove(0)).collect()
+}
+
+fn spool_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "magneto_store_test_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn recv_ok(rx: &Receiver<FleetReply>) -> Prediction {
+    rx.recv_timeout(Duration::from_secs(30))
+        .expect("reply")
+        .outcome
+        .expect("prediction")
+}
+
+/// Bitwise prediction equality, ignoring wall-clock latency.
+fn assert_bit_identical(a: &Prediction, b: &Prediction) {
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    assert_eq!(a.distances.len(), b.distances.len());
+    for (x, y) in a.distances.iter().zip(&b.distances) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.quality, b.quality);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: streamed FNV key == reference over the full serialized copy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn streamed_model_key_matches_full_buffer_fnv() {
+    let bytes = bundle().to_bytes(false);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let reference = ModelKey::shared(hash); // masks the unique bit
+    assert_eq!(ModelKey::of_bundle(bundle()), reference);
+    assert!(!ModelKey::of_bundle(bundle()).is_unique());
+}
+
+// ---------------------------------------------------------------------
+// Property: delta apply → revert restores the classifier byte-for-byte.
+// ---------------------------------------------------------------------
+
+fn arb_ncm(dim: usize) -> impl Strategy<Value = NcmClassifier> {
+    prop::collection::vec(
+        prop::collection::vec(-1.0e3f32..1.0e3, dim),
+        1..5,
+    )
+    .prop_map(move |protos| {
+        let named = protos
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("base_{i}"), p))
+            .collect();
+        NcmClassifier::new(DistanceMetric::Euclidean, named).unwrap()
+    })
+}
+
+fn arb_delta(dim: usize) -> impl Strategy<Value = PersonalDelta> {
+    // Labels overlap base labels (replacements) and add fresh ones;
+    // duplicate draws collapse in the delta's ordered map.
+    let labels: Vec<String> = (0..5)
+        .map(|i| format!("base_{i}"))
+        .chain((0..3).map(|i| format!("user_{i}")))
+        .collect();
+    prop::collection::vec(
+        (
+            prop::sample::select(labels),
+            prop::collection::vec(-1.0e3f32..1.0e3, dim),
+        ),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut d = PersonalDelta::new();
+        for (label, proto) in entries {
+            d.set_prototype(&label, proto);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apply_revert_is_byte_identical(ncm in arb_ncm(6), delta in arb_delta(6)) {
+        let mut live = ncm.clone();
+        let before = serde_json::to_vec(&live).unwrap();
+        let undo = delta.apply(&mut live).unwrap();
+        undo.revert(&mut live);
+        prop_assert_eq!(serde_json::to_vec(&live).unwrap(), before);
+    }
+
+    #[test]
+    fn delta_bytes_roundtrip_rebuilds_identical_overlay(
+        ncm in arb_ncm(6),
+        delta in arb_delta(6),
+    ) {
+        // The rehydration path: delta → bytes → delta → apply must equal
+        // a direct apply on the same base.
+        let back = PersonalDelta::from_bytes(&delta.to_bytes()).unwrap();
+        let mut direct = ncm.clone();
+        let mut via_bytes = ncm.clone();
+        delta.apply(&mut direct).unwrap();
+        back.apply(&mut via_bytes).unwrap();
+        prop_assert_eq!(
+            serde_json::to_vec(&direct).unwrap(),
+            serde_json::to_vec(&via_bytes).unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving equivalence and shared-key batching.
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_delta_session_serves_like_a_device() {
+    let mut fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let device = EdgeDevice::deploy(bundle().clone(), EdgeConfig::default()).unwrap();
+    let (dev_id, dev_rx) = fleet.register(device, key);
+    let (delta_id, delta_rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+
+    // Same shared key — the scheduler batches them into one forward.
+    assert_eq!(fleet.session_key(dev_id).unwrap(), key);
+    assert_eq!(fleet.session_key(delta_id).unwrap(), key);
+
+    for window in windows(4, 11) {
+        fleet.submit(dev_id, window.clone()).unwrap();
+        fleet.submit(delta_id, window).unwrap();
+        fleet.pump();
+        let a = recv_ok(&dev_rx);
+        let b = recv_ok(&delta_rx);
+        assert_bit_identical(&a, &b);
+    }
+    let stats = fleet.shard_stats();
+    assert!(
+        stats.iter().any(|s| s.max_batch >= 2),
+        "device + delta session sharing a key never batched together"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn calibration_keeps_the_shared_key_and_stays_batchable() {
+    let mut fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let (a, a_rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+    let (b, b_rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+
+    // Personalize session `a` only.
+    fleet
+        .calibrate_session(a, "user_move", &windows(3, 21))
+        .unwrap();
+    fleet.set_session_threshold(a, 0.75).unwrap();
+
+    // Unlike update_session, personalization does NOT fork the key.
+    assert_eq!(fleet.session_key(a).unwrap(), key);
+    assert!(!fleet.session_key(a).unwrap().is_unique());
+    let delta = fleet.session_delta(a).unwrap();
+    assert!(delta.prototype("user_move").is_some());
+    assert_eq!(delta.threshold(), Some(0.75));
+
+    // Both sessions still serve — and still batch together.
+    let w = windows(1, 33).remove(0);
+    fleet.submit(a, w.clone()).unwrap();
+    fleet.submit(b, w.clone()).unwrap();
+    fleet.pump();
+    let pa = recv_ok(&a_rx);
+    let pb = recv_ok(&b_rx);
+    // The personalized session sees one more class than the base peer.
+    assert_eq!(pa.distances.len(), pb.distances.len() + 1);
+    assert!(fleet.shard_stats().iter().any(|s| s.max_batch >= 2));
+    fleet.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Tier lifecycle: evict → rehydrate is bit-identical, stats track it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn paged_out_session_rehydrates_bit_identically() {
+    let spool = spool_dir("rehydrate");
+    let mut fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    fleet.set_spool_dir(&spool).unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let (id, rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+    fleet
+        .calibrate_session(id, "user_move", &windows(3, 5))
+        .unwrap();
+
+    let probes = windows(3, 77);
+    let before: Vec<Prediction> = probes
+        .iter()
+        .map(|w| {
+            fleet.submit(id, w.clone()).unwrap();
+            fleet.pump();
+            recv_ok(&rx)
+        })
+        .collect();
+
+    // Evict: the delta leaves RAM for a crash-safe framed spool file.
+    assert!(fleet.page_out(id).unwrap());
+    let stats = fleet.shard_stats();
+    assert_eq!(stats.iter().map(|s| s.paged_sessions).sum::<usize>(), 1);
+    assert!(
+        std::fs::read_dir(&spool).unwrap().count() > 0,
+        "no spool file written"
+    );
+
+    // Submitting to the cold session rehydrates it on the drain path.
+    let after: Vec<Prediction> = probes
+        .iter()
+        .map(|w| {
+            fleet.submit(id, w.clone()).unwrap();
+            fleet.pump();
+            recv_ok(&rx)
+        })
+        .collect();
+    for (a, b) in before.iter().zip(&after) {
+        assert_bit_identical(a, b);
+    }
+    let stats = fleet.shard_stats();
+    assert_eq!(stats.iter().map(|s| s.paged_sessions).sum::<usize>(), 0);
+    assert!(stats.iter().map(|s| s.rehydrations).sum::<u64>() >= 1);
+
+    // The rehydrated delta equals the pre-eviction one exactly.
+    let delta = fleet.deregister_delta(id).unwrap();
+    assert!(delta.prototype("user_move").is_some());
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn lru_capacity_evicts_coldest_and_resident_bytes_shrink() {
+    let spool = spool_dir("lru");
+    let config = FleetConfig {
+        hot_delta_capacity: 2,
+        ..FleetConfig::deterministic()
+    };
+    let mut fleet = Fleet::new(config).unwrap();
+    fleet.set_spool_dir(&spool).unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let ids: Vec<SessionId> = (0..5)
+        .map(|_| fleet.register_from_base(key, Precision::F32).unwrap().0)
+        .collect();
+
+    let stats = fleet.shard_stats();
+    assert_eq!(stats.iter().map(|s| s.hot_sessions).sum::<usize>(), 2);
+    assert_eq!(stats.iter().map(|s| s.paged_sessions).sum::<usize>(), 3);
+
+    // Touching a paged session pages it back in (and pushes another out).
+    let w = windows(1, 9).remove(0);
+    fleet.submit(ids[0], w).unwrap();
+    fleet.pump();
+    let stats = fleet.shard_stats();
+    assert!(stats.iter().map(|s| s.rehydrations).sum::<u64>() >= 1);
+    assert_eq!(stats.iter().map(|s| s.hot_sessions).sum::<usize>(), 2);
+    assert_eq!(stats.iter().map(|s| s.paged_sessions).sum::<usize>(), 3);
+
+    // Tiered deltas are orders of magnitude below one resident device.
+    let per_session: usize = stats.iter().map(|s| s.resident_bytes).sum();
+    let naive = EdgeDevice::deploy(bundle().clone(), EdgeConfig::default())
+        .unwrap()
+        .resident_bytes();
+    assert!(
+        per_session < naive,
+        "5 tiered sessions ({per_session} B) should undercut ONE device ({naive} B)"
+    );
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+// ---------------------------------------------------------------------
+// API boundaries between device-backed and base+delta sessions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn device_and_delta_apis_reject_the_wrong_session_kind() {
+    let fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let (delta_id, _delta_rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+    let device = EdgeDevice::deploy(bundle().clone(), EdgeConfig::default()).unwrap();
+    let (dev_id, _dev_rx) = fleet.register(device, key);
+
+    // Device APIs on a delta session.
+    assert_eq!(
+        fleet.with_session(delta_id, |d| d.classes()).unwrap_err(),
+        SubmitError::NotDeviceBacked(delta_id)
+    );
+    assert_eq!(
+        fleet.update_session(delta_id, |_| ()).unwrap_err(),
+        SubmitError::NotDeviceBacked(delta_id)
+    );
+    assert_eq!(
+        fleet.deregister(delta_id).unwrap_err(),
+        SubmitError::NotDeviceBacked(delta_id)
+    );
+
+    // Delta APIs on a device session.
+    assert_eq!(
+        fleet.deregister_delta(dev_id).unwrap_err(),
+        StoreError::NotDelta(dev_id)
+    );
+    assert!(fleet.session_delta(dev_id).is_err());
+    // Devices never page.
+    assert!(!fleet.page_out(dev_id).unwrap());
+
+    // Unknown base is reported as such.
+    let missing = fleet.register_from_base(ModelKey::shared(424_242), Precision::F32);
+    assert!(matches!(missing, Err(StoreError::UnknownBase(_, _))));
+
+    // Both still deregister cleanly through their own APIs.
+    fleet.deregister_delta(delta_id).unwrap();
+    fleet.deregister(dev_id).unwrap().classes();
+    fleet.shutdown();
+}
