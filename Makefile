@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke chaos clean
+.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale bench-ncm fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke chaos clean
 
-check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke
+check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke
 
 build:
 	$(CARGO) build --release
@@ -82,6 +82,17 @@ quant-smoke: build
 
 # Alias mirroring bench-train for the quantised path.
 bench-quant: quant-smoke
+
+# Release-mode NCM index scaling run: dense exact scan vs the two-stage
+# quantized search over {8,32,64} classes × {16,64,256} exemplars/class.
+# Gates ≥99% prediction agreement at every point, ≥3× speedup at 64×256
+# (≥2× scalar-only hosts), and bit-identical decisions across coarse
+# backends; emits BENCH_ncm_scale.json in the working directory.
+ncm-scale-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin ncm_scale_smoke
+
+# Alias mirroring bench-train for the NCM index sweep.
+bench-ncm: ncm-scale-smoke
 
 # Release-mode fault-tolerance smoke run: gates accuracy under 5%/20%
 # frame drop, byte-exact transactional rollback, crash-safe journaled

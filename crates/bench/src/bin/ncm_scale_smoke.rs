@@ -1,0 +1,271 @@
+//! NCM index scaling smoke test (wired into `make check`): sweeps the
+//! classifier over classes × exemplars-per-class, measuring the dense
+//! exact scan against the two-stage quantized index at the default
+//! search knobs, and emits machine-readable `BENCH_ncm_scale.json`.
+//! Gates on three properties:
+//!
+//! 1. **Agreement** — at every sweep point the indexed search must
+//!    predict the same label as the dense scan on ≥ 99% of probes.
+//! 2. **Speedup** — at the largest point (64 classes × 256 exemplars)
+//!    the indexed search must be ≥ 3× faster than the dense scan
+//!    (≥ 2× on a scalar-only host — the coarse stage's int8 kernels are
+//!    where SIMD pays).
+//! 3. **Backend bit-identity** — decisions under every available coarse
+//!    backend must be bit-identical to the scalar coarse path: the
+//!    i8×i8→i32 kernels accumulate exactly, so dispatch is purely a
+//!    speed choice.
+
+use magneto_core::{NcmClassifier, NcmDecision, NcmScratch};
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::{Backend, KernelPlan, Matrix, SeededRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const CLASSES: &[usize] = &[8, 32, 64];
+const EXEMPLARS: &[usize] = &[16, 64, 256];
+const DIM: usize = 64;
+const PROBES: usize = 256;
+/// Timing repetitions per path; the minimum over reps is the robust
+/// statistic (immune to scheduler noise where a mean is not).
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    classes: usize,
+    exemplars_per_class: usize,
+    total_rows: usize,
+    dense_us_per_query: f64,
+    indexed_us_per_query: f64,
+    speedup: f64,
+    agreement: f64,
+    index_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct NcmScaleReport {
+    bench: String,
+    plan: String,
+    coarse_backend: String,
+    dim: usize,
+    probes: usize,
+    top_k: usize,
+    coarse_min_rows: usize,
+    points: Vec<SweepPoint>,
+    gate_speedup_at_max: f64,
+    gate_threshold: f64,
+    backend_sweep: Vec<String>,
+    backend_bit_identical: bool,
+}
+
+fn random_vec(rng: &mut SeededRng, dim: usize, span: f32) -> Vec<f32> {
+    (0..dim).map(|_| rng.uniform(-span, span)).collect()
+}
+
+/// Clustered classifier: `classes` prototypes spread over ±4, each with
+/// `exemplars` support rows within ±0.5 of its prototype.
+fn build(classes: usize, exemplars: usize, seed: u64) -> NcmClassifier {
+    let mut rng = SeededRng::new(seed);
+    let protos: Vec<(String, Vec<f32>)> = (0..classes)
+        .map(|c| (format!("class_{c}"), random_vec(&mut rng, DIM, 4.0)))
+        .collect();
+    let mut ncm = NcmClassifier::new(DistanceMetric::Euclidean, protos.clone()).expect("build ncm");
+    for (label, proto) in &protos {
+        let mut rows = Matrix::zeros(exemplars, DIM);
+        for r in 0..exemplars {
+            for (d, out) in rows.row_mut(r).iter_mut().enumerate() {
+                *out = proto[d] + rng.uniform(-0.5, 0.5);
+            }
+        }
+        ncm.set_class_exemplars(label, &rows).expect("exemplars");
+    }
+    ncm
+}
+
+/// Probes drawn near random class clusters — the serving distribution,
+/// where the two-stage search has to be right, not just fast.
+fn probes(ncm: &NcmClassifier, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    let labels = ncm.labels().to_vec();
+    (0..PROBES)
+        .map(|_| {
+            let c = (rng.next_u32() as usize) % labels.len();
+            let mut p = ncm.prototype(&labels[c]).expect("prototype").to_vec();
+            for v in &mut p {
+                *v += rng.uniform(-1.0, 1.0);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Classify every probe through `f`, `REPS` times; returns best-of-reps
+/// µs/query and the winning labels from the last rep.
+fn run_path(
+    probes: &[Vec<f32>],
+    scratch: &mut NcmScratch,
+    mut f: impl FnMut(&[f32], &mut NcmScratch, &mut NcmDecision),
+) -> (f64, Vec<String>) {
+    let mut out = NcmDecision::default();
+    let mut best = f64::INFINITY;
+    let mut labels = Vec::new();
+    for _ in 0..REPS {
+        labels.clear();
+        let t0 = Instant::now();
+        for p in probes {
+            f(p, scratch, &mut out);
+            labels.push(out.label.clone());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / probes.len() as f64);
+    }
+    (best, labels)
+}
+
+fn main() {
+    let plan = KernelPlan::host_default();
+    let mut scratch = NcmScratch::new();
+    println!("ncm_scale_smoke: host isa {}", Backend::isa_summary());
+    println!(
+        "ncm_scale_smoke: coarse backend {}, plan [{}]",
+        scratch.backend(),
+        plan.describe()
+    );
+
+    let (top_k, coarse_min_rows) = {
+        let probe_ncm = build(2, 0, 1);
+        let (cmr, tk) = probe_ncm.search_params();
+        (tk, cmr)
+    };
+
+    let mut points = Vec::new();
+    let mut max_point_speedup = 0.0f64;
+    for &classes in CLASSES {
+        for &exemplars in EXEMPLARS {
+            let seed = (classes * 1000 + exemplars) as u64;
+            let ncm = build(classes, exemplars, seed);
+            let qs = probes(&ncm, seed ^ 0xBEEF);
+            assert!(
+                ncm.num_rows() >= coarse_min_rows,
+                "sweep point {classes}x{exemplars} too small to engage the index"
+            );
+            let (dense_us, dense_labels) = run_path(&qs, &mut scratch, |p, s, out| {
+                ncm.classify_dense_into(p, s, out).expect("dense classify")
+            });
+            let (indexed_us, indexed_labels) = run_path(&qs, &mut scratch, |p, s, out| {
+                ncm.classify_into(p, s, out).expect("indexed classify")
+            });
+            let agree = dense_labels
+                .iter()
+                .zip(&indexed_labels)
+                .filter(|(a, b)| a == b)
+                .count();
+            let agreement = agree as f64 / qs.len() as f64;
+            let speedup = dense_us / indexed_us;
+            println!(
+                "ncm_scale_smoke: {classes:>2} classes x {exemplars:>3} exemplars ({:>5} rows): \
+                 dense {dense_us:8.2} µs, indexed {indexed_us:7.2} µs, {speedup:5.2}x, \
+                 agreement {agree}/{}",
+                ncm.num_rows(),
+                qs.len()
+            );
+            assert!(
+                agreement >= 0.99,
+                "{classes}x{exemplars}: agreement {agreement:.4} below the 0.99 gate"
+            );
+            if classes == 64 && exemplars == 256 {
+                max_point_speedup = speedup;
+            }
+            points.push(SweepPoint {
+                classes,
+                exemplars_per_class: exemplars,
+                total_rows: ncm.num_rows(),
+                dense_us_per_query: dense_us,
+                indexed_us_per_query: indexed_us,
+                speedup,
+                agreement,
+                index_bytes: ncm.resident_bytes(),
+            });
+        }
+    }
+
+    // Host-aware speedup gate at the largest sweep point: the coarse
+    // stage is where the int8 SIMD kernels earn the headline number, so
+    // a scalar-only host gets a relaxed bar.
+    let gate_threshold = if Backend::detect_simd().is_some() {
+        3.0
+    } else {
+        2.0
+    };
+    println!(
+        "ncm_scale_smoke: speedup at 64x256 {max_point_speedup:.2}x (gate ≥ {gate_threshold:.1}x)"
+    );
+    assert!(
+        max_point_speedup >= gate_threshold,
+        "indexed search at 64x256 regressed: {max_point_speedup:.2}x < {gate_threshold:.1}x"
+    );
+
+    // ---- forced-backend bit-identity sweep -----------------------------
+    // The coarse kernels accumulate in exact integer arithmetic, so the
+    // full decision — label, confidence, every distance — must be
+    // bit-identical whichever backend scans. Skips non-scalar arms
+    // gracefully on hosts without SIMD.
+    let mut backends = vec![Backend::Scalar];
+    if let Some(simd) = Backend::detect_simd() {
+        backends.push(simd);
+    }
+    let ncm = build(32, 64, 0xA11CE);
+    let qs = probes(&ncm, 0x50DA);
+    let mut reference: Option<Vec<NcmDecision>> = None;
+    for &backend in &backends {
+        let mut s = NcmScratch::with_backend(backend);
+        let mut out = NcmDecision::default();
+        let decisions: Vec<NcmDecision> = qs
+            .iter()
+            .map(|p| {
+                ncm.classify_into(p, &mut s, &mut out).expect("classify");
+                out.clone()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(decisions),
+            Some(r) => {
+                for (i, (a, b)) in r.iter().zip(&decisions).enumerate() {
+                    assert_eq!(a.label, b.label, "{backend}: probe {i} label");
+                    assert_eq!(
+                        a.confidence.to_bits(),
+                        b.confidence.to_bits(),
+                        "{backend}: probe {i} confidence"
+                    );
+                    for (x, y) in a.distances.iter().zip(&b.distances) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{backend}: probe {i} distance");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "ncm_scale_smoke: decisions bit-identical across backends {:?}",
+        backends.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    let report = NcmScaleReport {
+        bench: "ncm_index_scaling".into(),
+        plan: plan.describe(),
+        coarse_backend: scratch.backend().to_string(),
+        dim: DIM,
+        probes: PROBES,
+        top_k,
+        coarse_min_rows,
+        points,
+        gate_speedup_at_max: max_point_speedup,
+        gate_threshold,
+        backend_sweep: backends.iter().map(ToString::to_string).collect(),
+        backend_bit_identical: true,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_ncm_scale.json", json).expect("write report");
+    println!("ncm_scale_smoke: wrote BENCH_ncm_scale.json");
+    println!(
+        "ncm_scale_smoke OK: agreement ≥ 99% at all {} points, {max_point_speedup:.2}x at 64x256",
+        CLASSES.len() * EXEMPLARS.len()
+    );
+}

@@ -102,6 +102,12 @@ impl PersonalDelta {
         self.support.get(label).map(Vec::as_slice)
     }
 
+    /// Labels with support exemplars, in deterministic order (the
+    /// overlay builder walks these to index each class's exemplars).
+    pub fn support_labels(&self) -> impl Iterator<Item = &str> {
+        self.support.keys().map(String::as_str)
+    }
+
     /// Set the per-user contrastive-margin adjustment.
     pub fn set_margin(&mut self, margin: f32) {
         self.margin = Some(margin);

@@ -204,6 +204,18 @@ impl EdgeDevice {
         self.state.rejection_threshold(percentile, margin)
     }
 
+    /// Index the device's support exemplars on the classifier's
+    /// quantized row index so every inference scores classes by their
+    /// nearest exemplar, not just the class mean (see
+    /// [`ModelState::attach_support_exemplars`]). Returns the number of
+    /// exemplar rows indexed.
+    ///
+    /// # Errors
+    /// Propagates embedding failures.
+    pub fn attach_support_exemplars(&mut self) -> Result<usize> {
+        self.state.attach_support_exemplars()
+    }
+
     /// Push one live sensor frame into the streaming session. Returns a
     /// smoothed prediction whenever a window completes.
     ///

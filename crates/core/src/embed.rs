@@ -9,16 +9,22 @@
 //! repeated batches reuse the same allocations.
 
 use crate::error::CoreError;
+use crate::ncm::{NcmDecision, NcmScratch};
 use crate::precision::ResidentModel;
 use crate::Result;
 use magneto_tensor::{Matrix, Workspace};
 
 /// Reusable batched-embedding state: a staging matrix for stacked
 /// feature rows plus the scratch pool the forward kernels draw from.
+/// Classification scratch rides along so the batch serve path
+/// ([`crate::inference::infer_batch`]) reuses one set of NCM buffers
+/// across every job of every batch.
 #[derive(Debug, Default)]
 pub struct BatchEmbedder {
     ws: Workspace,
     features: Matrix,
+    ncm_scratch: NcmScratch,
+    decision: NcmDecision,
 }
 
 impl BatchEmbedder {
@@ -93,6 +99,12 @@ impl BatchEmbedder {
     pub fn embed_staged(&mut self, model: &ResidentModel, out: &mut Matrix) -> Result<()> {
         model.embed_into(&self.features, out, &mut self.ws)?;
         Ok(())
+    }
+
+    /// Disjoint borrows of the classification scratch and the reusable
+    /// decision (the `classify_into` argument pair).
+    pub(crate) fn classify_parts(&mut self) -> (&mut NcmScratch, &mut NcmDecision) {
+        (&mut self.ncm_scratch, &mut self.decision)
     }
 }
 

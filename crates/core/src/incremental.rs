@@ -310,6 +310,34 @@ impl ModelState {
         Ok(())
     }
 
+    /// Index every support exemplar on the classifier's quantized row
+    /// index (DESIGN.md §16): each class's support features are embedded
+    /// through the resident model — int8 devices stay in the int8
+    /// embedding space — and attached as int8 exemplar rows, so
+    /// classification scores each class by its *nearest* exemplar or
+    /// prototype instead of the class mean alone. Returns the number of
+    /// exemplar rows indexed. Call again after any support-set or
+    /// backbone mutation (exemplars are replaced wholesale per class).
+    ///
+    /// # Errors
+    /// Propagates embedding failures.
+    pub fn attach_support_exemplars(&mut self) -> Result<usize> {
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        let mut attached = 0;
+        for label in self.support_set.classes() {
+            if self.ncm.prototype(&label).is_none() {
+                continue;
+            }
+            self.support_set
+                .class_features_into(&label, embedder.staging())?;
+            embedder.embed_staged(&self.model, &mut embeddings)?;
+            self.ncm.set_class_exemplars(&label, &embeddings)?;
+            attached += embeddings.rows();
+        }
+        Ok(attached)
+    }
+
     /// Calibrate an open-set rejection threshold: the given percentile of
     /// within-class distances (each support exemplar's embedding to its
     /// own class prototype), scaled by `margin`. Embeddings farther than

@@ -215,22 +215,26 @@ pub fn infer_batch(
     }
     let mut embeddings = Matrix::default();
     embedder.embed_staged(model, &mut embeddings)?;
-    let mut decisions = Vec::with_capacity(jobs.len());
-    for (r, job) in jobs.iter().enumerate() {
-        decisions.push(job.ncm.classify(embeddings.row(r))?);
+    // Classify through the embedder's resident scratch (§9 `_into`
+    // convention): the quantised-query/coarse-score/softmax buffers are
+    // reused across every job of every batch this embedder serves.
+    let (scratch, decision) = embedder.classify_parts();
+    let mut predictions = Vec::with_capacity(jobs.len());
+    for ((r, job), quality) in jobs.iter().enumerate().zip(qualities) {
+        job.ncm.classify_into(embeddings.row(r), scratch, decision)?;
+        predictions.push(Prediction {
+            label: decision.label.clone(),
+            confidence: decision.confidence,
+            distances: decision.distances.clone(),
+            latency: Duration::ZERO,
+            quality,
+        });
     }
     let per_window = start.elapsed() / jobs.len() as u32;
-    Ok(decisions
-        .into_iter()
-        .zip(qualities)
-        .map(|(d, quality)| Prediction {
-            label: d.label,
-            confidence: d.confidence,
-            distances: d.distances,
-            latency: per_window,
-            quality,
-        })
-        .collect())
+    for p in &mut predictions {
+        p.latency = per_window;
+    }
+    Ok(predictions)
 }
 
 /// Batched inference over a backlog of windows: every window is

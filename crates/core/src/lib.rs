@@ -46,6 +46,7 @@ pub mod inference;
 pub mod label;
 pub mod metrics;
 pub mod ncm;
+pub(crate) mod ncm_index;
 pub mod precision;
 pub mod privacy;
 pub mod sharing;
@@ -67,7 +68,7 @@ pub use inference::{infer_batch, BatchJob, InferenceView, LatencyStats, Predicti
 pub use magneto_dsp::{GuardConfig, SignalQuality};
 pub use label::LabelRegistry;
 pub use metrics::ConfusionMatrix;
-pub use ncm::NcmClassifier;
+pub use ncm::{NcmClassifier, NcmDecision, NcmScratch};
 pub use precision::{Precision, QuantizedSupportSet, ResidentModel, ResidentSupport};
 pub use privacy::PrivacyLedger;
 pub use sharing::ClassPack;

@@ -1,0 +1,284 @@
+//! Quantized row index behind [`crate::ncm::NcmClassifier`] (DESIGN.md
+//! §16).
+//!
+//! The index owns one int8 row per class *representative* — the class
+//! prototype plus any number of support exemplars — in a single
+//! [`QuantRowStore`] pool, and the bookkeeping that maps rows to
+//! classes both ways:
+//!
+//! * `owner[pos]` / `is_exemplar[pos]` — which class a row belongs to
+//!   and which kind it is;
+//! * `proto_row[c]` / `exemplars[c]` — where a class's rows live.
+//!
+//! Rows are removed by swap-remove (the pool stays dense), with the
+//! moved row's back-pointer patched in O(exemplars-of-one-class). All
+//! mutations are incremental: an upsert or class removal never re-reads
+//! or re-quantises unrelated rows, so incremental learning on a large
+//! classifier stays O(class) instead of O(index).
+//!
+//! The coarse scans delegate to [`QuantRowStore`]'s backend-dispatched
+//! i8×i8→i32 kernels; everything here is exact bookkeeping.
+
+use crate::error::CoreError;
+use crate::Result;
+use magneto_tensor::qdist::QuantRowStore;
+use magneto_tensor::Backend;
+
+/// Position-addressed pool of quantized class representatives.
+#[derive(Debug, Clone)]
+pub(crate) struct NcmIndex {
+    rows: QuantRowStore,
+    /// Row position → class index.
+    owner: Vec<u32>,
+    /// Row position → exemplar (true) or prototype (false).
+    is_exemplar: Vec<bool>,
+    /// Class index → row position of its prototype.
+    proto_row: Vec<u32>,
+    /// Class index → row positions of its exemplars, in insertion order.
+    exemplars: Vec<Vec<u32>>,
+}
+
+impl NcmIndex {
+    /// An empty index of `dim`-wide rows.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] for `dim == 0` or a dim beyond the
+    /// int8 accumulator-safe bound.
+    pub(crate) fn new(dim: usize) -> Result<Self> {
+        let rows = QuantRowStore::new(dim)
+            .map_err(|e| CoreError::InvalidConfig(format!("ncm index: {e}")))?;
+        Ok(NcmIndex {
+            rows,
+            owner: Vec::new(),
+            is_exemplar: Vec::new(),
+            proto_row: Vec::new(),
+            exemplars: Vec::new(),
+        })
+    }
+
+    /// Total rows (prototypes + exemplars).
+    pub(crate) fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Resident bytes of the quantized pool plus bookkeeping.
+    pub(crate) fn bytes(&self) -> usize {
+        self.rows.bytes()
+            + 4 * self.owner.len()
+            + self.is_exemplar.len()
+            + 4 * self.proto_row.len()
+            + self.exemplars.iter().map(|e| 4 * e.len()).sum::<usize>()
+    }
+
+    /// Append a new class with its prototype; returns the class index
+    /// (always `num_classes` before the call — classes are appended).
+    pub(crate) fn push_class(&mut self, proto: &[f32]) -> usize {
+        let c = self.proto_row.len();
+        let pos = self.rows.push(proto);
+        self.owner.push(c as u32);
+        self.is_exemplar.push(false);
+        self.proto_row.push(pos as u32);
+        self.exemplars.push(Vec::new());
+        c
+    }
+
+    /// Re-quantise class `c`'s prototype row in place.
+    pub(crate) fn replace_proto(&mut self, c: usize, proto: &[f32]) {
+        self.rows.replace(self.proto_row[c] as usize, proto);
+    }
+
+    /// Row position of class `c`'s prototype.
+    pub(crate) fn proto_pos(&self, c: usize) -> usize {
+        self.proto_row[c] as usize
+    }
+
+    /// Row positions of class `c`'s exemplars, in insertion order.
+    pub(crate) fn exemplar_positions(&self, c: usize) -> &[u32] {
+        &self.exemplars[c]
+    }
+
+    /// Number of exemplar rows held for class `c`.
+    pub(crate) fn exemplar_count(&self, c: usize) -> usize {
+        self.exemplars[c].len()
+    }
+
+    /// Quantise and append one exemplar row for class `c`.
+    pub(crate) fn push_exemplar(&mut self, c: usize, row: &[f32]) {
+        let pos = self.rows.push(row);
+        self.owner.push(c as u32);
+        self.is_exemplar.push(true);
+        self.exemplars[c].push(pos as u32);
+    }
+
+    /// Append one already-quantised exemplar row for class `c` (bundle
+    /// decode path — no f32 rehydration).
+    pub(crate) fn push_exemplar_quantized(&mut self, c: usize, q: &[i8], scale: f32) {
+        let pos = self.rows.push_quantized(q, scale);
+        self.owner.push(c as u32);
+        self.is_exemplar.push(true);
+        self.exemplars[c].push(pos as u32);
+    }
+
+    /// Drop every exemplar row of class `c` (its prototype stays).
+    pub(crate) fn clear_exemplars(&mut self, c: usize) {
+        let mut doomed = std::mem::take(&mut self.exemplars[c]);
+        // Descending removal order: the row swapped into a vacated slot
+        // (the old last row) can never itself be pending — every pending
+        // position is strictly below the one being removed.
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        for pos in doomed {
+            self.remove_row(pos as usize);
+        }
+    }
+
+    /// Remove class `c` entirely: all its rows, then its bookkeeping,
+    /// shifting the class indices above it down by one (mirroring
+    /// `Vec::remove` on the caller's label list).
+    pub(crate) fn remove_class(&mut self, c: usize) {
+        self.clear_exemplars(c);
+        self.remove_row(self.proto_row[c] as usize);
+        self.proto_row.remove(c);
+        self.exemplars.remove(c);
+        for o in &mut self.owner {
+            debug_assert_ne!(*o as usize, c);
+            if *o as usize > c {
+                *o -= 1;
+            }
+        }
+    }
+
+    /// Swap-remove the row at `pos` and patch the moved row's
+    /// back-pointer.
+    fn remove_row(&mut self, pos: usize) {
+        let last = self.rows.len() - 1;
+        self.rows.swap_remove(pos);
+        self.owner.swap_remove(pos);
+        self.is_exemplar.swap_remove(pos);
+        if pos != last {
+            // The row formerly at `last` now lives at `pos`.
+            let c = self.owner[pos] as usize;
+            if self.is_exemplar[pos] {
+                let e = self.exemplars[c]
+                    .iter_mut()
+                    .find(|e| **e == last as u32)
+                    .expect("moved exemplar row has a position entry");
+                *e = pos as u32;
+            } else {
+                self.proto_row[c] = pos as u32;
+            }
+        }
+    }
+
+    /// Dequantise the row at `pos` into `out` (exact-stage rescoring and
+    /// the dense fallback for exemplar rows).
+    pub(crate) fn dequantize_into(&self, pos: usize, out: &mut [f32]) {
+        self.rows.dequantize_into(pos, out);
+    }
+
+    /// The quantised contents and scale of the row at `pos`
+    /// (serialisation).
+    pub(crate) fn row_quantized(&self, pos: usize) -> (&[i8], f32) {
+        (self.rows.row_q(pos), self.rows.scale(pos))
+    }
+
+    /// Coarse squared-L2 from a quantised query to every row.
+    pub(crate) fn coarse_sq_l2(
+        &self,
+        backend: Backend,
+        q: &[i8],
+        q_scale: f32,
+        q_sqnorm: i32,
+        out: &mut Vec<f32>,
+    ) {
+        self.rows.coarse_sq_l2(backend, q, q_scale, q_sqnorm, out);
+    }
+
+    /// Coarse cosine distance from a quantised query to every row.
+    pub(crate) fn coarse_cosine(
+        &self,
+        backend: Backend,
+        q: &[i8],
+        q_scale: f32,
+        q_sqnorm: i32,
+        out: &mut Vec<f32>,
+    ) {
+        self.rows.coarse_cosine(backend, q, q_scale, q_sqnorm, out);
+    }
+
+    /// Internal-consistency check used by tests: every back-pointer must
+    /// round-trip through `owner`/`is_exemplar`.
+    #[cfg(test)]
+    pub(crate) fn check_consistent(&self) {
+        assert_eq!(self.owner.len(), self.rows.len());
+        assert_eq!(self.is_exemplar.len(), self.rows.len());
+        assert_eq!(self.proto_row.len(), self.exemplars.len());
+        let mut seen = vec![false; self.rows.len()];
+        for (c, &p) in self.proto_row.iter().enumerate() {
+            let p = p as usize;
+            assert!(!seen[p], "row {p} referenced twice");
+            seen[p] = true;
+            assert_eq!(self.owner[p] as usize, c);
+            assert!(!self.is_exemplar[p]);
+        }
+        for (c, ex) in self.exemplars.iter().enumerate() {
+            for &p in ex {
+                let p = p as usize;
+                assert!(!seen[p], "row {p} referenced twice");
+                seen[p] = true;
+                assert_eq!(self.owner[p] as usize, c);
+                assert!(self.is_exemplar[p]);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "orphan row in pool");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_lifecycle_keeps_index_consistent() {
+        let mut idx = NcmIndex::new(3).unwrap();
+        for c in 0..4 {
+            let v = vec![c as f32, 0.0, 1.0];
+            assert_eq!(idx.push_class(&v), c);
+        }
+        idx.push_exemplar(1, &[1.0, 2.0, 3.0]);
+        idx.push_exemplar(1, &[4.0, 5.0, 6.0]);
+        idx.push_exemplar(3, &[7.0, 8.0, 9.0]);
+        idx.check_consistent();
+        assert_eq!(idx.num_rows(), 7);
+        assert_eq!(idx.exemplar_count(1), 2);
+
+        // Removing a middle class compacts the pool and shifts owners.
+        idx.remove_class(1);
+        idx.check_consistent();
+        assert_eq!(idx.num_rows(), 4);
+        assert_eq!(idx.exemplar_count(2), 1); // old class 3
+
+        idx.clear_exemplars(2);
+        idx.check_consistent();
+        assert_eq!(idx.num_rows(), 3);
+
+        idx.remove_class(0);
+        idx.remove_class(0);
+        idx.check_consistent();
+        assert_eq!(idx.num_rows(), 1);
+    }
+
+    #[test]
+    fn replace_proto_requantizes() {
+        let mut idx = NcmIndex::new(2).unwrap();
+        idx.push_class(&[1.0, 1.0]);
+        idx.replace_proto(0, &[-3.0, 4.0]);
+        let mut out = vec![0.0f32; 2];
+        idx.dequantize_into(idx.proto_pos(0), &mut out);
+        assert!((out[0] + 3.0).abs() < 0.05 && (out[1] - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn invalid_dim_rejected() {
+        assert!(NcmIndex::new(0).is_err());
+    }
+}

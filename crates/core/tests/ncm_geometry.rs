@@ -1,0 +1,305 @@
+//! Geometry and search-equivalence properties of the NCM classifier's
+//! quantized two-stage index (DESIGN.md §16).
+//!
+//! The load-bearing invariants:
+//!
+//! * two-stage search with `top_k >= num_rows` is **bit-identical** to
+//!   the dense exact scan, across metrics, dims, and class counts;
+//! * at the default knobs, prediction agreement with the dense scan is
+//!   ≥ 0.99 over seeded clustered workloads;
+//! * incremental mutation (upsert / remove / exemplar churn) never
+//!   corrupts the index — classification after any mutation sequence
+//!   matches a freshly built classifier.
+
+use magneto_core::{NcmClassifier, NcmDecision, NcmScratch};
+use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::{Matrix, SeededRng};
+
+fn random_vec(rng: &mut SeededRng, dim: usize, span: f32) -> Vec<f32> {
+    (0..dim).map(|_| rng.uniform(-span, span)).collect()
+}
+
+/// A classifier with `classes` clustered classes of `dim` dims and
+/// `exemplars` exemplar rows each (rows near their class prototype).
+fn clustered(
+    metric: DistanceMetric,
+    classes: usize,
+    dim: usize,
+    exemplars: usize,
+    seed: u64,
+) -> NcmClassifier {
+    let mut rng = SeededRng::new(seed);
+    let protos: Vec<(String, Vec<f32>)> = (0..classes)
+        .map(|c| (format!("class_{c}"), random_vec(&mut rng, dim, 4.0)))
+        .collect();
+    let mut ncm = NcmClassifier::new(metric, protos.clone()).unwrap();
+    if exemplars > 0 {
+        for (label, proto) in &protos {
+            let mut rows = Matrix::zeros(exemplars, dim);
+            for r in 0..exemplars {
+                for (d, out) in rows.row_mut(r).iter_mut().enumerate() {
+                    *out = proto[d] + rng.uniform(-0.5, 0.5);
+                }
+            }
+            ncm.set_class_exemplars(label, &rows).unwrap();
+        }
+    }
+    ncm
+}
+
+#[test]
+fn two_stage_with_full_top_k_is_bit_identical_to_dense() {
+    // Across metrics, dims, and class/exemplar counts: force the
+    // two-stage path (coarse_min_rows = 1) with top_k >= num_rows and
+    // every distance, label, and confidence must equal the dense scan
+    // bitwise.
+    let metrics = [
+        DistanceMetric::Euclidean,
+        DistanceMetric::SquaredEuclidean,
+        DistanceMetric::Cosine,
+    ];
+    let mut scratch = NcmScratch::new();
+    let (mut two, mut dense) = (NcmDecision::default(), NcmDecision::default());
+    for (mi, metric) in metrics.into_iter().enumerate() {
+        for (classes, dim, exemplars) in
+            [(1usize, 1usize, 0usize), (2, 1, 3), (3, 7, 5), (8, 16, 4), (5, 33, 0)]
+        {
+            let mut ncm = clustered(metric, classes, dim, exemplars, 40 + mi as u64);
+            ncm.set_search_params(1, ncm.num_rows());
+            let mut rng = SeededRng::new(90 + mi as u64);
+            for probe_i in 0..40 {
+                let probe = random_vec(&mut rng, dim, 5.0);
+                ncm.classify_into(&probe, &mut scratch, &mut two).unwrap();
+                ncm.classify_dense_into(&probe, &mut scratch, &mut dense)
+                    .unwrap();
+                assert_eq!(
+                    two, dense,
+                    "{metric:?} {classes}x{dim}x{exemplars} probe {probe_i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_knobs_agree_with_dense_on_clustered_workloads() {
+    // Default coarse_min_rows/top_k, classifiers big enough that the
+    // two-stage path actually engages: ≥ 99% prediction agreement with
+    // the dense scan on probes drawn near the class clusters.
+    let mut scratch = NcmScratch::new();
+    let (mut two, mut dense) = (NcmDecision::default(), NcmDecision::default());
+    for metric in [DistanceMetric::Euclidean, DistanceMetric::Cosine] {
+        let ncm = clustered(metric, 16, 24, 8, 7);
+        assert!(ncm.num_rows() >= 64, "two-stage path must engage");
+        let labels = ncm.labels().to_vec();
+        let mut rng = SeededRng::new(11);
+        let (mut total, mut agree) = (0u32, 0u32);
+        for _ in 0..300 {
+            let c = (rng.next_u32() as usize) % labels.len();
+            let mut probe = ncm.prototype(&labels[c]).unwrap().to_vec();
+            for v in &mut probe {
+                *v += rng.uniform(-1.0, 1.0);
+            }
+            ncm.classify_into(&probe, &mut scratch, &mut two).unwrap();
+            ncm.classify_dense_into(&probe, &mut scratch, &mut dense)
+                .unwrap();
+            total += 1;
+            agree += u32::from(two.label == dense.label);
+        }
+        let rate = f64::from(agree) / f64::from(total);
+        assert!(rate >= 0.99, "{metric:?}: agreement {rate} < 0.99");
+    }
+}
+
+#[test]
+fn manhattan_always_uses_dense_scan() {
+    // Manhattan has no coarse int8 form; even a large classifier must
+    // classify exactly.
+    let ncm = clustered(DistanceMetric::Manhattan, 16, 24, 8, 3);
+    let mut ncm_forced = ncm.clone();
+    ncm_forced.set_search_params(1, 4); // would be lossy if it applied
+    let mut rng = SeededRng::new(5);
+    for _ in 0..20 {
+        let probe = random_vec(&mut rng, 24, 5.0);
+        assert_eq!(
+            ncm.classify(&probe).unwrap(),
+            ncm_forced.classify(&probe).unwrap()
+        );
+    }
+}
+
+#[test]
+fn upsert_then_remove_preserves_ordering_invariants() {
+    // Interleaved upserts and removes must keep label order, lookup, and
+    // classification consistent with a freshly built classifier.
+    let dim = 6;
+    let mut rng = SeededRng::new(21);
+    let mut ncm = clustered(DistanceMetric::Euclidean, 4, dim, 3, 21);
+    // Remove a middle class, upsert a new one, replace an old one.
+    assert!(ncm.remove("class_1"));
+    assert_eq!(ncm.labels(), &["class_0", "class_2", "class_3"]);
+    let novel = random_vec(&mut rng, dim, 4.0);
+    ncm.upsert_prototype("novel", novel.clone()).unwrap();
+    let replacement = random_vec(&mut rng, dim, 4.0);
+    ncm.upsert_prototype("class_2", replacement.clone()).unwrap();
+    assert_eq!(
+        ncm.labels(),
+        &["class_0", "class_2", "class_3", "novel"]
+    );
+    assert_eq!(ncm.prototype("class_2").unwrap(), replacement.as_slice());
+    assert_eq!(ncm.prototype("novel").unwrap(), novel.as_slice());
+    assert!(ncm.prototype("class_1").is_none());
+    // Exemplars of removed classes are gone; survivors keep theirs.
+    assert_eq!(ncm.exemplar_count("class_1"), None);
+    assert_eq!(ncm.exemplar_count("class_0"), Some(3));
+    assert_eq!(ncm.num_rows(), 4 + 3 * 3); // novel has no exemplars
+    // Classification agrees with a classifier built directly in the
+    // final state (same labels, same prototypes, no exemplars — compare
+    // on prototype-only copies to isolate the bookkeeping).
+    let mut bare = ncm.clone();
+    bare.clear_exemplars();
+    let rebuilt = NcmClassifier::new(
+        DistanceMetric::Euclidean,
+        bare.labels()
+            .iter()
+            .map(|l| (l.clone(), bare.prototype(l).unwrap().to_vec()))
+            .collect(),
+    )
+    .unwrap();
+    for _ in 0..25 {
+        let probe = random_vec(&mut rng, dim, 5.0);
+        assert_eq!(
+            bare.classify(&probe).unwrap(),
+            rebuilt.classify(&probe).unwrap()
+        );
+    }
+}
+
+#[test]
+fn duplicate_label_upsert_replaces_not_appends() {
+    let mut ncm = NcmClassifier::new(
+        DistanceMetric::Euclidean,
+        vec![("a".into(), vec![0.0, 0.0]), ("b".into(), vec![4.0, 0.0])],
+    )
+    .unwrap();
+    for i in 0..5 {
+        ncm.upsert_prototype("a", vec![i as f32, 1.0]).unwrap();
+        assert_eq!(ncm.num_classes(), 2);
+        assert_eq!(ncm.num_rows(), 2);
+        assert_eq!(ncm.prototype("a").unwrap(), &[i as f32, 1.0]);
+    }
+    // Duplicate labels at construction: first occurrence wins the
+    // lookup, mirroring the linear-scan behavior the map replaced.
+    let dup = NcmClassifier::new(
+        DistanceMetric::Euclidean,
+        vec![
+            ("x".into(), vec![1.0, 0.0]),
+            ("x".into(), vec![9.0, 9.0]),
+        ],
+    )
+    .unwrap();
+    assert_eq!(dup.prototype("x").unwrap(), &[1.0, 0.0]);
+}
+
+#[test]
+fn one_class_and_dim_one_classifiers() {
+    // 1-class: everything classifies to it with confidence 1.
+    let one = NcmClassifier::new(DistanceMetric::Euclidean, vec![("only".into(), vec![0.0; 3])])
+        .unwrap();
+    let d = one.classify(&[5.0, 5.0, 5.0]).unwrap();
+    assert_eq!(d.label, "only");
+    assert_eq!(d.confidence, 1.0);
+    assert_eq!(d.distances.len(), 1);
+
+    // dim-1 with exemplars, forced through the two-stage path.
+    let mut thin = NcmClassifier::new(
+        DistanceMetric::SquaredEuclidean,
+        vec![("lo".into(), vec![-2.0]), ("hi".into(), vec![2.0])],
+    )
+    .unwrap();
+    let mut rows = Matrix::zeros(2, 1);
+    rows.row_mut(0)[0] = -1.0;
+    rows.row_mut(1)[0] = -3.0;
+    thin.set_class_exemplars("lo", &rows).unwrap();
+    thin.set_search_params(1, thin.num_rows());
+    let mut scratch = NcmScratch::new();
+    let (mut two, mut dense) = (NcmDecision::default(), NcmDecision::default());
+    for probe in [-4.0f32, -0.9, 0.1, 3.5] {
+        thin.classify_into(&[probe], &mut scratch, &mut two).unwrap();
+        thin.classify_dense_into(&[probe], &mut scratch, &mut dense)
+            .unwrap();
+        assert_eq!(two, dense, "probe {probe}");
+    }
+    assert_eq!(thin.classify(&[-0.9]).unwrap().label, "lo");
+}
+
+#[test]
+fn exemplar_churn_stays_consistent_with_fresh_build() {
+    // Repeatedly replacing exemplar sets (the rebuild_overlay pattern)
+    // must classify identically to attaching the final set once.
+    let dim = 5;
+    let mut rng = SeededRng::new(77);
+    let protos: Vec<(String, Vec<f32>)> = (0..3)
+        .map(|c| (format!("c{c}"), random_vec(&mut rng, dim, 3.0)))
+        .collect();
+    let mut churned = NcmClassifier::new(DistanceMetric::Euclidean, protos.clone()).unwrap();
+    let mut final_rows = Vec::new();
+    for round in 0..4 {
+        final_rows.clear();
+        for (label, _) in &protos {
+            let mut rows = Matrix::zeros(2 + round, dim);
+            for r in 0..rows.rows() {
+                let row = random_vec(&mut rng, dim, 3.0);
+                rows.row_mut(r).copy_from_slice(&row);
+            }
+            churned.set_class_exemplars(label, &rows).unwrap();
+            final_rows.push(rows);
+        }
+    }
+    let mut fresh = NcmClassifier::new(DistanceMetric::Euclidean, protos.clone()).unwrap();
+    for ((label, _), rows) in protos.iter().zip(&final_rows) {
+        fresh.set_class_exemplars(label, rows).unwrap();
+    }
+    assert_eq!(churned, fresh);
+    for _ in 0..25 {
+        let probe = random_vec(&mut rng, dim, 4.0);
+        assert_eq!(
+            churned.classify(&probe).unwrap(),
+            fresh.classify(&probe).unwrap()
+        );
+    }
+}
+
+#[test]
+fn open_set_rejection_runs_through_the_index() {
+    // With exemplars attached, an embedding near a *user exemplar* (but
+    // far from the class mean) must pass open-set acceptance.
+    let mut ncm = NcmClassifier::new(
+        DistanceMetric::Euclidean,
+        vec![("a".into(), vec![0.0, 0.0]), ("b".into(), vec![20.0, 0.0])],
+    )
+    .unwrap();
+    let mut rows = Matrix::zeros(1, 2);
+    rows.row_mut(0).copy_from_slice(&[0.0, 10.0]);
+    ncm.set_class_exemplars("a", &rows).unwrap();
+    let probe = [0.3, 9.8];
+    // Near the exemplar: accepted at a tight threshold.
+    let hit = ncm.classify_open_set(&probe, 1.0).unwrap();
+    assert_eq!(hit.unwrap().label, "a");
+    // Without the exemplar the same probe is rejected.
+    ncm.clear_exemplars();
+    assert!(ncm.classify_open_set(&probe, 1.0).unwrap().is_none());
+}
+
+#[test]
+fn legacy_three_field_json_still_decodes() {
+    // Wire format produced before the index existed: exactly the three
+    // derived fields. Must decode into an exemplar-free classifier and
+    // re-encode byte-identically.
+    let legacy = r#"{"metric":"Euclidean","labels":["walk","run"],"prototypes":[[0.25,-1.5],[3.0,0.125]]}"#;
+    let ncm: NcmClassifier = serde_json::from_str(legacy).unwrap();
+    assert_eq!(ncm.num_classes(), 2);
+    assert_eq!(ncm.num_rows(), 2);
+    assert_eq!(ncm.prototype("run").unwrap(), &[3.0, 0.125]);
+    assert_eq!(serde_json::to_string(&ncm).unwrap(), legacy);
+}

@@ -250,7 +250,11 @@ impl Fleet {
             .get(&(key, precision))
             .cloned()
             .ok_or(StoreError::UnknownBase(key, precision))?;
-        Ok(self.register_entry(SessionModel::Delta(DeltaSession::fresh(base)), key, precision))
+        Ok(self.register_entry(
+            SessionModel::Delta(Box::new(DeltaSession::fresh(base))),
+            key,
+            precision,
+        ))
     }
 
     fn register_entry(
@@ -573,6 +577,22 @@ impl Fleet {
         let mut sessions = lock_unpoisoned(&shard.sessions);
         sessions.ensure_hot(id.0)?;
         Ok(sessions.delta_mut(id.0)?.delta.clone())
+    }
+
+    /// Number of int8 exemplar rows the session's serving overlay holds
+    /// on its quantized NCM index (rehydrating the session first if
+    /// paged). Zero for a session with no calibrated support rows —
+    /// it serves straight off the shared base's prototypes.
+    ///
+    /// # Errors
+    /// Store errors for unknown/device sessions.
+    pub fn session_exemplar_rows(&self, id: SessionId) -> Result<usize, StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        let ds = sessions.delta_mut(id.0)?;
+        let ncm = ds.overlay.as_ref().unwrap_or(&ds.base.ncm);
+        Ok(ncm.num_rows() - ncm.num_classes())
     }
 
     /// Force a base+delta session out of the hot tier immediately (the

@@ -35,11 +35,12 @@ use crate::session::{FleetReply, ModelKey, SessionId};
 use magneto_core::incremental::ModelState;
 use magneto_core::storage::{load_framed, save_framed};
 use magneto_core::{
-    CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, NcmClassifier, PersonalDelta,
-    Precision, QuantizedSupportSet, ResidentSupport,
+    BatchEmbedder, CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, NcmClassifier,
+    PersonalDelta, Precision, QuantizedSupportSet, ResidentSupport,
 };
 use magneto_dsp::PreprocessingPipeline;
 use magneto_tensor::vector::DistanceMetric;
+use magneto_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::Path;
@@ -133,9 +134,7 @@ impl SharedBase {
     /// prototypes) — paid **once** per `(key, precision)`, however many
     /// sessions share it.
     pub fn bytes(&self) -> usize {
-        self.model.resident_bytes()
-            + self.support.bytes()
-            + self.ncm.num_classes() * self.ncm.dim() * 4
+        self.model.resident_bytes() + self.support.bytes() + self.ncm.resident_bytes()
     }
 
     /// Class labels the base recognises.
@@ -172,14 +171,36 @@ impl DeltaSession {
     /// from the immutable base, so the overlay is a pure deterministic
     /// function of `(base, delta)` — the property that makes a page-out
     /// → rehydrate cycle bit-exact.
+    ///
+    /// The delta's private support rows (feature-space) are embedded
+    /// through the base backbone — at its resident precision, so an int8
+    /// session never rehydrates f32 weights — and indexed as int8
+    /// exemplars on the overlay's quantized NCM index: serving classifies
+    /// against the user's own recordings, not just class means.
     pub(crate) fn rebuild_overlay(&mut self) -> Result<(), StoreError> {
         if self.delta.is_empty() {
             self.overlay = None;
-        } else {
-            let mut ncm = self.base.ncm.clone();
-            self.delta.apply(&mut ncm)?;
-            self.overlay = Some(ncm);
+            return Ok(());
         }
+        let mut ncm = self.base.ncm.clone();
+        self.delta.apply(&mut ncm)?;
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        for label in self.delta.support_labels() {
+            // Support rows for a label the classifier doesn't know (no
+            // base class and no delta prototype) have nothing to attach
+            // to; they stay in the delta for future calibration.
+            if ncm.prototype(label).is_none() {
+                continue;
+            }
+            let rows = self.delta.support(label).expect("label came from support_labels");
+            if rows.is_empty() {
+                continue;
+            }
+            embedder.embed_rows(&self.base.model, rows, &mut embeddings)?;
+            ncm.set_class_exemplars(label, &embeddings)?;
+        }
+        self.overlay = Some(ncm);
         Ok(())
     }
 }
@@ -201,14 +222,16 @@ pub(crate) struct PagedDelta {
     pub(crate) store: ColdStore,
 }
 
-/// The tiered per-session model state. The device arm is boxed: it is
-/// kilobytes where a delta session is pointers, and tiering exists
-/// precisely because the two differ by orders of magnitude.
+/// The tiered per-session model state. The device and delta arms are
+/// boxed: a device is kilobytes, a delta session carries the overlay
+/// classifier's quantized row index, and a paged session is pointers —
+/// tiering exists precisely because the arms differ by orders of
+/// magnitude.
 pub(crate) enum SessionModel {
     /// Legacy fully-resident device (own backbone copy; never pages).
     Device(Box<EdgeDevice>),
     /// Hot base+delta session.
-    Delta(DeltaSession),
+    Delta(Box<DeltaSession>),
     /// Cold base+delta session (delta paged out).
     Paged(PagedDelta),
 }
@@ -256,10 +279,7 @@ impl SessionEntry {
         match &self.model {
             SessionModel::Device(device) => device.resident_bytes(),
             SessionModel::Delta(ds) => {
-                let overlay = ds
-                    .overlay
-                    .as_ref()
-                    .map_or(0, |n| n.num_classes() * n.dim() * 4);
+                let overlay = ds.overlay.as_ref().map_or(0, NcmClassifier::resident_bytes);
                 ds.delta.resident_bytes() + overlay
             }
             SessionModel::Paged(pd) => match &pd.store {
@@ -418,7 +438,7 @@ impl SessionStore {
         if let ColdStore::Disk(path) = &pd.store {
             let _ = std::fs::remove_file(path);
         }
-        entry.model = SessionModel::Delta(ds);
+        entry.model = SessionModel::Delta(Box::new(ds));
         self.paged -= 1;
         self.hot_deltas += 1;
         self.rehydrations += 1;

@@ -357,3 +357,62 @@ fn device_and_delta_apis_reject_the_wrong_session_kind() {
     fleet.deregister(dev_id).unwrap().classes();
     fleet.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Int8 exemplar index: calibrated support rows serve through the
+// session's quantized NCM index and survive a page-out/rehydrate cycle.
+// ---------------------------------------------------------------------
+
+#[test]
+fn int8_session_exemplars_survive_paging_and_serve_through_index() {
+    let spool = spool_dir("int8_exemplars");
+    let mut fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    fleet.set_spool_dir(&spool).unwrap();
+    let key = fleet.register_base(bundle(), Precision::Int8).unwrap();
+    let (id, rx) = fleet.register_from_base(key, Precision::Int8).unwrap();
+
+    // Before calibration the session serves off the shared base: no
+    // exemplar rows on the index.
+    assert_eq!(fleet.session_exemplar_rows(id).unwrap(), 0);
+
+    let calib = windows(4, 13);
+    fleet.calibrate_session(id, "user_move", &calib).unwrap();
+
+    // The overlay indexed one int8 exemplar row per calibration window,
+    // embedded through the int8 backbone (no f32 weights exist for this
+    // precision — there is nothing to rehydrate).
+    assert_eq!(fleet.session_exemplar_rows(id).unwrap(), calib.len());
+
+    let probes = windows(3, 99);
+    let before: Vec<Prediction> = probes
+        .iter()
+        .map(|w| {
+            fleet.submit(id, w.clone()).unwrap();
+            fleet.pump();
+            recv_ok(&rx)
+        })
+        .collect();
+
+    // Page out, then serve again: the rehydrated overlay rebuilds the
+    // same exemplar index and predictions stay bit-identical.
+    assert!(fleet.page_out(id).unwrap());
+    let after: Vec<Prediction> = probes
+        .iter()
+        .map(|w| {
+            fleet.submit(id, w.clone()).unwrap();
+            fleet.pump();
+            recv_ok(&rx)
+        })
+        .collect();
+    for (a, b) in before.iter().zip(&after) {
+        assert_bit_identical(a, b);
+    }
+    assert_eq!(fleet.session_exemplar_rows(id).unwrap(), calib.len());
+
+    // The exemplar accessor itself rehydrates a cold session.
+    assert!(fleet.page_out(id).unwrap());
+    assert_eq!(fleet.session_exemplar_rows(id).unwrap(), calib.len());
+
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -269,6 +269,110 @@ pub(crate) unsafe fn qtile<const TC: usize>(
     }
 }
 
+/// Sum the 8 i32 lanes of `v` (exact: integer addition is associative).
+///
+/// # Safety
+/// Requires AVX2 at runtime.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_i32(v: __m256i) -> i32 {
+    let mut lanes = [0i32; VL];
+    // SAFETY: `lanes` is exactly one 256-bit vector wide.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
+    lanes.iter().sum()
+}
+
+/// i8 elements consumed per vector step of the qdot kernels.
+const QSTEP: usize = 16;
+
+/// Load 16 int8 values at `p` widened to 16 lanes of i16.
+///
+/// # Safety
+/// Requires AVX2 at runtime; `p` must be valid for a 16-byte read.
+#[target_feature(enable = "avx2")]
+unsafe fn load16_i8_as_i16(p: *const i8) -> __m256i {
+    // SAFETY: caller guarantees 16 readable bytes at `p`.
+    let bytes = unsafe { _mm_loadu_si128(p.cast()) };
+    _mm256_cvtepi8_epi16(bytes)
+}
+
+/// AVX2 instance of [`super::scalar::qdot`]: widen both rows to i16 and
+/// multiply-accumulate pairs with `madd_epi16` (products of two i8
+/// values fit i16×i16→i32 exactly; a pair sum is ≤ 2·127², far from
+/// overflow), 16 elements per step with a scalar tail. Unlike the
+/// broadcast int8 GEMM kernels — where `mullo_epi32` lost to
+/// auto-vectorised scalar on the autotune host — this row-vs-row shape
+/// maps directly onto the i16 MAC unit. Bit-identical to scalar (exact
+/// integer accumulation).
+///
+/// # Safety
+/// Requires AVX2 at runtime. `b.len()` must be ≥ `a.len()`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn qdot(a: &[i8], b: &[i8]) -> i32 {
+    let k = a.len();
+    debug_assert!(b.len() >= k);
+    let chunks = k / QSTEP;
+    let mut acc = _mm256_setzero_si256();
+    for c in 0..chunks {
+        // SAFETY: `c * QSTEP + QSTEP <= k`, in bounds of both operands.
+        unsafe {
+            let av = load16_i8_as_i16(a.as_ptr().add(c * QSTEP));
+            let bv = load16_i8_as_i16(b.as_ptr().add(c * QSTEP));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+        }
+    }
+    // SAFETY: AVX2 is enabled for this function.
+    let mut s = unsafe { hsum_i32(acc) };
+    for t in chunks * QSTEP..k {
+        s += i32::from(a[t]) * i32::from(b[t]);
+    }
+    s
+}
+
+/// AVX2 instance of [`super::scalar::qdot4`]: four rows against one
+/// query, the query chunk loaded once per step and reused across the
+/// four row MACs. Bit-identical to scalar (exact integer accumulation).
+///
+/// # Safety
+/// Requires AVX2 at runtime. All four row slices must be at least
+/// `q.len()` long.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn qdot4(q: &[i8], r0: &[i8], r1: &[i8], r2: &[i8], r3: &[i8]) -> [i32; 4] {
+    let k = q.len();
+    debug_assert!(r0.len() >= k && r1.len() >= k && r2.len() >= k && r3.len() >= k);
+    let chunks = k / QSTEP;
+    let mut acc = [_mm256_setzero_si256(); 4];
+    for c in 0..chunks {
+        let at = c * QSTEP;
+        // SAFETY: `at + QSTEP <= k`, in bounds of the query and (by the
+        // length contract) of every row.
+        unsafe {
+            let qv = load16_i8_as_i16(q.as_ptr().add(at));
+            let rv = [
+                load16_i8_as_i16(r0.as_ptr().add(at)),
+                load16_i8_as_i16(r1.as_ptr().add(at)),
+                load16_i8_as_i16(r2.as_ptr().add(at)),
+                load16_i8_as_i16(r3.as_ptr().add(at)),
+            ];
+            for (a, &r) in acc.iter_mut().zip(rv.iter()) {
+                *a = _mm256_add_epi32(*a, _mm256_madd_epi16(qv, r));
+            }
+        }
+    }
+    let mut out = [0i32; 4];
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        // SAFETY: AVX2 is enabled for this function.
+        *o = unsafe { hsum_i32(a) };
+    }
+    for t in chunks * QSTEP..k {
+        let qv = i32::from(q[t]);
+        out[0] += qv * i32::from(r0[t]);
+        out[1] += qv * i32::from(r1[t]);
+        out[2] += qv * i32::from(r2[t]);
+        out[3] += qv * i32::from(r3[t]);
+    }
+    out
+}
+
 /// AVX2 instance of [`super::scalar::qrow`]: one int8 row over a
 /// `jw`-wide strip, vectorised in 8-output chunks with a scalar tail
 /// for ragged strip widths. Bit-identical to scalar (exact integers).

@@ -227,6 +227,51 @@ pub(crate) fn qrow_dispatch<const TC: usize>(
     }
 }
 
+/// Dispatch of the packed-row i8×i8→i32 dot product. Bit-identical
+/// across backends (exact integer accumulation).
+#[inline]
+pub(crate) fn qdot_dispatch(backend: Backend, a: &[i8], b: &[i8]) -> i32 {
+    match backend {
+        Backend::Scalar => scalar::qdot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            debug_check_available(backend);
+            // SAFETY: sanitized plans guarantee AVX2 at runtime.
+            unsafe { avx2::qdot(a, b) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::qdot(a, b),
+        #[allow(unreachable_patterns)]
+        _ => scalar::qdot(a, b),
+    }
+}
+
+/// Dispatch of the 4-rows-vs-one-query i8 dot-product tile.
+/// Bit-identical across backends (exact integer accumulation).
+#[inline]
+pub(crate) fn qdot4_dispatch(
+    backend: Backend,
+    q: &[i8],
+    r0: &[i8],
+    r1: &[i8],
+    r2: &[i8],
+    r3: &[i8],
+) -> [i32; 4] {
+    match backend {
+        Backend::Scalar => scalar::qdot4(q, r0, r1, r2, r3),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            debug_check_available(backend);
+            // SAFETY: sanitized plans guarantee AVX2 at runtime.
+            unsafe { avx2::qdot4(q, r0, r1, r2, r3) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::qdot4(q, r0, r1, r2, r3),
+        #[allow(unreachable_patterns)]
+        _ => scalar::qdot4(q, r0, r1, r2, r3),
+    }
+}
+
 /// Tiled-matmul panel: output rows `[r0, r1)` of `lhs · rhs`, written
 /// into `panel` (panel-local indexing; must arrive zeroed or holding the
 /// running accumulation).

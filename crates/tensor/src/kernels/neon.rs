@@ -245,6 +245,83 @@ pub(crate) fn qtile<const TC: usize>(
     }
 }
 
+/// Sum the 4 i32 lanes of `v` (exact: integer addition is associative).
+fn hsum_i32(v: int32x4_t) -> i32 {
+    let mut lanes = [0i32; VL];
+    // SAFETY: `lanes` is exactly one 128-bit vector wide.
+    unsafe { vst1q_s32(lanes.as_mut_ptr(), v) };
+    lanes.iter().sum()
+}
+
+/// i8 elements consumed per vector step of the qdot kernels.
+const QSTEP: usize = 8;
+
+/// NEON instance of [`super::scalar::qdot`]: `vmull_s8` widening
+/// multiply (i8×i8→i16, exact) folded into the i32 accumulator with the
+/// pairwise add-accumulate `vpadalq_s16`, 8 elements per step with a
+/// scalar tail. Bit-identical to scalar (exact integer accumulation).
+pub(crate) fn qdot(a: &[i8], b: &[i8]) -> i32 {
+    let k = a.len();
+    debug_assert!(b.len() >= k);
+    let chunks = k / QSTEP;
+    // SAFETY: pure register op, no memory access.
+    let mut acc = unsafe { vdupq_n_s32(0) };
+    for c in 0..chunks {
+        // SAFETY: `c * QSTEP + QSTEP <= k`, in bounds of both operands;
+        // `vld1_s8` reads exactly 8 bytes.
+        unsafe {
+            let av = vld1_s8(a.as_ptr().add(c * QSTEP));
+            let bv = vld1_s8(b.as_ptr().add(c * QSTEP));
+            acc = vpadalq_s16(acc, vmull_s8(av, bv));
+        }
+    }
+    let mut s = hsum_i32(acc);
+    for t in chunks * QSTEP..k {
+        s += i32::from(a[t]) * i32::from(b[t]);
+    }
+    s
+}
+
+/// NEON instance of [`super::scalar::qdot4`]: four rows against one
+/// query, the query chunk loaded once per step. Bit-identical to scalar
+/// (exact integer accumulation).
+pub(crate) fn qdot4(q: &[i8], r0: &[i8], r1: &[i8], r2: &[i8], r3: &[i8]) -> [i32; 4] {
+    let k = q.len();
+    debug_assert!(r0.len() >= k && r1.len() >= k && r2.len() >= k && r3.len() >= k);
+    let chunks = k / QSTEP;
+    // SAFETY: pure register op, no memory access.
+    let mut acc = [unsafe { vdupq_n_s32(0) }; 4];
+    for c in 0..chunks {
+        let at = c * QSTEP;
+        // SAFETY: `at + QSTEP <= k`, in bounds of the query and (by the
+        // length contract) of every row; `vld1_s8` reads exactly 8 bytes.
+        unsafe {
+            let qv = vld1_s8(q.as_ptr().add(at));
+            let rv = [
+                vld1_s8(r0.as_ptr().add(at)),
+                vld1_s8(r1.as_ptr().add(at)),
+                vld1_s8(r2.as_ptr().add(at)),
+                vld1_s8(r3.as_ptr().add(at)),
+            ];
+            for (a, &r) in acc.iter_mut().zip(rv.iter()) {
+                *a = vpadalq_s16(*a, vmull_s8(qv, r));
+            }
+        }
+    }
+    let mut out = [0i32; 4];
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        *o = hsum_i32(a);
+    }
+    for t in chunks * QSTEP..k {
+        let qv = i32::from(q[t]);
+        out[0] += qv * i32::from(r0[t]);
+        out[1] += qv * i32::from(r1[t]);
+        out[2] += qv * i32::from(r2[t]);
+        out[3] += qv * i32::from(r3[t]);
+    }
+    out
+}
+
 /// NEON instance of [`super::scalar::qrow`]: one int8 row over a
 /// `jw`-wide strip, 8-output chunks plus a scalar tail for ragged
 /// widths. Bit-identical to scalar (exact integers).

@@ -201,6 +201,24 @@ pub(crate) fn qtile<const TC: usize>(
     }
 }
 
+/// i8×i8→i32 dot product of two packed rows — the coarse-distance
+/// primitive of the quantized NCM index. Exact integer accumulation, so
+/// every backend instance is bit-identical by construction.
+pub(crate) fn qdot(a: &[i8], b: &[i8]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        s += i32::from(x) * i32::from(y);
+    }
+    s
+}
+
+/// Four row dot products against one shared query: the register-tiled
+/// form of [`qdot`] (the SIMD instances amortise the query loads across
+/// the four rows; here it is just four calls).
+pub(crate) fn qdot4(q: &[i8], r0: &[i8], r1: &[i8], r2: &[i8], r3: &[i8]) -> [i32; 4] {
+    [qdot(q, r0), qdot(q, r1), qdot(q, r2), qdot(q, r3)]
+}
+
 /// i32 accumulators for one int8 row over a `jw`-wide column strip.
 pub(crate) fn qrow<const TC: usize>(
     x_row: &[i8],

@@ -54,6 +54,7 @@ pub(crate) mod kernels;
 pub mod matrix;
 pub mod plan;
 pub mod pool;
+pub mod qdist;
 pub mod quant;
 pub mod rng;
 pub mod serialize;
@@ -66,6 +67,7 @@ pub use error::TensorError;
 pub use matrix::Matrix;
 pub use plan::KernelPlan;
 pub use pool::{install_global, ComputePool, Exec};
+pub use qdist::QuantRowStore;
 pub use quant::{Precision, QuantMatrix, QuantScratch};
 pub use rng::SeededRng;
 pub use tiling::{Backend, TilingScheme};

@@ -88,7 +88,7 @@ pub(crate) const QTILE_ROWS: usize = 4;
 
 /// Largest inner dimension the i32 accumulator provably cannot overflow
 /// for: `k * 127 * 127 <= i32::MAX` holds comfortably below this.
-const MAX_QUANT_K: usize = 100_000;
+pub(crate) const MAX_QUANT_K: usize = 100_000;
 
 /// An int8 weight matrix with one f32 scale per output channel.
 ///

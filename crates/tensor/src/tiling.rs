@@ -253,12 +253,38 @@ impl TilingScheme {
         }
     }
 
+    /// The scheme for the i8 distance family (the [`crate::qdist`]
+    /// coarse scans of the NCM index): 4-row × full-width dot tiles
+    /// sharing the query loads, no packing stage (rows are stored
+    /// contiguously already), rows never split across the pool — one
+    /// coarse scan is far below any parallel threshold.
+    pub fn i8_distance(_plan: &KernelPlan) -> Self {
+        TilingScheme {
+            tile: TileLevel {
+                rows: crate::quant::QTILE_ROWS,
+                cols: usize::MAX,
+            },
+            stage: StageLevel {
+                panel_k: usize::MAX,
+                buffers: 0,
+            },
+            global: GlobalLevel {
+                align: crate::quant::QTILE_ROWS,
+                par_min_rows: usize::MAX,
+            },
+        }
+    }
+
     /// One-line summary for banners: `tile=4x32 panel_k=256 align=4`.
     pub fn describe(&self) -> String {
         format!(
             "tile={}x{} panel_k={} align={}",
             self.tile.rows,
-            self.tile.cols,
+            if self.tile.cols == usize::MAX {
+                "full".to_string()
+            } else {
+                self.tile.cols.to_string()
+            },
             if self.stage.panel_k == usize::MAX {
                 "full".to_string()
             } else {

@@ -154,13 +154,25 @@ pub fn argmax(values: &[f32]) -> Option<usize> {
 
 /// Numerically-stable softmax.
 pub fn softmax(values: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    softmax_into(values, &mut out);
+    out
+}
+
+/// Scratch-reusing [`softmax`] (§9 `_into` convention): clears `out` and
+/// fills it with the softmax of `values`. The operation sequence per
+/// element is identical to `softmax`, so results are bit-equal.
+pub fn softmax_into(values: &[f32], out: &mut Vec<f32>) {
+    out.clear();
     if values.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = values.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.extend(values.iter().map(|&v| (v - max).exp()));
+    let sum: f32 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 #[cfg(test)]
