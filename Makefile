@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale bench-ncm fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke chaos clean
+.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale bench-ncm bench-rollout fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke chaos clean
 
-check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke
+check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke
 
 build:
 	$(CARGO) build --release
@@ -100,6 +100,18 @@ bench-ncm: ncm-scale-smoke
 # BENCH_fault.json in the working directory.
 fault-smoke: build
 	$(CARGO) run --release -p magneto-bench --bin fault_smoke
+
+# Release-mode rollout lifecycle smoke run: 1k-session fleet, healthy
+# v1 → v2 rollout through the default canary waves (diff-shipped, every
+# session migrated), then a seeded-regression v2 → v3 that must halt at
+# the canary wave and restore every device to the prior version. Also
+# gates Definition 1 (zero uplink, all downlink ≤ 5 MB) across both
+# rollouts; emits BENCH_rollout.json in the working directory.
+rollout-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin rollout_smoke
+
+# Alias mirroring bench-train for the rollout lifecycle.
+bench-rollout: rollout-smoke
 
 # Extended chaos sweep: the fault-smoke gates with 32 seeded all-faults
 # plans (drops + frozen channels + NaN/saturation bursts + jitter)

@@ -87,7 +87,10 @@ fn main() {
             overall_before: before.accuracy(),
             overall_after: after.accuracy(),
         });
-        device.privacy_ledger().assert_no_uplink();
+        if let Err(e) = device.privacy_ledger().check_no_uplink() {
+            eprintln!("privacy invariant violated: {e}");
+            std::process::exit(1);
+        }
     }
 
     // Full personalisation: calibrate *all five* activities for one user

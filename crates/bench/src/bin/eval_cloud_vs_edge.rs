@@ -107,7 +107,10 @@ fn main() {
             uplink_bytes_per_window: up,
             energy_joules_per_window: e,
         });
-        edge.ledger().assert_no_uplink();
+        if let Err(e) = edge.ledger().check_no_uplink() {
+            eprintln!("privacy invariant violated: {e}");
+            std::process::exit(1);
+        }
     }
 
     // Cloud protocol across links.

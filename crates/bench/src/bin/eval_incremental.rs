@@ -78,7 +78,10 @@ fn main() {
         base_after * 100.0,
         before.accuracy() * 100.0
     );
-    device.privacy_ledger().assert_no_uplink();
+    if let Err(e) = device.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
 
     println!("\npaper-claim: the model learns a new user activity from a ~20-30 s recording,");
     println!("             on-device, and still recognises the previous activities");

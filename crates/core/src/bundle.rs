@@ -11,16 +11,22 @@
 //! Layout (little-endian, length-prefixed sections):
 //!
 //! ```text
-//! bundle  := magic "MGBD" | u32 version | u8 model_format
+//! bundle  := magic "MGBD" | u32 wire_version | u8 model_format
+//!            | [section(lineage json)]            -- wire_version 2 only
 //!            | section(pipeline json) | section(model)
 //!            | section(support set json) | section(registry json)
 //! section := u32 len | len bytes
 //! ```
+//!
+//! Wire version 1 is the legacy pre-lineage layout; bundles without a
+//! [`Lineage`] still serialize to it byte-verbatim, so unversioned
+//! artefacts round-trip unchanged and decode as model version 0.
 
 use crate::error::CoreError;
 use crate::label::LabelRegistry;
 use crate::precision::ResidentModel;
 use crate::support_set::SupportSet;
+use crate::version::{Fnv64, Lineage, ModelVersion};
 use crate::Result;
 use bytes::{Buf, Bytes};
 use magneto_dsp::PreprocessingPipeline;
@@ -30,7 +36,10 @@ use magneto_nn::SiameseNetwork;
 use serde::{Deserialize, Serialize};
 
 const MAGIC: &[u8; 4] = b"MGBD";
-const VERSION: u32 = 1;
+/// Legacy wire version: no lineage section.
+const WIRE_LEGACY: u32 = 1;
+/// Versioned wire: a lineage section follows the format byte.
+const WIRE_LINEAGE: u32 = 2;
 const FORMAT_F32: u8 = 0;
 const FORMAT_QUANTIZED: u8 = 1;
 
@@ -47,6 +56,10 @@ pub struct EdgeBundle {
     pub support_set: SupportSet,
     /// Class id registry.
     pub registry: LabelRegistry,
+    /// Version lineage. `None` for legacy bundles, which serialize to
+    /// the pre-lineage wire layout byte-verbatim and report
+    /// [`ModelVersion::LEGACY`].
+    pub lineage: Option<Lineage>,
 }
 
 /// Byte-level breakdown of a serialised bundle.
@@ -136,8 +149,18 @@ impl EdgeBundle {
         let registry = serde_json::to_vec(&self.registry).expect("registry serialisation");
 
         out.write_all(MAGIC)?;
-        out.write_all(&VERSION.to_le_bytes())?;
+        let wire_version = if self.lineage.is_some() {
+            WIRE_LINEAGE
+        } else {
+            WIRE_LEGACY
+        };
+        out.write_all(&wire_version.to_le_bytes())?;
         out.write_all(&[if quantized { FORMAT_QUANTIZED } else { FORMAT_F32 }])?;
+        if let Some(lineage) = &self.lineage {
+            let section = serde_json::to_vec(lineage).expect("lineage serialisation");
+            out.write_all(&(section.len() as u32).to_le_bytes())?;
+            out.write_all(&section)?;
+        }
         for section in [
             self.pipeline.to_bytes(),
             self.model_section(quantized),
@@ -173,13 +196,21 @@ impl EdgeBundle {
         if &magic != MAGIC {
             return Err(CoreError::InvalidBundle("bad magic".into()));
         }
-        let version = buf.get_u32_le();
-        if version != VERSION {
+        let wire_version = buf.get_u32_le();
+        if wire_version != WIRE_LEGACY && wire_version != WIRE_LINEAGE {
             return Err(CoreError::InvalidBundle(format!(
-                "unsupported bundle version {version}"
+                "unsupported bundle version {wire_version}"
             )));
         }
         let format = buf.get_u8();
+        let lineage = if wire_version == WIRE_LINEAGE {
+            let lineage_bytes = get_section(&mut buf, "lineage")?;
+            let lineage: Lineage = serde_json::from_slice(&lineage_bytes)
+                .map_err(|e| CoreError::InvalidBundle(format!("lineage: {e}")))?;
+            Some(lineage)
+        } else {
+            None
+        };
         let pipeline_bytes = get_section(&mut buf, "pipeline")?;
         let model_bytes = get_section(&mut buf, "model")?;
         let support_bytes = get_section(&mut buf, "support set")?;
@@ -214,9 +245,42 @@ impl EdgeBundle {
             model,
             support_set: envelope.support_set,
             registry,
+            lineage,
         };
         bundle.validate()?;
         Ok(bundle)
+    }
+
+    /// This bundle's model version: [`ModelVersion::LEGACY`] (v0) when
+    /// no lineage is attached.
+    pub fn version(&self) -> ModelVersion {
+        self.lineage.map_or(ModelVersion::LEGACY, |l| l.version)
+    }
+
+    /// Attach a lineage, turning a legacy bundle into a versioned one.
+    #[must_use]
+    pub fn with_lineage(mut self, lineage: Lineage) -> EdgeBundle {
+        self.lineage = Some(lineage);
+        self
+    }
+
+    /// FNV-1a content hash over the full-precision wire bytes — the
+    /// identity a child's [`Lineage::parent`] records. Streams through
+    /// a digest sink; no serialized copy is materialised.
+    pub fn content_hash(&self) -> u64 {
+        let mut digest = Fnv64::new();
+        self.write_wire(false, &mut digest)
+            .expect("digest sink cannot fail");
+        digest.finish()
+    }
+
+    /// A lineage for a direct successor of this bundle: next version,
+    /// parent hash set to this bundle's content hash.
+    pub fn child_lineage(&self) -> Lineage {
+        Lineage {
+            version: self.version().next(),
+            parent: Some(self.content_hash()),
+        }
     }
 
     /// Cross-component consistency checks (run automatically on decode).
@@ -224,6 +288,13 @@ impl EdgeBundle {
     /// # Errors
     /// [`CoreError::InvalidBundle`] describing the first inconsistency.
     pub fn validate(&self) -> Result<()> {
+        if let Some(lineage) = &self.lineage {
+            if lineage.version.is_legacy() {
+                return Err(CoreError::InvalidBundle(
+                    "lineage carries the reserved legacy version v0".into(),
+                ));
+            }
+        }
         if self.model.input_dim() != self.pipeline.output_dim() {
             return Err(CoreError::InvalidBundle(format!(
                 "model expects {} features, pipeline produces {}",
@@ -325,6 +396,7 @@ mod tests {
             model: SiameseNetwork::new(backbone, 1.0).into(),
             support_set: support,
             registry: LabelRegistry::from_labels(["walk", "run"]),
+            lineage: None,
         }
     }
 
@@ -447,34 +519,101 @@ mod tests {
     }
 
     #[test]
-    fn truncation_at_every_prefix_errors_without_panicking() {
-        let b = tiny_bundle(11);
+    fn legacy_bundle_serializes_byte_verbatim_and_reports_v0() {
+        // A bundle with no lineage must keep the pre-versioning wire
+        // layout exactly: wire version 1, no lineage section, and a
+        // byte-identical re-serialization after decode.
+        let b = tiny_bundle(20);
+        assert_eq!(b.version(), ModelVersion::LEGACY);
+        let bytes = b.to_bytes(false);
+        assert_eq!(&bytes[4..8], &1u32.to_le_bytes());
+        let back = EdgeBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(back.version(), ModelVersion::LEGACY);
+        assert_eq!(back.to_bytes(false), bytes);
+    }
+
+    #[test]
+    fn versioned_bundle_roundtrips_lineage() {
+        let root = tiny_bundle(21).with_lineage(Lineage::root(1));
         for quantized in [false, true] {
-            let good = b.to_bytes(quantized);
-            for cut in 0..good.len() {
-                assert!(
-                    EdgeBundle::from_bytes(&good[..cut]).is_err(),
-                    "prefix of {cut}/{} bytes decoded successfully",
-                    good.len()
-                );
+            let bytes = root.to_bytes(quantized);
+            assert_eq!(&bytes[4..8], &2u32.to_le_bytes());
+            let back = EdgeBundle::from_bytes(&bytes).unwrap();
+            assert_eq!(back.version(), ModelVersion(1));
+            assert_eq!(back.lineage, root.lineage);
+            // Versioned bundles re-serialize byte-identically too.
+            assert_eq!(back.to_bytes(quantized), bytes);
+        }
+    }
+
+    #[test]
+    fn child_lineage_validates_against_parent() {
+        let root = tiny_bundle(22).with_lineage(Lineage::root(1));
+        let child = tiny_bundle(23).with_lineage(root.child_lineage());
+        assert_eq!(child.version(), ModelVersion(2));
+        child
+            .lineage
+            .unwrap()
+            .validate_succession(root.version(), root.content_hash())
+            .unwrap();
+        // A tampered parent does not validate.
+        let other = tiny_bundle(24);
+        assert!(child
+            .lineage
+            .unwrap()
+            .validate_succession(other.version(), other.content_hash())
+            .is_err());
+    }
+
+    #[test]
+    fn lineage_with_legacy_version_is_rejected() {
+        let b = tiny_bundle(25).with_lineage(Lineage::root(0));
+        assert!(b.validate().is_err());
+        assert!(EdgeBundle::from_bytes(&b.to_bytes(false)).is_err());
+    }
+
+    #[test]
+    fn content_hash_streams_the_f32_wire() {
+        let b = tiny_bundle(26);
+        let mut digest = Fnv64::new();
+        digest.update(&b.to_bytes(false));
+        assert_eq!(b.content_hash(), digest.finish());
+        // Attaching lineage changes the wire bytes and thus the hash.
+        let versioned = b.clone().with_lineage(Lineage::root(1));
+        assert_ne!(versioned.content_hash(), digest.finish());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_without_panicking() {
+        for b in [tiny_bundle(11), tiny_bundle(11).with_lineage(Lineage::root(3))] {
+            for quantized in [false, true] {
+                let good = b.to_bytes(quantized);
+                for cut in 0..good.len() {
+                    assert!(
+                        EdgeBundle::from_bytes(&good[..cut]).is_err(),
+                        "prefix of {cut}/{} bytes decoded successfully",
+                        good.len()
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn random_byte_flips_never_panic() {
-        let b = tiny_bundle(12);
-        for quantized in [false, true] {
-            let good = b.to_bytes(quantized);
-            let mut rng = SeededRng::new(13);
-            for _ in 0..200 {
-                let mut bad = good.clone();
-                let pos = (rng.next_u64() as usize) % bad.len();
-                let bit = 1u8 << ((rng.next_u64() % 8) as u8);
-                bad[pos] ^= bit;
-                // Decoding corrupted input may fail or (for benign flips)
-                // succeed; it must never panic.
-                let _ = EdgeBundle::from_bytes(&bad);
+        for b in [tiny_bundle(12), tiny_bundle(12).with_lineage(Lineage::root(2))] {
+            for quantized in [false, true] {
+                let good = b.to_bytes(quantized);
+                let mut rng = SeededRng::new(13);
+                for _ in 0..200 {
+                    let mut bad = good.clone();
+                    let pos = (rng.next_u64() as usize) % bad.len();
+                    let bit = 1u8 << ((rng.next_u64() % 8) as u8);
+                    bad[pos] ^= bit;
+                    // Decoding corrupted input may fail or (for benign flips)
+                    // succeed; it must never panic.
+                    let _ = EdgeBundle::from_bytes(&bad);
+                }
             }
         }
     }

@@ -160,6 +160,7 @@ impl CloudInitializer {
             model: model.into(),
             support_set,
             registry: registry.clone(),
+            lineage: None,
         };
         bundle.validate()?;
         Ok((

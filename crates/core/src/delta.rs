@@ -27,6 +27,7 @@
 
 use crate::error::CoreError;
 use crate::ncm::NcmClassifier;
+use crate::version::ModelVersion;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -50,6 +51,13 @@ pub struct PersonalDelta {
     margin: Option<f32>,
     /// Open-set rejection threshold, if calibrated for this user.
     threshold: Option<f32>,
+    /// The base-model version this delta was calibrated against. A
+    /// prototype lives in its base's embedding space, so a delta pinned
+    /// to version N must be replayed (not blindly re-applied) when the
+    /// base moves to N+1. Skipped when unset so pre-versioning deltas
+    /// serialize byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    base_version: Option<ModelVersion>,
 }
 
 /// Undo record returned by [`PersonalDelta::apply`]: everything needed
@@ -126,6 +134,18 @@ impl PersonalDelta {
     /// The per-user rejection threshold, if set.
     pub fn threshold(&self) -> Option<f32> {
         self.threshold
+    }
+
+    /// Pin this delta to the base-model version it was calibrated
+    /// against.
+    pub fn pin_base(&mut self, version: ModelVersion) {
+        self.base_version = Some(version);
+    }
+
+    /// The base version this delta is pinned to, if any. `None` means
+    /// the delta predates versioning (treat as v0).
+    pub fn base_version(&self) -> Option<ModelVersion> {
+        self.base_version
     }
 
     /// Approximate bytes this delta holds resident (payload floats plus
@@ -299,6 +319,31 @@ mod tests {
             back.prototype("walk").unwrap()[1].to_bits(),
             f32::MIN_POSITIVE.to_bits()
         );
+        assert_eq!(back.to_bytes(), delta.to_bytes());
+    }
+
+    #[test]
+    fn unpinned_delta_bytes_are_unchanged() {
+        // Serialized bytes of a delta without a version pin must stay
+        // identical to the pre-versioning layout, so paged-out legacy
+        // spool files keep round-tripping byte-exactly.
+        let mut delta = PersonalDelta::new();
+        delta.set_prototype("walk", vec![1.0, 2.0]);
+        delta.set_margin(0.5);
+        let json = String::from_utf8(delta.to_bytes()).unwrap();
+        assert!(!json.contains("base_version"), "{json}");
+        let back = PersonalDelta::from_bytes(delta.to_bytes().as_slice()).unwrap();
+        assert_eq!(back.base_version(), None);
+        assert_eq!(back.to_bytes(), delta.to_bytes());
+    }
+
+    #[test]
+    fn pinned_delta_roundtrips_its_base_version() {
+        let mut delta = PersonalDelta::new();
+        delta.set_prototype("walk", vec![1.0, 2.0]);
+        delta.pin_base(ModelVersion(3));
+        let back = PersonalDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(back.base_version(), Some(ModelVersion(3)));
         assert_eq!(back.to_bytes(), delta.to_bytes());
     }
 

@@ -17,6 +17,7 @@ use crate::inference::{
 };
 use crate::precision::{Precision, QuantizedSupportSet, ResidentSupport};
 use crate::privacy::PrivacyLedger;
+use crate::version::{Lineage, ModelVersion};
 use crate::Result;
 use magneto_dsp::PreprocessingPipeline;
 use magneto_sensors::{SensorDataset, SensorFrame, NUM_CHANNELS};
@@ -64,6 +65,7 @@ pub struct EdgeDevice {
     session: StreamingSession,
     embedder: BatchEmbedder,
     rng: SeededRng,
+    lineage: Option<Lineage>,
 }
 
 impl EdgeDevice {
@@ -95,8 +97,10 @@ impl EdgeDevice {
         // thresholds the pipeline's window guard uses, so the streaming
         // and batch paths degrade identically.
         let guard = bundle.pipeline.config().guard;
+        let lineage = bundle.lineage;
         Ok(EdgeDevice {
             pipeline: bundle.pipeline,
+            lineage,
             session: StreamingSession::with_guard(
                 NUM_CHANNELS,
                 config.window_len,
@@ -416,7 +420,14 @@ impl EdgeDevice {
                 .to_f32()
                 .expect("resident support set is non-empty by construction"),
             registry: self.state.registry.clone(),
+            lineage: self.lineage,
         }
+    }
+
+    /// The base-model version this device is serving
+    /// ([`ModelVersion::LEGACY`] for pre-versioning bundles).
+    pub fn model_version(&self) -> ModelVersion {
+        self.lineage.map_or(ModelVersion::LEGACY, |l| l.version)
     }
 
     /// Direct access to the model state (experiments and diagnostics).

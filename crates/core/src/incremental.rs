@@ -128,6 +128,10 @@ pub enum RollbackReason {
         /// The configured [`ValidationConfig::self_accuracy_floor`].
         floor: f32,
     },
+    /// A base-version migration found personalization it cannot
+    /// re-derive through the new backbone (a prototype with no stored
+    /// support rows to replay).
+    MissingReplaySource,
 }
 
 impl std::fmt::Display for RollbackReason {
@@ -148,6 +152,10 @@ impl std::fmt::Display for RollbackReason {
             RollbackReason::SelfAccuracy { after, floor } => write!(
                 f,
                 "old-class self-accuracy {after:.3} fell below floor {floor:.3}"
+            ),
+            RollbackReason::MissingReplaySource => write!(
+                f,
+                "personalization cannot be replayed (prototype without stored support rows)"
             ),
         }
     }

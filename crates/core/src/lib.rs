@@ -53,6 +53,7 @@ pub mod sharing;
 pub mod storage;
 pub mod support_set;
 pub mod timeline;
+pub mod version;
 
 pub use bundle::{BundleSizeReport, EdgeBundle};
 pub use cloud::{CloudConfig, CloudInitializer};
@@ -74,6 +75,7 @@ pub use privacy::PrivacyLedger;
 pub use sharing::ClassPack;
 pub use timeline::TimelineBuilder;
 pub use support_set::{SelectionStrategy, SupportSet};
+pub use version::{Fnv64, Lineage, ModelVersion};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

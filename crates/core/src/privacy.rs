@@ -127,18 +127,61 @@ impl PrivacyLedger {
             .sum()
     }
 
-    /// Panic unless zero bytes ever left the device — used as a hard
-    /// assertion at the end of every Edge experiment.
+    /// Definition 1, first half, as a typed check: zero bytes ever left
+    /// the device. Production code paths (CLI, rollout driver, bench
+    /// harnesses) use this and propagate the error.
+    ///
+    /// # Errors
+    /// [`CoreError::PrivacyViolation`] carrying the total leaked bytes.
+    pub fn check_no_uplink(&self) -> Result<()> {
+        let bytes = self.uplink_bytes();
+        if bytes == 0 {
+            return Ok(());
+        }
+        let records = self
+            .records
+            .iter()
+            .filter(|r| r.direction == Direction::EdgeToCloud)
+            .count();
+        Err(CoreError::PrivacyViolation {
+            description: format!("{records} uplink record(s) in the ledger"),
+            bytes,
+        })
+    }
+
+    /// Definition 1, second half: every Cloud → Edge payload —
+    /// including version-migration diffs — stays within `budget` bytes
+    /// (the paper's budget is 5 MB = 5,000,000 bytes).
+    ///
+    /// # Errors
+    /// [`CoreError::PrivacyViolation`] naming the first oversized
+    /// downlink payload.
+    pub fn check_downlink_budget(&self, budget: usize) -> Result<()> {
+        match self
+            .records
+            .iter()
+            .find(|r| r.direction == Direction::CloudToEdge && r.bytes > budget)
+        {
+            None => Ok(()),
+            Some(r) => Err(CoreError::PrivacyViolation {
+                description: format!(
+                    "downlink payload `{}` exceeds the {budget}-byte budget",
+                    r.description
+                ),
+                bytes: r.bytes,
+            }),
+        }
+    }
+
+    /// Panicking wrapper over [`check_no_uplink`](Self::check_no_uplink)
+    /// for tests and demos that want a hard assertion.
     ///
     /// # Panics
     /// If any uplink was recorded.
     pub fn assert_no_uplink(&self) {
-        assert_eq!(
-            self.uplink_bytes(),
-            0,
-            "privacy invariant violated: {} bytes left the device",
-            self.uplink_bytes()
-        );
+        if let Err(e) = self.check_no_uplink() {
+            panic!("privacy invariant violated: {e}");
+        }
     }
 }
 
@@ -189,6 +232,32 @@ mod tests {
         let mut ledger = PrivacyLedger::allow_uplink();
         ledger.try_upload(1, "leak").unwrap();
         ledger.assert_no_uplink();
+    }
+
+    #[test]
+    fn check_no_uplink_is_typed() {
+        let mut ledger = PrivacyLedger::allow_uplink();
+        assert!(ledger.check_no_uplink().is_ok());
+        ledger.try_upload(7, "leak").unwrap();
+        match ledger.check_no_uplink().unwrap_err() {
+            CoreError::PrivacyViolation { bytes, .. } => assert_eq!(bytes, 7),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn downlink_budget_flags_oversized_payloads() {
+        let mut ledger = PrivacyLedger::edge_only();
+        ledger.record_download(5_000_000, "bundle at budget");
+        assert!(ledger.check_downlink_budget(5_000_000).is_ok());
+        ledger.record_download(5_000_001, "one over");
+        match ledger.check_downlink_budget(5_000_000).unwrap_err() {
+            CoreError::PrivacyViolation { bytes, description } => {
+                assert_eq!(bytes, 5_000_001);
+                assert!(description.contains("one over"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]

@@ -185,6 +185,35 @@ mod tests {
     }
 
     #[test]
+    fn truncation_at_every_prefix_errors_without_panicking() {
+        // The same never-panic property the EdgeBundle wire format is
+        // held to: every possible truncation is a clean error.
+        let good = pack().to_bytes();
+        for cut in 0..good.len() {
+            assert!(
+                ClassPack::from_bytes(&good[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded successfully",
+                good.len()
+            );
+        }
+    }
+
+    #[test]
+    fn random_byte_flips_never_panic() {
+        let good = pack().to_bytes();
+        let mut rng = magneto_tensor::SeededRng::new(17);
+        for _ in 0..200 {
+            let mut bad = good.clone();
+            let pos = (rng.next_u64() as usize) % bad.len();
+            let bit = 1u8 << ((rng.next_u64() % 8) as u8);
+            bad[pos] ^= bit;
+            // Decoding corrupted input may fail or (for benign flips)
+            // succeed; it must never panic.
+            let _ = ClassPack::from_bytes(&bad);
+        }
+    }
+
+    #[test]
     fn pack_is_compact() {
         // 10 exemplars x 80 f32 ≈ 3.2 KB — easily transferable over BLE.
         let p = pack();

@@ -19,6 +19,7 @@
 
 use crate::bundle::EdgeBundle;
 use crate::error::CoreError;
+use crate::version::ModelVersion;
 use crate::Result;
 use std::fs;
 use std::io::Write;
@@ -27,6 +28,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 const MAGIC: &[u8; 4] = b"MGST";
+/// Versioned frame magic: the framed payload is prefixed with the
+/// [`ModelVersion`] it belongs to, so bundles and spool files carry
+/// their base-model version on disk and validate it on load. Legacy
+/// `MGST` frames keep their exact byte layout and read back as v0.
+const MAGIC_VERSIONED: &[u8; 4] = b"MGSV";
 
 /// The 256-entry CRC-32 lookup table (polynomial `0xEDB8_8320`,
 /// reflected), computed once at compile time.
@@ -122,16 +128,54 @@ fn frame_payload(payload: &[u8]) -> Vec<u8> {
     framed
 }
 
-/// Validate a frame and return the payload slice, or `None` if the bytes
-/// are torn, truncated, or corrupt.
-fn unframe(bytes: &[u8]) -> Option<&[u8]> {
-    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+/// Wrap `payload` in the versioned `MGSV` frame: the framed body is
+/// `u32 version || payload`, CRC-covered as a whole. A v0 version falls
+/// back to the legacy `MGST` frame byte-verbatim, so unversioned
+/// artefacts never change on disk.
+fn frame_payload_versioned(payload: &[u8], version: ModelVersion) -> Vec<u8> {
+    if version.is_legacy() {
+        return frame_payload(payload);
+    }
+    let mut body = Vec::with_capacity(payload.len() + 4);
+    body.extend_from_slice(&version.0.to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut framed = Vec::with_capacity(body.len() + 12);
+    framed.extend_from_slice(MAGIC_VERSIONED);
+    framed.extend_from_slice(&crc32(&body).to_le_bytes());
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// Validate a frame (either magic) and return the payload slice plus
+/// the version it carries, or `None` if the bytes are torn, truncated,
+/// or corrupt. Legacy `MGST` frames report [`ModelVersion::LEGACY`].
+fn unframe(bytes: &[u8]) -> Option<(&[u8], ModelVersion)> {
+    if bytes.len() < 12 {
         return None;
     }
+    let versioned = match &bytes[..4] {
+        m if m == MAGIC => false,
+        m if m == MAGIC_VERSIONED => true,
+        _ => return None,
+    };
     let stored_crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
-    let payload = bytes.get(12..12 + len)?;
-    (crc32(payload) == stored_crc).then_some(payload)
+    let body = bytes.get(12..12 + len)?;
+    if crc32(body) != stored_crc {
+        return None;
+    }
+    if !versioned {
+        return Some((body, ModelVersion::LEGACY));
+    }
+    if body.len() < 4 {
+        return None;
+    }
+    let version = ModelVersion(u32::from_le_bytes([body[0], body[1], body[2], body[3]]));
+    let payload = &body[4..];
+    // A versioned frame claiming v0 would be indistinguishable from a
+    // legacy one on read-back; the writer never produces it.
+    (!version.is_legacy()).then_some((payload, version))
 }
 
 /// Save an arbitrary payload to `path` crash-safely, wrapped in the same
@@ -152,7 +196,18 @@ fn unframe(bytes: &[u8]) -> Option<&[u8]> {
 /// # Errors
 /// [`CoreError::InvalidBundle`] wrapping any I/O failure.
 pub fn save_framed(payload: &[u8], path: &Path) -> Result<()> {
-    let framed = frame_payload(payload);
+    save_framed_versioned(payload, ModelVersion::LEGACY, path)
+}
+
+/// [`save_framed`] with a [`ModelVersion`] stamped into the frame, so
+/// the artefact carries its base-model version on disk and
+/// [`load_framed_versioned`] can validate it. A legacy (v0) version
+/// writes the exact legacy `MGST` frame.
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] wrapping any I/O failure.
+pub fn save_framed_versioned(payload: &[u8], version: ModelVersion, path: &Path) -> Result<()> {
+    let framed = frame_payload_versioned(payload, version);
     let tmp = unique_tmp_path(path);
     {
         let mut f = fs::File::create(&tmp).map_err(io_err)?;
@@ -176,15 +231,27 @@ pub fn save_framed(payload: &[u8], path: &Path) -> Result<()> {
 /// [`CoreError::InvalidBundle`] on I/O failure, bad framing, or checksum
 /// mismatch.
 pub fn load_framed(path: &Path) -> Result<Vec<u8>> {
+    load_framed_versioned(path).map(|(payload, _)| payload)
+}
+
+/// Load a payload plus the [`ModelVersion`] its frame carries. Legacy
+/// `MGST` frames report [`ModelVersion::LEGACY`].
+///
+/// # Errors
+/// [`CoreError::InvalidBundle`] on I/O failure, bad framing, or checksum
+/// mismatch.
+pub fn load_framed_versioned(path: &Path) -> Result<(Vec<u8>, ModelVersion)> {
     recover_journal(path)?;
     let bytes = fs::read(path)
         .map_err(|e| CoreError::InvalidBundle(format!("storage read {}: {e}", path.display())))?;
-    unframe(&bytes).map(<[u8]>::to_vec).ok_or_else(|| {
-        CoreError::InvalidBundle(
-            "not a MAGNETO storage file, or corrupt / partially written (checksum mismatch)"
-                .into(),
-        )
-    })
+    unframe(&bytes)
+        .map(|(payload, version)| (payload.to_vec(), version))
+        .ok_or_else(|| {
+            CoreError::InvalidBundle(
+                "not a MAGNETO storage file, or corrupt / partially written (checksum mismatch)"
+                    .into(),
+            )
+        })
 }
 
 /// Save a bundle to `path` crash-safely, with checksum framing — the
@@ -193,7 +260,10 @@ pub fn load_framed(path: &Path) -> Result<Vec<u8>> {
 /// # Errors
 /// [`CoreError::InvalidBundle`] wrapping any I/O failure.
 pub fn save_bundle(bundle: &EdgeBundle, path: &Path, quantized: bool) -> Result<()> {
-    save_framed(&bundle.to_bytes(quantized), path)
+    // A versioned bundle stamps its version into the frame, so the
+    // on-disk artefact is self-describing even before decode; a legacy
+    // bundle keeps the byte-exact legacy frame.
+    save_framed_versioned(&bundle.to_bytes(quantized), bundle.version(), path)
 }
 
 /// Inspect `path`'s write-ahead journal, rolling a complete one forward
@@ -236,9 +306,21 @@ pub fn recover_journal(path: &Path) -> Result<bool> {
 ///
 /// # Errors
 /// [`CoreError::InvalidBundle`] on I/O failure, bad framing, checksum
-/// mismatch, or bundle decode failure.
+/// mismatch, bundle decode failure, or a frame whose stamped version
+/// disagrees with the decoded bundle's lineage.
 pub fn load_bundle(path: &Path) -> Result<EdgeBundle> {
-    EdgeBundle::from_bytes(&load_framed(path)?)
+    let (payload, frame_version) = load_framed_versioned(path)?;
+    let bundle = EdgeBundle::from_bytes(&payload)?;
+    // A versioned frame must agree with the bundle inside it. Legacy
+    // frames (v0) may wrap anything — including versioned bundles saved
+    // through the generic save_framed path.
+    if !frame_version.is_legacy() && frame_version != bundle.version() {
+        return Err(CoreError::InvalidBundle(format!(
+            "storage frame is stamped {frame_version} but the bundle inside is {}",
+            bundle.version()
+        )));
+    }
+    Ok(bundle)
 }
 
 /// Path of the kernel-plan cache that rides next to a bundle: the
@@ -370,6 +452,70 @@ mod tests {
         // A complete journal rolls forward.
         fs::write(&journal_path(&path), frame_payload(b"newer")).unwrap();
         assert_eq!(load_framed(&path).unwrap(), b"newer");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn versioned_frames_roundtrip_and_recover() {
+        use crate::version::Lineage;
+        let path = temp_path("versioned_frame");
+        let payload = b"delta bytes pinned to a base version";
+        save_framed_versioned(payload, ModelVersion(3), &path).unwrap();
+        let (back, version) = load_framed_versioned(&path).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(version, ModelVersion(3));
+        // The plain loader reads through the versioned frame too.
+        assert_eq!(load_framed(&path).unwrap(), payload);
+        // The version survives journal recovery: plant a complete
+        // versioned journal and confirm roll-forward keeps the stamp.
+        fs::write(
+            &journal_path(&path),
+            frame_payload_versioned(b"newer", ModelVersion(4)),
+        )
+        .unwrap();
+        let (rolled, rolled_version) = load_framed_versioned(&path).unwrap();
+        assert_eq!(rolled, b"newer");
+        assert_eq!(rolled_version, ModelVersion(4));
+        // Versioned bundles round-trip the version through save/load.
+        let b = bundle().with_lineage(Lineage::root(5));
+        save_bundle(&b, &path, false).unwrap();
+        let raw = fs::read(&path).unwrap();
+        assert_eq!(&raw[..4], b"MGSV");
+        assert_eq!(load_bundle(&path).unwrap().version(), ModelVersion(5));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_frame_bytes_are_unchanged_and_report_v0() {
+        let path = temp_path("legacy_frame");
+        let payload = b"legacy spool payload";
+        save_framed(payload, &path).unwrap();
+        // save_framed must still emit the exact pre-versioning frame.
+        assert_eq!(fs::read(&path).unwrap(), frame_payload(payload));
+        let (back, version) = load_framed_versioned(&path).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(version, ModelVersion::LEGACY);
+        // A legacy bundle saved through save_bundle keeps MGST framing.
+        let b = bundle();
+        save_bundle(&b, &path, false).unwrap();
+        assert_eq!(&fs::read(&path).unwrap()[..4], b"MGST");
+        assert_eq!(load_bundle(&path).unwrap().version(), ModelVersion::LEGACY);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_version_mismatch_is_rejected() {
+        use crate::version::Lineage;
+        let b = bundle().with_lineage(Lineage::root(2));
+        let path = temp_path("version_mismatch");
+        // Stamp the frame with a different version than the lineage.
+        save_framed_versioned(&b.to_bytes(false), ModelVersion(9), &path).unwrap();
+        let err = load_bundle(&path).unwrap_err();
+        assert!(err.to_string().contains("stamped"), "{err}");
+        // A legacy frame wrapping a versioned bundle is accepted (the
+        // generic save_framed path cannot know the version).
+        save_framed(&b.to_bytes(false), &path).unwrap();
+        assert_eq!(load_bundle(&path).unwrap().version(), ModelVersion(2));
         fs::remove_file(&path).ok();
     }
 

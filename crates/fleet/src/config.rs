@@ -52,10 +52,22 @@ pub struct FleetConfig {
     /// cap.
     #[serde(default)]
     pub hot_delta_capacity: usize,
+    /// Base-version migration gate: the fraction of a session's own
+    /// support rows the replayed overlay must still classify correctly
+    /// for [`crate::Fleet::migrate_session`] to commit (mirrors the
+    /// incremental-update self-accuracy floor). Below the floor the
+    /// migration rolls back and the session stays on its old base.
+    /// `0.0` disables the gate.
+    #[serde(default = "default_replay_accuracy_floor")]
+    pub replay_accuracy_floor: f32,
 }
 
 fn default_quarantine_strikes() -> u32 {
     3
+}
+
+fn default_replay_accuracy_floor() -> f32 {
+    0.5
 }
 
 fn default_quarantine_for() -> Duration {
@@ -75,6 +87,7 @@ impl Default for FleetConfig {
             quarantine_strikes: default_quarantine_strikes(),
             quarantine_for: default_quarantine_for(),
             hot_delta_capacity: 0,
+            replay_accuracy_floor: default_replay_accuracy_floor(),
         }
     }
 }
@@ -106,6 +119,9 @@ impl FleetConfig {
         }
         if self.max_inflight_per_session == 0 || self.max_inflight_global == 0 {
             return Err("in-flight limits must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.replay_accuracy_floor) {
+            return Err("replay accuracy floor must be in [0, 1]".into());
         }
         Ok(())
     }
@@ -145,6 +161,10 @@ mod tests {
                 max_inflight_global: 0,
                 ..FleetConfig::default()
             },
+            FleetConfig {
+                replay_accuracy_floor: 1.5,
+                ..FleetConfig::default()
+            },
         ] {
             assert!(bad.validate().is_err());
         }
@@ -173,7 +193,8 @@ mod tests {
         assert_eq!(back.quarantine_strikes, default_quarantine_strikes());
         assert_eq!(back.quarantine_for, default_quarantine_for());
         // Stripping at quarantine_strikes also drops the (later)
-        // tiering knob; it defaults to disabled.
+        // tiering and migration knobs; they pick up their defaults.
         assert_eq!(back.hot_delta_capacity, 0);
+        assert_eq!(back.replay_accuracy_floor, default_replay_accuracy_floor());
     }
 }

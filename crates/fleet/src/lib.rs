@@ -82,4 +82,4 @@ pub use counters::ShardStats;
 pub use error::FleetError;
 pub use runtime::Fleet;
 pub use session::{FleetReply, ModelKey, SessionId, SubmitError};
-pub use store::{SharedBase, StoreError};
+pub use store::{ReplayOutcome, SharedBase, StoreError};

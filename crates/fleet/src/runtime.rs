@@ -6,10 +6,10 @@ use crate::counters::{ShardCounters, ShardStats};
 use crate::error::FleetError;
 use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
 use crate::store::{
-    DeltaSession, SessionEntry, SessionModel, SessionStore, SharedBase, StoreError,
+    DeltaSession, ReplayOutcome, SessionEntry, SessionModel, SessionStore, SharedBase, StoreError,
 };
 use magneto_core::inference::{infer_batch, BatchJob};
-use magneto_core::{BatchEmbedder, EdgeBundle, EdgeDevice, PersonalDelta, Precision};
+use magneto_core::{BatchEmbedder, EdgeBundle, EdgeDevice, ModelVersion, PersonalDelta, Precision};
 use magneto_tensor::vector::DistanceMetric;
 use magneto_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -548,9 +548,106 @@ impl Fleet {
         }
         ds.delta.set_prototype(label, proto);
         ds.delta.set_support(label, rows);
+        // Pin the calibration to the base generation it was computed
+        // against, so a future base swap knows what to replay (legacy v0
+        // bases leave the delta unpinned and its bytes unchanged).
+        if !ds.base.version().is_legacy() {
+            ds.delta.pin_base(ds.base.version());
+        }
         ds.rebuild_overlay()?;
         sessions.touch(id.0);
         Ok(())
+    }
+
+    /// Transactionally migrate a base+delta session onto the base
+    /// registered under `(new_key, precision)`, replaying its
+    /// calibration through the new backbone — the per-session step of a
+    /// versioned rollout.
+    ///
+    /// The replay re-derives every personal prototype from the delta's
+    /// stored support rows (the exact [`Self::calibrate_session`]
+    /// computation, against the new base), then validates the candidate
+    /// before swapping it in: a prototype with no replayable source,
+    /// non-finite embeddings, or self-accuracy below
+    /// [`FleetConfig::replay_accuracy_floor`] rolls back, leaving the
+    /// session byte-identical on its old `(base, delta)` pair. Paged
+    /// sessions rehydrate first, so migration is tier-transparent.
+    ///
+    /// On commit the session is re-keyed to `new_key` — it now batches
+    /// with the new base's peers, never the old one's.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownBase`] when no base is registered under
+    /// `(new_key, precision)`; store errors for unknown/device sessions.
+    pub fn migrate_session(
+        &self,
+        id: SessionId,
+        new_key: ModelKey,
+        precision: Precision,
+    ) -> Result<ReplayOutcome, StoreError> {
+        let new_base = lock_unpoisoned(&self.inner.bases)
+            .get(&(new_key, precision))
+            .cloned()
+            .ok_or(StoreError::UnknownBase(new_key, precision))?;
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        let outcome = sessions.migrate_delta(
+            id.0,
+            &new_base,
+            new_key,
+            precision,
+            self.inner.config.replay_accuracy_floor,
+        )?;
+        sessions.touch(id.0);
+        Ok(outcome)
+    }
+
+    /// Restore a base+delta session to the base registered under
+    /// `(key, precision)` with `delta` verbatim — the rollback path a
+    /// rollout driver uses to walk a halted canary wave back to version
+    /// N with the exact pre-migration delta snapshotted via
+    /// [`Self::session_delta`].
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownBase`] when no base is registered under
+    /// `(key, precision)`; store errors for unknown/device sessions.
+    pub fn restore_session(
+        &self,
+        id: SessionId,
+        key: ModelKey,
+        precision: Precision,
+        delta: PersonalDelta,
+    ) -> Result<(), StoreError> {
+        let base = lock_unpoisoned(&self.inner.bases)
+            .get(&(key, precision))
+            .cloned()
+            .ok_or(StoreError::UnknownBase(key, precision))?;
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let mut sessions = lock_unpoisoned(&shard.sessions);
+        sessions.ensure_hot(id.0)?;
+        sessions.restore_delta(id.0, &base, key, precision, delta)?;
+        sessions.touch(id.0);
+        Ok(())
+    }
+
+    /// The model version a session currently serves (v0 for sessions on
+    /// a legacy unversioned base). Works for hot, paged, and
+    /// device-backed sessions without rehydrating.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownSession`] when the id is not registered.
+    pub fn session_version(&self, id: SessionId) -> Result<ModelVersion, StoreError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = lock_unpoisoned(&shard.sessions);
+        let entry = sessions
+            .get(id.0)
+            .ok_or(StoreError::UnknownSession(id))?;
+        Ok(match &entry.model {
+            SessionModel::Device(device) => device.model_version(),
+            SessionModel::Delta(ds) => ds.base.version(),
+            SessionModel::Paged(pd) => pd.base.version(),
+        })
     }
 
     /// Set a base+delta session's per-user open-set rejection threshold.

@@ -33,10 +33,10 @@
 
 use crate::session::{FleetReply, ModelKey, SessionId};
 use magneto_core::incremental::ModelState;
-use magneto_core::storage::{load_framed, save_framed};
+use magneto_core::storage::{load_framed_versioned, save_framed_versioned};
 use magneto_core::{
-    BatchEmbedder, CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, NcmClassifier,
-    PersonalDelta, Precision, QuantizedSupportSet, ResidentSupport,
+    BatchEmbedder, CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, ModelVersion,
+    NcmClassifier, PersonalDelta, Precision, QuantizedSupportSet, ResidentSupport, RollbackReason,
 };
 use magneto_dsp::PreprocessingPipeline;
 use magneto_tensor::vector::DistanceMetric;
@@ -89,6 +89,45 @@ impl From<CoreError> for StoreError {
     }
 }
 
+/// Result of a transactional base-version migration
+/// ([`crate::Fleet::migrate_session`]): either the user's calibration
+/// was replayed through the new backbone, validated and committed, or
+/// the session was left on its exact pre-migration `(base, delta)` pair
+/// — the same commit-or-rollback contract as
+/// [`magneto_core::incremental::UpdateOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum ReplayOutcome {
+    /// The replay passed every validation gate and the session now
+    /// serves on the new base.
+    Committed {
+        /// Classes the migrated session recognises.
+        classes: usize,
+        /// Personal prototypes re-derived through the new backbone.
+        replayed_prototypes: usize,
+    },
+    /// The replay failed validation; the session is byte-identical to
+    /// its pre-migration state.
+    RolledBack {
+        /// Which validation gate rejected the replayed state.
+        reason: RollbackReason,
+    },
+}
+
+impl ReplayOutcome {
+    /// `true` when the migration committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, ReplayOutcome::Committed { .. })
+    }
+
+    /// The rollback reason, when rolled back.
+    pub fn rollback_reason(&self) -> Option<RollbackReason> {
+        match self {
+            ReplayOutcome::Committed { .. } => None,
+            ReplayOutcome::RolledBack { reason } => Some(*reason),
+        }
+    }
+}
+
 /// One immutable, refcounted base model: everything identical across all
 /// sessions deployed from one bundle at one precision. Assembled exactly
 /// like [`EdgeDevice::deploy`] assembles its resident state, so a delta
@@ -100,6 +139,10 @@ pub struct SharedBase {
     pub(crate) support: ResidentSupport,
     pub(crate) registry: LabelRegistry,
     pub(crate) ncm: NcmClassifier,
+    /// The bundle's model version (v0 for legacy bundles). Deltas
+    /// calibrated on this base are pinned to it, and spool frames carry
+    /// it so a rehydration validates it still matches.
+    pub(crate) version: ModelVersion,
 }
 
 impl SharedBase {
@@ -127,7 +170,13 @@ impl SharedBase {
             support: state.support_set,
             registry: state.registry,
             ncm: state.ncm,
+            version: bundle.version(),
         })
+    }
+
+    /// The base-model version this base was assembled from.
+    pub fn version(&self) -> ModelVersion {
+        self.version
     }
 
     /// Resident bytes of this base (model parameters + support set +
@@ -425,9 +474,31 @@ impl SessionStore {
         };
         let bytes = match &pd.store {
             ColdStore::Memory(bytes) => bytes.clone(),
-            ColdStore::Disk(path) => load_framed(path)?,
+            ColdStore::Disk(path) => {
+                let (bytes, frame_version) = load_framed_versioned(path)?;
+                // A versioned spool frame must still match the base it
+                // will rehydrate against; a mismatch means the spool
+                // file belongs to a different base generation.
+                if !frame_version.is_legacy() && frame_version != pd.base.version {
+                    return Err(StoreError::Storage(format!(
+                        "spool frame for {} is pinned to {frame_version} but the base is {}",
+                        SessionId(id),
+                        pd.base.version
+                    )));
+                }
+                bytes
+            }
         };
         let delta = PersonalDelta::from_bytes(&bytes)?;
+        if let Some(pinned) = delta.base_version() {
+            if pinned != pd.base.version {
+                return Err(StoreError::Storage(format!(
+                    "delta for {} is calibrated against {pinned} but the base is {}",
+                    SessionId(id),
+                    pd.base.version
+                )));
+            }
+        }
         let mut ds = DeltaSession {
             base: Arc::clone(&pd.base),
             delta,
@@ -464,7 +535,10 @@ impl SessionStore {
         let store = match spool {
             Some(dir) => {
                 let path = dir.join(format!("session-{id}.delta"));
-                match save_framed(&bytes, &path) {
+                // Stamp the spool frame with the base version so the
+                // on-disk artefact is self-describing and rehydration
+                // can validate it (legacy v0 keeps the legacy frame).
+                match save_framed_versioned(&bytes, base.version, &path) {
                     Ok(()) => ColdStore::Disk(path),
                     Err(_) => ColdStore::Memory(bytes),
                 }
@@ -497,6 +571,194 @@ impl SessionStore {
                 break;
             }
         }
+    }
+
+    /// Transactionally migrate a hot delta session onto `new_base`,
+    /// replaying the user's calibration through the new backbone.
+    ///
+    /// The candidate state — replayed delta, new overlay — is built
+    /// **fully off to the side** and only swapped in after every
+    /// validation gate passes; on any rollback or error the session's
+    /// old `(base, delta)` pair is untouched (byte-exact by
+    /// construction, mirroring `UpdateOutcome`'s commit-or-rollback
+    /// contract). Prototypes are re-derived as the mean embedding of the
+    /// delta's stored support rows — the exact computation
+    /// `calibrate_session` performs — so a surviving migration is the
+    /// calibration the user would have gotten on the new base.
+    ///
+    /// Validation gates (each a [`RollbackReason`]):
+    /// * a prototype with no stored support rows cannot cross embedding
+    ///   spaces → [`RollbackReason::MissingReplaySource`];
+    /// * non-finite embeddings out of the new backbone →
+    ///   [`RollbackReason::NonFiniteWeights`];
+    /// * the rebuilt overlay must classify the user's own support rows
+    ///   at `accuracy_floor` or better →
+    ///   [`RollbackReason::SelfAccuracy`].
+    ///
+    /// The caller must have called [`ensure_hot`](Self::ensure_hot)
+    /// (paged sessions rehydrate bit-identically first, so migration
+    /// after a page-out cycle replays the same bytes).
+    pub(crate) fn migrate_delta(
+        &mut self,
+        id: u64,
+        new_base: &Arc<SharedBase>,
+        new_key: ModelKey,
+        precision: Precision,
+        accuracy_floor: f32,
+    ) -> Result<ReplayOutcome, StoreError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::UnknownSession(SessionId(id)))?;
+        let (old_touch, old_delta) = match &entry.model {
+            SessionModel::Delta(ds) => (ds.touch, &ds.delta),
+            SessionModel::Device(_) => return Err(StoreError::NotDelta(SessionId(id))),
+            SessionModel::Paged(_) => {
+                return Err(StoreError::Storage(format!(
+                    "{} migrated while paged (ensure_hot not called)",
+                    SessionId(id)
+                )))
+            }
+        };
+
+        // Build the candidate delta: margin/threshold/support rows are
+        // base-independent and carry over verbatim; prototypes live in
+        // the base's embedding space and must be re-derived.
+        let mut candidate = old_delta.clone();
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        let mut replayed = 0usize;
+        for label in old_delta.prototype_labels() {
+            let Some(rows) = old_delta.support(label) else {
+                return Ok(ReplayOutcome::RolledBack {
+                    reason: RollbackReason::MissingReplaySource,
+                });
+            };
+            if rows.is_empty() {
+                return Ok(ReplayOutcome::RolledBack {
+                    reason: RollbackReason::MissingReplaySource,
+                });
+            }
+            embedder.embed_rows(&new_base.model, rows, &mut embeddings)?;
+            if (0..embeddings.rows()).any(|r| embeddings.row(r).iter().any(|v| !v.is_finite())) {
+                return Ok(ReplayOutcome::RolledBack {
+                    reason: RollbackReason::NonFiniteWeights,
+                });
+            }
+            let mut proto = vec![0.0f32; embeddings.cols()];
+            for r in 0..embeddings.rows() {
+                for (p, v) in proto.iter_mut().zip(embeddings.row(r)) {
+                    *p += v;
+                }
+            }
+            let n = embeddings.rows() as f32;
+            for p in &mut proto {
+                *p /= n;
+            }
+            candidate.set_prototype(label, proto);
+            replayed += 1;
+        }
+        if !candidate.is_empty() && !new_base.version.is_legacy() {
+            candidate.pin_base(new_base.version);
+        }
+
+        // Assemble the candidate session off to the side; an overlay
+        // rebuild failure leaves the old state untouched.
+        let mut session = DeltaSession {
+            base: Arc::clone(new_base),
+            delta: candidate,
+            overlay: None,
+            touch: old_touch,
+        };
+        session.rebuild_overlay()?;
+
+        // Self-accuracy gate: the rebuilt overlay must still recognise
+        // the user's own recordings.
+        if accuracy_floor > 0.0 {
+            let ncm = session.overlay.as_ref().unwrap_or(&new_base.ncm);
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for label in session.delta.support_labels() {
+                let rows = session.delta.support(label).expect("label from support_labels");
+                if rows.is_empty() {
+                    continue;
+                }
+                embedder.embed_rows(&new_base.model, rows, &mut embeddings)?;
+                for r in 0..embeddings.rows() {
+                    let decision = ncm.classify(embeddings.row(r))?;
+                    total += 1;
+                    if decision.label == *label {
+                        correct += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                let after = correct as f32 / total as f32;
+                if after < accuracy_floor {
+                    return Ok(ReplayOutcome::RolledBack {
+                        reason: RollbackReason::SelfAccuracy {
+                            after,
+                            floor: accuracy_floor,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Commit: swap the candidate in, preserving the LRU stamp (the
+        // lru map entry keeps pointing at this id).
+        let classes = session
+            .overlay
+            .as_ref()
+            .unwrap_or(&new_base.ncm)
+            .num_classes();
+        let entry = self.entries.get_mut(&id).expect("entry checked above");
+        entry.model = SessionModel::Delta(Box::new(session));
+        entry.key = new_key;
+        entry.precision = precision;
+        Ok(ReplayOutcome::Committed {
+            classes,
+            replayed_prototypes: replayed,
+        })
+    }
+
+    /// Restore a delta session to a given `(base, delta)` pair verbatim
+    /// — the rollback path a rollout driver uses to walk a canary wave
+    /// back to version N with the exact pre-migration delta bytes.
+    pub(crate) fn restore_delta(
+        &mut self,
+        id: u64,
+        base: &Arc<SharedBase>,
+        key: ModelKey,
+        precision: Precision,
+        delta: PersonalDelta,
+    ) -> Result<(), StoreError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::UnknownSession(SessionId(id)))?;
+        let old_touch = match &entry.model {
+            SessionModel::Delta(ds) => ds.touch,
+            SessionModel::Device(_) => return Err(StoreError::NotDelta(SessionId(id))),
+            SessionModel::Paged(_) => {
+                return Err(StoreError::Storage(format!(
+                    "{} restored while paged (ensure_hot not called)",
+                    SessionId(id)
+                )))
+            }
+        };
+        let mut session = DeltaSession {
+            base: Arc::clone(base),
+            delta,
+            overlay: None,
+            touch: old_touch,
+        };
+        session.rebuild_overlay()?;
+        let entry = self.entries.get_mut(&id).expect("entry checked above");
+        entry.model = SessionModel::Delta(Box::new(session));
+        entry.key = key;
+        entry.precision = precision;
+        Ok(())
     }
 
     pub(crate) fn tier_snapshot(&self) -> TierSnapshot {

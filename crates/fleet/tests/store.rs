@@ -5,10 +5,12 @@
 //! predictions.
 
 use magneto_core::{
-    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, NcmClassifier,
-    PersonalDelta, Precision, Prediction,
+    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, Lineage, ModelVersion,
+    NcmClassifier, PersonalDelta, Precision, Prediction, RollbackReason,
 };
-use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, StoreError, SubmitError};
+use magneto_fleet::{
+    Fleet, FleetConfig, FleetReply, ModelKey, ReplayOutcome, SessionId, StoreError, SubmitError,
+};
 use magneto_sensors::pool::StreamPool;
 use magneto_sensors::stream::StreamConfig;
 use magneto_sensors::{ActivityKind, GeneratorConfig, SensorDataset};
@@ -355,6 +357,123 @@ fn device_and_delta_apis_reject_the_wrong_session_kind() {
     // Both still deregister cleanly through their own APIs.
     fleet.deregister_delta(delta_id).unwrap();
     fleet.deregister(dev_id).unwrap().classes();
+    fleet.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Versioned base migration: transactional replay, byte-exact rollback.
+// ---------------------------------------------------------------------
+
+/// The seed bundle stamped as version 1, and its version-2 successor.
+/// Same weights (only the lineage differs), so a committed migration's
+/// replayed prototypes must be bit-identical to a fresh calibration.
+fn versioned_pair() -> (EdgeBundle, EdgeBundle) {
+    let v1 = bundle().clone().with_lineage(Lineage::root(1));
+    let v2 = v1.clone().with_lineage(v1.child_lineage());
+    (v1, v2)
+}
+
+#[test]
+fn migration_replays_calibration_onto_new_base() {
+    let (v1, v2) = versioned_pair();
+    let mut fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    let key1 = fleet.register_base(&v1, Precision::F32).unwrap();
+    let key2 = fleet.register_base(&v2, Precision::F32).unwrap();
+    assert_ne!(key1, key2, "lineage must fork the model key");
+
+    let calib = windows(3, 41);
+    let (id, rx) = fleet.register_from_base(key1, Precision::F32).unwrap();
+    fleet.calibrate_session(id, "user_move", &calib).unwrap();
+    assert_eq!(fleet.session_version(id).unwrap(), ModelVersion(1));
+    assert_eq!(
+        fleet.session_delta(id).unwrap().base_version(),
+        Some(ModelVersion(1))
+    );
+
+    // A control session calibrated directly on v2: the migrated session
+    // must end up serving bit-identically to it.
+    let (control, control_rx) = fleet.register_from_base(key2, Precision::F32).unwrap();
+    fleet
+        .calibrate_session(control, "user_move", &calib)
+        .unwrap();
+
+    // Migrate through a page-out so the replay crosses the cold tier.
+    assert!(fleet.page_out(id).unwrap());
+    let outcome = fleet.migrate_session(id, key2, Precision::F32).unwrap();
+    assert!(
+        matches!(
+            outcome,
+            ReplayOutcome::Committed {
+                replayed_prototypes: 1,
+                ..
+            }
+        ),
+        "{outcome:?}"
+    );
+    assert_eq!(fleet.session_version(id).unwrap(), ModelVersion(2));
+    assert_eq!(fleet.session_key(id).unwrap(), key2);
+    assert_eq!(
+        fleet.session_delta(id).unwrap().base_version(),
+        Some(ModelVersion(2))
+    );
+
+    for w in windows(3, 43) {
+        fleet.submit(id, w.clone()).unwrap();
+        fleet.submit(control, w).unwrap();
+        fleet.pump();
+        let migrated = recv_ok(&rx);
+        let fresh = recv_ok(&control_rx);
+        assert_bit_identical(&migrated, &fresh);
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn failed_migration_rolls_back_byte_exactly() {
+    let (v1, v2) = versioned_pair();
+    let fleet = Fleet::new(FleetConfig::deterministic()).unwrap();
+    let key1 = fleet.register_base(&v1, Precision::F32).unwrap();
+    let key2 = fleet.register_base(&v2, Precision::F32).unwrap();
+    let (id, _rx) = fleet.register_from_base(key1, Precision::F32).unwrap();
+
+    // A prototype with no support rows cannot be replayed through a new
+    // backbone — inject one (at the base's true embedding dim) to force
+    // the MissingReplaySource gate.
+    fleet
+        .calibrate_session(id, "user_move", &windows(2, 51))
+        .unwrap();
+    let dim = fleet
+        .session_delta(id)
+        .unwrap()
+        .prototype("user_move")
+        .unwrap()
+        .len();
+    let mut orphan = PersonalDelta::new();
+    orphan.set_prototype("ghost", vec![0.5; dim]);
+    orphan.pin_base(ModelVersion(1));
+    fleet
+        .restore_session(id, key1, Precision::F32, orphan)
+        .unwrap();
+    let before = fleet.session_delta(id).unwrap().to_bytes();
+
+    let outcome = fleet.migrate_session(id, key2, Precision::F32).unwrap();
+    assert_eq!(
+        outcome.rollback_reason(),
+        Some(RollbackReason::MissingReplaySource)
+    );
+    assert!(!outcome.is_committed());
+
+    // The rolled-back session is byte-identical to its pre-migration
+    // state and still serves version 1 under the old key.
+    assert_eq!(fleet.session_delta(id).unwrap().to_bytes(), before);
+    assert_eq!(fleet.session_version(id).unwrap(), ModelVersion(1));
+    assert_eq!(fleet.session_key(id).unwrap(), key1);
+
+    // Migrating to an unregistered base is a typed error, not a panic.
+    assert!(matches!(
+        fleet.migrate_session(id, ModelKey::shared(7), Precision::F32),
+        Err(StoreError::UnknownBase(_, _))
+    ));
     fleet.shutdown();
 }
 

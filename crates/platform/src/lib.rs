@@ -22,7 +22,11 @@
 //!   experiment tables;
 //! * [`fleet`] — energy/traffic accounting aggregated across a whole
 //!   fleet of concurrently served edge sessions (the `magneto-fleet`
-//!   serving runtime reports into it).
+//!   serving runtime reports into it);
+//! * [`rollout`] — the versioned base-model lifecycle: canary-waved
+//!   rollout of a new bundle as a delta-compressed diff, with an
+//!   accuracy gate against the pre-rollout baseline, automatic halt +
+//!   rollback, and Definition 1 checked as a post-condition.
 
 pub mod device;
 pub mod energy;
@@ -30,9 +34,14 @@ pub mod fleet;
 pub mod flops;
 pub mod network;
 pub mod protocol;
+pub mod rollout;
 
 pub use device::DeviceModel;
 pub use energy::EnergyModel;
 pub use fleet::{FleetAccounting, FleetEnergyReport};
 pub use network::NetworkLink;
 pub use protocol::{CloudProtocol, EdgeProtocol, HarProtocol, ProtocolOutcome};
+pub use rollout::{
+    BundleDiff, HaltReason, Rollout, RolloutConfig, RolloutError, RolloutReport, RolloutStatus,
+    WaveOutcome,
+};

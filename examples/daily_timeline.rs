@@ -71,6 +71,9 @@ fn main() {
         correct,
         total
     );
-    device.privacy_ledger().assert_no_uplink();
+    if let Err(e) = device.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!("uplink bytes: 0 ✓");
 }

@@ -130,7 +130,13 @@ fn main() {
         None => println!("[drift] no drift detected (style shift too mild)"),
     }
 
-    alice.privacy_ledger().assert_no_uplink();
-    bob.privacy_ledger().assert_no_uplink();
+    if let Err(e) = alice.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = bob.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!("\n[privacy] both phones: 0 bytes Edge → Cloud ✓");
 }

@@ -97,6 +97,9 @@ fn main() {
         );
     }
 
-    magneto.privacy_ledger().assert_no_uplink();
+    if let Err(e) = magneto.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!("[edge] privacy invariant held: 0 bytes Edge → Cloud ✓");
 }

@@ -80,6 +80,9 @@ fn main() {
         (after - before) * 100.0
     );
 
-    device.privacy_ledger().assert_no_uplink();
+    if let Err(e) = device.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!("[edge]  the user's data never left the device ✓");
 }

@@ -67,7 +67,10 @@ fn main() {
     );
 
     // Definition 1: nothing ever went Edge → Cloud.
-    device.privacy_ledger().assert_no_uplink();
+    if let Err(e) = device.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!(
         "[edge]  privacy: downlink {} B, uplink {} B ✓",
         device.privacy_ledger().downlink_bytes(),

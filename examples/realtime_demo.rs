@@ -105,6 +105,9 @@ fn main() {
         footprint.total_mib(),
         footprint.within_5mb()
     );
-    device.privacy_ledger().assert_no_uplink();
+    if let Err(e) = device.privacy_ledger().check_no_uplink() {
+        eprintln!("privacy invariant violated: {e}");
+        std::process::exit(1);
+    }
     println!("[stats] uplink bytes: 0 ✓  — the demo phone never talked to the Cloud");
 }

@@ -16,6 +16,7 @@
 
 use magneto::core::storage::{load_bundle, save_bundle};
 use magneto::core::timeline::TimelineBuilder;
+use magneto::core::Lineage;
 use magneto::prelude::*;
 use magneto::sensors::stream::StreamConfig;
 use std::path::{Path, PathBuf};
@@ -68,7 +69,7 @@ impl Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  magneto pretrain  --out PATH [--windows-per-class N] [--epochs N] [--seed N] [--fast] [--quantized] [--retune]
+  magneto pretrain  --out PATH [--windows-per-class N] [--epochs N] [--seed N] [--model-version N] [--fast] [--quantized] [--retune]
   magneto inspect   BUNDLE
   magneto infer     BUNDLE --activity NAME [--seconds N] [--seed N] [--atypical] [--precision f32|int8] [--retune]
   magneto learn     BUNDLE --label NAME --activity NAME [--seconds N] [--seed N] [--out PATH] [--precision f32|int8] [--retune]
@@ -184,12 +185,15 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
         report.training.final_loss().unwrap_or(f32::NAN),
         report.training.epochs_run
     );
+    let version = args.num("model-version", 1u32);
+    let bundle = bundle.with_lineage(Lineage::root(version));
     let quantized = args.has("quantized");
     save_bundle(&bundle, &out, quantized).map_err(|e| e.to_string())?;
     let sizes = bundle.size_report(quantized);
     println!(
-        "[cloud] wrote {} ({:.2} MiB, quantized: {quantized}, < 5 MB: {})",
+        "[cloud] wrote {} ({}, {:.2} MiB, quantized: {quantized}, < 5 MB: {})",
         out.display(),
+        bundle.version(),
         sizes.total_mib(),
         sizes.within_5mb()
     );
@@ -201,6 +205,14 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     let bundle = load_bundle(&path).map_err(|e| e.to_string())?;
     let sizes = bundle.size_report(false);
     println!("bundle {}", path.display());
+    let version = match &bundle.lineage {
+        None => format!("{} (legacy, unversioned)", bundle.version()),
+        Some(l) => match l.parent {
+            None => format!("{} (root)", bundle.version()),
+            Some(hash) => format!("{} (parent {hash:016x})", bundle.version()),
+        },
+    };
+    println!("  version        : {version}");
     println!("  classes        : {:?}", bundle.registry.labels());
     println!("  backbone       : {:?}", bundle.model.dims());
     println!(
@@ -291,7 +303,10 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         stats.p99_us / 1e3,
         stats.count
     );
-    device.privacy_ledger().assert_no_uplink();
+    device
+        .privacy_ledger()
+        .check_no_uplink()
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -328,7 +343,10 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("[edge] saved updated bundle to {}", out.display());
-    device.privacy_ledger().assert_no_uplink();
+    device
+        .privacy_ledger()
+        .check_no_uplink()
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 

@@ -45,7 +45,7 @@
 //! let probe = SensorDataset::generate(&GeneratorConfig::tiny(), 7);
 //! let pred = device.infer_window(&probe.windows[0].channels).unwrap();
 //! assert!(device.classes().contains(&pred.label));
-//! device.privacy_ledger().assert_no_uplink();
+//! device.privacy_ledger().check_no_uplink().unwrap();
 //! ```
 
 pub use magneto_core as core;
