@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale bench-ncm bench-rollout fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke chaos clean
+.PHONY: check build test test-all clippy lint-unsafe fmt bench bench-train bench-fleet bench-quant bench-fleet-scale bench-ncm bench-rollout bench-continual fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke continual-smoke chaos chaos-drift clean
 
-check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke
+check: build test clippy lint-unsafe fleet-smoke fleet-scale-smoke train-smoke quant-smoke fault-smoke ncm-scale-smoke rollout-smoke continual-smoke
 
 build:
 	$(CARGO) build --release
@@ -113,11 +113,33 @@ rollout-smoke: build
 # Alias mirroring bench-train for the rollout lifecycle.
 bench-rollout: rollout-smoke
 
+# Release-mode continual-learning smoke run: class-incremental protocol
+# (deploy → learn two gestures → calibrate walk to an atypical user)
+# with per-step accuracy, forgetting and backward transfer, an open-set
+# rejection-threshold sweep, and the self-healing gates — a sustained
+# gait change must commit an automatic recalibration that lands
+# post-heal accuracy within 10 points of pre-drift, a rejected
+# recalibration must leave the bundle byte-identical, and
+# check_no_uplink must hold throughout; emits BENCH_continual.json in
+# the working directory.
+continual-smoke: build
+	$(CARGO) run --release -p magneto-bench --bin continual_smoke
+
+# Alias mirroring bench-train for the continual-learning protocol.
+bench-continual: continual-smoke
+
 # Extended chaos sweep: the fault-smoke gates with 32 seeded all-faults
 # plans (drops + frozen channels + NaN/saturation bursts + jitter)
 # through the full streaming path, each replayed for bit-identity.
 chaos: build
 	$(CARGO) run --release -p magneto-bench --bin fault_smoke -- --chaos-seeds 32
+
+# Extended drift sweep: the continual-smoke gates with 16 seeded
+# fault + gait-drift plans composed through the self-healing streaming
+# path, each replayed for bit-identity (drift statuses and healing
+# counters included).
+chaos-drift: build
+	$(CARGO) run --release -p magneto-bench --bin continual_smoke -- --drift-seeds 16
 
 clean:
 	$(CARGO) clean

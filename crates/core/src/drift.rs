@@ -9,7 +9,13 @@
 //! distance to its nearest prototype and compares it to the baseline
 //! within-class distance observed at deployment. No raw data is stored —
 //! just two scalars — so the monitor adds nothing to the privacy surface.
+//!
+//! The monitor is wired into [`crate::EdgeDevice`]'s streaming path (its
+//! status rides on every [`crate::inference::Prediction`]) and drives the
+//! automatic recalibration policy in [`crate::recalibrate`].
 
+use crate::error::CoreError;
+use crate::Result;
 use serde::{Deserialize, Serialize};
 
 /// Online drift detector over nearest-prototype distances.
@@ -44,6 +50,23 @@ pub enum DriftStatus {
     },
 }
 
+impl DriftStatus {
+    /// `true` when the status is [`DriftStatus::Drifted`].
+    pub fn is_drifted(&self) -> bool {
+        matches!(self, DriftStatus::Drifted { .. })
+    }
+}
+
+impl std::fmt::Display for DriftStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftStatus::WarmingUp => write!(f, "warming-up"),
+            DriftStatus::Stable => write!(f, "stable"),
+            DriftStatus::Drifted { severity } => write!(f, "DRIFTED ({severity:.2}x baseline)"),
+        }
+    }
+}
+
 impl DriftMonitor {
     /// Create a monitor.
     ///
@@ -52,20 +75,48 @@ impl DriftMonitor {
     /// [`ModelState::rejection_threshold`](crate::incremental::ModelState::rejection_threshold)
     /// with margin 1); `alert_ratio` is how many times that baseline the
     /// smoothed distance may reach before alerting (2–4 is reasonable).
-    pub fn new(baseline: f32, alert_ratio: f32, alpha: f32, warmup: u64) -> Self {
-        DriftMonitor {
-            baseline: baseline.max(1e-6),
-            alert_ratio: alert_ratio.max(1.0),
-            alpha: alpha.clamp(1e-3, 1.0),
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when `baseline` is not finite and
+    /// positive, `alert_ratio` is not finite or below 1 (which would
+    /// alert on in-distribution data), or `alpha` is not finite or
+    /// outside `(0, 1]`. A monitor misconfigured this way would either
+    /// cry wolf on every window or never fire at all, so the mistake is
+    /// surfaced at construction rather than silently clamped.
+    pub fn new(baseline: f32, alert_ratio: f32, alpha: f32, warmup: u64) -> Result<Self> {
+        if !baseline.is_finite() || baseline <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "drift baseline must be finite and positive, got {baseline}"
+            )));
+        }
+        if !alert_ratio.is_finite() || alert_ratio < 1.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "drift alert ratio must be finite and >= 1, got {alert_ratio}"
+            )));
+        }
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "drift alpha must be finite and in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(DriftMonitor {
+            baseline,
+            alert_ratio,
+            alpha,
             smoothed: None,
             observations: 0,
             warmup,
-        }
+        })
     }
 
     /// Feed one window's nearest-prototype distance; returns the status
-    /// after the update.
+    /// after the update. Non-finite distances (a degraded window whose
+    /// repair failed upstream) are ignored rather than poisoning the
+    /// EWMA.
     pub fn observe(&mut self, nearest_distance: f32) -> DriftStatus {
+        if !nearest_distance.is_finite() {
+            return self.status();
+        }
         self.observations += 1;
         let s = match self.smoothed {
             Some(prev) => prev + self.alpha * (nearest_distance - prev),
@@ -99,9 +150,20 @@ impl DriftMonitor {
         self.observations
     }
 
-    /// Reset after a recalibration (new baseline).
+    /// The baseline distance alerts are measured against.
+    pub fn baseline(&self) -> f32 {
+        self.baseline
+    }
+
+    /// Reset after a recalibration (new baseline). Degenerate baselines
+    /// are floored at a tiny positive value — reset happens mid-stream
+    /// where an error has nowhere useful to go.
     pub fn reset(&mut self, baseline: f32) {
-        self.baseline = baseline.max(1e-6);
+        self.baseline = if baseline.is_finite() {
+            baseline.max(1e-6)
+        } else {
+            self.baseline
+        };
         self.smoothed = None;
         self.observations = 0;
     }
@@ -112,7 +174,7 @@ mod tests {
     use super::*;
 
     fn monitor() -> DriftMonitor {
-        DriftMonitor::new(1.0, 2.0, 0.2, 5)
+        DriftMonitor::new(1.0, 2.0, 0.2, 5).unwrap()
     }
 
     #[test]
@@ -134,6 +196,7 @@ mod tests {
         assert_eq!(m.status(), DriftStatus::Stable);
         assert!((m.smoothed_distance().unwrap() - 1.0).abs() < 1e-5);
         assert_eq!(m.observations(), 50);
+        assert_eq!(m.baseline(), 1.0);
     }
 
     #[test]
@@ -174,6 +237,19 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_distances_are_ignored() {
+        let mut m = monitor();
+        for _ in 0..10 {
+            m.observe(1.0);
+        }
+        let before = m.smoothed_distance();
+        assert_eq!(m.observe(f32::NAN), DriftStatus::Stable);
+        assert_eq!(m.observe(f32::INFINITY), DriftStatus::Stable);
+        assert_eq!(m.smoothed_distance(), before);
+        assert_eq!(m.observations(), 10);
+    }
+
+    #[test]
     fn reset_clears_state() {
         let mut m = monitor();
         for _ in 0..10 {
@@ -183,13 +259,96 @@ mod tests {
         assert_eq!(m.status(), DriftStatus::WarmingUp);
         assert_eq!(m.observations(), 0);
         assert!(m.smoothed_distance().is_none());
+        assert_eq!(m.baseline(), 2.0);
+        // A non-finite reset baseline keeps the previous one.
+        m.reset(f32::NAN);
+        assert_eq!(m.baseline(), 2.0);
     }
 
     #[test]
-    fn degenerate_parameters_are_clamped() {
-        let mut m = DriftMonitor::new(0.0, 0.5, 5.0, 0);
-        // baseline floored, ratio floored to 1, alpha clamped to 1.
-        assert!(matches!(m.observe(1.0), DriftStatus::Drifted { .. }));
+    fn degenerate_parameters_are_rejected_with_typed_errors() {
+        // baseline: zero, negative, NaN, infinite.
+        for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+            assert!(
+                matches!(
+                    DriftMonitor::new(bad, 2.0, 0.2, 5),
+                    Err(CoreError::InvalidConfig(_))
+                ),
+                "baseline {bad} accepted"
+            );
+        }
+        // alert_ratio: below 1 (would alert on in-distribution data),
+        // NaN, infinite.
+        for bad in [0.5f32, 0.0, -2.0, f32::NAN, f32::INFINITY] {
+            assert!(
+                matches!(
+                    DriftMonitor::new(1.0, bad, 0.2, 5),
+                    Err(CoreError::InvalidConfig(_))
+                ),
+                "alert_ratio {bad} accepted"
+            );
+        }
+        // alpha: outside (0, 1], NaN.
+        for bad in [0.0f32, -0.1, 1.5, f32::NAN] {
+            assert!(
+                matches!(
+                    DriftMonitor::new(1.0, 2.0, bad, 5),
+                    Err(CoreError::InvalidConfig(_))
+                ),
+                "alpha {bad} accepted"
+            );
+        }
+        // Boundary values that must be accepted.
+        assert!(DriftMonitor::new(1e-9, 1.0, 1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn severity_is_monotone_in_smoothed_distance() {
+        // Property (grid-checked): for fixed parameters, a strictly
+        // larger smoothed distance never reports a smaller severity, and
+        // the Stable -> Drifted transition is a single threshold.
+        let mut last_severity = 0.0f32;
+        let mut seen_drifted = false;
+        for step in 1..=60 {
+            let d = step as f32 * 0.1; // 0.1 .. 6.0
+            let mut m = DriftMonitor::new(1.0, 2.0, 1.0, 0).unwrap();
+            match m.observe(d) {
+                DriftStatus::Drifted { severity } => {
+                    assert!(
+                        severity >= last_severity,
+                        "severity fell from {last_severity} to {severity} at d={d}"
+                    );
+                    last_severity = severity;
+                    seen_drifted = true;
+                }
+                DriftStatus::Stable => {
+                    assert!(!seen_drifted, "went back to Stable after Drifted at d={d}");
+                }
+                DriftStatus::WarmingUp => unreachable!("warmup is 0"),
+            }
+        }
+        assert!(seen_drifted);
+    }
+
+    #[test]
+    fn never_alerts_during_warmup_property() {
+        // Property (grid-checked): no distance sequence, however
+        // extreme, produces an alert before `warmup` observations.
+        for warmup in [1u64, 3, 8, 32] {
+            for scale in [1.0f32, 100.0, 1e6] {
+                let mut m = DriftMonitor::new(1.0, 1.0, 1.0, warmup).unwrap();
+                for i in 0..warmup {
+                    let status = m.observe(scale * (i + 1) as f32);
+                    if i + 1 < warmup {
+                        assert_eq!(
+                            status,
+                            DriftStatus::WarmingUp,
+                            "alerted at obs {i} with warmup {warmup}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -199,5 +358,14 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: DriftMonitor = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+        // A mid-drift monitor (alerting state) survives persistence too.
+        for _ in 0..20 {
+            m.observe(9.0);
+        }
+        assert!(m.status().is_drifted());
+        let bytes = serde_json::to_vec(&m).unwrap();
+        let back: DriftMonitor = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.status(), m.status());
+        assert_eq!(back, m);
     }
 }

@@ -8,6 +8,7 @@
 //! calibration — all without a byte of uplink.
 
 use crate::bundle::{BundleSizeReport, EdgeBundle};
+use crate::drift::{DriftMonitor, DriftStatus};
 use crate::embed::BatchEmbedder;
 use crate::error::CoreError;
 use crate::incremental::{IncrementalConfig, ModelState, UpdateMode, UpdateOutcome};
@@ -17,6 +18,7 @@ use crate::inference::{
 };
 use crate::precision::{Precision, QuantizedSupportSet, ResidentSupport};
 use crate::privacy::PrivacyLedger;
+use crate::recalibrate::{HealingStats, Recalibrator, SelfHealingConfig};
 use crate::version::{Lineage, ModelVersion};
 use crate::Result;
 use magneto_dsp::PreprocessingPipeline;
@@ -40,6 +42,13 @@ pub struct EdgeConfig {
     /// pre-refactor behaviour.
     #[serde(default)]
     pub precision: Precision,
+    /// Self-healing under concept drift: when set, the device runs a
+    /// [`DriftMonitor`] over the streaming path and automatically
+    /// recalibrates through the transactional update gates (see
+    /// [`crate::recalibrate`]). `None` (the default) preserves the
+    /// drift-blind behaviour.
+    #[serde(default)]
+    pub healing: Option<SelfHealingConfig>,
 }
 
 impl Default for EdgeConfig {
@@ -50,7 +59,54 @@ impl Default for EdgeConfig {
             incremental: IncrementalConfig::default(),
             seed: 0,
             precision: Precision::F32,
+            healing: None,
         }
+    }
+}
+
+/// Runtime state of the self-healing loop: the streaming drift detector
+/// plus the recalibration policy that drives transactional repairs.
+///
+/// The support-set percentile from deploy time only floors the baseline:
+/// live streaming windows sit at a different distance scale than the
+/// curated support exemplars, so the first `warmup` windows of the
+/// stream (assumed nominal) re-calibrate the baseline to the observed
+/// mean before alerting is armed.
+#[derive(Debug)]
+struct HealingLoop {
+    monitor: DriftMonitor,
+    recal: Recalibrator,
+    calibrated: bool,
+    calib_sum: f64,
+    calib_n: u64,
+}
+
+impl HealingLoop {
+    /// Feed one nearest-prototype distance into the live baseline
+    /// estimate; once enough windows are seen, re-baseline the monitor
+    /// (floored by the deploy-time baseline) and re-enter warmup.
+    fn calibrate(&mut self, nearest: f32) {
+        if self.calibrated || !nearest.is_finite() {
+            return;
+        }
+        self.calib_sum += f64::from(nearest);
+        self.calib_n += 1;
+        if self.calib_n >= self.recal.config().warmup.max(1) {
+            let mean = (self.calib_sum / self.calib_n as f64) as f32;
+            let floor = self.monitor.baseline();
+            self.monitor.reset(mean.max(floor));
+            self.calibrated = true;
+        }
+    }
+
+    /// Restart live-baseline estimation (after a committed
+    /// recalibration changed the support set under the monitor).
+    fn recalibrate_baseline(&mut self) {
+        let b = self.monitor.baseline();
+        self.monitor.reset(b);
+        self.calibrated = false;
+        self.calib_sum = 0.0;
+        self.calib_n = 0;
     }
 }
 
@@ -66,6 +122,7 @@ pub struct EdgeDevice {
     embedder: BatchEmbedder,
     rng: SeededRng,
     lineage: Option<Lineage>,
+    healing: Option<HealingLoop>,
 }
 
 impl EdgeDevice {
@@ -98,7 +155,7 @@ impl EdgeDevice {
         // and batch paths degrade identically.
         let guard = bundle.pipeline.config().guard;
         let lineage = bundle.lineage;
-        Ok(EdgeDevice {
+        let mut device = EdgeDevice {
             pipeline: bundle.pipeline,
             lineage,
             session: StreamingSession::with_guard(
@@ -112,8 +169,65 @@ impl EdgeDevice {
             latency: LatencyRecorder::new(),
             embedder: BatchEmbedder::new(),
             rng: SeededRng::new(config.seed),
+            healing: None,
             config,
-        })
+        };
+        if let Some(healing) = config.healing {
+            device.enable_self_healing(healing)?;
+        }
+        Ok(device)
+    }
+
+    /// Switch on the self-healing loop: a [`DriftMonitor`] baselined on
+    /// the current support set watches every streaming window, and the
+    /// [`Recalibrator`] policy turns sustained drift into transactional
+    /// calibration attempts (committed only through the validation
+    /// gates; byte-exact rollback otherwise). Re-enabling replaces any
+    /// previous loop and re-baselines against the current support set.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when the config fails validation;
+    /// [`CoreError::InsufficientData`] when no support samples exist to
+    /// baseline the monitor.
+    pub fn enable_self_healing(&mut self, config: SelfHealingConfig) -> Result<()> {
+        config.validate()?;
+        let baseline = self
+            .state
+            .rejection_threshold(config.baseline_percentile, 1.0)?;
+        let monitor = DriftMonitor::new(
+            baseline.max(1e-6),
+            config.alert_ratio,
+            config.alpha,
+            config.warmup,
+        )?;
+        let recal = Recalibrator::new(config)?;
+        self.session.set_retain_windows(true);
+        self.healing = Some(HealingLoop {
+            monitor,
+            recal,
+            calibrated: false,
+            calib_sum: 0.0,
+            calib_n: 0,
+        });
+        Ok(())
+    }
+
+    /// Switch the self-healing loop off (drift status stops riding on
+    /// predictions; no further automatic recalibration).
+    pub fn disable_self_healing(&mut self) {
+        self.healing = None;
+        self.session.set_retain_windows(false);
+    }
+
+    /// Current drift status, when self-healing is enabled.
+    pub fn drift_status(&self) -> Option<DriftStatus> {
+        self.healing.as_ref().map(|h| h.monitor.status())
+    }
+
+    /// Self-healing counters (alerts, committed recalibrations,
+    /// rollbacks, strikes), when the loop is enabled.
+    pub fn healing_stats(&self) -> Option<HealingStats> {
+        self.healing.as_ref().map(|h| h.recal.stats())
     }
 
     /// Activities the device currently recognises.
@@ -226,14 +340,15 @@ impl EdgeDevice {
     /// # Errors
     /// Propagates inference errors on completed windows.
     pub fn push_frame(&mut self, frame: &SensorFrame) -> Result<Option<SmoothedPrediction>> {
-        let out = self.session.push_sample(
+        let mut out = self.session.push_sample(
             &frame.values,
             &self.pipeline,
             &self.state.model,
             &self.state.ncm,
         )?;
-        if let Some(p) = &out {
+        if let Some(p) = &mut out {
             self.latency.record(p.raw.latency);
+            self.self_heal(std::slice::from_mut(p))?;
         }
         Ok(out)
     }
@@ -247,7 +362,7 @@ impl EdgeDevice {
     /// Propagates inference errors on completed windows.
     pub fn push_frames(&mut self, frames: &[SensorFrame]) -> Result<Vec<SmoothedPrediction>> {
         let rows: Vec<&[f32]> = frames.iter().map(|f| f.values.as_slice()).collect();
-        let out = self.session.push_samples(
+        let mut out = self.session.push_samples(
             &rows,
             &self.pipeline,
             &self.state.model,
@@ -256,7 +371,84 @@ impl EdgeDevice {
         for p in &out {
             self.latency.record(p.raw.latency);
         }
+        self.self_heal(&mut out)?;
         Ok(out)
+    }
+
+    /// The self-healing step behind the streaming path: observe each
+    /// completed window's nearest-prototype distance, stamp the drift
+    /// status onto the prediction, harvest confident nominal windows as
+    /// calibration evidence, and — on sustained drift past hysteresis
+    /// and cooldown — attempt a transactional recalibration.
+    fn self_heal(&mut self, preds: &mut [SmoothedPrediction]) -> Result<()> {
+        if self.healing.is_none() {
+            return Ok(());
+        }
+        let windows = self.session.take_retained();
+        let dim = self.pipeline.output_dim();
+        let mut row = vec![0.0f32; dim];
+        let mut fire = false;
+        for (p, window) in preds.iter_mut().zip(&windows) {
+            let healing = self.healing.as_mut().expect("checked above");
+            let nearest = p
+                .raw
+                .distances
+                .iter()
+                .cloned()
+                .fold(f32::INFINITY, f32::min);
+            healing.calibrate(nearest);
+            let status = healing.monitor.observe(nearest);
+            p.raw.drift = Some(status);
+            // Harvest evidence: the policy filters on confidence and
+            // quality; featurisation is only paid for eligible windows.
+            if p.raw.confidence >= healing.recal.config().min_confidence
+                && !p.raw.quality.is_degraded()
+            {
+                self.pipeline.process_into(window, &mut row)?;
+                let healing = self.healing.as_mut().expect("checked above");
+                healing
+                    .recal
+                    .offer(&p.raw.label, &row, p.raw.confidence, p.raw.quality);
+            }
+            let healing = self.healing.as_mut().expect("checked above");
+            fire |= healing.recal.observe(status);
+        }
+        if fire {
+            self.attempt_recalibration();
+        }
+        Ok(())
+    }
+
+    /// Execute one automatic recalibration attempt through the same
+    /// transactional gates as user-triggered learning. Failures never
+    /// propagate into the serving path: a rejected or errored update is
+    /// rolled back byte-exactly by the transactional machinery and
+    /// counted as a strike.
+    fn attempt_recalibration(&mut self) {
+        let Some(candidate) = self.healing.as_ref().and_then(|h| h.recal.candidate()) else {
+            return;
+        };
+        let (label, rows) = candidate;
+        let config = self.config.incremental;
+        let outcome =
+            self.state
+                .update_transactional(&label, &rows, UpdateMode::Calibration, &config, &mut self.rng);
+        match outcome {
+            Ok(UpdateOutcome::Committed(_)) => {
+                // The refreshed support set shifts the distance scale, so
+                // re-estimate the live baseline from the post-commit
+                // stream (old baseline stays as the floor).
+                if let Some(healing) = self.healing.as_mut() {
+                    healing.recal.note_commit();
+                    healing.recalibrate_baseline();
+                }
+            }
+            Ok(UpdateOutcome::RolledBack { .. }) | Err(_) => {
+                if let Some(healing) = self.healing.as_mut() {
+                    healing.recal.note_rollback();
+                }
+            }
+        }
     }
 
     /// Reset the streaming session (activity boundary in the UI).
@@ -878,6 +1070,123 @@ mod tests {
         .unwrap();
         assert_eq!(device2.classes(), device.classes());
         assert_eq!(device2.precision(), Precision::Int8);
+    }
+
+    fn walk_frames(n: usize, seed: u64) -> Vec<SensorFrame> {
+        let mut stream = magneto_sensors::SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            magneto_sensors::stream::StreamConfig::ideal(),
+            SeededRng::new(seed),
+        );
+        (0..n).map(|_| stream.next().unwrap()).collect()
+    }
+
+    #[test]
+    fn self_healing_stays_quiet_on_clean_stream() {
+        let mut device = deployed_device(50);
+        device
+            .enable_self_healing(SelfHealingConfig::default())
+            .unwrap();
+        assert!(device.drift_status().is_some());
+        let preds = device.push_frames(&walk_frames(120 * 12, 51)).unwrap();
+        assert_eq!(preds.len(), 12);
+        // Every streaming prediction carries a drift status now.
+        assert!(preds.iter().all(|p| p.raw.drift.is_some()));
+        let stats = device.healing_stats().unwrap();
+        assert_eq!(stats.drift_alerts, 0, "clean walk must not alert: {stats:?}");
+        assert_eq!(stats.auto_recals, 0);
+        assert!(!stats.degraded);
+        // Self-healing adds zero uplink.
+        device.privacy_ledger().assert_no_uplink();
+    }
+
+    #[test]
+    fn self_healing_detects_drift_and_attempts_recalibration() {
+        let mut device = deployed_device(52);
+        device
+            .enable_self_healing(SelfHealingConfig::default())
+            .unwrap();
+        // Warm the monitor up on clean data first (the first windows
+        // also calibrate the live baseline).
+        device.push_frames(&walk_frames(120 * 8, 53)).unwrap();
+        // Then the user's gait changes: motion amplitude ramps up over
+        // five seconds and stays there.
+        let mut drift = magneto_sensors::DriftPlan::gait_change(54, 1.6, 600).injector();
+        let drifted = drift.apply(&walk_frames(120 * 30, 55));
+        let preds = device.push_frames(&drifted).unwrap();
+        assert!(preds
+            .iter()
+            .any(|p| matches!(p.raw.drift, Some(DriftStatus::Drifted { .. }))));
+        let stats = device.healing_stats().unwrap();
+        assert!(stats.drift_alerts >= 1, "no alert fired: {stats:?}");
+        assert!(
+            stats.auto_recals + stats.recal_rollbacks >= 1,
+            "sustained drift never triggered an attempt: {stats:?}"
+        );
+        device.privacy_ledger().assert_no_uplink();
+    }
+
+    #[test]
+    fn rejected_recalibrations_strike_out_byte_exactly() {
+        // An unattainable self-accuracy floor forces every automatic
+        // attempt to roll back; the policy must degrade after
+        // max_strikes and the model bytes must be exactly untouched.
+        let mut config = EdgeConfig::default();
+        config.incremental.validation.self_accuracy_floor = 1.5;
+        config.healing = Some(SelfHealingConfig {
+            max_strikes: 2,
+            cooldown: 4,
+            // Harvest even low-confidence windows so the evidence buffer
+            // refills quickly between strikes.
+            min_confidence: 0.05,
+            ..SelfHealingConfig::default()
+        });
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 56);
+        let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
+            .pretrain(&corpus)
+            .unwrap();
+        let mut device = EdgeDevice::deploy(bundle, config).unwrap();
+        let before = device.as_bundle().to_bytes(false);
+
+        device.push_frames(&walk_frames(120 * 8, 57)).unwrap();
+        let mut drift = magneto_sensors::DriftPlan::gait_change(58, 1.6, 600).injector();
+        let drifted = drift.apply(&walk_frames(120 * 60, 59));
+        device.push_frames(&drifted).unwrap();
+
+        let stats = device.healing_stats().unwrap();
+        assert_eq!(stats.auto_recals, 0, "impossible floor committed: {stats:?}");
+        if stats.recal_rollbacks >= 2 {
+            assert!(stats.degraded, "strikes exhausted but not degraded: {stats:?}");
+            assert!(stats.advisory().is_some());
+        }
+        assert!(
+            stats.recal_rollbacks == 0 || before == device.as_bundle().to_bytes(false),
+            "rolled-back recalibration mutated the bundle"
+        );
+        device.privacy_ledger().assert_no_uplink();
+    }
+
+    #[test]
+    fn healing_config_in_edge_config_enables_at_deploy() {
+        let corpus = SensorDataset::generate(&GeneratorConfig::tiny(), 60);
+        let (bundle, _) = CloudInitializer::new(CloudConfig::fast_demo())
+            .pretrain(&corpus)
+            .unwrap();
+        let config = EdgeConfig {
+            healing: Some(SelfHealingConfig::default()),
+            ..EdgeConfig::default()
+        };
+        let device = EdgeDevice::deploy(bundle, config).unwrap();
+        assert!(device.drift_status().is_some());
+        assert_eq!(device.healing_stats().unwrap(), HealingStats::default());
+        // Legacy configs (no healing key) still deserialize, defaulting
+        // to drift-blind.
+        let json = serde_json::to_string(&EdgeConfig::default()).unwrap();
+        let stripped = json.replace(",\"healing\":null", "");
+        assert_ne!(json, stripped);
+        let back: EdgeConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.healing, None);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! segments a live sensor stream and majority-vote-smooths the label
 //! sequence for the UI.
 
+use crate::drift::DriftStatus;
 use crate::embed::BatchEmbedder;
 use crate::ncm::NcmClassifier;
 use crate::precision::ResidentModel;
@@ -36,6 +37,10 @@ pub struct Prediction {
     /// entry ([`SignalQuality::Degraded`] output should not be trusted
     /// the way nominal output is).
     pub quality: SignalQuality,
+    /// Concept-drift status at this window, when the serving path runs a
+    /// [`crate::drift::DriftMonitor`] (`None` on paths without one —
+    /// plain batch inference, or a device without self-healing enabled).
+    pub drift: Option<DriftStatus>,
 }
 
 /// Cumulative sensor-health picture for one device's streaming session:
@@ -150,6 +155,7 @@ pub(crate) fn infer_window(
         distances: decision.distances,
         latency: start.elapsed(),
         quality,
+        drift: None,
     })
 }
 
@@ -228,6 +234,7 @@ pub fn infer_batch(
             distances: decision.distances.clone(),
             latency: Duration::ZERO,
             quality,
+            drift: None,
         });
     }
     let per_window = start.elapsed() / jobs.len() as u32;
@@ -277,6 +284,11 @@ pub struct StreamingSession {
     /// Samples repaired since the current window started filling.
     faults_in_window: usize,
     degraded_windows: u64,
+    /// When enabled, completed (scrubbed) windows are kept until
+    /// [`take_retained`](Self::take_retained) — the hook a self-healing
+    /// policy uses to harvest evidence without re-segmenting the stream.
+    retain_windows: bool,
+    retained: Vec<Vec<Vec<f32>>>,
 }
 
 /// A smoothed streaming prediction.
@@ -317,7 +329,26 @@ impl StreamingSession {
             scrub_buf: Vec::with_capacity(channels),
             faults_in_window: 0,
             degraded_windows: 0,
+            retain_windows: false,
+            retained: Vec::new(),
         }
+    }
+
+    /// Enable or disable retention of completed windows (see
+    /// [`take_retained`](Self::take_retained)). Disabling drops anything
+    /// currently held.
+    pub fn set_retain_windows(&mut self, retain: bool) {
+        self.retain_windows = retain;
+        if !retain {
+            self.retained.clear();
+        }
+    }
+
+    /// Drain the windows completed since the last call (emission order).
+    /// Empty unless [`set_retain_windows`](Self::set_retain_windows) is
+    /// on.
+    pub fn take_retained(&mut self) -> Vec<Vec<Vec<f32>>> {
+        std::mem::take(&mut self.retained)
     }
 
     /// Scrub one incoming sample through the guard (copy-on-write into
@@ -335,6 +366,9 @@ impl StreamingSession {
             SignalQuality::Nominal
         };
         self.faults_in_window = 0;
+        if self.retain_windows {
+            self.retained.push(window.clone());
+        }
         Some((window, quality))
     }
 
@@ -443,6 +477,7 @@ impl StreamingSession {
         self.history.clear();
         self.guard.reset_hold();
         self.faults_in_window = 0;
+        self.retained.clear();
     }
 }
 

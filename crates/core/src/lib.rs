@@ -49,6 +49,7 @@ pub mod ncm;
 pub(crate) mod ncm_index;
 pub mod precision;
 pub mod privacy;
+pub mod recalibrate;
 pub mod sharing;
 pub mod storage;
 pub mod support_set;
@@ -72,6 +73,7 @@ pub use metrics::ConfusionMatrix;
 pub use ncm::{NcmClassifier, NcmDecision, NcmScratch};
 pub use precision::{Precision, QuantizedSupportSet, ResidentModel, ResidentSupport};
 pub use privacy::PrivacyLedger;
+pub use recalibrate::{HealingStats, Recalibrator, SelfHealingConfig};
 pub use sharing::ClassPack;
 pub use timeline::TimelineBuilder;
 pub use support_set::{SelectionStrategy, SupportSet};

@@ -15,13 +15,15 @@
 //!    serialized bundle byte-identical and its predictions bit-identical
 //!    to never having attempted the update.
 
+use magneto_core::drift::DriftStatus;
 use magneto_core::{
-    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, UpdateOutcome,
+    CloudConfig, CloudInitializer, EdgeBundle, EdgeConfig, EdgeDevice, SelfHealingConfig,
+    UpdateOutcome,
 };
 use magneto_sensors::stream::StreamConfig;
 use magneto_sensors::{
-    ActivityKind, BurstConfig, FaultPlan, GeneratorConfig, LabeledWindow, PersonProfile,
-    SensorDataset, SensorFrame, SensorStream, NUM_CHANNELS, SAMPLE_RATE_HZ,
+    ActivityKind, BurstConfig, DriftPlan, FaultPlan, GeneratorConfig, LabeledWindow,
+    PersonProfile, SensorDataset, SensorFrame, SensorStream, NUM_CHANNELS, SAMPLE_RATE_HZ,
 };
 use magneto_tensor::SeededRng;
 use proptest::prelude::*;
@@ -116,6 +118,62 @@ proptest! {
         // Replay: same plan, same input, fresh injector and device.
         let (b, _) = serve(&plan.injector().apply(&input));
         prop_assert_eq!(a, b, "chaos run did not replay bit-identically");
+    }
+
+    /// Sensor faults AND concept drift composed through the self-healing
+    /// streaming path: never a panic, never a non-finite output, never an
+    /// uplink byte — and the whole run (predictions, drift statuses,
+    /// healing counters) replays bit-identically from its seeds, whatever
+    /// the recalibration policy decided.
+    #[test]
+    fn faulted_and_drifted_streams_heal_deterministically(seed in 0u64..1_000_000) {
+        let input = frames(120 * 8, seed ^ 0x0D12_F7ED);
+        let faults = FaultPlan::nasty(seed);
+        let drift = DriftPlan::gait_change(seed ^ 0xD21F7, 1.6, 400);
+        // Faults first (the sensor path), then drift (the user).
+        let perturb = || drift.injector().apply(&faults.injector().apply(&input));
+        let serve_healing = |frames: &[SensorFrame]| {
+            let config = EdgeConfig {
+                healing: Some(SelfHealingConfig {
+                    min_confidence: 0.05,
+                    ..SelfHealingConfig::default()
+                }),
+                ..EdgeConfig::default()
+            };
+            let mut dev = EdgeDevice::deploy(bundle().clone(), config).unwrap();
+            let preds = dev.push_frames(frames).unwrap();
+            let fingerprint: Vec<_> = preds
+                .iter()
+                .map(|p| {
+                    let drift_bits = match p.raw.drift {
+                        None => (0u8, 0u32),
+                        Some(DriftStatus::WarmingUp) => (1, 0),
+                        Some(DriftStatus::Stable) => (2, 0),
+                        Some(DriftStatus::Drifted { severity }) => (3, severity.to_bits()),
+                    };
+                    (
+                        p.raw.label.clone(),
+                        p.raw.confidence.to_bits(),
+                        p.raw.distances.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                        drift_bits,
+                    )
+                })
+                .collect();
+            dev.privacy_ledger().assert_no_uplink();
+            (fingerprint, dev.healing_stats().unwrap())
+        };
+        let (a, stats_a) = serve_healing(&perturb());
+        for (label, conf, dists, drift_bits) in &a {
+            prop_assert!(!label.is_empty());
+            prop_assert!(f32::from_bits(*conf).is_finite());
+            for d in dists {
+                prop_assert!(f32::from_bits(*d).is_finite(), "non-finite distance");
+            }
+            prop_assert!(drift_bits.0 > 0, "streamed prediction lost its drift status");
+        }
+        let (b, stats_b) = serve_healing(&perturb());
+        prop_assert_eq!(a, b, "fault+drift chaos did not replay bit-identically");
+        prop_assert_eq!(stats_a, stats_b, "healing counters did not replay");
     }
 }
 

@@ -1,5 +1,6 @@
 //! Fleet runtime configuration.
 
+use magneto_core::SelfHealingConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -60,6 +61,17 @@ pub struct FleetConfig {
     /// `0.0` disables the gate.
     #[serde(default = "default_replay_accuracy_floor")]
     pub replay_accuracy_floor: f32,
+    /// Self-healing under concept drift for base+delta sessions: when
+    /// set, every delta session gets a per-session streaming
+    /// [`magneto_core::DriftMonitor`] (baselined on its own live
+    /// distances) and a [`magneto_core::Recalibrator`] policy that, on
+    /// sustained drift, rebuilds a candidate [`magneto_core::PersonalDelta`]
+    /// off to the side from harvested high-confidence windows and swaps
+    /// it in only if it passes the replay self-accuracy gate — otherwise
+    /// the session's `(base, delta)` pair is untouched. `None` (the
+    /// default) keeps serving drift-blind.
+    #[serde(default)]
+    pub healing: Option<SelfHealingConfig>,
 }
 
 fn default_quarantine_strikes() -> u32 {
@@ -88,6 +100,7 @@ impl Default for FleetConfig {
             quarantine_for: default_quarantine_for(),
             hot_delta_capacity: 0,
             replay_accuracy_floor: default_replay_accuracy_floor(),
+            healing: None,
         }
     }
 }
@@ -122,6 +135,9 @@ impl FleetConfig {
         }
         if !(0.0..=1.0).contains(&self.replay_accuracy_floor) {
             return Err("replay accuracy floor must be in [0, 1]".into());
+        }
+        if let Some(healing) = &self.healing {
+            healing.validate().map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -165,9 +181,22 @@ mod tests {
                 replay_accuracy_floor: 1.5,
                 ..FleetConfig::default()
             },
+            FleetConfig {
+                healing: Some(SelfHealingConfig {
+                    alert_ratio: 0.5,
+                    ..SelfHealingConfig::default()
+                }),
+                ..FleetConfig::default()
+            },
         ] {
             assert!(bad.validate().is_err());
         }
+        assert!(FleetConfig {
+            healing: Some(SelfHealingConfig::default()),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -193,8 +222,10 @@ mod tests {
         assert_eq!(back.quarantine_strikes, default_quarantine_strikes());
         assert_eq!(back.quarantine_for, default_quarantine_for());
         // Stripping at quarantine_strikes also drops the (later)
-        // tiering and migration knobs; they pick up their defaults.
+        // tiering, migration, and self-healing knobs; they pick up
+        // their defaults.
         assert_eq!(back.hot_delta_capacity, 0);
         assert_eq!(back.replay_accuracy_floor, default_replay_accuracy_floor());
+        assert_eq!(back.healing, None);
     }
 }

@@ -21,6 +21,9 @@ pub(crate) struct ShardCounters {
     pub max_batch: AtomicU64,
     pub panics_caught: AtomicU64,
     pub sessions_quarantined: AtomicU64,
+    pub drift_alerts: AtomicU64,
+    pub auto_recals: AtomicU64,
+    pub recal_rollbacks: AtomicU64,
     pub latency: Mutex<LatencyRecorder>,
 }
 
@@ -67,6 +70,9 @@ impl ShardCounters {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            drift_alerts: self.drift_alerts.load(Ordering::Relaxed),
+            auto_recals: self.auto_recals.load(Ordering::Relaxed),
+            recal_rollbacks: self.recal_rollbacks.load(Ordering::Relaxed),
             latency: self.latency.lock().expect("latency lock").stats(),
         }
     }
@@ -111,6 +117,15 @@ pub struct ShardStats {
     pub panics_caught: u64,
     /// Times a session's circuit breaker tripped into quarantine.
     pub sessions_quarantined: u64,
+    /// Stable→Drifted transitions across the shard's self-healing
+    /// monitors (0 when [`crate::FleetConfig::healing`] is off).
+    pub drift_alerts: u64,
+    /// Automatic recalibrations that passed the replay gate and swapped
+    /// a refreshed delta in.
+    pub auto_recals: u64,
+    /// Automatic recalibrations rejected by the replay gate (the
+    /// session's old `(base, delta)` pair was left untouched).
+    pub recal_rollbacks: u64,
     /// Amortised per-window serving latency distribution (p50–p99).
     pub latency: LatencyStats,
 }
@@ -143,6 +158,9 @@ mod tests {
             paged_sessions: 1,
             rehydrations: 7,
         };
+        c.drift_alerts.fetch_add(3, Ordering::Relaxed);
+        c.auto_recals.fetch_add(2, Ordering::Relaxed);
+        c.recal_rollbacks.fetch_add(1, Ordering::Relaxed);
         let s = c.snapshot(3, 5, 1, tier);
         assert_eq!(s.shard, 3);
         assert_eq!(s.sessions, 5);
@@ -158,6 +176,9 @@ mod tests {
         assert_eq!(s.windows_f32, 6);
         assert_eq!(s.windows_int8, 4);
         assert_eq!(s.max_batch, 6);
+        assert_eq!(s.drift_alerts, 3);
+        assert_eq!(s.auto_recals, 2);
+        assert_eq!(s.recal_rollbacks, 1);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
         assert_eq!(s.latency.count, 10);
         assert!(s.latency.p99_us >= s.latency.p50_us);

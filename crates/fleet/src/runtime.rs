@@ -6,10 +6,14 @@ use crate::counters::{ShardCounters, ShardStats};
 use crate::error::FleetError;
 use crate::session::{FleetReply, ModelKey, SessionId, SubmitError};
 use crate::store::{
-    DeltaSession, ReplayOutcome, SessionEntry, SessionModel, SessionStore, SharedBase, StoreError,
+    mean_embedding, DeltaSession, HealState, ReplayOutcome, SessionEntry, SessionModel,
+    SessionStore, SharedBase, StoreError,
 };
+use magneto_core::drift::DriftStatus;
 use magneto_core::inference::{infer_batch, BatchJob};
-use magneto_core::{BatchEmbedder, EdgeBundle, EdgeDevice, ModelVersion, PersonalDelta, Precision};
+use magneto_core::{
+    BatchEmbedder, EdgeBundle, EdgeDevice, HealingStats, ModelVersion, PersonalDelta, Precision,
+};
 use magneto_tensor::vector::DistanceMetric;
 use magneto_tensor::Matrix;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -271,6 +275,15 @@ impl Fleet {
             q.inflight.insert(id, 0);
             q.seqs.insert(id, 0);
         }
+        // Delta sessions get a self-healing loop when the fleet is
+        // configured for one (device-backed sessions carry their own via
+        // `EdgeConfig::healing` when driven directly).
+        let healing = match (&model, self.inner.config.healing) {
+            (SessionModel::Delta(_), Some(cfg)) => {
+                HealState::new(cfg).ok().map(Box::new)
+            }
+            _ => None,
+        };
         let spool = self.spool();
         {
             let mut sessions = lock_unpoisoned(&shard.sessions);
@@ -283,6 +296,7 @@ impl Fleet {
                     tx,
                     strikes: 0,
                     armed_panics: AtomicU32::new(0),
+                    healing,
                 },
             );
             sessions.enforce_capacity(self.inner.config.hot_delta_capacity, spool.as_deref());
@@ -536,17 +550,7 @@ impl Fleet {
         embedder
             .embed_rows(&ds.base.model, &rows, &mut embeddings)
             .map_err(|e| StoreError::Storage(e.to_string()))?;
-        let mut proto = vec![0.0f32; embeddings.cols()];
-        for r in 0..embeddings.rows() {
-            for (p, v) in proto.iter_mut().zip(embeddings.row(r)) {
-                *p += v;
-            }
-        }
-        let n = embeddings.rows() as f32;
-        for p in &mut proto {
-            *p /= n;
-        }
-        ds.delta.set_prototype(label, proto);
+        ds.delta.set_prototype(label, mean_embedding(&embeddings));
         ds.delta.set_support(label, rows);
         // Pin the calibration to the base generation it was computed
         // against, so a future base swap knows what to replay (legacy v0
@@ -734,6 +738,35 @@ impl Fleet {
             .get(id.0)
             .map(|e| e.key)
             .ok_or(SubmitError::UnknownSession(id))
+    }
+
+    /// A session's current drift status, when fleet self-healing
+    /// ([`FleetConfig::healing`]) is on and the session is delta-backed;
+    /// `None` otherwise.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn session_drift_status(&self, id: SessionId) -> Result<Option<DriftStatus>, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = lock_unpoisoned(&shard.sessions);
+        let entry = sessions.get(id.0).ok_or(SubmitError::UnknownSession(id))?;
+        Ok(entry.healing.as_ref().map(|h| h.monitor.status()))
+    }
+
+    /// A session's self-healing counters (alerts, committed
+    /// recalibrations, rollbacks, strikes), when fleet self-healing is
+    /// on for it; `None` otherwise.
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownSession`] when the id is not registered.
+    pub fn session_healing_stats(
+        &self,
+        id: SessionId,
+    ) -> Result<Option<HealingStats>, SubmitError> {
+        let shard = &self.inner.shards[id.0 as usize % self.inner.config.shards];
+        let sessions = lock_unpoisoned(&shard.sessions);
+        let entry = sessions.get(id.0).ok_or(SubmitError::UnknownSession(id))?;
+        Ok(entry.healing.as_ref().map(|h| h.recal.stats()))
     }
 
     /// Chaos hook: make the session's next `count` served windows panic
@@ -990,6 +1023,91 @@ fn run_windows(
     infer_batch(model, &jobs, embedder)
 }
 
+/// The fleet-side self-healing step for one served window: observe the
+/// nearest-prototype distance on the session's drift monitor, stamp the
+/// drift status onto the reply, harvest confident nominal windows as
+/// recalibration evidence (featurized through the shared base's
+/// pipeline), and — on sustained drift past hysteresis and cooldown —
+/// rebuild the session's [`PersonalDelta`] off to the side and swap it
+/// in through the replay self-accuracy gate
+/// ([`SessionStore::recalibrate_delta`]), striking out on rollback. A
+/// no-op unless [`FleetConfig::healing`] is set and the session is a
+/// hot delta session.
+fn heal_session(
+    inner: &Inner,
+    shard: &Shard,
+    sessions: &mut SessionStore,
+    req: &Request,
+    pred: &mut magneto_core::Prediction,
+) {
+    let candidate = {
+        let Some(entry) = sessions.get_mut(req.session) else {
+            return;
+        };
+        let SessionEntry { model, healing, .. } = entry;
+        let Some(heal) = healing.as_mut() else {
+            return;
+        };
+        let SessionModel::Delta(ds) = &*model else {
+            return;
+        };
+        let nearest = pred
+            .distances
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        let status = heal.observe(nearest);
+        pred.drift = Some(status);
+        let drifted = status.is_drifted();
+        if drifted && !heal.was_drifted {
+            shard.counters.drift_alerts.fetch_add(1, Ordering::Relaxed);
+        }
+        heal.was_drifted = drifted;
+        // Harvest evidence: the policy filters on confidence and
+        // quality; featurization is only paid for eligible windows.
+        if pred.confidence >= heal.recal.config().min_confidence && !pred.quality.is_degraded() {
+            let mut row = vec![0.0f32; ds.base.pipeline.output_dim()];
+            if ds
+                .base
+                .pipeline
+                .process_checked_into(&req.window, &mut row)
+                .is_ok()
+            {
+                heal.recal.offer(&pred.label, &row, pred.confidence, pred.quality);
+            }
+        }
+        if heal.recal.observe(status) {
+            heal.recal.candidate()
+        } else {
+            None
+        }
+    };
+    let Some((label, rows)) = candidate else {
+        return;
+    };
+    let outcome =
+        sessions.recalibrate_delta(req.session, &label, &rows, inner.config.replay_accuracy_floor);
+    let Some(entry) = sessions.get_mut(req.session) else {
+        return;
+    };
+    let Some(heal) = entry.healing.as_mut() else {
+        return;
+    };
+    match outcome {
+        Ok(ReplayOutcome::Committed { .. }) => {
+            heal.recal.note_commit();
+            heal.rebaseline();
+            shard.counters.auto_recals.fetch_add(1, Ordering::Relaxed);
+        }
+        // A rejected or errored recalibration is a strike; the session's
+        // old state is untouched and serving continues.
+        Ok(ReplayOutcome::RolledBack { .. }) | Err(_) => {
+            heal.recal.note_rollback();
+            shard.counters.recal_rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Scatter one prediction (or serving error) back to its session.
 fn reply_to(
     sessions: &mut SessionStore,
@@ -1123,7 +1241,8 @@ fn drain_shard(inner: &Inner, shard_idx: usize, embedder: &mut BatchEmbedder) ->
 
             match outcome {
                 Ok(preds) => {
-                    for (&i, pred) in indices.iter().zip(preds) {
+                    for (&i, mut pred) in indices.iter().zip(preds) {
+                        heal_session(inner, shard, &mut sessions, &popped[i], &mut pred);
                         reply_to(&mut sessions, &popped[i], Ok(pred));
                     }
                 }

@@ -32,11 +32,13 @@
 //! their state is not delta-representable); they pin hot.
 
 use crate::session::{FleetReply, ModelKey, SessionId};
+use magneto_core::drift::{DriftMonitor, DriftStatus};
 use magneto_core::incremental::ModelState;
 use magneto_core::storage::{load_framed_versioned, save_framed_versioned};
 use magneto_core::{
     BatchEmbedder, CoreError, EdgeBundle, EdgeDevice, InferenceView, LabelRegistry, ModelVersion,
-    NcmClassifier, PersonalDelta, Precision, QuantizedSupportSet, ResidentSupport, RollbackReason,
+    NcmClassifier, PersonalDelta, Precision, QuantizedSupportSet, Recalibrator, ResidentSupport,
+    RollbackReason, SelfHealingConfig,
 };
 use magneto_dsp::PreprocessingPipeline;
 use magneto_tensor::vector::DistanceMetric;
@@ -254,6 +256,22 @@ impl DeltaSession {
     }
 }
 
+/// Column mean of an embedding matrix — the prototype derivation shared
+/// by calibration, migration replay, and automatic recalibration.
+pub(crate) fn mean_embedding(embeddings: &Matrix) -> Vec<f32> {
+    let mut proto = vec![0.0f32; embeddings.cols()];
+    for r in 0..embeddings.rows() {
+        for (p, v) in proto.iter_mut().zip(embeddings.row(r)) {
+            *p += v;
+        }
+    }
+    let n = embeddings.rows() as f32;
+    for p in &mut proto {
+        *p /= n;
+    }
+    proto
+}
+
 /// Where a paged-out delta's bytes live.
 pub(crate) enum ColdStore {
     /// In-memory spill (no spool directory configured, or disk write
@@ -285,6 +303,66 @@ pub(crate) enum SessionModel {
     Paged(PagedDelta),
 }
 
+/// Per-session self-healing state for a delta session: the streaming
+/// drift detector plus the recalibration policy (both from
+/// `magneto_core::recalibrate`). The deploy-time support set gives no
+/// usable distance scale for a delta session's live stream, so the
+/// baseline is estimated from the first `warmup` served windows
+/// (assumed nominal) and re-estimated after every committed
+/// recalibration. Lives on the entry, not the model, so it survives
+/// page-out/rehydrate cycles and base migrations.
+pub(crate) struct HealState {
+    pub(crate) monitor: DriftMonitor,
+    pub(crate) recal: Recalibrator,
+    calibrated: bool,
+    calib_sum: f64,
+    calib_n: u64,
+    pub(crate) was_drifted: bool,
+}
+
+impl HealState {
+    /// Build from a validated config. The placeholder baseline is
+    /// replaced by the live estimate after `warmup` windows.
+    pub(crate) fn new(config: SelfHealingConfig) -> Result<Self, CoreError> {
+        Ok(HealState {
+            monitor: DriftMonitor::new(1.0, config.alert_ratio, config.alpha, config.warmup)?,
+            recal: Recalibrator::new(config)?,
+            calibrated: false,
+            calib_sum: 0.0,
+            calib_n: 0,
+            was_drifted: false,
+        })
+    }
+
+    /// Feed one nearest-prototype distance: while uncalibrated it
+    /// accumulates toward the live baseline (re-baselining the monitor
+    /// once enough windows are seen), then observes. Returns the
+    /// post-observation drift status.
+    pub(crate) fn observe(&mut self, nearest: f32) -> DriftStatus {
+        if !self.calibrated && nearest.is_finite() {
+            self.calib_sum += f64::from(nearest);
+            self.calib_n += 1;
+            if self.calib_n >= self.recal.config().warmup.max(1) {
+                let mean = (self.calib_sum / self.calib_n as f64) as f32;
+                self.monitor.reset(mean.max(1e-6));
+                self.calibrated = true;
+            }
+        }
+        self.monitor.observe(nearest)
+    }
+
+    /// Restart live-baseline estimation (after a committed
+    /// recalibration changed the prototypes under the monitor).
+    pub(crate) fn rebaseline(&mut self) {
+        let b = self.monitor.baseline();
+        self.monitor.reset(b);
+        self.calibrated = false;
+        self.calib_sum = 0.0;
+        self.calib_n = 0;
+        self.was_drifted = false;
+    }
+}
+
 /// One registered session: tiered model state plus serving bookkeeping.
 pub(crate) struct SessionEntry {
     pub(crate) model: SessionModel,
@@ -293,6 +371,9 @@ pub(crate) struct SessionEntry {
     pub(crate) tx: Sender<FleetReply>,
     pub(crate) strikes: u32,
     pub(crate) armed_panics: AtomicU32,
+    /// Self-healing loop, present on delta sessions when
+    /// [`crate::FleetConfig::healing`] is set.
+    pub(crate) healing: Option<Box<HealState>>,
 }
 
 impl SessionEntry {
@@ -645,17 +726,7 @@ impl SessionStore {
                     reason: RollbackReason::NonFiniteWeights,
                 });
             }
-            let mut proto = vec![0.0f32; embeddings.cols()];
-            for r in 0..embeddings.rows() {
-                for (p, v) in proto.iter_mut().zip(embeddings.row(r)) {
-                    *p += v;
-                }
-            }
-            let n = embeddings.rows() as f32;
-            for p in &mut proto {
-                *p /= n;
-            }
-            candidate.set_prototype(label, proto);
+            candidate.set_prototype(label, mean_embedding(&embeddings));
             replayed += 1;
         }
         if !candidate.is_empty() && !new_base.version.is_legacy() {
@@ -719,6 +790,110 @@ impl SessionStore {
         Ok(ReplayOutcome::Committed {
             classes,
             replayed_prototypes: replayed,
+        })
+    }
+
+    /// Transactionally recalibrate a hot delta session from harvested
+    /// drift evidence: build a candidate [`PersonalDelta`] **off to the
+    /// side** — current delta plus `rows` as the refreshed support for
+    /// `label`, with the prototype re-derived as their mean embedding
+    /// (the exact [`crate::Fleet::calibrate_session`] computation) —
+    /// rebuild its overlay, and swap it in only if the candidate still
+    /// classifies the user's own support rows at `accuracy_floor` or
+    /// better. On rollback the session's old `(base, delta)` pair is
+    /// untouched (byte-exact by construction). The caller must have
+    /// called [`ensure_hot`](Self::ensure_hot).
+    pub(crate) fn recalibrate_delta(
+        &mut self,
+        id: u64,
+        label: &str,
+        rows: &[Vec<f32>],
+        accuracy_floor: f32,
+    ) -> Result<ReplayOutcome, StoreError> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::UnknownSession(SessionId(id)))?;
+        let (old_touch, old_delta, base) = match &entry.model {
+            SessionModel::Delta(ds) => (ds.touch, &ds.delta, Arc::clone(&ds.base)),
+            SessionModel::Device(_) => return Err(StoreError::NotDelta(SessionId(id))),
+            SessionModel::Paged(_) => {
+                return Err(StoreError::Storage(format!(
+                    "{} recalibrated while paged (ensure_hot not called)",
+                    SessionId(id)
+                )))
+            }
+        };
+        if rows.is_empty() {
+            return Ok(ReplayOutcome::RolledBack {
+                reason: RollbackReason::MissingReplaySource,
+            });
+        }
+
+        let mut embedder = BatchEmbedder::new();
+        let mut embeddings = Matrix::default();
+        embedder.embed_rows(&base.model, rows, &mut embeddings)?;
+        if (0..embeddings.rows()).any(|r| embeddings.row(r).iter().any(|v| !v.is_finite())) {
+            return Ok(ReplayOutcome::RolledBack {
+                reason: RollbackReason::NonFiniteWeights,
+            });
+        }
+        let mut candidate = old_delta.clone();
+        candidate.set_prototype(label, mean_embedding(&embeddings));
+        candidate.set_support(label, rows.to_vec());
+        if !base.version.is_legacy() {
+            candidate.pin_base(base.version);
+        }
+
+        // Assemble the candidate session aside; an overlay rebuild
+        // failure leaves the old state untouched.
+        let mut session = DeltaSession {
+            base: Arc::clone(&base),
+            delta: candidate,
+            overlay: None,
+            touch: old_touch,
+        };
+        session.rebuild_overlay()?;
+
+        // Self-accuracy gate across *all* of the user's support rows:
+        // the refreshed class must not cannibalise the others.
+        if accuracy_floor > 0.0 {
+            let ncm = session.overlay.as_ref().unwrap_or(&base.ncm);
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for l in session.delta.support_labels() {
+                let rows = session.delta.support(l).expect("label from support_labels");
+                if rows.is_empty() {
+                    continue;
+                }
+                embedder.embed_rows(&base.model, rows, &mut embeddings)?;
+                for r in 0..embeddings.rows() {
+                    let decision = ncm.classify(embeddings.row(r))?;
+                    total += 1;
+                    if decision.label == *l {
+                        correct += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                let after = correct as f32 / total as f32;
+                if after < accuracy_floor {
+                    return Ok(ReplayOutcome::RolledBack {
+                        reason: RollbackReason::SelfAccuracy {
+                            after,
+                            floor: accuracy_floor,
+                        },
+                    });
+                }
+            }
+        }
+
+        let classes = session.overlay.as_ref().unwrap_or(&base.ncm).num_classes();
+        let entry = self.entries.get_mut(&id).expect("entry checked above");
+        entry.model = SessionModel::Delta(Box::new(session));
+        Ok(ReplayOutcome::Committed {
+            classes,
+            replayed_prototypes: 1,
         })
     }
 

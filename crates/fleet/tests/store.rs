@@ -535,3 +535,150 @@ fn int8_session_exemplars_survive_paging_and_serve_through_index() {
     fleet.shutdown();
     let _ = std::fs::remove_dir_all(&spool);
 }
+
+// ---------------------------------------------------------------------
+// Tentpole: per-session self-healing under concept drift for delta
+// sessions — streaming detection on the reply path, transactional delta
+// recalibration, shard counters.
+// ---------------------------------------------------------------------
+
+/// `count` windows of walk data with `plan`'s drift applied, in the
+/// channel-major layout `submit` expects.
+fn drifted_walk_windows(
+    count: usize,
+    seed: u64,
+    plan: magneto_sensors::DriftPlan,
+) -> Vec<Vec<Vec<f32>>> {
+    use magneto_sensors::{ActivityKind, PersonProfile, SensorStream, NUM_CHANNELS};
+    let mut stream = SensorStream::new(
+        ActivityKind::Walk.profile(),
+        PersonProfile::nominal(),
+        StreamConfig::ideal(),
+        magneto_tensor::SeededRng::new(seed),
+    );
+    let frames: Vec<_> = (0..count * 120).map(|_| stream.next().unwrap()).collect();
+    let frames = plan.injector().apply(&frames);
+    frames
+        .chunks(120)
+        .map(|chunk| {
+            let mut w = vec![vec![0.0f32; chunk.len()]; NUM_CHANNELS];
+            for (t, f) in chunk.iter().enumerate() {
+                for (c, v) in f.values.iter().enumerate() {
+                    w[c][t] = *v;
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+fn healing_fleet(healing: magneto_core::SelfHealingConfig) -> Fleet {
+    Fleet::new(FleetConfig {
+        healing: Some(healing),
+        ..FleetConfig::deterministic()
+    })
+    .unwrap()
+}
+
+fn drain_replies(fleet: &mut Fleet, id: SessionId, rx: &Receiver<FleetReply>, windows: &[Vec<Vec<f32>>]) -> Vec<Prediction> {
+    windows
+        .iter()
+        .map(|w| {
+            fleet.submit(id, w.clone()).unwrap();
+            fleet.pump();
+            recv_ok(rx)
+        })
+        .collect()
+}
+
+#[test]
+fn delta_session_detects_drift_and_recalibrates_transactionally() {
+    let healing = magneto_core::SelfHealingConfig {
+        min_confidence: 0.05,
+        ..magneto_core::SelfHealingConfig::default()
+    };
+    let mut fleet = healing_fleet(healing);
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let (id, rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+    // Calibrate from a disjoint recording: served windows must not be
+    // their own calibration exemplars or live distances start at ~0.
+    let calib = drifted_walk_windows(4, 76, magneto_sensors::DriftPlan::none(0));
+    fleet.calibrate_session(id, "user_walk", &calib).unwrap();
+    let clean = drifted_walk_windows(8, 77, magneto_sensors::DriftPlan::none(0));
+
+    // Clean serving: every reply carries a drift status, none alert.
+    let preds = drain_replies(&mut fleet, id, &rx, &clean);
+    assert!(preds.iter().all(|p| p.drift.is_some()));
+    let stats = fleet.session_healing_stats(id).unwrap().unwrap();
+    assert_eq!(stats.drift_alerts, 0, "clean stream alerted: {stats:?}");
+
+    // Gait drift: distances blow past the live baseline.
+    let drifted = drifted_walk_windows(30, 78, magneto_sensors::DriftPlan::gait_change(79, 1.6, 600));
+    let preds = drain_replies(&mut fleet, id, &rx, &drifted);
+    assert!(preds.iter().any(|p| matches!(
+        p.drift,
+        Some(magneto_core::drift::DriftStatus::Drifted { .. })
+    )));
+    let stats = fleet.session_healing_stats(id).unwrap().unwrap();
+    assert!(stats.drift_alerts >= 1, "no alert: {stats:?}");
+    assert!(
+        stats.auto_recals + stats.recal_rollbacks >= 1,
+        "sustained drift never attempted recalibration: {stats:?}"
+    );
+    // Shard counters mirror the per-session stats.
+    let shard: u64 = fleet.shard_stats().iter().map(|s| s.drift_alerts).sum();
+    assert!(shard >= 1);
+    let attempts: u64 = fleet
+        .shard_stats()
+        .iter()
+        .map(|s| s.auto_recals + s.recal_rollbacks)
+        .sum();
+    assert!(attempts >= 1);
+    fleet.shutdown();
+}
+
+#[test]
+fn rejected_fleet_recalibration_leaves_delta_bytes_exact() {
+    // Three labels calibrated from identical windows cannot all be
+    // classified correctly, and one recalibration can refresh only one
+    // of them, so a replay floor of 1.0 rejects every candidate — each
+    // attempt must roll back leaving the delta byte-identical, and
+    // strikes must degrade the loop.
+    let healing = magneto_core::SelfHealingConfig {
+        min_confidence: 0.05,
+        cooldown: 4,
+        max_strikes: 2,
+        ..magneto_core::SelfHealingConfig::default()
+    };
+    let mut fleet = Fleet::new(FleetConfig {
+        healing: Some(healing),
+        replay_accuracy_floor: 1.0,
+        ..FleetConfig::deterministic()
+    })
+    .unwrap();
+    let key = fleet.register_base(bundle(), Precision::F32).unwrap();
+    let (id, rx) = fleet.register_from_base(key, Precision::F32).unwrap();
+    let calib = windows(3, 91);
+    fleet.calibrate_session(id, "user_a", &calib).unwrap();
+    fleet.calibrate_session(id, "user_b", &calib).unwrap();
+    fleet.calibrate_session(id, "user_c", &calib).unwrap();
+    let before = fleet.session_delta(id).unwrap().to_bytes();
+
+    let clean = drifted_walk_windows(8, 92, magneto_sensors::DriftPlan::none(0));
+    drain_replies(&mut fleet, id, &rx, &clean);
+    let drifted = drifted_walk_windows(60, 93, magneto_sensors::DriftPlan::gait_change(94, 1.6, 600));
+    drain_replies(&mut fleet, id, &rx, &drifted);
+
+    let stats = fleet.session_healing_stats(id).unwrap().unwrap();
+    assert_eq!(stats.auto_recals, 0, "impossible floor committed: {stats:?}");
+    assert!(stats.recal_rollbacks >= 1, "no rollback recorded: {stats:?}");
+    if stats.recal_rollbacks >= 2 {
+        assert!(stats.degraded, "strikes exhausted but not degraded: {stats:?}");
+    }
+    assert_eq!(
+        before,
+        fleet.session_delta(id).unwrap().to_bytes(),
+        "rolled-back recalibration mutated the delta"
+    );
+    fleet.shutdown();
+}

@@ -1,0 +1,465 @@
+//! Deterministic concept-drift injection for self-healing tests.
+//!
+//! Faults ([`crate::faults`]) model a *broken* sensor service; drift
+//! models a *changed world*: the user's gait evolves over weeks, the
+//! phone is remounted from trouser pocket to arm band, or the user swaps
+//! to a different handset whose IMU is mounted with another axis
+//! convention and slightly different sensitivities. None of these are
+//! errors — every frame is a faithful reading of the new reality — but a
+//! model calibrated against the old distribution degrades until it
+//! recalibrates.
+//!
+//! [`DriftPlan`] is the seeded, replayable description of one drift
+//! scenario (the sibling of [`crate::faults::FaultPlan`]);
+//! [`DriftInjector`] applies it to a stream of [`SensorFrame`]s. All
+//! randomness (rotation axis, axis permutation, per-channel scale
+//! shifts) is drawn once at injector construction from the plan seed, so
+//! RNG consumption is a fixed function of the plan alone: the same plan
+//! over the same frames replays bit-identically, and drift composes
+//! freely with fault injection (apply drift first — the world changed —
+//! then faults — the sensor service still misbehaves).
+
+use crate::channels::{SensorFrame, NUM_CHANNELS};
+use magneto_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Channel triples that form 3-D vectors in the device frame and
+/// therefore rotate/permute together under a remount or device swap:
+/// accelerometer, gyroscope, magnetometer, linear acceleration, gravity.
+/// (The rotation-vector quaternion and the scalar channels are produced
+/// downstream of the raw frame and are left untouched.)
+const VECTOR_TRIPLES: [[usize; 3]; 5] = [
+    [0, 1, 2],
+    [3, 4, 5],
+    [6, 7, 8],
+    [9, 10, 11],
+    [12, 13, 14],
+];
+
+/// Channels whose amplitude tracks movement vigour (accelerometer,
+/// gyroscope, linear acceleration) — the ones a gradual gait change
+/// scales. Magnetometer and gravity do not grow when the user strides
+/// harder.
+const MOTION_CHANNELS: [usize; 9] = [0, 1, 2, 3, 4, 5, 9, 10, 11];
+
+/// A complete, seeded description of one concept-drift scenario. Every
+/// drift run is identified by its plan; replaying the same plan yields
+/// the same perturbed stream bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftPlan {
+    /// Seed for the injector's frozen draws (rotation axis, permutation,
+    /// scale shifts).
+    pub seed: u64,
+    /// Gradual gait change: target amplitude gain on motion channels
+    /// (`1.0` = none). The gain ramps linearly from `1.0` at frame 0 to
+    /// this value at [`gait_ramp_frames`](Self::gait_ramp_frames).
+    pub gait_gain: f32,
+    /// Frames over which the gait gain ramps to its target.
+    pub gait_ramp_frames: u64,
+    /// Abrupt sensor remount: first frame at which every vector-channel
+    /// triple is rotated by a fixed seeded rotation (`None` = never).
+    pub remount_frame: Option<u64>,
+    /// Rotation angle of the remount, radians.
+    pub remount_angle_rad: f32,
+    /// Device swap: first frame at which axes are permuted (with seeded
+    /// sign flips) and per-channel sensitivities shift (`None` = never).
+    pub swap_frame: Option<u64>,
+    /// Maximum relative per-channel scale shift of the replacement
+    /// device (each channel draws its own factor in `1 ± jitter`).
+    pub swap_scale_jitter: f32,
+}
+
+impl DriftPlan {
+    /// A plan that drifts nothing (identity transform). Construction
+    /// still draws the same frozen values as active plans, so switching
+    /// drift classes on or off never desynchronises a shared seed.
+    pub fn none(seed: u64) -> Self {
+        DriftPlan {
+            seed,
+            gait_gain: 1.0,
+            gait_ramp_frames: 1,
+            remount_frame: None,
+            remount_angle_rad: 0.0,
+            swap_frame: None,
+            swap_scale_jitter: 0.0,
+        }
+    }
+
+    /// Gradual gait change only: amplitude ramps to `gain` over
+    /// `ramp_frames` frames.
+    pub fn gait_change(seed: u64, gain: f32, ramp_frames: u64) -> Self {
+        DriftPlan {
+            gait_gain: gain,
+            gait_ramp_frames: ramp_frames.max(1),
+            ..DriftPlan::none(seed)
+        }
+    }
+
+    /// Abrupt sensor remount only: a fixed seeded rotation of
+    /// `angle_rad` radians switches on at `frame`.
+    pub fn remount(seed: u64, frame: u64, angle_rad: f32) -> Self {
+        DriftPlan {
+            remount_frame: Some(frame),
+            remount_angle_rad: angle_rad,
+            ..DriftPlan::none(seed)
+        }
+    }
+
+    /// Device swap only: axis permutation + per-channel scale shift
+    /// switches on at `frame`.
+    pub fn device_swap(seed: u64, frame: u64, scale_jitter: f32) -> Self {
+        DriftPlan {
+            swap_frame: Some(frame),
+            swap_scale_jitter: scale_jitter,
+            ..DriftPlan::none(seed)
+        }
+    }
+
+    /// An aggressive all-drifts plan for chaos sweeps: gait gain ramping
+    /// to 1.6× over five seconds, a 0.35 rad remount at two seconds and
+    /// a device swap (±15 % sensitivities) at four seconds.
+    pub fn nasty(seed: u64) -> Self {
+        DriftPlan {
+            seed,
+            gait_gain: 1.6,
+            gait_ramp_frames: 600,
+            remount_frame: Some(240),
+            remount_angle_rad: 0.35,
+            swap_frame: Some(480),
+            swap_scale_jitter: 0.15,
+        }
+    }
+
+    /// `true` when this plan perturbs nothing.
+    pub fn is_identity(&self) -> bool {
+        self.gait_gain == 1.0 && self.remount_frame.is_none() && self.swap_frame.is_none()
+    }
+
+    /// Build the injector that applies this plan.
+    pub fn injector(&self) -> DriftInjector {
+        DriftInjector::new(*self)
+    }
+}
+
+/// Counts of drift actually applied so far, per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DriftStats {
+    /// Frames seen.
+    pub frames: u64,
+    /// Frames whose motion channels were gait-scaled (gain ≠ 1).
+    pub gait_scaled: u64,
+    /// Frames rotated by the remount.
+    pub rotated: u64,
+    /// Frames permuted/rescaled by the device swap.
+    pub swapped: u64,
+}
+
+impl DriftStats {
+    /// Total frames touched by at least one drift class.
+    pub fn drifted_frames(&self) -> u64 {
+        self.gait_scaled.max(self.rotated).max(self.swapped)
+    }
+}
+
+/// Applies a [`DriftPlan`] to a sequence of frames, deterministically.
+#[derive(Debug, Clone)]
+pub struct DriftInjector {
+    plan: DriftPlan,
+    /// Frames consumed (the drift clock — drift is a function of frame
+    /// count, never of frame values).
+    frame: u64,
+    /// Remount rotation matrix (row-major), frozen at construction.
+    rotation: [[f32; 3]; 3],
+    /// Device-swap axis permutation: output axis `i` reads input axis
+    /// `perm[i]`, flipped by `flip[i]`.
+    perm: [usize; 3],
+    flip: [f32; 3],
+    /// Device-swap per-channel sensitivity factors.
+    scales: [f32; NUM_CHANNELS],
+    stats: DriftStats,
+}
+
+impl DriftInjector {
+    /// Fresh injector for `plan`. All randomness is consumed here, in a
+    /// fixed draw order (rotation axis → permutation → sign flips →
+    /// scales), regardless of which drift classes are enabled.
+    pub fn new(plan: DriftPlan) -> Self {
+        let mut rng = SeededRng::new(plan.seed);
+        // Remount axis: a random direction, normalised (degenerate draws
+        // fall back to the z axis so the rotation is always well-formed).
+        let (ax, ay, az) = (rng.normal(), rng.normal(), rng.normal());
+        let norm = (ax * ax + ay * ay + az * az).sqrt();
+        let axis = if norm > 1e-6 {
+            [ax / norm, ay / norm, az / norm]
+        } else {
+            [0.0, 0.0, 1.0]
+        };
+        let rotation = rotation_about(axis, plan.remount_angle_rad);
+        // Swap permutation: Fisher–Yates over [0, 1, 2], then sign flips.
+        let mut perm = [0usize, 1, 2];
+        for i in (1..3).rev() {
+            perm.swap(i, rng.index(i + 1));
+        }
+        let mut flip = [1.0f32; 3];
+        for f in &mut flip {
+            if rng.chance(0.5) {
+                *f = -1.0;
+            }
+        }
+        let mut scales = [1.0f32; NUM_CHANNELS];
+        for s in &mut scales {
+            *s = 1.0 + rng.uniform(-plan.swap_scale_jitter, plan.swap_scale_jitter);
+        }
+        DriftInjector {
+            plan,
+            frame: 0,
+            rotation,
+            perm,
+            flip,
+            scales,
+            stats: DriftStats::default(),
+        }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &DriftPlan {
+        &self.plan
+    }
+
+    /// Drift counts so far.
+    pub fn stats(&self) -> DriftStats {
+        self.stats
+    }
+
+    /// The gait gain in effect at frame index `idx`.
+    fn gain_at(&self, idx: u64) -> f32 {
+        if self.plan.gait_gain == 1.0 {
+            return 1.0;
+        }
+        let ramp = self.plan.gait_ramp_frames.max(1);
+        let t = (idx as f32 / ramp as f32).min(1.0);
+        1.0 + (self.plan.gait_gain - 1.0) * t
+    }
+
+    /// Perturb one frame. Drift never drops frames — every reading is
+    /// delivered, just measured in the drifted world.
+    pub fn perturb(&mut self, frame: &SensorFrame) -> SensorFrame {
+        let idx = self.frame;
+        self.frame += 1;
+        self.stats.frames += 1;
+        let mut out = frame.clone();
+        // 1. Gradual gait change: amplitude gain on motion channels.
+        let gain = self.gain_at(idx);
+        if gain != 1.0 {
+            for &c in &MOTION_CHANNELS {
+                out.values[c] *= gain;
+            }
+            self.stats.gait_scaled += 1;
+        }
+        // 2. Abrupt remount: rotate every device-frame vector triple.
+        if self.plan.remount_frame.is_some_and(|f| idx >= f) {
+            for tri in VECTOR_TRIPLES {
+                let v = [out.values[tri[0]], out.values[tri[1]], out.values[tri[2]]];
+                for (i, &c) in tri.iter().enumerate() {
+                    out.values[c] = self.rotation[i][0] * v[0]
+                        + self.rotation[i][1] * v[1]
+                        + self.rotation[i][2] * v[2];
+                }
+            }
+            self.stats.rotated += 1;
+        }
+        // 3. Device swap: axis permutation with sign flips, then the
+        // replacement device's per-channel sensitivities.
+        if self.plan.swap_frame.is_some_and(|f| idx >= f) {
+            for tri in VECTOR_TRIPLES {
+                let v = [out.values[tri[0]], out.values[tri[1]], out.values[tri[2]]];
+                for (i, &c) in tri.iter().enumerate() {
+                    out.values[c] = self.flip[i] * v[self.perm[i]];
+                }
+            }
+            for c in 0..NUM_CHANNELS {
+                out.values[c] *= self.scales[c];
+            }
+            self.stats.swapped += 1;
+        }
+        out
+    }
+
+    /// Perturb a whole recording (same length out — drift never drops).
+    pub fn apply(&mut self, frames: &[SensorFrame]) -> Vec<SensorFrame> {
+        frames.iter().map(|f| self.perturb(f)).collect()
+    }
+}
+
+/// Rodrigues rotation matrix about a unit `axis` by `angle` radians.
+fn rotation_about(axis: [f32; 3], angle: f32) -> [[f32; 3]; 3] {
+    let (s, c) = angle.sin_cos();
+    let t = 1.0 - c;
+    let [x, y, z] = axis;
+    [
+        [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+        [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+        [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+    use crate::faults::FaultPlan;
+    use crate::person::PersonProfile;
+    use crate::stream::{SensorStream, StreamConfig};
+
+    fn frames(n: usize, seed: u64) -> Vec<SensorFrame> {
+        let mut s = SensorStream::new(
+            ActivityKind::Walk.profile(),
+            PersonProfile::nominal(),
+            StreamConfig::ideal(),
+            SeededRng::new(seed),
+        );
+        (0..n).map(|_| s.next().unwrap()).collect()
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let input = frames(900, 1);
+        let plan = DriftPlan::nasty(42);
+        let a = plan.injector().apply(&input);
+        let b = plan.injector().apply(&input);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.timestamp.to_bits(), y.timestamp.to_bits());
+            for c in 0..NUM_CHANNELS {
+                assert_eq!(x.values[c].to_bits(), y.values[c].to_bits(), "channel {c}");
+            }
+        }
+        let mut inj_a = plan.injector();
+        let mut inj_b = plan.injector();
+        let _ = inj_a.apply(&input);
+        let _ = inj_b.apply(&input);
+        assert_eq!(inj_a.stats(), inj_b.stats());
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let input = frames(300, 2);
+        let plan = DriftPlan::none(7);
+        assert!(plan.is_identity());
+        let mut inj = plan.injector();
+        let out = inj.apply(&input);
+        assert_eq!(out, input);
+        assert_eq!(inj.stats().frames, 300);
+        assert_eq!(inj.stats().drifted_frames(), 0);
+    }
+
+    #[test]
+    fn gait_ramp_is_monotone_and_capped() {
+        let plan = DriftPlan::gait_change(3, 1.5, 200);
+        let inj = plan.injector();
+        let mut prev = 0.0f32;
+        for idx in [0u64, 50, 100, 150, 200, 400] {
+            let g = inj.gain_at(idx);
+            assert!(g >= prev, "gain not monotone at {idx}");
+            prev = g;
+        }
+        assert_eq!(inj.gain_at(0), 1.0);
+        assert!((inj.gain_at(200) - 1.5).abs() < 1e-6);
+        assert!((inj.gain_at(10_000) - 1.5).abs() < 1e-6, "gain must cap at target");
+        // Applied gain shows up on motion channels, not magnetometer.
+        let input = frames(400, 4);
+        let out = plan.injector().apply(&input);
+        let last = 399;
+        assert!((out[last].values[0] - input[last].values[0] * 1.5).abs() < 1e-4);
+        assert_eq!(out[last].values[6].to_bits(), input[last].values[6].to_bits());
+    }
+
+    #[test]
+    fn remount_rotates_only_after_onset_and_preserves_norms() {
+        let input = frames(400, 5);
+        let plan = DriftPlan::remount(11, 200, 0.6);
+        let out = plan.injector().apply(&input);
+        // Before the onset: untouched.
+        for t in 0..200 {
+            assert_eq!(out[t].values, input[t].values, "frame {t} touched early");
+        }
+        // After: accel triple changed but its norm is preserved
+        // (rotation is an isometry).
+        let mut changed = 0;
+        for t in 200..400 {
+            let a_in = &input[t].values[0..3];
+            let a_out = &out[t].values[0..3];
+            if a_in != a_out {
+                changed += 1;
+            }
+            let n_in: f32 = a_in.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let n_out: f32 = a_out.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n_in - n_out).abs() < 1e-3, "norm broke at {t}: {n_in} vs {n_out}");
+        }
+        assert!(changed > 150, "rotation changed only {changed} frames");
+        // Scalar channels (pressure/light/proximity) are never rotated.
+        for t in 200..400 {
+            assert_eq!(out[t].values[19].to_bits(), input[t].values[19].to_bits());
+        }
+    }
+
+    #[test]
+    fn device_swap_permutes_and_rescales_after_onset() {
+        let input = frames(300, 6);
+        let plan = DriftPlan::device_swap(13, 100, 0.2);
+        let mut inj = plan.injector();
+        let out = inj.apply(&input);
+        for t in 0..100 {
+            assert_eq!(out[t].values, input[t].values);
+        }
+        assert_eq!(inj.stats().swapped, 200);
+        // The swapped accel is a scaled, sign-flipped permutation of the
+        // original triple: check one frame explicitly.
+        let t = 150;
+        let v = &input[t].values;
+        for i in 0..3 {
+            let expect = inj.flip[i] * v[inj.perm[i]] * inj.scales[i];
+            assert!(
+                (out[t].values[i] - expect).abs() < 1e-5,
+                "axis {i}: {} vs {expect}",
+                out[t].values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn composes_with_fault_injector_deterministically() {
+        let input = frames(720, 8);
+        let drift = DriftPlan::nasty(21);
+        let faults = FaultPlan::nasty(22);
+        let run = || {
+            let drifted = drift.injector().apply(&input);
+            faults.injector().apply(&drifted)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            for c in 0..NUM_CHANNELS {
+                assert_eq!(x.values[c].to_bits(), y.values[c].to_bits());
+            }
+        }
+        // Drift preserved the frame count; faults dropped some.
+        assert!(a.len() < input.len());
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        for plan in [
+            DriftPlan::none(1),
+            DriftPlan::gait_change(2, 1.4, 300),
+            DriftPlan::remount(3, 100, 0.5),
+            DriftPlan::device_swap(4, 50, 0.1),
+            DriftPlan::nasty(99),
+        ] {
+            let json = serde_json::to_string(&plan).unwrap();
+            let back: DriftPlan = serde_json::from_str(&json).unwrap();
+            assert_eq!(plan, back);
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod activity;
 pub mod channels;
 pub mod dataset;
+pub mod drift;
 pub mod faults;
 pub mod imu;
 pub mod noise;
@@ -41,6 +42,7 @@ pub mod waveform;
 pub use activity::ActivityKind;
 pub use channels::{SensorChannel, SensorFrame, NUM_CHANNELS, SAMPLE_RATE_HZ};
 pub use dataset::{GeneratorConfig, LabeledWindow, SensorDataset};
+pub use drift::{DriftInjector, DriftPlan, DriftStats};
 pub use faults::{BurstConfig, FaultInjector, FaultPlan, FaultStats};
 pub use person::PersonProfile;
 pub use pool::StreamPool;

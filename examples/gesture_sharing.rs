@@ -78,7 +78,7 @@ fn main() {
     // Bob's own early data (the principled deployment recipe: the
     // baseline should describe *this* user's normal).
     let bootstrap = bob.rejection_threshold(75.0, 1.0).unwrap();
-    let mut monitor = DriftMonitor::new(bootstrap, 3.0, 0.15, 10);
+    let mut monitor = DriftMonitor::new(bootstrap, 3.0, 0.15, 10).unwrap();
 
     // Phase 1: Bob behaves like the population — stable.
     let normal = SensorDataset::generate(&GeneratorConfig::base_five(8), 53);
@@ -91,7 +91,7 @@ fn main() {
     let baseline = monitor.smoothed_distance().unwrap();
     // Once the baseline describes *this* user's normal, a much tighter
     // alert band is appropriate.
-    let mut monitor = DriftMonitor::new(baseline, 1.6, 0.15, 8);
+    let mut monitor = DriftMonitor::new(baseline, 1.6, 0.15, 8).unwrap();
     println!(
         "[drift] re-anchored baseline to Bob's normal: {baseline:.3}; alert at 1.6x"
     );

@@ -32,8 +32,13 @@ fn main() {
     let (bundle, _) = CloudInitializer::new(cloud_cfg).pretrain(&corpus).unwrap();
 
     // Two identical devices: one updates with distillation (MAGNETO), one
-    // without (the ablation).
-    let mut magneto = EdgeDevice::deploy(bundle.clone(), EdgeConfig::default()).unwrap();
+    // without (the ablation). The MAGNETO device also runs the
+    // self-healing loop, so its streaming predictions carry drift status.
+    let magneto_cfg = EdgeConfig {
+        healing: Some(SelfHealingConfig::default()),
+        ..EdgeConfig::default()
+    };
+    let mut magneto = EdgeDevice::deploy(bundle.clone(), magneto_cfg).unwrap();
     let mut ablated_cfg = EdgeConfig::default();
     ablated_cfg.incremental.disable_distillation = true;
     let mut ablated = EdgeDevice::deploy(bundle, ablated_cfg).unwrap();
@@ -96,6 +101,21 @@ fn main() {
             before.accuracy() * 100.0
         );
     }
+
+    // Stream a few seconds of walking so the drift monitor has live data
+    // to judge: learning a gesture must not register as concept drift.
+    let mut stream = SensorStream::new(
+        ActivityKind::Walk.profile(),
+        PersonProfile::nominal(),
+        magneto::sensors::stream::StreamConfig::ideal(),
+        SeededRng::new(55),
+    );
+    let frames: Vec<_> = (0..120 * 6).filter_map(|_| stream.poll()).collect();
+    magneto.push_frames(&frames).expect("streaming");
+    println!(
+        "[edge] post-update drift status after 6 s of walking: {:?}",
+        magneto.drift_status().expect("healing enabled")
+    );
 
     if let Err(e) = magneto.privacy_ledger().check_no_uplink() {
         eprintln!("privacy invariant violated: {e}");

@@ -12,6 +12,16 @@
 use magneto::prelude::*;
 use magneto::sensors::stream::StreamConfig;
 
+/// The app's one-word drift indicator.
+fn drift_tag(status: Option<DriftStatus>) -> String {
+    match status {
+        None => "off".into(),
+        Some(DriftStatus::WarmingUp) => "warming".into(),
+        Some(DriftStatus::Stable) => "stable".into(),
+        Some(DriftStatus::Drifted { severity }) => format!("DRIFTED ×{severity:.1}"),
+    }
+}
+
 /// Stream `seconds` of an activity through the device, printing the
 /// smoothed label once per second like the app's status line.
 fn live_inference(
@@ -35,11 +45,12 @@ fn live_inference(
         }
         if let Some(p) = last {
             println!(
-                "    ▷ {:<12} (confidence {:>5.1}%, agreement {:>5.1}%, {:.1} ms)",
+                "    ▷ {:<12} (confidence {:>5.1}%, agreement {:>5.1}%, {:.1} ms, drift {})",
                 p.smoothed_label,
                 p.raw.confidence * 100.0,
                 p.agreement * 100.0,
-                p.raw.latency.as_secs_f64() * 1e3
+                p.raw.latency.as_secs_f64() * 1e3,
+                drift_tag(p.raw.drift)
             );
         }
     }
@@ -56,7 +67,13 @@ fn main() {
     let mut cfg = CloudConfig::fast_demo();
     cfg.trainer.epochs = 15;
     let (bundle, _) = CloudInitializer::new(cfg).pretrain(&corpus).unwrap();
-    let mut device = EdgeDevice::deploy(bundle, EdgeConfig::default()).unwrap();
+    // Self-healing on: every status line carries the drift monitor's
+    // verdict, baselined on this user's own live distances.
+    let config = EdgeConfig {
+        healing: Some(SelfHealingConfig::default()),
+        ..EdgeConfig::default()
+    };
+    let mut device = EdgeDevice::deploy(bundle, config).unwrap();
     println!("[setup] phone is offline from here on.\n");
     let user = PersonProfile::nominal();
 
@@ -105,6 +122,12 @@ fn main() {
         footprint.total_mib(),
         footprint.within_5mb()
     );
+    if let Some(stats) = device.healing_stats() {
+        println!(
+            "[stats] self-healing: {} drift alerts, {} auto-recalibrations, {} rollbacks",
+            stats.drift_alerts, stats.auto_recals, stats.recal_rollbacks
+        );
+    }
     if let Err(e) = device.privacy_ledger().check_no_uplink() {
         eprintln!("privacy invariant violated: {e}");
         std::process::exit(1);

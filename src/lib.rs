@@ -59,9 +59,10 @@ pub use magneto_tensor as tensor;
 /// The most common imports for application code.
 pub mod prelude {
     pub use magneto_core::{
-        BundleSizeReport, CloudConfig, CloudInitializer, ConfusionMatrix, EdgeBundle,
-        EdgeConfig, EdgeDevice, LabelRegistry, NcmClassifier, Precision, PrivacyLedger,
-        QuantizedSupportSet, ResidentModel, ResidentSupport, SelectionStrategy, SupportSet,
+        BundleSizeReport, CloudConfig, CloudInitializer, ConfusionMatrix, DriftMonitor,
+        DriftStatus, EdgeBundle, EdgeConfig, EdgeDevice, HealingStats, LabelRegistry,
+        NcmClassifier, Precision, PrivacyLedger, QuantizedSupportSet, Recalibrator,
+        ResidentModel, ResidentSupport, SelectionStrategy, SelfHealingConfig, SupportSet,
     };
     pub use magneto_fleet::{Fleet, FleetConfig, FleetReply, ModelKey, SessionId, SubmitError};
     pub use magneto_platform::{
